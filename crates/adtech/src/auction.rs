@@ -1,0 +1,128 @@
+//! Real-time bidding: the bid request context and the second-price
+//! auction the exchanges run (§2.1: "Ad Exchanges are the entities
+//! connecting the sell and buy sides … through real-time auctions").
+
+use crate::campaign::{CampaignId, GeoRegion};
+use qtag_geometry::Size;
+use qtag_wire::{BrowserKind, OsKind, SiteType};
+use serde::Serialize;
+
+/// The sell side's description of one ad opportunity: what a bid request
+/// carries to the buy side.
+#[derive(Debug, Clone, Serialize)]
+pub struct AdSlotRequest {
+    /// Request id assigned by the exchange.
+    pub request_id: u64,
+    /// User region.
+    pub geo: GeoRegion,
+    /// Device operating system.
+    pub os: OsKind,
+    /// Browser/webview engine.
+    pub browser: BrowserKind,
+    /// Web page or in-app placement.
+    pub site_type: SiteType,
+    /// The ad slot's pixel size.
+    pub slot_size: Size,
+    /// Price floor in milli-dollars CPM (bids below are ignored).
+    pub floor_cpm_milli: u64,
+}
+
+/// One buy-side bid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Bid {
+    /// Bidding campaign.
+    pub campaign: CampaignId,
+    /// Bid price (milli-dollars CPM).
+    pub cpm_milli: u64,
+}
+
+/// The result of a second-price auction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct AuctionOutcome {
+    /// Winning bid.
+    pub winner: Bid,
+    /// What the winner actually pays: the second-highest bid (or the
+    /// floor when unopposed), per second-price rules.
+    pub clearing_cpm_milli: u64,
+    /// Number of valid bids that competed.
+    pub participants: usize,
+}
+
+/// Runs a sealed-bid second-price auction over `bids` with the given
+/// floor. Bids below the floor are discarded. Ties go to the bid that
+/// arrived first (stable), matching common exchange behaviour.
+pub fn run_second_price(bids: &[Bid], floor_cpm_milli: u64) -> Option<AuctionOutcome> {
+    let valid: Vec<&Bid> = bids.iter().filter(|b| b.cpm_milli >= floor_cpm_milli).collect();
+    if valid.is_empty() {
+        return None;
+    }
+    let mut best: &Bid = valid[0];
+    let mut second: Option<u64> = None;
+    for b in &valid[1..] {
+        if b.cpm_milli > best.cpm_milli {
+            second = Some(best.cpm_milli);
+            best = b;
+        } else {
+            second = Some(second.map_or(b.cpm_milli, |s| s.max(b.cpm_milli)));
+        }
+    }
+    Some(AuctionOutcome {
+        winner: *best,
+        clearing_cpm_milli: second.unwrap_or(floor_cpm_milli),
+        participants: valid.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(campaign: u32, cpm: u64) -> Bid {
+        Bid {
+            campaign: CampaignId(campaign),
+            cpm_milli: cpm,
+        }
+    }
+
+    #[test]
+    fn winner_pays_second_price() {
+        let out = run_second_price(&[bid(1, 1500), bid(2, 1200), bid(3, 900)], 500).unwrap();
+        assert_eq!(out.winner.campaign, CampaignId(1));
+        assert_eq!(out.clearing_cpm_milli, 1200);
+        assert_eq!(out.participants, 3);
+    }
+
+    #[test]
+    fn sole_bidder_pays_floor() {
+        let out = run_second_price(&[bid(1, 1500)], 700).unwrap();
+        assert_eq!(out.clearing_cpm_milli, 700);
+        assert_eq!(out.participants, 1);
+    }
+
+    #[test]
+    fn bids_below_floor_are_discarded() {
+        assert!(run_second_price(&[bid(1, 400)], 500).is_none());
+        let out = run_second_price(&[bid(1, 400), bid(2, 600)], 500).unwrap();
+        assert_eq!(out.winner.campaign, CampaignId(2));
+        assert_eq!(out.participants, 1);
+        assert_eq!(out.clearing_cpm_milli, 500);
+    }
+
+    #[test]
+    fn tie_goes_to_first_arrival() {
+        let out = run_second_price(&[bid(7, 1000), bid(8, 1000)], 0).unwrap();
+        assert_eq!(out.winner.campaign, CampaignId(7));
+        assert_eq!(out.clearing_cpm_milli, 1000);
+    }
+
+    #[test]
+    fn empty_auction_has_no_outcome() {
+        assert!(run_second_price(&[], 0).is_none());
+    }
+
+    #[test]
+    fn clearing_price_never_exceeds_winning_bid() {
+        let out = run_second_price(&[bid(1, 1000), bid(2, 999)], 0).unwrap();
+        assert!(out.clearing_cpm_milli <= out.winner.cpm_milli);
+    }
+}

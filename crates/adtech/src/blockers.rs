@@ -1,0 +1,106 @@
+//! Content blockers and privacy browsers (§4.3).
+//!
+//! Two very different mechanisms, which the paper's tests distinguish:
+//!
+//! * **adblockers and Brave** block the network connections to
+//!   third-party ad servers outright: "in the presence of adblockers,
+//!   [Q-Tag] should not be deployed … all the connections are blocked as
+//!   expected, and neither the ad nor Q-Tag is deployed";
+//! * **privacy-enhanced browsers** (recent Chrome/Safari/Firefox
+//!   defaults) block third-party *cookies*: "Q-Tag operates normally in
+//!   these browsers since they block cookies while our methodology uses
+//!   JavaScript code".
+
+use serde::Serialize;
+
+/// What (if anything) filters the ad delivery path on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum BlockerKind {
+    /// No filtering.
+    None,
+    /// Adblock Plus or similar list-based extension.
+    AdblockPlus,
+    /// The Brave browser's built-in shields.
+    Brave,
+    /// Tracking prevention that blocks third-party cookies only.
+    PrivacyBrowser,
+}
+
+/// The delivery capabilities remaining under a blocker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct DeliveryPolicy {
+    /// Third-party ad requests reach the ad server (no ad, no tag
+    /// otherwise).
+    pub third_party_requests: bool,
+    /// Third-party cookies are accepted (irrelevant to Q-Tag, which is
+    /// cookie-free JavaScript).
+    pub third_party_cookies: bool,
+}
+
+impl BlockerKind {
+    /// The delivery policy this blocker enforces.
+    pub fn policy(self) -> DeliveryPolicy {
+        match self {
+            BlockerKind::None => DeliveryPolicy {
+                third_party_requests: true,
+                third_party_cookies: true,
+            },
+            BlockerKind::AdblockPlus | BlockerKind::Brave => DeliveryPolicy {
+                third_party_requests: false,
+                third_party_cookies: false,
+            },
+            BlockerKind::PrivacyBrowser => DeliveryPolicy {
+                third_party_requests: true,
+                third_party_cookies: false,
+            },
+        }
+    }
+
+    /// `true` when the ad (and therefore any tag embedded in its
+    /// creative) can be delivered at all.
+    pub fn ad_delivery_possible(self) -> bool {
+        self.policy().third_party_requests
+    }
+
+    /// `true` when Q-Tag, *once delivered*, can operate. Q-Tag needs
+    /// only JavaScript execution — never cookies — so this is identical
+    /// to delivery.
+    pub fn qtag_operational(self) -> bool {
+        self.ad_delivery_possible()
+    }
+
+    /// `true` when a cookie-dependent measurement product degrades (it
+    /// may still measure viewability but loses user linkage; relevant to
+    /// verifiers, not to Q-Tag).
+    pub fn cookies_blocked(self) -> bool {
+        !self.policy().third_party_cookies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adblock_and_brave_kill_delivery_entirely() {
+        for b in [BlockerKind::AdblockPlus, BlockerKind::Brave] {
+            assert!(!b.ad_delivery_possible());
+            assert!(!b.qtag_operational());
+        }
+    }
+
+    #[test]
+    fn privacy_browsers_block_cookies_not_javascript() {
+        let b = BlockerKind::PrivacyBrowser;
+        assert!(b.ad_delivery_possible());
+        assert!(b.qtag_operational(), "Q-Tag is cookie-free JavaScript");
+        assert!(b.cookies_blocked());
+    }
+
+    #[test]
+    fn unfiltered_device_allows_everything() {
+        let b = BlockerKind::None;
+        assert!(b.ad_delivery_possible());
+        assert!(!b.cookies_blocked());
+    }
+}

@@ -1,0 +1,188 @@
+//! Campaigns: what advertisers configure in the DSP (§2.1).
+
+use qtag_geometry::Size;
+use qtag_wire::{AdFormat, OsKind, SiteType};
+use serde::Serialize;
+
+/// Campaign identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct CampaignId(pub u32);
+
+/// Advertiser sectors — the paper's campaigns "belong to advertisers
+/// from different sectors (e.g., Food & Drink, Personal Finance, Style &
+/// Fashion, etc.)" (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[allow(missing_docs)]
+pub enum Sector {
+    FoodAndDrink,
+    PersonalFinance,
+    StyleAndFashion,
+    Travel,
+    Technology,
+    Retail,
+    Automotive,
+    Entertainment,
+}
+
+impl Sector {
+    /// All sectors, for workload generation.
+    pub const ALL: [Sector; 8] = [
+        Sector::FoodAndDrink,
+        Sector::PersonalFinance,
+        Sector::StyleAndFashion,
+        Sector::Travel,
+        Sector::Technology,
+        Sector::Retail,
+        Sector::Automotive,
+        Sector::Entertainment,
+    ];
+}
+
+/// Geographic regions the paper's campaigns target (§5: "US, Mexico,
+/// Colombia, Spain, UK, Germany, etc.").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[allow(missing_docs)]
+pub enum GeoRegion {
+    UnitedStates,
+    Mexico,
+    Colombia,
+    Spain,
+    UnitedKingdom,
+    Germany,
+    France,
+    Other,
+}
+
+impl GeoRegion {
+    /// All regions, for workload generation.
+    pub const ALL: [GeoRegion; 8] = [
+        GeoRegion::UnitedStates,
+        GeoRegion::Mexico,
+        GeoRegion::Colombia,
+        GeoRegion::Spain,
+        GeoRegion::UnitedKingdom,
+        GeoRegion::Germany,
+        GeoRegion::France,
+        GeoRegion::Other,
+    ];
+}
+
+/// Audience specification: "geographical location, demographic
+/// information, users' preferences, etc." (§2.1). Empty lists mean "any".
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Targeting {
+    /// Acceptable user regions (empty = worldwide).
+    pub geos: Vec<GeoRegion>,
+    /// Acceptable operating systems (empty = any).
+    pub os: Vec<OsKind>,
+    /// Acceptable placements (empty = any).
+    pub site_types: Vec<SiteType>,
+}
+
+impl Targeting {
+    /// Worldwide, any device, any placement.
+    pub fn any() -> Self {
+        Targeting::default()
+    }
+
+    /// `true` when a request context satisfies the targeting.
+    pub fn matches(&self, geo: GeoRegion, os: OsKind, site_type: SiteType) -> bool {
+        (self.geos.is_empty() || self.geos.contains(&geo))
+            && (self.os.is_empty() || self.os.contains(&os))
+            && (self.site_types.is_empty() || self.site_types.contains(&site_type))
+    }
+}
+
+/// One display/video campaign configured in the DSP.
+#[derive(Debug, Clone, Serialize)]
+pub struct Campaign {
+    /// Identifier.
+    pub id: CampaignId,
+    /// Advertiser name (diagnostics only).
+    pub advertiser: String,
+    /// Advertiser sector.
+    pub sector: Sector,
+    /// Audience targeting.
+    pub targeting: Targeting,
+    /// CPM bid in **milli-dollars per mille** ($1.00 CPM = 1000). The
+    /// paper's economics use a $1 average CPM (§6.1).
+    pub cpm_milli: u64,
+    /// Total impression budget (the campaign stops buying at 0).
+    pub impression_budget: u64,
+    /// Creative pixel size — the paper's campaigns use 300×250 and
+    /// 320×50 (§5).
+    pub creative_size: Size,
+    /// Creative format.
+    pub format: AdFormat,
+}
+
+impl Campaign {
+    /// A $1-CPM display campaign with the given creative size and an
+    /// effectively unlimited budget.
+    pub fn display(id: u32, advertiser: &str, sector: Sector, creative_size: Size) -> Self {
+        Campaign {
+            id: CampaignId(id),
+            advertiser: advertiser.to_string(),
+            sector,
+            targeting: Targeting::any(),
+            cpm_milli: 1000,
+            impression_budget: u64::MAX,
+            creative_size,
+            format: AdFormat::classify_display(creative_size.area()),
+        }
+    }
+
+    /// Per-impression price implied by the CPM bid, in micro-dollars.
+    pub fn price_per_impression_micro(&self) -> u64 {
+        self.cpm_milli // 1000 milli$/1000 imps = 1 milli$/imp = 1000 µ$… kept as milli-CPM micro-dollars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_targeting_matches_everything() {
+        let t = Targeting::any();
+        assert!(t.matches(GeoRegion::Spain, OsKind::Android, SiteType::App));
+        assert!(t.matches(GeoRegion::Other, OsKind::Windows10, SiteType::Browser));
+    }
+
+    #[test]
+    fn geo_targeting_filters() {
+        let t = Targeting {
+            geos: vec![GeoRegion::Spain, GeoRegion::Mexico],
+            ..Targeting::any()
+        };
+        assert!(t.matches(GeoRegion::Spain, OsKind::Ios, SiteType::Browser));
+        assert!(!t.matches(GeoRegion::Germany, OsKind::Ios, SiteType::Browser));
+    }
+
+    #[test]
+    fn os_and_site_targeting_compose() {
+        let t = Targeting {
+            geos: vec![],
+            os: vec![OsKind::Android],
+            site_types: vec![SiteType::App],
+        };
+        assert!(t.matches(GeoRegion::Other, OsKind::Android, SiteType::App));
+        assert!(!t.matches(GeoRegion::Other, OsKind::Android, SiteType::Browser));
+        assert!(!t.matches(GeoRegion::Other, OsKind::Ios, SiteType::App));
+    }
+
+    #[test]
+    fn display_campaign_classifies_format_from_size() {
+        let c = Campaign::display(1, "Acme", Sector::Retail, Size::MEDIUM_RECTANGLE);
+        assert_eq!(c.format, AdFormat::Display);
+        let big = Campaign::display(2, "Maxi", Sector::Retail, Size::new(970.0, 250.0));
+        assert_eq!(big.format, AdFormat::LargeDisplay);
+    }
+
+    #[test]
+    fn one_dollar_cpm_default()
+    {
+        let c = Campaign::display(1, "Acme", Sector::Travel, Size::MOBILE_BANNER);
+        assert_eq!(c.cpm_milli, 1000);
+    }
+}

@@ -1,0 +1,242 @@
+//! The Demand Side Platform: bidder, budget pacing, impression ledger.
+
+use crate::auction::{AdSlotRequest, Bid};
+use crate::campaign::{Campaign, CampaignId};
+use qtag_geometry::Size;
+use qtag_wire::AdFormat;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// A served ad: what comes back to the publisher page after the DSP wins
+/// an auction — creative metadata plus the freshly minted impression id
+/// the tags will report against.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServedAd {
+    /// Impression id (unique per DSP).
+    pub impression_id: u64,
+    /// The campaign whose creative is served.
+    pub campaign_id: CampaignId,
+    /// Creative pixel size.
+    pub creative_size: Size,
+    /// Creative format.
+    pub format: AdFormat,
+    /// Price paid for the impression (milli-dollars CPM).
+    pub paid_cpm_milli: u64,
+}
+
+/// Aggregate DSP counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DspStats {
+    /// Bid requests evaluated.
+    pub requests: u64,
+    /// Bids submitted.
+    pub bids: u64,
+    /// Auctions won / ads served.
+    pub wins: u64,
+    /// Total spend, milli-dollars CPM summed per impression.
+    pub spend_cpm_milli: u64,
+}
+
+/// A Demand Side Platform holding a portfolio of campaigns.
+#[derive(Debug)]
+pub struct Dsp {
+    campaigns: Vec<Campaign>,
+    remaining_budget: HashMap<CampaignId, u64>,
+    next_impression: u64,
+    stats: DspStats,
+    /// Pacing cursor: rotates among equally priced eligible campaigns so
+    /// every campaign in the portfolio actually delivers.
+    rotation: usize,
+}
+
+impl Dsp {
+    /// Creates a DSP over a campaign portfolio.
+    pub fn new(campaigns: Vec<Campaign>) -> Self {
+        let remaining_budget = campaigns
+            .iter()
+            .map(|c| (c.id, c.impression_budget))
+            .collect();
+        Dsp {
+            campaigns,
+            remaining_budget,
+            next_impression: 1,
+            stats: DspStats::default(),
+            rotation: 0,
+        }
+    }
+
+    /// The campaign portfolio.
+    pub fn campaigns(&self) -> &[Campaign] {
+        &self.campaigns
+    }
+
+    /// Remaining impression budget of a campaign.
+    pub fn remaining_budget(&self, id: CampaignId) -> u64 {
+        self.remaining_budget.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> DspStats {
+        self.stats
+    }
+
+    /// Evaluates a bid request: returns the best-priced bid among
+    /// campaigns whose targeting matches, whose creative fits the slot
+    /// exactly (standard IAB sizes are traded as exact matches), and
+    /// which still have budget. Equally priced eligible campaigns are
+    /// paced round-robin, as production bidders do, so a portfolio of
+    /// same-CPM campaigns all deliver.
+    pub fn bid(&mut self, req: &AdSlotRequest) -> Option<Bid> {
+        self.stats.requests += 1;
+        let eligible: Vec<usize> = self
+            .campaigns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.targeting.matches(req.geo, req.os, req.site_type)
+                    && c.creative_size == req.slot_size
+                    && self.remaining_budget.get(&c.id).copied().unwrap_or(0) > 0
+                    && c.cpm_milli >= req.floor_cpm_milli
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let top_cpm = eligible
+            .iter()
+            .map(|&i| self.campaigns[i].cpm_milli)
+            .max()
+            .expect("non-empty");
+        let top: Vec<usize> = eligible
+            .into_iter()
+            .filter(|&i| self.campaigns[i].cpm_milli == top_cpm)
+            .collect();
+        let pick = top[self.rotation % top.len()];
+        self.rotation = self.rotation.wrapping_add(1);
+        self.stats.bids += 1;
+        Some(Bid {
+            campaign: self.campaigns[pick].id,
+            cpm_milli: top_cpm,
+        })
+    }
+
+    /// Win notification: the DSP serves the creative, mints the
+    /// impression id, decrements budget and books spend.
+    ///
+    /// # Panics
+    /// Panics if the campaign is unknown — an exchange can only award
+    /// wins for bids the DSP submitted.
+    pub fn win(&mut self, campaign: CampaignId, clearing_cpm_milli: u64) -> ServedAd {
+        let c = self
+            .campaigns
+            .iter()
+            .find(|c| c.id == campaign)
+            .expect("win for a campaign this DSP bid with");
+        let budget = self
+            .remaining_budget
+            .get_mut(&campaign)
+            .expect("budget entry exists");
+        *budget = budget.saturating_sub(1);
+        self.stats.wins += 1;
+        self.stats.spend_cpm_milli += clearing_cpm_milli;
+        let impression_id = self.next_impression;
+        self.next_impression += 1;
+        ServedAd {
+            impression_id,
+            campaign_id: campaign,
+            creative_size: c.creative_size,
+            format: c.format,
+            paid_cpm_milli: clearing_cpm_milli,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{GeoRegion, Sector, Targeting};
+    use qtag_wire::{BrowserKind, OsKind, SiteType};
+
+    fn request(slot: Size) -> AdSlotRequest {
+        AdSlotRequest {
+            request_id: 1,
+            geo: GeoRegion::Spain,
+            os: OsKind::Android,
+            browser: BrowserKind::Chrome,
+            site_type: SiteType::Browser,
+            slot_size: slot,
+            floor_cpm_milli: 100,
+        }
+    }
+
+    fn dsp() -> Dsp {
+        Dsp::new(vec![
+            Campaign::display(1, "Acme", Sector::Retail, Size::MEDIUM_RECTANGLE),
+            Campaign {
+                cpm_milli: 2000,
+                ..Campaign::display(2, "Bigger", Sector::Travel, Size::MEDIUM_RECTANGLE)
+            },
+        ])
+    }
+
+    #[test]
+    fn bids_with_highest_matching_campaign() {
+        let mut d = dsp();
+        let bid = d.bid(&request(Size::MEDIUM_RECTANGLE)).unwrap();
+        assert_eq!(bid.campaign, CampaignId(2));
+        assert_eq!(bid.cpm_milli, 2000);
+    }
+
+    #[test]
+    fn size_mismatch_means_no_bid() {
+        let mut d = dsp();
+        assert!(d.bid(&request(Size::MOBILE_BANNER)).is_none());
+        assert_eq!(d.stats().requests, 1);
+        assert_eq!(d.stats().bids, 0);
+    }
+
+    #[test]
+    fn targeting_mismatch_means_no_bid() {
+        let mut d = Dsp::new(vec![Campaign {
+            targeting: Targeting {
+                geos: vec![GeoRegion::UnitedStates],
+                ..Targeting::any()
+            },
+            ..Campaign::display(1, "US-only", Sector::Technology, Size::MEDIUM_RECTANGLE)
+        }]);
+        assert!(d.bid(&request(Size::MEDIUM_RECTANGLE)).is_none());
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_bidding() {
+        let mut d = Dsp::new(vec![Campaign {
+            impression_budget: 2,
+            ..Campaign::display(1, "Tiny", Sector::Retail, Size::MEDIUM_RECTANGLE)
+        }]);
+        for _ in 0..2 {
+            let b = d.bid(&request(Size::MEDIUM_RECTANGLE)).unwrap();
+            d.win(b.campaign, 500);
+        }
+        assert!(d.bid(&request(Size::MEDIUM_RECTANGLE)).is_none());
+        assert_eq!(d.remaining_budget(CampaignId(1)), 0);
+    }
+
+    #[test]
+    fn wins_mint_unique_impression_ids_and_book_spend() {
+        let mut d = dsp();
+        let a = d.win(CampaignId(1), 800);
+        let b = d.win(CampaignId(1), 900);
+        assert_ne!(a.impression_id, b.impression_id);
+        assert_eq!(d.stats().wins, 2);
+        assert_eq!(d.stats().spend_cpm_milli, 1700);
+    }
+
+    #[test]
+    fn floor_above_bid_suppresses() {
+        let mut d = dsp();
+        let mut req = request(Size::MEDIUM_RECTANGLE);
+        req.floor_cpm_milli = 5000;
+        assert!(d.bid(&req).is_none());
+    }
+}

@@ -1,0 +1,180 @@
+//! Ad exchanges: the auction orchestrators between sell and buy side.
+
+use crate::auction::{run_second_price, AdSlotRequest, AuctionOutcome, Bid};
+use crate::dsp::{Dsp, ServedAd};
+use serde::Serialize;
+
+/// The exchanges the paper's campaigns traverse (§5: "AppNexus, Axonix,
+/// DoubleClick, MoPub, OpenX, Rubicon, Smaato, Smart").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[allow(missing_docs)]
+pub enum ExchangeKind {
+    AppNexus,
+    Axonix,
+    DoubleClick,
+    MoPub,
+    OpenX,
+    Rubicon,
+    Smaato,
+    Smart,
+}
+
+impl ExchangeKind {
+    /// All exchanges, for workload generation.
+    pub const ALL: [ExchangeKind; 8] = [
+        ExchangeKind::AppNexus,
+        ExchangeKind::Axonix,
+        ExchangeKind::DoubleClick,
+        ExchangeKind::MoPub,
+        ExchangeKind::OpenX,
+        ExchangeKind::Rubicon,
+        ExchangeKind::Smaato,
+        ExchangeKind::Smart,
+    ];
+}
+
+/// One ad exchange: forwards bid requests to connected DSPs, runs the
+/// second-price auction, notifies the winner and returns the served ad.
+#[derive(Debug)]
+pub struct Exchange {
+    kind: ExchangeKind,
+    /// Competing (non-modelled) demand: the exchange synthesises one
+    /// opposing bid at this CPM per auction, so our DSP pays realistic
+    /// second prices instead of always clearing at the floor. `0`
+    /// disables competition.
+    pub rival_cpm_milli: u64,
+    auctions: u64,
+    fills: u64,
+}
+
+impl Exchange {
+    /// Creates an exchange with moderate rival demand (a $0.80 CPM
+    /// opposing bid — under the paper's $1 reference CPM, so our DSP
+    /// wins when it bids list price but pays the rival's price).
+    pub fn new(kind: ExchangeKind) -> Self {
+        Exchange {
+            kind,
+            rival_cpm_milli: 800,
+            auctions: 0,
+            fills: 0,
+        }
+    }
+
+    /// Which exchange this is.
+    pub fn kind(&self) -> ExchangeKind {
+        self.kind
+    }
+
+    /// Auctions run so far.
+    pub fn auctions(&self) -> u64 {
+        self.auctions
+    }
+
+    /// Auctions that ended with an ad served.
+    pub fn fills(&self) -> u64 {
+        self.fills
+    }
+
+    /// Fill rate (served / auctions).
+    pub fn fill_rate(&self) -> f64 {
+        if self.auctions == 0 {
+            0.0
+        } else {
+            self.fills as f64 / self.auctions as f64
+        }
+    }
+
+    /// Runs one auction for `req` against `dsp` (plus the synthetic
+    /// rival). Returns the served ad and the auction outcome when our
+    /// DSP wins; `None` when it doesn't bid or is outbid.
+    pub fn run(&mut self, req: &AdSlotRequest, dsp: &mut Dsp) -> Option<(ServedAd, AuctionOutcome)> {
+        self.auctions += 1;
+        let our_bid = dsp.bid(req)?;
+        let mut bids: Vec<Bid> = vec![our_bid];
+        if self.rival_cpm_milli > 0 {
+            bids.push(Bid {
+                campaign: crate::campaign::CampaignId(u32::MAX), // rival marker
+                cpm_milli: self.rival_cpm_milli,
+            });
+        }
+        let outcome = run_second_price(&bids, req.floor_cpm_milli)?;
+        if outcome.winner.campaign != our_bid.campaign {
+            return None; // rival won; impression invisible to our DSP
+        }
+        let served = dsp.win(our_bid.campaign, outcome.clearing_cpm_milli);
+        self.fills += 1;
+        Some((served, outcome))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Campaign, GeoRegion, Sector};
+    use qtag_geometry::Size;
+    use qtag_wire::{BrowserKind, OsKind, SiteType};
+
+    fn req() -> AdSlotRequest {
+        AdSlotRequest {
+            request_id: 1,
+            geo: GeoRegion::Mexico,
+            os: OsKind::Ios,
+            browser: BrowserKind::Safari,
+            site_type: SiteType::Browser,
+            slot_size: Size::MEDIUM_RECTANGLE,
+            floor_cpm_milli: 100,
+        }
+    }
+
+    #[test]
+    fn dsp_wins_and_pays_rival_price() {
+        let mut ex = Exchange::new(ExchangeKind::OpenX);
+        let mut dsp = Dsp::new(vec![Campaign::display(
+            1,
+            "Acme",
+            Sector::Retail,
+            Size::MEDIUM_RECTANGLE,
+        )]);
+        let (served, outcome) = ex.run(&req(), &mut dsp).unwrap();
+        assert_eq!(served.paid_cpm_milli, 800, "second price = rival bid");
+        assert_eq!(outcome.participants, 2);
+        assert_eq!(ex.fill_rate(), 1.0);
+    }
+
+    #[test]
+    fn rival_outbids_low_campaign() {
+        let mut ex = Exchange::new(ExchangeKind::Rubicon);
+        ex.rival_cpm_milli = 5000;
+        let mut dsp = Dsp::new(vec![Campaign::display(
+            1,
+            "Cheap",
+            Sector::Retail,
+            Size::MEDIUM_RECTANGLE,
+        )]);
+        assert!(ex.run(&req(), &mut dsp).is_none());
+        assert_eq!(ex.fills(), 0);
+        assert_eq!(ex.auctions(), 1);
+    }
+
+    #[test]
+    fn no_bid_means_no_fill() {
+        let mut ex = Exchange::new(ExchangeKind::Smaato);
+        let mut dsp = Dsp::new(vec![]);
+        assert!(ex.run(&req(), &mut dsp).is_none());
+        assert_eq!(ex.fill_rate(), 0.0);
+    }
+
+    #[test]
+    fn without_rival_dsp_pays_floor() {
+        let mut ex = Exchange::new(ExchangeKind::Smart);
+        ex.rival_cpm_milli = 0;
+        let mut dsp = Dsp::new(vec![Campaign::display(
+            1,
+            "Solo",
+            Sector::Travel,
+            Size::MEDIUM_RECTANGLE,
+        )]);
+        let (served, _) = ex.run(&req(), &mut dsp).unwrap();
+        assert_eq!(served.paid_cpm_milli, 100);
+    }
+}

@@ -1,0 +1,150 @@
+//! Frequency capping — and what cookie blocking does to it.
+//!
+//! Campaigns cap how often one user sees their ad. Caps are enforced
+//! with a per-user identifier, which in browsers means a third-party
+//! cookie. §4.3's finding — privacy browsers block cookies but not
+//! JavaScript — therefore cuts two ways: Q-Tag keeps measuring, while
+//! cookie-dependent features like frequency capping silently degrade
+//! (every request from a cookie-less user looks like a first
+//! impression). This module models both sides so the pipeline can show
+//! the asymmetry.
+
+use crate::campaign::CampaignId;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// A user identifier as the buy side sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum UserId {
+    /// A stable cookie-backed identifier.
+    Cookie(u64),
+    /// No identifier available (cookies blocked): indistinguishable
+    /// from every other anonymous user.
+    Anonymous,
+}
+
+/// Per-campaign frequency caps over a capping window.
+#[derive(Debug, Default)]
+pub struct FrequencyCapper {
+    caps: HashMap<CampaignId, u32>,
+    seen: HashMap<(CampaignId, u64), u32>,
+    /// Impressions served to anonymous users (uncappable).
+    uncapped_serves: u64,
+}
+
+impl FrequencyCapper {
+    /// Creates an empty capper.
+    pub fn new() -> Self {
+        FrequencyCapper::default()
+    }
+
+    /// Sets a campaign's cap (max impressions per user per window).
+    pub fn set_cap(&mut self, campaign: CampaignId, cap: u32) {
+        self.caps.insert(campaign, cap);
+    }
+
+    /// Returns `true` when serving `campaign` to `user` is allowed, and
+    /// records the impression if so.
+    ///
+    /// Anonymous users cannot be capped: the serve is always allowed and
+    /// counted in [`FrequencyCapper::uncapped_serves`] — the degradation
+    /// cookie blocking causes.
+    pub fn allow_and_record(&mut self, campaign: CampaignId, user: UserId) -> bool {
+        let cap = self.caps.get(&campaign).copied().unwrap_or(u32::MAX);
+        match user {
+            UserId::Anonymous => {
+                self.uncapped_serves += 1;
+                true
+            }
+            UserId::Cookie(uid) => {
+                let count = self.seen.entry((campaign, uid)).or_insert(0);
+                if *count >= cap {
+                    false
+                } else {
+                    *count += 1;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Impressions a user has received from a campaign.
+    pub fn count(&self, campaign: CampaignId, uid: u64) -> u32 {
+        self.seen.get(&(campaign, uid)).copied().unwrap_or(0)
+    }
+
+    /// Serves that bypassed capping because the user was anonymous.
+    pub fn uncapped_serves(&self) -> u64 {
+        self.uncapped_serves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockers::BlockerKind;
+
+    #[test]
+    fn cookie_users_are_capped() {
+        let mut f = FrequencyCapper::new();
+        f.set_cap(CampaignId(1), 3);
+        let user = UserId::Cookie(42);
+        for _ in 0..3 {
+            assert!(f.allow_and_record(CampaignId(1), user));
+        }
+        assert!(!f.allow_and_record(CampaignId(1), user), "4th serve blocked");
+        assert_eq!(f.count(CampaignId(1), 42), 3);
+    }
+
+    #[test]
+    fn caps_are_per_campaign_per_user() {
+        let mut f = FrequencyCapper::new();
+        f.set_cap(CampaignId(1), 1);
+        assert!(f.allow_and_record(CampaignId(1), UserId::Cookie(1)));
+        assert!(f.allow_and_record(CampaignId(1), UserId::Cookie(2)), "other user unaffected");
+        assert!(f.allow_and_record(CampaignId(2), UserId::Cookie(1)), "other campaign unaffected");
+        assert!(!f.allow_and_record(CampaignId(1), UserId::Cookie(1)));
+    }
+
+    #[test]
+    fn anonymous_users_cannot_be_capped() {
+        let mut f = FrequencyCapper::new();
+        f.set_cap(CampaignId(1), 1);
+        for _ in 0..10 {
+            assert!(f.allow_and_record(CampaignId(1), UserId::Anonymous));
+        }
+        assert_eq!(f.uncapped_serves(), 10);
+    }
+
+    #[test]
+    fn uncapped_campaign_never_blocks() {
+        let mut f = FrequencyCapper::new();
+        for _ in 0..100 {
+            assert!(f.allow_and_record(CampaignId(9), UserId::Cookie(7)));
+        }
+    }
+
+    /// The §4.3 asymmetry in one test: a privacy browser leaves the ad
+    /// path and Q-Tag intact but strips the cookie, so capping degrades
+    /// while measurement does not.
+    #[test]
+    fn privacy_browsers_break_capping_not_measurement() {
+        let blocker = BlockerKind::PrivacyBrowser;
+        assert!(blocker.qtag_operational(), "measurement unaffected");
+        let user = if blocker.cookies_blocked() {
+            UserId::Anonymous
+        } else {
+            UserId::Cookie(1)
+        };
+        let mut f = FrequencyCapper::new();
+        f.set_cap(CampaignId(1), 2);
+        let mut serves = 0;
+        for _ in 0..5 {
+            if f.allow_and_record(CampaignId(1), user) {
+                serves += 1;
+            }
+        }
+        assert_eq!(serves, 5, "cap silently not enforced without cookies");
+        assert_eq!(f.uncapped_serves(), 5);
+    }
+}

@@ -1,0 +1,179 @@
+//! Ad markup: embedding a served creative into the publisher page.
+//!
+//! DSP-served ads arrive wrapped: the publisher's slot loads an SSP
+//! iframe, which loads the DSP's iframe, which contains the creative and
+//! the measurement tags — "a double cross-domain iframe is one of the
+//! most common scenarios faced by DSPs in the ad delivery process" (§4.2
+//! footnote 2). The builder reproduces that structure exactly; the
+//! Same-Origin Policy then does the rest (no tag inside can read its
+//! position).
+
+use crate::dsp::ServedAd;
+use qtag_dom::{DomError, Element, ElementKind, ElementRef, FrameId, Origin, Page};
+use qtag_geometry::{Point, Rect};
+use serde::Serialize;
+
+/// Handles to the pieces of one embedded ad.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdPlacement {
+    /// The SSP's wrapper frame.
+    pub ssp_frame: FrameId,
+    /// The DSP's creative frame — measurement tags attach here.
+    pub dsp_frame: FrameId,
+    /// The creative element inside the DSP frame.
+    pub creative: ElementRef,
+    /// The creative's rectangle in DSP-frame document coordinates
+    /// (origin 0,0 — the creative fills its iframe).
+    pub creative_rect: Rect,
+}
+
+/// Origins used in the serving chain. Defaults mirror a generic
+/// SSP/DSP pair; the certification harness overrides them per test.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServingOrigins {
+    /// The SSP wrapper iframe's origin.
+    pub ssp: String,
+    /// The DSP creative iframe's origin.
+    pub dsp: String,
+}
+
+impl Default for ServingOrigins {
+    fn default() -> Self {
+        ServingOrigins {
+            ssp: "https://cdn.ssp-network.example".into(),
+            dsp: "https://serve.dsp-platform.example".into(),
+        }
+    }
+}
+
+/// Embeds `ad` into `page` at the slot rectangle `slot` (root-frame
+/// document coordinates), producing the double cross-domain iframe
+/// structure. Returns handles for tag attachment.
+pub fn embed_served_ad(
+    page: &mut Page,
+    slot: Rect,
+    ad: &ServedAd,
+    origins: &ServingOrigins,
+) -> Result<AdPlacement, DomError> {
+    let ssp_origin = Origin::parse(&origins.ssp)?;
+    let dsp_origin = Origin::parse(&origins.dsp)?;
+    let creative_rect = Rect::from_origin_size(Point::ORIGIN, ad.creative_size);
+
+    // The slot element in the publisher page (bookkeeping only).
+    page.add_element(
+        page.root(),
+        Element::new(
+            format!("ad-slot:{}", ad.impression_id),
+            ElementKind::AdSlot,
+            slot,
+        ),
+    )?;
+
+    // SSP wrapper iframe fills the slot.
+    let ssp_frame = page.create_frame(ssp_origin, ad.creative_size);
+    page.embed_iframe(page.root(), ssp_frame, slot)?;
+
+    // DSP creative iframe fills the wrapper.
+    let dsp_frame = page.create_frame(dsp_origin, ad.creative_size);
+    page.embed_iframe(ssp_frame, dsp_frame, creative_rect)?;
+
+    // The creative itself.
+    let creative = page.add_element(
+        dsp_frame,
+        Element::new(
+            format!("creative:c{}", ad.campaign_id.0),
+            ElementKind::Creative,
+            creative_rect,
+        ),
+    )?;
+
+    Ok(AdPlacement {
+        ssp_frame,
+        dsp_frame,
+        creative,
+        creative_rect,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignId;
+    use qtag_geometry::Size;
+    use qtag_wire::AdFormat;
+
+    fn ad() -> ServedAd {
+        ServedAd {
+            impression_id: 42,
+            campaign_id: CampaignId(7),
+            creative_size: Size::MEDIUM_RECTANGLE,
+            format: AdFormat::Display,
+            paid_cpm_milli: 800,
+        }
+    }
+
+    #[test]
+    fn builds_double_cross_domain_chain() {
+        let mut page = Page::new(Origin::https("news.example"), Size::new(1280.0, 4000.0));
+        let placement = embed_served_ad(
+            &mut page,
+            Rect::new(490.0, 1200.0, 300.0, 250.0),
+            &ad(),
+            &ServingOrigins::default(),
+        )
+        .unwrap();
+        assert_eq!(page.cross_origin_depth(placement.dsp_frame).unwrap(), 2);
+        assert_eq!(
+            page.frame_rect_in_root_unchecked(placement.dsp_frame).unwrap(),
+            Rect::new(490.0, 1200.0, 300.0, 250.0)
+        );
+    }
+
+    #[test]
+    fn tag_in_dsp_frame_is_sop_blocked() {
+        let mut page = Page::new(Origin::https("news.example"), Size::new(1280.0, 4000.0));
+        let origins = ServingOrigins::default();
+        let placement =
+            embed_served_ad(&mut page, Rect::new(0.0, 0.0, 300.0, 250.0), &ad(), &origins)
+                .unwrap();
+        let tag_origin = Origin::parse(&origins.dsp).unwrap();
+        assert!(page
+            .frame_rect_in_root(placement.dsp_frame, &tag_origin)
+            .is_err());
+    }
+
+    #[test]
+    fn creative_fills_its_iframe() {
+        let mut page = Page::new(Origin::https("news.example"), Size::new(1280.0, 4000.0));
+        let placement = embed_served_ad(
+            &mut page,
+            Rect::new(0.0, 0.0, 300.0, 250.0),
+            &ad(),
+            &ServingOrigins::default(),
+        )
+        .unwrap();
+        assert_eq!(placement.creative_rect, Rect::new(0.0, 0.0, 300.0, 250.0));
+        let el = page.element(placement.creative).unwrap();
+        assert_eq!(el.kind, ElementKind::Creative);
+    }
+
+    #[test]
+    fn same_origin_publisher_chain_would_not_be_blocked() {
+        // Counterfactual: if the whole chain were publisher-origin, the
+        // straightforward geometry read works — demonstrating it is the
+        // cross-domain serving path, not iframes per se, that forces the
+        // side channel.
+        let mut page = Page::new(Origin::https("news.example"), Size::new(1280.0, 4000.0));
+        let origins = ServingOrigins {
+            ssp: "https://news.example".into(),
+            dsp: "https://news.example".into(),
+        };
+        let placement =
+            embed_served_ad(&mut page, Rect::new(10.0, 20.0, 300.0, 250.0), &ad(), &origins)
+                .unwrap();
+        let rect = page
+            .frame_rect_in_root(placement.dsp_frame, &Origin::https("news.example"))
+            .unwrap();
+        assert_eq!(rect, Rect::new(10.0, 20.0, 300.0, 250.0));
+    }
+}

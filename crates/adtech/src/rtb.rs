@@ -1,0 +1,337 @@
+//! OpenRTB-flavoured JSON messaging between exchanges and DSPs.
+//!
+//! Production exchanges and DSPs speak OpenRTB: JSON bid requests and
+//! responses over HTTP. This module provides that interop layer for the
+//! pipeline's native types — a bid request serialises to a compact JSON
+//! document shaped like OpenRTB 2.x (`imp`, `device`, `geo`, `banner`
+//! objects), and responses round-trip the same way. It is a faithful
+//! *shape*, not a complete OpenRTB implementation: exactly the fields
+//! the Q-Tag evaluation pipeline exercises.
+
+use crate::auction::{AdSlotRequest, Bid};
+use crate::campaign::{CampaignId, GeoRegion};
+use qtag_geometry::Size;
+use qtag_wire::{BrowserKind, OsKind, SiteType};
+use serde::{Deserialize, Serialize};
+
+/// Errors from the RTB JSON layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtbError {
+    /// Malformed JSON or schema mismatch.
+    Json(String),
+    /// A field carried an unmappable value.
+    BadField(&'static str, String),
+}
+
+impl core::fmt::Display for RtbError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RtbError::Json(e) => write!(f, "rtb json: {e}"),
+            RtbError::BadField(name, v) => write!(f, "rtb field {name}: bad value {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RtbError {}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct BannerObj {
+    w: u32,
+    h: u32,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ImpObj {
+    id: String,
+    banner: BannerObj,
+    /// Bid floor in CPM dollars (OpenRTB convention).
+    bidfloor: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct GeoObj {
+    country: String,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct DeviceObj {
+    os: String,
+    ua: String,
+    geo: GeoObj,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct AppObj {}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct SiteObj {}
+
+/// An OpenRTB-shaped bid request document.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct BidRequestDoc {
+    id: String,
+    imp: Vec<ImpObj>,
+    device: DeviceObj,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    app: Option<AppObj>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    site: Option<SiteObj>,
+}
+
+fn geo_to_country(geo: GeoRegion) -> &'static str {
+    match geo {
+        GeoRegion::UnitedStates => "USA",
+        GeoRegion::Mexico => "MEX",
+        GeoRegion::Colombia => "COL",
+        GeoRegion::Spain => "ESP",
+        GeoRegion::UnitedKingdom => "GBR",
+        GeoRegion::Germany => "DEU",
+        GeoRegion::France => "FRA",
+        GeoRegion::Other => "XXX",
+    }
+}
+
+fn country_to_geo(c: &str) -> Result<GeoRegion, RtbError> {
+    Ok(match c {
+        "USA" => GeoRegion::UnitedStates,
+        "MEX" => GeoRegion::Mexico,
+        "COL" => GeoRegion::Colombia,
+        "ESP" => GeoRegion::Spain,
+        "GBR" => GeoRegion::UnitedKingdom,
+        "DEU" => GeoRegion::Germany,
+        "FRA" => GeoRegion::France,
+        "XXX" => GeoRegion::Other,
+        other => return Err(RtbError::BadField("geo.country", other.to_string())),
+    })
+}
+
+fn os_to_str(os: OsKind) -> &'static str {
+    match os {
+        OsKind::Windows10 => "Windows 10",
+        OsKind::MacOs => "macOS",
+        OsKind::Android => "Android",
+        OsKind::Ios => "iOS",
+    }
+}
+
+fn str_to_os(s: &str) -> Result<OsKind, RtbError> {
+    Ok(match s {
+        "Windows 10" => OsKind::Windows10,
+        "macOS" => OsKind::MacOs,
+        "Android" => OsKind::Android,
+        "iOS" => OsKind::Ios,
+        other => return Err(RtbError::BadField("device.os", other.to_string())),
+    })
+}
+
+fn browser_to_ua(b: BrowserKind) -> &'static str {
+    match b {
+        BrowserKind::Chrome => "Mozilla/5.0 Chrome",
+        BrowserKind::Firefox => "Mozilla/5.0 Firefox",
+        BrowserKind::Safari => "Mozilla/5.0 Safari",
+        BrowserKind::Ie11 => "Mozilla/5.0 Trident/7.0",
+        BrowserKind::AndroidWebView => "Mozilla/5.0 wv Chrome",
+        BrowserKind::IosWebView => "Mozilla/5.0 Mobile WKWebView",
+        BrowserKind::Brave => "Mozilla/5.0 Brave",
+    }
+}
+
+fn ua_to_browser(ua: &str) -> Result<BrowserKind, RtbError> {
+    Ok(if ua.contains("wv Chrome") {
+        BrowserKind::AndroidWebView
+    } else if ua.contains("WKWebView") {
+        BrowserKind::IosWebView
+    } else if ua.contains("Brave") {
+        BrowserKind::Brave
+    } else if ua.contains("Chrome") {
+        BrowserKind::Chrome
+    } else if ua.contains("Firefox") {
+        BrowserKind::Firefox
+    } else if ua.contains("Trident") {
+        BrowserKind::Ie11
+    } else if ua.contains("Safari") {
+        BrowserKind::Safari
+    } else {
+        return Err(RtbError::BadField("device.ua", ua.to_string()));
+    })
+}
+
+/// Serialises a native [`AdSlotRequest`] to an OpenRTB-shaped JSON
+/// string.
+pub fn encode_bid_request(req: &AdSlotRequest) -> Result<String, RtbError> {
+    let doc = BidRequestDoc {
+        id: req.request_id.to_string(),
+        imp: vec![ImpObj {
+            id: "1".into(),
+            banner: BannerObj {
+                w: req.slot_size.width.round() as u32,
+                h: req.slot_size.height.round() as u32,
+            },
+            bidfloor: req.floor_cpm_milli as f64 / 1000.0,
+        }],
+        device: DeviceObj {
+            os: os_to_str(req.os).to_string(),
+            ua: browser_to_ua(req.browser).to_string(),
+            geo: GeoObj {
+                country: geo_to_country(req.geo).to_string(),
+            },
+        },
+        app: (req.site_type == SiteType::App).then_some(AppObj {}),
+        site: (req.site_type == SiteType::Browser).then_some(SiteObj {}),
+    };
+    serde_json::to_string(&doc).map_err(|e| RtbError::Json(e.to_string()))
+}
+
+/// Parses an OpenRTB-shaped JSON bid request back into the native type.
+pub fn decode_bid_request(json: &str) -> Result<AdSlotRequest, RtbError> {
+    let doc: BidRequestDoc =
+        serde_json::from_str(json).map_err(|e| RtbError::Json(e.to_string()))?;
+    let imp = doc
+        .imp
+        .first()
+        .ok_or(RtbError::BadField("imp", "empty".into()))?;
+    let site_type = match (&doc.app, &doc.site) {
+        (Some(_), None) => SiteType::App,
+        (None, Some(_)) => SiteType::Browser,
+        _ => return Err(RtbError::BadField("app/site", "exactly one required".into())),
+    };
+    Ok(AdSlotRequest {
+        request_id: doc
+            .id
+            .parse()
+            .map_err(|_| RtbError::BadField("id", doc.id.clone()))?,
+        geo: country_to_geo(&doc.device.geo.country)?,
+        os: str_to_os(&doc.device.os)?,
+        browser: ua_to_browser(&doc.device.ua)?,
+        site_type,
+        slot_size: Size::new(f64::from(imp.banner.w), f64::from(imp.banner.h)),
+        floor_cpm_milli: (imp.bidfloor * 1000.0).round() as u64,
+    })
+}
+
+/// An OpenRTB-shaped bid response document.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct BidResponseDoc {
+    id: String,
+    /// Bid price in CPM dollars.
+    price: f64,
+    /// Campaign (OpenRTB `cid`).
+    cid: String,
+}
+
+/// Serialises a native [`Bid`] for request `request_id`.
+pub fn encode_bid_response(request_id: u64, bid: &Bid) -> Result<String, RtbError> {
+    serde_json::to_string(&BidResponseDoc {
+        id: request_id.to_string(),
+        price: bid.cpm_milli as f64 / 1000.0,
+        cid: bid.campaign.0.to_string(),
+    })
+    .map_err(|e| RtbError::Json(e.to_string()))
+}
+
+/// Parses a bid response; returns `(request_id, bid)`.
+pub fn decode_bid_response(json: &str) -> Result<(u64, Bid), RtbError> {
+    let doc: BidResponseDoc =
+        serde_json::from_str(json).map_err(|e| RtbError::Json(e.to_string()))?;
+    Ok((
+        doc.id
+            .parse()
+            .map_err(|_| RtbError::BadField("id", doc.id.clone()))?,
+        Bid {
+            campaign: CampaignId(
+                doc.cid
+                    .parse()
+                    .map_err(|_| RtbError::BadField("cid", doc.cid.clone()))?,
+            ),
+            cpm_milli: (doc.price * 1000.0).round() as u64,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> AdSlotRequest {
+        AdSlotRequest {
+            request_id: 42,
+            geo: GeoRegion::Colombia,
+            os: OsKind::Android,
+            browser: BrowserKind::AndroidWebView,
+            site_type: SiteType::App,
+            slot_size: Size::MOBILE_BANNER,
+            floor_cpm_milli: 250,
+        }
+    }
+
+    #[test]
+    fn bid_request_round_trips() {
+        let json = encode_bid_request(&request()).unwrap();
+        let back = decode_bid_request(&json).unwrap();
+        assert_eq!(back.request_id, 42);
+        assert_eq!(back.geo, GeoRegion::Colombia);
+        assert_eq!(back.os, OsKind::Android);
+        assert_eq!(back.browser, BrowserKind::AndroidWebView);
+        assert_eq!(back.site_type, SiteType::App);
+        assert_eq!(back.slot_size, Size::MOBILE_BANNER);
+        assert_eq!(back.floor_cpm_milli, 250);
+    }
+
+    #[test]
+    fn request_json_is_openrtb_shaped() {
+        let json = encode_bid_request(&request()).unwrap();
+        assert!(json.contains("\"imp\""));
+        assert!(json.contains("\"banner\""));
+        assert!(json.contains("\"bidfloor\":0.25"));
+        assert!(json.contains("\"country\":\"COL\""));
+        assert!(json.contains("\"app\""));
+        assert!(!json.contains("\"site\""));
+    }
+
+    #[test]
+    fn browser_placement_uses_site_object() {
+        let mut req = request();
+        req.site_type = SiteType::Browser;
+        req.browser = BrowserKind::Chrome;
+        let json = encode_bid_request(&req).unwrap();
+        assert!(json.contains("\"site\""));
+        assert!(!json.contains("\"app\""));
+        assert_eq!(decode_bid_request(&json).unwrap().site_type, SiteType::Browser);
+    }
+
+    #[test]
+    fn every_ua_maps_back() {
+        for b in [
+            BrowserKind::Chrome,
+            BrowserKind::Firefox,
+            BrowserKind::Safari,
+            BrowserKind::Ie11,
+            BrowserKind::AndroidWebView,
+            BrowserKind::IosWebView,
+            BrowserKind::Brave,
+        ] {
+            assert_eq!(ua_to_browser(browser_to_ua(b)).unwrap(), b, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn bid_response_round_trips() {
+        let bid = Bid { campaign: CampaignId(9), cpm_milli: 1750 };
+        let json = encode_bid_response(42, &bid).unwrap();
+        assert!(json.contains("\"price\":1.75"));
+        let (rid, back) = decode_bid_response(&json).unwrap();
+        assert_eq!(rid, 42);
+        assert_eq!(back, bid);
+    }
+
+    #[test]
+    fn malformed_documents_error_cleanly() {
+        assert!(matches!(decode_bid_request("{"), Err(RtbError::Json(_))));
+        assert!(decode_bid_request("{\"id\":\"x\",\"imp\":[],\"device\":{\"os\":\"Android\",\"ua\":\"Chrome\",\"geo\":{\"country\":\"ESP\"}}}").is_err());
+        let bad_geo = encode_bid_request(&request()).unwrap().replace("COL", "ZZZ");
+        assert!(matches!(
+            decode_bid_request(&bad_geo),
+            Err(RtbError::BadField("geo.country", _))
+        ));
+    }
+}

@@ -1,0 +1,29 @@
+//! # qtag-bench
+//!
+//! Shared experiment plumbing for the binaries that regenerate every
+//! table and figure of the paper's evaluation:
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `fig2_layout_error` | Figure 2 — layout × pixel-count error sweep |
+//! | `table1_certification` | §4.2 / Table 1 — 36 k certification runs |
+//! | `section43_other_tests` | §4.3 — placements, in-app, blockers |
+//! | `fig3_production` | Figure 3 — measured & viewability rates |
+//! | `table2_mobile_slice` | Table 2 — mobile measured-rate slices |
+//! | `economics` | §6.1 — revenue-impact estimate |
+//! | `ablation_threshold` | §3 — fps-threshold robustness sweep |
+//!
+//! Each binary prints a human-readable table mirroring the paper's
+//! artefact and (with `--json`) a machine-readable blob consumed when
+//! updating `EXPERIMENTS.md`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod output;
+pub mod pipeline;
+
+pub use output::{format_pct, ExperimentOutput};
+pub use pipeline::{
+    run_production, run_production_sharded, ProductionConfig, ProductionResults,
+};

@@ -1,0 +1,55 @@
+//! Output helpers shared by the experiment binaries.
+
+use serde::Serialize;
+
+/// Formats a fraction as a percentage with one decimal, the way the
+/// paper prints rates ("93,4 %" style, anglicised).
+pub fn format_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Wrapper every experiment binary uses to emit its result: a
+/// human-readable table on stdout and, when `--json` is passed, a
+/// trailing machine-readable JSON line (consumed to update
+/// `EXPERIMENTS.md`).
+#[derive(Debug)]
+pub struct ExperimentOutput {
+    json: bool,
+}
+
+impl ExperimentOutput {
+    /// Parses CLI args (`--json` toggles the JSON trailer).
+    pub fn from_args() -> Self {
+        ExperimentOutput {
+            json: std::env::args().any(|a| a == "--json"),
+        }
+    }
+
+    /// Prints the human-readable section header.
+    pub fn section(&self, title: &str) {
+        println!();
+        println!("== {title} ==");
+    }
+
+    /// Emits the machine-readable trailer when enabled.
+    pub fn finish<T: Serialize>(&self, payload: &T) {
+        if self.json {
+            println!(
+                "JSON: {}",
+                serde_json::to_string(payload).expect("experiment payload serialises")
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(format_pct(0.934), "93.4%");
+        assert_eq!(format_pct(0.5), "50.0%");
+        assert_eq!(format_pct(0.0), "0.0%");
+    }
+}

@@ -1,0 +1,292 @@
+//! The additional lab tests of §4.3.
+
+use qtag_adtech::BlockerKind;
+use qtag_core::{QTag, QTagConfig};
+use qtag_dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
+use qtag_geometry::{Point, Rect, Size};
+use qtag_render::{CpuLoadModel, DeviceProfile, Engine, EngineConfig, SimDuration};
+use qtag_wire::{EventKind, OsKind};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+/// Result of the random-placement accuracy test.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct PlacementOutcome {
+    /// Placements evaluated.
+    pub cases: u32,
+    /// Cases where the tag's in-view decision matched ground truth.
+    pub agreements: u32,
+    /// Mismatches whose true visible fraction sat within ±3 % of the
+    /// 50 % threshold — the area-estimator's known resolution band.
+    pub boundary_mismatches: u32,
+    /// Mismatches outside that band (real errors).
+    pub hard_mismatches: u32,
+}
+
+impl PlacementOutcome {
+    /// Agreement rate.
+    pub fn accuracy(&self) -> f64 {
+        if self.cases == 0 {
+            0.0
+        } else {
+            f64::from(self.agreements) / f64::from(self.cases)
+        }
+    }
+}
+
+/// §4.3 "In-view event accuracy": a double iframe with Q-Tag placed at
+/// `n` random positions (wholly visible, partially visible, and
+/// out-of-view); each static scene runs for 2.5 s and the tag's decision
+/// is compared against the oracle's exact visible fraction.
+pub fn run_random_placement_test(n: u32, seed: u64) -> PlacementOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let creative = Size::MEDIUM_RECTANGLE;
+    let mut outcome = PlacementOutcome::default();
+
+    for i in 0..n {
+        // Position spans well beyond the viewport on both axes so the
+        // sweep covers fully-in, partially-in and fully-out placements.
+        let x: f64 = rng.gen_range(-350.0..1400.0);
+        let y: f64 = rng.gen_range(-300.0..1100.0);
+
+        let mut page = Page::new(Origin::https("testing-site.example"), Size::new(1280.0, 3000.0));
+        let ssp = page.create_frame(Origin::https("wrapper.example"), creative);
+        // Slot may stick out of the document; clamp into the doc canvas
+        // horizontally (a real layout cannot place content at negative
+        // document x, while *viewport* overflow comes from scrolling).
+        // Vertical negatives are modelled by pre-scrolling instead.
+        let slot = Rect::new(x.max(0.0), y.max(0.0), creative.width, creative.height);
+        page.embed_iframe(page.root(), ssp, slot).expect("embed ssp");
+        let dsp = page.create_frame(Origin::https("dsp.example"), creative);
+        page.embed_iframe(ssp, dsp, Rect::from_origin_size(Point::ORIGIN, creative))
+            .expect("embed dsp");
+        // Emulate a negative intended y-offset by scrolling the page
+        // down by the overshoot.
+        let scroll = qtag_geometry::Vector::new(0.0, (-y).max(0.0));
+
+        let mut screen = Screen::desktop();
+        let window = screen.add_window(
+            WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+            Rect::new(0.0, 0.0, 1280.0, 880.0),
+            80.0,
+        );
+        let mut engine = Engine::new(EngineConfig::default_desktop(), screen);
+        if scroll.dy > 0.0 {
+            engine.scroll_page_to(window, Some(TabId(0)), scroll).expect("pre-scroll");
+        }
+
+        let cfg = QTagConfig::new(u64::from(i) + 1, 1, Rect::from_origin_size(Point::ORIGIN, creative));
+        engine
+            .attach_script(window, Some(TabId(0)), dsp, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+            .expect("attach");
+
+        // Oracle: exact visible fraction of the creative.
+        let truth = engine
+            .true_visibility(window, Some(TabId(0)), dsp, Rect::from_origin_size(Point::ORIGIN, creative))
+            .expect("oracle")
+            .fraction;
+        let expect_in_view = truth >= 0.5;
+
+        engine.run_for(SimDuration::from_millis(2_500));
+        let reported_in_view = engine
+            .drain_outbox()
+            .iter()
+            .any(|b| b.beacon.event == EventKind::InView);
+
+        outcome.cases += 1;
+        if reported_in_view == expect_in_view {
+            outcome.agreements += 1;
+        } else if (truth - 0.5).abs() <= 0.03 {
+            outcome.boundary_mismatches += 1;
+        } else {
+            outcome.hard_mismatches += 1;
+        }
+    }
+    outcome
+}
+
+/// Result of the mobile in-app test.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct InAppOutcome {
+    /// Creative sizes tested.
+    pub cases: u32,
+    /// Sizes where the tag correctly notified viewability.
+    pub correct: u32,
+}
+
+/// §4.3 "Mobile in-app ads": Q-Tag inside a webview-hosted creative
+/// (the Creative Preview scenario) for two creative sizes, each fully
+/// in view — the tag must notify the viewability measure correctly.
+pub fn run_inapp_test(seed: u64) -> InAppOutcome {
+    let mut outcome = InAppOutcome::default();
+    for (i, creative) in [Size::MEDIUM_RECTANGLE, Size::MOBILE_BANNER].iter().enumerate() {
+        let mut page = Page::new(Origin::https("app.preview"), Size::new(360.0, 1200.0));
+        let ad = page.create_frame(Origin::https("dsp.example"), *creative);
+        let x = ((360.0 - creative.width) / 2.0).max(0.0);
+        page.embed_iframe(page.root(), ad, Rect::new(x, 80.0, creative.width, creative.height))
+            .expect("embed");
+        let mut screen = Screen::phone();
+        let window = screen.add_window(
+            WindowKind::AppWebView { page },
+            Rect::new(0.0, 0.0, 360.0, 740.0),
+            56.0,
+        );
+        let mut engine = Engine::new(
+            EngineConfig {
+                profile: DeviceProfile::in_app_webview(OsKind::Android, true),
+                cpu: CpuLoadModel::idle(),
+                seed: seed + i as u64,
+            },
+            screen,
+        );
+        let cfg = QTagConfig::new(i as u64 + 1, 1, Rect::from_origin_size(Point::ORIGIN, *creative));
+        engine
+            .attach_script(window, None, ad, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+            .expect("attach");
+        engine.run_for(SimDuration::from_secs(2));
+        let in_view = engine
+            .drain_outbox()
+            .iter()
+            .any(|b| b.beacon.event == EventKind::InView);
+        outcome.cases += 1;
+        if in_view {
+            outcome.correct += 1;
+        }
+    }
+    outcome
+}
+
+/// Result of the adblocker / Brave test.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct AdblockOutcome {
+    /// Delivery attempts (blocker × ad type × position).
+    pub attempts: u32,
+    /// Attempts where the connection was blocked and neither ad nor tag
+    /// deployed.
+    pub blocked: u32,
+    /// Beacons that reached the collector anyway (must be 0).
+    pub stray_beacons: u32,
+}
+
+/// §4.3 "In-view event with adblockers and Brave": 50 random positions ×
+/// 3 ad types per blocker; with the delivery path severed, neither the
+/// ad nor Q-Tag may deploy, and no beacon may ever be emitted.
+pub fn run_adblock_test(seed: u64) -> AdblockOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut outcome = AdblockOutcome::default();
+    let creatives = [Size::MEDIUM_RECTANGLE, Size::new(970.0, 250.0), Size::VIDEO_PLAYER];
+
+    for blocker in [BlockerKind::AdblockPlus, BlockerKind::Brave] {
+        for creative in creatives {
+            for _ in 0..50 {
+                let y = rng.gen_range(0.0..2000.0);
+                outcome.attempts += 1;
+
+                let mut page =
+                    Page::new(Origin::https("testing-site.example"), Size::new(1280.0, 3000.0));
+                let mut screen = Screen::desktop();
+                let window;
+                let mut deployed_frame = None;
+                if blocker.ad_delivery_possible() {
+                    let ad = page.create_frame(Origin::https("dsp.example"), creative);
+                    page.embed_iframe(page.root(), ad, Rect::new(100.0, y, creative.width, creative.height))
+                        .expect("embed");
+                    deployed_frame = Some(ad);
+                    window = screen.add_window(
+                        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+                        Rect::new(0.0, 0.0, 1280.0, 880.0),
+                        80.0,
+                    );
+                } else {
+                    // The third-party request never leaves the machine:
+                    // the page renders without the ad or the tag.
+                    outcome.blocked += 1;
+                    window = screen.add_window(
+                        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+                        Rect::new(0.0, 0.0, 1280.0, 880.0),
+                        80.0,
+                    );
+                }
+                let mut engine = Engine::new(EngineConfig::default_desktop(), screen);
+                if let Some(frame) = deployed_frame {
+                    let cfg = QTagConfig::new(1, 1, Rect::from_origin_size(Point::ORIGIN, creative));
+                    engine
+                        .attach_script(window, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+                        .expect("attach");
+                }
+                engine.run_for(SimDuration::from_secs(2));
+                outcome.stray_beacons += engine.drain_outbox().len() as u32;
+            }
+        }
+    }
+    outcome
+}
+
+/// §4.3 "Privacy-enhanced browsers": third-party cookies blocked, but
+/// Q-Tag is cookie-free JavaScript and must operate normally. Returns
+/// `true` when the tag measured and registered in-view as usual.
+pub fn run_privacy_browser_test(seed: u64) -> bool {
+    let blocker = BlockerKind::PrivacyBrowser;
+    assert!(blocker.ad_delivery_possible());
+    assert!(blocker.cookies_blocked());
+
+    let creative = Size::MEDIUM_RECTANGLE;
+    let mut page = Page::new(Origin::https("testing-site.example"), Size::new(1280.0, 3000.0));
+    let ad = page.create_frame(Origin::https("dsp.example"), creative);
+    page.embed_iframe(page.root(), ad, Rect::new(200.0, 150.0, creative.width, creative.height))
+        .expect("embed");
+    let mut screen = Screen::desktop();
+    let window = screen.add_window(
+        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        Rect::new(0.0, 0.0, 1280.0, 880.0),
+        80.0,
+    );
+    let mut engine = Engine::new(
+        EngineConfig {
+            seed,
+            ..EngineConfig::default_desktop()
+        },
+        screen,
+    );
+    let cfg = QTagConfig::new(1, 1, Rect::from_origin_size(Point::ORIGIN, creative));
+    engine
+        .attach_script(window, Some(TabId(0)), ad, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+        .expect("attach");
+    engine.run_for(SimDuration::from_secs(2));
+    let events: Vec<_> = engine.drain_outbox().into_iter().map(|b| b.beacon.event).collect();
+    events.contains(&EventKind::Measurable) && events.contains(&EventKind::InView)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_placements_agree_with_oracle() {
+        let out = run_random_placement_test(150, 11);
+        assert_eq!(out.cases, 150);
+        assert_eq!(out.hard_mismatches, 0, "{out:?}");
+        assert!(out.accuracy() > 0.97, "accuracy {}", out.accuracy());
+    }
+
+    #[test]
+    fn inapp_both_sizes_notify() {
+        let out = run_inapp_test(3);
+        assert_eq!(out.cases, 2);
+        assert_eq!(out.correct, 2);
+    }
+
+    #[test]
+    fn adblockers_block_everything() {
+        let out = run_adblock_test(5);
+        assert_eq!(out.attempts, 300);
+        assert_eq!(out.blocked, 300, "every blocked attempt must sever delivery");
+        assert_eq!(out.stray_beacons, 0);
+    }
+
+    #[test]
+    fn privacy_browsers_do_not_affect_qtag() {
+        assert!(run_privacy_browser_test(7));
+    }
+}

@@ -1,0 +1,110 @@
+//! The Selenium-automation fault model.
+//!
+//! §4.2: "the reported 6.6 % wrong results occur in tests type (4) and
+//! (5). In those specific instances … we are not able to register any
+//! event … we hypothesize the failure might be associated with the
+//! automation process with Selenium WebDriver" (confirmed by manual
+//! repetitions that always pass). The faults live in the *harness*, not
+//! the tag — so this model drops the harness-side event capture, leaving
+//! the tag's behaviour untouched.
+
+use crate::scenario::{Scenario, ScenarioOutcome};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Per-run automation fault injection.
+#[derive(Debug, Clone, Copy)]
+pub struct AutomationFaults {
+    /// Probability that a *test 4 or 5* run loses its event capture.
+    ///
+    /// Derived from the paper: 6.6 % of the ≈ 36 120 runs fail, all of
+    /// them in tests 4–5. Those two tests contribute 12 000 runs (500
+    /// reps × 2 formats × 6 pairs × 2 tests; test 6 runs only 10 reps)
+    /// ⇒ per-run fault rate within them ≈ 0.066 × 36 120 / 12 000
+    /// ≈ 0.199.
+    pub fault_rate: f64,
+}
+
+impl AutomationFaults {
+    /// The paper-calibrated fault model.
+    pub fn paper() -> Self {
+        AutomationFaults { fault_rate: 0.199 }
+    }
+
+    /// A perfect harness (manual runs).
+    pub fn none() -> Self {
+        AutomationFaults { fault_rate: 0.0 }
+    }
+
+    /// Applies the model to one run: on a fault, the harness records no
+    /// events at all (the paper's exact failure signature).
+    pub fn apply(
+        &self,
+        scenario: Scenario,
+        outcome: ScenarioOutcome,
+        rng: &mut ChaCha8Rng,
+    ) -> ScenarioOutcome {
+        let fault_prone = matches!(scenario, Scenario::MovedOffScreen | Scenario::PageScrolled);
+        if fault_prone && rng.gen_bool(self.fault_rate) {
+            ScenarioOutcome::default() // nothing registered
+        } else {
+            outcome
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ok_outcome() -> ScenarioOutcome {
+        ScenarioOutcome { in_view: true, out_of_view: true, any_event: true }
+    }
+
+    #[test]
+    fn faults_only_hit_tests_four_and_five() {
+        let faults = AutomationFaults { fault_rate: 1.0 };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for s in Scenario::ALL {
+            let out = faults.apply(s, ok_outcome(), &mut rng);
+            if matches!(s, Scenario::MovedOffScreen | Scenario::PageScrolled) {
+                assert!(!out.any_event, "{s:?} should be wiped");
+            } else {
+                assert_eq!(out, ok_outcome(), "{s:?} must be untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_rate_zero_is_transparent() {
+        let faults = AutomationFaults::none();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for s in Scenario::ALL {
+            assert_eq!(faults.apply(s, ok_outcome(), &mut rng), ok_outcome());
+        }
+    }
+
+    #[test]
+    fn paper_rate_reproduces_headline_accuracy_structure() {
+        // Under the paper's rep mix (tests 4–5 are 12 000 of 36 120
+        // runs) the calibrated rate yields the 6.6 % headline failure
+        // share; with equal reps per scenario the share is
+        // (2/7) × fault_rate.
+        let faults = AutomationFaults::paper();
+        assert!((faults.fault_rate * 12_000.0 / 36_120.0 - 0.066).abs() < 0.002);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut failures = 0u32;
+        let runs_per_scenario = 4000;
+        for s in Scenario::ALL {
+            for _ in 0..runs_per_scenario {
+                if !faults.apply(s, ok_outcome(), &mut rng).any_event {
+                    failures += 1;
+                }
+            }
+        }
+        let rate = f64::from(failures) / (7.0 * f64::from(runs_per_scenario));
+        let expected = 2.0 / 7.0 * faults.fault_rate;
+        assert!((rate - expected).abs() < 0.01, "overall fault share {rate} vs {expected}");
+    }
+}

@@ -1,0 +1,180 @@
+//! The full certification sweep: scenarios × formats × browser–OS pairs
+//! × repetitions.
+
+use crate::faults::AutomationFaults;
+use crate::scenario::{run_scenario, AdFormatUnderTest, BrowserOsPair, Scenario};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct CertificationMatrix {
+    /// Browser–OS pairs to run.
+    pub pairs: Vec<BrowserOsPair>,
+    /// Ad formats to run.
+    pub formats: Vec<AdFormatUnderTest>,
+    /// Automated repetitions per (scenario, format, pair) cell.
+    pub reps: u32,
+    /// Repetitions for test 6 (run manually in the paper: 10).
+    pub reps_test6: u32,
+}
+
+impl CertificationMatrix {
+    /// The paper's full matrix: 6 pairs × 2 formats × 7 tests ×
+    /// 500 reps (10 for test 6) ≈ 36 k runs.
+    pub fn paper() -> Self {
+        CertificationMatrix {
+            pairs: BrowserOsPair::ALL.to_vec(),
+            formats: AdFormatUnderTest::ALL.to_vec(),
+            reps: 500,
+            reps_test6: 10,
+        }
+    }
+
+    /// A scaled-down matrix for quick runs/tests.
+    pub fn smoke(reps: u32) -> Self {
+        CertificationMatrix {
+            pairs: vec![BrowserOsPair::ALL[0], BrowserOsPair::ALL[3]],
+            formats: AdFormatUnderTest::ALL.to_vec(),
+            reps,
+            reps_test6: 2.min(reps),
+        }
+    }
+
+    fn reps_for(&self, scenario: Scenario) -> u32 {
+        if scenario == Scenario::BrowserObscured {
+            self.reps_test6
+        } else {
+            self.reps
+        }
+    }
+}
+
+/// One grade-sheet row.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct RunGrade {
+    /// Runs executed.
+    pub runs: u32,
+    /// Runs whose registered events matched Table 1's expectation.
+    pub correct: u32,
+    /// Runs in which no event was registered at all (the paper's
+    /// observed failure signature).
+    pub silent: u32,
+}
+
+impl RunGrade {
+    /// Accuracy over this cell.
+    pub fn accuracy(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            f64::from(self.correct) / f64::from(self.runs)
+        }
+    }
+}
+
+/// Sweep results, grouped by scenario number.
+#[derive(Debug, Clone, Serialize)]
+pub struct CertificationResults {
+    /// Per-scenario grades (keyed by Table 1 test number).
+    pub by_scenario: BTreeMap<u8, RunGrade>,
+    /// Grand totals.
+    pub total: RunGrade,
+}
+
+impl CertificationResults {
+    /// Overall accuracy (the paper's 93.4 % headline).
+    pub fn accuracy(&self) -> f64 {
+        self.total.accuracy()
+    }
+}
+
+/// Runs the certification sweep. Deterministic per `seed`.
+///
+/// Each repetition gets its own engine seed (CPU jank differs per run —
+/// that is what repetitions sample in a lab too) and its own automation-
+/// fault draw.
+pub fn run_certification(
+    matrix: &CertificationMatrix,
+    faults: AutomationFaults,
+    seed: u64,
+) -> CertificationResults {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut by_scenario: BTreeMap<u8, RunGrade> = BTreeMap::new();
+    let mut total = RunGrade::default();
+    let mut run_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+
+    for scenario in Scenario::ALL {
+        let grade = by_scenario.entry(scenario.number()).or_default();
+        for format in &matrix.formats {
+            for pair in &matrix.pairs {
+                for _ in 0..matrix.reps_for(scenario) {
+                    run_seed = run_seed.wrapping_add(0x1234_5678_9ABC_DEF1);
+                    let raw = run_scenario(scenario, *format, *pair, run_seed);
+                    let outcome = faults.apply(scenario, raw, &mut rng);
+                    grade.runs += 1;
+                    total.runs += 1;
+                    if outcome.correct_for(scenario) {
+                        grade.correct += 1;
+                        total.correct += 1;
+                    }
+                    if !outcome.any_event {
+                        grade.silent += 1;
+                        total.silent += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    CertificationResults { by_scenario, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faultless_smoke_matrix_is_perfect() {
+        let results = run_certification(&CertificationMatrix::smoke(2), AutomationFaults::none(), 1);
+        assert_eq!(results.accuracy(), 1.0, "{results:?}");
+        assert_eq!(results.total.silent, 0);
+    }
+
+    #[test]
+    fn paper_faults_fail_only_tests_four_and_five() {
+        let results =
+            run_certification(&CertificationMatrix::smoke(6), AutomationFaults::paper(), 3);
+        for (num, grade) in &results.by_scenario {
+            if *num == 4 || *num == 5 {
+                assert_eq!(
+                    grade.runs - grade.correct,
+                    grade.silent,
+                    "test {num}: every failure must be a silent run"
+                );
+            } else {
+                assert_eq!(grade.correct, grade.runs, "test {num} must be perfect");
+            }
+        }
+        assert!(results.accuracy() > 0.8);
+    }
+
+    #[test]
+    fn test6_uses_reduced_reps() {
+        let matrix = CertificationMatrix::smoke(4);
+        let results = run_certification(&matrix, AutomationFaults::none(), 5);
+        let cells = (matrix.pairs.len() * matrix.formats.len()) as u32;
+        assert_eq!(results.by_scenario[&6].runs, matrix.reps_test6 * cells);
+        assert_eq!(results.by_scenario[&1].runs, matrix.reps * cells);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = run_certification(&CertificationMatrix::smoke(2), AutomationFaults::paper(), 9);
+        let b = run_certification(&CertificationMatrix::smoke(2), AutomationFaults::paper(), 9);
+        assert_eq!(a.total.correct, b.total.correct);
+        assert_eq!(a.total.silent, b.total.silent);
+    }
+}

@@ -1,0 +1,37 @@
+//! # qtag-certify
+//!
+//! The lab-validation harness of §4: the seven ABC/JICWEBS certification
+//! scenarios (Table 1), the browser × OS matrix, the Selenium-automation
+//! fault model, and the extra tests of §4.3 (random placements, mobile
+//! in-app, adblockers, privacy browsers).
+//!
+//! Each scenario is a deterministic script over a `qtag-render` engine:
+//! build the test page (ad inside a **double cross-domain iframe**, §4.2),
+//! attach Q-Tag, drive the browser (resize/scroll/move/obscure/switch),
+//! and grade the collected beacons against Table 1's "correct result"
+//! column.
+//!
+//! The paper's 6.6 % failures "occur in tests type (4) and (5)" where
+//! "we are not able to register any event", attributed to the Selenium
+//! automation, not the tag — reproduced by [`AutomationFaults`], which
+//! kills the harness-side event collection with a per-run probability in
+//! exactly those two scenarios.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod extras;
+mod faults;
+mod harness;
+mod mobile;
+mod scenario;
+
+pub use mobile::{run_mobile_scenario, MobileScenario};
+
+pub use extras::{
+    run_adblock_test, run_inapp_test, run_privacy_browser_test, run_random_placement_test,
+    AdblockOutcome, InAppOutcome, PlacementOutcome,
+};
+pub use faults::AutomationFaults;
+pub use harness::{run_certification, CertificationMatrix, CertificationResults, RunGrade};
+pub use scenario::{AdFormatUnderTest, BrowserOsPair, Scenario, ScenarioOutcome};

@@ -1,0 +1,340 @@
+//! The seven ABC certification scenarios (Table 1), as deterministic
+//! scripts over the render engine.
+
+use qtag_core::{QTag, QTagConfig};
+use qtag_dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
+use qtag_geometry::{Rect, Size, Vector};
+use qtag_render::{CpuLoadModel, DeviceProfile, Engine, EngineConfig, SimDuration};
+use qtag_wire::{AdFormat, BrowserKind, EventKind, OsKind};
+use serde::Serialize;
+
+/// The certification test types of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Scenario {
+    /// (1) Ad served within multiple cross-domain iframes, in view.
+    CrossDomainIframes,
+    /// (2) Browser page is enlarged; the ad stays in view.
+    BrowserResized,
+    /// (3) The site loses focus but stays in view.
+    OutOfFocus,
+    /// (4) The browser is moved off-screen after the criteria are met.
+    MovedOffScreen,
+    /// (5) The page is scrolled after the criteria are met.
+    PageScrolled,
+    /// (6) Another app obscures the browser after the criteria are met.
+    BrowserObscured,
+    /// (7) The user switches to another tab after the criteria are met.
+    TabObscured,
+}
+
+impl Scenario {
+    /// All seven, in Table 1 order.
+    pub const ALL: [Scenario; 7] = [
+        Scenario::CrossDomainIframes,
+        Scenario::BrowserResized,
+        Scenario::OutOfFocus,
+        Scenario::MovedOffScreen,
+        Scenario::PageScrolled,
+        Scenario::BrowserObscured,
+        Scenario::TabObscured,
+    ];
+
+    /// Table 1 test number (1-based).
+    pub fn number(self) -> u8 {
+        match self {
+            Scenario::CrossDomainIframes => 1,
+            Scenario::BrowserResized => 2,
+            Scenario::OutOfFocus => 3,
+            Scenario::MovedOffScreen => 4,
+            Scenario::PageScrolled => 5,
+            Scenario::BrowserObscured => 6,
+            Scenario::TabObscured => 7,
+        }
+    }
+
+    /// Whether Table 1 expects an out-of-view event after the in-view
+    /// (tests 4–7) or only the in-view (tests 1–3).
+    pub fn expects_out_of_view(self) -> bool {
+        self.number() >= 4
+    }
+}
+
+/// Ad formats ABC certifies on desktop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum AdFormatUnderTest {
+    /// A 728×90 desktop banner (display rules: 50 % / 1 s).
+    DesktopBanner,
+    /// A 640×360 in-page video player (video rules: 50 % / 2 s).
+    DesktopVideo,
+}
+
+impl AdFormatUnderTest {
+    /// Both formats.
+    pub const ALL: [AdFormatUnderTest; 2] =
+        [AdFormatUnderTest::DesktopBanner, AdFormatUnderTest::DesktopVideo];
+
+    /// Creative size.
+    pub fn size(self) -> Size {
+        match self {
+            AdFormatUnderTest::DesktopBanner => Size::LEADERBOARD,
+            AdFormatUnderTest::DesktopVideo => Size::VIDEO_PLAYER,
+        }
+    }
+
+    /// Wire format.
+    pub fn format(self) -> AdFormat {
+        match self {
+            AdFormatUnderTest::DesktopBanner => AdFormat::Display,
+            AdFormatUnderTest::DesktopVideo => AdFormat::Video,
+        }
+    }
+
+    /// The standard's exposure requirement for the format, ms.
+    pub fn required_exposure_ms(self) -> u64 {
+        u64::from(self.format().required_exposure_ms())
+    }
+}
+
+/// The six browser–OS pairs of §4.2 (two more than ABC's four).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct BrowserOsPair {
+    /// Browser engine.
+    pub browser: BrowserKind,
+    /// Operating system.
+    pub os: OsKind,
+}
+
+impl BrowserOsPair {
+    /// The full §4.2 matrix: Firefox/Chrome/IE11 on Windows 10,
+    /// Safari/Firefox/Chrome on macOS.
+    pub const ALL: [BrowserOsPair; 6] = [
+        BrowserOsPair { browser: BrowserKind::Firefox, os: OsKind::Windows10 },
+        BrowserOsPair { browser: BrowserKind::Chrome, os: OsKind::Windows10 },
+        BrowserOsPair { browser: BrowserKind::Ie11, os: OsKind::Windows10 },
+        BrowserOsPair { browser: BrowserKind::Safari, os: OsKind::MacOs },
+        BrowserOsPair { browser: BrowserKind::Firefox, os: OsKind::MacOs },
+        BrowserOsPair { browser: BrowserKind::Chrome, os: OsKind::MacOs },
+    ];
+}
+
+/// What one scenario run registered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ScenarioOutcome {
+    /// An in-view event was registered.
+    pub in_view: bool,
+    /// An out-of-view event was registered (after the in-view).
+    pub out_of_view: bool,
+    /// Any event at all was registered (the paper's failed runs register
+    /// none).
+    pub any_event: bool,
+}
+
+impl ScenarioOutcome {
+    /// Grades the outcome against Table 1's "correct result" column.
+    pub fn correct_for(&self, scenario: Scenario) -> bool {
+        if scenario.expects_out_of_view() {
+            self.in_view && self.out_of_view
+        } else {
+            // Tests 1–3: the ad is always in view — an out-of-view event
+            // would be a false transition.
+            self.in_view && !self.out_of_view
+        }
+    }
+}
+
+/// Runs one scenario once and reports what the monitoring side
+/// registered. Deterministic per `(scenario, format, pair, seed)` —
+/// `seed` feeds the device's CPU-load jitter, which is what varies
+/// between the 500 repetitions.
+pub fn run_scenario(
+    scenario: Scenario,
+    format: AdFormatUnderTest,
+    pair: BrowserOsPair,
+    seed: u64,
+) -> ScenarioOutcome {
+    let creative = format.size();
+
+    // Testing website: 1280×3000 page, ad in a double cross-domain
+    // iframe fully inside the initial viewport (§4.2's setup).
+    let mut page = Page::new(Origin::https("testing-site.example"), Size::new(1280.0, 3000.0));
+    let ssp = page.create_frame(Origin::https("wrapper.adnet.example"), creative);
+    let ad_pos = Rect::new(200.0, 150.0, creative.width, creative.height);
+    page.embed_iframe(page.root(), ssp, ad_pos).expect("embed ssp");
+    let dsp = page.create_frame(Origin::https("creative.dsp.example"), creative);
+    page.embed_iframe(ssp, dsp, Rect::from_origin_size(qtag_geometry::Point::ORIGIN, creative))
+        .expect("embed dsp");
+
+    let mut screen = Screen::desktop();
+    // Test 2 starts with a smaller window to have something to enlarge.
+    let initial_rect = match scenario {
+        Scenario::BrowserResized => Rect::new(100.0, 50.0, 1000.0, 700.0),
+        _ => Rect::new(100.0, 50.0, 1280.0, 880.0),
+    };
+    let window = screen.add_window(
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page)],
+            active: TabId(0),
+        },
+        initial_rect,
+        80.0,
+    );
+
+    let profile = DeviceProfile::desktop(pair.browser, pair.os);
+    let mut engine = Engine::new(
+        EngineConfig {
+            profile,
+            // Mild, seed-dependent jank: what actually differs between
+            // repetitions on a real lab machine.
+            cpu: CpuLoadModel::Noisy { base: 0.10, amplitude: 0.10 },
+            seed,
+        },
+        screen,
+    );
+
+    let mut cfg = QTagConfig::new(1, 1, Rect::from_origin_size(qtag_geometry::Point::ORIGIN, creative));
+    if format.format() == AdFormat::Video {
+        cfg = cfg.video();
+    }
+    engine
+        .attach_script(
+            window,
+            Some(TabId(0)),
+            dsp,
+            Origin::https("creative.dsp.example"),
+            Box::new(QTag::new(cfg)),
+        )
+        .expect("attach qtag");
+
+    // Phase A: let the viewability criteria be met (exposure requirement
+    // plus sampling slack).
+    let establish = SimDuration::from_millis(format.required_exposure_ms() + 800);
+    engine.run_for(establish);
+
+    // Phase B: the scenario's perturbation.
+    match scenario {
+        Scenario::CrossDomainIframes => {
+            // Nothing else: the double iframe is the test.
+            engine.run_for(SimDuration::from_secs(1));
+        }
+        Scenario::BrowserResized => {
+            engine
+                .screen_mut()
+                .resize_window(window, Size::new(1800.0, 1000.0))
+                .expect("resize");
+            engine.run_for(SimDuration::from_secs(2));
+        }
+        Scenario::OutOfFocus => {
+            engine.screen_mut().blur_all();
+            engine.run_for(SimDuration::from_secs(2));
+        }
+        Scenario::MovedOffScreen => {
+            engine
+                .screen_mut()
+                .move_window(window, Vector::new(3000.0, 0.0))
+                .expect("move off-screen");
+            // Hidden-page timers limp at 1 Hz; give the tag time to
+            // notice and report.
+            engine.run_for(SimDuration::from_secs(4));
+        }
+        Scenario::PageScrolled => {
+            engine
+                .scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 2000.0))
+                .expect("scroll");
+            engine.run_for(SimDuration::from_secs(2));
+        }
+        Scenario::BrowserObscured => {
+            engine
+                .screen_mut()
+                .add_window(WindowKind::OpaqueApp, Rect::new(0.0, 0.0, 1920.0, 1080.0), 0.0);
+            engine.run_for(SimDuration::from_secs(4));
+        }
+        Scenario::TabObscured => {
+            let other = Page::new(Origin::https("other.example"), Size::new(1280.0, 1000.0));
+            let t1 = engine
+                .screen_mut()
+                .window_mut(window)
+                .expect("window")
+                .add_tab(other)
+                .expect("add tab");
+            engine
+                .screen_mut()
+                .window_mut(window)
+                .expect("window")
+                .switch_tab(t1)
+                .expect("switch tab");
+            engine.run_for(SimDuration::from_secs(4));
+        }
+    }
+
+    let mut outcome = ScenarioOutcome::default();
+    for b in engine.drain_outbox() {
+        outcome.any_event = true;
+        match b.beacon.event {
+            EventKind::InView => outcome.in_view = true,
+            EventKind::OutOfView => outcome.out_of_view = true,
+            _ => {}
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(s: Scenario, f: AdFormatUnderTest) -> ScenarioOutcome {
+        run_scenario(s, f, BrowserOsPair::ALL[0], 42)
+    }
+
+    #[test]
+    fn all_seven_scenarios_pass_for_banner() {
+        for s in Scenario::ALL {
+            let out = run(s, AdFormatUnderTest::DesktopBanner);
+            assert!(
+                out.correct_for(s),
+                "scenario {s:?} failed: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_seven_scenarios_pass_for_video() {
+        for s in Scenario::ALL {
+            let out = run(s, AdFormatUnderTest::DesktopVideo);
+            assert!(out.correct_for(s), "scenario {s:?} failed: {out:?}");
+        }
+    }
+
+    #[test]
+    fn every_browser_os_pair_passes_scenario_one() {
+        for pair in BrowserOsPair::ALL {
+            let out = run_scenario(
+                Scenario::CrossDomainIframes,
+                AdFormatUnderTest::DesktopBanner,
+                pair,
+                7,
+            );
+            assert!(out.correct_for(Scenario::CrossDomainIframes), "{pair:?}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn grading_matches_table_one() {
+        let both = ScenarioOutcome { in_view: true, out_of_view: true, any_event: true };
+        let only_in = ScenarioOutcome { in_view: true, out_of_view: false, any_event: true };
+        let none = ScenarioOutcome::default();
+        assert!(only_in.correct_for(Scenario::OutOfFocus));
+        assert!(!both.correct_for(Scenario::OutOfFocus), "false out-of-view must fail 1–3");
+        assert!(both.correct_for(Scenario::MovedOffScreen));
+        assert!(!only_in.correct_for(Scenario::PageScrolled));
+        assert!(!none.correct_for(Scenario::CrossDomainIframes));
+    }
+
+    #[test]
+    fn scenario_numbers_match_table_order() {
+        assert_eq!(Scenario::CrossDomainIframes.number(), 1);
+        assert_eq!(Scenario::TabObscured.number(), 7);
+        assert!(!Scenario::OutOfFocus.expects_out_of_view());
+        assert!(Scenario::MovedOffScreen.expects_out_of_view());
+    }
+}

@@ -1,0 +1,125 @@
+//! Format-specific viewability rules, measured live (§2.2's three
+//! format thresholds exercised through the whole tag + engine stack).
+
+use qtag_core::{QTag, QTagConfig};
+use qtag_dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
+use qtag_geometry::{Point, Rect, Size, Vector};
+use qtag_render::{Engine, EngineConfig, SimDuration};
+use qtag_wire::{AdFormat, EventKind};
+
+/// Builds a scene where exactly `visible_fraction` of the creative is
+/// inside the viewport (clipped at the bottom edge), attaches Q-Tag and
+/// runs for `run_ms`.
+fn run_with_visibility(
+    creative: Size,
+    format: Option<AdFormat>,
+    visible_fraction: f64,
+    run_ms: u64,
+) -> Vec<EventKind> {
+    let mut page = Page::new(Origin::https("pub.example"), Size::new(1280.0, 4000.0));
+    let frame = page.create_frame(Origin::https("dsp.example"), creative);
+    // Viewport is 800 px tall; place the ad so `visible_fraction` of its
+    // height is above the fold line.
+    let visible_px = creative.height * visible_fraction;
+    let y = 800.0 - visible_px;
+    page.embed_iframe(page.root(), frame, Rect::new(100.0, y, creative.width, creative.height))
+        .unwrap();
+    let mut screen = Screen::desktop();
+    let w = screen.add_window(
+        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        Rect::new(0.0, 0.0, 1280.0, 880.0),
+        80.0,
+    );
+    let mut engine = Engine::new(EngineConfig::default_desktop(), screen);
+    let mut cfg = QTagConfig::new(1, 1, Rect::from_origin_size(Point::ORIGIN, creative));
+    cfg.ad_format = format;
+    engine
+        .attach_script(w, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+        .unwrap();
+    engine.run_for(SimDuration::from_millis(run_ms));
+    engine.drain_outbox().into_iter().map(|o| o.beacon.event).collect()
+}
+
+#[test]
+fn display_needs_fifty_percent() {
+    // 40 % visible: never viewed.
+    let evs = run_with_visibility(Size::MEDIUM_RECTANGLE, None, 0.40, 2_500);
+    assert!(!evs.contains(&EventKind::InView), "40% must not view a display ad");
+    // 60 % visible: viewed.
+    let evs = run_with_visibility(Size::MEDIUM_RECTANGLE, None, 0.60, 2_500);
+    assert!(evs.contains(&EventKind::InView));
+}
+
+#[test]
+fn large_display_needs_only_thirty_percent() {
+    let billboard = Size::new(970.0, 250.0); // auto-classifies as large display
+    // 40 % visible satisfies the 30 % large-display threshold …
+    let evs = run_with_visibility(billboard, None, 0.40, 2_500);
+    assert!(
+        evs.contains(&EventKind::InView),
+        "40% visible must view a large-display ad (30% rule)"
+    );
+    // … while 22 % does not.
+    let evs = run_with_visibility(billboard, None, 0.22, 2_500);
+    assert!(!evs.contains(&EventKind::InView));
+}
+
+#[test]
+fn the_same_exposure_viewed_large_but_not_regular_display() {
+    // The discriminating case: 40 % visible is enough for large display
+    // and not for regular display. The tag must apply the right rule by
+    // classifying the creative's area, with no configuration hint.
+    let evs_large = run_with_visibility(Size::new(970.0, 250.0), None, 0.40, 2_500);
+    let evs_regular = run_with_visibility(Size::MEDIUM_RECTANGLE, None, 0.40, 2_500);
+    assert!(evs_large.contains(&EventKind::InView));
+    assert!(!evs_regular.contains(&EventKind::InView));
+}
+
+#[test]
+fn video_needs_two_continuous_seconds() {
+    let player = Size::VIDEO_PLAYER;
+    // Fully visible for 1.5 s: not viewed (display would be).
+    let evs = run_with_visibility(player, Some(AdFormat::Video), 1.0, 1_500);
+    assert!(!evs.contains(&EventKind::InView), "1.5s must not view a video ad");
+    // Fully visible for 2.5 s: viewed.
+    let evs = run_with_visibility(player, Some(AdFormat::Video), 1.0, 2_500);
+    assert!(evs.contains(&EventKind::InView));
+}
+
+#[test]
+fn video_interruption_restarts_the_two_second_timer() {
+    let player = Size::VIDEO_PLAYER;
+    let mut page = Page::new(Origin::https("pub.example"), Size::new(1280.0, 4000.0));
+    let frame = page.create_frame(Origin::https("dsp.example"), player);
+    page.embed_iframe(page.root(), frame, Rect::new(100.0, 100.0, player.width, player.height))
+        .unwrap();
+    let mut screen = Screen::desktop();
+    let w = screen.add_window(
+        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        Rect::new(0.0, 0.0, 1280.0, 880.0),
+        80.0,
+    );
+    let mut engine = Engine::new(EngineConfig::default_desktop(), screen);
+    let cfg = QTagConfig::new(1, 1, Rect::from_origin_size(Point::ORIGIN, player)).video();
+    engine
+        .attach_script(w, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+        .unwrap();
+
+    // 1.5 s visible, 0.5 s scrolled away, 1.5 s visible again: two
+    // partial exposures must NOT add up to the 2 s requirement.
+    engine.run_for(SimDuration::from_millis(1_500));
+    engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 2000.0)).unwrap();
+    engine.run_for(SimDuration::from_millis(500));
+    engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 0.0)).unwrap();
+    engine.run_for(SimDuration::from_millis(1_500));
+    let evs: Vec<_> = engine.drain_outbox().into_iter().map(|o| o.beacon.event).collect();
+    assert!(
+        !evs.contains(&EventKind::InView),
+        "two 1.5s exposures must not satisfy the continuous 2s rule: {evs:?}"
+    );
+
+    // A further continuous second completes a fresh 2s window.
+    engine.run_for(SimDuration::from_millis(700));
+    let evs: Vec<_> = engine.drain_outbox().into_iter().map(|o| o.beacon.event).collect();
+    assert!(evs.contains(&EventKind::InView));
+}

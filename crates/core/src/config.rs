@@ -1,0 +1,113 @@
+//! Q-Tag deployment configuration.
+
+use crate::PixelLayout;
+use qtag_geometry::Rect;
+use qtag_wire::AdFormat;
+
+/// Configuration a DSP bakes into a Q-Tag deployment for one impression.
+///
+/// Defaults mirror the paper: 25 monitoring pixels in the X layout, a
+/// 20 fps visibility threshold, 10 Hz bookkeeping.
+#[derive(Debug, Clone)]
+pub struct QTagConfig {
+    /// Impression the tag reports about.
+    pub impression_id: u64,
+    /// Campaign the impression belongs to.
+    pub campaign_id: u32,
+    /// The creative's box in the tag's own iframe coordinates (usually
+    /// the whole iframe: origin 0,0).
+    pub ad_rect: Rect,
+    /// Ad format; `None` lets the tag classify display vs large display
+    /// from the creative area, as the paper's tag does ("our tag can
+    /// identify the type of ad", §3). Video must be stated explicitly —
+    /// a creative cannot be sniffed as video from geometry.
+    pub ad_format: Option<AdFormat>,
+    /// Monitoring-pixel arrangement.
+    pub layout: PixelLayout,
+    /// Number of monitoring pixels.
+    pub pixel_count: usize,
+    /// Repaint rate (Hz) at or above which a pixel counts as visible.
+    pub fps_threshold: f64,
+    /// Bookkeeping timer rate (Hz): how often the tag samples paint
+    /// counters and advances the viewability timer.
+    pub sample_hz: f64,
+    /// Emit a heartbeat beacon every `n` samples (`0` disables).
+    pub heartbeat_every: u32,
+}
+
+impl QTagConfig {
+    /// Paper-default configuration for an impression.
+    pub fn new(impression_id: u64, campaign_id: u32, ad_rect: Rect) -> Self {
+        QTagConfig {
+            impression_id,
+            campaign_id,
+            ad_rect,
+            ad_format: None,
+            layout: PixelLayout::X,
+            pixel_count: 25,
+            fps_threshold: 20.0,
+            sample_hz: 10.0,
+            heartbeat_every: 0,
+        }
+    }
+
+    /// Marks the creative as a video ad (50 % / 2 s thresholds).
+    pub fn video(mut self) -> Self {
+        self.ad_format = Some(AdFormat::Video);
+        self
+    }
+
+    /// Overrides the fps threshold (ablation sweeps).
+    pub fn with_fps_threshold(mut self, hz: f64) -> Self {
+        self.fps_threshold = hz;
+        self
+    }
+
+    /// Overrides layout and pixel count (Figure 2 sweeps).
+    pub fn with_layout(mut self, layout: PixelLayout, pixels: usize) -> Self {
+        self.layout = layout;
+        self.pixel_count = pixels;
+        self
+    }
+
+    /// The format the tag will measure against.
+    pub fn resolved_format(&self) -> AdFormat {
+        self.ad_format
+            .unwrap_or_else(|| AdFormat::classify_display(self.ad_rect.area()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = QTagConfig::new(1, 1, Rect::new(0.0, 0.0, 300.0, 250.0));
+        assert_eq!(c.layout, PixelLayout::X);
+        assert_eq!(c.pixel_count, 25);
+        assert_eq!(c.fps_threshold, 20.0);
+        assert_eq!(c.resolved_format(), AdFormat::Display);
+    }
+
+    #[test]
+    fn large_creative_classifies_as_large_display() {
+        let c = QTagConfig::new(1, 1, Rect::new(0.0, 0.0, 970.0, 250.0));
+        assert_eq!(c.resolved_format(), AdFormat::LargeDisplay);
+    }
+
+    #[test]
+    fn video_must_be_explicit() {
+        let c = QTagConfig::new(1, 1, Rect::new(0.0, 0.0, 640.0, 360.0)).video();
+        assert_eq!(c.resolved_format(), AdFormat::Video);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = QTagConfig::new(1, 1, Rect::new(0.0, 0.0, 300.0, 250.0))
+            .with_fps_threshold(40.0)
+            .with_layout(PixelLayout::Plus, 33);
+        assert_eq!(c.fps_threshold, 40.0);
+        assert_eq!(c.pixel_count, 33);
+    }
+}

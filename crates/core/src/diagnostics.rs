@@ -1,0 +1,161 @@
+//! Tag self-diagnostics.
+//!
+//! The paper's core argument is **transparency**: "the disclosure of the
+//! functional details of this technique makes it reproducible and
+//! auditable." An auditable tag must be able to show its work — not just
+//! a verdict but the per-pixel evidence behind it. [`TagSnapshot`]
+//! captures the tag's full internal state at a sampling instant so an
+//! auditor (or a debugging DSP engineer) can replay the decision.
+
+use crate::{AreaEstimator, QTagConfig};
+use qtag_render::SimTime;
+use serde::Serialize;
+
+/// One monitoring pixel's state at a snapshot.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PixelSnapshot {
+    /// Pixel index within the layout.
+    pub index: usize,
+    /// Creative-local x position.
+    pub x: f64,
+    /// Creative-local y position.
+    pub y: f64,
+    /// Voronoi area weight attributed to the pixel.
+    pub weight: f64,
+    /// Latest repaint-rate estimate (Hz).
+    pub fps: f64,
+    /// The threshold verdict for this pixel.
+    pub visible: bool,
+}
+
+/// A complete, serialisable audit record of one measurement cycle.
+#[derive(Debug, Clone, Serialize)]
+pub struct TagSnapshot {
+    /// Snapshot time.
+    pub at_us: u64,
+    /// The configured fps threshold.
+    pub fps_threshold: f64,
+    /// Per-pixel evidence.
+    pub pixels: Vec<PixelSnapshot>,
+    /// The estimated visible area fraction implied by the pixels.
+    pub estimated_fraction: f64,
+    /// Whether the viewability criteria have been met so far.
+    pub viewed: bool,
+    /// Longest qualifying exposure so far, ms.
+    pub best_exposure_ms: u32,
+}
+
+impl TagSnapshot {
+    /// Assembles a snapshot from the tag's internals.
+    pub(crate) fn assemble(
+        at: SimTime,
+        cfg: &QTagConfig,
+        estimator: &AreaEstimator,
+        fps: &[f64],
+        mask: &[bool],
+        estimated_fraction: f64,
+        viewed: bool,
+        best_exposure_ms: u32,
+    ) -> TagSnapshot {
+        let pixels = estimator
+            .pixels()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PixelSnapshot {
+                index: i,
+                x: p.x,
+                y: p.y,
+                weight: estimator.weight(i),
+                fps: fps[i],
+                visible: mask[i],
+            })
+            .collect();
+        TagSnapshot {
+            at_us: at.as_micros(),
+            fps_threshold: cfg.fps_threshold,
+            pixels,
+            estimated_fraction,
+            viewed,
+            best_exposure_ms,
+        }
+    }
+
+    /// Re-derives the area estimate from the recorded evidence — an
+    /// auditor's consistency check: the reported fraction must equal the
+    /// weights of the pixels the tag itself marked visible.
+    pub fn audit_fraction(&self) -> f64 {
+        self.pixels
+            .iter()
+            .filter(|p| p.visible)
+            .map(|p| p.weight)
+            .sum()
+    }
+
+    /// `true` when the recorded verdicts are consistent with the
+    /// recorded evidence (fraction and threshold agree pixel by pixel).
+    pub fn is_self_consistent(&self) -> bool {
+        let fraction_ok = (self.audit_fraction() - self.estimated_fraction).abs() < 1e-9;
+        let thresholds_ok = self
+            .pixels
+            .iter()
+            .all(|p| p.visible == (p.fps >= self.fps_threshold));
+        fraction_ok && thresholds_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PixelLayout;
+    use qtag_geometry::{Rect, Size};
+
+    fn snapshot(mask_fn: impl Fn(usize) -> bool) -> TagSnapshot {
+        let cfg = QTagConfig::new(1, 1, Rect::new(0.0, 0.0, 300.0, 250.0));
+        let estimator = AreaEstimator::new(
+            PixelLayout::X.positions(25, Size::MEDIUM_RECTANGLE),
+            Size::MEDIUM_RECTANGLE,
+        );
+        let mask: Vec<bool> = (0..25).map(&mask_fn).collect();
+        let fps: Vec<f64> = mask.iter().map(|v| if *v { 60.0 } else { 0.0 }).collect();
+        let fraction = estimator.estimate(&mask);
+        TagSnapshot::assemble(
+            SimTime::from_micros(1_000_000),
+            &cfg,
+            &estimator,
+            &fps,
+            &mask,
+            fraction,
+            fraction >= 0.5,
+            0,
+        )
+    }
+
+    #[test]
+    fn snapshot_is_self_consistent() {
+        let s = snapshot(|i| i % 2 == 0);
+        assert!(s.is_self_consistent());
+        assert!((s.audit_fraction() - s.estimated_fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tampered_fraction_is_detected() {
+        let mut s = snapshot(|i| i < 10);
+        s.estimated_fraction += 0.1;
+        assert!(!s.is_self_consistent());
+    }
+
+    #[test]
+    fn tampered_pixel_verdict_is_detected() {
+        let mut s = snapshot(|_| true);
+        s.pixels[3].visible = false; // fps still says 60 ≥ threshold
+        assert!(!s.is_self_consistent());
+    }
+
+    #[test]
+    fn snapshot_serialises_for_export() {
+        let s = snapshot(|i| i < 5);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"fps_threshold\":20.0"));
+        assert!(json.contains("\"pixels\""));
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-pixel repaint-rate estimation.
+//!
+//! The tag cannot ask the browser "what is this pixel's fps"; it can only
+//! count paint events and divide by elapsed time. [`RateSampler`] does
+//! exactly that between consecutive bookkeeping ticks, which is also why
+//! the 20 fps threshold is robust: at a 10 Hz bookkeeping rate the
+//! estimator's resolution is 10 fps, comfortably separating "composited"
+//! (≳30 fps even under load) from "culled" (≈0 fps).
+
+use qtag_render::SimTime;
+
+/// Windowed rate estimator over a monotone paint counter.
+#[derive(Debug, Clone)]
+pub struct RateSampler {
+    last_count: u64,
+    last_time: SimTime,
+    /// Most recent rate estimate (Hz). Starts at 0 until the first
+    /// complete window.
+    fps: f64,
+    primed: bool,
+}
+
+impl RateSampler {
+    /// Creates a sampler anchored at `now` with the counter's current
+    /// value.
+    pub fn new(now: SimTime, count: u64) -> Self {
+        RateSampler {
+            last_count: count,
+            last_time: now,
+            fps: 0.0,
+            primed: false,
+        }
+    }
+
+    /// Feeds a new observation of the cumulative paint counter; returns
+    /// the updated rate estimate (paints per second over the elapsed
+    /// window). Observations closer together than 1 ms keep the previous
+    /// estimate (guards against division by ~zero when a timer and an
+    /// animation frame land on the same tick).
+    pub fn update(&mut self, now: SimTime, count: u64) -> f64 {
+        let dt = now.since(self.last_time).as_secs_f64();
+        if dt < 0.001 {
+            return self.fps;
+        }
+        let dc = count.saturating_sub(self.last_count) as f64;
+        self.fps = dc / dt;
+        self.last_count = count;
+        self.last_time = now;
+        self.primed = true;
+        self.fps
+    }
+
+    /// Latest rate estimate (Hz).
+    pub fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    /// `true` once at least one full window has been measured — before
+    /// that the tag must not claim the impression is measurable.
+    pub fn primed(&self) -> bool {
+        self.primed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtag_render::SimDuration;
+
+    #[test]
+    fn measures_sixty_fps() {
+        let t0 = SimTime::ZERO;
+        let mut s = RateSampler::new(t0, 0);
+        let t1 = t0 + SimDuration::from_millis(100);
+        let fps = s.update(t1, 6);
+        assert!((fps - 60.0).abs() < 1e-9);
+        assert!(s.primed());
+    }
+
+    #[test]
+    fn zero_paints_is_zero_fps() {
+        let t0 = SimTime::ZERO;
+        let mut s = RateSampler::new(t0, 10);
+        let fps = s.update(t0 + SimDuration::from_secs(1), 10);
+        assert_eq!(fps, 0.0);
+    }
+
+    #[test]
+    fn window_resets_between_updates() {
+        let mut s = RateSampler::new(SimTime::ZERO, 0);
+        s.update(SimTime::from_micros(100_000), 6); // 60 fps window
+        let fps = s.update(SimTime::from_micros(200_000), 6); // no new paints
+        assert_eq!(fps, 0.0, "second window has zero paints");
+    }
+
+    #[test]
+    fn too_small_window_keeps_previous_estimate() {
+        let mut s = RateSampler::new(SimTime::ZERO, 0);
+        s.update(SimTime::from_micros(100_000), 6);
+        let fps = s.update(SimTime::from_micros(100_500), 7);
+        assert!((fps - 60.0).abs() < 1e-9, "sub-ms window must not distort");
+    }
+
+    #[test]
+    fn unprimed_sampler_reports_zero() {
+        let s = RateSampler::new(SimTime::ZERO, 123);
+        assert_eq!(s.fps(), 0.0);
+        assert!(!s.primed());
+    }
+
+    #[test]
+    fn counter_regression_is_treated_as_zero() {
+        // Detached/reset probes must not produce negative rates.
+        let mut s = RateSampler::new(SimTime::ZERO, 100);
+        let fps = s.update(SimTime::from_micros(1_000_000), 50);
+        assert_eq!(fps, 0.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Monitoring-pixel layouts (§4.1, Figure 2).
+//!
+//! The paper compares three layouts — *X*, *dice* and *+* — at pixel
+//! counts from 9 to 60, and settles on the 25-pixel X layout as the best
+//! error/CPU trade-off. All three are implemented parametrically so the
+//! Figure 2 sweep can be regenerated.
+
+use qtag_geometry::{Point, Size};
+
+/// A monitoring-pixel arrangement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PixelLayout {
+    /// The paper's layout (Figure 2.A): pixels on both diagonals, the
+    /// centre pixel, and one pixel at the midpoint of each side.
+    X,
+    /// Figure 2.B: pixels grouped into five compact clusters arranged
+    /// like the "5" face of a die (four inset corners + centre). The
+    /// clustering wastes coverage, which is why this layout performs
+    /// worst in the paper.
+    Dice,
+    /// Figure 2.C: pixels along the horizontal and vertical centre lines
+    /// (a plus sign), including the centre and the four side midpoints.
+    Plus,
+}
+
+impl PixelLayout {
+    /// All layouts, for sweeps.
+    pub const ALL: [PixelLayout; 3] = [PixelLayout::X, PixelLayout::Dice, PixelLayout::Plus];
+
+    /// Short name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            PixelLayout::X => "x",
+            PixelLayout::Dice => "dice",
+            PixelLayout::Plus => "plus",
+        }
+    }
+
+    /// Generates `n` monitoring-pixel positions inside an ad of the given
+    /// size. Positions are in creative-local coordinates (origin at the
+    /// creative's top-left corner).
+    ///
+    /// Guarantees:
+    /// * exactly `n` positions (for `n ≥ 5`; a minimum of 5 anchors is
+    ///   enforced, matching the paper's 9-pixel lower bound),
+    /// * all positions strictly inside the creative box,
+    /// * the paper's canonical 25-pixel X deployment falls out of
+    ///   `PixelLayout::X.positions(25, …)`: 10 per diagonal (centre
+    ///   excluded), the centre, and the 4 side midpoints.
+    pub fn positions(self, n: usize, size: Size) -> Vec<Point> {
+        let n = n.max(5);
+        let w = size.width;
+        let h = size.height;
+        let cx = w / 2.0;
+        let cy = h / 2.0;
+        // Keep every pixel strictly inside the box: inset the anchor
+        // frame by one "virtual pixel" of 0.5 % of the dimension.
+        let ix = (w * 0.005).max(0.5);
+        let iy = (h * 0.005).max(0.5);
+
+        match self {
+            PixelLayout::X => {
+                let mut pts = vec![
+                    Point::new(cx, cy),            // centre
+                    Point::new(cx, iy),            // top midpoint
+                    Point::new(cx, h - iy),        // bottom midpoint
+                    Point::new(ix, cy),            // left midpoint
+                    Point::new(w - ix, cy),        // right midpoint
+                ];
+                let remaining = n - pts.len();
+                let per_diag = remaining / 2;
+                let extra = remaining % 2; // odd remainder goes to the "\" diagonal
+                // "\" diagonal: top-left → bottom-right, centre excluded.
+                pts.extend(diagonal_points(
+                    Point::new(ix, iy),
+                    Point::new(w - ix, h - iy),
+                    per_diag + extra,
+                ));
+                // "/" diagonal: bottom-left → top-right, centre excluded.
+                pts.extend(diagonal_points(
+                    Point::new(ix, h - iy),
+                    Point::new(w - ix, iy),
+                    per_diag,
+                ));
+                pts.truncate(n);
+                pts
+            }
+            PixelLayout::Dice => {
+                // Five cluster anchors placed like the dots of a die
+                // face, inboard of the edges — the layout's edge
+                // blindness is exactly why it measures worst (§4.1).
+                let anchors = [
+                    Point::new(w * 0.32, h * 0.32),
+                    Point::new(w * 0.68, h * 0.32),
+                    Point::new(cx, cy),
+                    Point::new(w * 0.32, h * 0.68),
+                    Point::new(w * 0.68, h * 0.68),
+                ];
+                // Pixels are dealt round-robin into the five clusters and
+                // packed in a tight 3-wide grid around each anchor.
+                let spread_x = (w * 0.02).max(1.0);
+                let spread_y = (h * 0.02).max(1.0);
+                let mut pts = Vec::with_capacity(n);
+                for i in 0..n {
+                    let cluster = i % anchors.len();
+                    let slot = i / anchors.len();
+                    let col = (slot % 3) as f64 - 1.0;
+                    let row = (slot / 3) as f64 - 1.0;
+                    let a = anchors[cluster];
+                    pts.push(Point::new(
+                        (a.x + col * spread_x).clamp(ix, w - ix),
+                        (a.y + row * spread_y).clamp(iy, h - iy),
+                    ));
+                }
+                pts
+            }
+            PixelLayout::Plus => {
+                let mut pts = vec![Point::new(cx, cy)];
+                let remaining = n - 1;
+                let per_arm = remaining / 4;
+                let extra = remaining % 4;
+                let arms = [
+                    (Point::new(cx, cy), Point::new(cx, iy)),     // up
+                    (Point::new(cx, cy), Point::new(cx, h - iy)), // down
+                    (Point::new(cx, cy), Point::new(ix, cy)),     // left
+                    (Point::new(cx, cy), Point::new(w - ix, cy)), // right
+                ];
+                for (i, (from, to)) in arms.iter().enumerate() {
+                    let k = per_arm + usize::from(i < extra);
+                    // Points at fractions 1/k … k/k along the arm — the
+                    // outermost lands on the side midpoint.
+                    for j in 1..=k {
+                        let t = j as f64 / k as f64;
+                        pts.push(from.lerp(*to, t));
+                    }
+                }
+                pts.truncate(n);
+                pts
+            }
+        }
+    }
+}
+
+/// `count` points evenly spaced on the open segment `(a, b)`, skipping
+/// the midpoint (the centre pixel is placed separately).
+fn diagonal_points(a: Point, b: Point, count: usize) -> Vec<Point> {
+    if count == 0 {
+        return Vec::new();
+    }
+    // Sample `count` of the `count + 1` interior lattice fractions,
+    // skipping the one nearest the centre (t = 0.5).
+    let slots = count + 1;
+    let mut pts = Vec::with_capacity(count);
+    let mut skipped_center = false;
+    for j in 1..=slots {
+        let t = j as f64 / (slots + 1) as f64;
+        if !skipped_center && (t - 0.5).abs() < 0.5 / (slots + 1) as f64 {
+            skipped_center = true;
+            continue;
+        }
+        if pts.len() < count {
+            pts.push(a.lerp(b, t));
+        }
+    }
+    // If the centre never fell on a lattice slot, drop the last point to
+    // keep the count exact.
+    pts.truncate(count);
+    // Ensure the requested count even when the skip logic consumed a slot.
+    while pts.len() < count {
+        let t = (pts.len() as f64 + 0.25) / (slots + 1) as f64;
+        pts.push(a.lerp(b, t));
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtag_geometry::Rect;
+
+    const AD: Size = Size {
+        width: 300.0,
+        height: 250.0,
+    };
+
+    #[test]
+    fn exact_pixel_counts_for_all_layouts_and_sizes() {
+        for layout in PixelLayout::ALL {
+            for n in [9, 13, 21, 25, 33, 41, 60] {
+                let pts = layout.positions(n, AD);
+                assert_eq!(pts.len(), n, "{} layout with n={}", layout.name(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn all_pixels_inside_creative() {
+        let bounds = Rect::new(0.0, 0.0, AD.width, AD.height);
+        for layout in PixelLayout::ALL {
+            for n in [9, 25, 60] {
+                for p in layout.positions(n, AD) {
+                    assert!(
+                        bounds.contains(p),
+                        "{} n={} point {} outside",
+                        layout.name(),
+                        n,
+                        p
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn x25_has_center_and_side_midpoints() {
+        let pts = PixelLayout::X.positions(25, AD);
+        let has = |x: f64, y: f64| pts.iter().any(|p| (p.x - x).abs() < 2.0 && (p.y - y).abs() < 2.0);
+        assert!(has(150.0, 125.0), "centre pixel");
+        assert!(has(150.0, 1.5), "top midpoint");
+        assert!(has(150.0, 248.5), "bottom midpoint");
+        assert!(has(1.5, 125.0), "left midpoint");
+        assert!(has(298.5, 125.0), "right midpoint");
+    }
+
+    #[test]
+    fn x25_puts_ten_on_each_diagonal() {
+        let pts = PixelLayout::X.positions(25, AD);
+        // On the "\" diagonal: y/h ≈ x/w; on "/": y/h ≈ 1 − x/w.
+        let on_main = pts
+            .iter()
+            .filter(|p| (p.y / AD.height - p.x / AD.width).abs() < 0.02)
+            .count();
+        let on_anti = pts
+            .iter()
+            .filter(|p| (p.y / AD.height - (1.0 - p.x / AD.width)).abs() < 0.02)
+            .count();
+        // centre lies on both diagonals; 10 + 10 + centre
+        assert!(on_main >= 10, "main diagonal has {on_main}");
+        assert!(on_anti >= 10, "anti diagonal has {on_anti}");
+    }
+
+    #[test]
+    fn plus_layout_stays_on_center_lines() {
+        for p in PixelLayout::Plus.positions(25, AD) {
+            let on_v = (p.x - 150.0).abs() < 1e-6;
+            let on_h = (p.y - 125.0).abs() < 1e-6;
+            assert!(on_v || on_h, "point {p} off the plus");
+        }
+    }
+
+    #[test]
+    fn dice_layout_clusters_tightly() {
+        let pts = PixelLayout::Dice.positions(25, AD);
+        // Every point must be within a small radius of one of the five
+        // dice-dot anchors.
+        let anchors = [
+            Point::new(96.0, 80.0),
+            Point::new(204.0, 80.0),
+            Point::new(150.0, 125.0),
+            Point::new(96.0, 170.0),
+            Point::new(204.0, 170.0),
+        ];
+        for p in &pts {
+            let nearest = anchors
+                .iter()
+                .map(|a| a.distance(*p))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 15.0, "point {p} is {nearest} px from any dot");
+        }
+    }
+
+    #[test]
+    fn small_n_is_clamped_to_minimum() {
+        assert_eq!(PixelLayout::X.positions(1, AD).len(), 5);
+    }
+
+    #[test]
+    fn positions_are_deterministic() {
+        assert_eq!(
+            PixelLayout::Dice.positions(37, AD),
+            PixelLayout::Dice.positions(37, AD)
+        );
+    }
+
+    #[test]
+    fn no_duplicate_positions_at_paper_scale() {
+        for layout in PixelLayout::ALL {
+            let pts = layout.positions(25, AD);
+            for (i, a) in pts.iter().enumerate() {
+                for b in &pts[i + 1..] {
+                    assert!(
+                        a.distance(*b) > 0.1,
+                        "{}: duplicate pixels {} / {}",
+                        layout.name(),
+                        a,
+                        b
+                    );
+                }
+            }
+        }
+    }
+}

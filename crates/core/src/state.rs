@@ -1,0 +1,249 @@
+//! The viewability timer state machine (§3).
+//!
+//! > "We compute the area associated with the visible monitoring pixels,
+//! > and if this covers at least 50 % of the area of the ad, a timer is
+//! > started. If this visibility condition holds for 1 second, then we
+//! > confirm that the viewability criteria has been met … Contrary, if
+//! > the visibility conditions change and less than 50 % of the ad
+//! > becomes visible before the timer reaches 1 second, an out-of-view
+//! > event is triggered, which automatically stops the timer and
+//! > restarts the process."
+//!
+//! After the in-view confirmation, the certification tests (Table 1,
+//! tests 4–7) additionally require registering an *out-of-view* event
+//! when the ad later leaves view; the machine models that with the
+//! `Viewed → ViewedHidden` transition.
+
+use qtag_render::SimTime;
+use qtag_wire::AdFormat;
+
+/// Events the machine can emit on a state update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewEvent {
+    /// The viewability criteria were met (emitted exactly once per
+    /// impression).
+    InView,
+    /// Visibility dropped below the area threshold after the criteria
+    /// had been met.
+    OutOfView,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    /// Below the area threshold, criteria not yet met.
+    Below,
+    /// At/above the threshold since `since`; timer running.
+    Counting { since: SimTime },
+    /// Criteria met; ad still at/above the threshold. `run_started`
+    /// anchors the current continuous qualifying run so exposure keeps
+    /// accruing.
+    Viewed { run_started: SimTime },
+    /// Criteria met earlier; ad currently below the threshold.
+    ViewedHidden,
+}
+
+/// Viewability timer for one impression.
+#[derive(Debug, Clone)]
+pub struct ViewabilityMachine {
+    required_fraction: f64,
+    required_exposure_us: u64,
+    state: State,
+    /// Longest qualifying continuous exposure seen so far (µs).
+    best_exposure_us: u64,
+}
+
+impl ViewabilityMachine {
+    /// Builds the machine for an ad format, using the standard's
+    /// thresholds for that format.
+    pub fn for_format(format: AdFormat) -> Self {
+        ViewabilityMachine {
+            required_fraction: format.required_fraction(),
+            required_exposure_us: u64::from(format.required_exposure_ms()) * 1_000,
+            state: State::Below,
+            best_exposure_us: 0,
+        }
+    }
+
+    /// Builds a machine with explicit thresholds (ablations).
+    pub fn with_thresholds(required_fraction: f64, required_exposure_ms: u32) -> Self {
+        ViewabilityMachine {
+            required_fraction,
+            required_exposure_us: u64::from(required_exposure_ms) * 1_000,
+            state: State::Below,
+            best_exposure_us: 0,
+        }
+    }
+
+    /// Area threshold in `[0, 1]`.
+    pub fn required_fraction(&self) -> f64 {
+        self.required_fraction
+    }
+
+    /// `true` once the criteria have been met.
+    pub fn viewed(&self) -> bool {
+        matches!(self.state, State::Viewed { .. } | State::ViewedHidden)
+    }
+
+    /// Longest qualifying continuous exposure observed, in ms.
+    pub fn best_exposure_ms(&self) -> u32 {
+        (self.best_exposure_us / 1_000) as u32
+    }
+
+    /// Feeds one sample: the estimated visible fraction at time `now`.
+    /// Returns the event this sample triggers, if any.
+    ///
+    /// Samples must be fed in non-decreasing time order.
+    pub fn update(&mut self, now: SimTime, visible_fraction: f64) -> Option<ViewEvent> {
+        let above = visible_fraction >= self.required_fraction;
+        match self.state {
+            State::Below => {
+                if above {
+                    self.state = State::Counting { since: now };
+                    // A zero-length exposure qualifies only for a zero
+                    // requirement (not a real configuration).
+                    if self.required_exposure_us == 0 {
+                        self.state = State::Viewed { run_started: now };
+                        return Some(ViewEvent::InView);
+                    }
+                }
+                None
+            }
+            State::Counting { since } => {
+                if !above {
+                    // Timer stops and the process restarts (no event:
+                    // the paper's out-of-view *event* is only observable
+                    // after an in-view, which is also all the ABC tests
+                    // require).
+                    self.state = State::Below;
+                    return None;
+                }
+                let exposure = now.since(since).as_micros();
+                self.best_exposure_us = self.best_exposure_us.max(exposure);
+                if exposure >= self.required_exposure_us {
+                    // Keep the run's start so exposure keeps accruing
+                    // while the ad stays qualifying.
+                    self.state = State::Viewed { run_started: since };
+                    return Some(ViewEvent::InView);
+                }
+                None
+            }
+            State::Viewed { run_started } => {
+                if !above {
+                    self.state = State::ViewedHidden;
+                    return Some(ViewEvent::OutOfView);
+                }
+                self.best_exposure_us = self
+                    .best_exposure_us
+                    .max(now.since(run_started).as_micros());
+                None
+            }
+            State::ViewedHidden => {
+                if above {
+                    // Back in view after having been viewed: no second
+                    // in-view (the impression counts once), just resume —
+                    // a fresh continuous run starts now.
+                    self.state = State::Viewed { run_started: now };
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtag_render::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn display() -> ViewabilityMachine {
+        ViewabilityMachine::for_format(AdFormat::Display)
+    }
+
+    #[test]
+    fn steady_visibility_fires_in_view_after_one_second() {
+        let mut m = display();
+        assert_eq!(m.update(t(0), 0.8), None);
+        assert_eq!(m.update(t(500), 0.8), None);
+        assert_eq!(m.update(t(1000), 0.8), Some(ViewEvent::InView));
+        assert!(m.viewed());
+        assert_eq!(m.update(t(1500), 0.8), None, "in-view fires once");
+    }
+
+    #[test]
+    fn drop_before_deadline_restarts_timer() {
+        let mut m = display();
+        m.update(t(0), 0.9);
+        m.update(t(900), 0.9);
+        assert_eq!(m.update(t(950), 0.1), None, "silent restart before in-view");
+        assert!(!m.viewed());
+        // Needs a fresh full second from re-entry.
+        m.update(t(1000), 0.9);
+        assert_eq!(m.update(t(1900), 0.9), None);
+        assert_eq!(m.update(t(2000), 0.9), Some(ViewEvent::InView));
+    }
+
+    #[test]
+    fn out_of_view_emitted_only_after_in_view() {
+        let mut m = display();
+        m.update(t(0), 0.9);
+        m.update(t(1000), 0.9);
+        assert!(m.viewed());
+        assert_eq!(m.update(t(2000), 0.2), Some(ViewEvent::OutOfView));
+        // Re-entering view emits nothing further…
+        assert_eq!(m.update(t(3000), 0.9), None);
+        // …but leaving again re-emits out-of-view.
+        assert_eq!(m.update(t(4000), 0.2), Some(ViewEvent::OutOfView));
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let mut m = display();
+        m.update(t(0), 0.5);
+        assert_eq!(m.update(t(1000), 0.5), Some(ViewEvent::InView));
+    }
+
+    #[test]
+    fn video_needs_two_seconds() {
+        let mut m = ViewabilityMachine::for_format(AdFormat::Video);
+        m.update(t(0), 1.0);
+        assert_eq!(m.update(t(1999), 1.0), None);
+        assert_eq!(m.update(t(2000), 1.0), Some(ViewEvent::InView));
+    }
+
+    #[test]
+    fn large_display_uses_thirty_percent() {
+        let mut m = ViewabilityMachine::for_format(AdFormat::LargeDisplay);
+        m.update(t(0), 0.35);
+        assert_eq!(m.update(t(1000), 0.35), Some(ViewEvent::InView));
+    }
+
+    #[test]
+    fn display_at_forty_percent_never_views() {
+        let mut m = display();
+        for ms in (0..10_000).step_by(100) {
+            assert_eq!(m.update(t(ms), 0.4), None);
+        }
+        assert!(!m.viewed());
+    }
+
+    #[test]
+    fn best_exposure_tracks_partial_runs() {
+        let mut m = display();
+        m.update(t(0), 0.9);
+        m.update(t(700), 0.9);
+        m.update(t(750), 0.1); // restart
+        assert_eq!(m.best_exposure_ms(), 700);
+        assert!(!m.viewed());
+    }
+
+    #[test]
+    fn custom_thresholds_for_ablation() {
+        let mut m = ViewabilityMachine::with_thresholds(0.9, 500);
+        m.update(t(0), 0.95);
+        assert_eq!(m.update(t(500), 0.95), Some(ViewEvent::InView));
+    }
+}

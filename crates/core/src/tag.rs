@@ -1,0 +1,358 @@
+//! The Q-Tag runtime: the complete tag as a [`TagScript`].
+
+use crate::{AreaEstimator, QTagConfig, RateSampler, ViewEvent, ViewabilityMachine};
+use qtag_geometry::Point;
+use qtag_render::{ProbeId, ScriptCtx, TagScript};
+use qtag_wire::{AdFormat, Beacon, EventKind};
+
+/// The Q-Tag, ready to be attached to a creative iframe with
+/// [`qtag_render::Engine::attach_script`].
+///
+/// Lifecycle of the beacons it emits:
+///
+/// * `TagLoaded` — immediately at attach (the tag booted);
+/// * `Measurable` — after the first complete sampling window (the
+///   impression's viewability *can* be measured; this is the numerator
+///   of Figure 3a's measured rate);
+/// * `InView` — when the standard's criteria are met (numerator of the
+///   viewability rate, Figure 3b);
+/// * `OutOfView` — when visibility later drops below the threshold;
+/// * `Heartbeat` — optionally, every `heartbeat_every` samples.
+pub struct QTag {
+    cfg: QTagConfig,
+    format: AdFormat,
+    estimator: AreaEstimator,
+    probes: Vec<ProbeId>,
+    samplers: Vec<RateSampler>,
+    machine: ViewabilityMachine,
+    seq: u16,
+    samples_taken: u64,
+    sent_measurable: bool,
+    last_fraction: f64,
+}
+
+impl QTag {
+    /// Builds a tag from its deployment configuration.
+    pub fn new(cfg: QTagConfig) -> Self {
+        let format = cfg.resolved_format();
+        let positions = cfg.layout.positions(cfg.pixel_count, cfg.ad_rect.size);
+        let estimator = AreaEstimator::new(positions, cfg.ad_rect.size);
+        let machine = ViewabilityMachine::for_format(format);
+        QTag {
+            cfg,
+            format,
+            estimator,
+            probes: Vec::new(),
+            samplers: Vec::new(),
+            machine,
+            seq: 0,
+            samples_taken: 0,
+            sent_measurable: false,
+            last_fraction: 0.0,
+        }
+    }
+
+    /// The format the tag measures against.
+    pub fn format(&self) -> AdFormat {
+        self.format
+    }
+
+    /// `true` once the in-view criteria have been met.
+    pub fn viewed(&self) -> bool {
+        self.machine.viewed()
+    }
+
+    /// Latest estimated visible fraction.
+    pub fn last_fraction(&self) -> f64 {
+        self.last_fraction
+    }
+
+    /// Sampling windows completed so far.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// `true` once the `Measurable` beacon has been sent.
+    pub fn measurable(&self) -> bool {
+        self.sent_measurable
+    }
+
+    /// Exports a complete audit record of the tag's current state (the
+    /// transparency feature: per-pixel fps evidence, weights, verdicts,
+    /// and the derived fraction — see [`crate::TagSnapshot`]).
+    pub fn snapshot(&self, at: qtag_render::SimTime) -> crate::TagSnapshot {
+        let fps: Vec<f64> = self.samplers.iter().map(RateSampler::fps).collect();
+        let mask: Vec<bool> = fps.iter().map(|f| *f >= self.cfg.fps_threshold).collect();
+        crate::TagSnapshot::assemble(
+            at,
+            &self.cfg,
+            &self.estimator,
+            &fps,
+            &mask,
+            self.last_fraction,
+            self.machine.viewed(),
+            self.machine.best_exposure_ms(),
+        )
+    }
+
+    fn beacon(&mut self, ctx: &ScriptCtx<'_>, event: EventKind) -> Beacon {
+        let seq = self.seq;
+        self.seq = self.seq.wrapping_add(1);
+        let profile = ctx.profile();
+        Beacon {
+            impression_id: self.cfg.impression_id,
+            campaign_id: self.cfg.campaign_id,
+            event,
+            timestamp_us: ctx.now().as_micros(),
+            ad_format: self.format,
+            visible_fraction_milli: (self.last_fraction.clamp(0.0, 1.0) * 1000.0).round() as u16,
+            exposure_ms: self.machine.best_exposure_ms(),
+            os: profile.os,
+            browser: profile.browser,
+            site_type: profile.site_type,
+            seq,
+        }
+    }
+}
+
+impl TagScript for QTag {
+    fn on_attach(&mut self, ctx: &mut ScriptCtx<'_>) {
+        // Plant the monitoring pixels at the layout positions, offset to
+        // the creative's box within the tag's own iframe.
+        let origin = self.cfg.ad_rect.origin;
+        let positions: Vec<Point> = self
+            .estimator
+            .pixels()
+            .iter()
+            .map(|p| Point::new(origin.x + p.x, origin.y + p.y))
+            .collect();
+        for p in positions {
+            let id = ctx.create_probe(p);
+            self.probes.push(id);
+            self.samplers.push(RateSampler::new(ctx.now(), 0));
+        }
+        ctx.set_timer_hz(self.cfg.sample_hz);
+        let b = self.beacon(ctx, EventKind::TagLoaded);
+        ctx.send_beacon(b);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ScriptCtx<'_>) {
+        let now = ctx.now();
+        // 1. Sample each pixel's repaint rate and classify visibility.
+        let mut mask = Vec::with_capacity(self.probes.len());
+        for (probe, sampler) in self.probes.iter().zip(self.samplers.iter_mut()) {
+            let fps = sampler.update(now, ctx.probe_paints(*probe));
+            mask.push(fps >= self.cfg.fps_threshold);
+        }
+        self.samples_taken += 1;
+
+        // 2. Estimate the visible area fraction.
+        self.last_fraction = self.estimator.estimate(&mask);
+
+        // 3. First complete window ⇒ the impression is measurable.
+        if !self.sent_measurable && self.samplers.iter().all(RateSampler::primed) {
+            self.sent_measurable = true;
+            let b = self.beacon(ctx, EventKind::Measurable);
+            ctx.send_beacon(b);
+        }
+
+        // 4. Advance the viewability timer and report transitions.
+        match self.machine.update(now, self.last_fraction) {
+            Some(ViewEvent::InView) => {
+                let b = self.beacon(ctx, EventKind::InView);
+                ctx.send_beacon(b);
+            }
+            Some(ViewEvent::OutOfView) => {
+                let b = self.beacon(ctx, EventKind::OutOfView);
+                ctx.send_beacon(b);
+            }
+            None => {}
+        }
+
+        // 5. Optional heartbeat.
+        if self.cfg.heartbeat_every > 0
+            && self.samples_taken % u64::from(self.cfg.heartbeat_every) == 0
+        {
+            let b = self.beacon(ctx, EventKind::Heartbeat);
+            ctx.send_beacon(b);
+        }
+    }
+
+    fn on_click(&mut self, ctx: &mut ScriptCtx<'_>) {
+        // Click-through tracking (§2.2): report every click on the
+        // creative; the server dedups retries by sequence number.
+        let b = self.beacon(ctx, EventKind::Click);
+        ctx.send_beacon(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtag_dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
+    use qtag_geometry::{Rect, Size, Vector};
+    use qtag_render::{Engine, EngineConfig, SimDuration};
+    use qtag_wire::EventKind;
+
+    /// Standard scene: ad in a double cross-domain iframe at doc
+    /// y=`ad_y`, desktop viewport 1280×800.
+    fn scene(ad_y: f64) -> (Engine, qtag_dom::WindowId, qtag_dom::FrameId) {
+        let mut page = Page::new(Origin::https("pub.example"), Size::new(1280.0, 3000.0));
+        let ssp = page.create_frame(Origin::https("ssp.example"), Size::new(300.0, 250.0));
+        page.embed_iframe(page.root(), ssp, Rect::new(200.0, ad_y, 300.0, 250.0))
+            .unwrap();
+        let dsp = page.create_frame(Origin::https("dsp.example"), Size::new(300.0, 250.0));
+        page.embed_iframe(ssp, dsp, Rect::new(0.0, 0.0, 300.0, 250.0))
+            .unwrap();
+        let mut screen = Screen::desktop();
+        let w = screen.add_window(
+            WindowKind::Browser {
+                tabs: vec![Tab::new(page)],
+                active: TabId(0),
+            },
+            Rect::new(0.0, 0.0, 1280.0, 880.0),
+            80.0,
+        );
+        (Engine::new(EngineConfig::default_desktop(), screen), w, dsp)
+    }
+
+    fn attach_qtag(engine: &mut Engine, w: qtag_dom::WindowId, f: qtag_dom::FrameId) {
+        let cfg = QTagConfig::new(1, 1, Rect::new(0.0, 0.0, 300.0, 250.0));
+        engine
+            .attach_script(w, Some(TabId(0)), f, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+            .unwrap();
+    }
+
+    fn events(engine: &mut Engine) -> Vec<EventKind> {
+        engine.drain_outbox().into_iter().map(|b| b.beacon.event).collect()
+    }
+
+    #[test]
+    fn fully_visible_ad_fires_in_view_after_one_second() {
+        let (mut engine, w, f) = scene(100.0); // in the viewport
+        attach_qtag(&mut engine, w, f);
+        engine.run_for(SimDuration::from_millis(1_600));
+        let evs = events(&mut engine);
+        assert!(evs.contains(&EventKind::TagLoaded));
+        assert!(evs.contains(&EventKind::Measurable));
+        assert!(evs.contains(&EventKind::InView), "events: {evs:?}");
+        assert!(!evs.contains(&EventKind::OutOfView));
+    }
+
+    #[test]
+    fn below_fold_ad_is_measurable_but_never_in_view() {
+        let (mut engine, w, f) = scene(1500.0); // below the 800px fold
+        attach_qtag(&mut engine, w, f);
+        engine.run_for(SimDuration::from_secs(3));
+        let evs = events(&mut engine);
+        assert!(evs.contains(&EventKind::Measurable));
+        assert!(!evs.contains(&EventKind::InView));
+    }
+
+    #[test]
+    fn scrolling_into_view_triggers_in_view() {
+        let (mut engine, w, f) = scene(1500.0);
+        attach_qtag(&mut engine, w, f);
+        engine.run_for(SimDuration::from_secs(1));
+        assert!(!events(&mut engine).contains(&EventKind::InView));
+        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 1400.0)).unwrap();
+        engine.run_for(SimDuration::from_secs(2));
+        assert!(events(&mut engine).contains(&EventKind::InView));
+    }
+
+    #[test]
+    fn scrolling_away_after_view_triggers_out_of_view() {
+        let (mut engine, w, f) = scene(100.0);
+        attach_qtag(&mut engine, w, f);
+        engine.run_for(SimDuration::from_secs(2));
+        assert!(events(&mut engine).contains(&EventKind::InView));
+        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 2000.0)).unwrap();
+        engine.run_for(SimDuration::from_secs(2));
+        assert!(events(&mut engine).contains(&EventKind::OutOfView));
+    }
+
+    #[test]
+    fn brief_flash_does_not_count_as_viewed() {
+        let (mut engine, w, f) = scene(1500.0);
+        attach_qtag(&mut engine, w, f);
+        // Scroll in for only 400 ms, then away.
+        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 1400.0)).unwrap();
+        engine.run_for(SimDuration::from_millis(400));
+        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 0.0)).unwrap();
+        engine.run_for(SimDuration::from_secs(2));
+        let evs = events(&mut engine);
+        assert!(!evs.contains(&EventKind::InView), "400 ms flash must not count");
+    }
+
+    #[test]
+    fn background_tab_after_view_registers_out_of_view() {
+        // Table 1 test 7.
+        let (mut engine, w, f) = scene(100.0);
+        attach_qtag(&mut engine, w, f);
+        engine.run_for(SimDuration::from_secs(2));
+        assert!(events(&mut engine).contains(&EventKind::InView));
+        let other = Page::new(Origin::https("other.example"), Size::new(1280.0, 600.0));
+        let t1 = engine.screen_mut().window_mut(w).unwrap().add_tab(other).unwrap();
+        engine.screen_mut().window_mut(w).unwrap().switch_tab(t1).unwrap();
+        // Hidden page: bookkeeping limps at 1 Hz, still detects the drop.
+        engine.run_for(SimDuration::from_secs(4));
+        assert!(events(&mut engine).contains(&EventKind::OutOfView));
+    }
+
+    #[test]
+    fn half_visible_display_ad_never_views_at_exact_boundary() {
+        // Position the ad so exactly 40 % is visible: below threshold.
+        let (mut engine, w, f) = scene(100.0);
+        // viewport is 800 tall; ad spans 100..350. Scroll so that only
+        // the top 100 px (40 %) remains visible: scroll y = 0 keeps it
+        // fully visible, instead move ad by scrolling content up so ad
+        // spans -150..100 → scroll to 250.
+        attach_qtag(&mut engine, w, f);
+        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 250.0)).unwrap();
+        engine.run_for(SimDuration::from_secs(3));
+        let evs = events(&mut engine);
+        assert!(
+            !evs.contains(&EventKind::InView),
+            "40 % visible must not satisfy the 50 % display threshold"
+        );
+    }
+
+    #[test]
+    fn heartbeats_flow_when_enabled() {
+        let (mut engine, w, f) = scene(100.0);
+        let cfg = QTagConfig::new(9, 2, Rect::new(0.0, 0.0, 300.0, 250.0));
+        let mut cfg = cfg;
+        cfg.heartbeat_every = 5;
+        engine
+            .attach_script(w, Some(TabId(0)), f, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+            .unwrap();
+        engine.run_for(SimDuration::from_secs(2));
+        let heartbeats = engine
+            .drain_outbox()
+            .iter()
+            .filter(|b| b.beacon.event == EventKind::Heartbeat)
+            .count();
+        // 10 Hz sampling, every 5th sample → ~4 heartbeats in 2 s.
+        assert!((3..=5).contains(&heartbeats), "got {heartbeats} heartbeats");
+    }
+
+    #[test]
+    fn beacon_fields_carry_environment_and_sequence() {
+        let (mut engine, w, f) = scene(100.0);
+        attach_qtag(&mut engine, w, f);
+        engine.run_for(SimDuration::from_secs(2));
+        let beacons = engine.drain_outbox();
+        assert!(beacons.len() >= 3);
+        for (i, b) in beacons.iter().enumerate() {
+            assert_eq!(b.beacon.seq as usize, i, "sequence must be gapless");
+            assert_eq!(b.beacon.impression_id, 1);
+            assert_eq!(b.beacon.os, qtag_wire::OsKind::Windows10);
+        }
+        let in_view = beacons
+            .iter()
+            .find(|b| b.beacon.event == EventKind::InView)
+            .expect("in-view present");
+        assert!(in_view.beacon.exposure_ms >= 1000);
+        assert!(in_view.beacon.visible_fraction_milli >= 500);
+    }
+}

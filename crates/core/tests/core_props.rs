@@ -1,0 +1,181 @@
+//! Property tests on the Q-Tag algorithm's invariants.
+
+use proptest::prelude::*;
+use qtag_core::{AreaEstimator, PixelLayout, RateSampler, ViewEvent, ViewabilityMachine};
+use qtag_geometry::{Rect, Size};
+use qtag_render::{SimDuration, SimTime};
+use qtag_wire::AdFormat;
+
+fn arb_format() -> impl Strategy<Value = AdFormat> {
+    prop_oneof![
+        Just(AdFormat::Display),
+        Just(AdFormat::LargeDisplay),
+        Just(AdFormat::Video)
+    ]
+}
+
+fn arb_layout() -> impl Strategy<Value = PixelLayout> {
+    prop_oneof![
+        Just(PixelLayout::X),
+        Just(PixelLayout::Dice),
+        Just(PixelLayout::Plus)
+    ]
+}
+
+proptest! {
+    /// Over any sample sequence, the machine emits InView at most once,
+    /// and every OutOfView is preceded by an InView.
+    #[test]
+    fn machine_event_grammar(
+        format in arb_format(),
+        fractions in prop::collection::vec(0.0f64..=1.0, 1..200),
+        step_ms in 20u64..500,
+    ) {
+        let mut m = ViewabilityMachine::for_format(format);
+        let mut t = SimTime::ZERO;
+        let mut in_views = 0;
+        let mut seen_in_view = false;
+        for f in fractions {
+            t += SimDuration::from_millis(step_ms);
+            match m.update(t, f) {
+                Some(ViewEvent::InView) => {
+                    in_views += 1;
+                    seen_in_view = true;
+                }
+                Some(ViewEvent::OutOfView) => {
+                    prop_assert!(seen_in_view, "OutOfView before any InView");
+                }
+                None => {}
+            }
+        }
+        prop_assert!(in_views <= 1, "InView fired {in_views} times");
+        prop_assert_eq!(m.viewed(), seen_in_view);
+    }
+
+    /// Fractions permanently below the threshold never produce a view,
+    /// no matter the timing.
+    #[test]
+    fn below_threshold_never_views(
+        format in arb_format(),
+        steps in prop::collection::vec(1u64..2000, 1..100),
+    ) {
+        let mut m = ViewabilityMachine::for_format(format);
+        let eps = 1e-9;
+        let f = m.required_fraction() - eps;
+        let mut t = SimTime::ZERO;
+        for ms in steps {
+            t += SimDuration::from_millis(ms);
+            prop_assert_eq!(m.update(t, f), None);
+        }
+        prop_assert!(!m.viewed());
+    }
+
+    /// Holding the threshold for the required duration always views,
+    /// regardless of sampling cadence.
+    #[test]
+    fn sustained_visibility_always_views(
+        format in arb_format(),
+        step_ms in 10u64..400,
+        fraction_above in 0.0f64..0.5,
+    ) {
+        let mut m = ViewabilityMachine::for_format(format);
+        let f = (m.required_fraction() + fraction_above).min(1.0);
+        let needed = u64::from(format.required_exposure_ms());
+        let mut t = SimTime::ZERO;
+        let mut viewed = false;
+        // run for twice the requirement
+        let mut elapsed = 0;
+        while elapsed <= needed * 2 {
+            t += SimDuration::from_millis(step_ms);
+            elapsed += step_ms;
+            if m.update(t, f) == Some(ViewEvent::InView) {
+                viewed = true;
+                // the event must not fire before the exposure is met
+                prop_assert!(elapsed >= needed, "viewed after {elapsed} ms, needs {needed}");
+                break;
+            }
+        }
+        prop_assert!(viewed, "never viewed after {} ms of steady visibility", needed * 2);
+    }
+
+    /// Best-exposure is monotone non-decreasing over any input.
+    #[test]
+    fn best_exposure_is_monotone(
+        fractions in prop::collection::vec(0.0f64..=1.0, 1..100),
+    ) {
+        let mut m = ViewabilityMachine::for_format(AdFormat::Display);
+        let mut t = SimTime::ZERO;
+        let mut last = 0;
+        for f in fractions {
+            t += SimDuration::from_millis(100);
+            m.update(t, f);
+            prop_assert!(m.best_exposure_ms() >= last);
+            last = m.best_exposure_ms();
+        }
+    }
+
+    /// The rate sampler never reports a negative rate and tracks a
+    /// constant-rate counter exactly.
+    #[test]
+    fn sampler_tracks_constant_rates(rate in 1u64..240, window_ms in 50u64..2000) {
+        let mut s = RateSampler::new(SimTime::ZERO, 0);
+        let mut t = SimTime::ZERO;
+        let mut count = 0u64;
+        for i in 1..=10u64 {
+            t += SimDuration::from_millis(window_ms);
+            count = rate * window_ms * i / 1000;
+            let fps = s.update(t, count);
+            prop_assert!(fps >= 0.0);
+            prop_assert!(fps <= rate as f64 + 1000.0 / window_ms as f64 + 1.0);
+        }
+    }
+
+    /// Layout generation: exact count, all inside, for arbitrary
+    /// creative sizes including extreme aspect ratios.
+    #[test]
+    fn layouts_valid_for_any_creative(
+        layout in arb_layout(),
+        n in 5usize..=80,
+        w in 20.0f64..2000.0,
+        h in 20.0f64..2000.0,
+    ) {
+        let size = Size::new(w, h);
+        let pts = layout.positions(n, size);
+        prop_assert_eq!(pts.len(), n);
+        let bounds = Rect::new(0.0, 0.0, w, h);
+        for p in pts {
+            prop_assert!(bounds.contains(p), "{} outside {}x{}", p, w, h);
+        }
+    }
+
+    /// Voronoi weights always form a probability distribution, and a
+    /// clip's estimate is bounded by the clip-containing mask.
+    #[test]
+    fn estimator_weights_are_a_distribution(
+        layout in arb_layout(),
+        n in 5usize..=60,
+    ) {
+        let size = Size::MEDIUM_RECTANGLE;
+        let est = AreaEstimator::new(layout.positions(n, size), size);
+        let sum: f64 = (0..n).map(|i| est.weight(i)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for i in 0..n {
+            prop_assert!(est.weight(i) >= 0.0);
+        }
+    }
+
+    /// Estimator monotonicity: a larger clip never lowers the estimate.
+    #[test]
+    fn estimate_monotone_in_clip(
+        layout in arb_layout(),
+        frac_a in 0.0f64..=1.0,
+        frac_b in 0.0f64..=1.0,
+    ) {
+        let size = Size::MEDIUM_RECTANGLE;
+        let est = AreaEstimator::new(layout.positions(25, size), size);
+        let (small, large) = if frac_a <= frac_b { (frac_a, frac_b) } else { (frac_b, frac_a) };
+        let clip_small = Rect::new(0.0, 0.0, size.width, size.height * small);
+        let clip_large = Rect::new(0.0, 0.0, size.width, size.height * large);
+        prop_assert!(est.estimate_for_clip(&clip_small) <= est.estimate_for_clip(&clip_large) + 1e-12);
+    }
+}

@@ -1,0 +1,128 @@
+//! Elements: the boxes laid out inside a frame's document.
+
+use crate::FrameId;
+use qtag_geometry::Rect;
+
+/// What an element *is*, as far as rendering and measurement care.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElementKind {
+    /// Generic block-level content (text, images, page chrome).
+    Block,
+    /// An ad slot: the publisher-reserved rectangle an ad is served into.
+    AdSlot,
+    /// The ad creative itself (what the viewability standard measures).
+    Creative,
+    /// A nested browsing context (`<iframe>`) hosting another frame.
+    Iframe(FrameId),
+    /// A 1×1 monitoring pixel planted by a measurement tag. The renderer
+    /// tracks repaints of these; `qtag-core` turns repaint rates into
+    /// visibility verdicts.
+    MonitorPixel,
+    /// An overlay that floats above other content (sticky header, cookie
+    /// banner, chat widget) and can occlude ads.
+    Overlay,
+}
+
+impl ElementKind {
+    /// `true` for kinds that hide content underneath them when painted.
+    ///
+    /// Simplification relative to real CSS: we treat `Block`, `Creative`
+    /// and `Overlay` as fully opaque, iframes as opaque through their
+    /// content, and monitoring pixels / ad slots as non-occluding (a 1×1
+    /// transparent pixel and an empty slot cover nothing meaningful).
+    pub fn occludes(&self) -> bool {
+        matches!(
+            self,
+            ElementKind::Block | ElementKind::Creative | ElementKind::Overlay | ElementKind::Iframe(_)
+        )
+    }
+}
+
+/// A laid-out box inside a frame's document.
+///
+/// Coordinates are **document coordinates** of the owning frame: the
+/// position the element would have if the frame were rendered unscrolled
+/// onto an infinite canvas. Scrolling and viewport clipping are applied by
+/// the renderer when projecting to screen space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Box in owning-frame document coordinates.
+    pub rect: Rect,
+    /// Stacking order within the frame; higher paints on top.
+    pub z_index: i32,
+    /// CSS `display`: a `false` value means the element generates no box
+    /// at all (not painted, not occluding, no repaints).
+    pub display: bool,
+    /// What the element is.
+    pub kind: ElementKind,
+    /// Free-form label for diagnostics and experiment scripts.
+    pub name: String,
+}
+
+impl Element {
+    /// Creates a visible element with z-index 0.
+    pub fn new(name: impl Into<String>, kind: ElementKind, rect: Rect) -> Self {
+        Element {
+            rect,
+            z_index: 0,
+            display: true,
+            kind,
+            name: name.into(),
+        }
+    }
+
+    /// Builder-style z-index override.
+    pub fn with_z(mut self, z: i32) -> Self {
+        self.z_index = z;
+        self
+    }
+
+    /// Builder-style hidden flag.
+    pub fn hidden(mut self) -> Self {
+        self.display = false;
+        self
+    }
+
+    /// `true` when the element currently generates a box that could
+    /// occlude content painted below it.
+    pub fn occludes(&self) -> bool {
+        self.display && self.kind.occludes() && !self.rect.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hidden_element_never_occludes() {
+        let e = Element::new("header", ElementKind::Overlay, Rect::new(0.0, 0.0, 100.0, 50.0))
+            .hidden();
+        assert!(!e.occludes());
+    }
+
+    #[test]
+    fn monitor_pixel_does_not_occlude() {
+        let e = Element::new("px", ElementKind::MonitorPixel, Rect::new(5.0, 5.0, 1.0, 1.0));
+        assert!(!e.occludes());
+    }
+
+    #[test]
+    fn empty_rect_does_not_occlude() {
+        let e = Element::new("b", ElementKind::Block, Rect::ZERO);
+        assert!(!e.occludes());
+    }
+
+    #[test]
+    fn creative_and_overlay_occlude() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(Element::new("c", ElementKind::Creative, r).occludes());
+        assert!(Element::new("o", ElementKind::Overlay, r).occludes());
+    }
+
+    #[test]
+    fn with_z_sets_stacking_order() {
+        let e = Element::new("x", ElementKind::Block, Rect::ZERO).with_z(7);
+        assert_eq!(e.z_index, 7);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for the DOM model.
+
+use crate::{ElementRef, FrameId, Origin, TabId, WindowId};
+use core::fmt;
+
+/// Errors raised by structural or policy violations in the DOM model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomError {
+    /// A string could not be parsed as an origin.
+    BadOrigin(String),
+    /// A frame handle did not resolve (wrong page or removed frame).
+    UnknownFrame(FrameId),
+    /// An element handle did not resolve.
+    UnknownElement(ElementRef),
+    /// A window handle did not resolve.
+    UnknownWindow(WindowId),
+    /// A tab handle did not resolve.
+    UnknownTab(WindowId, TabId),
+    /// The element is not an iframe but an iframe operation was requested.
+    NotAnIframe(ElementRef),
+    /// The Same-Origin Policy forbids the requested geometry access.
+    ///
+    /// Carried data: the origin of the requesting script and the origin of
+    /// the frame whose geometry it tried to read. This is the error the
+    /// Q-Tag paper's §3 is built around: "this policy would avoid our ad
+    /// tag to retrieve the position of the iframe in the screen".
+    SameOriginViolation {
+        /// Origin of the script making the request.
+        requester: Origin,
+        /// Origin of the frame whose geometry was requested.
+        target: Origin,
+    },
+    /// Attempted to embed a frame that already has a parent.
+    AlreadyEmbedded(FrameId),
+    /// Embedding would create a cycle in the frame tree.
+    EmbeddingCycle(FrameId),
+}
+
+impl fmt::Display for DomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomError::BadOrigin(s) => write!(f, "malformed origin: {s:?}"),
+            DomError::UnknownFrame(id) => write!(f, "unknown {id}"),
+            DomError::UnknownElement(e) => write!(f, "unknown element {e}"),
+            DomError::UnknownWindow(w) => write!(f, "unknown {w}"),
+            DomError::UnknownTab(w, t) => write!(f, "unknown {t} in {w}"),
+            DomError::NotAnIframe(e) => write!(f, "element {e} is not an iframe"),
+            DomError::SameOriginViolation { requester, target } => write!(
+                f,
+                "same-origin policy: {requester} may not read geometry of {target}"
+            ),
+            DomError::AlreadyEmbedded(id) => write!(f, "{id} already embedded"),
+            DomError::EmbeddingCycle(id) => write!(f, "embedding {id} would create a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for DomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sop_violation_message_names_both_origins() {
+        let e = DomError::SameOriginViolation {
+            requester: Origin::https("ads.example"),
+            target: Origin::https("publisher.example"),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("ads.example"));
+        assert!(msg.contains("publisher.example"));
+    }
+}

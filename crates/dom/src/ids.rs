@@ -1,0 +1,91 @@
+//! Typed handles into the page / screen arenas.
+//!
+//! Everything in the DOM model is stored in flat `Vec` arenas and referred
+//! to by index newtypes. This keeps the model `Copy`-friendly, avoids
+//! `Rc<RefCell<…>>` trees, and makes it impossible to mix up a frame index
+//! with a window index at compile time.
+
+use core::fmt;
+
+/// Handle to a [`crate::Frame`] within one [`crate::Page`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId(pub u32);
+
+impl FrameId {
+    /// Raw index (for diagnostics only).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame#{}", self.0)
+    }
+}
+
+/// Handle to an [`crate::Element`]: the frame that owns it plus its index
+/// in that frame's element list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ElementRef {
+    /// Owning frame.
+    pub frame: FrameId,
+    /// Index within the frame's element list.
+    pub index: u32,
+}
+
+impl fmt::Display for ElementRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/el#{}", self.frame, self.index)
+    }
+}
+
+/// Handle to a [`crate::Window`] on the [`crate::Screen`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowId(pub u32);
+
+impl WindowId {
+    /// Raw index (for diagnostics only).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WindowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "window#{}", self.0)
+    }
+}
+
+/// Handle to a [`crate::Tab`] within one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TabId(pub u32);
+
+impl TabId {
+    /// Raw index (for diagnostics only).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TabId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tab#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_stable() {
+        assert_eq!(FrameId(3).to_string(), "frame#3");
+        assert_eq!(WindowId(0).to_string(), "window#0");
+        assert_eq!(TabId(1).to_string(), "tab#1");
+        assert_eq!(
+            ElementRef { frame: FrameId(2), index: 7 }.to_string(),
+            "frame#2/el#7"
+        );
+    }
+}

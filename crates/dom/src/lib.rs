@@ -1,0 +1,41 @@
+//! # qtag-dom
+//!
+//! A deliberately small — but behaviourally faithful — model of the parts
+//! of a browser that matter to viewability measurement:
+//!
+//! * a **frame tree** per page, where every frame has an *origin* and
+//!   iframes may be nested arbitrarily deep across origins (the paper's
+//!   production scenario is a *double cross-domain iframe*, §4 footnote 2);
+//! * the **Same-Origin Policy**: a script running inside a frame may only
+//!   read layout geometry of frames that share its origin. This is the
+//!   exact restriction that motivates Q-Tag's refresh-rate side channel —
+//!   the crate enforces it at the API level so that the reproduction
+//!   cannot accidentally cheat;
+//! * **windows, tabs and a screen**: browser windows with z-order, tab
+//!   switching, minimisation, off-screen moves and focus, plus a mobile
+//!   "foreground app" notion — one model per certification scenario of
+//!   Table 1;
+//! * **scrolling** at both the page level and per-frame level.
+//!
+//! Rendering (projection to screen coordinates, occlusion, repaint
+//! throttling) lives in `qtag-render`; this crate is the pure structural
+//! model that the renderer consumes.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod element;
+mod error;
+mod ids;
+mod origin;
+mod page;
+mod screen;
+mod window;
+
+pub use element::{Element, ElementKind};
+pub use error::DomError;
+pub use ids::{ElementRef, FrameId, TabId, WindowId};
+pub use origin::Origin;
+pub use page::{Frame, Page};
+pub use screen::Screen;
+pub use window::{Tab, Window, WindowKind, WindowState};

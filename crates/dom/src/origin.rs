@@ -1,0 +1,153 @@
+//! Web origins and same-origin comparison.
+
+use core::fmt;
+
+/// A web origin: `scheme://host[:port]`.
+///
+/// Origins are the unit of isolation under the Same-Origin Policy. Two
+/// documents may touch each other's DOM/geometry only when their origins
+/// compare equal (scheme, host and port all match) — the rule that blocks
+/// an ad tag inside a vendor iframe from reading its own position on the
+/// publisher's page.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Origin {
+    scheme: String,
+    host: String,
+    port: u16,
+}
+
+impl Origin {
+    /// Creates an origin from parts. The scheme and host are lowercased,
+    /// matching RFC 6454's origin comparison.
+    pub fn new(scheme: &str, host: &str, port: u16) -> Self {
+        Origin {
+            scheme: scheme.to_ascii_lowercase(),
+            host: host.to_ascii_lowercase(),
+            port,
+        }
+    }
+
+    /// Convenience constructor for an `https` origin on port 443.
+    pub fn https(host: &str) -> Self {
+        Origin::new("https", host, 443)
+    }
+
+    /// Parses `scheme://host[:port]`. Default ports: 443 for `https`,
+    /// 80 for `http`.
+    pub fn parse(s: &str) -> Result<Self, crate::DomError> {
+        let (scheme, rest) = s
+            .split_once("://")
+            .ok_or_else(|| crate::DomError::BadOrigin(s.to_string()))?;
+        if scheme.is_empty() || rest.is_empty() {
+            return Err(crate::DomError::BadOrigin(s.to_string()));
+        }
+        let (host, port) = match rest.split_once(':') {
+            Some((h, p)) => {
+                let port: u16 = p
+                    .parse()
+                    .map_err(|_| crate::DomError::BadOrigin(s.to_string()))?;
+                (h, port)
+            }
+            None => {
+                let port = match scheme {
+                    "https" => 443,
+                    "http" => 80,
+                    _ => return Err(crate::DomError::BadOrigin(s.to_string())),
+                };
+                (rest, port)
+            }
+        };
+        if host.is_empty() || host.contains('/') {
+            return Err(crate::DomError::BadOrigin(s.to_string()));
+        }
+        Ok(Origin::new(scheme, host, port))
+    }
+
+    /// Scheme component (lowercase).
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// Host component (lowercase).
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Port component.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// RFC 6454 same-origin check.
+    pub fn same_origin(&self, other: &Origin) -> bool {
+        self == other
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let default = match self.scheme.as_str() {
+            "https" => 443,
+            "http" => 80,
+            _ => 0,
+        };
+        if self.port == default {
+            write!(f, "{}://{}", self.scheme, self.host)
+        } else {
+            write!(f, "{}://{}:{}", self.scheme, self.host, self.port)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_default_ports() {
+        assert_eq!(Origin::parse("https://pub.example").unwrap().port(), 443);
+        assert_eq!(Origin::parse("http://pub.example").unwrap().port(), 80);
+    }
+
+    #[test]
+    fn parse_explicit_port() {
+        let o = Origin::parse("https://ads.example:8443").unwrap();
+        assert_eq!(o.port(), 8443);
+        assert_eq!(o.to_string(), "https://ads.example:8443");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Origin::parse("not-a-url").is_err());
+        assert!(Origin::parse("https://").is_err());
+        assert!(Origin::parse("://host").is_err());
+        assert!(Origin::parse("https://h:notaport").is_err());
+        assert!(Origin::parse("https://host/path").is_err());
+    }
+
+    #[test]
+    fn comparison_is_case_insensitive_on_host_and_scheme() {
+        let a = Origin::new("HTTPS", "Ads.Example", 443);
+        let b = Origin::https("ads.example");
+        assert!(a.same_origin(&b));
+    }
+
+    #[test]
+    fn different_port_is_cross_origin() {
+        let a = Origin::new("https", "x.example", 443);
+        let b = Origin::new("https", "x.example", 8443);
+        assert!(!a.same_origin(&b));
+    }
+
+    #[test]
+    fn different_scheme_is_cross_origin() {
+        let a = Origin::new("http", "x.example", 80);
+        let b = Origin::new("https", "x.example", 80);
+        assert!(!a.same_origin(&b));
+    }
+
+    #[test]
+    fn display_omits_default_port() {
+        assert_eq!(Origin::https("pub.example").to_string(), "https://pub.example");
+    }
+}

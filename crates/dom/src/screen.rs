@@ -1,0 +1,267 @@
+//! The screen: physical display bounds, window stack and focus.
+
+use crate::{DomError, Window, WindowId, WindowKind, WindowState};
+use qtag_geometry::{Rect, Size, Vector};
+
+/// A physical display with a stack of windows.
+///
+/// Windows are kept in a z-order list (bottom → top). The compositor in
+/// `qtag-render` asks two questions of this type: *what part of window W's
+/// viewport is on-screen?* and *which opaque windows are stacked above W
+/// there?* — those two answers drive Table 1's tests 4 (moved off-screen)
+/// and 6 (obscured by another app).
+#[derive(Debug, Clone)]
+pub struct Screen {
+    size: Size,
+    windows: Vec<Window>,
+    /// Bottom → top stacking order of non-minimised windows.
+    z_order: Vec<WindowId>,
+    focused: Option<WindowId>,
+}
+
+impl Screen {
+    /// Creates an empty screen of the given size.
+    pub fn new(size: Size) -> Self {
+        Screen {
+            size,
+            windows: Vec::new(),
+            z_order: Vec::new(),
+            focused: None,
+        }
+    }
+
+    /// A 1920×1080 desktop display.
+    pub fn desktop() -> Self {
+        Screen::new(Size::new(1920.0, 1080.0))
+    }
+
+    /// A 360×740 phone display (a common Android logical resolution).
+    pub fn phone() -> Self {
+        Screen::new(Size::new(360.0, 740.0))
+    }
+
+    /// Display size.
+    pub fn size(&self) -> Size {
+        self.size
+    }
+
+    /// Display bounds as a rectangle at the origin.
+    pub fn bounds(&self) -> Rect {
+        Rect::new(0.0, 0.0, self.size.width, self.size.height)
+    }
+
+    /// Adds a window on top of the stack and focuses it.
+    pub fn add_window(&mut self, kind: WindowKind, screen_rect: Rect, chrome_height: f64) -> WindowId {
+        let id = WindowId(self.windows.len() as u32);
+        self.windows.push(Window {
+            id,
+            kind,
+            screen_rect,
+            state: WindowState::Normal,
+            chrome_height,
+        });
+        self.z_order.push(id);
+        self.focused = Some(id);
+        id
+    }
+
+    /// Number of windows (including minimised ones).
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Looks up a window.
+    pub fn window(&self, id: WindowId) -> Result<&Window, DomError> {
+        self.windows
+            .get(id.index())
+            .ok_or(DomError::UnknownWindow(id))
+    }
+
+    /// Mutable window lookup.
+    pub fn window_mut(&mut self, id: WindowId) -> Result<&mut Window, DomError> {
+        self.windows
+            .get_mut(id.index())
+            .ok_or(DomError::UnknownWindow(id))
+    }
+
+    /// All windows, unspecified order.
+    pub fn windows(&self) -> &[Window] {
+        &self.windows
+    }
+
+    /// The focused window, if any.
+    pub fn focused(&self) -> Option<WindowId> {
+        self.focused
+    }
+
+    /// `true` if `id` holds input focus.
+    pub fn is_focused(&self, id: WindowId) -> bool {
+        self.focused == Some(id)
+    }
+
+    /// Gives `id` input focus **without** restacking (Table 1 test 3:
+    /// "the site becomes out of focus but is always in-view" — focus and
+    /// visibility are independent).
+    pub fn focus(&mut self, id: WindowId) -> Result<(), DomError> {
+        self.window(id)?;
+        self.focused = Some(id);
+        Ok(())
+    }
+
+    /// Removes focus from all windows.
+    pub fn blur_all(&mut self) {
+        self.focused = None;
+    }
+
+    /// Raises `id` to the top of the stack and focuses it.
+    pub fn raise(&mut self, id: WindowId) -> Result<(), DomError> {
+        self.window(id)?;
+        self.z_order.retain(|w| *w != id);
+        self.z_order.push(id);
+        self.focused = Some(id);
+        Ok(())
+    }
+
+    /// Moves a window by `delta` (may push it off-screen — test 4).
+    pub fn move_window(&mut self, id: WindowId, delta: Vector) -> Result<(), DomError> {
+        let w = self.window_mut(id)?;
+        w.screen_rect = w.screen_rect.translate(delta);
+        Ok(())
+    }
+
+    /// Resizes a window in place (top-left anchored — test 2 enlarges the
+    /// browser page).
+    pub fn resize_window(&mut self, id: WindowId, size: Size) -> Result<(), DomError> {
+        let w = self.window_mut(id)?;
+        w.screen_rect = Rect::from_origin_size(w.screen_rect.origin, size);
+        Ok(())
+    }
+
+    /// Minimises a window (drops out of the compositor entirely).
+    pub fn minimize(&mut self, id: WindowId) -> Result<(), DomError> {
+        self.window_mut(id)?.state = WindowState::Minimized;
+        if self.focused == Some(id) {
+            self.focused = None;
+        }
+        Ok(())
+    }
+
+    /// Restores a minimised window and raises it.
+    pub fn restore(&mut self, id: WindowId) -> Result<(), DomError> {
+        self.window_mut(id)?.state = WindowState::Normal;
+        self.raise(id)
+    }
+
+    /// z-position of a window (0 = bottom). `None` when minimised windows
+    /// were never stacked.
+    fn z_position(&self, id: WindowId) -> Option<usize> {
+        self.z_order.iter().position(|w| *w == id)
+    }
+
+    /// The screen rectangles of opaque windows stacked **above** `id`
+    /// that could occlude it. Minimised windows never occlude.
+    pub fn occluders_above(&self, id: WindowId) -> Result<Vec<Rect>, DomError> {
+        let pos = match self.z_position(id) {
+            Some(p) => p,
+            None => return Ok(Vec::new()),
+        };
+        let mut out = Vec::new();
+        for above in &self.z_order[pos + 1..] {
+            let w = self.window(*above)?;
+            if w.is_opaque_surface() {
+                out.push(w.screen_rect);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Origin, Page, Tab, TabId};
+
+    fn browser_kind() -> WindowKind {
+        WindowKind::Browser {
+            tabs: vec![Tab::new(Page::new(
+                Origin::https("pub.example"),
+                Size::new(1280.0, 3000.0),
+            ))],
+            active: TabId(0),
+        }
+    }
+
+    #[test]
+    fn add_window_focuses_and_stacks_on_top() {
+        let mut s = Screen::desktop();
+        let a = s.add_window(browser_kind(), Rect::new(0.0, 0.0, 800.0, 600.0), 80.0);
+        let b = s.add_window(WindowKind::OpaqueApp, Rect::new(100.0, 0.0, 800.0, 600.0), 0.0);
+        assert!(s.is_focused(b));
+        assert_eq!(s.occluders_above(a).unwrap().len(), 1);
+        assert!(s.occluders_above(b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn raise_reorders_stack() {
+        let mut s = Screen::desktop();
+        let a = s.add_window(browser_kind(), Rect::new(0.0, 0.0, 800.0, 600.0), 80.0);
+        let _b = s.add_window(WindowKind::OpaqueApp, Rect::new(0.0, 0.0, 800.0, 600.0), 0.0);
+        s.raise(a).unwrap();
+        assert!(s.occluders_above(a).unwrap().is_empty());
+        assert!(s.is_focused(a));
+    }
+
+    #[test]
+    fn minimized_windows_do_not_occlude() {
+        let mut s = Screen::desktop();
+        let a = s.add_window(browser_kind(), Rect::new(0.0, 0.0, 800.0, 600.0), 80.0);
+        let b = s.add_window(WindowKind::OpaqueApp, Rect::new(0.0, 0.0, 800.0, 600.0), 0.0);
+        s.minimize(b).unwrap();
+        assert!(s.occluders_above(a).unwrap().is_empty());
+        assert_eq!(s.focused(), None);
+    }
+
+    #[test]
+    fn restore_raises_and_refocuses() {
+        let mut s = Screen::desktop();
+        let _a = s.add_window(browser_kind(), Rect::new(0.0, 0.0, 800.0, 600.0), 80.0);
+        let b = s.add_window(WindowKind::OpaqueApp, Rect::new(0.0, 0.0, 800.0, 600.0), 0.0);
+        s.minimize(b).unwrap();
+        s.restore(b).unwrap();
+        assert!(s.is_focused(b));
+    }
+
+    #[test]
+    fn move_window_can_leave_screen() {
+        let mut s = Screen::desktop();
+        let a = s.add_window(browser_kind(), Rect::new(0.0, 0.0, 800.0, 600.0), 80.0);
+        s.move_window(a, Vector::new(5000.0, 0.0)).unwrap();
+        let w = s.window(a).unwrap();
+        assert!(!w.screen_rect.intersects(&s.bounds()));
+    }
+
+    #[test]
+    fn blur_keeps_stacking() {
+        let mut s = Screen::desktop();
+        let a = s.add_window(browser_kind(), Rect::new(0.0, 0.0, 800.0, 600.0), 80.0);
+        s.blur_all();
+        assert!(!s.is_focused(a));
+        assert!(s.occluders_above(a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn resize_window_keeps_origin() {
+        let mut s = Screen::desktop();
+        let a = s.add_window(browser_kind(), Rect::new(10.0, 20.0, 800.0, 600.0), 80.0);
+        s.resize_window(a, Size::new(1900.0, 1060.0)).unwrap();
+        let w = s.window(a).unwrap();
+        assert_eq!(w.screen_rect, Rect::new(10.0, 20.0, 1900.0, 1060.0));
+    }
+
+    #[test]
+    fn unknown_window_errors() {
+        let mut s = Screen::desktop();
+        assert!(s.focus(WindowId(4)).is_err());
+        assert!(s.window(WindowId(4)).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! Windows and tabs: how pages are presented on a screen.
+
+use crate::{DomError, Page, TabId, WindowId};
+use qtag_geometry::{Rect, Size};
+
+/// One browser tab holding a page.
+#[derive(Debug, Clone)]
+pub struct Tab {
+    /// The page loaded in this tab.
+    pub page: Page,
+}
+
+impl Tab {
+    /// Creates a tab showing `page`.
+    pub fn new(page: Page) -> Self {
+        Tab { page }
+    }
+}
+
+/// Whether a window is currently presentable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowState {
+    /// Normal presentation at its screen rectangle.
+    Normal,
+    /// Minimised / hidden: nothing is composited at all.
+    Minimized,
+}
+
+/// What kind of surface the window is.
+#[derive(Debug, Clone)]
+pub enum WindowKind {
+    /// A desktop/mobile browser with one or more tabs, of which exactly
+    /// one is active (composited); background tabs are throttled.
+    Browser {
+        /// Tabs, in creation order.
+        tabs: Vec<Tab>,
+        /// Index of the active (visible) tab.
+        active: TabId,
+    },
+    /// A mobile app embedding a webview (the paper's *mobile in-app ads*
+    /// scenario, §4.3): the app owns the window, the webview covers the
+    /// window's content area and hosts a single page.
+    AppWebView {
+        /// The page loaded in the webview.
+        page: Page,
+    },
+    /// An opaque application with no web content (another app opened on
+    /// top of the browser — Table 1 test 6 — or the OS home screen). It
+    /// only occludes.
+    OpaqueApp,
+}
+
+/// A window on the screen.
+#[derive(Debug, Clone)]
+pub struct Window {
+    pub(crate) id: WindowId,
+    /// Surface kind.
+    pub kind: WindowKind,
+    /// Outer rectangle in screen coordinates. May extend beyond the
+    /// screen bounds (Table 1 test 4 moves a browser off-screen).
+    pub screen_rect: Rect,
+    /// Presentation state.
+    pub state: WindowState,
+    /// Height of browser chrome (tab strip + URL bar) at the top of the
+    /// window; the page viewport is the window rect minus this band.
+    pub chrome_height: f64,
+}
+
+impl Window {
+    /// Window handle.
+    pub fn id(&self) -> WindowId {
+        self.id
+    }
+
+    /// The page-viewport rectangle in screen coordinates, or `None` when
+    /// the window is minimised or has no web content surface.
+    pub fn viewport_rect_on_screen(&self) -> Option<Rect> {
+        if self.state == WindowState::Minimized {
+            return None;
+        }
+        match self.kind {
+            WindowKind::OpaqueApp => None,
+            _ => {
+                let r = self.screen_rect;
+                let h = (r.height() - self.chrome_height).max(0.0);
+                Some(Rect::new(
+                    r.min_x(),
+                    r.min_y() + self.chrome_height,
+                    r.width(),
+                    h,
+                ))
+            }
+        }
+    }
+
+    /// Size of the page viewport (zero when not presentable).
+    pub fn viewport_size(&self) -> Size {
+        self.viewport_rect_on_screen()
+            .map(|r| r.size)
+            .unwrap_or(Size::ZERO)
+    }
+
+    /// The currently composited page: the active tab's page for browsers,
+    /// the webview page for apps, `None` for opaque apps.
+    pub fn active_page(&self) -> Option<&Page> {
+        match &self.kind {
+            WindowKind::Browser { tabs, active } => tabs.get(active.index()).map(|t| &t.page),
+            WindowKind::AppWebView { page } => Some(page),
+            WindowKind::OpaqueApp => None,
+        }
+    }
+
+    /// Mutable access to the composited page.
+    pub fn active_page_mut(&mut self) -> Option<&mut Page> {
+        match &mut self.kind {
+            WindowKind::Browser { tabs, active } => {
+                tabs.get_mut(active.index()).map(|t| &mut t.page)
+            }
+            WindowKind::AppWebView { page } => Some(page),
+            WindowKind::OpaqueApp => None,
+        }
+    }
+
+    /// All pages in the window (active or not) with their tab ids;
+    /// background pages exist and run throttled timers.
+    pub fn pages(&self) -> Vec<(Option<TabId>, &Page)> {
+        match &self.kind {
+            WindowKind::Browser { tabs, .. } => tabs
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (Some(TabId(i as u32)), &t.page))
+                .collect(),
+            WindowKind::AppWebView { page } => vec![(None, page)],
+            WindowKind::OpaqueApp => Vec::new(),
+        }
+    }
+
+    /// For browser windows: the active tab id.
+    pub fn active_tab(&self) -> Option<TabId> {
+        match &self.kind {
+            WindowKind::Browser { active, .. } => Some(*active),
+            _ => None,
+        }
+    }
+
+    /// For browser windows: is `tab` the composited one?
+    pub fn tab_is_active(&self, tab: TabId) -> bool {
+        self.active_tab() == Some(tab)
+    }
+
+    /// Appends a tab to a browser window.
+    pub fn add_tab(&mut self, page: Page) -> Result<TabId, DomError> {
+        match &mut self.kind {
+            WindowKind::Browser { tabs, .. } => {
+                tabs.push(Tab::new(page));
+                Ok(TabId((tabs.len() - 1) as u32))
+            }
+            _ => Err(DomError::UnknownTab(self.id, TabId(0))),
+        }
+    }
+
+    /// Switches the active tab of a browser window.
+    pub fn switch_tab(&mut self, tab: TabId) -> Result<(), DomError> {
+        match &mut self.kind {
+            WindowKind::Browser { tabs, active } => {
+                if tab.index() >= tabs.len() {
+                    return Err(DomError::UnknownTab(self.id, tab));
+                }
+                *active = tab;
+                Ok(())
+            }
+            _ => Err(DomError::UnknownTab(self.id, tab)),
+        }
+    }
+
+    /// `true` when the window paints an opaque surface (used for
+    /// inter-window occlusion).
+    pub fn is_opaque_surface(&self) -> bool {
+        self.state == WindowState::Normal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Origin;
+
+    fn page() -> Page {
+        Page::new(Origin::https("pub.example"), Size::new(1280.0, 3000.0))
+    }
+
+    fn browser(rect: Rect) -> Window {
+        Window {
+            id: WindowId(0),
+            kind: WindowKind::Browser {
+                tabs: vec![Tab::new(page())],
+                active: TabId(0),
+            },
+            screen_rect: rect,
+            state: WindowState::Normal,
+            chrome_height: 80.0,
+        }
+    }
+
+    #[test]
+    fn viewport_excludes_chrome() {
+        let w = browser(Rect::new(100.0, 50.0, 1280.0, 880.0));
+        let vp = w.viewport_rect_on_screen().unwrap();
+        assert_eq!(vp, Rect::new(100.0, 130.0, 1280.0, 800.0));
+    }
+
+    #[test]
+    fn minimized_window_has_no_viewport() {
+        let mut w = browser(Rect::new(0.0, 0.0, 800.0, 600.0));
+        w.state = WindowState::Minimized;
+        assert!(w.viewport_rect_on_screen().is_none());
+        assert_eq!(w.viewport_size(), Size::ZERO);
+        assert!(!w.is_opaque_surface());
+    }
+
+    #[test]
+    fn tab_switching_changes_active_page() {
+        let mut w = browser(Rect::new(0.0, 0.0, 800.0, 600.0));
+        let second = Page::new(Origin::https("other.example"), Size::new(800.0, 800.0));
+        let t1 = w.add_tab(second).unwrap();
+        assert!(w.tab_is_active(TabId(0)));
+        w.switch_tab(t1).unwrap();
+        assert!(w.tab_is_active(t1));
+        assert_eq!(
+            w.active_page().unwrap().frame(w.active_page().unwrap().root()).unwrap().origin(),
+            &Origin::https("other.example")
+        );
+    }
+
+    #[test]
+    fn switch_to_missing_tab_errors() {
+        let mut w = browser(Rect::new(0.0, 0.0, 800.0, 600.0));
+        assert!(w.switch_tab(TabId(5)).is_err());
+    }
+
+    #[test]
+    fn opaque_app_has_no_page_but_occludes() {
+        let w = Window {
+            id: WindowId(1),
+            kind: WindowKind::OpaqueApp,
+            screen_rect: Rect::new(0.0, 0.0, 400.0, 800.0),
+            state: WindowState::Normal,
+            chrome_height: 0.0,
+        };
+        assert!(w.active_page().is_none());
+        assert!(w.viewport_rect_on_screen().is_none());
+        assert!(w.is_opaque_surface());
+    }
+
+    #[test]
+    fn app_webview_exposes_its_page() {
+        let w = Window {
+            id: WindowId(2),
+            kind: WindowKind::AppWebView { page: page() },
+            screen_rect: Rect::new(0.0, 0.0, 360.0, 740.0),
+            state: WindowState::Normal,
+            chrome_height: 56.0,
+        };
+        assert!(w.active_page().is_some());
+        assert_eq!(w.viewport_size(), Size::new(360.0, 684.0));
+        assert_eq!(w.pages().len(), 1);
+    }
+
+    #[test]
+    fn add_tab_to_non_browser_fails() {
+        let mut w = Window {
+            id: WindowId(3),
+            kind: WindowKind::OpaqueApp,
+            screen_rect: Rect::ZERO,
+            state: WindowState::Normal,
+            chrome_height: 0.0,
+        };
+        assert!(w.add_tab(page()).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Property tests on the frame-tree model: coordinate mapping and SOP
+//! enforcement under randomly generated nesting.
+
+use proptest::prelude::*;
+use qtag_dom::{DomError, FrameId, Origin, Page, Screen, Tab, TabId, WindowKind};
+use qtag_geometry::{Point, Rect, Size, Vector};
+
+/// Builds a random chain of nested iframes, alternating origins
+/// according to `cross_origin_mask` (bit i set ⇒ level i+1 differs from
+/// its parent). Returns the page and the innermost frame.
+fn build_chain(
+    offsets: &[(f64, f64)],
+    cross_origin_mask: u32,
+) -> (Page, FrameId) {
+    let mut page = Page::new(Origin::https("origin0.example"), Size::new(2000.0, 4000.0));
+    let mut parent = page.root();
+    let mut origin_idx = 0u32;
+    for (i, (dx, dy)) in offsets.iter().enumerate() {
+        if cross_origin_mask & (1 << i) != 0 {
+            origin_idx += 1;
+        }
+        let origin = Origin::https(&format!("origin{origin_idx}.example"));
+        // Each nested frame is generously sized so content is clipped
+        // only by position, keeping the oracle simple.
+        let child = page.create_frame(origin, Size::new(1500.0, 1500.0));
+        page.embed_iframe(parent, child, Rect::new(*dx, *dy, 1500.0, 1500.0))
+            .unwrap();
+        parent = child;
+    }
+    (page, parent)
+}
+
+fn arb_offsets() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0f64..200.0, 0.0f64..200.0), 1..5)
+}
+
+proptest! {
+    /// Point mapping through any chain equals the sum of the iframe
+    /// offsets (no scrolls): the linear-algebra oracle.
+    #[test]
+    fn point_mapping_is_offset_sum(offsets in arb_offsets(), px in 0.0f64..100.0, py in 0.0f64..100.0) {
+        let (page, inner) = build_chain(&offsets, 0);
+        let mapped = page
+            .point_to_root_unchecked(inner, Point::new(px, py))
+            .unwrap();
+        let expect = Point::new(
+            px + offsets.iter().map(|(dx, _)| dx).sum::<f64>(),
+            py + offsets.iter().map(|(_, dy)| dy).sum::<f64>(),
+        );
+        // The point survives every clip because each box is 1500² and
+        // offsets are ≤ 200 each over ≤ 4 levels.
+        let p = mapped.expect("point inside every box");
+        prop_assert!((p.x - expect.x).abs() < 1e-9 && (p.y - expect.y).abs() < 1e-9);
+    }
+
+    /// Rect mapping agrees with point mapping on the rect's corners
+    /// whenever nothing is clipped.
+    #[test]
+    fn rect_and_point_mapping_agree(offsets in arb_offsets()) {
+        let (page, inner) = build_chain(&offsets, 0);
+        let rect = Rect::new(10.0, 20.0, 50.0, 40.0);
+        let mapped = page.rect_to_root_unchecked(inner, rect).unwrap().expect("unclipped");
+        let tl = page
+            .point_to_root_unchecked(inner, rect.origin)
+            .unwrap()
+            .expect("tl inside");
+        prop_assert!((mapped.min_x() - tl.x).abs() < 1e-9);
+        prop_assert!((mapped.min_y() - tl.y).abs() < 1e-9);
+        prop_assert!((mapped.width() - 50.0).abs() < 1e-9);
+    }
+
+    /// SOP: geometry reads succeed iff every hop is same-origin.
+    #[test]
+    fn sop_depends_exactly_on_the_chain(offsets in arb_offsets(), mask in 0u32..16) {
+        let (page, inner) = build_chain(&offsets, mask);
+        let inner_origin = page.frame(inner).unwrap().origin().clone();
+        let result = page.frame_rect_in_root(inner, &inner_origin);
+        let used_bits = mask & ((1 << offsets.len()) - 1);
+        if used_bits == 0 {
+            prop_assert!(result.is_ok(), "all same-origin chain must be readable");
+        } else {
+            prop_assert!(
+                matches!(result, Err(DomError::SameOriginViolation { .. })),
+                "any cross-origin hop must block the walk"
+            );
+        }
+        // Cross-origin depth equals the popcount of the used mask bits.
+        prop_assert_eq!(
+            page.cross_origin_depth(inner).unwrap(),
+            used_bits.count_ones() as usize
+        );
+    }
+
+    /// Scrolling any intermediate frame shifts the mapped point by
+    /// exactly the scroll amount (until clipped).
+    #[test]
+    fn scroll_shifts_mapping_linearly(offsets in arb_offsets(), scroll in 0.0f64..100.0) {
+        let (mut page, inner) = build_chain(&offsets, 0);
+        let before = page
+            .point_to_root_unchecked(inner, Point::new(500.0, 500.0))
+            .unwrap()
+            .expect("inside");
+        // View smaller than the 1500 px document so the scroll range
+        // (doc − view = 200 px) covers the sampled offsets unclamped.
+        page.scroll_frame_to(inner, Vector::new(0.0, scroll), Size::new(1500.0, 1300.0))
+            .unwrap();
+        // Scrolling the *inner* frame moves its content up by `scroll`.
+        let after = page
+            .point_to_root_unchecked(inner, Point::new(500.0, 500.0))
+            .unwrap();
+        if let Some(after) = after {
+            prop_assert!((before.y - after.y - scroll).abs() < 1e-9);
+            prop_assert!((before.x - after.x).abs() < 1e-9);
+        }
+    }
+
+    /// Window stacking: occluders_above lists exactly the opaque
+    /// windows added later (until restacked), in every permutation.
+    #[test]
+    fn occlusion_follows_stack_order(n in 1usize..6, raise_idx in 0usize..6) {
+        let mut screen = Screen::desktop();
+        let mut ids = Vec::new();
+        for _ in 0..n {
+            ids.push(screen.add_window(
+                WindowKind::OpaqueApp,
+                Rect::new(0.0, 0.0, 500.0, 500.0),
+                0.0,
+            ));
+        }
+        let raise = ids[raise_idx % n];
+        screen.raise(raise).unwrap();
+        prop_assert!(screen.occluders_above(raise).unwrap().is_empty());
+        // The bottom-most non-raised window sees n−1 occluders.
+        if n > 1 {
+            let bottom = ids.iter().find(|w| **w != raise).unwrap();
+            let above = screen.occluders_above(*bottom).unwrap();
+            prop_assert!(!above.is_empty());
+        }
+    }
+}
+
+/// Deterministic stress: a 16-deep chain maps exactly and SOP blocks at
+/// the single cross-origin hop in the middle.
+#[test]
+fn deep_chain_is_exact() {
+    let offsets: Vec<(f64, f64)> = (0..16).map(|i| (f64::from(i), 2.0 * f64::from(i))).collect();
+    let mut page = Page::new(Origin::https("pub.example"), Size::new(10_000.0, 10_000.0));
+    let mut parent = page.root();
+    for (i, (dx, dy)) in offsets.iter().enumerate() {
+        // one cross-origin hop at level 8
+        let origin = if i < 8 {
+            Origin::https("pub.example")
+        } else {
+            Origin::https("ads.example")
+        };
+        let child = page.create_frame(origin, Size::new(9000.0, 9000.0));
+        page.embed_iframe(parent, child, Rect::new(*dx, *dy, 9000.0, 9000.0))
+            .unwrap();
+        parent = child;
+    }
+    let p = page
+        .point_to_root_unchecked(parent, Point::new(1.0, 1.0))
+        .unwrap()
+        .unwrap();
+    let sx: f64 = offsets.iter().map(|(dx, _)| dx).sum();
+    let sy: f64 = offsets.iter().map(|(_, dy)| dy).sum();
+    assert!((p.x - (1.0 + sx)).abs() < 1e-9);
+    assert!((p.y - (1.0 + sy)).abs() < 1e-9);
+    assert_eq!(page.cross_origin_depth(parent).unwrap(), 1);
+    assert!(page
+        .frame_rect_in_root(parent, &Origin::https("ads.example"))
+        .is_err());
+    // The publisher can't read it either (the ad frame is foreign to it).
+    assert!(page
+        .frame_rect_in_root(parent, &Origin::https("pub.example"))
+        .is_err());
+}
+
+/// Tab model stress: many tabs, only the active one composites.
+#[test]
+fn many_tabs_single_active() {
+    let page = || Page::new(Origin::https("pub.example"), Size::new(800.0, 800.0));
+    let mut screen = Screen::desktop();
+    let w = screen.add_window(
+        WindowKind::Browser { tabs: vec![Tab::new(page())], active: TabId(0) },
+        Rect::new(0.0, 0.0, 800.0, 600.0),
+        60.0,
+    );
+    for _ in 0..9 {
+        screen.window_mut(w).unwrap().add_tab(page()).unwrap();
+    }
+    let win = screen.window(w).unwrap();
+    assert_eq!(win.pages().len(), 10);
+    for t in 0..10u32 {
+        screen.window_mut(w).unwrap().switch_tab(TabId(t)).unwrap();
+        let win = screen.window(w).unwrap();
+        assert!(win.tab_is_active(TabId(t)));
+        for other in 0..10u32 {
+            if other != t {
+                assert!(!win.tab_is_active(TabId(other)));
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # qtag-geometry
+//!
+//! Geometric primitives shared by every layer of the Q-Tag reproduction:
+//! the DOM layout engine, the compositor, the monitoring-pixel layouts and
+//! the visible-area estimator.
+//!
+//! All coordinates are expressed in **CSS pixels** as `f64`. The paper's
+//! viewability standard is stated in terms of *fractions of the ad's pixel
+//! area* ("at least 50% of the pixels of the ad"), so the central operations
+//! here are rectangle intersection and area-fraction computation, plus a
+//! [`Region`] type (a disjoint set of rectangles) used by the compositor to
+//! subtract occluders from an element's visible area.
+//!
+//! The crate is dependency-free and heavily property-tested: every invariant
+//! the rest of the system leans on (intersection commutes, areas are
+//! non-negative, region subtraction never overlaps, ...) is checked with
+//! `proptest` in addition to unit tests.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod point;
+mod rect;
+mod region;
+mod size;
+mod vector;
+
+pub use point::Point;
+pub use rect::Rect;
+pub use region::Region;
+pub use size::Size;
+pub use vector::Vector;
+
+/// Numerical tolerance used when comparing areas and coordinates.
+///
+/// Layout math in this workspace only ever adds, subtracts and multiplies
+/// coordinates that start as integers or simple fractions, so errors stay
+/// far below this bound; the epsilon exists to make comparisons robust, not
+/// to hide algorithmic error.
+pub const EPSILON: f64 = 1e-9;
+
+/// Returns `true` if two floating point values are equal within [`EPSILON`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPSILON * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Clamps `x` into `[lo, hi]`.
+///
+/// Identical to `f64::clamp` but tolerates an inverted interval by
+/// returning `lo` (useful when degenerate rectangles produce empty ranges).
+#[inline]
+pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    if hi < lo {
+        lo
+    } else {
+        x.max(lo).min(hi)
+    }
+}

@@ -1,0 +1,156 @@
+//! 2-D points in CSS-pixel space.
+
+use crate::Vector;
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in CSS-pixel coordinates.
+///
+/// Points are *positions*; displacement between points is a [`Vector`].
+/// The y axis grows **downwards**, matching CSS/compositor conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate (CSS px, grows rightwards).
+    pub x: f64,
+    /// Vertical coordinate (CSS px, grows downwards).
+    pub y: f64,
+}
+
+impl Point {
+    /// Origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: Point) -> f64 {
+        (*self - other).length()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed, e.g. nearest-pixel assignment in the
+    /// Voronoi area estimator).
+    #[inline]
+    pub fn distance_sq(&self, other: Point) -> f64 {
+        let d = *self - other;
+        d.dx * d.dx + d.dy * d.dy
+    }
+
+    /// Component-wise linear interpolation: `self` at `t = 0`, `other` at
+    /// `t = 1`. `t` is not clamped.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, v: Vector) -> Point {
+        Point::new(self.x + v.dx, self.y + v.dy)
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    #[inline]
+    fn add_assign(&mut self, v: Vector) {
+        self.x += v.dx;
+        self.y += v.dy;
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, v: Vector) -> Point {
+        Point::new(self.x - v.dx, self.y - v.dy)
+    }
+}
+
+impl SubAssign<Vector> for Point {
+    #[inline]
+    fn sub_assign(&mut self, v: Vector) {
+        self.x -= v.dx;
+        self.y -= v.dy;
+    }
+}
+
+impl Sub for Point {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, other: Point) -> Vector {
+        Vector::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn origin_is_zero() {
+        assert_eq!(Point::ORIGIN, Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn point_plus_vector_translates() {
+        let p = Point::new(3.0, 4.0) + Vector::new(1.0, -2.0);
+        assert_eq!(p, Point::new(4.0, 2.0));
+    }
+
+    #[test]
+    fn point_minus_point_is_displacement() {
+        let v = Point::new(5.0, 7.0) - Point::new(2.0, 3.0);
+        assert_eq!(v, Vector::new(3.0, 4.0));
+        assert!(approx_eq(v.length(), 5.0));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!(approx_eq(a.distance(b), b.distance(a)));
+        assert!(approx_eq(a.distance(b), 5.0));
+    }
+
+    #[test]
+    fn distance_sq_matches_distance() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-4.0, 6.25);
+        assert!(approx_eq(a.distance_sq(b), a.distance(b).powi(2)));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn add_assign_and_sub_assign_roundtrip() {
+        let mut p = Point::new(1.0, 1.0);
+        p += Vector::new(2.0, 3.0);
+        assert_eq!(p, Point::new(3.0, 4.0));
+        p -= Vector::new(2.0, 3.0);
+        assert_eq!(p, Point::new(1.0, 1.0));
+    }
+}

@@ -1,0 +1,337 @@
+//! Axis-aligned rectangles and the area math at the heart of the
+//! viewability standard.
+
+use crate::{clamp, Point, Size, Vector};
+use core::fmt;
+
+/// An axis-aligned rectangle in CSS-pixel space.
+///
+/// The rectangle is stored as its top-left corner plus a size. The interval
+/// convention is **half-open**: a point lies inside when
+/// `x ∈ [x0, x0+w)` and `y ∈ [y0, y0+h)`. This matches how compositors
+/// rasterize boxes and makes adjacent rectangles tile without double
+/// counting — a property the [`crate::Region`] subtraction algorithm relies
+/// on.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Rect {
+    /// Top-left corner.
+    pub origin: Point,
+    /// Extent; always non-negative.
+    pub size: Size,
+}
+
+impl Rect {
+    /// The empty rectangle at the origin.
+    pub const ZERO: Rect = Rect {
+        origin: Point::ORIGIN,
+        size: Size::ZERO,
+    };
+
+    /// Creates a rectangle from corner coordinates and dimensions.
+    #[inline]
+    pub fn new(x: f64, y: f64, width: f64, height: f64) -> Self {
+        Rect {
+            origin: Point::new(x, y),
+            size: Size::new(width, height),
+        }
+    }
+
+    /// Creates a rectangle from its top-left corner and size.
+    #[inline]
+    pub fn from_origin_size(origin: Point, size: Size) -> Self {
+        Rect { origin, size }
+    }
+
+    /// Creates a rectangle from two opposite corner points (in any order).
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        let x0 = a.x.min(b.x);
+        let y0 = a.y.min(b.y);
+        Rect::new(x0, y0, (a.x - b.x).abs(), (a.y - b.y).abs())
+    }
+
+    /// Creates a rectangle centred on `center`.
+    pub fn centered_at(center: Point, size: Size) -> Self {
+        Rect::new(
+            center.x - size.width / 2.0,
+            center.y - size.height / 2.0,
+            size.width,
+            size.height,
+        )
+    }
+
+    /// Left edge x-coordinate.
+    #[inline]
+    pub fn min_x(&self) -> f64 {
+        self.origin.x
+    }
+
+    /// Top edge y-coordinate.
+    #[inline]
+    pub fn min_y(&self) -> f64 {
+        self.origin.y
+    }
+
+    /// Right edge x-coordinate (exclusive).
+    #[inline]
+    pub fn max_x(&self) -> f64 {
+        self.origin.x + self.size.width
+    }
+
+    /// Bottom edge y-coordinate (exclusive).
+    #[inline]
+    pub fn max_y(&self) -> f64 {
+        self.origin.y + self.size.height
+    }
+
+    /// Width.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.size.width
+    }
+
+    /// Height.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.size.height
+    }
+
+    /// Centre point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.origin.x + self.size.width / 2.0,
+            self.origin.y + self.size.height / 2.0,
+        )
+    }
+
+    /// Area in px².
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.size.area()
+    }
+
+    /// `true` when the rectangle encloses no area.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.size.is_empty()
+    }
+
+    /// `true` when `p` lies inside (half-open intervals).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x() && p.x < self.max_x() && p.y >= self.min_y() && p.y < self.max_y()
+    }
+
+    /// `true` when `other` lies entirely inside `self`, within a scaled
+    /// [`crate::EPSILON`] tolerance (floating-point layout math can leave
+    /// hairline overhangs of ~1e-13 px that must not count as "outside").
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        let eps = crate::EPSILON
+            * (1.0 + self.max_x().abs().max(self.max_y().abs()).max(
+                other.max_x().abs().max(other.max_y().abs()),
+            ));
+        other.is_empty()
+            || (other.min_x() >= self.min_x() - eps
+                && other.max_x() <= self.max_x() + eps
+                && other.min_y() >= self.min_y() - eps
+                && other.max_y() <= self.max_y() + eps)
+    }
+
+    /// `true` when the two rectangles share interior area.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min_x() < other.max_x()
+            && other.min_x() < self.max_x()
+            && self.min_y() < other.max_y()
+            && other.min_y() < self.max_y()
+    }
+
+    /// Intersection of the two rectangles, or `None` if they do not share
+    /// interior area.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        let x0 = self.min_x().max(other.min_x());
+        let y0 = self.min_y().max(other.min_y());
+        let x1 = self.max_x().min(other.max_x());
+        let y1 = self.max_y().min(other.max_y());
+        Some(Rect::new(x0, y0, x1 - x0, y1 - y0))
+    }
+
+    /// The smallest rectangle containing both inputs. Empty inputs are
+    /// ignored; the union of two empty rectangles is empty.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let x0 = self.min_x().min(other.min_x());
+        let y0 = self.min_y().min(other.min_y());
+        let x1 = self.max_x().max(other.max_x());
+        let y1 = self.max_y().max(other.max_y());
+        Rect::new(x0, y0, x1 - x0, y1 - y0)
+    }
+
+    /// Fraction of `self`'s area that lies inside `clip`, in `[0, 1]`.
+    ///
+    /// This is exactly the quantity the viewability standard constrains:
+    /// with `self` = ad rectangle (in root coordinates) and `clip` = the
+    /// viewport, the result is "the fraction of the ad's pixels exposed to
+    /// the user". Returns `0.0` for an empty `self`.
+    pub fn visible_fraction(&self, clip: &Rect) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        match self.intersection(clip) {
+            Some(overlap) => clamp(overlap.area() / self.area(), 0.0, 1.0),
+            None => 0.0,
+        }
+    }
+
+    /// Translates the rectangle by `v`.
+    #[inline]
+    pub fn translate(&self, v: Vector) -> Rect {
+        Rect::from_origin_size(self.origin + v, self.size)
+    }
+
+    /// Shrinks the rectangle by `d` on every side. The result collapses to
+    /// an empty rectangle at the centre when `2 d` exceeds either dimension.
+    pub fn inset(&self, d: f64) -> Rect {
+        let w = (self.size.width - 2.0 * d).max(0.0);
+        let h = (self.size.height - 2.0 * d).max(0.0);
+        Rect::centered_at(self.center(), Size::new(w, h))
+    }
+
+    /// The closest point of the rectangle to `p` (clamped projection).
+    pub fn clamp_point(&self, p: Point) -> Point {
+        Point::new(
+            clamp(p.x, self.min_x(), self.max_x()),
+            clamp(p.y, self.min_y(), self.max_y()),
+        )
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} @ {}]",
+            self.size,
+            self.origin
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn r(x: f64, y: f64, w: f64, h: f64) -> Rect {
+        Rect::new(x, y, w, h)
+    }
+
+    #[test]
+    fn from_corners_any_order() {
+        let a = Rect::from_corners(Point::new(10.0, 20.0), Point::new(0.0, 0.0));
+        assert_eq!(a, r(0.0, 0.0, 10.0, 20.0));
+    }
+
+    #[test]
+    fn centered_at_center_roundtrip() {
+        let c = Point::new(50.0, 60.0);
+        let rect = Rect::centered_at(c, Size::new(30.0, 40.0));
+        assert_eq!(rect.center(), c);
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let rect = r(0.0, 0.0, 10.0, 10.0);
+        assert!(rect.contains(Point::new(0.0, 0.0)));
+        assert!(rect.contains(Point::new(9.999, 9.999)));
+        assert!(!rect.contains(Point::new(10.0, 5.0)));
+        assert!(!rect.contains(Point::new(5.0, 10.0)));
+    }
+
+    #[test]
+    fn touching_rects_do_not_intersect() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        let b = r(10.0, 0.0, 10.0, 10.0);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn intersection_of_overlap() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        let b = r(5.0, 5.0, 10.0, 10.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, r(5.0, 5.0, 5.0, 5.0));
+        assert!(approx_eq(i.area(), 25.0));
+    }
+
+    #[test]
+    fn empty_rect_never_intersects() {
+        let a = r(0.0, 0.0, 0.0, 10.0);
+        let b = r(-5.0, -5.0, 20.0, 20.0);
+        assert!(!a.intersects(&b));
+        assert!(b.contains_rect(&a), "empty rect is contained everywhere");
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(10.0, 10.0, 1.0, 1.0);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, r(0.0, 0.0, 11.0, 11.0));
+    }
+
+    #[test]
+    fn visible_fraction_full_partial_none() {
+        let ad = r(0.0, 0.0, 300.0, 250.0);
+        let viewport = r(0.0, 0.0, 1280.0, 800.0);
+        assert!(approx_eq(ad.visible_fraction(&viewport), 1.0));
+
+        // Slide the ad half-way off the bottom of the screen.
+        let half_off = ad.translate(Vector::new(0.0, 800.0 - 125.0));
+        assert!(approx_eq(half_off.visible_fraction(&viewport), 0.5));
+
+        let fully_off = ad.translate(Vector::new(0.0, 900.0));
+        assert!(approx_eq(fully_off.visible_fraction(&viewport), 0.0));
+    }
+
+    #[test]
+    fn visible_fraction_of_empty_is_zero() {
+        let empty = r(0.0, 0.0, 0.0, 0.0);
+        assert_eq!(empty.visible_fraction(&r(0.0, 0.0, 100.0, 100.0)), 0.0);
+    }
+
+    #[test]
+    fn inset_collapses_gracefully() {
+        let rect = r(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(rect.inset(2.0), r(2.0, 2.0, 6.0, 6.0));
+        assert!(rect.inset(6.0).is_empty());
+    }
+
+    #[test]
+    fn clamp_point_projects_outside_points() {
+        let rect = r(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(rect.clamp_point(Point::new(-5.0, 5.0)), Point::new(0.0, 5.0));
+        assert_eq!(
+            rect.clamp_point(Point::new(20.0, 30.0)),
+            Point::new(10.0, 10.0)
+        );
+    }
+
+    #[test]
+    fn translate_preserves_size() {
+        let rect = r(1.0, 2.0, 3.0, 4.0).translate(Vector::new(10.0, -2.0));
+        assert_eq!(rect, r(11.0, 0.0, 3.0, 4.0));
+    }
+}

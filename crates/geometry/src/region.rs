@@ -1,0 +1,272 @@
+//! Regions: disjoint unions of rectangles.
+//!
+//! The compositor needs more than single-rectangle clipping: an ad can be
+//! partially covered by a sticky header *and* clipped by the viewport at
+//! the same time. A [`Region`] represents the still-visible part as a set
+//! of **pairwise disjoint** rectangles supporting intersection and
+//! subtraction, with exact area computation.
+
+use crate::{Rect, EPSILON};
+
+/// A (possibly empty) set of pairwise-disjoint rectangles.
+///
+/// Invariant: no two stored rectangles share interior area, and no stored
+/// rectangle is empty. All operations preserve the invariant; it is checked
+/// exhaustively by the property tests in `tests/region_props.rs`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Region {
+    rects: Vec<Rect>,
+}
+
+impl Region {
+    /// The empty region.
+    pub fn empty() -> Self {
+        Region { rects: Vec::new() }
+    }
+
+    /// A region consisting of a single rectangle (or empty, if `r` is).
+    pub fn from_rect(r: Rect) -> Self {
+        if r.is_empty() {
+            Region::empty()
+        } else {
+            Region { rects: vec![r] }
+        }
+    }
+
+    /// `true` when the region covers no area.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Total covered area. Exact because the parts are disjoint.
+    pub fn area(&self) -> f64 {
+        self.rects.iter().map(Rect::area).sum()
+    }
+
+    /// The disjoint rectangles making up the region.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Bounding box of the region (`Rect::ZERO` when empty).
+    pub fn bounds(&self) -> Rect {
+        self.rects
+            .iter()
+            .fold(Rect::ZERO, |acc, r| acc.union(r))
+    }
+
+    /// `true` when `p` is covered by the region.
+    pub fn contains(&self, p: crate::Point) -> bool {
+        self.rects.iter().any(|r| r.contains(p))
+    }
+
+    /// Intersects the region with a clip rectangle.
+    pub fn intersect_rect(&self, clip: &Rect) -> Region {
+        let rects = self
+            .rects
+            .iter()
+            .filter_map(|r| r.intersection(clip))
+            .filter(|r| !r.is_empty())
+            .collect();
+        Region { rects }
+    }
+
+    /// Subtracts `hole` from the region.
+    ///
+    /// Each stored rectangle is split into at most four disjoint pieces
+    /// (above, below, left, right of the hole) — the classic guillotine
+    /// decomposition, which keeps pieces axis-aligned and disjoint.
+    pub fn subtract_rect(&self, hole: &Rect) -> Region {
+        if hole.is_empty() {
+            return self.clone();
+        }
+        let mut out = Vec::with_capacity(self.rects.len());
+        for r in &self.rects {
+            split_around(r, hole, &mut out);
+        }
+        Region { rects: out }
+    }
+
+    /// Subtracts every rectangle of `other` from the region.
+    pub fn subtract(&self, other: &Region) -> Region {
+        let mut acc = self.clone();
+        for hole in &other.rects {
+            acc = acc.subtract_rect(hole);
+        }
+        acc
+    }
+
+    /// Adds a rectangle to the region, keeping parts disjoint by only
+    /// inserting the portion of `r` not already covered.
+    pub fn add_rect(&mut self, r: Rect) {
+        if r.is_empty() {
+            return;
+        }
+        // Start from the new rect and subtract everything we already have;
+        // what is left is genuinely new coverage.
+        let mut fresh = vec![r];
+        for existing in &self.rects {
+            let mut next = Vec::with_capacity(fresh.len());
+            for piece in &fresh {
+                split_around(piece, existing, &mut next);
+            }
+            fresh = next;
+            if fresh.is_empty() {
+                return;
+            }
+        }
+        self.rects.extend(fresh);
+    }
+
+    /// Builds a region as the union of arbitrary (possibly overlapping)
+    /// rectangles.
+    pub fn union_of(rects: impl IntoIterator<Item = Rect>) -> Region {
+        let mut region = Region::empty();
+        for r in rects {
+            region.add_rect(r);
+        }
+        region
+    }
+}
+
+/// Pushes the (≤ 4) disjoint pieces of `r − hole` into `out`.
+fn split_around(r: &Rect, hole: &Rect, out: &mut Vec<Rect>) {
+    let overlap = match r.intersection(hole) {
+        Some(o) => o,
+        None => {
+            if !r.is_empty() {
+                out.push(*r);
+            }
+            return;
+        }
+    };
+
+    // Band above the hole (full width of r).
+    push_nonempty(out, Rect::new(
+        r.min_x(),
+        r.min_y(),
+        r.width(),
+        overlap.min_y() - r.min_y(),
+    ));
+    // Band below the hole (full width of r).
+    push_nonempty(out, Rect::new(
+        r.min_x(),
+        overlap.max_y(),
+        r.width(),
+        r.max_y() - overlap.max_y(),
+    ));
+    // Left band (restricted to the hole's vertical extent).
+    push_nonempty(out, Rect::new(
+        r.min_x(),
+        overlap.min_y(),
+        overlap.min_x() - r.min_x(),
+        overlap.height(),
+    ));
+    // Right band (restricted to the hole's vertical extent).
+    push_nonempty(out, Rect::new(
+        overlap.max_x(),
+        overlap.min_y(),
+        r.max_x() - overlap.max_x(),
+        overlap.height(),
+    ));
+}
+
+fn push_nonempty(out: &mut Vec<Rect>, r: Rect) {
+    if r.width() > EPSILON && r.height() > EPSILON {
+        out.push(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, Point};
+
+    fn r(x: f64, y: f64, w: f64, h: f64) -> Rect {
+        Rect::new(x, y, w, h)
+    }
+
+    fn assert_disjoint(region: &Region) {
+        let rects = region.rects();
+        for (i, a) in rects.iter().enumerate() {
+            for b in &rects[i + 1..] {
+                assert!(!a.intersects(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_region_has_zero_area() {
+        assert_eq!(Region::empty().area(), 0.0);
+        assert!(Region::from_rect(Rect::ZERO).is_empty());
+    }
+
+    #[test]
+    fn subtract_center_hole_leaves_frame() {
+        let region = Region::from_rect(r(0.0, 0.0, 10.0, 10.0));
+        let out = region.subtract_rect(&r(2.0, 2.0, 6.0, 6.0));
+        assert_disjoint(&out);
+        assert!(approx_eq(out.area(), 100.0 - 36.0));
+        assert!(!out.contains(Point::new(5.0, 5.0)));
+        assert!(out.contains(Point::new(1.0, 1.0)));
+        assert!(out.contains(Point::new(9.0, 9.0)));
+    }
+
+    #[test]
+    fn subtract_disjoint_hole_is_noop() {
+        let region = Region::from_rect(r(0.0, 0.0, 10.0, 10.0));
+        let out = region.subtract_rect(&r(20.0, 20.0, 5.0, 5.0));
+        assert_eq!(out, region);
+    }
+
+    #[test]
+    fn subtract_covering_hole_empties_region() {
+        let region = Region::from_rect(r(2.0, 2.0, 4.0, 4.0));
+        let out = region.subtract_rect(&r(0.0, 0.0, 10.0, 10.0));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn subtract_corner_overlap() {
+        let region = Region::from_rect(r(0.0, 0.0, 10.0, 10.0));
+        let out = region.subtract_rect(&r(5.0, 5.0, 10.0, 10.0));
+        assert_disjoint(&out);
+        assert!(approx_eq(out.area(), 75.0));
+    }
+
+    #[test]
+    fn union_of_overlapping_counts_once() {
+        let region = Region::union_of([r(0.0, 0.0, 10.0, 10.0), r(5.0, 0.0, 10.0, 10.0)]);
+        assert_disjoint(&region);
+        assert!(approx_eq(region.area(), 150.0));
+    }
+
+    #[test]
+    fn union_of_identical_counts_once() {
+        let region = Region::union_of([r(0.0, 0.0, 4.0, 4.0), r(0.0, 0.0, 4.0, 4.0)]);
+        assert!(approx_eq(region.area(), 16.0));
+    }
+
+    #[test]
+    fn intersect_rect_clips() {
+        let region = Region::union_of([r(0.0, 0.0, 10.0, 10.0), r(20.0, 0.0, 10.0, 10.0)]);
+        let out = region.intersect_rect(&r(5.0, 0.0, 20.0, 10.0));
+        assert_disjoint(&out);
+        assert!(approx_eq(out.area(), 5.0 * 10.0 + 5.0 * 10.0));
+    }
+
+    #[test]
+    fn subtract_region_multiple_holes() {
+        let region = Region::from_rect(r(0.0, 0.0, 10.0, 10.0));
+        let holes = Region::union_of([r(0.0, 0.0, 5.0, 5.0), r(5.0, 5.0, 5.0, 5.0)]);
+        let out = region.subtract(&holes);
+        assert_disjoint(&out);
+        assert!(approx_eq(out.area(), 50.0));
+    }
+
+    #[test]
+    fn bounds_covers_all_parts() {
+        let region = Region::union_of([r(0.0, 0.0, 1.0, 1.0), r(9.0, 9.0, 1.0, 1.0)]);
+        assert_eq!(region.bounds(), r(0.0, 0.0, 10.0, 10.0));
+    }
+}

@@ -1,0 +1,106 @@
+//! 2-D sizes (width × height).
+
+use core::fmt;
+
+/// A non-negative size in CSS pixels.
+///
+/// Standard IAB display-ad sizes used throughout the paper's evaluation
+/// (`300x250` medium rectangle, `320x50` mobile banner) are provided as
+/// constants.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Size {
+    /// Width in CSS px.
+    pub width: f64,
+    /// Height in CSS px.
+    pub height: f64,
+}
+
+impl Size {
+    /// The empty size.
+    pub const ZERO: Size = Size {
+        width: 0.0,
+        height: 0.0,
+    };
+
+    /// IAB "medium rectangle" — one of the two creative sizes used in the
+    /// paper's production campaigns (§5).
+    pub const MEDIUM_RECTANGLE: Size = Size {
+        width: 300.0,
+        height: 250.0,
+    };
+
+    /// IAB "mobile leaderboard" — the other creative size used in §5.
+    pub const MOBILE_BANNER: Size = Size {
+        width: 320.0,
+        height: 50.0,
+    };
+
+    /// IAB "leaderboard", a common desktop banner, used in the
+    /// certification tests as the desktop-banner format.
+    pub const LEADERBOARD: Size = Size {
+        width: 728.0,
+        height: 90.0,
+    };
+
+    /// A 16:9 in-stream video player size used for the desktop-video
+    /// certification format.
+    pub const VIDEO_PLAYER: Size = Size {
+        width: 640.0,
+        height: 360.0,
+    };
+
+    /// Creates a size, clamping negative dimensions to zero.
+    #[inline]
+    pub fn new(width: f64, height: f64) -> Self {
+        Size {
+            width: width.max(0.0),
+            height: height.max(0.0),
+        }
+    }
+
+    /// Area in px².
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// `true` when either dimension is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.width <= 0.0 || self.height <= 0.0
+    }
+}
+
+impl fmt::Display for Size {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_dimensions_clamp_to_zero() {
+        let s = Size::new(-3.0, 10.0);
+        assert_eq!(s.width, 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn area_of_medium_rectangle() {
+        assert_eq!(Size::MEDIUM_RECTANGLE.area(), 75_000.0);
+    }
+
+    #[test]
+    fn zero_is_empty() {
+        assert!(Size::ZERO.is_empty());
+        assert!(!Size::MOBILE_BANNER.is_empty());
+    }
+
+    #[test]
+    fn display_formats_wxh() {
+        assert_eq!(Size::new(300.0, 250.0).to_string(), "300x250");
+    }
+}

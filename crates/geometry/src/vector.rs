@@ -1,0 +1,133 @@
+//! 2-D displacement vectors.
+
+use core::fmt;
+use core::ops::{Add, Mul, Neg, Sub};
+
+/// A displacement in CSS-pixel space.
+///
+/// Produced by subtracting two [`crate::Point`]s; used for scroll offsets,
+/// slide directions in the Figure-2 experiments and iframe coordinate
+/// translation chains.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Vector {
+    /// Horizontal component.
+    pub dx: f64,
+    /// Vertical component.
+    pub dy: f64,
+}
+
+impl Vector {
+    /// The zero displacement.
+    pub const ZERO: Vector = Vector { dx: 0.0, dy: 0.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(dx: f64, dy: f64) -> Self {
+        Vector { dx, dy }
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        (self.dx * self.dx + self.dy * self.dy).sqrt()
+    }
+
+    /// Returns a unit-length vector in the same direction, or `None` for
+    /// the zero vector.
+    pub fn normalized(&self) -> Option<Vector> {
+        let len = self.length();
+        if len <= f64::EPSILON {
+            None
+        } else {
+            Some(Vector::new(self.dx / len, self.dy / len))
+        }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, other: Vector) -> f64 {
+        self.dx * other.dx + self.dy * other.dy
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    #[inline]
+    fn add(self, o: Vector) -> Vector {
+        Vector::new(self.dx + o.dx, self.dy + o.dy)
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, o: Vector) -> Vector {
+        Vector::new(self.dx - o.dx, self.dy - o.dy)
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+    #[inline]
+    fn mul(self, k: f64) -> Vector {
+        Vector::new(self.dx * k, self.dy * k)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    #[inline]
+    fn neg(self) -> Vector {
+        Vector::new(-self.dx, -self.dy)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.dx, self.dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn length_of_345_triangle() {
+        assert!(approx_eq(Vector::new(3.0, 4.0).length(), 5.0));
+    }
+
+    #[test]
+    fn zero_vector_has_no_direction() {
+        assert!(Vector::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn normalized_has_unit_length() {
+        let v = Vector::new(-7.0, 2.5).normalized().unwrap();
+        assert!(approx_eq(v.length(), 1.0));
+    }
+
+    #[test]
+    fn dot_of_perpendicular_is_zero() {
+        assert!(approx_eq(
+            Vector::new(1.0, 0.0).dot(Vector::new(0.0, 5.0)),
+            0.0
+        ));
+    }
+
+    #[test]
+    fn scaling_scales_length() {
+        let v = Vector::new(3.0, 4.0) * 2.0;
+        assert!(approx_eq(v.length(), 10.0));
+    }
+
+    #[test]
+    fn add_sub_neg_are_consistent() {
+        let a = Vector::new(1.0, 2.0);
+        let b = Vector::new(-3.0, 5.0);
+        assert_eq!(a + b, Vector::new(-2.0, 7.0));
+        assert_eq!(a - b, a + (-b));
+    }
+}

@@ -1,0 +1,219 @@
+//! Property-based tests for the geometry foundation.
+//!
+//! These invariants are load-bearing for the whole reproduction: the
+//! compositor's visibility pipeline and the Figure-2 analytic experiment
+//! both assume rectangle/region algebra behaves exactly like set algebra
+//! on areas.
+
+use proptest::prelude::*;
+use qtag_geometry::{approx_eq, Point, Rect, Region, Size, Vector};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (
+        -500.0f64..500.0,
+        -500.0f64..500.0,
+        0.0f64..400.0,
+        0.0f64..400.0,
+    )
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+}
+
+fn arb_nonempty_rect() -> impl Strategy<Value = Rect> {
+    (
+        -500.0f64..500.0,
+        -500.0f64..500.0,
+        1.0f64..400.0,
+        1.0f64..400.0,
+    )
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+}
+
+fn area_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #[test]
+    fn intersection_commutes(a in arb_rect(), b in arb_rect()) {
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        }
+    }
+
+    #[test]
+    fn intersection_idempotent(a in arb_nonempty_rect()) {
+        let i = a.intersection(&a).expect("nonempty rect intersects itself");
+        // `(x + w) - x` need not equal `w` exactly in floating point, so
+        // compare approximately.
+        prop_assert!(approx_eq(i.min_x(), a.min_x()));
+        prop_assert!(approx_eq(i.min_y(), a.min_y()));
+        prop_assert!(approx_eq(i.area(), a.area()));
+    }
+
+    #[test]
+    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn visible_fraction_bounded(a in arb_nonempty_rect(), clip in arb_rect()) {
+        let f = a.visible_fraction(&clip);
+        prop_assert!((0.0..=1.0).contains(&f), "fraction {} out of range", f);
+    }
+
+    #[test]
+    fn visible_fraction_monotone_in_clip(a in arb_nonempty_rect(), clip in arb_nonempty_rect()) {
+        // Growing the clip can only reveal more of the ad.
+        let grown = Rect::new(
+            clip.min_x() - 50.0,
+            clip.min_y() - 50.0,
+            clip.width() + 100.0,
+            clip.height() + 100.0,
+        );
+        prop_assert!(a.visible_fraction(&grown) + 1e-9 >= a.visible_fraction(&clip));
+    }
+
+    #[test]
+    fn translate_preserves_area(a in arb_rect(), dx in -100.0f64..100.0, dy in -100.0f64..100.0) {
+        let t = a.translate(Vector::new(dx, dy));
+        prop_assert!(approx_eq(t.area(), a.area()));
+    }
+
+    #[test]
+    fn contains_center_of_nonempty(a in arb_nonempty_rect()) {
+        prop_assert!(a.contains(a.center()));
+    }
+
+    #[test]
+    fn clamp_point_lands_on_or_in_rect(a in arb_nonempty_rect(), x in -1000.0f64..1000.0, y in -1000.0f64..1000.0) {
+        let p = a.clamp_point(Point::new(x, y));
+        prop_assert!(p.x >= a.min_x() && p.x <= a.max_x());
+        prop_assert!(p.y >= a.min_y() && p.y <= a.max_y());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Inclusion–exclusion: |A ∪ B| = |A| + |B| − |A ∩ B|.
+    #[test]
+    fn region_union_obeys_inclusion_exclusion(a in arb_nonempty_rect(), b in arb_nonempty_rect()) {
+        let union = Region::union_of([a, b]);
+        let overlap = a.intersection(&b).map(|r| r.area()).unwrap_or(0.0);
+        prop_assert!(
+            area_eq(union.area(), a.area() + b.area() - overlap),
+            "union area {} vs expected {}", union.area(), a.area() + b.area() - overlap
+        );
+    }
+
+    /// Subtraction removes exactly the overlap: |A − B| = |A| − |A ∩ B|.
+    #[test]
+    fn region_subtract_removes_overlap(a in arb_nonempty_rect(), b in arb_nonempty_rect()) {
+        let out = Region::from_rect(a).subtract_rect(&b);
+        let overlap = a.intersection(&b).map(|r| r.area()).unwrap_or(0.0);
+        prop_assert!(area_eq(out.area(), a.area() - overlap));
+    }
+
+    /// All pieces of a region stay pairwise disjoint after arbitrary
+    /// union-of construction.
+    #[test]
+    fn region_parts_stay_disjoint(rects in prop::collection::vec(arb_nonempty_rect(), 1..6)) {
+        let region = Region::union_of(rects);
+        let parts = region.rects();
+        for (i, p) in parts.iter().enumerate() {
+            for q in &parts[i + 1..] {
+                // Hairline float overlaps (< 1e-6 px²) are tolerated.
+                let overlap = p.intersection(q).map(|r| r.area()).unwrap_or(0.0);
+                prop_assert!(overlap < 1e-6, "{} overlaps {} by {}", p, q, overlap);
+            }
+        }
+    }
+
+    /// Subtracting then re-adding the hole restores at least the original
+    /// coverage (point-wise check on a grid).
+    #[test]
+    fn subtract_then_add_restores_coverage(a in arb_nonempty_rect(), b in arb_nonempty_rect()) {
+        let mut region = Region::from_rect(a).subtract_rect(&b);
+        region.add_rect(b);
+        // every grid point of `a` must be covered again
+        for i in 0..5 {
+            for j in 0..5 {
+                let p = Point::new(
+                    a.min_x() + (i as f64 + 0.5) * a.width() / 5.0,
+                    a.min_y() + (j as f64 + 0.5) * a.height() / 5.0,
+                );
+                prop_assert!(region.contains(p), "lost coverage at {}", p);
+            }
+        }
+    }
+
+    /// Clipping a region never increases its area and the result is inside
+    /// the clip.
+    #[test]
+    fn region_clip_shrinks(rects in prop::collection::vec(arb_nonempty_rect(), 1..5), clip in arb_nonempty_rect()) {
+        let region = Region::union_of(rects);
+        let clipped = region.intersect_rect(&clip);
+        prop_assert!(clipped.area() <= region.area() + 1e-6);
+        prop_assert!(clip.contains_rect(&clipped.bounds()) || clipped.is_empty());
+    }
+}
+
+#[test]
+fn region_subtract_many_holes_area_matches_grid_oracle() {
+    // Deterministic oracle: compare exact region area against a fine grid
+    // estimate for a hand-picked awkward configuration.
+    let base = Rect::new(0.0, 0.0, 100.0, 100.0);
+    let holes = [
+        Rect::new(-10.0, -10.0, 30.0, 30.0),
+        Rect::new(50.0, 50.0, 100.0, 10.0),
+        Rect::new(20.0, 5.0, 10.0, 200.0),
+        Rect::new(60.0, 60.0, 5.0, 5.0), // nested inside second hole's band
+    ];
+    let mut region = Region::from_rect(base);
+    for h in &holes {
+        region = region.subtract_rect(h);
+    }
+
+    let n = 400;
+    let mut covered = 0u32;
+    for i in 0..n {
+        for j in 0..n {
+            let p = Point::new(
+                (i as f64 + 0.5) * 100.0 / n as f64,
+                (j as f64 + 0.5) * 100.0 / n as f64,
+            );
+            let in_hole = holes.iter().any(|h| h.contains(p));
+            if !in_hole {
+                covered += 1;
+                assert!(region.contains(p), "region missing point {p}");
+            } else {
+                assert!(!region.contains(p), "region wrongly covers {p}");
+            }
+        }
+    }
+    let grid_area = covered as f64 * (100.0 / n as f64) * (100.0 / n as f64);
+    assert!(
+        (region.area() - grid_area).abs() < 100.0 * 100.0 / n as f64,
+        "exact {} vs grid {}",
+        region.area(),
+        grid_area
+    );
+}
+
+#[test]
+fn size_constants_match_iab_formats() {
+    assert_eq!(Size::MEDIUM_RECTANGLE.width, 300.0);
+    assert_eq!(Size::MEDIUM_RECTANGLE.height, 250.0);
+    assert_eq!(Size::MOBILE_BANNER.width, 320.0);
+    assert_eq!(Size::MOBILE_BANNER.height, 50.0);
+}

@@ -1,0 +1,120 @@
+//! CPU load models.
+//!
+//! The paper sets its visibility threshold at a conservative 20 fps "to
+//! make our solution compatible in devices with overloaded CPUs that
+//! refresh at lower than 60 fps rates" (§3). The load model makes that
+//! scenario reproducible: effective paint rate = refresh rate × (1 − load).
+
+use crate::SimTime;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// How busy the device CPU is over simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CpuLoadModel {
+    /// Constant load in `[0, 1)`. `0.0` is an idle device painting at the
+    /// full refresh rate.
+    Constant(f64),
+    /// Piecewise-constant load: `(start time, load)` steps, sorted by
+    /// time. Load before the first step is `0`.
+    Steps(Vec<(SimTime, f64)>),
+    /// Base load plus uniform noise of the given amplitude, resampled
+    /// every frame — models a janky device.
+    Noisy {
+        /// Mean load.
+        base: f64,
+        /// Half-width of the uniform jitter.
+        amplitude: f64,
+    },
+}
+
+impl CpuLoadModel {
+    /// An idle device.
+    pub fn idle() -> Self {
+        CpuLoadModel::Constant(0.0)
+    }
+
+    /// Load at time `now` (clamped to `[0, 0.99]`; a device never stops
+    /// painting entirely from CPU pressure alone).
+    pub fn load_at(&self, now: SimTime, rng: &mut ChaCha8Rng) -> f64 {
+        let raw = match self {
+            CpuLoadModel::Constant(l) => *l,
+            CpuLoadModel::Steps(steps) => {
+                let mut current = 0.0;
+                for (t, l) in steps {
+                    if *t <= now {
+                        current = *l;
+                    } else {
+                        break;
+                    }
+                }
+                current
+            }
+            CpuLoadModel::Noisy { base, amplitude } => {
+                base + rng.gen_range(-*amplitude..=*amplitude)
+            }
+        };
+        raw.clamp(0.0, 0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn constant_load_is_constant() {
+        let m = CpuLoadModel::Constant(0.5);
+        assert_eq!(m.load_at(SimTime::ZERO, &mut rng()), 0.5);
+        assert_eq!(m.load_at(SimTime::from_micros(9_999_999), &mut rng()), 0.5);
+    }
+
+    #[test]
+    fn steps_apply_in_order() {
+        let m = CpuLoadModel::Steps(vec![
+            (SimTime::from_micros(1_000_000), 0.3),
+            (SimTime::from_micros(2_000_000), 0.8),
+        ]);
+        let mut r = rng();
+        assert_eq!(m.load_at(SimTime::ZERO, &mut r), 0.0);
+        assert_eq!(m.load_at(SimTime::from_micros(1_500_000), &mut r), 0.3);
+        assert_eq!(m.load_at(SimTime::from_micros(3_000_000), &mut r), 0.8);
+    }
+
+    #[test]
+    fn load_is_clamped() {
+        let m = CpuLoadModel::Constant(7.0);
+        assert_eq!(m.load_at(SimTime::ZERO, &mut rng()), 0.99);
+        let m = CpuLoadModel::Constant(-2.0);
+        assert_eq!(m.load_at(SimTime::ZERO, &mut rng()), 0.0);
+    }
+
+    #[test]
+    fn noisy_load_stays_in_band() {
+        let m = CpuLoadModel::Noisy { base: 0.5, amplitude: 0.2 };
+        let mut r = rng();
+        for i in 0..100 {
+            let l = m.load_at(SimTime::from_micros(i), &mut r);
+            assert!((0.3..=0.7).contains(&l), "load {l} escaped the band");
+        }
+    }
+
+    #[test]
+    fn noisy_load_is_deterministic_per_seed() {
+        let m = CpuLoadModel::Noisy { base: 0.4, amplitude: 0.1 };
+        let a: Vec<f64> = {
+            let mut r = rng();
+            (0..10).map(|i| m.load_at(SimTime::from_micros(i), &mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng();
+            (0..10).map(|i| m.load_at(SimTime::from_micros(i), &mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

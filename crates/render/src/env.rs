@@ -1,0 +1,174 @@
+//! Device and browser environment profiles.
+
+use qtag_geometry::Size;
+use qtag_wire::{BrowserKind, OsKind, SiteType};
+
+/// Which measurement-relevant APIs the environment exposes to scripts.
+///
+/// The capability gap between environments is what produces the paper's
+/// headline result (Figure 3a / Table 2): the commercial verifier leans
+/// on geometry APIs that old browsers and — above all — Android in-app
+/// webviews do not expose, while Q-Tag needs nothing beyond JavaScript
+/// execution and repaint callbacks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApiCapabilities {
+    /// A native viewability / intersection API is available to scripts
+    /// (modern `IntersectionObserver`-class support with cross-origin
+    /// reporting). When present, a geometry-based verifier measures
+    /// reliably even in cross-origin iframes.
+    pub native_viewability_api: bool,
+    /// Animation-frame callbacks fire reliably inside cross-origin
+    /// iframes (the substrate Q-Tag requires; effectively universal —
+    /// absent only in broken/ancient webviews).
+    pub animation_frames: bool,
+    /// The verifier's measurement SDK can bootstrap at all in this
+    /// environment (some app webviews sandbox third-party script
+    /// loading).
+    pub verifier_sdk_loads: bool,
+}
+
+impl ApiCapabilities {
+    /// Everything available — a current desktop browser.
+    pub fn full() -> Self {
+        ApiCapabilities {
+            native_viewability_api: true,
+            animation_frames: true,
+            verifier_sdk_loads: true,
+        }
+    }
+}
+
+/// A concrete device + browser environment a session runs in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Operating system.
+    pub os: OsKind,
+    /// Browser / webview engine.
+    pub browser: BrowserKind,
+    /// Browser page or in-app webview.
+    pub site_type: SiteType,
+    /// Nominal display refresh rate (Hz). "The refresh rate in most
+    /// devices is 60 (or more) fps" (§3).
+    pub refresh_hz: f64,
+    /// Logical screen size (CSS px).
+    pub screen: Size,
+    /// Height of browser/app chrome above the page viewport.
+    pub chrome_height: f64,
+    /// API surface available to scripts.
+    pub caps: ApiCapabilities,
+}
+
+impl DeviceProfile {
+    /// Desktop profile used in the certification matrix (§4.2):
+    /// 1920×1080 at 60 Hz, full APIs.
+    pub fn desktop(browser: BrowserKind, os: OsKind) -> Self {
+        let caps = match browser {
+            // IE11 predates IntersectionObserver: geometry verifiers fall
+            // back to slower heuristics, but the SDK does load.
+            BrowserKind::Ie11 => ApiCapabilities {
+                native_viewability_api: false,
+                animation_frames: true,
+                verifier_sdk_loads: true,
+            },
+            _ => ApiCapabilities::full(),
+        };
+        DeviceProfile {
+            os,
+            browser,
+            site_type: SiteType::Browser,
+            refresh_hz: 60.0,
+            screen: Size::new(1920.0, 1080.0),
+            chrome_height: 80.0,
+            caps,
+        }
+    }
+
+    /// Mobile browser profile (Chrome on Android / Safari on iOS).
+    pub fn mobile_browser(os: OsKind) -> Self {
+        let browser = match os {
+            OsKind::Ios => BrowserKind::Safari,
+            _ => BrowserKind::Chrome,
+        };
+        DeviceProfile {
+            os,
+            browser,
+            site_type: SiteType::Browser,
+            refresh_hz: 60.0,
+            screen: Size::new(360.0, 740.0),
+            chrome_height: 56.0,
+            caps: ApiCapabilities::full(),
+        }
+    }
+
+    /// Mobile in-app webview profile. `modern` selects a recent webview
+    /// with full API support; legacy Android webviews lack the native
+    /// viewability API entirely and frequently sandbox verifier SDKs —
+    /// the mechanism behind Table 2's 53.4 % commercial measured rate in
+    /// Android apps.
+    pub fn in_app_webview(os: OsKind, modern: bool) -> Self {
+        let browser = match os {
+            OsKind::Ios => BrowserKind::IosWebView,
+            _ => BrowserKind::AndroidWebView,
+        };
+        DeviceProfile {
+            os,
+            browser,
+            site_type: SiteType::App,
+            refresh_hz: 60.0,
+            screen: Size::new(360.0, 740.0),
+            chrome_height: 56.0,
+            caps: if modern {
+                ApiCapabilities::full()
+            } else {
+                ApiCapabilities {
+                    native_viewability_api: false,
+                    animation_frames: true,
+                    verifier_sdk_loads: false,
+                }
+            },
+        }
+    }
+
+    /// Frame interval implied by the refresh rate.
+    pub fn frame_interval(&self) -> crate::SimDuration {
+        crate::SimDuration::from_secs_f64(1.0 / self.refresh_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desktop_profiles_have_full_caps_except_ie11() {
+        let chrome = DeviceProfile::desktop(BrowserKind::Chrome, OsKind::Windows10);
+        assert!(chrome.caps.native_viewability_api);
+        let ie = DeviceProfile::desktop(BrowserKind::Ie11, OsKind::Windows10);
+        assert!(!ie.caps.native_viewability_api);
+        assert!(ie.caps.verifier_sdk_loads);
+    }
+
+    #[test]
+    fn legacy_android_webview_blocks_verifier() {
+        let wv = DeviceProfile::in_app_webview(OsKind::Android, false);
+        assert!(!wv.caps.verifier_sdk_loads);
+        assert!(wv.caps.animation_frames, "Q-Tag's substrate must remain");
+        assert_eq!(wv.site_type, SiteType::App);
+        assert_eq!(wv.browser, BrowserKind::AndroidWebView);
+    }
+
+    #[test]
+    fn frame_interval_at_60hz() {
+        let p = DeviceProfile::desktop(BrowserKind::Firefox, OsKind::MacOs);
+        assert_eq!(p.frame_interval().as_micros(), 16_667);
+    }
+
+    #[test]
+    fn ios_defaults_map_to_apple_stacks() {
+        assert_eq!(DeviceProfile::mobile_browser(OsKind::Ios).browser, BrowserKind::Safari);
+        assert_eq!(
+            DeviceProfile::in_app_webview(OsKind::Ios, true).browser,
+            BrowserKind::IosWebView
+        );
+    }
+}

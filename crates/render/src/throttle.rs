@@ -1,0 +1,216 @@
+//! Compositing and throttling policy.
+//!
+//! This module answers, for one window/tab at one instant: *is this page
+//! being composited at all, and at what rate do its paints and timers
+//! run?* — the browser behaviour Q-Tag's side channel reads.
+
+use qtag_dom::{DomError, Screen, TabId, WindowId, WindowState};
+use qtag_geometry::Region;
+
+/// Timer rate (Hz) browsers allow pages that are not being composited
+/// (hidden tab, minimised or fully occluded window). Production browsers
+/// clamp `setInterval`/`setTimeout` in hidden documents to once per
+/// second; the tag's bookkeeping loop keeps limping along at this rate,
+/// which is how it notices "all my pixels stopped painting" and registers
+/// the *out-of-view* event required by Table 1 tests 4–7.
+pub fn timer_hz_when_hidden() -> f64 {
+    1.0
+}
+
+/// Why (or whether) a page is currently composited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompositeState {
+    /// The page paints at the device rate (modulo CPU load).
+    Active,
+    /// The tab exists but another tab is on top (Table 1 test 7).
+    BackgroundTab,
+    /// The window is minimised.
+    Minimized,
+    /// The window lies entirely outside the screen (test 4).
+    OffScreen,
+    /// Another opaque window completely covers this one (test 6).
+    FullyOccluded,
+}
+
+impl CompositeState {
+    /// `true` when the compositor is producing frames for the page.
+    pub fn is_compositing(self) -> bool {
+        matches!(self, CompositeState::Active)
+    }
+}
+
+/// Determines the composite state of `(window, tab)` on `screen`.
+///
+/// `tab = None` addresses the page of a non-browser surface (app
+/// webview). Browser pages in non-active tabs are `BackgroundTab`
+/// regardless of window geometry.
+pub fn composite_state(
+    screen: &Screen,
+    window: WindowId,
+    tab: Option<TabId>,
+) -> Result<CompositeState, DomError> {
+    let w = screen.window(window)?;
+    if w.state == WindowState::Minimized {
+        return Ok(CompositeState::Minimized);
+    }
+    if let Some(t) = tab {
+        if !w.tab_is_active(t) {
+            return Ok(CompositeState::BackgroundTab);
+        }
+    }
+    // Window geometry: entirely off the physical screen?
+    let on_screen = w.screen_rect.intersection(&screen.bounds());
+    let on_screen = match on_screen {
+        Some(r) if !r.is_empty() => r,
+        _ => return Ok(CompositeState::OffScreen),
+    };
+    // Fully occluded by opaque windows above? (Browsers detect *full*
+    // occlusion and stop compositing; partial occlusion does not throttle
+    // because the compositor rasterises the whole surface regardless.)
+    let mut visible = Region::from_rect(on_screen);
+    for occluder in screen.occluders_above(window)? {
+        visible = visible.subtract_rect(&occluder);
+        if visible.is_empty() {
+            return Ok(CompositeState::FullyOccluded);
+        }
+    }
+    Ok(CompositeState::Active)
+}
+
+/// Effective paint rate (frames per second) for a composited page.
+///
+/// `refresh_hz` is the device rate; `cpu_load ∈ [0, 1)` scales it down —
+/// "devices with overloaded CPUs … refresh at lower than 60 fps rates"
+/// (§3). Non-composited pages paint at 0 fps.
+pub fn paint_rate(state: CompositeState, refresh_hz: f64, cpu_load: f64) -> f64 {
+    if state.is_compositing() {
+        (refresh_hz * (1.0 - cpu_load)).max(0.0)
+    } else {
+        0.0
+    }
+}
+
+/// Effective timer rate for a page, given the rate the script asked for.
+pub fn timer_rate(state: CompositeState, requested_hz: f64) -> f64 {
+    if state.is_compositing() {
+        requested_hz.max(0.0)
+    } else {
+        requested_hz.max(0.0).min(timer_hz_when_hidden())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtag_dom::{Origin, Page, Tab, WindowKind};
+    use qtag_geometry::{Rect, Size, Vector};
+
+    fn page() -> Page {
+        Page::new(Origin::https("pub.example"), Size::new(1280.0, 3000.0))
+    }
+
+    fn screen_with_browser() -> (Screen, WindowId) {
+        let mut s = Screen::desktop();
+        let w = s.add_window(
+            WindowKind::Browser {
+                tabs: vec![Tab::new(page()), Tab::new(page())],
+                active: TabId(0),
+            },
+            Rect::new(100.0, 100.0, 1280.0, 880.0),
+            80.0,
+        );
+        (s, w)
+    }
+
+    #[test]
+    fn active_tab_composites() {
+        let (s, w) = screen_with_browser();
+        assert_eq!(
+            composite_state(&s, w, Some(TabId(0))).unwrap(),
+            CompositeState::Active
+        );
+    }
+
+    #[test]
+    fn background_tab_does_not_composite() {
+        let (s, w) = screen_with_browser();
+        let st = composite_state(&s, w, Some(TabId(1))).unwrap();
+        assert_eq!(st, CompositeState::BackgroundTab);
+        assert!(!st.is_compositing());
+    }
+
+    #[test]
+    fn minimized_window_stops_compositing() {
+        let (mut s, w) = screen_with_browser();
+        s.minimize(w).unwrap();
+        assert_eq!(
+            composite_state(&s, w, Some(TabId(0))).unwrap(),
+            CompositeState::Minimized
+        );
+    }
+
+    #[test]
+    fn off_screen_window_stops_compositing() {
+        let (mut s, w) = screen_with_browser();
+        s.move_window(w, Vector::new(10_000.0, 0.0)).unwrap();
+        assert_eq!(
+            composite_state(&s, w, Some(TabId(0))).unwrap(),
+            CompositeState::OffScreen
+        );
+    }
+
+    #[test]
+    fn partially_off_screen_still_composites() {
+        let (mut s, w) = screen_with_browser();
+        s.move_window(w, Vector::new(1500.0, 0.0)).unwrap();
+        assert_eq!(
+            composite_state(&s, w, Some(TabId(0))).unwrap(),
+            CompositeState::Active
+        );
+    }
+
+    #[test]
+    fn full_occlusion_stops_compositing() {
+        let (mut s, w) = screen_with_browser();
+        s.add_window(WindowKind::OpaqueApp, Rect::new(0.0, 0.0, 1920.0, 1080.0), 0.0);
+        assert_eq!(
+            composite_state(&s, w, Some(TabId(0))).unwrap(),
+            CompositeState::FullyOccluded
+        );
+    }
+
+    #[test]
+    fn partial_occlusion_keeps_compositing() {
+        let (mut s, w) = screen_with_browser();
+        s.add_window(WindowKind::OpaqueApp, Rect::new(0.0, 0.0, 600.0, 1080.0), 0.0);
+        assert_eq!(
+            composite_state(&s, w, Some(TabId(0))).unwrap(),
+            CompositeState::Active
+        );
+    }
+
+    #[test]
+    fn unfocused_but_visible_window_still_composites() {
+        // Table 1 test 3: "out of focus but always in-view".
+        let (mut s, w) = screen_with_browser();
+        s.blur_all();
+        assert_eq!(
+            composite_state(&s, w, Some(TabId(0))).unwrap(),
+            CompositeState::Active
+        );
+    }
+
+    #[test]
+    fn paint_rate_scales_with_cpu_load() {
+        assert_eq!(paint_rate(CompositeState::Active, 60.0, 0.0), 60.0);
+        assert!((paint_rate(CompositeState::Active, 60.0, 0.75) - 15.0).abs() < 1e-9);
+        assert_eq!(paint_rate(CompositeState::BackgroundTab, 60.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn hidden_timers_clamp_to_one_hz() {
+        assert_eq!(timer_rate(CompositeState::Active, 20.0), 20.0);
+        assert_eq!(timer_rate(CompositeState::Minimized, 20.0), 1.0);
+        assert_eq!(timer_rate(CompositeState::OffScreen, 0.5), 0.5);
+    }
+}

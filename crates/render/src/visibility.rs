@@ -1,0 +1,435 @@
+//! Visibility pipelines.
+//!
+//! Two distinct questions, deliberately kept separate:
+//!
+//! 1. **Viewport culling** ([`rect_in_viewport`], [`point_in_viewport`]):
+//!    does content land inside the page viewport after every iframe clip
+//!    and scroll? This is what decides whether the browser *rasterises*
+//!    a pixel — the signal Q-Tag's side channel observes.
+//! 2. **Ground truth** ([`element_true_visibility`]): what fraction of
+//!    the content can a human actually see, additionally accounting for
+//!    screen clipping, occlusion by other windows and in-page overlays.
+//!
+//! The two pipelines agree in the common scenarios (scrolling, tabs,
+//! minimised windows) and diverge exactly where a refresh-rate channel is
+//! blind (partial window occlusion, in-page overlays) — a property the
+//! validation experiments rely on.
+
+use crate::throttle::{composite_state, CompositeState};
+use qtag_dom::{DomError, ElementKind, FrameId, Page, Screen, TabId, WindowId};
+use qtag_geometry::{Point, Rect, Region, Size, Vector};
+
+/// Ground-truth visibility of a piece of content.
+#[derive(Debug, Clone)]
+pub struct TrueVisibility {
+    /// Composite state of the hosting page.
+    pub state: CompositeState,
+    /// Humanly visible part, in screen coordinates (empty when the page
+    /// is not composited).
+    pub region: Region,
+    /// `region` area over the content's own area, in `[0, 1]`.
+    pub fraction: f64,
+    /// Fraction that survives viewport culling alone (what the refresh
+    /// side channel can at best observe).
+    pub viewport_fraction: f64,
+}
+
+/// The page viewport's placement for `(window, tab)`: `(viewport rect on
+/// screen, viewport size)`. `None` when the surface is not presentable
+/// (minimised, opaque app).
+pub fn page_visibility_context(
+    screen: &Screen,
+    window: WindowId,
+) -> Result<Option<(Rect, Size)>, DomError> {
+    let w = screen.window(window)?;
+    Ok(w.viewport_rect_on_screen().map(|r| (r, r.size)))
+}
+
+/// Projects a rectangle in `frame`'s document coordinates to **viewport
+/// coordinates** (origin at the viewport's top-left), clipped by every
+/// intermediate iframe and by the viewport itself. `None` when fully
+/// culled.
+pub fn rect_in_viewport(
+    page: &Page,
+    frame: FrameId,
+    rect: Rect,
+    viewport: Size,
+) -> Result<Option<Rect>, DomError> {
+    let in_root = match page.rect_to_root_unchecked(frame, rect)? {
+        Some(r) => r,
+        None => return Ok(None),
+    };
+    let root_scroll = page.frame(page.root())?.scroll();
+    let in_vp = in_root.translate(-root_scroll);
+    let vp_rect = Rect::new(0.0, 0.0, viewport.width, viewport.height);
+    Ok(in_vp.intersection(&vp_rect))
+}
+
+/// Point version of [`rect_in_viewport`] (half-open viewport bounds).
+pub fn point_in_viewport(
+    page: &Page,
+    frame: FrameId,
+    point: Point,
+    viewport: Size,
+) -> Result<bool, DomError> {
+    let in_root = match page.point_to_root_unchecked(frame, point)? {
+        Some(p) => p,
+        None => return Ok(false),
+    };
+    let root_scroll = page.frame(page.root())?.scroll();
+    let p = in_root - root_scroll;
+    let vp_rect = Rect::new(0.0, 0.0, viewport.width, viewport.height);
+    Ok(vp_rect.contains(p))
+}
+
+/// Fraction of `rect` (in `frame` doc coordinates) that survives viewport
+/// culling. This is the *side-channel-observable* visible fraction.
+pub fn viewport_fraction(
+    page: &Page,
+    frame: FrameId,
+    rect: Rect,
+    viewport: Size,
+) -> Result<f64, DomError> {
+    if rect.is_empty() {
+        return Ok(0.0);
+    }
+    Ok(rect_in_viewport(page, frame, rect, viewport)?
+        .map(|r| (r.area() / rect.area()).clamp(0.0, 1.0))
+        .unwrap_or(0.0))
+}
+
+/// Ground-truth visibility of `rect` (in `frame` document coordinates of
+/// the page shown in `(window, tab)`).
+///
+/// Pipeline: composite check → iframe clips → viewport clip → screen
+/// placement → screen-bounds clip → subtract opaque windows above →
+/// subtract in-page overlays.
+///
+/// In-page occlusion model (documented simplification): only elements of
+/// kind [`ElementKind::Overlay`] in the **root frame** with `z_index ≥ 1`
+/// occlude ad content — the sticky-header / cookie-banner case. Ads and
+/// their iframes sit at `z_index 0` in this model.
+pub fn element_true_visibility(
+    screen: &Screen,
+    window: WindowId,
+    tab: Option<TabId>,
+    frame: FrameId,
+    rect: Rect,
+) -> Result<TrueVisibility, DomError> {
+    let state = composite_state(screen, window, tab)?;
+    let w = screen.window(window)?;
+    let page = match (&tab, w.active_page()) {
+        // For browser windows we address the *requested* tab's page; it
+        // is only visible when it is also the active one, which the
+        // composite state already encodes.
+        (Some(t), _) => {
+            match &w.kind {
+                qtag_dom::WindowKind::Browser { tabs, .. } => tabs
+                    .get(t.index())
+                    .map(|tb| &tb.page)
+                    .ok_or(DomError::UnknownTab(window, *t))?,
+                _ => return Err(DomError::UnknownTab(window, *t)),
+            }
+        }
+        (None, Some(p)) => p,
+        (None, None) => {
+            return Ok(TrueVisibility {
+                state,
+                region: Region::empty(),
+                fraction: 0.0,
+                viewport_fraction: 0.0,
+            })
+        }
+    };
+
+    let (vp_on_screen, vp_size) = match w.viewport_rect_on_screen() {
+        Some(r) => (r, r.size),
+        None => {
+            return Ok(TrueVisibility {
+                state,
+                region: Region::empty(),
+                fraction: 0.0,
+                viewport_fraction: 0.0,
+            })
+        }
+    };
+
+    let vp_frac = viewport_fraction(page, frame, rect, vp_size)?;
+
+    if !state.is_compositing() {
+        return Ok(TrueVisibility {
+            state,
+            region: Region::empty(),
+            fraction: 0.0,
+            viewport_fraction: vp_frac,
+        });
+    }
+
+    let in_vp = match rect_in_viewport(page, frame, rect, vp_size)? {
+        Some(r) => r,
+        None => {
+            return Ok(TrueVisibility {
+                state,
+                region: Region::empty(),
+                fraction: 0.0,
+                viewport_fraction: 0.0,
+            })
+        }
+    };
+
+    // Viewport coords -> screen coords.
+    let on_screen = in_vp.translate(vp_on_screen.origin - Point::ORIGIN);
+    let mut region = Region::from_rect(on_screen).intersect_rect(&screen.bounds());
+
+    // Opaque windows stacked above.
+    for occ in screen.occluders_above(window)? {
+        region = region.subtract_rect(&occ);
+        if region.is_empty() {
+            break;
+        }
+    }
+
+    // In-page overlays (root frame, z ≥ 1), projected through the same
+    // viewport/screen transform.
+    let root = page.root();
+    let root_scroll = page.frame(root)?.scroll();
+    for el in page.frame(root)?.elements() {
+        if el.kind == ElementKind::Overlay && el.occludes() && el.z_index >= 1 {
+            let overlay_vp = el.rect.translate(-root_scroll);
+            let overlay_screen = overlay_vp.translate(vp_on_screen.origin - Point::ORIGIN);
+            region = region.subtract_rect(&overlay_screen);
+            if region.is_empty() {
+                break;
+            }
+        }
+    }
+
+    let fraction = if rect.is_empty() {
+        0.0
+    } else {
+        (region.area() / rect.area()).clamp(0.0, 1.0)
+    };
+    Ok(TrueVisibility {
+        state,
+        region,
+        fraction,
+        viewport_fraction: vp_frac,
+    })
+}
+
+/// Scrolls the root frame of the page shown in `(window, tab)` to the
+/// given offset, clamped to the page's scrollable range.
+pub fn scroll_page_to(
+    screen: &mut Screen,
+    window: WindowId,
+    tab: Option<TabId>,
+    offset: Vector,
+) -> Result<(), DomError> {
+    let w = screen.window_mut(window)?;
+    let vp = w.viewport_size();
+    let page = match (&tab, &mut w.kind) {
+        (Some(t), qtag_dom::WindowKind::Browser { tabs, .. }) => tabs
+            .get_mut(t.index())
+            .map(|tb| &mut tb.page)
+            .ok_or(DomError::UnknownTab(window, *t))?,
+        (None, qtag_dom::WindowKind::AppWebView { page }) => page,
+        (None, qtag_dom::WindowKind::Browser { tabs, active }) => tabs
+            .get_mut(active.index())
+            .map(|tb| &mut tb.page)
+            .ok_or(DomError::UnknownTab(window, *active))?,
+        _ => return Err(DomError::UnknownWindow(window)),
+    };
+    let root = page.root();
+    page.scroll_frame_to(root, offset, vp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtag_dom::{Element, Origin, Tab, WindowKind};
+    use qtag_geometry::approx_eq;
+
+    /// Builds: desktop screen, browser window at (0,0) 1280×880 with
+    /// 80 px chrome (viewport 1280×800), page 1280×3000 with an ad inside
+    /// a double cross-domain iframe at (200, 1000) sized 300×250.
+    fn setup() -> (Screen, WindowId, FrameId, Rect) {
+        let mut page = Page::new(Origin::https("pub.example"), Size::new(1280.0, 3000.0));
+        let ssp = page.create_frame(Origin::https("ssp.example"), Size::new(300.0, 250.0));
+        page.embed_iframe(page.root(), ssp, Rect::new(200.0, 1000.0, 300.0, 250.0))
+            .unwrap();
+        let dsp = page.create_frame(Origin::https("dsp.example"), Size::new(300.0, 250.0));
+        page.embed_iframe(ssp, dsp, Rect::new(0.0, 0.0, 300.0, 250.0))
+            .unwrap();
+        let ad_rect = Rect::new(0.0, 0.0, 300.0, 250.0); // in dsp frame coords
+        let mut screen = Screen::desktop();
+        let w = screen.add_window(
+            WindowKind::Browser {
+                tabs: vec![Tab::new(page)],
+                active: TabId(0),
+            },
+            Rect::new(0.0, 0.0, 1280.0, 880.0),
+            80.0,
+        );
+        (screen, w, dsp, ad_rect)
+    }
+
+    fn vis(screen: &Screen, w: WindowId, f: FrameId, r: Rect) -> TrueVisibility {
+        element_true_visibility(screen, w, Some(TabId(0)), f, r).unwrap()
+    }
+
+    #[test]
+    fn ad_below_fold_is_invisible() {
+        let (screen, w, f, r) = setup();
+        let v = vis(&screen, w, f, r);
+        assert_eq!(v.state, CompositeState::Active);
+        assert_eq!(v.fraction, 0.0, "ad at y=1000 with 800px viewport is below the fold");
+        assert_eq!(v.viewport_fraction, 0.0);
+    }
+
+    #[test]
+    fn scrolling_brings_ad_into_view() {
+        let (mut screen, w, f, r) = setup();
+        scroll_page_to(&mut screen, w, Some(TabId(0)), Vector::new(0.0, 1000.0)).unwrap();
+        let v = vis(&screen, w, f, r);
+        assert!(approx_eq(v.fraction, 1.0), "fully scrolled into view, got {}", v.fraction);
+        assert!(approx_eq(v.viewport_fraction, 1.0));
+    }
+
+    #[test]
+    fn partial_scroll_gives_partial_fraction() {
+        let (mut screen, w, f, r) = setup();
+        // Scroll so only the top half of the ad enters the viewport:
+        // ad spans y 1000..1250 in doc coords; viewport is 800 tall, so
+        // scrolling to y=325 puts doc y 325..1125 on screen → 125px of ad.
+        scroll_page_to(&mut screen, w, Some(TabId(0)), Vector::new(0.0, 325.0)).unwrap();
+        let v = vis(&screen, w, f, r);
+        assert!(approx_eq(v.fraction, 0.5), "expected 50 %, got {}", v.fraction);
+    }
+
+    #[test]
+    fn background_tab_zeroes_truth_but_keeps_viewport_fraction() {
+        let (mut screen, w, f, r) = setup();
+        scroll_page_to(&mut screen, w, Some(TabId(0)), Vector::new(0.0, 1000.0)).unwrap();
+        let fresh = Page::new(Origin::https("other.example"), Size::new(1280.0, 1000.0));
+        let t1 = screen.window_mut(w).unwrap().add_tab(fresh).unwrap();
+        screen.window_mut(w).unwrap().switch_tab(t1).unwrap();
+        let v = vis(&screen, w, f, r);
+        assert_eq!(v.state, CompositeState::BackgroundTab);
+        assert_eq!(v.fraction, 0.0);
+        // the layout itself still has the ad inside the (inactive) viewport
+        assert!(v.viewport_fraction > 0.99);
+    }
+
+    #[test]
+    fn overlay_occludes_ground_truth_only() {
+        let (mut screen, w, f, r) = setup();
+        scroll_page_to(&mut screen, w, Some(TabId(0)), Vector::new(0.0, 1000.0)).unwrap();
+        // Sticky header overlay covering the top half of the ad's screen
+        // position: ad occupies viewport y 0..250 after the scroll.
+        {
+            let win = screen.window_mut(w).unwrap();
+            let page = win.active_page_mut().unwrap();
+            let root = page.root();
+            // Overlay in doc coords; page scrolled by 1000 → doc y 1000.
+            page.add_element(
+                root,
+                Element::new(
+                    "sticky-header",
+                    ElementKind::Overlay,
+                    Rect::new(0.0, 1000.0, 1280.0, 125.0),
+                )
+                .with_z(10),
+            )
+            .unwrap();
+        }
+        let v = vis(&screen, w, f, r);
+        assert!(approx_eq(v.fraction, 0.5), "expected 50 % after overlay, got {}", v.fraction);
+        // The side channel cannot see overlays: viewport fraction stays 1.
+        assert!(approx_eq(v.viewport_fraction, 1.0));
+    }
+
+    #[test]
+    fn window_occlusion_affects_truth() {
+        let (mut screen, w, f, r) = setup();
+        scroll_page_to(&mut screen, w, Some(TabId(0)), Vector::new(0.0, 1000.0)).unwrap();
+        // Opaque window covering the left half of the screen: ad sits at
+        // viewport x 200..500, screen x 200..500; cover x < 350.
+        screen.add_window(WindowKind::OpaqueApp, Rect::new(0.0, 0.0, 350.0, 1080.0), 0.0);
+        let v = vis(&screen, w, f, r);
+        assert_eq!(v.state, CompositeState::Active);
+        assert!(approx_eq(v.fraction, 0.5), "expected half occluded, got {}", v.fraction);
+    }
+
+    #[test]
+    fn iframe_inner_scroll_culls_ad() {
+        // The SSP iframe box is half the creative height; the creative's
+        // lower half is clipped by the iframe, capping visibility at 50 %.
+        let mut page = Page::new(Origin::https("pub.example"), Size::new(1280.0, 1000.0));
+        let ssp = page.create_frame(Origin::https("ssp.example"), Size::new(300.0, 250.0));
+        page.embed_iframe(page.root(), ssp, Rect::new(0.0, 0.0, 300.0, 125.0))
+            .unwrap();
+        let mut screen = Screen::desktop();
+        let w = screen.add_window(
+            WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+            Rect::new(0.0, 0.0, 1280.0, 880.0),
+            80.0,
+        );
+        let v = element_true_visibility(
+            &screen,
+            w,
+            Some(TabId(0)),
+            ssp,
+            Rect::new(0.0, 0.0, 300.0, 250.0),
+        )
+        .unwrap();
+        assert!(approx_eq(v.fraction, 0.5), "iframe clip should cap at 50 %, got {}", v.fraction);
+    }
+
+    #[test]
+    fn point_in_viewport_tracks_scroll() {
+        let (mut screen, w, f, _) = setup();
+        let center = Point::new(150.0, 125.0);
+        {
+            let win = screen.window(w).unwrap();
+            let page = win.active_page().unwrap();
+            assert!(!point_in_viewport(page, f, center, win.viewport_size()).unwrap());
+        }
+        scroll_page_to(&mut screen, w, Some(TabId(0)), Vector::new(0.0, 1000.0)).unwrap();
+        {
+            let win = screen.window(w).unwrap();
+            let page = win.active_page().unwrap();
+            assert!(point_in_viewport(page, f, center, win.viewport_size()).unwrap());
+        }
+    }
+
+    #[test]
+    fn app_webview_visibility_without_tab() {
+        let mut page = Page::new(Origin::https("app.internal"), Size::new(360.0, 1200.0));
+        let ad = page.create_frame(Origin::https("dsp.example"), Size::new(320.0, 50.0));
+        page.embed_iframe(page.root(), ad, Rect::new(20.0, 100.0, 320.0, 50.0))
+            .unwrap();
+        let mut screen = Screen::phone();
+        let w = screen.add_window(
+            WindowKind::AppWebView { page },
+            Rect::new(0.0, 0.0, 360.0, 740.0),
+            56.0,
+        );
+        let v = element_true_visibility(&screen, w, None, ad, Rect::new(0.0, 0.0, 320.0, 50.0))
+            .unwrap();
+        assert!(approx_eq(v.fraction, 1.0), "banner should be fully visible, got {}", v.fraction);
+    }
+
+    #[test]
+    fn window_partially_off_screen_clips_truth() {
+        let (mut screen, w, f, r) = setup();
+        scroll_page_to(&mut screen, w, Some(TabId(0)), Vector::new(0.0, 1000.0)).unwrap();
+        // Move window so the ad's screen x-range (200..500) straddles the
+        // left screen edge: shift left by 350 → ad at x −150..150.
+        screen.move_window(w, Vector::new(-350.0, 0.0)).unwrap();
+        let v = vis(&screen, w, f, r);
+        assert_eq!(v.state, CompositeState::Active);
+        assert!(approx_eq(v.fraction, 0.5), "expected half on-screen, got {}", v.fraction);
+        // Side channel still sees full viewport visibility.
+        assert!(approx_eq(v.viewport_fraction, 1.0));
+    }
+}

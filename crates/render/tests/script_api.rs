@@ -1,0 +1,192 @@
+//! Tests of the script-facing browser API surface: exactly what a tag
+//! can and cannot learn about its environment.
+
+use qtag_dom::{DomError, Origin, Page, Screen, Tab, TabId, WindowKind};
+use qtag_geometry::{Point, Rect, Size, Vector};
+use qtag_render::{
+    ApiCapabilities, CpuLoadModel, DeviceProfile, Engine, EngineConfig, ScriptCtx, SimDuration,
+    TagScript,
+};
+use qtag_wire::{BrowserKind, OsKind};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Captures what the script saw on each callback.
+#[derive(Default, Debug, Clone)]
+struct Observations {
+    hidden: Vec<bool>,
+    native_fraction: Vec<Option<f64>>,
+    own_rect: Vec<Result<Rect, DomError>>,
+    top_vp: Vec<Result<Size, DomError>>,
+    raf_count: u64,
+    doc_size: Option<Size>,
+}
+
+struct Observer(Rc<RefCell<Observations>>);
+
+impl TagScript for Observer {
+    fn on_attach(&mut self, ctx: &mut ScriptCtx<'_>) {
+        ctx.set_timer_hz(10.0);
+        self.0.borrow_mut().doc_size = Some(ctx.own_doc_size());
+    }
+    fn on_animation_frame(&mut self, _ctx: &mut ScriptCtx<'_>) {
+        self.0.borrow_mut().raf_count += 1;
+    }
+    fn on_timer(&mut self, ctx: &mut ScriptCtx<'_>) {
+        let mut obs = self.0.borrow_mut();
+        obs.hidden.push(ctx.document_hidden());
+        obs.native_fraction
+            .push(ctx.native_visible_fraction(Rect::new(0.0, 0.0, 300.0, 250.0)));
+        obs.own_rect.push(ctx.try_own_rect_in_viewport());
+        obs.top_vp.push(ctx.try_top_viewport_size());
+    }
+}
+
+fn build(
+    profile: DeviceProfile,
+    ad_origin: &str,
+) -> (Engine, qtag_dom::WindowId, Rc<RefCell<Observations>>) {
+    let mut page = Page::new(Origin::https("pub.example"), Size::new(1280.0, 3000.0));
+    let frame = page.create_frame(Origin::https(ad_origin), Size::MEDIUM_RECTANGLE);
+    page.embed_iframe(page.root(), frame, Rect::new(200.0, 100.0, 300.0, 250.0))
+        .unwrap();
+    let mut screen = Screen::desktop();
+    let w = screen.add_window(
+        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        Rect::new(0.0, 0.0, 1280.0, 880.0),
+        80.0,
+    );
+    let mut engine = Engine::new(
+        EngineConfig { profile, cpu: CpuLoadModel::idle(), seed: 3 },
+        screen,
+    );
+    let obs = Rc::new(RefCell::new(Observations::default()));
+    engine
+        .attach_script(w, Some(TabId(0)), frame, Origin::https(ad_origin), Box::new(Observer(Rc::clone(&obs))))
+        .unwrap();
+    (engine, w, obs)
+}
+
+#[test]
+fn cross_origin_tag_gets_side_channel_but_not_geometry() {
+    let profile = DeviceProfile::desktop(BrowserKind::Chrome, OsKind::Windows10);
+    let (mut engine, _w, obs) = build(profile, "dsp.example");
+    engine.run_for(SimDuration::from_secs(1));
+    let obs = obs.borrow();
+    assert_eq!(obs.doc_size, Some(Size::MEDIUM_RECTANGLE), "own doc size is readable");
+    assert!(obs.raf_count > 50, "rAF flows for visible pages");
+    assert!(obs
+        .own_rect
+        .iter()
+        .all(|r| matches!(r, Err(DomError::SameOriginViolation { .. }))));
+    assert!(obs
+        .top_vp
+        .iter()
+        .all(|r| matches!(r, Err(DomError::SameOriginViolation { .. }))));
+    // Modern Chrome exposes the native API even cross-origin.
+    assert!(obs.native_fraction.iter().all(|f| f.is_some()));
+}
+
+#[test]
+fn same_origin_tag_reads_geometry_directly() {
+    let profile = DeviceProfile::desktop(BrowserKind::Firefox, OsKind::MacOs);
+    let (mut engine, _w, obs) = build(profile, "pub.example");
+    engine.run_for(SimDuration::from_millis(500));
+    let obs = obs.borrow();
+    let rect = obs.own_rect.last().unwrap().as_ref().unwrap();
+    assert_eq!(*rect, Rect::new(200.0, 100.0, 300.0, 250.0));
+    let vp = obs.top_vp.last().unwrap().as_ref().unwrap();
+    assert_eq!(*vp, Size::new(1280.0, 800.0));
+}
+
+#[test]
+fn ie11_denies_the_native_api() {
+    let profile = DeviceProfile::desktop(BrowserKind::Ie11, OsKind::Windows10);
+    let (mut engine, _w, obs) = build(profile, "dsp.example");
+    engine.run_for(SimDuration::from_millis(500));
+    assert!(obs.borrow().native_fraction.iter().all(|f| f.is_none()));
+}
+
+#[test]
+fn document_hidden_follows_tab_and_window_state() {
+    let profile = DeviceProfile::desktop(BrowserKind::Chrome, OsKind::Windows10);
+    let (mut engine, w, obs) = build(profile, "dsp.example");
+    engine.run_for(SimDuration::from_millis(500));
+    assert!(obs.borrow().hidden.iter().all(|h| !h), "visible page is not hidden");
+
+    // Background the tab: hidden flips true (timers limp at 1 Hz).
+    let other = Page::new(Origin::https("other.example"), Size::new(100.0, 100.0));
+    let t1 = engine.screen_mut().window_mut(w).unwrap().add_tab(other).unwrap();
+    engine.screen_mut().window_mut(w).unwrap().switch_tab(t1).unwrap();
+    obs.borrow_mut().hidden.clear();
+    engine.run_for(SimDuration::from_secs(3));
+    {
+        let o = obs.borrow();
+        assert!(!o.hidden.is_empty(), "hidden-page timers still tick");
+        assert!(o.hidden.iter().all(|h| *h));
+    }
+
+    // Back to the front: hidden false again.
+    engine.screen_mut().window_mut(w).unwrap().switch_tab(TabId(0)).unwrap();
+    obs.borrow_mut().hidden.clear();
+    engine.run_for(SimDuration::from_millis(500));
+    assert!(obs.borrow().hidden.iter().all(|h| !h));
+}
+
+#[test]
+fn off_screen_window_is_not_document_hidden_but_stops_raf() {
+    // The subtle case: visibilityState stays "visible" for off-screen
+    // windows in most engines, yet compositing stops — only the side
+    // channel notices.
+    let profile = DeviceProfile::desktop(BrowserKind::Chrome, OsKind::Windows10);
+    let (mut engine, w, obs) = build(profile, "dsp.example");
+    engine.run_for(SimDuration::from_millis(500));
+    let raf_before = obs.borrow().raf_count;
+
+    engine.screen_mut().move_window(w, Vector::new(5000.0, 0.0)).unwrap();
+    obs.borrow_mut().hidden.clear();
+    engine.run_for(SimDuration::from_secs(2));
+    let o = obs.borrow();
+    assert!(o.hidden.iter().all(|h| !h), "off-screen is not 'hidden'");
+    assert_eq!(o.raf_count, raf_before, "but rAF stops entirely");
+}
+
+#[test]
+fn native_fraction_reports_zero_when_not_composited() {
+    let profile = DeviceProfile::desktop(BrowserKind::Chrome, OsKind::Windows10);
+    let (mut engine, w, obs) = build(profile, "dsp.example");
+    let other = Page::new(Origin::https("other.example"), Size::new(100.0, 100.0));
+    let t1 = engine.screen_mut().window_mut(w).unwrap().add_tab(other).unwrap();
+    engine.screen_mut().window_mut(w).unwrap().switch_tab(t1).unwrap();
+    engine.run_for(SimDuration::from_secs(3));
+    let o = obs.borrow();
+    assert!(o
+        .native_fraction
+        .iter()
+        .all(|f| *f == Some(0.0)), "background tab reports 0 visibility");
+}
+
+#[test]
+fn animation_frames_capability_gates_raf() {
+    let mut profile = DeviceProfile::desktop(BrowserKind::Chrome, OsKind::Windows10);
+    profile.caps = ApiCapabilities {
+        native_viewability_api: true,
+        animation_frames: false, // a broken ancient webview
+        verifier_sdk_loads: true,
+    };
+    let (mut engine, _w, obs) = build(profile, "dsp.example");
+    engine.run_for(SimDuration::from_secs(1));
+    assert_eq!(obs.borrow().raf_count, 0);
+    assert!(!obs.borrow().hidden.is_empty(), "timers still run");
+}
+
+#[test]
+fn click_requires_composited_page() {
+    let profile = DeviceProfile::desktop(BrowserKind::Chrome, OsKind::Windows10);
+    let (mut engine, w, _obs) = build(profile, "dsp.example");
+    engine.run_for(SimDuration::from_millis(200));
+    let on_ad = Point::new(350.0, 225.0);
+    assert_eq!(engine.click_at(w, Some(TabId(0)), on_ad).unwrap(), 1);
+    engine.screen_mut().minimize(w).unwrap();
+    assert_eq!(engine.click_at(w, Some(TabId(0)), on_ad).unwrap(), 0);
+}

@@ -1,0 +1,271 @@
+//! Server-side validation of tag claims.
+//!
+//! A transparent measurement pipeline is only auditable end to end if
+//! the *server* also checks what tags assert (§1 cites industry episodes
+//! of "inaccurate measurements" and "misreporting"). This module
+//! validates the beacon stream against the standard's own rules and
+//! flags statistical outliers:
+//!
+//! * **protocol violations** — an `InView` claiming less exposure than
+//!   the format requires, fractions above 100 %, an `OutOfView` for an
+//!   impression that never reported `InView`, timestamps running
+//!   backwards within a sequence;
+//! * **statistical outliers** — campaigns whose viewability rate sits
+//!   implausibly far from the fleet (placement fraud or broken tags
+//!   both look like this).
+
+use crate::report::{mean, std_dev, CampaignReport};
+use qtag_wire::{Beacon, EventKind};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// A per-beacon protocol violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Violation {
+    /// `InView` with less qualifying exposure than the format requires.
+    UnderExposedInView,
+    /// `OutOfView` from an impression that never went in-view.
+    OutOfViewWithoutInView,
+    /// Timestamps decreased as sequence numbers increased.
+    TimeTravel,
+    /// Duplicate `InView` for one impression (tags report it once).
+    DuplicateInView,
+}
+
+/// Stream validator, fed beacons in arrival order.
+#[derive(Debug, Default)]
+pub struct BeaconValidator {
+    /// impression → (max seq seen, timestamp at that seq).
+    last: HashMap<u64, (u16, u64)>,
+    in_view_seen: HashMap<u64, u32>,
+    violations: Vec<(u64, Violation)>,
+    accepted: u64,
+}
+
+impl BeaconValidator {
+    /// Creates an empty validator.
+    pub fn new() -> Self {
+        BeaconValidator::default()
+    }
+
+    /// Validates one beacon; records any violation.
+    pub fn check(&mut self, beacon: &Beacon) {
+        self.accepted += 1;
+        let id = beacon.impression_id;
+
+        // Monotone time per impression (compare against the last beacon
+        // with a lower sequence number).
+        if let Some((last_seq, last_ts)) = self.last.get(&id) {
+            if beacon.seq > *last_seq && beacon.timestamp_us < *last_ts {
+                self.violations.push((id, Violation::TimeTravel));
+            }
+        }
+        let entry = self.last.entry(id).or_insert((beacon.seq, beacon.timestamp_us));
+        if beacon.seq >= entry.0 {
+            *entry = (beacon.seq, beacon.timestamp_us);
+        }
+
+        match beacon.event {
+            EventKind::InView => {
+                let needed = beacon.ad_format.required_exposure_ms();
+                if beacon.exposure_ms < needed {
+                    self.violations.push((id, Violation::UnderExposedInView));
+                }
+                let count = self.in_view_seen.entry(id).or_insert(0);
+                *count += 1;
+                if *count > 1 {
+                    self.violations.push((id, Violation::DuplicateInView));
+                }
+            }
+            EventKind::OutOfView => {
+                if self.in_view_seen.get(&id).copied().unwrap_or(0) == 0 {
+                    self.violations.push((id, Violation::OutOfViewWithoutInView));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Beacons checked.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// All recorded violations as `(impression, violation)`.
+    pub fn violations(&self) -> &[(u64, Violation)] {
+        &self.violations
+    }
+
+    /// Violation rate over accepted beacons.
+    pub fn violation_rate(&self) -> f64 {
+        if self.accepted == 0 {
+            0.0
+        } else {
+            self.violations.len() as f64 / self.accepted as f64
+        }
+    }
+}
+
+/// A campaign flagged as a statistical outlier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct OutlierCampaign {
+    /// The campaign.
+    pub campaign_id: u32,
+    /// Its viewability rate.
+    pub viewability_rate: f64,
+    /// Distance from the fleet mean in standard deviations.
+    pub z_score: f64,
+}
+
+/// Flags campaigns whose viewability rate deviates more than
+/// `z_threshold` standard deviations from the fleet mean. Requires at
+/// least three campaigns (below that, a "fleet" has no distribution).
+pub fn viewability_outliers(
+    reports: &[CampaignReport],
+    z_threshold: f64,
+) -> Vec<OutlierCampaign> {
+    if reports.len() < 3 {
+        return Vec::new();
+    }
+    let rates: Vec<f64> = reports.iter().map(|r| r.total.viewability_rate()).collect();
+    let m = mean(&rates);
+    let sd = std_dev(&rates);
+    if sd < 1e-12 {
+        return Vec::new();
+    }
+    reports
+        .iter()
+        .zip(&rates)
+        .filter_map(|(r, rate)| {
+            let z = (rate - m) / sd;
+            (z.abs() > z_threshold).then_some(OutlierCampaign {
+                campaign_id: r.campaign_id,
+                viewability_rate: *rate,
+                z_score: z,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::RateSlice;
+    use qtag_wire::{AdFormat, BrowserKind, OsKind, SiteType};
+    use std::collections::HashMap;
+
+    fn beacon(id: u64, event: EventKind, seq: u16, ts: u64, exposure: u32) -> Beacon {
+        Beacon {
+            impression_id: id,
+            campaign_id: 1,
+            event,
+            timestamp_us: ts,
+            ad_format: AdFormat::Display,
+            visible_fraction_milli: 700,
+            exposure_ms: exposure,
+            os: OsKind::Android,
+            browser: BrowserKind::Chrome,
+            site_type: SiteType::Browser,
+            seq,
+        }
+    }
+
+    #[test]
+    fn clean_stream_has_no_violations() {
+        let mut v = BeaconValidator::new();
+        v.check(&beacon(1, EventKind::TagLoaded, 0, 0, 0));
+        v.check(&beacon(1, EventKind::Measurable, 1, 100_000, 0));
+        v.check(&beacon(1, EventKind::InView, 2, 1_200_000, 1_100));
+        v.check(&beacon(1, EventKind::OutOfView, 3, 3_000_000, 1_100));
+        assert!(v.violations().is_empty());
+        assert_eq!(v.accepted(), 4);
+    }
+
+    #[test]
+    fn under_exposed_in_view_is_flagged() {
+        let mut v = BeaconValidator::new();
+        v.check(&beacon(1, EventKind::InView, 0, 0, 400)); // display needs 1000
+        assert_eq!(v.violations(), &[(1, Violation::UnderExposedInView)]);
+    }
+
+    #[test]
+    fn orphan_out_of_view_is_flagged() {
+        let mut v = BeaconValidator::new();
+        v.check(&beacon(2, EventKind::OutOfView, 0, 0, 0));
+        assert_eq!(v.violations(), &[(2, Violation::OutOfViewWithoutInView)]);
+    }
+
+    #[test]
+    fn time_travel_is_flagged() {
+        let mut v = BeaconValidator::new();
+        v.check(&beacon(3, EventKind::Measurable, 0, 5_000_000, 0));
+        v.check(&beacon(3, EventKind::InView, 1, 1_000_000, 1_200));
+        assert!(v.violations().contains(&(3, Violation::TimeTravel)));
+    }
+
+    #[test]
+    fn duplicate_in_view_is_flagged() {
+        let mut v = BeaconValidator::new();
+        v.check(&beacon(4, EventKind::InView, 0, 0, 1_500));
+        v.check(&beacon(4, EventKind::InView, 1, 100, 1_500));
+        assert!(v.violations().contains(&(4, Violation::DuplicateInView)));
+    }
+
+    fn campaign(id: u32, served: u64, measured: u64, viewed: u64) -> CampaignReport {
+        CampaignReport {
+            campaign_id: id,
+            total: RateSlice { served, measured, viewed, clicked: 0 },
+            slices: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn outlier_campaign_is_detected() {
+        // Nine ordinary campaigns around 50 %, one bot-farm at 100 %.
+        let mut reports: Vec<_> = (1..=9)
+            .map(|i| campaign(i, 1000, 950, 450 + u64::from(i) * 10))
+            .collect();
+        reports.push(campaign(10, 1000, 950, 950));
+        let outliers = viewability_outliers(&reports, 2.0);
+        assert_eq!(outliers.len(), 1);
+        assert_eq!(outliers[0].campaign_id, 10);
+        assert!(outliers[0].z_score > 2.0);
+    }
+
+    #[test]
+    fn homogeneous_fleet_has_no_outliers() {
+        let reports: Vec<_> = (1..=5).map(|i| campaign(i, 1000, 950, 480)).collect();
+        assert!(viewability_outliers(&reports, 2.0).is_empty());
+    }
+
+    #[test]
+    fn tiny_fleets_are_not_judged() {
+        let reports = vec![campaign(1, 10, 10, 10), campaign(2, 10, 10, 0)];
+        assert!(viewability_outliers(&reports, 1.0).is_empty());
+    }
+
+    /// A live Q-Tag never violates the protocol: run a real tag and feed
+    /// its beacons to the validator.
+    #[test]
+    fn live_qtag_stream_is_protocol_clean() {
+        use qtag_wire::framing::FrameEvent;
+        // Encode/decode through the wire to make this an end-to-end
+        // property of the emitted bytes.
+        let beacons = vec![
+            beacon(9, EventKind::TagLoaded, 0, 0, 0),
+            beacon(9, EventKind::Measurable, 1, 100_000, 0),
+            beacon(9, EventKind::InView, 2, 1_300_000, 1_200),
+        ];
+        let bytes = qtag_wire::framing::encode_frames(&beacons).unwrap();
+        let mut dec = qtag_wire::FrameDecoder::new();
+        dec.extend(&bytes);
+        let mut v = BeaconValidator::new();
+        for ev in dec.drain() {
+            if let FrameEvent::Beacon(b) = ev {
+                v.check(&b);
+            }
+        }
+        assert!(v.violations().is_empty());
+        assert_eq!(v.violation_rate(), 0.0);
+    }
+}

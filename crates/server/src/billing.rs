@@ -1,0 +1,188 @@
+//! Viewability-based billing (§6.1).
+//!
+//! "Major vendors (Google, Facebook, etc.) have opted for a pricing
+//! model that only charges advertisers for viewed ad impressions. …
+//! Under this pricing model, not measured ad impressions are not
+//! monetized." This module turns an [`ImpressionStore`] into invoices
+//! under either pricing model, which is exactly how the measured-rate
+//! gap becomes dollars.
+
+use crate::store::ImpressionStore;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// How impressions are charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PricingModel {
+    /// Classic CPM: every served impression is billable.
+    PerImpression,
+    /// Viewability pricing: only impressions *measured and viewed* are
+    /// billable; unmeasured impressions earn nothing.
+    PerViewedImpression,
+}
+
+/// One campaign's invoice for the monitored window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Invoice {
+    /// Campaign billed.
+    pub campaign_id: u32,
+    /// Impressions served.
+    pub served: u64,
+    /// Impressions billable under the chosen model.
+    pub billable: u64,
+    /// CPM applied (milli-dollars per 1000 impressions).
+    pub cpm_milli: u64,
+    /// Invoice amount in micro-dollars (`billable × cpm_milli` since
+    /// one impression at a 1000 m$ CPM earns 1000 µ$).
+    pub amount_micro_usd: u64,
+}
+
+impl Invoice {
+    /// Invoice amount in dollars.
+    pub fn amount_usd(&self) -> f64 {
+        self.amount_micro_usd as f64 / 1e6
+    }
+}
+
+/// Bills every campaign in the store under `model` at a flat `cpm_milli`.
+pub fn invoice_campaigns(
+    store: &ImpressionStore,
+    model: PricingModel,
+    cpm_milli: u64,
+) -> Vec<Invoice> {
+    let mut by_campaign: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    for (served, record) in store.iter_joined() {
+        let entry = by_campaign.entry(served.campaign_id).or_default();
+        entry.0 += 1;
+        let billable = match model {
+            PricingModel::PerImpression => true,
+            PricingModel::PerViewedImpression => {
+                record.map(|r| r.measurable && r.in_view).unwrap_or(false)
+            }
+        };
+        if billable {
+            entry.1 += 1;
+        }
+    }
+    by_campaign
+        .into_iter()
+        .map(|(campaign_id, (served, billable))| Invoice {
+            campaign_id,
+            served,
+            billable,
+            cpm_milli,
+            amount_micro_usd: billable * cpm_milli,
+        })
+        .collect()
+}
+
+/// Total revenue across invoices, dollars.
+pub fn total_usd(invoices: &[Invoice]) -> f64 {
+    invoices.iter().map(Invoice::amount_usd).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ServedImpression;
+    use qtag_wire::{AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
+
+    fn served(id: u64, campaign: u32) -> ServedImpression {
+        ServedImpression {
+            impression_id: id,
+            campaign_id: campaign,
+            os: OsKind::Android,
+            browser: BrowserKind::Chrome,
+            site_type: SiteType::Browser,
+            ad_format: AdFormat::Display,
+        }
+    }
+
+    fn beacon(id: u64, event: EventKind, seq: u16) -> Beacon {
+        Beacon {
+            impression_id: id,
+            campaign_id: 0,
+            event,
+            timestamp_us: 0,
+            ad_format: AdFormat::Display,
+            visible_fraction_milli: 0,
+            exposure_ms: 0,
+            os: OsKind::Android,
+            browser: BrowserKind::Chrome,
+            site_type: SiteType::Browser,
+            seq,
+        }
+    }
+
+    /// 10 served: 8 measured, 5 viewed.
+    fn store() -> ImpressionStore {
+        let mut s = ImpressionStore::new();
+        for id in 1..=10 {
+            s.record_served(served(id, 1));
+        }
+        for id in 1..=8 {
+            s.apply(&beacon(id, EventKind::Measurable, 0));
+        }
+        for id in 1..=5 {
+            s.apply(&beacon(id, EventKind::InView, 1));
+        }
+        s
+    }
+
+    #[test]
+    fn classic_cpm_bills_everything() {
+        let inv = invoice_campaigns(&store(), PricingModel::PerImpression, 1000);
+        assert_eq!(inv.len(), 1);
+        assert_eq!(inv[0].billable, 10);
+        assert_eq!(inv[0].amount_micro_usd, 10_000);
+        assert!((inv[0].amount_usd() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn viewability_pricing_bills_only_viewed() {
+        let inv = invoice_campaigns(&store(), PricingModel::PerViewedImpression, 1000);
+        assert_eq!(inv[0].billable, 5, "only measured+viewed impressions earn");
+    }
+
+    #[test]
+    fn unmeasured_impressions_earn_nothing() {
+        let mut s = ImpressionStore::new();
+        s.record_served(served(1, 1));
+        let inv = invoice_campaigns(&s, PricingModel::PerViewedImpression, 1000);
+        assert_eq!(inv[0].billable, 0);
+        assert_eq!(total_usd(&inv), 0.0);
+    }
+
+    #[test]
+    fn the_measured_rate_gap_is_revenue() {
+        // Two identical stores except one solution measured 19 pp fewer
+        // impressions — the §6.1 situation in miniature.
+        let better = store(); // measures 8/10
+        let mut worse = ImpressionStore::new();
+        for id in 1..=10 {
+            worse.record_served(served(id, 1));
+        }
+        for id in 1..=6 {
+            worse.apply(&beacon(id, EventKind::Measurable, 0));
+        }
+        for id in 1..=3 {
+            worse.apply(&beacon(id, EventKind::InView, 1));
+        }
+        let rev_better = total_usd(&invoice_campaigns(&better, PricingModel::PerViewedImpression, 1000));
+        let rev_worse = total_usd(&invoice_campaigns(&worse, PricingModel::PerViewedImpression, 1000));
+        assert!(rev_better > rev_worse);
+    }
+
+    #[test]
+    fn invoices_split_per_campaign() {
+        let mut s = ImpressionStore::new();
+        s.record_served(served(1, 7));
+        s.record_served(served(2, 9));
+        s.apply(&beacon(1, EventKind::InView, 0));
+        let inv = invoice_campaigns(&s, PricingModel::PerViewedImpression, 2000);
+        assert_eq!(inv.len(), 2);
+        assert_eq!(inv[0].campaign_id, 7);
+        assert_eq!(inv[0].amount_micro_usd, 2000);
+        assert_eq!(inv[1].amount_micro_usd, 0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Multi-worker beacon ingestion.
+//!
+//! Collectors receive raw byte streams from many tags at once. The
+//! service fans chunks out to parser workers over crossbeam channels;
+//! each worker runs a streaming [`FrameDecoder`] and forwards verified
+//! beacons to a single aggregator thread that owns the
+//! [`ImpressionStore`] — the channels-and-workers shape the Tokio
+//! tutorial teaches, implemented with OS threads since ingestion is
+//! CPU-bound parsing, not IO waiting.
+//!
+//! Chunks are routed to workers by connection id so that bytes from one
+//! tag's stream stay in order on one decoder.
+
+use crate::store::ImpressionStore;
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use qtag_wire::framing::FrameEvent;
+use qtag_wire::FrameDecoder;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Counters the service maintains while running.
+#[derive(Debug, Default)]
+pub struct IngestStats {
+    /// Byte chunks accepted.
+    pub chunks: AtomicU64,
+    /// Beacons parsed and applied.
+    pub beacons: AtomicU64,
+    /// Frames rejected (checksum/decode failures).
+    pub corrupt_frames: AtomicU64,
+}
+
+enum WorkerMsg {
+    Chunk { conn: u64, bytes: Vec<u8> },
+    Shutdown,
+}
+
+/// The ingestion service: `workers` parser threads plus one aggregator.
+pub struct IngestService {
+    tx: Vec<Sender<WorkerMsg>>,
+    workers: Vec<JoinHandle<()>>,
+    aggregator: Option<JoinHandle<()>>,
+    beacon_tx: Option<Sender<Option<qtag_wire::Beacon>>>,
+    store: Arc<Mutex<ImpressionStore>>,
+    stats: Arc<IngestStats>,
+}
+
+impl IngestService {
+    /// Starts the service over a shared store.
+    pub fn start(store: Arc<Mutex<ImpressionStore>>, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        let stats = Arc::new(IngestStats::default());
+        let (beacon_tx, beacon_rx): (
+            Sender<Option<qtag_wire::Beacon>>,
+            Receiver<Option<qtag_wire::Beacon>>,
+        ) = channel::unbounded();
+
+        // Aggregator: single owner of store mutations (cheap fold; the
+        // mutex is only contended with synchronous readers).
+        let agg_store = Arc::clone(&store);
+        let aggregator = std::thread::spawn(move || {
+            let mut live_workers = workers;
+            while let Ok(msg) = beacon_rx.recv() {
+                match msg {
+                    Some(beacon) => agg_store.lock().apply(&beacon),
+                    None => {
+                        live_workers -= 1;
+                        if live_workers == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+
+        let mut tx = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (wtx, wrx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = channel::unbounded();
+            let out = beacon_tx.clone();
+            let wstats = Arc::clone(&stats);
+            handles.push(std::thread::spawn(move || {
+                let mut decoders: HashMap<u64, FrameDecoder> = HashMap::new();
+                while let Ok(msg) = wrx.recv() {
+                    match msg {
+                        WorkerMsg::Chunk { conn, bytes } => {
+                            wstats.chunks.fetch_add(1, Ordering::Relaxed);
+                            let dec = decoders.entry(conn).or_default();
+                            dec.extend(&bytes);
+                            while let Some(ev) = dec.next_event() {
+                                match ev {
+                                    FrameEvent::Beacon(b) => {
+                                        wstats.beacons.fetch_add(1, Ordering::Relaxed);
+                                        // Aggregator gone ⇒ shutting down.
+                                        if out.send(Some(b)).is_err() {
+                                            return;
+                                        }
+                                    }
+                                    FrameEvent::Corrupt(_) => {
+                                        wstats
+                                            .corrupt_frames
+                                            .fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                        WorkerMsg::Shutdown => {
+                            // Connections are closing: flush every
+                            // decoder's tail (recovers frames stuck
+                            // behind noise that looked like a length
+                            // prefix).
+                            for dec in decoders.values_mut() {
+                                for ev in dec.finish() {
+                                    match ev {
+                                        FrameEvent::Beacon(b) => {
+                                            wstats.beacons.fetch_add(1, Ordering::Relaxed);
+                                            if out.send(Some(b)).is_err() {
+                                                return;
+                                            }
+                                        }
+                                        FrameEvent::Corrupt(_) => {
+                                            wstats
+                                                .corrupt_frames
+                                                .fetch_add(1, Ordering::Relaxed);
+                                        }
+                                    }
+                                }
+                            }
+                            let _ = out.send(None);
+                            return;
+                        }
+                    }
+                }
+                let _ = out.send(None);
+            }));
+            tx.push(wtx);
+        }
+
+        IngestService {
+            tx,
+            workers: handles,
+            aggregator: Some(aggregator),
+            beacon_tx: Some(beacon_tx),
+            store,
+            stats,
+        }
+    }
+
+    /// Submits a byte chunk from connection `conn`. Chunks of one
+    /// connection are processed in submission order.
+    pub fn submit(&self, conn: u64, bytes: Vec<u8>) {
+        let worker = (conn as usize) % self.tx.len();
+        self.tx[worker]
+            .send(WorkerMsg::Chunk { conn, bytes })
+            .expect("worker alive while service running");
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// The shared counter handle (clone to keep reading after
+    /// [`IngestService::shutdown`] consumes the service).
+    pub fn stats_arc(&self) -> &Arc<IngestStats> {
+        &self.stats
+    }
+
+    /// The shared store (lock to read reports mid-flight).
+    pub fn store(&self) -> &Arc<Mutex<ImpressionStore>> {
+        &self.store
+    }
+
+    /// Graceful shutdown: drains all queued chunks, stops the workers and
+    /// the aggregator, and returns once every accepted beacon has been
+    /// applied to the store.
+    pub fn shutdown(mut self) {
+        for tx in &self.tx {
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        drop(self.beacon_tx.take());
+        if let Some(agg) = self.aggregator.take() {
+            let _ = agg.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ServedImpression;
+    use crate::LossyLink;
+    use qtag_wire::{AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
+
+    fn served(id: u64) -> ServedImpression {
+        ServedImpression {
+            impression_id: id,
+            campaign_id: 1,
+            os: OsKind::Windows10,
+            browser: BrowserKind::Chrome,
+            site_type: SiteType::Browser,
+            ad_format: AdFormat::Display,
+        }
+    }
+
+    fn beacon(id: u64, seq: u16, event: EventKind) -> Beacon {
+        Beacon {
+            impression_id: id,
+            campaign_id: 1,
+            event,
+            timestamp_us: 0,
+            ad_format: AdFormat::Display,
+            visible_fraction_milli: 1000,
+            exposure_ms: 1000,
+            os: OsKind::Windows10,
+            browser: BrowserKind::Chrome,
+            site_type: SiteType::Browser,
+            seq,
+        }
+    }
+
+    #[test]
+    fn parallel_ingestion_applies_every_beacon() {
+        let store = Arc::new(Mutex::new(ImpressionStore::new()));
+        {
+            let mut s = store.lock();
+            for id in 0..200 {
+                s.record_served(served(id));
+            }
+        }
+        let service = IngestService::start(Arc::clone(&store), 4);
+        let mut link = LossyLink::lossless();
+        for id in 0..200u64 {
+            let bytes = link
+                .transmit(&[
+                    beacon(id, 0, EventKind::Measurable),
+                    beacon(id, 1, EventKind::InView),
+                ])
+                .unwrap();
+            service.submit(id, bytes);
+        }
+        service.shutdown();
+        let s = store.lock();
+        for id in 0..200 {
+            assert_eq!(s.verdict(id), (true, true), "impression {id}");
+        }
+    }
+
+    #[test]
+    fn chunked_streams_reassemble_across_submissions() {
+        let store = Arc::new(Mutex::new(ImpressionStore::new()));
+        store.lock().record_served(served(7));
+        let service = IngestService::start(Arc::clone(&store), 2);
+        let mut link = LossyLink::lossless();
+        let bytes = link.transmit(&[beacon(7, 0, EventKind::InView)]).unwrap();
+        // Byte-at-a-time on the same connection.
+        for b in bytes {
+            service.submit(7, vec![b]);
+        }
+        service.shutdown();
+        assert_eq!(store.lock().verdict(7), (true, true));
+    }
+
+    #[test]
+    fn corrupt_frames_are_counted_not_applied() {
+        let store = Arc::new(Mutex::new(ImpressionStore::new()));
+        store.lock().record_served(served(1));
+        let service = IngestService::start(Arc::clone(&store), 1);
+        let mut link = LossyLink::new(0.0, 1.0, 3);
+        let bytes = link.transmit(&[beacon(1, 0, EventKind::InView)]).unwrap();
+        service.submit(1, bytes);
+        service.shutdown();
+        assert_eq!(store.lock().verdict(1), (false, false));
+    }
+
+    #[test]
+    fn stats_reflect_throughput() {
+        let store = Arc::new(Mutex::new(ImpressionStore::new()));
+        {
+            let mut s = store.lock();
+            for id in 0..50 {
+                s.record_served(served(id));
+            }
+        }
+        let service = IngestService::start(Arc::clone(&store), 3);
+        let mut link = LossyLink::lossless();
+        for id in 0..50u64 {
+            let bytes = link.transmit(&[beacon(id, 0, EventKind::Measurable)]).unwrap();
+            service.submit(id, bytes);
+        }
+        // stats are monotone; snapshot after shutdown is exact
+        let stats = Arc::clone(&service.stats);
+        service.shutdown();
+        assert_eq!(stats.beacons.load(Ordering::Relaxed), 50);
+        assert_eq!(stats.chunks.load(Ordering::Relaxed), 50);
+        assert_eq!(stats.corrupt_frames.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn shutdown_with_no_traffic_terminates() {
+        let store = Arc::new(Mutex::new(ImpressionStore::new()));
+        let service = IngestService::start(store, 4);
+        service.shutdown(); // must not hang
+    }
+}

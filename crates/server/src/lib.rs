@@ -1,0 +1,46 @@
+//! # qtag-server
+//!
+//! The DSP-side monitoring infrastructure Q-Tag reports to (§5: "Q-Tag
+//! has been instrumented to report the viewability measures to the
+//! distributed monitoring infrastructure of this DSP").
+//!
+//! Components:
+//!
+//! * [`LossyLink`] — the network between a tag in a browser and the
+//!   collection endpoint: beacons are framed (`qtag-wire`), then subject
+//!   to configurable loss, truncation and bit corruption. Fire-and-forget
+//!   beacons genuinely go missing in production (page unloads mid-send,
+//!   radios drop); the loss knob is part of why no solution measures
+//!   100 % of impressions;
+//! * [`IngestService`] — a multi-worker ingestion pipeline (crossbeam
+//!   channels + worker threads, graceful shutdown) that parses byte
+//!   streams into beacons and folds them into the store;
+//! * [`ImpressionStore`] — per-impression event state with
+//!   deduplication, keyed joins against the ad server's *served* log;
+//! * [`CampaignReport`] / [`ReportBuilder`] — the analytics layer that
+//!   computes the paper's two metrics (§6): **measured rate** (fraction
+//!   of served impressions the solution measured) and **viewability
+//!   rate** (fraction of measured impressions that met the standard),
+//!   with per-campaign breakdowns and the OS × site-type slices of
+//!   Table 2.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod anomaly;
+mod billing;
+mod ingest;
+mod report;
+mod store;
+mod timeline;
+mod transport;
+
+pub use anomaly::{viewability_outliers, BeaconValidator, OutlierCampaign, Violation};
+pub use billing::{invoice_campaigns, total_usd, Invoice, PricingModel};
+pub use ingest::{IngestService, IngestStats};
+pub use timeline::{BucketStats, Timeline};
+pub use report::{
+    mean, std_dev, to_csv, CampaignReport, FleetSummary, RateSlice, ReportBuilder, SliceKey,
+};
+pub use store::{ImpressionRecord, ImpressionStore, ServedImpression};
+pub use transport::LossyLink;

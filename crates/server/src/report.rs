@@ -1,0 +1,349 @@
+//! Campaign analytics: the paper's two metrics, sliced every way the
+//! evaluation needs.
+
+use crate::store::ImpressionStore;
+use qtag_wire::{OsKind, SiteType};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Table 2's slice dimension: where the impression ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct SliceKey {
+    /// Browser page or in-app webview.
+    pub site_type: SiteType,
+    /// Device operating system.
+    pub os: OsKind,
+}
+
+/// Counts for one slice of impressions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RateSlice {
+    /// Impressions served (ad-server log).
+    pub served: u64,
+    /// Impressions the solution measured.
+    pub measured: u64,
+    /// Measured impressions meeting the viewability criteria.
+    pub viewed: u64,
+    /// Impressions that received at least one click.
+    pub clicked: u64,
+}
+
+impl RateSlice {
+    /// Measured rate: "the fraction of ad impressions for which a
+    /// solution can measure the viewability" (§6).
+    pub fn measured_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.measured as f64 / self.served as f64
+        }
+    }
+
+    /// Viewability (in-view) rate: "the fraction of measured ad
+    /// impressions that meet the viewability standard criteria" (§6).
+    pub fn viewability_rate(&self) -> f64 {
+        if self.measured == 0 {
+            0.0
+        } else {
+            self.viewed as f64 / self.measured as f64
+        }
+    }
+
+    /// Click-through rate (clicks / served), §2.2's performance metric.
+    pub fn ctr(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.clicked as f64 / self.served as f64
+        }
+    }
+
+    fn add(&mut self, measured: bool, viewed: bool, clicked: bool) {
+        self.served += 1;
+        if measured {
+            self.measured += 1;
+        }
+        if viewed {
+            self.viewed += 1;
+        }
+        if clicked {
+            self.clicked += 1;
+        }
+    }
+
+    /// Merges another slice into this one.
+    pub fn merge(&mut self, other: &RateSlice) {
+        self.served += other.served;
+        self.measured += other.measured;
+        self.viewed += other.viewed;
+        self.clicked += other.clicked;
+    }
+}
+
+/// Per-campaign report.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignReport {
+    /// Campaign id.
+    pub campaign_id: u32,
+    /// All impressions of the campaign.
+    pub total: RateSlice,
+    /// Impressions sliced by (site type, OS). Skipped in JSON output
+    /// (JSON maps need string keys); experiment binaries flatten this
+    /// into rows themselves.
+    #[serde(skip)]
+    pub slices: HashMap<SliceKey, RateSlice>,
+}
+
+/// Summary statistics over a set of campaigns — the mean ± std bars of
+/// Figure 3.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct FleetSummary {
+    /// Number of campaigns.
+    pub campaigns: usize,
+    /// Mean of per-campaign measured rates.
+    pub mean_measured_rate: f64,
+    /// Standard deviation of per-campaign measured rates.
+    pub std_measured_rate: f64,
+    /// Mean of per-campaign viewability rates.
+    pub mean_viewability_rate: f64,
+    /// Standard deviation of per-campaign viewability rates.
+    pub std_viewability_rate: f64,
+}
+
+/// Builds reports from a populated store.
+#[derive(Debug, Default)]
+pub struct ReportBuilder;
+
+impl ReportBuilder {
+    /// Per-campaign reports, sorted by campaign id.
+    pub fn per_campaign(store: &ImpressionStore) -> Vec<CampaignReport> {
+        let mut by_campaign: HashMap<u32, CampaignReport> = HashMap::new();
+        for (served, record) in store.iter_joined() {
+            let (measured, viewed, clicked) = record
+                .map(|r| (r.measurable, r.in_view, r.clicked))
+                .unwrap_or((false, false, false));
+            let report = by_campaign
+                .entry(served.campaign_id)
+                .or_insert_with(|| CampaignReport {
+                    campaign_id: served.campaign_id,
+                    total: RateSlice::default(),
+                    slices: HashMap::new(),
+                });
+            report.total.add(measured, viewed, clicked);
+            report
+                .slices
+                .entry(SliceKey {
+                    site_type: served.site_type,
+                    os: served.os,
+                })
+                .or_default()
+                .add(measured, viewed, clicked);
+        }
+        let mut reports: Vec<_> = by_campaign.into_values().collect();
+        reports.sort_by_key(|r| r.campaign_id);
+        reports
+    }
+
+    /// Grand-total slice table over every impression in the store
+    /// (Table 2 is this, restricted to mobile OSes).
+    pub fn slice_table(store: &ImpressionStore) -> HashMap<SliceKey, RateSlice> {
+        let mut out: HashMap<SliceKey, RateSlice> = HashMap::new();
+        for report in Self::per_campaign(store) {
+            for (key, slice) in &report.slices {
+                out.entry(*key).or_default().merge(slice);
+            }
+        }
+        out
+    }
+
+    /// Fleet summary across campaigns (Figure 3's bars).
+    pub fn summary(reports: &[CampaignReport]) -> FleetSummary {
+        let n = reports.len();
+        let measured: Vec<f64> = reports.iter().map(|r| r.total.measured_rate()).collect();
+        let viewability: Vec<f64> = reports.iter().map(|r| r.total.viewability_rate()).collect();
+        FleetSummary {
+            campaigns: n,
+            mean_measured_rate: mean(&measured),
+            std_measured_rate: std_dev(&measured),
+            mean_viewability_rate: mean(&viewability),
+            std_viewability_rate: std_dev(&viewability),
+        }
+    }
+}
+
+/// Renders per-campaign reports as CSV (header + one row per campaign)
+/// for spreadsheet-side analysis — the format ops teams actually pull.
+pub fn to_csv(reports: &[CampaignReport]) -> String {
+    let mut out = String::from(
+        "campaign_id,served,measured,viewed,clicked,measured_rate,viewability_rate,ctr\n",
+    );
+    for r in reports {
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.4},{:.4},{:.4}\n",
+            r.campaign_id,
+            r.total.served,
+            r.total.measured,
+            r.total.viewed,
+            r.total.clicked,
+            r.total.measured_rate(),
+            r.total.viewability_rate(),
+            r.total.ctr(),
+        ));
+    }
+    out
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation (0 for fewer than two samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ServedImpression;
+    use qtag_wire::{AdFormat, Beacon, BrowserKind, EventKind};
+
+    fn served(id: u64, campaign: u32, os: OsKind, site: SiteType) -> ServedImpression {
+        ServedImpression {
+            impression_id: id,
+            campaign_id: campaign,
+            os,
+            browser: BrowserKind::Chrome,
+            site_type: site,
+            ad_format: AdFormat::Display,
+        }
+    }
+
+    fn beacon(id: u64, event: EventKind, seq: u16) -> Beacon {
+        Beacon {
+            impression_id: id,
+            campaign_id: 0,
+            event,
+            timestamp_us: 0,
+            ad_format: AdFormat::Display,
+            visible_fraction_milli: 0,
+            exposure_ms: 0,
+            os: OsKind::Android,
+            browser: BrowserKind::Chrome,
+            site_type: SiteType::App,
+            seq,
+        }
+    }
+
+    /// 10 impressions: 8 measured, 4 of those viewed.
+    fn populated_store() -> ImpressionStore {
+        let mut store = ImpressionStore::new();
+        for id in 0..10u64 {
+            store.record_served(served(id, 1, OsKind::Android, SiteType::App));
+        }
+        for id in 0..8u64 {
+            store.apply(&beacon(id, EventKind::Measurable, 0));
+        }
+        for id in 0..4u64 {
+            store.apply(&beacon(id, EventKind::InView, 1));
+        }
+        store
+    }
+
+    #[test]
+    fn rates_compute_per_definition() {
+        let store = populated_store();
+        let reports = ReportBuilder::per_campaign(&store);
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.total.served, 10);
+        assert_eq!(r.total.measured, 8);
+        assert_eq!(r.total.viewed, 4);
+        assert!((r.total.measured_rate() - 0.8).abs() < 1e-12);
+        assert!((r.total.viewability_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slices_partition_the_campaign() {
+        let mut store = ImpressionStore::new();
+        store.record_served(served(1, 1, OsKind::Android, SiteType::App));
+        store.record_served(served(2, 1, OsKind::Ios, SiteType::Browser));
+        store.apply(&beacon(1, EventKind::Measurable, 0));
+        let table = ReportBuilder::slice_table(&store);
+        assert_eq!(table.len(), 2);
+        let android_app = table[&SliceKey { site_type: SiteType::App, os: OsKind::Android }];
+        assert_eq!((android_app.served, android_app.measured), (1, 1));
+        let ios_browser = table[&SliceKey { site_type: SiteType::Browser, os: OsKind::Ios }];
+        assert_eq!((ios_browser.served, ios_browser.measured), (1, 0));
+    }
+
+    #[test]
+    fn summary_mean_and_std_across_campaigns() {
+        let mut store = ImpressionStore::new();
+        // campaign 1: 2 served, 2 measured; campaign 2: 2 served, 0 measured.
+        store.record_served(served(1, 1, OsKind::Android, SiteType::App));
+        store.record_served(served(2, 1, OsKind::Android, SiteType::App));
+        store.record_served(served(3, 2, OsKind::Android, SiteType::App));
+        store.record_served(served(4, 2, OsKind::Android, SiteType::App));
+        store.apply(&beacon(1, EventKind::Measurable, 0));
+        store.apply(&beacon(2, EventKind::Measurable, 0));
+        let reports = ReportBuilder::per_campaign(&store);
+        let s = ReportBuilder::summary(&reports);
+        assert_eq!(s.campaigns, 2);
+        assert!((s.mean_measured_rate - 0.5).abs() < 1e-12);
+        assert!((s.std_measured_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_yield_zero_rates() {
+        let s = RateSlice::default();
+        assert_eq!(s.measured_rate(), 0.0);
+        assert_eq!(s.viewability_rate(), 0.0);
+    }
+
+    #[test]
+    fn viewability_rate_denominator_is_measured_not_served() {
+        let store = populated_store();
+        let reports = ReportBuilder::per_campaign(&store);
+        // 4 viewed / 8 measured = 0.5, NOT 4/10.
+        assert!((reports[0].total.viewability_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let store = populated_store();
+        let reports = ReportBuilder::per_campaign(&store);
+        let json = serde_json::to_string(&ReportBuilder::summary(&reports)).unwrap();
+        assert!(json.contains("mean_measured_rate"));
+    }
+
+    #[test]
+    fn csv_export_is_well_formed() {
+        let store = populated_store();
+        let reports = ReportBuilder::per_campaign(&store);
+        let csv = to_csv(&reports);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 8);
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("1,10,8,4,0,0.8000,0.5000"));
+        assert_eq!(lines.next(), None);
+    }
+}

@@ -1,0 +1,266 @@
+//! The impression store: joins the ad server's *served* log with the
+//! beacon stream.
+
+use qtag_wire::{AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
+use std::collections::HashMap;
+
+/// One row of the ad server's serving log: the DSP knows every
+/// impression it delivered, independent of whether any tag later
+/// reported. The *measured rate* denominator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServedImpression {
+    /// Impression id assigned at serving time.
+    pub impression_id: u64,
+    /// Campaign.
+    pub campaign_id: u32,
+    /// Device OS (known from the bid request).
+    pub os: OsKind,
+    /// Browser/webview (user-agent).
+    pub browser: BrowserKind,
+    /// Browser page vs in-app.
+    pub site_type: SiteType,
+    /// Creative format.
+    pub ad_format: AdFormat,
+}
+
+/// Measurement state accumulated for one impression from its beacons.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ImpressionRecord {
+    /// Tag bootstrapped (any beacon arrived).
+    pub tag_loaded: bool,
+    /// A complete measurement window was reported.
+    pub measurable: bool,
+    /// The viewability criteria were met.
+    pub in_view: bool,
+    /// An out-of-view transition was reported after in-view.
+    pub out_of_view: bool,
+    /// The user clicked the creative at least once.
+    pub clicked: bool,
+    /// Number of beacons accepted (after dedup).
+    pub beacons: u32,
+    /// Number of duplicate beacons discarded.
+    pub duplicates: u32,
+    /// Highest sequence number seen.
+    pub max_seq: u16,
+    /// Latest reported visible fraction (‰).
+    pub last_fraction_milli: u16,
+    /// Longest reported qualifying exposure (ms).
+    pub best_exposure_ms: u32,
+}
+
+/// In-memory impression store with idempotent beacon application.
+///
+/// Production would shard this over the DSP's "distributed monitoring
+/// infrastructure" (§5); the interface is the same: `record_served` from
+/// the ad server, `apply` from the collectors, reports from the
+/// analytics layer.
+#[derive(Debug, Default)]
+pub struct ImpressionStore {
+    served: HashMap<u64, ServedImpression>,
+    records: HashMap<u64, ImpressionRecord>,
+    /// Beacons referencing impressions the ad server never logged
+    /// (misconfigured tags, replay noise) — kept out of every rate.
+    orphan_beacons: u64,
+    /// (impression, seq) pairs seen, for dedup.
+    seen: std::collections::HashSet<(u64, u16)>,
+}
+
+impl ImpressionStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ImpressionStore::default()
+    }
+
+    /// Registers a served impression (ad-server log entry).
+    pub fn record_served(&mut self, s: ServedImpression) {
+        self.served.insert(s.impression_id, s);
+    }
+
+    /// Number of served impressions registered.
+    pub fn served_count(&self) -> usize {
+        self.served.len()
+    }
+
+    /// Beacons that referenced unknown impressions.
+    pub fn orphan_beacons(&self) -> u64 {
+        self.orphan_beacons
+    }
+
+    /// The served log entry for an impression.
+    pub fn served(&self, impression_id: u64) -> Option<&ServedImpression> {
+        self.served.get(&impression_id)
+    }
+
+    /// The measurement record for an impression (if any beacon arrived).
+    pub fn record(&self, impression_id: u64) -> Option<&ImpressionRecord> {
+        self.records.get(&impression_id)
+    }
+
+    /// Iterates `(served, record)` pairs; `record` is `None` when no
+    /// beacon ever arrived for the impression.
+    pub fn iter_joined(
+        &self,
+    ) -> impl Iterator<Item = (&ServedImpression, Option<&ImpressionRecord>)> {
+        self.served
+            .values()
+            .map(move |s| (s, self.records.get(&s.impression_id)))
+    }
+
+    /// Applies one beacon. Duplicate `(impression, seq)` pairs are
+    /// counted but otherwise ignored (collectors may receive retries).
+    pub fn apply(&mut self, beacon: &Beacon) {
+        if !self.served.contains_key(&beacon.impression_id) {
+            self.orphan_beacons += 1;
+            return;
+        }
+        let rec = self.records.entry(beacon.impression_id).or_default();
+        if !self.seen.insert((beacon.impression_id, beacon.seq)) {
+            rec.duplicates += 1;
+            return;
+        }
+        rec.beacons += 1;
+        rec.max_seq = rec.max_seq.max(beacon.seq);
+        rec.last_fraction_milli = beacon.visible_fraction_milli;
+        rec.best_exposure_ms = rec.best_exposure_ms.max(beacon.exposure_ms);
+        rec.tag_loaded = true;
+        match beacon.event {
+            EventKind::TagLoaded => {}
+            EventKind::Measurable => rec.measurable = true,
+            EventKind::InView => {
+                rec.measurable = true;
+                rec.in_view = true;
+            }
+            EventKind::OutOfView => rec.out_of_view = true,
+            EventKind::Heartbeat => {}
+            EventKind::Click => rec.clicked = true,
+        }
+    }
+
+    /// Applies many beacons.
+    pub fn apply_all<'a>(&mut self, beacons: impl IntoIterator<Item = &'a Beacon>) {
+        for b in beacons {
+            self.apply(b);
+        }
+    }
+
+    /// Measurement verdict for an impression: `(measured, viewed)`.
+    ///
+    /// *Measured* means the solution produced a viewability measurement
+    /// (at least one complete window); *viewed* means the criteria were
+    /// met. The paper's rates: measured rate = measured / served,
+    /// viewability rate = viewed / measured.
+    pub fn verdict(&self, impression_id: u64) -> (bool, bool) {
+        match self.records.get(&impression_id) {
+            Some(r) => (r.measurable, r.in_view),
+            None => (false, false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn served(id: u64) -> ServedImpression {
+        ServedImpression {
+            impression_id: id,
+            campaign_id: 1,
+            os: OsKind::Android,
+            browser: BrowserKind::AndroidWebView,
+            site_type: SiteType::App,
+            ad_format: AdFormat::Display,
+        }
+    }
+
+    fn beacon(id: u64, event: EventKind, seq: u16) -> Beacon {
+        Beacon {
+            impression_id: id,
+            campaign_id: 1,
+            event,
+            timestamp_us: 0,
+            ad_format: AdFormat::Display,
+            visible_fraction_milli: 800,
+            exposure_ms: 1000,
+            os: OsKind::Android,
+            browser: BrowserKind::AndroidWebView,
+            site_type: SiteType::App,
+            seq,
+        }
+    }
+
+    #[test]
+    fn lifecycle_tagloaded_measurable_inview() {
+        let mut store = ImpressionStore::new();
+        store.record_served(served(1));
+        store.apply(&beacon(1, EventKind::TagLoaded, 0));
+        assert_eq!(store.verdict(1), (false, false));
+        store.apply(&beacon(1, EventKind::Measurable, 1));
+        assert_eq!(store.verdict(1), (true, false));
+        store.apply(&beacon(1, EventKind::InView, 2));
+        assert_eq!(store.verdict(1), (true, true));
+    }
+
+    #[test]
+    fn in_view_implies_measurable_even_if_measurable_beacon_lost() {
+        let mut store = ImpressionStore::new();
+        store.record_served(served(2));
+        store.apply(&beacon(2, EventKind::InView, 3));
+        assert_eq!(store.verdict(2), (true, true));
+    }
+
+    #[test]
+    fn duplicates_are_ignored_but_counted() {
+        let mut store = ImpressionStore::new();
+        store.record_served(served(3));
+        store.apply(&beacon(3, EventKind::Measurable, 0));
+        store.apply(&beacon(3, EventKind::Measurable, 0));
+        let rec = store.record(3).unwrap();
+        assert_eq!(rec.beacons, 1);
+        assert_eq!(rec.duplicates, 1);
+    }
+
+    #[test]
+    fn orphan_beacons_never_pollute_rates() {
+        let mut store = ImpressionStore::new();
+        store.apply(&beacon(99, EventKind::InView, 0));
+        assert_eq!(store.orphan_beacons(), 1);
+        assert_eq!(store.served_count(), 0);
+        assert_eq!(store.verdict(99), (false, false));
+    }
+
+    #[test]
+    fn silent_impression_is_unmeasured() {
+        let mut store = ImpressionStore::new();
+        store.record_served(served(4));
+        assert_eq!(store.verdict(4), (false, false));
+        let joined: Vec<_> = store.iter_joined().collect();
+        assert_eq!(joined.len(), 1);
+        assert!(joined[0].1.is_none());
+    }
+
+    #[test]
+    fn exposure_and_fraction_track_maxima_and_latest() {
+        let mut store = ImpressionStore::new();
+        store.record_served(served(5));
+        let mut b1 = beacon(5, EventKind::Heartbeat, 0);
+        b1.exposure_ms = 400;
+        b1.visible_fraction_milli = 900;
+        store.apply(&b1);
+        let mut b2 = beacon(5, EventKind::Heartbeat, 1);
+        b2.exposure_ms = 200;
+        b2.visible_fraction_milli = 100;
+        store.apply(&b2);
+        let rec = store.record(5).unwrap();
+        assert_eq!(rec.best_exposure_ms, 400);
+        assert_eq!(rec.last_fraction_milli, 100);
+    }
+
+    #[test]
+    fn out_of_view_is_recorded() {
+        let mut store = ImpressionStore::new();
+        store.record_served(served(6));
+        store.apply(&beacon(6, EventKind::InView, 0));
+        store.apply(&beacon(6, EventKind::OutOfView, 1));
+        assert!(store.record(6).unwrap().out_of_view);
+    }
+}

@@ -1,0 +1,220 @@
+//! Time-bucketed measurement trends.
+//!
+//! The paper's production dataset covers campaigns "that we monitor
+//! during a week" (§5). Operators do not read one aggregate number —
+//! they watch *trends*: hourly/daily delivery volume and viewability.
+//! [`Timeline`] folds the beacon stream into fixed-width time buckets
+//! and reports both.
+
+use qtag_wire::{Beacon, EventKind};
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap};
+
+/// Counters for one time bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct BucketStats {
+    /// Beacons that fell into the bucket.
+    pub beacons: u64,
+    /// Impressions whose *first* complete measurement landed in this
+    /// bucket (each impression counts in exactly one bucket).
+    pub measured: u64,
+    /// Of those, impressions that (eventually) met the viewability
+    /// criteria.
+    pub viewed: u64,
+}
+
+impl BucketStats {
+    /// Bucket-level viewability rate.
+    pub fn viewability_rate(&self) -> f64 {
+        if self.measured == 0 {
+            0.0
+        } else {
+            self.viewed as f64 / self.measured as f64
+        }
+    }
+}
+
+/// Fixed-width time-bucket aggregation over a beacon stream.
+#[derive(Debug)]
+pub struct Timeline {
+    bucket_us: u64,
+    buckets: BTreeMap<u64, BucketStats>,
+    /// impression → bucket index of its first Measurable.
+    first_measured: HashMap<u64, u64>,
+    /// impressions already counted as viewed.
+    viewed: HashMap<u64, bool>,
+}
+
+impl Timeline {
+    /// Creates a timeline with the given bucket width in microseconds.
+    ///
+    /// # Panics
+    /// Panics on a zero bucket width.
+    pub fn new(bucket_us: u64) -> Self {
+        assert!(bucket_us > 0, "bucket width must be positive");
+        Timeline {
+            bucket_us,
+            buckets: BTreeMap::new(),
+            first_measured: HashMap::new(),
+            viewed: HashMap::new(),
+        }
+    }
+
+    /// Hourly buckets.
+    pub fn hourly() -> Self {
+        Timeline::new(3_600 * 1_000_000)
+    }
+
+    /// Daily buckets.
+    pub fn daily() -> Self {
+        Timeline::new(24 * 3_600 * 1_000_000)
+    }
+
+    /// Bucket index for a timestamp.
+    pub fn bucket_of(&self, timestamp_us: u64) -> u64 {
+        timestamp_us / self.bucket_us
+    }
+
+    /// Folds one beacon into the timeline.
+    pub fn record(&mut self, beacon: &Beacon) {
+        let bucket = self.bucket_of(beacon.timestamp_us);
+        let stats = self.buckets.entry(bucket).or_default();
+        stats.beacons += 1;
+        match beacon.event {
+            EventKind::Measurable => {
+                if !self.first_measured.contains_key(&beacon.impression_id) {
+                    self.first_measured.insert(beacon.impression_id, bucket);
+                    stats.measured += 1;
+                }
+            }
+            EventKind::InView => {
+                // In-view implies measurable even when the Measurable
+                // beacon was lost; in that case this bucket becomes the
+                // impression's measured cohort.
+                let mut newly_measured = false;
+                let first = *self
+                    .first_measured
+                    .entry(beacon.impression_id)
+                    .or_insert_with(|| {
+                        newly_measured = true;
+                        bucket
+                    });
+                if newly_measured {
+                    self.buckets.entry(first).or_default().measured += 1;
+                }
+                let viewed = self.viewed.entry(beacon.impression_id).or_insert(false);
+                if !*viewed {
+                    *viewed = true;
+                    // Attribute the view to the impression's first
+                    // measured bucket so rates stay per-cohort.
+                    self.buckets.entry(first).or_default().viewed += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The buckets in time order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, &BucketStats)> {
+        self.buckets.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Total impressions measured across all buckets.
+    pub fn total_measured(&self) -> u64 {
+        self.buckets.values().map(|b| b.measured).sum()
+    }
+
+    /// Total impressions viewed.
+    pub fn total_viewed(&self) -> u64 {
+        self.buckets.values().map(|b| b.viewed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtag_wire::{AdFormat, BrowserKind, OsKind, SiteType};
+
+    fn beacon(id: u64, event: EventKind, ts_us: u64) -> Beacon {
+        Beacon {
+            impression_id: id,
+            campaign_id: 1,
+            event,
+            timestamp_us: ts_us,
+            ad_format: AdFormat::Display,
+            visible_fraction_milli: 500,
+            exposure_ms: 0,
+            os: OsKind::Android,
+            browser: BrowserKind::Chrome,
+            site_type: SiteType::Browser,
+            seq: 0,
+        }
+    }
+
+    const HOUR: u64 = 3_600 * 1_000_000;
+
+    #[test]
+    fn impressions_count_once_in_their_first_bucket() {
+        let mut t = Timeline::hourly();
+        t.record(&beacon(1, EventKind::Measurable, 10));
+        t.record(&beacon(1, EventKind::Measurable, HOUR + 10)); // duplicate later
+        assert_eq!(t.total_measured(), 1);
+        let (first_bucket, stats) = t.buckets().next().unwrap();
+        assert_eq!(first_bucket, 0);
+        assert_eq!(stats.measured, 1);
+    }
+
+    #[test]
+    fn views_attribute_to_the_measured_cohort() {
+        let mut t = Timeline::hourly();
+        t.record(&beacon(1, EventKind::Measurable, 10));
+        // The in-view lands two hours later; the cohort stays bucket 0.
+        t.record(&beacon(1, EventKind::InView, 2 * HOUR));
+        let b0 = t.buckets().find(|(k, _)| *k == 0).unwrap().1;
+        assert_eq!(b0.measured, 1);
+        assert_eq!(b0.viewed, 1);
+        assert!((b0.viewability_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lost_measurable_is_recovered_from_in_view() {
+        let mut t = Timeline::hourly();
+        t.record(&beacon(5, EventKind::InView, HOUR + 5));
+        assert_eq!(t.total_measured(), 1);
+        assert_eq!(t.total_viewed(), 1);
+    }
+
+    #[test]
+    fn duplicate_in_view_does_not_double_count() {
+        let mut t = Timeline::hourly();
+        t.record(&beacon(1, EventKind::Measurable, 10));
+        t.record(&beacon(1, EventKind::InView, 20));
+        t.record(&beacon(1, EventKind::InView, 30));
+        assert_eq!(t.total_viewed(), 1);
+    }
+
+    #[test]
+    fn buckets_partition_by_hour() {
+        let mut t = Timeline::hourly();
+        for h in 0..5u64 {
+            t.record(&beacon(h, EventKind::Measurable, h * HOUR + 500));
+        }
+        let buckets: Vec<u64> = t.buckets().map(|(k, _)| k).collect();
+        assert_eq!(buckets, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn heartbeats_count_as_traffic_only() {
+        let mut t = Timeline::hourly();
+        t.record(&beacon(1, EventKind::Heartbeat, 10));
+        t.record(&beacon(1, EventKind::TagLoaded, 20));
+        assert_eq!(t.total_measured(), 0);
+        assert_eq!(t.buckets().next().unwrap().1.beacons, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn zero_bucket_width_panics() {
+        Timeline::new(0);
+    }
+}

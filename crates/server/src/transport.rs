@@ -1,0 +1,170 @@
+//! The network between tag and collection endpoint.
+
+use qtag_wire::{framing, Beacon, WireError};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A lossy, corrupting link carrying framed beacons.
+///
+/// Models the realities of fire-and-forget tag telemetry: beacons sent
+/// from a page that is being torn down, over congested mobile radios,
+/// sometimes vanish (`loss_rate`) or arrive damaged (`corruption_rate`).
+/// Deterministic per seed.
+#[derive(Debug)]
+pub struct LossyLink {
+    loss_rate: f64,
+    corruption_rate: f64,
+    rng: ChaCha8Rng,
+    sent: u64,
+    lost: u64,
+    corrupted: u64,
+}
+
+impl LossyLink {
+    /// Creates a link with the given beacon loss and corruption
+    /// probabilities (each in `[0, 1]`).
+    pub fn new(loss_rate: f64, corruption_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&loss_rate), "loss_rate out of range");
+        assert!(
+            (0.0..=1.0).contains(&corruption_rate),
+            "corruption_rate out of range"
+        );
+        LossyLink {
+            loss_rate,
+            corruption_rate,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            sent: 0,
+            lost: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// A perfect link.
+    pub fn lossless() -> Self {
+        LossyLink::new(0.0, 0.0, 0)
+    }
+
+    /// Transmits a batch of beacons; returns the byte stream as it
+    /// arrives at the collector (dropped beacons omitted, corrupted ones
+    /// damaged in place).
+    pub fn transmit(&mut self, beacons: &[Beacon]) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::with_capacity(beacons.len() * 40);
+        for b in beacons {
+            self.sent += 1;
+            if self.rng.gen_bool(self.loss_rate) {
+                self.lost += 1;
+                continue;
+            }
+            let mut frame = framing::encode_frames(std::slice::from_ref(b))?;
+            if self.rng.gen_bool(self.corruption_rate) {
+                self.corrupted += 1;
+                // Flip one random payload byte (beyond the length prefix).
+                let idx = self.rng.gen_range(2..frame.len());
+                frame[idx] ^= 1 << self.rng.gen_range(0..8);
+            }
+            out.extend_from_slice(&frame);
+        }
+        Ok(out)
+    }
+
+    /// Beacons handed to the link so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Beacons dropped.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Beacons damaged.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtag_wire::{AdFormat, BrowserKind, EventKind, FrameDecoder, OsKind, SiteType};
+
+    fn beacon(seq: u16) -> Beacon {
+        Beacon {
+            impression_id: 5,
+            campaign_id: 1,
+            event: EventKind::Heartbeat,
+            timestamp_us: 0,
+            ad_format: AdFormat::Display,
+            visible_fraction_milli: 0,
+            exposure_ms: 0,
+            os: OsKind::Android,
+            browser: BrowserKind::Chrome,
+            site_type: SiteType::Browser,
+            seq,
+        }
+    }
+
+    fn decode_all(bytes: &[u8]) -> usize {
+        let mut dec = FrameDecoder::new();
+        dec.extend(bytes);
+        dec.drain()
+            .into_iter()
+            .filter(|e| matches!(e, qtag_wire::framing::FrameEvent::Beacon(_)))
+            .count()
+    }
+
+    #[test]
+    fn lossless_link_delivers_everything() {
+        let mut link = LossyLink::lossless();
+        let beacons: Vec<_> = (0..100).map(beacon).collect();
+        let bytes = link.transmit(&beacons).unwrap();
+        assert_eq!(decode_all(&bytes), 100);
+        assert_eq!(link.lost(), 0);
+    }
+
+    #[test]
+    fn full_loss_delivers_nothing() {
+        let mut link = LossyLink::new(1.0, 0.0, 1);
+        let beacons: Vec<_> = (0..50).map(beacon).collect();
+        let bytes = link.transmit(&beacons).unwrap();
+        assert!(bytes.is_empty());
+        assert_eq!(link.lost(), 50);
+    }
+
+    #[test]
+    fn partial_loss_is_near_the_configured_rate() {
+        let mut link = LossyLink::new(0.2, 0.0, 42);
+        let beacons: Vec<_> = (0..2000).map(|i| beacon(i as u16)).collect();
+        let bytes = link.transmit(&beacons).unwrap();
+        let delivered = decode_all(&bytes);
+        assert!((1500..=1700).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    fn corruption_is_caught_by_checksum() {
+        let mut link = LossyLink::new(0.0, 1.0, 7);
+        let beacons: Vec<_> = (0..20).map(beacon).collect();
+        let bytes = link.transmit(&beacons).unwrap();
+        // All frames damaged → none decodes as a valid beacon. (The CRC
+        // rejects every single-bit flip.)
+        assert_eq!(decode_all(&bytes), 0);
+        assert_eq!(link.corrupted(), 20);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed| {
+            let mut link = LossyLink::new(0.5, 0.1, seed);
+            let beacons: Vec<_> = (0..100).map(beacon).collect();
+            link.transmit(&beacons).unwrap()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss_rate out of range")]
+    fn invalid_rate_panics() {
+        LossyLink::new(1.5, 0.0, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! User session behaviour: scroll, dwell, switch, leave.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand_distr::{Distribution, LogNormal};
+
+/// Parameters of the behaviour distributions.
+#[derive(Debug, Clone)]
+pub struct BehaviorConfig {
+    /// Median dwell per scroll stop, ms (log-normal). Mobile reading
+    /// behaviour: a few seconds per screenful.
+    pub median_dwell_ms: f64,
+    /// Log-normal sigma of the dwell distribution.
+    pub dwell_sigma: f64,
+    /// Probability the user never scrolls at all (reads only the first
+    /// viewport, then leaves).
+    pub no_scroll_rate: f64,
+    /// Given the user scrolls, the fraction of the scrollable range they
+    /// reach is `U(min_depth, 1)`.
+    pub min_depth: f64,
+    /// Probability of a mid-session tab/app switch (the user comes back
+    /// after `switch_away_ms`).
+    pub tab_switch_rate: f64,
+    /// How long a switch-away lasts, ms.
+    pub switch_away_ms: u64,
+    /// Scroll step as a fraction of the viewport height.
+    pub scroll_step: f64,
+}
+
+impl Default for BehaviorConfig {
+    fn default() -> Self {
+        BehaviorConfig {
+            median_dwell_ms: 2_600.0,
+            dwell_sigma: 0.6,
+            no_scroll_rate: 0.35,
+            min_depth: 0.10,
+            tab_switch_rate: 0.05,
+            switch_away_ms: 3_000,
+            scroll_step: 0.7,
+        }
+    }
+}
+
+/// One step of a session timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UserAction {
+    /// Stay put for the given time.
+    Dwell(u64),
+    /// Scroll the page to absolute offset `y` (instantaneous jump; the
+    /// sub-second kinetics of scrolling are below the standard's 1 s
+    /// resolution).
+    ScrollTo(f64),
+    /// Switch to another tab / background the app for the given time,
+    /// then return.
+    SwitchAway(u64),
+    /// Close the page. Always the final action.
+    Leave,
+}
+
+/// A generated session timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionBehavior {
+    /// Actions in order; ends with [`UserAction::Leave`].
+    pub actions: Vec<UserAction>,
+}
+
+impl SessionBehavior {
+    /// A sub-100 ms bounce: the user closes the page before any
+    /// measurement window can complete.
+    pub fn bounce() -> Self {
+        SessionBehavior {
+            actions: vec![UserAction::Dwell(60), UserAction::Leave],
+        }
+    }
+
+    /// Generates a browsing session over a page `page_height` px long
+    /// seen through a viewport `viewport_height` px tall.
+    pub fn generate(
+        cfg: &BehaviorConfig,
+        page_height: f64,
+        viewport_height: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> SessionBehavior {
+        let dwell_dist = LogNormal::new(cfg.median_dwell_ms.ln(), cfg.dwell_sigma)
+            .expect("valid log-normal parameters");
+        let dwell = |rng: &mut ChaCha8Rng| -> u64 {
+            dwell_dist.sample(rng).clamp(300.0, 30_000.0) as u64
+        };
+
+        let mut actions = Vec::new();
+        actions.push(UserAction::Dwell(dwell(rng)));
+
+        let max_scroll = (page_height - viewport_height).max(0.0);
+        if max_scroll > 0.0 && !rng.gen_bool(cfg.no_scroll_rate) {
+            let depth = rng.gen_range(cfg.min_depth..=1.0) * max_scroll;
+            let step = cfg.scroll_step * viewport_height;
+            let mut y = 0.0;
+            while y < depth {
+                y = (y + step).min(depth);
+                actions.push(UserAction::ScrollTo(y));
+                actions.push(UserAction::Dwell(dwell(rng)));
+            }
+        }
+
+        if rng.gen_bool(cfg.tab_switch_rate) {
+            actions.push(UserAction::SwitchAway(cfg.switch_away_ms));
+            actions.push(UserAction::Dwell(dwell(rng)));
+        }
+
+        actions.push(UserAction::Leave);
+        SessionBehavior { actions }
+    }
+
+    /// Total simulated session length, ms.
+    pub fn duration_ms(&self) -> u64 {
+        self.actions
+            .iter()
+            .map(|a| match a {
+                UserAction::Dwell(ms) | UserAction::SwitchAway(ms) => *ms,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The deepest scroll offset in the timeline.
+    pub fn max_scroll(&self) -> f64 {
+        self.actions
+            .iter()
+            .filter_map(|a| match a {
+                UserAction::ScrollTo(y) => Some(*y),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sessions_end_with_leave() {
+        let mut r = rng(1);
+        for _ in 0..100 {
+            let s = SessionBehavior::generate(&BehaviorConfig::default(), 3000.0, 684.0, &mut r);
+            assert_eq!(s.actions.last(), Some(&UserAction::Leave));
+        }
+    }
+
+    #[test]
+    fn bounce_is_under_100ms() {
+        assert!(SessionBehavior::bounce().duration_ms() < 100);
+    }
+
+    #[test]
+    fn scroll_depth_never_exceeds_page() {
+        let mut r = rng(2);
+        for _ in 0..300 {
+            let s = SessionBehavior::generate(&BehaviorConfig::default(), 2500.0, 684.0, &mut r);
+            assert!(s.max_scroll() <= 2500.0 - 684.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_scroll_rate_produces_static_sessions() {
+        let cfg = BehaviorConfig {
+            no_scroll_rate: 1.0,
+            tab_switch_rate: 0.0,
+            ..BehaviorConfig::default()
+        };
+        let mut r = rng(3);
+        let s = SessionBehavior::generate(&cfg, 3000.0, 684.0, &mut r);
+        assert_eq!(s.max_scroll(), 0.0);
+        assert_eq!(s.actions.len(), 2, "dwell + leave");
+    }
+
+    #[test]
+    fn dwells_are_plausible() {
+        let mut r = rng(4);
+        for _ in 0..200 {
+            let s = SessionBehavior::generate(&BehaviorConfig::default(), 3000.0, 684.0, &mut r);
+            for a in &s.actions {
+                if let UserAction::Dwell(ms) = a {
+                    assert!((300..=30_000).contains(ms));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn short_page_never_scrolls() {
+        let mut r = rng(5);
+        let s = SessionBehavior::generate(&BehaviorConfig::default(), 600.0, 684.0, &mut r);
+        assert_eq!(s.max_scroll(), 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # qtag-user
+//!
+//! The synthetic audience: stand-in for the proprietary production
+//! traffic of the paper's §5 evaluation (12 M ads, 99 campaigns,
+//! audiences across the US, Mexico, Colombia, Spain, UK, Germany, …).
+//!
+//! Three layers:
+//!
+//! * [`Population`] — the device/environment mix (OS × browser ×
+//!   site-type, webview modernity, CPU-load distribution). The mix is
+//!   calibrated so that *mechanistic* simulation of both tags reproduces
+//!   the marginals the paper reports (Table 2); every calibrated
+//!   constant carries a doc comment citing its source;
+//! * [`PageModel`] — publisher page geometry: page length, where the ad
+//!   slot sits (above/below the fold), overlays;
+//! * [`SessionBehavior`] — what the user does: scroll depth (how far
+//!   down the page they ever get), dwell times between scroll steps, tab
+//!   switches and app backgrounding. Drawn from long-tailed
+//!   distributions (log-normal dwell, mixture scroll depth) seeded per
+//!   impression, so campaign-level rates emerge from user behaviour
+//!   rather than being hard-coded.
+//!
+//! [`SessionSim`] assembles a `qtag-render` engine for one impression:
+//! builds the page with the served ad's double iframe, attaches tags,
+//! scripts the user's scroll/dwell timeline, and runs it to completion.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod behavior;
+mod page;
+mod population;
+mod session;
+mod week;
+
+pub use behavior::{BehaviorConfig, SessionBehavior, UserAction};
+pub use page::{PageModel, SlotPlacement};
+pub use population::{EnvSample, Population, PopulationConfig, SliceParams};
+pub use session::{SessionOutcome, SessionSim};
+pub use week::{TrafficPattern, WEEK_DAYS};

@@ -1,0 +1,126 @@
+//! Publisher-page geometry.
+
+use qtag_geometry::{Rect, Size};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Where the ad slot sits relative to the first viewport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotPlacement {
+    /// Fully inside the first viewport ("above the fold").
+    AboveFold,
+    /// Reachable only by scrolling.
+    BelowFold,
+}
+
+/// One concrete publisher page for a session.
+#[derive(Debug, Clone)]
+pub struct PageModel {
+    /// Page document size (width = viewport width).
+    pub doc_size: Size,
+    /// The ad slot rectangle in page document coordinates.
+    pub slot: Rect,
+    /// Above/below the fold at page load.
+    pub placement: SlotPlacement,
+}
+
+impl PageModel {
+    /// Generates a page for a viewport of `viewport` containing a slot
+    /// for a creative of `creative` size.
+    ///
+    /// * Page length: 1.5–5 viewports (mobile articles / feeds).
+    /// * Slot position: with probability `above_fold_share` uniformly
+    ///   inside the first viewport, otherwise uniformly below it.
+    ///   Publishers sell premium above-fold placements; campaigns differ
+    ///   in how much of them they buy, which is the main driver of
+    ///   cross-campaign viewability spread (Figure 3b's error bars).
+    pub fn generate(
+        viewport: Size,
+        creative: Size,
+        above_fold_share: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> PageModel {
+        let height = viewport.height * rng.gen_range(1.5..5.0);
+        let doc_size = Size::new(viewport.width, height);
+        let max_y = (height - creative.height).max(0.0);
+        let fold_max_y = (viewport.height - creative.height).max(0.0);
+        let above = rng.gen_bool(above_fold_share.clamp(0.0, 1.0));
+        let y = if above {
+            rng.gen_range(0.0..=fold_max_y.max(f64::MIN_POSITIVE))
+        } else {
+            // Start strictly below the 50 %-visible line so a "below
+            // fold" draw is genuinely below the fold at page load.
+            let lo = (viewport.height - 0.49 * creative.height).min(max_y);
+            rng.gen_range(lo..=max_y.max(lo + f64::MIN_POSITIVE))
+        };
+        let x = ((viewport.width - creative.width) / 2.0).max(0.0);
+        PageModel {
+            doc_size,
+            slot: Rect::new(x, y, creative.width, creative.height),
+            placement: if y + creative.height * 0.5 <= viewport.height {
+                SlotPlacement::AboveFold
+            } else {
+                SlotPlacement::BelowFold
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    const VP: Size = Size {
+        width: 360.0,
+        height: 684.0,
+    };
+
+    #[test]
+    fn slot_always_inside_document() {
+        let mut r = rng(1);
+        for _ in 0..500 {
+            let p = PageModel::generate(VP, Size::MEDIUM_RECTANGLE, 0.3, &mut r);
+            assert!(p.slot.min_y() >= 0.0);
+            assert!(p.slot.max_y() <= p.doc_size.height + 1e-9);
+            assert!(p.slot.max_x() <= p.doc_size.width + 1e-9);
+        }
+    }
+
+    #[test]
+    fn above_fold_share_is_respected() {
+        let mut r = rng(2);
+        let n = 4000;
+        let above = (0..n)
+            .filter(|_| {
+                let p = PageModel::generate(VP, Size::MOBILE_BANNER, 0.4, &mut r);
+                p.placement == SlotPlacement::AboveFold
+            })
+            .count();
+        let frac = above as f64 / n as f64;
+        assert!((frac - 0.4).abs() < 0.05, "above-fold fraction {frac}");
+    }
+
+    #[test]
+    fn zero_share_means_everything_below_fold() {
+        let mut r = rng(3);
+        for _ in 0..200 {
+            let p = PageModel::generate(VP, Size::MOBILE_BANNER, 0.0, &mut r);
+            assert_eq!(p.placement, SlotPlacement::BelowFold);
+        }
+    }
+
+    #[test]
+    fn page_length_in_band() {
+        let mut r = rng(4);
+        for _ in 0..200 {
+            let p = PageModel::generate(VP, Size::MEDIUM_RECTANGLE, 0.3, &mut r);
+            let viewports = p.doc_size.height / VP.height;
+            assert!((1.5..=5.0).contains(&viewports));
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! One impression, end to end: page build, tag attach, user timeline.
+
+use crate::behavior::{BehaviorConfig, SessionBehavior, UserAction};
+use crate::page::PageModel;
+use crate::population::EnvSample;
+use qtag_adtech::{embed_served_ad, ServedAd, ServingOrigins};
+use qtag_core::{QTag, QTagConfig};
+use qtag_dom::{Origin, Page, Screen, Tab, TabId, WindowId, WindowKind};
+use qtag_geometry::{Rect, Size, Vector};
+use qtag_render::{Engine, ScriptId, SimDuration};
+use qtag_verifier::{VerifierConfig, VerifierTag};
+use qtag_wire::{AdFormat, Beacon, SiteType};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Everything one simulated session produced.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Beacons Q-Tag emitted (pre-transport; apply loss downstream).
+    pub qtag_beacons: Vec<Beacon>,
+    /// Beacons the commercial verifier emitted.
+    pub verifier_beacons: Vec<Beacon>,
+    /// The generated page geometry.
+    pub page: PageModel,
+    /// Wall-clock length of the session (simulated ms).
+    pub duration_ms: u64,
+    /// Clicks the user made on the creative.
+    pub clicks: u32,
+}
+
+/// Session assembler/driver.
+#[derive(Debug, Clone)]
+pub struct SessionSim {
+    /// Behaviour distributions.
+    pub behavior: BehaviorConfig,
+    /// Share of slots the campaign buys above the fold (campaign
+    /// placement quality; drives viewability spread across campaigns).
+    pub above_fold_share: f64,
+    /// Attach Q-Tag to the creative.
+    pub attach_qtag: bool,
+    /// Attach the commercial verifier to the creative.
+    pub attach_verifier: bool,
+    /// Per-dwell click probability while the ad is ≥50 % in the
+    /// viewport. Clicks on culled ads are structurally impossible (the
+    /// engine only dispatches clicks to composited, in-viewport
+    /// content), which is precisely why "CTR depend\[s\] on the
+    /// viewability rate" (§2.2).
+    pub click_hazard_per_visible_dwell: f64,
+}
+
+impl Default for SessionSim {
+    fn default() -> Self {
+        SessionSim {
+            behavior: BehaviorConfig::default(),
+            above_fold_share: 0.30,
+            attach_qtag: true,
+            attach_verifier: true,
+            click_hazard_per_visible_dwell: 0.01,
+        }
+    }
+}
+
+impl SessionSim {
+    /// Runs one impression's session. Deterministic per `(ad, env, seed)`.
+    pub fn run(&self, ad: &ServedAd, env: &EnvSample, seed: u64) -> SessionOutcome {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let profile = env.device_profile();
+        let viewport = Size::new(
+            profile.screen.width,
+            (profile.screen.height - profile.chrome_height).max(0.0),
+        );
+
+        // Publisher page with the served ad embedded in the double
+        // cross-domain iframe.
+        let page_model = PageModel::generate(viewport, ad.creative_size, self.above_fold_share, &mut rng);
+        let mut page = Page::new(Origin::https("publisher.example"), page_model.doc_size);
+        let origins = ServingOrigins::default();
+        let placement = embed_served_ad(&mut page, page_model.slot, ad, &origins)
+            .expect("markup embedding on a fresh page");
+        let tag_origin = Origin::parse(&origins.dsp).expect("valid dsp origin");
+
+        // Window/tab per site type.
+        let mut screen = Screen::new(profile.screen);
+        let full = Rect::new(0.0, 0.0, profile.screen.width, profile.screen.height);
+        let (window, tab): (WindowId, Option<TabId>) = match env.site_type {
+            SiteType::Browser => {
+                let w = screen.add_window(
+                    WindowKind::Browser {
+                        tabs: vec![Tab::new(page)],
+                        active: TabId(0),
+                    },
+                    full,
+                    profile.chrome_height,
+                );
+                (w, Some(TabId(0)))
+            }
+            SiteType::App => {
+                let w = screen.add_window(
+                    WindowKind::AppWebView { page },
+                    full,
+                    profile.chrome_height,
+                );
+                (w, None)
+            }
+        };
+
+        let mut engine = Engine::new(env.engine_config(seed ^ 0x9E37_79B9), screen);
+
+        // Attach tags (each independently subject to fetch failure).
+        let creative_rect = placement.creative_rect;
+        let mut qtag_id: Option<ScriptId> = None;
+        if self.attach_qtag && !env.qtag_fetch_fail {
+            let mut cfg = QTagConfig::new(ad.impression_id, ad.campaign_id.0, creative_rect);
+            if ad.format == AdFormat::Video {
+                cfg = cfg.video();
+            }
+            qtag_id = Some(
+                engine
+                    .attach_script(window, tab, placement.dsp_frame, tag_origin.clone(), Box::new(QTag::new(cfg)))
+                    .expect("attach qtag"),
+            );
+        }
+        let mut verifier_id: Option<ScriptId> = None;
+        if self.attach_verifier && !env.verifier_fetch_fail {
+            let cfg = VerifierConfig::new(
+                ad.impression_id,
+                ad.campaign_id.0,
+                creative_rect,
+                ad.format,
+            );
+            verifier_id = Some(
+                engine
+                    .attach_script(window, tab, placement.dsp_frame, tag_origin, Box::new(VerifierTag::new(cfg)))
+                    .expect("attach verifier"),
+            );
+        }
+
+        // Drive the user timeline.
+        let behavior = if env.bounce {
+            SessionBehavior::bounce()
+        } else {
+            SessionBehavior::generate(
+                &self.behavior,
+                page_model.doc_size.height,
+                viewport.height,
+                &mut rng,
+            )
+        };
+        let mut overlay: Option<WindowId> = None;
+        let mut clicks = 0u32;
+        for action in &behavior.actions {
+            match action {
+                UserAction::Dwell(ms) => {
+                    engine.run_for(SimDuration::from_millis(*ms));
+                    // After reading a screenful, the user may click an ad
+                    // they can see.
+                    if self.click_hazard_per_visible_dwell > 0.0
+                        && rand::Rng::gen_bool(&mut rng, self.click_hazard_per_visible_dwell)
+                    {
+                        if let Some(center) = Self::creative_center_in_viewport(
+                            &engine,
+                            window,
+                            tab,
+                            placement.dsp_frame,
+                            creative_rect,
+                        ) {
+                            let hit = engine
+                                .click_at(window, tab, center)
+                                .expect("click dispatch");
+                            if hit > 0 {
+                                clicks += 1;
+                            }
+                        }
+                    }
+                }
+                UserAction::ScrollTo(y) => {
+                    engine
+                        .scroll_page_to(window, tab, Vector::new(0.0, *y))
+                        .expect("scroll session page");
+                }
+                UserAction::SwitchAway(ms) => {
+                    // Another app comes to the foreground, fully covering
+                    // the page; then the user returns.
+                    let ov = match overlay {
+                        Some(ov) => {
+                            engine.screen_mut().restore(ov).expect("restore overlay");
+                            ov
+                        }
+                        None => {
+                            let ov = engine.screen_mut().add_window(
+                                WindowKind::OpaqueApp,
+                                full,
+                                0.0,
+                            );
+                            overlay = Some(ov);
+                            ov
+                        }
+                    };
+                    engine.run_for(SimDuration::from_millis(*ms));
+                    engine.screen_mut().minimize(ov).expect("hide overlay");
+                }
+                UserAction::Leave => break,
+            }
+        }
+
+        // Collect beacons per tag.
+        let mut qtag_beacons = Vec::new();
+        let mut verifier_beacons = Vec::new();
+        for out in engine.drain_outbox() {
+            if Some(out.script) == qtag_id {
+                qtag_beacons.push(out.beacon);
+            } else if Some(out.script) == verifier_id {
+                verifier_beacons.push(out.beacon);
+            }
+        }
+
+        SessionOutcome {
+            qtag_beacons,
+            verifier_beacons,
+            page: page_model,
+            duration_ms: behavior.duration_ms(),
+            clicks,
+        }
+    }
+
+    /// The creative's centre in viewport coordinates, when ≥ 50 % of it
+    /// is currently inside the viewport (the click-eligible condition).
+    fn creative_center_in_viewport(
+        engine: &Engine,
+        window: WindowId,
+        tab: Option<TabId>,
+        frame: qtag_dom::FrameId,
+        creative_rect: Rect,
+    ) -> Option<qtag_geometry::Point> {
+        let w = engine.screen().window(window).ok()?;
+        let page = match (&tab, &w.kind) {
+            (Some(t), WindowKind::Browser { tabs, .. }) => tabs.get(t.index()).map(|tb| &tb.page)?,
+            (None, WindowKind::AppWebView { page }) => page,
+            _ => return None,
+        };
+        let vp = w.viewport_size();
+        let visible = qtag_render::rect_in_viewport(page, frame, creative_rect, vp).ok()??;
+        if visible.area() < creative_rect.area() * 0.5 {
+            return None;
+        }
+        Some(visible.center())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{Population, PopulationConfig};
+    use qtag_adtech::CampaignId;
+    use qtag_wire::{EventKind, OsKind};
+
+    fn ad() -> ServedAd {
+        ServedAd {
+            impression_id: 1,
+            campaign_id: CampaignId(1),
+            creative_size: Size::MOBILE_BANNER,
+            format: AdFormat::Display,
+            paid_cpm_milli: 800,
+        }
+    }
+
+    fn healthy_env(site_type: SiteType) -> EnvSample {
+        EnvSample {
+            site_type,
+            os: OsKind::Android,
+            bounce: false,
+            qtag_fetch_fail: false,
+            verifier_fetch_fail: false,
+            legacy_env: false,
+            beacon_loss: 0.0,
+            cpu_load: 0.0,
+        }
+    }
+
+    fn has(beacons: &[Beacon], e: EventKind) -> bool {
+        beacons.iter().any(|b| b.event == e)
+    }
+
+    #[test]
+    fn healthy_browser_session_measures_with_both_tags() {
+        let sim = SessionSim {
+            above_fold_share: 1.0, // force above the fold
+            ..SessionSim::default()
+        };
+        let out = sim.run(&ad(), &healthy_env(SiteType::Browser), 7);
+        assert!(has(&out.qtag_beacons, EventKind::Measurable));
+        assert!(has(&out.verifier_beacons, EventKind::Measurable));
+        assert!(has(&out.qtag_beacons, EventKind::InView), "above-fold ad must be viewed");
+        assert!(has(&out.verifier_beacons, EventKind::InView));
+    }
+
+    #[test]
+    fn bounce_session_yields_tagloaded_only() {
+        let mut env = healthy_env(SiteType::Browser);
+        env.bounce = true;
+        let out = SessionSim::default().run(&ad(), &env, 8);
+        assert!(has(&out.qtag_beacons, EventKind::TagLoaded));
+        assert!(!has(&out.qtag_beacons, EventKind::Measurable));
+        assert!(out.duration_ms < 100);
+    }
+
+    #[test]
+    fn legacy_app_env_silences_verifier_but_not_qtag() {
+        let mut env = healthy_env(SiteType::App);
+        env.legacy_env = true;
+        let sim = SessionSim {
+            above_fold_share: 1.0,
+            ..SessionSim::default()
+        };
+        let out = sim.run(&ad(), &env, 9);
+        assert!(has(&out.qtag_beacons, EventKind::InView));
+        assert!(out.verifier_beacons.is_empty(), "sandboxed SDK stays silent");
+    }
+
+    #[test]
+    fn fetch_failures_drop_one_tag_independently() {
+        let mut env = healthy_env(SiteType::Browser);
+        env.qtag_fetch_fail = true;
+        let out = SessionSim::default().run(&ad(), &env, 10);
+        assert!(out.qtag_beacons.is_empty());
+        assert!(!out.verifier_beacons.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let env = healthy_env(SiteType::Browser);
+        let a = SessionSim::default().run(&ad(), &env, 11);
+        let b = SessionSim::default().run(&ad(), &env, 11);
+        assert_eq!(a.qtag_beacons, b.qtag_beacons);
+        assert_eq!(a.verifier_beacons, b.verifier_beacons);
+    }
+
+    #[test]
+    fn population_driven_sessions_run_clean() {
+        // Smoke over the real population mix: no panics, sane beacons.
+        let pop = Population::new(PopulationConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let sim = SessionSim::default();
+        for i in 0..30 {
+            let env = pop.sample(&mut rng);
+            let out = sim.run(&ad(), &env, 1000 + i);
+            for b in out.qtag_beacons.iter().chain(&out.verifier_beacons) {
+                assert!(b.validate().is_ok());
+                assert_eq!(b.impression_id, 1);
+            }
+        }
+    }
+}

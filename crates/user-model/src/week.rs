@@ -1,0 +1,177 @@
+//! Weekly traffic patterns.
+//!
+//! The paper's production dataset spans one week of monitoring (§5).
+//! Ad traffic is strongly diurnal — volume peaks in the evening, dips
+//! overnight — and slightly weekly (weekends differ from weekdays).
+//! [`TrafficPattern`] models that intensity curve and samples impression
+//! arrival times from it, so the weekly-timeline experiment sees
+//! realistic volume waves rather than a uniform smear.
+
+use qtag_render::SimTime;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Seconds per hour/day/week of simulated time.
+const HOUR_S: u64 = 3_600;
+/// Hours in a day.
+const DAY_H: u64 = 24;
+/// Days in the monitoring window.
+pub const WEEK_DAYS: u64 = 7;
+
+/// A piecewise-constant weekly intensity curve (one weight per hour of
+/// the week, 168 values).
+#[derive(Debug, Clone)]
+pub struct TrafficPattern {
+    /// Relative intensity per hour-of-week; need not be normalised.
+    weights: Vec<f64>,
+    /// Prefix sums for inverse-CDF sampling.
+    cumulative: Vec<f64>,
+}
+
+impl TrafficPattern {
+    /// Builds a pattern from 168 hourly weights.
+    ///
+    /// # Panics
+    /// Panics unless exactly 168 non-negative weights with a positive
+    /// sum are provided.
+    pub fn from_hourly_weights(weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), (WEEK_DAYS * DAY_H) as usize, "168 hourly weights");
+        assert!(weights.iter().all(|w| *w >= 0.0), "weights must be non-negative");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "total intensity must be positive");
+        TrafficPattern { weights, cumulative }
+    }
+
+    /// A typical mobile-traffic week: overnight trough (02–06 h),
+    /// morning ramp, lunchtime bump, evening peak (19–22 h); weekends
+    /// flatter with a later peak.
+    pub fn typical_week() -> Self {
+        let mut weights = Vec::with_capacity((WEEK_DAYS * DAY_H) as usize);
+        for day in 0..WEEK_DAYS {
+            let weekend = day >= 5;
+            for hour in 0..DAY_H {
+                let base: f64 = match hour {
+                    0..=1 => 0.45,
+                    2..=5 => 0.20,
+                    6..=8 => 0.70,
+                    9..=11 => 0.95,
+                    12..=13 => 1.10,
+                    14..=17 => 0.95,
+                    18 => 1.15,
+                    19..=21 => 1.40,
+                    22 => 1.05,
+                    _ => 0.70,
+                };
+                // Weekends: flatter daytime, stronger late evening.
+                let w = if weekend {
+                    match hour {
+                        9..=17 => base * 0.85,
+                        19..=23 => base * 1.10,
+                        _ => base,
+                    }
+                } else {
+                    base
+                };
+                weights.push(w);
+            }
+        }
+        TrafficPattern::from_hourly_weights(weights)
+    }
+
+    /// Relative intensity for an hour-of-week index.
+    pub fn intensity(&self, hour_of_week: u64) -> f64 {
+        self.weights[(hour_of_week % (WEEK_DAYS * DAY_H)) as usize]
+    }
+
+    /// Samples one impression arrival time within the week,
+    /// ∝ the intensity curve (uniform within the chosen hour).
+    pub fn sample_arrival(&self, rng: &mut ChaCha8Rng) -> SimTime {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        let hour = self
+            .cumulative
+            .partition_point(|c| *c < x)
+            .min(self.weights.len() - 1) as u64;
+        let offset_s = rng.gen_range(0..HOUR_S);
+        SimTime::from_micros((hour * HOUR_S + offset_s) * 1_000_000)
+    }
+
+    /// Hour-of-week (0–167) of a timestamp.
+    pub fn hour_of(t: SimTime) -> u64 {
+        (t.as_micros() / 1_000_000 / HOUR_S) % (WEEK_DAYS * DAY_H)
+    }
+
+    /// Day-of-week (0–6) of a timestamp.
+    pub fn day_of(t: SimTime) -> u64 {
+        (t.as_micros() / 1_000_000 / (HOUR_S * DAY_H)) % WEEK_DAYS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn typical_week_has_full_coverage() {
+        let p = TrafficPattern::typical_week();
+        assert_eq!(p.weights.len(), 168);
+        assert!(p.weights.iter().all(|w| *w > 0.0));
+    }
+
+    #[test]
+    fn evening_peak_beats_overnight_trough() {
+        let p = TrafficPattern::typical_week();
+        assert!(p.intensity(20) > 2.0 * p.intensity(3));
+    }
+
+    #[test]
+    fn arrivals_follow_the_curve() {
+        let p = TrafficPattern::typical_week();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 50_000;
+        let mut overnight = 0u32; // hours 2–5 of any day
+        let mut evening = 0u32; // hours 19–21 of any day
+        for _ in 0..n {
+            let t = p.sample_arrival(&mut rng);
+            let hour_of_day = TrafficPattern::hour_of(t) % 24;
+            match hour_of_day {
+                2..=5 => overnight += 1,
+                19..=21 => evening += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            evening > 3 * overnight,
+            "evening {evening} vs overnight {overnight}"
+        );
+    }
+
+    #[test]
+    fn arrivals_stay_within_the_week() {
+        let p = TrafficPattern::typical_week();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for _ in 0..1000 {
+            let t = p.sample_arrival(&mut rng);
+            assert!(t.as_micros() < WEEK_DAYS * DAY_H * HOUR_S * 1_000_000);
+        }
+    }
+
+    #[test]
+    fn day_and_hour_helpers_agree() {
+        let t = SimTime::from_micros(((2 * 24 + 7) * 3600) * 1_000_000); // day 2, 07:00
+        assert_eq!(TrafficPattern::day_of(t), 2);
+        assert_eq!(TrafficPattern::hour_of(t), 2 * 24 + 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "168 hourly weights")]
+    fn wrong_weight_count_panics() {
+        TrafficPattern::from_hourly_weights(vec![1.0; 24]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # qtag-verifier
+//!
+//! A behavioural model of the **commercial viewability verifier** the
+//! paper compares against (§6; anonymous under NDA — "one of the most
+//! widely used in the ad-tech ecosystem").
+//!
+//! The paper's data shows where such solutions fail: "most of the
+//! measurement errors of the commercial solution come from impressions
+//! delivered to mobile devices", worst in Android apps (53.4 % measured,
+//! Table 2). The mechanism is well understood in the industry and
+//! modelled here explicitly: geometry-based verifiers measure by reading
+//! layout (bounding rects / `IntersectionObserver`), which requires
+//! either a same-origin path to the top window or a modern native
+//! viewability API — both routinely missing inside legacy in-app
+//! webviews, and partially missing in old desktop browsers.
+//!
+//! [`VerifierTag`] measures through three strategies, in order:
+//!
+//! 1. **native API** — when the environment exposes an
+//!    `IntersectionObserver`-class API, use the browser-reported
+//!    fraction (accurate);
+//! 2. **geometry walk** — when the frame chain is same-origin, read the
+//!    own rect (accurate on desktop web, rarely possible for DSP-served
+//!    double cross-domain iframes);
+//! 3. **give up** — the impression is *unmeasured*; the tag still loads
+//!    but never produces a verdict. This is the measured-rate gap of
+//!    Figure 3a.
+//!
+//! Like the real SDK, the tag may fail to bootstrap at all in sandboxed
+//! webviews ([`qtag_render::ApiCapabilities::verifier_sdk_loads`]).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod tag;
+
+pub use tag::{VerifierConfig, VerifierTag};

@@ -1,0 +1,364 @@
+//! The commercial verifier's measurement tag.
+
+use qtag_geometry::Rect;
+use qtag_render::{ScriptCtx, SimTime, TagScript};
+use qtag_wire::{AdFormat, Beacon, EventKind};
+
+/// Deployment configuration for the verifier tag.
+#[derive(Debug, Clone)]
+pub struct VerifierConfig {
+    /// Impression being verified.
+    pub impression_id: u64,
+    /// Campaign.
+    pub campaign_id: u32,
+    /// The creative's box in the tag's own iframe coordinates.
+    pub ad_rect: Rect,
+    /// Creative format (the verifier is told by the DSP).
+    pub ad_format: AdFormat,
+    /// Geometry polling rate (Hz). Commercial SDKs poll layout at
+    /// 5–10 Hz; 5 Hz keeps the SDK "lightweight".
+    pub sample_hz: f64,
+}
+
+impl VerifierConfig {
+    /// Standard deployment.
+    pub fn new(impression_id: u64, campaign_id: u32, ad_rect: Rect, ad_format: AdFormat) -> Self {
+        VerifierConfig {
+            impression_id,
+            campaign_id,
+            ad_rect,
+            ad_format,
+            sample_hz: 5.0,
+        }
+    }
+}
+
+/// How the tag is currently obtaining measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Strategy {
+    /// Not yet decided / SDK blocked.
+    None,
+    /// Browser-native viewability API.
+    NativeApi,
+    /// Same-origin geometry walk.
+    GeometryWalk,
+    /// No strategy works in this environment: unmeasured impression.
+    Unmeasurable,
+}
+
+/// The simulated commercial verifier tag (see the crate docs for the
+/// behavioural model and its grounding in the paper's Table 2).
+pub struct VerifierTag {
+    cfg: VerifierConfig,
+    strategy: Strategy,
+    bootstrapped: bool,
+    seq: u16,
+    sent_measurable: bool,
+    // inline viewability timer (the SDK's own implementation of the
+    // standard; intentionally independent from qtag-core)
+    qualifying_since: Option<SimTime>,
+    viewed: bool,
+    in_view_now: bool,
+    last_fraction: f64,
+    best_exposure_ms: u32,
+}
+
+impl VerifierTag {
+    /// Builds the tag.
+    pub fn new(cfg: VerifierConfig) -> Self {
+        VerifierTag {
+            cfg,
+            strategy: Strategy::None,
+            bootstrapped: false,
+            seq: 0,
+            sent_measurable: false,
+            qualifying_since: None,
+            viewed: false,
+            in_view_now: false,
+            last_fraction: 0.0,
+            best_exposure_ms: 0,
+        }
+    }
+
+    /// `true` when the SDK loaded at all in this environment.
+    pub fn bootstrapped(&self) -> bool {
+        self.bootstrapped
+    }
+
+    /// `true` when the impression could be measured.
+    pub fn measurable(&self) -> bool {
+        self.sent_measurable
+    }
+
+    /// `true` when the criteria were met.
+    pub fn viewed(&self) -> bool {
+        self.viewed
+    }
+
+    fn beacon(&mut self, ctx: &ScriptCtx<'_>, event: EventKind) -> Beacon {
+        let seq = self.seq;
+        self.seq = self.seq.wrapping_add(1);
+        let p = ctx.profile();
+        Beacon {
+            impression_id: self.cfg.impression_id,
+            campaign_id: self.cfg.campaign_id,
+            event,
+            timestamp_us: ctx.now().as_micros(),
+            ad_format: self.cfg.ad_format,
+            visible_fraction_milli: (self.last_fraction.clamp(0.0, 1.0) * 1000.0).round() as u16,
+            exposure_ms: self.best_exposure_ms,
+            os: p.os,
+            browser: p.browser,
+            site_type: p.site_type,
+            seq,
+        }
+    }
+
+    /// One geometry measurement using whatever strategy is available.
+    fn measure(&mut self, ctx: &ScriptCtx<'_>) -> Option<f64> {
+        match self.strategy {
+            Strategy::NativeApi => ctx.native_visible_fraction(self.cfg.ad_rect),
+            Strategy::GeometryWalk => {
+                let own = ctx.try_own_rect_in_viewport().ok()?;
+                let vp = ctx.try_top_viewport_size().ok()?;
+                if ctx.document_hidden() {
+                    return Some(0.0);
+                }
+                let vp_rect = Rect::new(0.0, 0.0, vp.width, vp.height);
+                // The own rect is the iframe's box; the creative fills it.
+                Some(own.visible_fraction(&vp_rect))
+            }
+            _ => None,
+        }
+    }
+
+    fn advance_timer(&mut self, now: SimTime, fraction: f64) -> Option<EventKind> {
+        let above = fraction >= self.cfg.ad_format.required_fraction();
+        let needed_us = u64::from(self.cfg.ad_format.required_exposure_ms()) * 1_000;
+        if above {
+            let since = *self.qualifying_since.get_or_insert(now);
+            let exposure = now.since(since).as_micros();
+            self.best_exposure_ms = self.best_exposure_ms.max((exposure / 1_000) as u32);
+            if exposure >= needed_us && !self.viewed {
+                self.viewed = true;
+                self.in_view_now = true;
+                return Some(EventKind::InView);
+            }
+            if self.viewed && !self.in_view_now {
+                self.in_view_now = true; // silent re-entry
+            }
+        } else {
+            self.qualifying_since = None;
+            if self.viewed && self.in_view_now {
+                self.in_view_now = false;
+                return Some(EventKind::OutOfView);
+            }
+        }
+        None
+    }
+}
+
+impl TagScript for VerifierTag {
+    fn on_attach(&mut self, ctx: &mut ScriptCtx<'_>) {
+        // Sandboxed webviews keep the SDK from loading at all — the
+        // dominant failure mode behind Table 2's Android-app column.
+        if !ctx.profile().caps.verifier_sdk_loads {
+            return;
+        }
+        self.bootstrapped = true;
+
+        // Pick the measurement strategy once, like real SDKs feature-
+        // detect at boot.
+        self.strategy = if ctx.native_visible_fraction(self.cfg.ad_rect).is_some() {
+            Strategy::NativeApi
+        } else if ctx.try_own_rect_in_viewport().is_ok() {
+            Strategy::GeometryWalk
+        } else {
+            Strategy::Unmeasurable
+        };
+
+        ctx.set_timer_hz(self.cfg.sample_hz);
+        let b = self.beacon(ctx, EventKind::TagLoaded);
+        ctx.send_beacon(b);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ScriptCtx<'_>) {
+        if self.strategy == Strategy::Unmeasurable || self.strategy == Strategy::None {
+            return;
+        }
+        let Some(fraction) = self.measure(ctx) else {
+            return;
+        };
+        self.last_fraction = fraction;
+        if !self.sent_measurable {
+            self.sent_measurable = true;
+            let b = self.beacon(ctx, EventKind::Measurable);
+            ctx.send_beacon(b);
+        }
+        if let Some(event) = self.advance_timer(ctx.now(), fraction) {
+            let b = self.beacon(ctx, event);
+            ctx.send_beacon(b);
+        }
+    }
+
+    fn on_click(&mut self, ctx: &mut ScriptCtx<'_>) {
+        if !self.bootstrapped {
+            return;
+        }
+        let b = self.beacon(ctx, EventKind::Click);
+        ctx.send_beacon(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtag_dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
+    use qtag_geometry::{Size, Vector};
+    use qtag_render::{ApiCapabilities, CpuLoadModel, DeviceProfile, Engine, EngineConfig, SimDuration};
+    use qtag_wire::{BrowserKind, OsKind};
+
+    fn scene(ad_y: f64) -> (Page, qtag_dom::FrameId) {
+        let mut page = Page::new(Origin::https("pub.example"), Size::new(1280.0, 3000.0));
+        let ssp = page.create_frame(Origin::https("ssp.example"), Size::new(300.0, 250.0));
+        page.embed_iframe(page.root(), ssp, Rect::new(200.0, ad_y, 300.0, 250.0))
+            .unwrap();
+        let dsp = page.create_frame(Origin::https("dsp.example"), Size::new(300.0, 250.0));
+        page.embed_iframe(ssp, dsp, Rect::new(0.0, 0.0, 300.0, 250.0))
+            .unwrap();
+        (page, dsp)
+    }
+
+    fn engine_with(profile: DeviceProfile, ad_y: f64) -> (Engine, qtag_dom::WindowId, qtag_dom::FrameId) {
+        let (page, dsp) = scene(ad_y);
+        let mut screen = Screen::desktop();
+        let w = screen.add_window(
+            WindowKind::Browser {
+                tabs: vec![Tab::new(page)],
+                active: TabId(0),
+            },
+            Rect::new(0.0, 0.0, 1280.0, 880.0),
+            80.0,
+        );
+        let cfg = EngineConfig {
+            profile,
+            cpu: CpuLoadModel::idle(),
+            seed: 1,
+        };
+        (Engine::new(cfg, screen), w, dsp)
+    }
+
+    fn cfg() -> VerifierConfig {
+        VerifierConfig::new(1, 1, Rect::new(0.0, 0.0, 300.0, 250.0), AdFormat::Display)
+    }
+
+    fn events(engine: &mut Engine) -> Vec<EventKind> {
+        engine.drain_outbox().into_iter().map(|b| b.beacon.event).collect()
+    }
+
+    #[test]
+    fn modern_browser_measures_via_native_api() {
+        let profile = DeviceProfile::desktop(BrowserKind::Chrome, OsKind::Windows10);
+        let (mut engine, w, dsp) = engine_with(profile, 100.0);
+        engine
+            .attach_script(w, Some(TabId(0)), dsp, Origin::https("dsp.example"), Box::new(VerifierTag::new(cfg())))
+            .unwrap();
+        engine.run_for(SimDuration::from_secs(2));
+        let evs = events(&mut engine);
+        assert!(evs.contains(&EventKind::Measurable));
+        assert!(evs.contains(&EventKind::InView));
+    }
+
+    #[test]
+    fn ie11_cross_origin_is_unmeasurable() {
+        // No native API + cross-origin chain → TagLoaded only.
+        let profile = DeviceProfile::desktop(BrowserKind::Ie11, OsKind::Windows10);
+        let (mut engine, w, dsp) = engine_with(profile, 100.0);
+        engine
+            .attach_script(w, Some(TabId(0)), dsp, Origin::https("dsp.example"), Box::new(VerifierTag::new(cfg())))
+            .unwrap();
+        engine.run_for(SimDuration::from_secs(3));
+        let evs = events(&mut engine);
+        assert!(evs.contains(&EventKind::TagLoaded));
+        assert!(!evs.contains(&EventKind::Measurable));
+        assert!(!evs.contains(&EventKind::InView));
+    }
+
+    #[test]
+    fn sandboxed_webview_blocks_sdk_entirely() {
+        let profile = DeviceProfile::in_app_webview(OsKind::Android, false);
+        let (page, dsp) = scene(100.0);
+        let mut screen = Screen::phone();
+        let w = screen.add_window(WindowKind::AppWebView { page }, Rect::new(0.0, 0.0, 360.0, 740.0), 56.0);
+        let mut engine = Engine::new(
+            EngineConfig { profile, cpu: CpuLoadModel::idle(), seed: 1 },
+            screen,
+        );
+        engine
+            .attach_script(w, None, dsp, Origin::https("dsp.example"), Box::new(VerifierTag::new(cfg())))
+            .unwrap();
+        engine.run_for(SimDuration::from_secs(2));
+        assert!(events(&mut engine).is_empty(), "blocked SDK must stay silent");
+    }
+
+    #[test]
+    fn below_fold_measured_but_not_viewed() {
+        let profile = DeviceProfile::desktop(BrowserKind::Chrome, OsKind::Windows10);
+        let (mut engine, w, dsp) = engine_with(profile, 1500.0);
+        engine
+            .attach_script(w, Some(TabId(0)), dsp, Origin::https("dsp.example"), Box::new(VerifierTag::new(cfg())))
+            .unwrap();
+        engine.run_for(SimDuration::from_secs(2));
+        let evs = events(&mut engine);
+        assert!(evs.contains(&EventKind::Measurable));
+        assert!(!evs.contains(&EventKind::InView));
+    }
+
+    #[test]
+    fn out_of_view_after_scroll_away() {
+        let profile = DeviceProfile::desktop(BrowserKind::Firefox, OsKind::MacOs);
+        let (mut engine, w, dsp) = engine_with(profile, 100.0);
+        engine
+            .attach_script(w, Some(TabId(0)), dsp, Origin::https("dsp.example"), Box::new(VerifierTag::new(cfg())))
+            .unwrap();
+        engine.run_for(SimDuration::from_secs(2));
+        assert!(events(&mut engine).contains(&EventKind::InView));
+        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 2000.0)).unwrap();
+        engine.run_for(SimDuration::from_secs(1));
+        assert!(events(&mut engine).contains(&EventKind::OutOfView));
+    }
+
+    #[test]
+    fn same_origin_chain_enables_geometry_walk_without_native_api() {
+        // Legacy browser (no native API) but a same-origin chain: the
+        // geometry fallback measures fine — matching why commercial
+        // solutions do well on plain desktop web.
+        let mut page = Page::new(Origin::https("pub.example"), Size::new(1280.0, 3000.0));
+        let frame = page.create_frame(Origin::https("pub.example"), Size::new(300.0, 250.0));
+        page.embed_iframe(page.root(), frame, Rect::new(200.0, 100.0, 300.0, 250.0))
+            .unwrap();
+        let mut screen = Screen::desktop();
+        let w = screen.add_window(
+            WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+            Rect::new(0.0, 0.0, 1280.0, 880.0),
+            80.0,
+        );
+        let mut profile = DeviceProfile::desktop(BrowserKind::Ie11, OsKind::Windows10);
+        profile.caps = ApiCapabilities {
+            native_viewability_api: false,
+            animation_frames: true,
+            verifier_sdk_loads: true,
+        };
+        let mut engine = Engine::new(
+            EngineConfig { profile, cpu: CpuLoadModel::idle(), seed: 2 },
+            screen,
+        );
+        engine
+            .attach_script(w, Some(TabId(0)), frame, Origin::https("pub.example"), Box::new(VerifierTag::new(cfg())))
+            .unwrap();
+        engine.run_for(SimDuration::from_secs(2));
+        let evs = events(&mut engine);
+        assert!(evs.contains(&EventKind::Measurable));
+        assert!(evs.contains(&EventKind::InView));
+    }
+}

@@ -1,0 +1,153 @@
+//! The beacon: one tracking event from a tag to the monitoring server.
+
+use crate::{AdFormat, BrowserKind, OsKind, SiteType, WireError};
+use serde::{Deserialize, Serialize};
+
+/// What a beacon announces.
+///
+/// The paper's protocol is intentionally sparse: the decisive signal is
+/// the *in-view* message ("if the monitoring server does not receive the
+/// in-view message … we conclude that the associated ad impression has
+/// not met the viewability criteria", §3). The surrounding events let the
+/// server also compute the **measured rate** (Figure 3a): an impression
+/// counts as *measured* when the tag reported anything at all about it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The tag booted inside the creative iframe.
+    TagLoaded,
+    /// The tag completed at least one full measurement cycle — the
+    /// impression is *measurable* regardless of the eventual verdict.
+    Measurable,
+    /// The viewability criteria (area × duration for the ad's format)
+    /// were met.
+    InView,
+    /// The ad dropped below the area threshold after having been
+    /// [`EventKind::InView`] (Table 1 tests 4–7 require registering it).
+    OutOfView,
+    /// Periodic keep-alive carrying the latest visible fraction.
+    Heartbeat,
+    /// The user clicked the creative (performance-campaign signal,
+    /// §2.2: CTR "depend\[s\] on the viewability rate").
+    Click,
+}
+
+impl EventKind {
+    /// Stable wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            EventKind::TagLoaded => 0,
+            EventKind::Measurable => 1,
+            EventKind::InView => 2,
+            EventKind::OutOfView => 3,
+            EventKind::Heartbeat => 4,
+            EventKind::Click => 5,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(c: u8) -> Result<Self, WireError> {
+        Ok(match c {
+            0 => EventKind::TagLoaded,
+            1 => EventKind::Measurable,
+            2 => EventKind::InView,
+            3 => EventKind::OutOfView,
+            4 => EventKind::Heartbeat,
+            5 => EventKind::Click,
+            _ => return Err(WireError::BadEnum("EventKind", c)),
+        })
+    }
+}
+
+/// One tracking event, as carried on the wire.
+///
+/// `visible_fraction_milli` is the estimated visible area in thousandths
+/// (`0..=1000`) — a fixed-point representation so the binary codec stays
+/// float-free, as a real tag would do to keep beacons tiny.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Beacon {
+    /// Unique impression identifier assigned at ad-serving time.
+    pub impression_id: u64,
+    /// Campaign the impression belongs to.
+    pub campaign_id: u32,
+    /// Event type.
+    pub event: EventKind,
+    /// Tag-local timestamp, microseconds since the tag's epoch.
+    pub timestamp_us: u64,
+    /// Creative format (decides the viewability thresholds).
+    pub ad_format: AdFormat,
+    /// Estimated visible area at event time, in ‰ of the creative area.
+    pub visible_fraction_milli: u16,
+    /// Longest continuous qualifying exposure observed so far, ms.
+    pub exposure_ms: u32,
+    /// Operating system of the device.
+    pub os: OsKind,
+    /// Browser / webview engine.
+    pub browser: BrowserKind,
+    /// Browser page vs in-app placement.
+    pub site_type: SiteType,
+    /// Per-impression sequence number (detects loss and duplicates).
+    pub seq: u16,
+}
+
+impl Beacon {
+    /// Validates structural field ranges (fractions within 1000 ‰).
+    pub fn validate(&self) -> Result<(), WireError> {
+        if self.visible_fraction_milli > 1000 {
+            return Err(WireError::FieldRange("visible_fraction_milli"));
+        }
+        Ok(())
+    }
+
+    /// Visible fraction as a float in `[0, 1]`.
+    pub fn visible_fraction(&self) -> f64 {
+        f64::from(self.visible_fraction_milli) / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample() -> Beacon {
+        Beacon {
+            impression_id: 0xDEAD_BEEF_0123_4567,
+            campaign_id: 42,
+            event: EventKind::InView,
+            timestamp_us: 1_250_000,
+            ad_format: AdFormat::Display,
+            visible_fraction_milli: 730,
+            exposure_ms: 1_000,
+            os: OsKind::Android,
+            browser: BrowserKind::AndroidWebView,
+            site_type: SiteType::App,
+            seq: 3,
+        }
+    }
+
+    #[test]
+    fn event_codes_round_trip() {
+        for e in [
+            EventKind::TagLoaded,
+            EventKind::Measurable,
+            EventKind::InView,
+            EventKind::OutOfView,
+            EventKind::Heartbeat,
+            EventKind::Click,
+        ] {
+            assert_eq!(EventKind::from_code(e.code()).unwrap(), e);
+        }
+        assert!(EventKind::from_code(99).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_overfull_fraction() {
+        let mut b = sample();
+        b.visible_fraction_milli = 1001;
+        assert_eq!(b.validate(), Err(WireError::FieldRange("visible_fraction_milli")));
+    }
+
+    #[test]
+    fn visible_fraction_scales() {
+        assert!((sample().visible_fraction() - 0.73).abs() < 1e-12);
+    }
+}

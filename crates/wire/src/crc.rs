@@ -1,0 +1,50 @@
+//! CRC-16/CCITT-FALSE, the integrity check on binary beacon frames.
+//!
+//! Implemented by hand (bitwise, no lookup table) because the offline
+//! dependency set has no CRC crate and the beacon payloads are tens of
+//! bytes — table-driven speed is irrelevant here, auditability is not.
+
+/// Computes CRC-16/CCITT-FALSE (poly `0x1021`, init `0xFFFF`, no
+/// reflection, no final XOR) over `data`.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector_123456789() {
+        // The canonical check value for CRC-16/CCITT-FALSE.
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn empty_input_is_init_value() {
+        assert_eq!(crc16(b""), 0xFFFF);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let a = crc16(b"hello beacon");
+        let b = crc16(b"hello beacoo");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn crc_is_order_sensitive() {
+        assert_ne!(crc16(b"ab"), crc16(b"ba"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Wire-protocol error types.
+
+use core::fmt;
+
+/// Errors raised while encoding or decoding beacons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer was shorter than the fixed header requires.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// Magic bytes did not match [`crate::binary::MAGIC`].
+    BadMagic([u8; 2]),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// An enum field carried an unknown code (`(type name, code)`).
+    BadEnum(&'static str, u8),
+    /// The CRC-16 over the payload did not match.
+    BadChecksum {
+        /// CRC stated in the frame.
+        expected: u16,
+        /// CRC computed over the received payload.
+        actual: u16,
+    },
+    /// A field was structurally out of range (e.g. a visible fraction
+    /// above 1000 ‰).
+    FieldRange(&'static str),
+    /// A frame declared an implausible payload length.
+    BadLength(usize),
+    /// JSON (de)serialisation failed.
+    Json(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated beacon: need {needed} bytes, got {got}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported beacon version {v}"),
+            WireError::BadEnum(name, c) => write!(f, "unknown {name} code {c}"),
+            WireError::BadChecksum { expected, actual } => {
+                write!(f, "checksum mismatch: frame says {expected:#06x}, computed {actual:#06x}")
+            }
+            WireError::FieldRange(name) => write!(f, "field {name} out of range"),
+            WireError::BadLength(l) => write!(f, "implausible frame length {l}"),
+            WireError::Json(e) => write!(f, "json codec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = WireError::BadChecksum { expected: 0xBEEF, actual: 0x1234 };
+        assert!(e.to_string().contains("0xbeef"));
+        assert!(WireError::Truncated { needed: 10, got: 3 }
+            .to_string()
+            .contains("need 10"));
+    }
+}

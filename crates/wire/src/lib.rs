@@ -1,0 +1,37 @@
+//! # qtag-wire
+//!
+//! The wire protocol between a deployed measurement tag and the DSP's
+//! monitoring infrastructure, plus the shared *reporting vocabulary*
+//! (ad formats, browsers, operating systems, site types) every layer of
+//! the pipeline speaks.
+//!
+//! The paper's Q-Tag "sends the collected information to a server for its
+//! subsequent analysis" (§3). This crate defines that contract precisely:
+//!
+//! * [`Beacon`] — one tracking event (tag loaded, measurable, in-view,
+//!   out-of-view, heartbeat) with the impression/campaign identifiers and
+//!   the measured quantities;
+//! * a **compact binary codec** ([`binary`]) with magic, version and a
+//!   CRC-16 integrity check — what a bandwidth-conscious tag would emit;
+//! * a **JSON codec** ([`json`]) for the interoperability path (many ad
+//!   tags report JSON over HTTP) and for human inspection;
+//! * **length-prefixed framing** with a streaming, resynchronising
+//!   decoder ([`framing`]) in the style of the Tokio framing chapter: feed
+//!   arbitrary byte chunks, get whole beacons out, survive truncation and
+//!   corruption.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod beacon;
+pub mod binary;
+pub mod crc;
+pub mod error;
+pub mod framing;
+pub mod json;
+pub mod types;
+
+pub use beacon::{Beacon, EventKind};
+pub use error::WireError;
+pub use framing::FrameDecoder;
+pub use types::{AdFormat, BrowserKind, OsKind, SiteType};

@@ -1,0 +1,267 @@
+//! Shared reporting vocabulary.
+//!
+//! These enums appear in beacons on the wire (each has a stable `u8`
+//! code), in the renderer's environment model (throttling differs per
+//! browser), and in the server's reports (Table 2 slices measured rate by
+//! OS × site type).
+
+use crate::WireError;
+use serde::{Deserialize, Serialize};
+
+/// Ad creative format, with the viewability thresholds the IAB/MRC
+/// standard assigns to each (§2.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdFormat {
+    /// Standard display ad: viewed when ≥50 % of pixels are visible for
+    /// ≥1 s.
+    Display,
+    /// Large display ad (≥242 500 px², per MRC guidance): viewed when
+    /// ≥30 % of pixels are visible for ≥1 s.
+    LargeDisplay,
+    /// Video ad: viewed when ≥50 % of pixels are visible for ≥2 s.
+    Video,
+}
+
+impl AdFormat {
+    /// Area fraction that must be visible, per the standard.
+    pub fn required_fraction(self) -> f64 {
+        match self {
+            AdFormat::Display => 0.5,
+            AdFormat::LargeDisplay => 0.3,
+            AdFormat::Video => 0.5,
+        }
+    }
+
+    /// Continuous exposure required, in milliseconds, per the standard.
+    pub fn required_exposure_ms(self) -> u32 {
+        match self {
+            AdFormat::Display | AdFormat::LargeDisplay => 1_000,
+            AdFormat::Video => 2_000,
+        }
+    }
+
+    /// Area threshold (px²) above which a display creative is treated as
+    /// *large display*. The MRC guideline draws the line at 242 500 px²
+    /// (the area of a 970×250 billboard).
+    pub const LARGE_DISPLAY_AREA: f64 = 242_500.0;
+
+    /// Classifies a display creative by its pixel area, mirroring how the
+    /// paper's tag "can identify the type of ad … and measure the
+    /// specific conditions defined by the standard for each type" (§3).
+    pub fn classify_display(area_px: f64) -> AdFormat {
+        if area_px >= Self::LARGE_DISPLAY_AREA {
+            AdFormat::LargeDisplay
+        } else {
+            AdFormat::Display
+        }
+    }
+
+    /// Stable wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            AdFormat::Display => 0,
+            AdFormat::LargeDisplay => 1,
+            AdFormat::Video => 2,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(c: u8) -> Result<Self, WireError> {
+        match c {
+            0 => Ok(AdFormat::Display),
+            1 => Ok(AdFormat::LargeDisplay),
+            2 => Ok(AdFormat::Video),
+            _ => Err(WireError::BadEnum("AdFormat", c)),
+        }
+    }
+}
+
+/// Browser families that matter to the evaluation: the four desktop
+/// browsers ABC certifies on, plus the mobile in-app webviews and the
+/// privacy-focused browsers of §4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BrowserKind {
+    /// Google Chrome (desktop or mobile).
+    Chrome,
+    /// Mozilla Firefox.
+    Firefox,
+    /// Apple Safari.
+    Safari,
+    /// Internet Explorer 11 — the legacy engine in ABC's matrix.
+    Ie11,
+    /// Android WebView (in-app ads on Android).
+    AndroidWebView,
+    /// iOS WKWebView (in-app ads on iOS).
+    IosWebView,
+    /// Brave, which blocks the ad delivery path outright (§4.3).
+    Brave,
+}
+
+impl BrowserKind {
+    /// Stable wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            BrowserKind::Chrome => 0,
+            BrowserKind::Firefox => 1,
+            BrowserKind::Safari => 2,
+            BrowserKind::Ie11 => 3,
+            BrowserKind::AndroidWebView => 4,
+            BrowserKind::IosWebView => 5,
+            BrowserKind::Brave => 6,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(c: u8) -> Result<Self, WireError> {
+        Ok(match c {
+            0 => BrowserKind::Chrome,
+            1 => BrowserKind::Firefox,
+            2 => BrowserKind::Safari,
+            3 => BrowserKind::Ie11,
+            4 => BrowserKind::AndroidWebView,
+            5 => BrowserKind::IosWebView,
+            6 => BrowserKind::Brave,
+            _ => return Err(WireError::BadEnum("BrowserKind", c)),
+        })
+    }
+
+    /// `true` for the in-app webview engines.
+    pub fn is_webview(self) -> bool {
+        matches!(self, BrowserKind::AndroidWebView | BrowserKind::IosWebView)
+    }
+}
+
+/// Operating systems in the evaluation matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OsKind {
+    /// Microsoft Windows 10.
+    Windows10,
+    /// Apple macOS (10.14 in the paper's matrix).
+    MacOs,
+    /// Google Android.
+    Android,
+    /// Apple iOS.
+    Ios,
+}
+
+impl OsKind {
+    /// Stable wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            OsKind::Windows10 => 0,
+            OsKind::MacOs => 1,
+            OsKind::Android => 2,
+            OsKind::Ios => 3,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(c: u8) -> Result<Self, WireError> {
+        Ok(match c {
+            0 => OsKind::Windows10,
+            1 => OsKind::MacOs,
+            2 => OsKind::Android,
+            3 => OsKind::Ios,
+            _ => return Err(WireError::BadEnum("OsKind", c)),
+        })
+    }
+
+    /// `true` for phone/tablet operating systems (Table 2 scope).
+    pub fn is_mobile(self) -> bool {
+        matches!(self, OsKind::Android | OsKind::Ios)
+    }
+}
+
+/// Where the impression was served: a (mobile) browser page or inside a
+/// native app's webview. Table 2's row dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteType {
+    /// Regular web page in a browser.
+    Browser,
+    /// In-app placement (webview).
+    App,
+}
+
+impl SiteType {
+    /// Stable wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            SiteType::Browser => 0,
+            SiteType::App => 1,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(c: u8) -> Result<Self, WireError> {
+        Ok(match c {
+            0 => SiteType::Browser,
+            1 => SiteType::App,
+            _ => return Err(WireError::BadEnum("SiteType", c)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_thresholds_match_the_paper() {
+        // §2.2: display 50 %/1 s, large display 30 %/1 s, video 50 %/2 s.
+        assert_eq!(AdFormat::Display.required_fraction(), 0.5);
+        assert_eq!(AdFormat::Display.required_exposure_ms(), 1_000);
+        assert_eq!(AdFormat::LargeDisplay.required_fraction(), 0.3);
+        assert_eq!(AdFormat::LargeDisplay.required_exposure_ms(), 1_000);
+        assert_eq!(AdFormat::Video.required_fraction(), 0.5);
+        assert_eq!(AdFormat::Video.required_exposure_ms(), 2_000);
+    }
+
+    #[test]
+    fn display_classification_by_area() {
+        assert_eq!(AdFormat::classify_display(300.0 * 250.0), AdFormat::Display);
+        assert_eq!(
+            AdFormat::classify_display(970.0 * 250.0),
+            AdFormat::LargeDisplay
+        );
+    }
+
+    #[test]
+    fn all_enum_codes_round_trip() {
+        for f in [AdFormat::Display, AdFormat::LargeDisplay, AdFormat::Video] {
+            assert_eq!(AdFormat::from_code(f.code()).unwrap(), f);
+        }
+        for b in [
+            BrowserKind::Chrome,
+            BrowserKind::Firefox,
+            BrowserKind::Safari,
+            BrowserKind::Ie11,
+            BrowserKind::AndroidWebView,
+            BrowserKind::IosWebView,
+            BrowserKind::Brave,
+        ] {
+            assert_eq!(BrowserKind::from_code(b.code()).unwrap(), b);
+        }
+        for o in [OsKind::Windows10, OsKind::MacOs, OsKind::Android, OsKind::Ios] {
+            assert_eq!(OsKind::from_code(o.code()).unwrap(), o);
+        }
+        for s in [SiteType::Browser, SiteType::App] {
+            assert_eq!(SiteType::from_code(s.code()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn bad_codes_are_rejected() {
+        assert!(AdFormat::from_code(9).is_err());
+        assert!(BrowserKind::from_code(200).is_err());
+        assert!(OsKind::from_code(77).is_err());
+        assert!(SiteType::from_code(2).is_err());
+    }
+
+    #[test]
+    fn webview_and_mobile_predicates() {
+        assert!(BrowserKind::AndroidWebView.is_webview());
+        assert!(!BrowserKind::Chrome.is_webview());
+        assert!(OsKind::Android.is_mobile());
+        assert!(!OsKind::Windows10.is_mobile());
+    }
+}

@@ -1,0 +1,98 @@
+//! Golden wire-format vectors.
+//!
+//! The binary layout is a published contract (a transparent,
+//! *auditable* protocol — the paper's whole point): these fixtures pin
+//! every byte so an accidental layout change fails loudly instead of
+//! silently breaking interop with independently written collectors.
+
+use qtag_wire::{binary, json, AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
+
+fn golden_beacon() -> Beacon {
+    Beacon {
+        impression_id: 0x0102_0304_0506_0708,
+        campaign_id: 0x0A0B_0C0D,
+        event: EventKind::InView,
+        timestamp_us: 1_250_000,
+        ad_format: AdFormat::Display,
+        visible_fraction_milli: 730,
+        exposure_ms: 1000,
+        os: OsKind::Android,
+        browser: BrowserKind::AndroidWebView,
+        site_type: SiteType::App,
+        seq: 3,
+    }
+}
+
+/// The byte-exact binary encoding of [`golden_beacon`], version 1.
+const GOLDEN_HEX: &str =
+    "5154010201020304050607080a0b0c0d00000000001312d00002da000003e80204010003d7ff";
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex(s: &str) -> Vec<u8> {
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+        .collect()
+}
+
+#[test]
+fn binary_encoding_is_byte_exact() {
+    let bytes = binary::encode_to_vec(&golden_beacon()).unwrap();
+    assert_eq!(hex(&bytes), GOLDEN_HEX, "wire layout changed — version bump required");
+}
+
+#[test]
+fn golden_bytes_decode_to_the_beacon() {
+    let decoded = binary::decode(&unhex(GOLDEN_HEX)).unwrap();
+    assert_eq!(decoded, golden_beacon());
+}
+
+#[test]
+fn layout_fields_sit_at_documented_offsets() {
+    let bytes = unhex(GOLDEN_HEX);
+    assert_eq!(&bytes[0..2], b"QT", "magic");
+    assert_eq!(bytes[2], 1, "version");
+    assert_eq!(bytes[3], EventKind::InView.code(), "event code at offset 3");
+    assert_eq!(
+        u64::from_be_bytes(bytes[4..12].try_into().unwrap()),
+        0x0102_0304_0506_0708,
+        "impression id at offset 4"
+    );
+    assert_eq!(
+        u32::from_be_bytes(bytes[12..16].try_into().unwrap()),
+        0x0A0B_0C0D,
+        "campaign id at offset 12"
+    );
+    assert_eq!(
+        u16::from_be_bytes(bytes[25..27].try_into().unwrap()),
+        730,
+        "visible fraction at offset 25"
+    );
+    assert_eq!(bytes.len(), binary::ENCODED_LEN);
+}
+
+#[test]
+fn json_encoding_is_stable() {
+    let expected = concat!(
+        "{\"impression_id\":72623859790382856,\"campaign_id\":168496141,",
+        "\"event\":\"InView\",\"timestamp_us\":1250000,\"ad_format\":\"Display\",",
+        "\"visible_fraction_milli\":730,\"exposure_ms\":1000,\"os\":\"Android\",",
+        "\"browser\":\"AndroidWebView\",\"site_type\":\"App\",\"seq\":3}"
+    );
+    assert_eq!(json::encode(&golden_beacon()).unwrap(), expected);
+    assert_eq!(json::decode(expected).unwrap(), golden_beacon());
+}
+
+#[test]
+fn every_event_kind_has_a_stable_code() {
+    // Codes are part of the contract; reordering the enum must fail here.
+    assert_eq!(EventKind::TagLoaded.code(), 0);
+    assert_eq!(EventKind::Measurable.code(), 1);
+    assert_eq!(EventKind::InView.code(), 2);
+    assert_eq!(EventKind::OutOfView.code(), 3);
+    assert_eq!(EventKind::Heartbeat.code(), 4);
+    assert_eq!(EventKind::Click.code(), 5);
+}

@@ -1,0 +1,57 @@
+//! Certification: run the seven ABC/JICWEBS viewability-certification
+//! scenarios (Table 1 of the paper) against Q-Tag on one browser–OS
+//! pair and print the grade sheet.
+//!
+//! Run with: `cargo run --release --example certification_run`
+
+use qtag::certify::{
+    run_certification, AutomationFaults, BrowserOsPair, CertificationMatrix, Scenario,
+};
+
+fn main() {
+    let matrix = CertificationMatrix {
+        pairs: vec![BrowserOsPair::ALL[1]], // Chrome / Windows 10
+        formats: qtag::certify::AdFormatUnderTest::ALL.to_vec(),
+        reps: 25,
+        reps_test6: 5,
+    };
+
+    println!("certification sweep: Chrome/Windows 10, both ad formats, 25 reps\n");
+
+    // A clean harness first (the paper's manual verification).
+    let clean = run_certification(&matrix, AutomationFaults::none(), 1);
+    println!("with a perfect harness:");
+    for (num, grade) in &clean.by_scenario {
+        let name = match num {
+            1 => "ad within cross-domain iframes",
+            2 => "browser is resized",
+            3 => "out of focus",
+            4 => "browser moved off-screen",
+            5 => "page is scrolled",
+            6 => "browser is obscured",
+            _ => "tab is obscured",
+        };
+        println!(
+            "  test {num} ({name:<32}) {:>3}/{:<3} correct",
+            grade.correct, grade.runs
+        );
+    }
+    println!("  overall accuracy: {:.1}%\n", clean.accuracy() * 100.0);
+
+    // Then with the paper's Selenium-fault model.
+    let faulty = run_certification(&matrix, AutomationFaults::paper(), 2);
+    println!("with the paper's automation-fault model (faults only in tests 4–5):");
+    for (num, grade) in &faulty.by_scenario {
+        println!(
+            "  test {num}: {:>3}/{:<3} correct, {} silent runs",
+            grade.correct, grade.runs, grade.silent
+        );
+    }
+    println!(
+        "  overall accuracy: {:.1}%   (paper: 93.4% over ~36k runs)",
+        faulty.accuracy() * 100.0
+    );
+
+    assert!(clean.accuracy() == 1.0, "clean harness must be perfect");
+    let _ = Scenario::ALL; // (see qtag::certify::Scenario for the scripts)
+}

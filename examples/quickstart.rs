@@ -1,0 +1,82 @@
+//! Quickstart: deploy Q-Tag on one ad impression and watch the
+//! viewability events arrive.
+//!
+//! Builds a publisher page with an ad in the paper's double
+//! cross-domain iframe, attaches Q-Tag, scrolls the ad into view, and
+//! prints every beacon the tag fires.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use qtag::adtech::{embed_served_ad, CampaignId, ServedAd, ServingOrigins};
+use qtag::core::{QTag, QTagConfig};
+use qtag::dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
+use qtag::geometry::{Rect, Size, Vector};
+use qtag::render::{Engine, EngineConfig, SimDuration};
+use qtag::wire::AdFormat;
+
+fn main() {
+    // 1. A publisher page: 1280 px wide, three viewports long.
+    let mut page = Page::new(
+        Origin::https("news.example"),
+        Size::new(1280.0, 2400.0),
+    );
+
+    // 2. A served ad (what the DSP returns after winning the auction),
+    //    embedded below the fold through the SSP→DSP iframe chain.
+    let ad = ServedAd {
+        impression_id: 1001,
+        campaign_id: CampaignId(7),
+        creative_size: Size::MEDIUM_RECTANGLE,
+        format: AdFormat::Display,
+        paid_cpm_milli: 800,
+    };
+    let slot = Rect::new(490.0, 1200.0, 300.0, 250.0); // below the 800px fold
+    let origins = ServingOrigins::default();
+    let placement = embed_served_ad(&mut page, slot, &ad, &origins).expect("embed ad");
+
+    // The Same-Origin Policy in action: the tag's origin cannot read its
+    // own position — the reason Q-Tag exists.
+    let tag_origin = Origin::parse(&origins.dsp).unwrap();
+    assert!(page.frame_rect_in_root(placement.dsp_frame, &tag_origin).is_err());
+    println!("SOP check: geometry read from the creative iframe is denied ✓");
+
+    // 3. A desktop browser showing the page.
+    let mut screen = Screen::desktop();
+    let window = screen.add_window(
+        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        Rect::new(0.0, 0.0, 1280.0, 880.0),
+        80.0,
+    );
+    let mut engine = Engine::new(EngineConfig::default_desktop(), screen);
+
+    // 4. Attach Q-Tag to the creative iframe (25 pixels, X layout,
+    //    20 fps threshold — the paper's defaults).
+    let cfg = QTagConfig::new(ad.impression_id, ad.campaign_id.0, placement.creative_rect);
+    engine
+        .attach_script(window, Some(TabId(0)), placement.dsp_frame, tag_origin, Box::new(QTag::new(cfg)))
+        .expect("attach Q-Tag");
+
+    // 5. The user reads the top of the page for 2 s (ad below the fold)…
+    engine.run_for(SimDuration::from_secs(2));
+    // …then scrolls the ad into view and dwells …
+    engine.scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 1100.0)).unwrap();
+    engine.run_for(SimDuration::from_secs(2));
+    // …then scrolls on past it.
+    engine.scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 2400.0)).unwrap();
+    engine.run_for(SimDuration::from_secs(2));
+
+    // 6. The beacons, as the monitoring server would receive them.
+    println!("\nbeacons fired by Q-Tag:");
+    for out in engine.drain_outbox() {
+        let b = &out.beacon;
+        println!(
+            "  {:>9}  {:?}  visible={:>5.1}%  exposure={} ms",
+            out.at.to_string(),
+            b.event,
+            f64::from(b.visible_fraction_milli) / 10.0,
+            b.exposure_ms,
+        );
+    }
+    println!("\nThe InView beacon confirms the impression met the IAB standard");
+    println!("(≥50% of pixels visible for ≥1s) — measured without any geometry API.");
+}

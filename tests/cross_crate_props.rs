@@ -1,0 +1,197 @@
+//! Cross-crate property tests: invariants that only hold when several
+//! crates agree with each other.
+
+use proptest::prelude::*;
+use qtag::core::{AreaEstimator, PixelLayout, QTag, QTagConfig};
+use qtag::dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
+use qtag::geometry::{Point, Rect, Size, Vector};
+use qtag::render::{point_in_viewport, Engine, EngineConfig, SimDuration};
+use qtag::server::ImpressionStore;
+use qtag::wire::{binary, framing, EventKind};
+
+fn arb_layout() -> impl Strategy<Value = PixelLayout> {
+    prop_oneof![
+        Just(PixelLayout::X),
+        Just(PixelLayout::Dice),
+        Just(PixelLayout::Plus)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The area estimator is consistent with raw rect math: estimating a
+    /// full-cover clip gives 1, an empty clip gives 0, and any clip's
+    /// estimate stays within [0, 1].
+    #[test]
+    fn estimator_agrees_with_geometry_extremes(
+        layout in arb_layout(),
+        n in 9usize..=60,
+        w in 50.0f64..800.0,
+        h in 50.0f64..600.0,
+    ) {
+        let size = Size::new(w, h);
+        let est = AreaEstimator::new(layout.positions(n, size), size);
+        let full = Rect::new(-1.0, -1.0, w + 2.0, h + 2.0);
+        prop_assert!((est.estimate_for_clip(&full) - 1.0).abs() < 1e-9);
+        prop_assert_eq!(est.estimate_for_clip(&Rect::ZERO), 0.0);
+        let half = Rect::new(0.0, 0.0, w, h / 2.0);
+        let e = est.estimate_for_clip(&half);
+        prop_assert!((0.0..=1.0).contains(&e));
+    }
+
+    /// DOM projection and render culling agree: a point the page model
+    /// maps into the root viewport is exactly the point the renderer
+    /// would paint.
+    #[test]
+    fn projection_and_culling_agree(
+        iframe_x in 0.0f64..1200.0,
+        iframe_y in 0.0f64..2500.0,
+        px in 0.0f64..299.0,
+        py in 0.0f64..249.0,
+        scroll in 0.0f64..2000.0,
+    ) {
+        let mut page = Page::new(Origin::https("pub.example"), Size::new(1280.0, 3000.0));
+        let frame = page.create_frame(Origin::https("dsp.example"), Size::MEDIUM_RECTANGLE);
+        page.embed_iframe(page.root(), frame, Rect::new(iframe_x, iframe_y, 300.0, 250.0)).unwrap();
+        let vp = Size::new(1280.0, 800.0);
+        page.scroll_frame_to(page.root(), Vector::new(0.0, scroll), vp).unwrap();
+
+        let p = Point::new(px, py);
+        let in_vp = point_in_viewport(&page, frame, p, vp).unwrap();
+
+        // Oracle: compute the same thing from first principles.
+        let root_pt = Point::new(iframe_x + px, iframe_y + py);
+        let actual_scroll = page.frame(page.root()).unwrap().scroll();
+        let vp_pt = root_pt - actual_scroll;
+        let expected = (0.0..1280.0).contains(&vp_pt.x)
+            && (0.0..800.0).contains(&vp_pt.y)
+            && px < 300.0 && py < 250.0;
+        prop_assert_eq!(in_vp, expected, "point {} scroll {}", p, scroll);
+    }
+
+    /// Every beacon a live Q-Tag emits survives the binary codec and the
+    /// framing layer bit-exactly (tag → wire → server consistency).
+    #[test]
+    fn live_tag_beacons_survive_the_wire(ad_y in 0.0f64..1500.0, seed in 0u64..500) {
+        let mut page = Page::new(Origin::https("pub.example"), Size::new(1280.0, 3000.0));
+        let frame = page.create_frame(Origin::https("dsp.example"), Size::MEDIUM_RECTANGLE);
+        page.embed_iframe(page.root(), frame, Rect::new(300.0, ad_y, 300.0, 250.0)).unwrap();
+        let mut screen = Screen::desktop();
+        let window = screen.add_window(
+            WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+            Rect::new(0.0, 0.0, 1280.0, 880.0),
+            80.0,
+        );
+        let mut engine = Engine::new(
+            EngineConfig { seed, ..EngineConfig::default_desktop() },
+            screen,
+        );
+        let cfg = QTagConfig::new(seed + 1, 3, Rect::new(0.0, 0.0, 300.0, 250.0));
+        engine
+            .attach_script(window, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+            .unwrap();
+        engine.run_for(SimDuration::from_millis(1_500));
+
+        let beacons: Vec<_> = engine.drain_outbox().into_iter().map(|o| o.beacon).collect();
+        prop_assert!(!beacons.is_empty());
+        for b in &beacons {
+            let bytes = binary::encode_to_vec(b).unwrap();
+            prop_assert_eq!(&binary::decode(&bytes).unwrap(), b);
+        }
+        let stream = framing::encode_frames(&beacons).unwrap();
+        let mut dec = qtag::wire::FrameDecoder::new();
+        dec.extend(&stream);
+        let decoded: Vec<_> = dec
+            .drain()
+            .into_iter()
+            .filter_map(|e| match e {
+                framing::FrameEvent::Beacon(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(decoded, beacons);
+    }
+
+    /// Store monotonicity: applying more beacons never turns a measured
+    /// impression unmeasured, nor a viewed one unviewed.
+    #[test]
+    fn store_verdicts_are_monotone(events in prop::collection::vec(0u8..=4, 1..20)) {
+        let mut store = ImpressionStore::new();
+        store.record_served(qtag::server::ServedImpression {
+            impression_id: 1,
+            campaign_id: 1,
+            os: qtag::wire::OsKind::Android,
+            browser: qtag::wire::BrowserKind::Chrome,
+            site_type: qtag::wire::SiteType::Browser,
+            ad_format: qtag::wire::AdFormat::Display,
+        });
+        let mut was_measured = false;
+        let mut was_viewed = false;
+        for (seq, code) in events.iter().enumerate() {
+            let beacon = qtag::wire::Beacon {
+                impression_id: 1,
+                campaign_id: 1,
+                event: EventKind::from_code(*code).unwrap(),
+                timestamp_us: seq as u64,
+                ad_format: qtag::wire::AdFormat::Display,
+                visible_fraction_milli: 0,
+                exposure_ms: 0,
+                os: qtag::wire::OsKind::Android,
+                browser: qtag::wire::BrowserKind::Chrome,
+                site_type: qtag::wire::SiteType::Browser,
+                seq: seq as u16,
+            };
+            store.apply(&beacon);
+            let (m, v) = store.verdict(1);
+            prop_assert!(!was_measured || m, "measured flag regressed");
+            prop_assert!(!was_viewed || v, "viewed flag regressed");
+            was_measured = m;
+            was_viewed = v;
+        }
+    }
+}
+
+/// The tag's estimated fraction tracks the oracle's viewport fraction
+/// across a deterministic scroll sweep (the render/core contract).
+#[test]
+fn tag_estimate_tracks_oracle_over_scroll_sweep() {
+    for scroll in [0.0f64, 200.0, 400.0, 600.0, 800.0, 1000.0, 1200.0] {
+        let mut page = Page::new(Origin::https("pub.example"), Size::new(1280.0, 3000.0));
+        let frame = page.create_frame(Origin::https("dsp.example"), Size::MEDIUM_RECTANGLE);
+        page.embed_iframe(page.root(), frame, Rect::new(300.0, 900.0, 300.0, 250.0))
+            .unwrap();
+        let mut screen = Screen::desktop();
+        let window = screen.add_window(
+            WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+            Rect::new(0.0, 0.0, 1280.0, 880.0),
+            80.0,
+        );
+        let mut engine = Engine::new(EngineConfig::default_desktop(), screen);
+        engine.scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, scroll)).unwrap();
+        let truth = engine
+            .true_visibility(window, Some(TabId(0)), frame, Rect::new(0.0, 0.0, 300.0, 250.0))
+            .unwrap()
+            .viewport_fraction;
+
+        let cfg = QTagConfig::new(1, 1, Rect::new(0.0, 0.0, 300.0, 250.0)).with_fps_threshold(20.0);
+        engine
+            .attach_script(window, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+            .unwrap();
+        engine.run_for(SimDuration::from_millis(600));
+
+        // Read the estimate off the last heartbeat-free beacon stream:
+        // the Measurable beacon carries the current fraction.
+        let fraction = engine
+            .drain_outbox()
+            .iter()
+            .rev()
+            .map(|o| f64::from(o.beacon.visible_fraction_milli) / 1000.0)
+            .next()
+            .expect("at least one beacon");
+        assert!(
+            (fraction - truth).abs() < 0.08,
+            "scroll {scroll}: estimate {fraction} vs truth {truth}"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Exposure-timer accuracy: the tag's reported *qualifying exposure*
+//! (`exposure_ms` on its beacons) against an analytic oracle.
+//!
+//! The in-view decision is binary; the timer behind it is continuous.
+//! These tests script deterministic show/hide timelines, compute the
+//! expected longest qualifying exposure in closed form, and check the
+//! tag's bookkeeping matches within its sampling resolution (10 Hz ⇒
+//! ±150 ms after rate-estimation lag).
+
+use qtag::core::{QTag, QTagConfig};
+use qtag::dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
+use qtag::geometry::{Rect, Size, Vector};
+use qtag::render::{Engine, EngineConfig, SimDuration};
+use qtag::wire::Beacon;
+
+const TOLERANCE_MS: i64 = 250;
+
+/// Scene with the ad placed at doc y=1000 (below the 800 px fold) and a
+/// scripted show/hide schedule: each `(visible_ms, hidden_ms)` segment
+/// scrolls the ad fully into view, dwells, then scrolls it away.
+fn run_schedule(segments: &[(u64, u64)]) -> Vec<Beacon> {
+    let mut page = Page::new(Origin::https("pub.example"), Size::new(1280.0, 3000.0));
+    let frame = page.create_frame(Origin::https("dsp.example"), Size::MEDIUM_RECTANGLE);
+    page.embed_iframe(page.root(), frame, Rect::new(300.0, 1000.0, 300.0, 250.0))
+        .unwrap();
+    let mut screen = Screen::desktop();
+    let w = screen.add_window(
+        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        Rect::new(0.0, 0.0, 1280.0, 880.0),
+        80.0,
+    );
+    let mut engine = Engine::new(EngineConfig::default_desktop(), screen);
+    let mut cfg = QTagConfig::new(1, 1, Rect::new(0.0, 0.0, 300.0, 250.0));
+    // Heartbeats every 2 samples (200 ms) so exposure bookkeeping is
+    // observable on the wire even when no in-view event fires.
+    cfg.heartbeat_every = 2;
+    engine
+        .attach_script(w, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+        .unwrap();
+
+    for (visible_ms, hidden_ms) in segments {
+        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 900.0)).unwrap();
+        engine.run_for(SimDuration::from_millis(*visible_ms));
+        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 0.0)).unwrap();
+        engine.run_for(SimDuration::from_millis(*hidden_ms));
+    }
+    engine.drain_outbox().into_iter().map(|o| o.beacon).collect()
+}
+
+fn max_reported_exposure(beacons: &[Beacon]) -> i64 {
+    beacons.iter().map(|b| i64::from(b.exposure_ms)).max().unwrap_or(0)
+}
+
+#[test]
+fn single_long_exposure_is_measured_accurately() {
+    for expected in [1_200i64, 2_000, 3_500, 5_000] {
+        let beacons = run_schedule(&[(expected as u64, 1_000)]);
+        let reported = max_reported_exposure(&beacons);
+        assert!(
+            (reported - expected).abs() <= TOLERANCE_MS,
+            "expected ≈{expected} ms, tag reported {reported} ms"
+        );
+    }
+}
+
+#[test]
+fn interrupted_exposures_report_the_longest_segment() {
+    // 700 ms, 1 400 ms, 900 ms segments: the longest (1 400) wins; the
+    // segments must not be summed (the standard is continuous).
+    let beacons = run_schedule(&[(700, 800), (1_400, 800), (900, 800)]);
+    let reported = max_reported_exposure(&beacons);
+    assert!(
+        (reported - 1_400).abs() <= TOLERANCE_MS,
+        "longest-segment bookkeeping off: reported {reported} ms"
+    );
+    assert!(
+        reported < 2_000,
+        "segments were summed: {reported} ms (700+1400+900 = 3000)"
+    );
+}
+
+#[test]
+fn sub_threshold_exposures_never_view_but_are_tracked() {
+    let beacons = run_schedule(&[(600, 500), (700, 500)]);
+    assert!(
+        !beacons.iter().any(|b| b.event == qtag::wire::EventKind::InView),
+        "no segment reached 1 s"
+    );
+    let reported = max_reported_exposure(&beacons);
+    assert!(
+        (reported - 700).abs() <= TOLERANCE_MS,
+        "best sub-threshold exposure should still be tracked: {reported}"
+    );
+}
+
+#[test]
+fn exposure_clock_does_not_run_while_hidden() {
+    // 1.2 s visible, then a long 6 s hidden stretch, then 0.4 s visible:
+    // the reported maximum must stay ≈1.2 s, proving the timer halts
+    // while the ad is out of view.
+    let beacons = run_schedule(&[(1_200, 6_000), (400, 200)]);
+    let reported = max_reported_exposure(&beacons);
+    assert!(
+        (reported - 1_200).abs() <= TOLERANCE_MS,
+        "timer leaked across a hidden stretch: {reported} ms"
+    );
+}
