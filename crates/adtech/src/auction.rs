@@ -52,7 +52,10 @@ pub struct AuctionOutcome {
 /// floor. Bids below the floor are discarded. Ties go to the bid that
 /// arrived first (stable), matching common exchange behaviour.
 pub fn run_second_price(bids: &[Bid], floor_cpm_milli: u64) -> Option<AuctionOutcome> {
-    let valid: Vec<&Bid> = bids.iter().filter(|b| b.cpm_milli >= floor_cpm_milli).collect();
+    let valid: Vec<&Bid> = bids
+        .iter()
+        .filter(|b| b.cpm_milli >= floor_cpm_milli)
+        .collect();
     if valid.is_empty() {
         return None;
     }

@@ -180,8 +180,7 @@ mod tests {
     }
 
     #[test]
-    fn one_dollar_cpm_default()
-    {
+    fn one_dollar_cpm_default() {
         let c = Campaign::display(1, "Acme", Sector::Travel, Size::MOBILE_BANNER);
         assert_eq!(c.cpm_milli, 1000);
     }

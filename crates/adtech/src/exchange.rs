@@ -87,7 +87,11 @@ impl Exchange {
     /// Runs one auction for `req` against `dsp` (plus the synthetic
     /// rival). Returns the served ad and the auction outcome when our
     /// DSP wins; `None` when it doesn't bid or is outbid.
-    pub fn run(&mut self, req: &AdSlotRequest, dsp: &mut Dsp) -> Option<(ServedAd, AuctionOutcome)> {
+    pub fn run(
+        &mut self,
+        req: &AdSlotRequest,
+        dsp: &mut Dsp,
+    ) -> Option<(ServedAd, AuctionOutcome)> {
         self.auctions += 1;
         let our_bid = dsp.bid(req)?;
         let mut bids: Vec<Bid> = vec![our_bid];

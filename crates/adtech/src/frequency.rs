@@ -92,7 +92,10 @@ mod tests {
         for _ in 0..3 {
             assert!(f.allow_and_record(CampaignId(1), user));
         }
-        assert!(!f.allow_and_record(CampaignId(1), user), "4th serve blocked");
+        assert!(
+            !f.allow_and_record(CampaignId(1), user),
+            "4th serve blocked"
+        );
         assert_eq!(f.count(CampaignId(1), 42), 3);
     }
 
@@ -101,8 +104,14 @@ mod tests {
         let mut f = FrequencyCapper::new();
         f.set_cap(CampaignId(1), 1);
         assert!(f.allow_and_record(CampaignId(1), UserId::Cookie(1)));
-        assert!(f.allow_and_record(CampaignId(1), UserId::Cookie(2)), "other user unaffected");
-        assert!(f.allow_and_record(CampaignId(2), UserId::Cookie(1)), "other campaign unaffected");
+        assert!(
+            f.allow_and_record(CampaignId(1), UserId::Cookie(2)),
+            "other user unaffected"
+        );
+        assert!(
+            f.allow_and_record(CampaignId(2), UserId::Cookie(1)),
+            "other campaign unaffected"
+        );
         assert!(!f.allow_and_record(CampaignId(1), UserId::Cookie(1)));
     }
 

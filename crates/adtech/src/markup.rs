@@ -124,7 +124,8 @@ mod tests {
         .unwrap();
         assert_eq!(page.cross_origin_depth(placement.dsp_frame).unwrap(), 2);
         assert_eq!(
-            page.frame_rect_in_root_unchecked(placement.dsp_frame).unwrap(),
+            page.frame_rect_in_root_unchecked(placement.dsp_frame)
+                .unwrap(),
             Rect::new(490.0, 1200.0, 300.0, 250.0)
         );
     }
@@ -133,9 +134,13 @@ mod tests {
     fn tag_in_dsp_frame_is_sop_blocked() {
         let mut page = Page::new(Origin::https("news.example"), Size::new(1280.0, 4000.0));
         let origins = ServingOrigins::default();
-        let placement =
-            embed_served_ad(&mut page, Rect::new(0.0, 0.0, 300.0, 250.0), &ad(), &origins)
-                .unwrap();
+        let placement = embed_served_ad(
+            &mut page,
+            Rect::new(0.0, 0.0, 300.0, 250.0),
+            &ad(),
+            &origins,
+        )
+        .unwrap();
         let tag_origin = Origin::parse(&origins.dsp).unwrap();
         assert!(page
             .frame_rect_in_root(placement.dsp_frame, &tag_origin)
@@ -168,9 +173,13 @@ mod tests {
             ssp: "https://news.example".into(),
             dsp: "https://news.example".into(),
         };
-        let placement =
-            embed_served_ad(&mut page, Rect::new(10.0, 20.0, 300.0, 250.0), &ad(), &origins)
-                .unwrap();
+        let placement = embed_served_ad(
+            &mut page,
+            Rect::new(10.0, 20.0, 300.0, 250.0),
+            &ad(),
+            &origins,
+        )
+        .unwrap();
         let rect = page
             .frame_rect_in_root(placement.dsp_frame, &Origin::https("news.example"))
             .unwrap();

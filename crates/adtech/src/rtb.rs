@@ -193,7 +193,12 @@ pub fn decode_bid_request(json: &str) -> Result<AdSlotRequest, RtbError> {
     let site_type = match (&doc.app, &doc.site) {
         (Some(_), None) => SiteType::App,
         (None, Some(_)) => SiteType::Browser,
-        _ => return Err(RtbError::BadField("app/site", "exactly one required".into())),
+        _ => {
+            return Err(RtbError::BadField(
+                "app/site",
+                "exactly one required".into(),
+            ))
+        }
     };
     Ok(AdSlotRequest {
         request_id: doc
@@ -296,7 +301,10 @@ mod tests {
         let json = encode_bid_request(&req).unwrap();
         assert!(json.contains("\"site\""));
         assert!(!json.contains("\"app\""));
-        assert_eq!(decode_bid_request(&json).unwrap().site_type, SiteType::Browser);
+        assert_eq!(
+            decode_bid_request(&json).unwrap().site_type,
+            SiteType::Browser
+        );
     }
 
     #[test]
@@ -316,7 +324,10 @@ mod tests {
 
     #[test]
     fn bid_response_round_trips() {
-        let bid = Bid { campaign: CampaignId(9), cpm_milli: 1750 };
+        let bid = Bid {
+            campaign: CampaignId(9),
+            cpm_milli: 1750,
+        };
         let json = encode_bid_response(42, &bid).unwrap();
         assert!(json.contains("\"price\":1.75"));
         let (rid, back) = decode_bid_response(&json).unwrap();
@@ -328,7 +339,9 @@ mod tests {
     fn malformed_documents_error_cleanly() {
         assert!(matches!(decode_bid_request("{"), Err(RtbError::Json(_))));
         assert!(decode_bid_request("{\"id\":\"x\",\"imp\":[],\"device\":{\"os\":\"Android\",\"ua\":\"Chrome\",\"geo\":{\"country\":\"ESP\"}}}").is_err());
-        let bad_geo = encode_bid_request(&request()).unwrap().replace("COL", "ZZZ");
+        let bad_geo = encode_bid_request(&request())
+            .unwrap()
+            .replace("COL", "ZZZ");
         assert!(matches!(
             decode_bid_request(&bad_geo),
             Err(RtbError::BadField("geo.country", _))

@@ -27,7 +27,10 @@ fn engine_with_tag(pixels: usize) -> Engine {
         .unwrap();
     let mut screen = Screen::desktop();
     let window = screen.add_window(
-        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page)],
+            active: TabId(0),
+        },
         Rect::new(0.0, 0.0, 1280.0, 880.0),
         80.0,
     );
@@ -35,7 +38,13 @@ fn engine_with_tag(pixels: usize) -> Engine {
     let cfg = QTagConfig::new(1, 1, Rect::new(0.0, 0.0, 300.0, 250.0))
         .with_layout(PixelLayout::X, pixels);
     engine
-        .attach_script(window, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+        .attach_script(
+            window,
+            Some(TabId(0)),
+            frame,
+            Origin::https("dsp.example"),
+            Box::new(QTag::new(cfg)),
+        )
         .unwrap();
     engine
 }

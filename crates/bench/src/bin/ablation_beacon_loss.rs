@@ -40,7 +40,10 @@ fn main() {
     let sim = SessionSim::default();
 
     out.section("measured rate vs beacon loss (Q-Tag)");
-    println!("{:>10} {:>14} {:>16}", "loss", "measured rate", "naive 1-loss");
+    println!(
+        "{:>10} {:>14} {:>16}",
+        "loss", "measured rate", "naive 1-loss"
+    );
     let mut rows = Vec::new();
     for (li, loss) in loss_levels.iter().enumerate() {
         let mut store = ImpressionStore::new();
@@ -87,8 +90,16 @@ fn main() {
 
     out.section("Shape checks");
     let base = rows[0].1;
-    let at_10 = rows.iter().find(|(l, _)| (*l - 0.10).abs() < 1e-9).unwrap().1;
-    let at_30 = rows.iter().find(|(l, _)| (*l - 0.30).abs() < 1e-9).unwrap().1;
+    let at_10 = rows
+        .iter()
+        .find(|(l, _)| (*l - 0.10).abs() < 1e-9)
+        .unwrap()
+        .1;
+    let at_30 = rows
+        .iter()
+        .find(|(l, _)| (*l - 0.30).abs() < 1e-9)
+        .unwrap()
+        .1;
     let checks = [
         (
             "protocol redundancy: 10 % loss costs < 7 pp of measured rate",
@@ -114,7 +125,10 @@ fn main() {
         rows: Vec<(f64, f64)>,
         shape_checks_pass: bool,
     }
-    out.finish(&Payload { rows, shape_checks_pass: all_ok });
+    out.finish(&Payload {
+        rows,
+        shape_checks_pass: all_ok,
+    });
     if !all_ok {
         std::process::exit(1);
     }

@@ -42,7 +42,10 @@ fn accuracy(threshold_fps: f64, cpu_load: f64, n: u32, seed: u64) -> f64 {
         .expect("embed");
         let mut screen = Screen::desktop();
         let window = screen.add_window(
-            WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+            WindowKind::Browser {
+                tabs: vec![Tab::new(page)],
+                active: TabId(0),
+            },
             Rect::new(0.0, 0.0, 1280.0, 880.0),
             80.0,
         );
@@ -60,15 +63,30 @@ fn accuracy(threshold_fps: f64, cpu_load: f64, n: u32, seed: u64) -> f64 {
                 .expect("scroll");
         }
         let truth = engine
-            .true_visibility(window, Some(TabId(0)), ad, Rect::from_origin_size(Point::ORIGIN, creative))
+            .true_visibility(
+                window,
+                Some(TabId(0)),
+                ad,
+                Rect::from_origin_size(Point::ORIGIN, creative),
+            )
             .expect("oracle")
             .fraction
             >= 0.5;
 
-        let cfg = QTagConfig::new(u64::from(i) + 1, 1, Rect::from_origin_size(Point::ORIGIN, creative))
-            .with_fps_threshold(threshold_fps);
+        let cfg = QTagConfig::new(
+            u64::from(i) + 1,
+            1,
+            Rect::from_origin_size(Point::ORIGIN, creative),
+        )
+        .with_fps_threshold(threshold_fps);
         engine
-            .attach_script(window, Some(TabId(0)), ad, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+            .attach_script(
+                window,
+                Some(TabId(0)),
+                ad,
+                Origin::https("dsp.example"),
+                Box::new(QTag::new(cfg)),
+            )
             .expect("attach");
         engine.run_for(SimDuration::from_millis(2_500));
         let reported = engine
@@ -108,21 +126,32 @@ fn main() {
         println!();
         grid.push(row);
     }
-    println!("(effective refresh rate at load L is 60·(1−L) fps; a threshold above it sees nothing)");
+    println!(
+        "(effective refresh rate at load L is 60·(1−L) fps; a threshold above it sees nothing)"
+    );
 
     out.section("Shape checks vs the paper");
     // idle device: thresholds 20–50 equivalent (paper: "no major difference")
-    let idle_equal = (0..thresholds.len())
-        .all(|i| (grid[i][0] - grid[0][0]).abs() < 0.02 && grid[i][0] > 0.95);
+    let idle_equal =
+        (0..thresholds.len()).all(|i| (grid[i][0] - grid[0][0]).abs() < 0.02 && grid[i][0] > 0.95);
     // heavy load (0.75 ⇒ 15 fps effective): only the 20 fps threshold is
     // *closest* to surviving; aggressive thresholds collapse.
     let heavy = loads.len() - 1;
     let conservative_wins = grid[0][heavy] >= grid[3][heavy];
     let aggressive_collapses = grid[3][heavy] < 0.8;
     let checks = [
-        ("idle device: 20/30/40/50 fps thresholds equivalent", idle_equal),
-        ("under heavy load the conservative threshold degrades last", conservative_wins),
-        ("a 50 fps threshold collapses under heavy load", aggressive_collapses),
+        (
+            "idle device: 20/30/40/50 fps thresholds equivalent",
+            idle_equal,
+        ),
+        (
+            "under heavy load the conservative threshold degrades last",
+            conservative_wins,
+        ),
+        (
+            "a 50 fps threshold collapses under heavy load",
+            aggressive_collapses,
+        ),
     ];
     let mut all_ok = true;
     for (name, ok) in checks {

@@ -1,0 +1,294 @@
+//! `collectd_loadgen` — drive the collector daemon over real localhost
+//! TCP and verify end-to-end conservation.
+//!
+//! ```text
+//! collectd_loadgen [--clients N] [--beacons-per-client N]
+//!                  [--chunk-size BYTES] [--churn-every K]
+//!                  [--corrupt-rate F] [--capacity N] [--abrupt] [--json]
+//! ```
+//!
+//! Starts an in-process [`qtag_collectd::Collector`] on an ephemeral
+//! localhost port, then replays beacon streams from `--clients`
+//! concurrent client threads. Each client writes its stream in
+//! `--chunk-size` slices (splitting frames across TCP writes),
+//! reconnects every `--churn-every` beacons, optionally corrupts a
+//! fraction of frames (one non-magic payload byte each), and with
+//! `--abrupt` ends its final connection by dying mid-frame.
+//!
+//! After the clients finish the daemon is shut down gracefully and the
+//! run is judged by the conservation identity:
+//!
+//! ```text
+//! beacons sent == beacons applied + corrupt frames + shed beacons
+//! ```
+//!
+//! which must hold EXACTLY — the process exits non-zero otherwise.
+
+use qtag_bench::output::ExperimentOutput;
+use qtag_collectd::{Collector, CollectorConfig};
+use qtag_server::ImpressionStore;
+use qtag_wire::framing::encode_frames;
+use qtag_wire::{binary, AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct LoadgenConfig {
+    clients: u64,
+    beacons_per_client: u64,
+    chunk_size: usize,
+    churn_every: u64,
+    corrupt_rate: f64,
+    abrupt: bool,
+    inlet_capacity: usize,
+}
+
+impl LoadgenConfig {
+    fn from_args() -> Self {
+        let mut cfg = LoadgenConfig {
+            clients: 4,
+            beacons_per_client: 50_000,
+            chunk_size: 4096,
+            churn_every: 0,
+            corrupt_rate: 0.0,
+            abrupt: false,
+            inlet_capacity: qtag_server::DEFAULT_INLET_CAPACITY,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            match flag {
+                "--clients" => cfg.clients = args[i + 1].parse().expect("--clients: u64"),
+                "--beacons-per-client" => {
+                    cfg.beacons_per_client = args[i + 1].parse().expect("--beacons-per-client: u64")
+                }
+                "--chunk-size" => {
+                    cfg.chunk_size = args[i + 1].parse().expect("--chunk-size: usize")
+                }
+                "--churn-every" => {
+                    cfg.churn_every = args[i + 1].parse().expect("--churn-every: u64")
+                }
+                "--corrupt-rate" => {
+                    cfg.corrupt_rate = args[i + 1].parse().expect("--corrupt-rate: f64")
+                }
+                "--capacity" => {
+                    cfg.inlet_capacity = args[i + 1].parse().expect("--capacity: usize")
+                }
+                "--abrupt" => {
+                    cfg.abrupt = true;
+                    i += 1;
+                    continue;
+                }
+                "--json" => {
+                    i += 1;
+                    continue;
+                }
+                other => panic!("unknown flag {other}"),
+            }
+            i += 2;
+        }
+        assert!(cfg.chunk_size >= 1, "--chunk-size must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&cfg.corrupt_rate),
+            "--corrupt-rate in [0, 1]"
+        );
+        cfg
+    }
+}
+
+fn beacon(client: u64, seq_no: u64) -> Beacon {
+    Beacon {
+        impression_id: (client << 32) | (seq_no & 0xFFFF_FFFF),
+        campaign_id: client as u32,
+        event: EventKind::Heartbeat,
+        timestamp_us: seq_no * 100_000,
+        ad_format: AdFormat::Display,
+        visible_fraction_milli: 600,
+        exposure_ms: 900,
+        os: OsKind::Windows10,
+        browser: BrowserKind::Firefox,
+        site_type: SiteType::Browser,
+        seq: seq_no as u16,
+    }
+}
+
+/// What one client thread actually put on the wire.
+#[derive(Default)]
+struct ClientOutcome {
+    /// Beacons whose frames were fully written to a socket.
+    sent: u64,
+    /// Of those, how many were deliberately corrupted.
+    corrupted: u64,
+    /// Connections opened (1 + churn reconnects).
+    connections: u64,
+}
+
+/// Writes `stream` in `chunk_size` slices; frames straddle writes.
+fn write_chunked(sock: &mut TcpStream, stream: &[u8], chunk_size: usize) -> std::io::Result<()> {
+    for chunk in stream.chunks(chunk_size) {
+        sock.write_all(chunk)?;
+    }
+    Ok(())
+}
+
+fn run_client(addr: SocketAddr, cfg: &LoadgenConfig, client: u64) -> ClientOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x10AD_0000 + client);
+    let mut out = ClientOutcome::default();
+    let frame_len = 2 + binary::ENCODED_LEN;
+    let mut sock = TcpStream::connect(addr).expect("connect to collector");
+    out.connections = 1;
+
+    let mut pending: Vec<u8> = Vec::with_capacity(cfg.chunk_size + frame_len);
+    let mut pending_beacons = 0u64;
+    let mut since_churn = 0u64;
+    for seq_no in 0..cfg.beacons_per_client {
+        let mut frame = encode_frames(&[beacon(client, seq_no)]).expect("encode");
+        if cfg.corrupt_rate > 0.0 && rng.gen_bool(cfg.corrupt_rate) {
+            // Corrupt one payload byte past the magic (frame offsets
+            // 0..2 length, 2..4 magic) so the daemon counts exactly
+            // one corrupt frame — the accounting the conservation
+            // check relies on.
+            let idx = rng.gen_range(4..frame_len);
+            frame[idx] ^= 1u8 << rng.gen_range(0..8u32);
+            out.corrupted += 1;
+        }
+        pending.extend_from_slice(&frame);
+        pending_beacons += 1;
+        if pending.len() >= cfg.chunk_size {
+            write_chunked(&mut sock, &pending, cfg.chunk_size).expect("write");
+            out.sent += pending_beacons;
+            pending.clear();
+            pending_beacons = 0;
+        }
+        since_churn += 1;
+        if cfg.churn_every > 0 && since_churn >= cfg.churn_every {
+            if !pending.is_empty() {
+                write_chunked(&mut sock, &pending, cfg.chunk_size).expect("write");
+                out.sent += pending_beacons;
+                pending.clear();
+                pending_beacons = 0;
+            }
+            // Orderly close; the kernel delivers everything written.
+            drop(sock);
+            sock = TcpStream::connect(addr).expect("reconnect to collector");
+            out.connections += 1;
+            since_churn = 0;
+        }
+    }
+    if !pending.is_empty() {
+        write_chunked(&mut sock, &pending, cfg.chunk_size).expect("write");
+        out.sent += pending_beacons;
+    }
+    if cfg.abrupt {
+        // Die mid-frame: write a prefix of one more beacon's frame and
+        // hang up. The daemon must treat the tail as never-sent, not
+        // as corrupt.
+        let frame = encode_frames(&[beacon(client, cfg.beacons_per_client)]).expect("encode");
+        let cut = frame_len / 2;
+        let _ = sock.write_all(&frame[..cut]);
+    }
+    drop(sock);
+    out
+}
+
+#[derive(Serialize)]
+struct LoadgenResult {
+    clients: u64,
+    beacons_sent: u64,
+    beacons_applied: u64,
+    corrupt_frames: u64,
+    shed_beacons: u64,
+    connections: u64,
+    elapsed_secs: f64,
+    beacons_per_sec: f64,
+    conservation_holds: bool,
+}
+
+fn main() {
+    let cfg = LoadgenConfig::from_args();
+    let out = ExperimentOutput::from_args();
+    out.section("collectd loadgen: TCP beacon replay with conservation check");
+
+    let store = Arc::new(parking_lot::Mutex::new(ImpressionStore::new()));
+    let collector_cfg = CollectorConfig {
+        max_connections: (cfg.clients as usize + 8).max(64),
+        inlet_capacity: cfg.inlet_capacity,
+        ..CollectorConfig::default()
+    };
+    let collector = Collector::start(collector_cfg, store).expect("start collector");
+    let addr = collector.local_addr();
+    println!("collector listening on {addr}");
+    println!(
+        "{} clients x {} beacons, chunk {} B, churn every {}, corrupt rate {}, abrupt: {}",
+        cfg.clients,
+        cfg.beacons_per_client,
+        cfg.chunk_size,
+        cfg.churn_every,
+        cfg.corrupt_rate,
+        cfg.abrupt,
+    );
+
+    let started = Instant::now();
+    let cfg = Arc::new(cfg);
+    let clients: Vec<_> = (0..cfg.clients)
+        .map(|client| {
+            let cfg = Arc::clone(&cfg);
+            std::thread::spawn(move || run_client(addr, &cfg, client))
+        })
+        .collect();
+    let outcomes: Vec<ClientOutcome> = clients
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    let ops = collector.shutdown(); // graceful drain before the clock stops
+    let elapsed = started.elapsed();
+
+    let sent: u64 = outcomes.iter().map(|o| o.sent).sum();
+    let corrupted: u64 = outcomes.iter().map(|o| o.corrupted).sum();
+    let connections: u64 = outcomes.iter().map(|o| o.connections).sum();
+    let rate = sent as f64 / elapsed.as_secs_f64();
+
+    println!();
+    println!("beacons sent       {sent:>12}");
+    println!("beacons applied    {:>12}", ops.ingest.beacons);
+    println!("corrupt frames     {:>12}", ops.collector.corrupt_frames);
+    println!("shed beacons       {:>12}", ops.ingest.shed_beacons);
+    println!("client connections {connections:>12}");
+    println!("elapsed            {:>12.3} s", elapsed.as_secs_f64());
+    println!("throughput         {rate:>12.0} beacons/s (end-to-end, drain included)");
+
+    let conserves = ops.conserves(sent);
+    let decode_ok = ops.decode_accounted();
+    println!(
+        "conservation check: sent == applied + corrupt + shed: {}",
+        if conserves { "PASS" } else { "FAIL" }
+    );
+    if cfg.corrupt_rate > 0.0 {
+        println!(
+            "corruption audit: injected {corrupted}, daemon counted {} corrupt",
+            ops.collector.corrupt_frames
+        );
+    }
+
+    out.finish(&LoadgenResult {
+        clients: cfg.clients,
+        beacons_sent: sent,
+        beacons_applied: ops.ingest.beacons,
+        corrupt_frames: ops.collector.corrupt_frames,
+        shed_beacons: ops.ingest.shed_beacons,
+        connections,
+        elapsed_secs: elapsed.as_secs_f64(),
+        beacons_per_sec: rate,
+        conservation_holds: conserves,
+    });
+
+    if !conserves || !decode_ok || ops.collector.corrupt_frames != corrupted {
+        eprintln!("conservation violated: {ops:?}");
+        std::process::exit(1);
+    }
+}

@@ -69,7 +69,10 @@ fn main() {
                 paid_cpm_milli: 800,
             };
             let o = sim.run(&ad, &env, seed ^ (i * 48_271 + ci as u64));
-            if o.qtag_beacons.iter().any(|b| b.event == EventKind::Measurable) {
+            if o.qtag_beacons
+                .iter()
+                .any(|b| b.event == EventKind::Measurable)
+            {
                 measured += 1;
             }
             if o.qtag_beacons.iter().any(|b| b.event == EventKind::InView) {

@@ -50,7 +50,11 @@ fn main() {
     let cpm = 1.0; // $1 average CPM, the paper's reference (§6.1 fn. 4)
 
     out.section("Inputs");
-    println!("  measured rate:    Q-Tag {}  commercial {}", format_pct(qtag), format_pct(comm));
+    println!(
+        "  measured rate:    Q-Tag {}  commercial {}",
+        format_pct(qtag),
+        format_pct(comm)
+    );
     println!("  viewability rate: {}", format_pct(viewability));
     println!("  average CPM:      ${cpm:.2}");
 
@@ -87,7 +91,10 @@ fn main() {
             "yearly uplift for a mid DSP in the $2M–$5M band (paper: $3.5M)",
             (2e6..=5e6).contains(&(mid_daily * 365.0)),
         ),
-        ("large DSP scales 10x", (large_daily / mid_daily - 10.0).abs() < 1e-6),
+        (
+            "large DSP scales 10x",
+            (large_daily / mid_daily - 10.0).abs() < 1e-6,
+        ),
     ];
     let mut all_ok = true;
     for (name, ok) in checks {

@@ -7,10 +7,10 @@
 //! Voronoi-weight estimate is compared against the exact visible
 //! fraction. Reported: mean |estimate − truth| over the partial range.
 //!
-//! Paper shape to reproduce: the dice layout is worst everywhere; X and
-//! + tie on vertical/horizontal sliding; X wins on diagonal sliding;
-//! error falls quickly from 9 to 21 pixels then flattens — 25 px is the
-//! chosen trade-off.
+//! Paper shape to reproduce: the dice layout is worst everywhere; the X
+//! and + layouts tie on vertical/horizontal sliding; X wins on diagonal
+//! sliding; error falls quickly from 9 to 21 pixels then flattens —
+//! 25 px is the chosen trade-off.
 
 use qtag_bench::{format_pct, ExperimentOutput};
 use qtag_core::{AreaEstimator, PixelLayout};
@@ -131,10 +131,7 @@ fn main() {
             "Figure 2 — {} sliding: area error | in-view decision error",
             slide.name()
         ));
-        println!(
-            "{:>7} {:>16} {:>16} {:>16}",
-            "pixels", "x", "dice", "plus"
-        );
+        println!("{:>7} {:>16} {:>16} {:>16}", "pixels", "x", "dice", "plus");
         for n in pixel_counts {
             let mut per_layout = Vec::new();
             for layout in PixelLayout::ALL {

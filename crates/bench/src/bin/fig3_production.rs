@@ -86,11 +86,22 @@ fn main() {
     let qv = r.qtag_summary.mean_viewability_rate;
     let vv = r.verifier_summary.mean_viewability_rate;
     let checks = [
-        ("Q-Tag measured rate in the low-to-mid 90s", (0.88..=0.97).contains(&qm)),
-        ("commercial measured rate in the low-to-mid 70s", (0.65..=0.82).contains(&vm)),
-        ("gap of roughly 19 pp in Q-Tag's favour", (0.12..=0.27).contains(&(qm - vm))),
-        ("both viewability rates near 50 % and within 5 pp of each other",
-            (0.40..=0.62).contains(&qv) && (qv - vv).abs() < 0.05),
+        (
+            "Q-Tag measured rate in the low-to-mid 90s",
+            (0.88..=0.97).contains(&qm),
+        ),
+        (
+            "commercial measured rate in the low-to-mid 70s",
+            (0.65..=0.82).contains(&vm),
+        ),
+        (
+            "gap of roughly 19 pp in Q-Tag's favour",
+            (0.12..=0.27).contains(&(qm - vm)),
+        ),
+        (
+            "both viewability rates near 50 % and within 5 pp of each other",
+            (0.40..=0.62).contains(&qv) && (qv - vv).abs() < 0.05,
+        ),
     ];
     let mut all_ok = true;
     for (name, ok) in checks {

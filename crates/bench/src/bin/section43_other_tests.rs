@@ -80,11 +80,20 @@ fn main() {
 
     out.section("Shape checks vs the paper");
     let checks = [
-        ("placement decisions free of non-boundary errors", p.hard_mismatches == 0),
+        (
+            "placement decisions free of non-boundary errors",
+            p.hard_mismatches == 0,
+        ),
         ("placement accuracy ≥ 99.5 %", p.accuracy() >= 0.995),
         ("both in-app sizes notified", inapp.correct == inapp.cases),
-        ("mobile scenario matrix all correct", mobile_correct == mobile_runs),
-        ("every blocked delivery stayed blocked", ab.blocked == ab.attempts && ab.stray_beacons == 0),
+        (
+            "mobile scenario matrix all correct",
+            mobile_correct == mobile_runs,
+        ),
+        (
+            "every blocked delivery stayed blocked",
+            ab.blocked == ab.attempts && ab.stray_beacons == 0,
+        ),
         ("privacy browsers unaffected", privacy_ok),
     ];
     let mut all_ok = true;

@@ -45,14 +45,25 @@ fn main() {
     );
     let r = run_production(&cfg);
 
-    let mut measured: Vec<f64> = r.qtag_reports.iter().map(|c| c.total.measured_rate()).collect();
-    let mut viewability: Vec<f64> =
-        r.qtag_reports.iter().map(|c| c.total.viewability_rate()).collect();
+    let mut measured: Vec<f64> = r
+        .qtag_reports
+        .iter()
+        .map(|c| c.total.measured_rate())
+        .collect();
+    let mut viewability: Vec<f64> = r
+        .qtag_reports
+        .iter()
+        .map(|c| c.total.viewability_rate())
+        .collect();
     measured.sort_by(f64::total_cmp);
     viewability.sort_by(f64::total_cmp);
 
     out.section("§5 fleet — 99 campaigns, Q-Tag only");
-    println!("  campaigns: {}   ads served: {}", r.qtag_reports.len(), r.served);
+    println!(
+        "  campaigns: {}   ads served: {}",
+        r.qtag_reports.len(),
+        r.served
+    );
     println!(
         "  measured rate:    mean {}  p10 {}  median {}  p90 {}",
         format_pct(r.qtag_summary.mean_measured_rate),

@@ -51,7 +51,11 @@ fn main() {
         let ad = ServedAd {
             impression_id: i + 1,
             campaign_id: CampaignId(1 + (i % 12) as u32),
-            creative_size: if i % 2 == 0 { Size::MEDIUM_RECTANGLE } else { Size::MOBILE_BANNER },
+            creative_size: if i % 2 == 0 {
+                Size::MEDIUM_RECTANGLE
+            } else {
+                Size::MOBILE_BANNER
+            },
             format: AdFormat::Display,
             paid_cpm_milli: 800,
         };
@@ -65,7 +69,10 @@ fn main() {
     }
 
     out.section("§5 weekly monitoring — daily volume and viewability (Q-Tag)");
-    println!("{:>5} {:>10} {:>10} {:>9} {:>13}", "day", "arrivals", "measured", "viewed", "viewability");
+    println!(
+        "{:>5} {:>10} {:>10} {:>9} {:>13}",
+        "day", "arrivals", "measured", "viewed", "viewability"
+    );
     let day_names = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
     let mut daily_rates = Vec::new();
     for (bucket, stats) in daily.buckets() {
@@ -101,13 +108,19 @@ fn main() {
         .map(|r| (r - mean_rate).abs())
         .fold(0.0f64, f64::max);
     let checks = [
-        ("traffic is diurnal (evening ≫ overnight)", evening > 2 * overnight),
+        (
+            "traffic is diurnal (evening ≫ overnight)",
+            evening > 2 * overnight,
+        ),
         ("all seven days present", daily_rates.len() == 7),
         (
             "viewability stable across the week (max daily deviation < 6 pp)",
             max_dev < 0.06,
         ),
-        ("weekly mean viewability near 50 %", (mean_rate - 0.50).abs() < 0.08),
+        (
+            "weekly mean viewability near 50 %",
+            (mean_rate - 0.50).abs() < 0.08,
+        ),
     ];
     let mut all_ok = true;
     for (name, ok) in checks {

@@ -77,7 +77,10 @@ fn main() {
             "overall accuracy within 2 pp of the paper's 93.4 %",
             (automated.accuracy() - 0.934).abs() < 0.02,
         ),
-        ("all failures occur in tests 4 and 5", failures_outside_4_5 == 0),
+        (
+            "all failures occur in tests 4 and 5",
+            failures_outside_4_5 == 0,
+        ),
         (
             "every failure is a silent run (no event registered)",
             automated.total.runs - automated.total.correct == automated.total.silent,

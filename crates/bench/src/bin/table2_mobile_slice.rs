@@ -65,8 +65,15 @@ fn main() {
     let mut payload_rows = Vec::new();
     let mut all_ok = true;
     for (site, os, paper_q, paper_v) in rows {
-        let key = SliceKey { site_type: site, os };
-        let q = r.qtag_slices.get(&key).map(|s| s.measured_rate()).unwrap_or(0.0);
+        let key = SliceKey {
+            site_type: site,
+            os,
+        };
+        let q = r
+            .qtag_slices
+            .get(&key)
+            .map(|s| s.measured_rate())
+            .unwrap_or(0.0);
         let v = r
             .verifier_slices
             .get(&key)
@@ -98,24 +105,31 @@ fn main() {
     out.section("Shape checks vs the paper");
     // Ordering checks (the qualitative claims of §6).
     let get = |site, os, ours: &std::collections::HashMap<SliceKey, qtag_server::RateSlice>| {
-        ours.get(&SliceKey { site_type: site, os })
-            .map(|s| s.measured_rate())
-            .unwrap_or(0.0)
+        ours.get(&SliceKey {
+            site_type: site,
+            os,
+        })
+        .map(|s| s.measured_rate())
+        .unwrap_or(0.0)
     };
     let worst_commercial_is_android_app = {
         let aa = get(SiteType::App, OsKind::Android, &r.verifier_slices);
-        rows.iter().all(|(s, o, _, _)| aa <= get(*s, *o, &r.verifier_slices))
+        rows.iter()
+            .all(|(s, o, _, _)| aa <= get(*s, *o, &r.verifier_slices))
     };
-    let qtag_always_better = rows.iter().all(|(s, o, _, _)| {
-        get(*s, *o, &r.qtag_slices) > get(*s, *o, &r.verifier_slices)
-    });
+    let qtag_always_better = rows
+        .iter()
+        .all(|(s, o, _, _)| get(*s, *o, &r.qtag_slices) > get(*s, *o, &r.verifier_slices));
     let checks = [
         ("every cell within 5 pp of the paper", all_ok),
         (
             "commercial solution is worst in Android apps",
             worst_commercial_is_android_app,
         ),
-        ("Q-Tag beats the commercial solution in every cell", qtag_always_better),
+        (
+            "Q-Tag beats the commercial solution in every cell",
+            qtag_always_better,
+        ),
     ];
     let mut pass = true;
     for (name, ok) in checks {

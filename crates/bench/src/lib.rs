@@ -24,6 +24,4 @@ pub mod output;
 pub mod pipeline;
 
 pub use output::{format_pct, ExperimentOutput};
-pub use pipeline::{
-    run_production, run_production_sharded, ProductionConfig, ProductionResults,
-};
+pub use pipeline::{run_production, run_production_sharded, ProductionConfig, ProductionResults};

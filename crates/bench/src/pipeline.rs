@@ -98,7 +98,10 @@ pub fn run_production(cfg: &ProductionConfig) -> ProductionResults {
         .collect();
 
     let mut dsp = Dsp::new(campaigns.clone());
-    let mut exchanges: Vec<Exchange> = ExchangeKind::ALL.iter().map(|k| Exchange::new(*k)).collect();
+    let mut exchanges: Vec<Exchange> = ExchangeKind::ALL
+        .iter()
+        .map(|k| Exchange::new(*k))
+        .collect();
 
     let mut qtag_store = ImpressionStore::new();
     let mut verifier_store = ImpressionStore::new();
@@ -153,8 +156,18 @@ pub fn run_production(cfg: &ProductionConfig) -> ProductionResults {
         let out = sim.run(&ad, &env, session_seed);
 
         // Transport with per-slice loss, then the streaming decoder.
-        ingest(&mut qtag_store, &out.qtag_beacons, env.beacon_loss, session_seed ^ 1);
-        ingest(&mut verifier_store, &out.verifier_beacons, env.beacon_loss, session_seed ^ 2);
+        ingest(
+            &mut qtag_store,
+            &out.qtag_beacons,
+            env.beacon_loss,
+            session_seed ^ 1,
+        );
+        ingest(
+            &mut verifier_store,
+            &out.verifier_beacons,
+            env.beacon_loss,
+            session_seed ^ 2,
+        );
     }
 
     let qtag_reports = ReportBuilder::per_campaign(&qtag_store);
@@ -214,7 +227,10 @@ fn merge_results(mut results: Vec<ProductionResults>) -> ProductionResults {
 
 fn merge_reports(into: &mut Vec<CampaignReport>, from: Vec<CampaignReport>) {
     for report in from {
-        match into.iter_mut().find(|r| r.campaign_id == report.campaign_id) {
+        match into
+            .iter_mut()
+            .find(|r| r.campaign_id == report.campaign_id)
+        {
             Some(existing) => {
                 existing.total.merge(&report.total);
                 for (k, v) in report.slices {
@@ -273,7 +289,10 @@ mod tests {
 
         let qv = r.qtag_summary.mean_viewability_rate;
         let vv = r.verifier_summary.mean_viewability_rate;
-        assert!((qv - vv).abs() < 0.12, "viewability rates should agree: {qv} vs {vv}");
+        assert!(
+            (qv - vv).abs() < 0.12,
+            "viewability rates should agree: {qv} vs {vv}"
+        );
         assert!((0.3..=0.7).contains(&qv), "viewability rate {qv}");
     }
 
@@ -286,7 +305,10 @@ mod tests {
             population: PopulationConfig::default(),
         };
         let sharded = run_production_sharded(&cfg, 4);
-        assert_eq!(sharded.served, 800, "4 shards × 100 per campaign × 2 campaigns");
+        assert_eq!(
+            sharded.served, 800,
+            "4 shards × 100 per campaign × 2 campaigns"
+        );
         assert_eq!(sharded.qtag_reports.len(), 2);
         // Rates must land in the same bands as the sequential pipeline.
         let q = sharded.qtag_summary.mean_measured_rate;

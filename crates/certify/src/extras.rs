@@ -50,14 +50,18 @@ pub fn run_random_placement_test(n: u32, seed: u64) -> PlacementOutcome {
         let x: f64 = rng.gen_range(-350.0..1400.0);
         let y: f64 = rng.gen_range(-300.0..1100.0);
 
-        let mut page = Page::new(Origin::https("testing-site.example"), Size::new(1280.0, 3000.0));
+        let mut page = Page::new(
+            Origin::https("testing-site.example"),
+            Size::new(1280.0, 3000.0),
+        );
         let ssp = page.create_frame(Origin::https("wrapper.example"), creative);
         // Slot may stick out of the document; clamp into the doc canvas
         // horizontally (a real layout cannot place content at negative
         // document x, while *viewport* overflow comes from scrolling).
         // Vertical negatives are modelled by pre-scrolling instead.
         let slot = Rect::new(x.max(0.0), y.max(0.0), creative.width, creative.height);
-        page.embed_iframe(page.root(), ssp, slot).expect("embed ssp");
+        page.embed_iframe(page.root(), ssp, slot)
+            .expect("embed ssp");
         let dsp = page.create_frame(Origin::https("dsp.example"), creative);
         page.embed_iframe(ssp, dsp, Rect::from_origin_size(Point::ORIGIN, creative))
             .expect("embed dsp");
@@ -67,23 +71,43 @@ pub fn run_random_placement_test(n: u32, seed: u64) -> PlacementOutcome {
 
         let mut screen = Screen::desktop();
         let window = screen.add_window(
-            WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+            WindowKind::Browser {
+                tabs: vec![Tab::new(page)],
+                active: TabId(0),
+            },
             Rect::new(0.0, 0.0, 1280.0, 880.0),
             80.0,
         );
         let mut engine = Engine::new(EngineConfig::default_desktop(), screen);
         if scroll.dy > 0.0 {
-            engine.scroll_page_to(window, Some(TabId(0)), scroll).expect("pre-scroll");
+            engine
+                .scroll_page_to(window, Some(TabId(0)), scroll)
+                .expect("pre-scroll");
         }
 
-        let cfg = QTagConfig::new(u64::from(i) + 1, 1, Rect::from_origin_size(Point::ORIGIN, creative));
+        let cfg = QTagConfig::new(
+            u64::from(i) + 1,
+            1,
+            Rect::from_origin_size(Point::ORIGIN, creative),
+        );
         engine
-            .attach_script(window, Some(TabId(0)), dsp, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+            .attach_script(
+                window,
+                Some(TabId(0)),
+                dsp,
+                Origin::https("dsp.example"),
+                Box::new(QTag::new(cfg)),
+            )
             .expect("attach");
 
         // Oracle: exact visible fraction of the creative.
         let truth = engine
-            .true_visibility(window, Some(TabId(0)), dsp, Rect::from_origin_size(Point::ORIGIN, creative))
+            .true_visibility(
+                window,
+                Some(TabId(0)),
+                dsp,
+                Rect::from_origin_size(Point::ORIGIN, creative),
+            )
             .expect("oracle")
             .fraction;
         let expect_in_view = truth >= 0.5;
@@ -120,12 +144,19 @@ pub struct InAppOutcome {
 /// in view — the tag must notify the viewability measure correctly.
 pub fn run_inapp_test(seed: u64) -> InAppOutcome {
     let mut outcome = InAppOutcome::default();
-    for (i, creative) in [Size::MEDIUM_RECTANGLE, Size::MOBILE_BANNER].iter().enumerate() {
+    for (i, creative) in [Size::MEDIUM_RECTANGLE, Size::MOBILE_BANNER]
+        .iter()
+        .enumerate()
+    {
         let mut page = Page::new(Origin::https("app.preview"), Size::new(360.0, 1200.0));
         let ad = page.create_frame(Origin::https("dsp.example"), *creative);
         let x = ((360.0 - creative.width) / 2.0).max(0.0);
-        page.embed_iframe(page.root(), ad, Rect::new(x, 80.0, creative.width, creative.height))
-            .expect("embed");
+        page.embed_iframe(
+            page.root(),
+            ad,
+            Rect::new(x, 80.0, creative.width, creative.height),
+        )
+        .expect("embed");
         let mut screen = Screen::phone();
         let window = screen.add_window(
             WindowKind::AppWebView { page },
@@ -140,9 +171,19 @@ pub fn run_inapp_test(seed: u64) -> InAppOutcome {
             },
             screen,
         );
-        let cfg = QTagConfig::new(i as u64 + 1, 1, Rect::from_origin_size(Point::ORIGIN, *creative));
+        let cfg = QTagConfig::new(
+            i as u64 + 1,
+            1,
+            Rect::from_origin_size(Point::ORIGIN, *creative),
+        );
         engine
-            .attach_script(window, None, ad, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+            .attach_script(
+                window,
+                None,
+                ad,
+                Origin::https("dsp.example"),
+                Box::new(QTag::new(cfg)),
+            )
             .expect("attach");
         engine.run_for(SimDuration::from_secs(2));
         let in_view = engine
@@ -175,7 +216,11 @@ pub struct AdblockOutcome {
 pub fn run_adblock_test(seed: u64) -> AdblockOutcome {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut outcome = AdblockOutcome::default();
-    let creatives = [Size::MEDIUM_RECTANGLE, Size::new(970.0, 250.0), Size::VIDEO_PLAYER];
+    let creatives = [
+        Size::MEDIUM_RECTANGLE,
+        Size::new(970.0, 250.0),
+        Size::VIDEO_PLAYER,
+    ];
 
     for blocker in [BlockerKind::AdblockPlus, BlockerKind::Brave] {
         for creative in creatives {
@@ -183,18 +228,27 @@ pub fn run_adblock_test(seed: u64) -> AdblockOutcome {
                 let y = rng.gen_range(0.0..2000.0);
                 outcome.attempts += 1;
 
-                let mut page =
-                    Page::new(Origin::https("testing-site.example"), Size::new(1280.0, 3000.0));
+                let mut page = Page::new(
+                    Origin::https("testing-site.example"),
+                    Size::new(1280.0, 3000.0),
+                );
                 let mut screen = Screen::desktop();
                 let window;
                 let mut deployed_frame = None;
                 if blocker.ad_delivery_possible() {
                     let ad = page.create_frame(Origin::https("dsp.example"), creative);
-                    page.embed_iframe(page.root(), ad, Rect::new(100.0, y, creative.width, creative.height))
-                        .expect("embed");
+                    page.embed_iframe(
+                        page.root(),
+                        ad,
+                        Rect::new(100.0, y, creative.width, creative.height),
+                    )
+                    .expect("embed");
                     deployed_frame = Some(ad);
                     window = screen.add_window(
-                        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+                        WindowKind::Browser {
+                            tabs: vec![Tab::new(page)],
+                            active: TabId(0),
+                        },
                         Rect::new(0.0, 0.0, 1280.0, 880.0),
                         80.0,
                     );
@@ -203,16 +257,26 @@ pub fn run_adblock_test(seed: u64) -> AdblockOutcome {
                     // the page renders without the ad or the tag.
                     outcome.blocked += 1;
                     window = screen.add_window(
-                        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+                        WindowKind::Browser {
+                            tabs: vec![Tab::new(page)],
+                            active: TabId(0),
+                        },
                         Rect::new(0.0, 0.0, 1280.0, 880.0),
                         80.0,
                     );
                 }
                 let mut engine = Engine::new(EngineConfig::default_desktop(), screen);
                 if let Some(frame) = deployed_frame {
-                    let cfg = QTagConfig::new(1, 1, Rect::from_origin_size(Point::ORIGIN, creative));
+                    let cfg =
+                        QTagConfig::new(1, 1, Rect::from_origin_size(Point::ORIGIN, creative));
                     engine
-                        .attach_script(window, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+                        .attach_script(
+                            window,
+                            Some(TabId(0)),
+                            frame,
+                            Origin::https("dsp.example"),
+                            Box::new(QTag::new(cfg)),
+                        )
                         .expect("attach");
                 }
                 engine.run_for(SimDuration::from_secs(2));
@@ -232,13 +296,23 @@ pub fn run_privacy_browser_test(seed: u64) -> bool {
     assert!(blocker.cookies_blocked());
 
     let creative = Size::MEDIUM_RECTANGLE;
-    let mut page = Page::new(Origin::https("testing-site.example"), Size::new(1280.0, 3000.0));
+    let mut page = Page::new(
+        Origin::https("testing-site.example"),
+        Size::new(1280.0, 3000.0),
+    );
     let ad = page.create_frame(Origin::https("dsp.example"), creative);
-    page.embed_iframe(page.root(), ad, Rect::new(200.0, 150.0, creative.width, creative.height))
-        .expect("embed");
+    page.embed_iframe(
+        page.root(),
+        ad,
+        Rect::new(200.0, 150.0, creative.width, creative.height),
+    )
+    .expect("embed");
     let mut screen = Screen::desktop();
     let window = screen.add_window(
-        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page)],
+            active: TabId(0),
+        },
         Rect::new(0.0, 0.0, 1280.0, 880.0),
         80.0,
     );
@@ -251,10 +325,20 @@ pub fn run_privacy_browser_test(seed: u64) -> bool {
     );
     let cfg = QTagConfig::new(1, 1, Rect::from_origin_size(Point::ORIGIN, creative));
     engine
-        .attach_script(window, Some(TabId(0)), ad, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+        .attach_script(
+            window,
+            Some(TabId(0)),
+            ad,
+            Origin::https("dsp.example"),
+            Box::new(QTag::new(cfg)),
+        )
         .expect("attach");
     engine.run_for(SimDuration::from_secs(2));
-    let events: Vec<_> = engine.drain_outbox().into_iter().map(|b| b.beacon.event).collect();
+    let events: Vec<_> = engine
+        .drain_outbox()
+        .into_iter()
+        .map(|b| b.beacon.event)
+        .collect();
     events.contains(&EventKind::Measurable) && events.contains(&EventKind::InView)
 }
 
@@ -281,7 +365,10 @@ mod tests {
     fn adblockers_block_everything() {
         let out = run_adblock_test(5);
         assert_eq!(out.attempts, 300);
-        assert_eq!(out.blocked, 300, "every blocked attempt must sever delivery");
+        assert_eq!(
+            out.blocked, 300,
+            "every blocked attempt must sever delivery"
+        );
         assert_eq!(out.stray_beacons, 0);
     }
 

@@ -59,7 +59,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn ok_outcome() -> ScenarioOutcome {
-        ScenarioOutcome { in_view: true, out_of_view: true, any_event: true }
+        ScenarioOutcome {
+            in_view: true,
+            out_of_view: true,
+            any_event: true,
+        }
     }
 
     #[test]
@@ -105,6 +109,9 @@ mod tests {
         }
         let rate = f64::from(failures) / (7.0 * f64::from(runs_per_scenario));
         let expected = 2.0 / 7.0 * faults.fault_rate;
-        assert!((rate - expected).abs() < 0.01, "overall fault share {rate} vs {expected}");
+        assert!(
+            (rate - expected).abs() < 0.01,
+            "overall fault share {rate} vs {expected}"
+        );
     }
 }

@@ -138,7 +138,8 @@ mod tests {
 
     #[test]
     fn faultless_smoke_matrix_is_perfect() {
-        let results = run_certification(&CertificationMatrix::smoke(2), AutomationFaults::none(), 1);
+        let results =
+            run_certification(&CertificationMatrix::smoke(2), AutomationFaults::none(), 1);
         assert_eq!(results.accuracy(), 1.0, "{results:?}");
         assert_eq!(results.total.silent, 0);
     }

@@ -46,7 +46,10 @@ impl MobileScenario {
 
     /// Whether an out-of-view event is part of the expected result.
     pub fn expects_out_of_view(self) -> bool {
-        matches!(self, MobileScenario::AppBackgrounded | MobileScenario::AppObscured)
+        matches!(
+            self,
+            MobileScenario::AppBackgrounded | MobileScenario::AppObscured
+        )
     }
 
     /// Grades an outcome for this scenario.
@@ -65,14 +68,21 @@ impl MobileScenario {
 pub fn run_mobile_scenario(scenario: MobileScenario, os: OsKind, seed: u64) -> ScenarioOutcome {
     let creative = Size::MOBILE_BANNER;
     // App page: 360 wide, 3 screens tall inside the webview.
-    let mut page = Page::new(Origin::https("app.content.example"), Size::new(360.0, 2000.0));
+    let mut page = Page::new(
+        Origin::https("app.content.example"),
+        Size::new(360.0, 2000.0),
+    );
     let ad_frame = page.create_frame(Origin::https("creative.dsp.example"), creative);
     let ad_y = match scenario {
         MobileScenario::InAppScrolledIn => 1_200.0, // below the fold
         _ => 120.0,
     };
-    page.embed_iframe(page.root(), ad_frame, Rect::new(20.0, ad_y, creative.width, creative.height))
-        .expect("embed ad");
+    page.embed_iframe(
+        page.root(),
+        ad_frame,
+        Rect::new(20.0, ad_y, creative.width, creative.height),
+    )
+    .expect("embed ad");
 
     let mut screen = Screen::phone();
     let window = screen.add_window(
@@ -85,14 +95,23 @@ pub fn run_mobile_scenario(scenario: MobileScenario, os: OsKind, seed: u64) -> S
     let mut engine = Engine::new(
         EngineConfig {
             profile,
-            cpu: CpuLoadModel::Noisy { base: 0.15, amplitude: 0.10 },
+            cpu: CpuLoadModel::Noisy {
+                base: 0.15,
+                amplitude: 0.10,
+            },
             seed,
         },
         screen,
     );
     let cfg = QTagConfig::new(1, 1, Rect::from_origin_size(Point::ORIGIN, creative));
     engine
-        .attach_script(window, None, ad_frame, Origin::https("creative.dsp.example"), Box::new(QTag::new(cfg)))
+        .attach_script(
+            window,
+            None,
+            ad_frame,
+            Origin::https("creative.dsp.example"),
+            Box::new(QTag::new(cfg)),
+        )
         .expect("attach qtag");
 
     match scenario {
@@ -108,14 +127,19 @@ pub fn run_mobile_scenario(scenario: MobileScenario, os: OsKind, seed: u64) -> S
         }
         MobileScenario::AppBackgrounded => {
             engine.run_for(SimDuration::from_millis(2_000));
-            engine.screen_mut().minimize(window).expect("background app");
+            engine
+                .screen_mut()
+                .minimize(window)
+                .expect("background app");
             engine.run_for(SimDuration::from_secs(4));
         }
         MobileScenario::AppObscured => {
             engine.run_for(SimDuration::from_millis(2_000));
-            engine
-                .screen_mut()
-                .add_window(WindowKind::OpaqueApp, Rect::new(0.0, 0.0, 360.0, 740.0), 0.0);
+            engine.screen_mut().add_window(
+                WindowKind::OpaqueApp,
+                Rect::new(0.0, 0.0, 360.0, 740.0),
+                0.0,
+            );
             engine.run_for(SimDuration::from_secs(4));
         }
         MobileScenario::DeviceRotated => {
@@ -166,12 +190,23 @@ mod tests {
     fn backgrounding_before_criteria_never_views() {
         // Variant: app backgrounded at 400 ms — before the 1 s criterion.
         let creative = Size::MOBILE_BANNER;
-        let mut page = Page::new(Origin::https("app.content.example"), Size::new(360.0, 2000.0));
+        let mut page = Page::new(
+            Origin::https("app.content.example"),
+            Size::new(360.0, 2000.0),
+        );
         let ad = page.create_frame(Origin::https("dsp.example"), creative);
-        page.embed_iframe(page.root(), ad, Rect::new(20.0, 120.0, creative.width, creative.height))
-            .unwrap();
+        page.embed_iframe(
+            page.root(),
+            ad,
+            Rect::new(20.0, 120.0, creative.width, creative.height),
+        )
+        .unwrap();
         let mut screen = Screen::phone();
-        let w = screen.add_window(WindowKind::AppWebView { page }, Rect::new(0.0, 0.0, 360.0, 740.0), 56.0);
+        let w = screen.add_window(
+            WindowKind::AppWebView { page },
+            Rect::new(0.0, 0.0, 360.0, 740.0),
+            56.0,
+        );
         let mut engine = Engine::new(
             EngineConfig {
                 profile: DeviceProfile::in_app_webview(OsKind::Android, true),
@@ -182,19 +217,37 @@ mod tests {
         );
         let cfg = QTagConfig::new(1, 1, Rect::from_origin_size(Point::ORIGIN, creative));
         engine
-            .attach_script(w, None, ad, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+            .attach_script(
+                w,
+                None,
+                ad,
+                Origin::https("dsp.example"),
+                Box::new(QTag::new(cfg)),
+            )
             .unwrap();
         engine.run_for(SimDuration::from_millis(400));
         engine.screen_mut().minimize(w).unwrap();
         engine.run_for(SimDuration::from_secs(3));
-        let events: Vec<_> = engine.drain_outbox().into_iter().map(|o| o.beacon.event).collect();
+        let events: Vec<_> = engine
+            .drain_outbox()
+            .into_iter()
+            .map(|o| o.beacon.event)
+            .collect();
         assert!(!events.contains(&EventKind::InView));
     }
 
     #[test]
     fn grading_matrix() {
-        let both = ScenarioOutcome { in_view: true, out_of_view: true, any_event: true };
-        let only_in = ScenarioOutcome { in_view: true, out_of_view: false, any_event: true };
+        let both = ScenarioOutcome {
+            in_view: true,
+            out_of_view: true,
+            any_event: true,
+        };
+        let only_in = ScenarioOutcome {
+            in_view: true,
+            out_of_view: false,
+            any_event: true,
+        };
         assert!(MobileScenario::InAppVisible.correct(only_in));
         assert!(!MobileScenario::InAppVisible.correct(both));
         assert!(MobileScenario::AppBackgrounded.correct(both));

@@ -70,8 +70,10 @@ pub enum AdFormatUnderTest {
 
 impl AdFormatUnderTest {
     /// Both formats.
-    pub const ALL: [AdFormatUnderTest; 2] =
-        [AdFormatUnderTest::DesktopBanner, AdFormatUnderTest::DesktopVideo];
+    pub const ALL: [AdFormatUnderTest; 2] = [
+        AdFormatUnderTest::DesktopBanner,
+        AdFormatUnderTest::DesktopVideo,
+    ];
 
     /// Creative size.
     pub fn size(self) -> Size {
@@ -108,12 +110,30 @@ impl BrowserOsPair {
     /// The full §4.2 matrix: Firefox/Chrome/IE11 on Windows 10,
     /// Safari/Firefox/Chrome on macOS.
     pub const ALL: [BrowserOsPair; 6] = [
-        BrowserOsPair { browser: BrowserKind::Firefox, os: OsKind::Windows10 },
-        BrowserOsPair { browser: BrowserKind::Chrome, os: OsKind::Windows10 },
-        BrowserOsPair { browser: BrowserKind::Ie11, os: OsKind::Windows10 },
-        BrowserOsPair { browser: BrowserKind::Safari, os: OsKind::MacOs },
-        BrowserOsPair { browser: BrowserKind::Firefox, os: OsKind::MacOs },
-        BrowserOsPair { browser: BrowserKind::Chrome, os: OsKind::MacOs },
+        BrowserOsPair {
+            browser: BrowserKind::Firefox,
+            os: OsKind::Windows10,
+        },
+        BrowserOsPair {
+            browser: BrowserKind::Chrome,
+            os: OsKind::Windows10,
+        },
+        BrowserOsPair {
+            browser: BrowserKind::Ie11,
+            os: OsKind::Windows10,
+        },
+        BrowserOsPair {
+            browser: BrowserKind::Safari,
+            os: OsKind::MacOs,
+        },
+        BrowserOsPair {
+            browser: BrowserKind::Firefox,
+            os: OsKind::MacOs,
+        },
+        BrowserOsPair {
+            browser: BrowserKind::Chrome,
+            os: OsKind::MacOs,
+        },
     ];
 }
 
@@ -156,13 +176,21 @@ pub fn run_scenario(
 
     // Testing website: 1280×3000 page, ad in a double cross-domain
     // iframe fully inside the initial viewport (§4.2's setup).
-    let mut page = Page::new(Origin::https("testing-site.example"), Size::new(1280.0, 3000.0));
+    let mut page = Page::new(
+        Origin::https("testing-site.example"),
+        Size::new(1280.0, 3000.0),
+    );
     let ssp = page.create_frame(Origin::https("wrapper.adnet.example"), creative);
     let ad_pos = Rect::new(200.0, 150.0, creative.width, creative.height);
-    page.embed_iframe(page.root(), ssp, ad_pos).expect("embed ssp");
+    page.embed_iframe(page.root(), ssp, ad_pos)
+        .expect("embed ssp");
     let dsp = page.create_frame(Origin::https("creative.dsp.example"), creative);
-    page.embed_iframe(ssp, dsp, Rect::from_origin_size(qtag_geometry::Point::ORIGIN, creative))
-        .expect("embed dsp");
+    page.embed_iframe(
+        ssp,
+        dsp,
+        Rect::from_origin_size(qtag_geometry::Point::ORIGIN, creative),
+    )
+    .expect("embed dsp");
 
     let mut screen = Screen::desktop();
     // Test 2 starts with a smaller window to have something to enlarge.
@@ -185,13 +213,20 @@ pub fn run_scenario(
             profile,
             // Mild, seed-dependent jank: what actually differs between
             // repetitions on a real lab machine.
-            cpu: CpuLoadModel::Noisy { base: 0.10, amplitude: 0.10 },
+            cpu: CpuLoadModel::Noisy {
+                base: 0.10,
+                amplitude: 0.10,
+            },
             seed,
         },
         screen,
     );
 
-    let mut cfg = QTagConfig::new(1, 1, Rect::from_origin_size(qtag_geometry::Point::ORIGIN, creative));
+    let mut cfg = QTagConfig::new(
+        1,
+        1,
+        Rect::from_origin_size(qtag_geometry::Point::ORIGIN, creative),
+    );
     if format.format() == AdFormat::Video {
         cfg = cfg.video();
     }
@@ -243,9 +278,11 @@ pub fn run_scenario(
             engine.run_for(SimDuration::from_secs(2));
         }
         Scenario::BrowserObscured => {
-            engine
-                .screen_mut()
-                .add_window(WindowKind::OpaqueApp, Rect::new(0.0, 0.0, 1920.0, 1080.0), 0.0);
+            engine.screen_mut().add_window(
+                WindowKind::OpaqueApp,
+                Rect::new(0.0, 0.0, 1920.0, 1080.0),
+                0.0,
+            );
             engine.run_for(SimDuration::from_secs(4));
         }
         Scenario::TabObscured => {
@@ -290,10 +327,7 @@ mod tests {
     fn all_seven_scenarios_pass_for_banner() {
         for s in Scenario::ALL {
             let out = run(s, AdFormatUnderTest::DesktopBanner);
-            assert!(
-                out.correct_for(s),
-                "scenario {s:?} failed: {out:?}"
-            );
+            assert!(out.correct_for(s), "scenario {s:?} failed: {out:?}");
         }
     }
 
@@ -314,17 +348,31 @@ mod tests {
                 pair,
                 7,
             );
-            assert!(out.correct_for(Scenario::CrossDomainIframes), "{pair:?}: {out:?}");
+            assert!(
+                out.correct_for(Scenario::CrossDomainIframes),
+                "{pair:?}: {out:?}"
+            );
         }
     }
 
     #[test]
     fn grading_matches_table_one() {
-        let both = ScenarioOutcome { in_view: true, out_of_view: true, any_event: true };
-        let only_in = ScenarioOutcome { in_view: true, out_of_view: false, any_event: true };
+        let both = ScenarioOutcome {
+            in_view: true,
+            out_of_view: true,
+            any_event: true,
+        };
+        let only_in = ScenarioOutcome {
+            in_view: true,
+            out_of_view: false,
+            any_event: true,
+        };
         let none = ScenarioOutcome::default();
         assert!(only_in.correct_for(Scenario::OutOfFocus));
-        assert!(!both.correct_for(Scenario::OutOfFocus), "false out-of-view must fail 1–3");
+        assert!(
+            !both.correct_for(Scenario::OutOfFocus),
+            "false out-of-view must fail 1–3"
+        );
         assert!(both.correct_for(Scenario::MovedOffScreen));
         assert!(!only_in.correct_for(Scenario::PageScrolled));
         assert!(!none.correct_for(Scenario::CrossDomainIframes));

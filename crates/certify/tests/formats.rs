@@ -22,11 +22,18 @@ fn run_with_visibility(
     // height is above the fold line.
     let visible_px = creative.height * visible_fraction;
     let y = 800.0 - visible_px;
-    page.embed_iframe(page.root(), frame, Rect::new(100.0, y, creative.width, creative.height))
-        .unwrap();
+    page.embed_iframe(
+        page.root(),
+        frame,
+        Rect::new(100.0, y, creative.width, creative.height),
+    )
+    .unwrap();
     let mut screen = Screen::desktop();
     let w = screen.add_window(
-        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page)],
+            active: TabId(0),
+        },
         Rect::new(0.0, 0.0, 1280.0, 880.0),
         80.0,
     );
@@ -34,17 +41,30 @@ fn run_with_visibility(
     let mut cfg = QTagConfig::new(1, 1, Rect::from_origin_size(Point::ORIGIN, creative));
     cfg.ad_format = format;
     engine
-        .attach_script(w, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+        .attach_script(
+            w,
+            Some(TabId(0)),
+            frame,
+            Origin::https("dsp.example"),
+            Box::new(QTag::new(cfg)),
+        )
         .unwrap();
     engine.run_for(SimDuration::from_millis(run_ms));
-    engine.drain_outbox().into_iter().map(|o| o.beacon.event).collect()
+    engine
+        .drain_outbox()
+        .into_iter()
+        .map(|o| o.beacon.event)
+        .collect()
 }
 
 #[test]
 fn display_needs_fifty_percent() {
     // 40 % visible: never viewed.
     let evs = run_with_visibility(Size::MEDIUM_RECTANGLE, None, 0.40, 2_500);
-    assert!(!evs.contains(&EventKind::InView), "40% must not view a display ad");
+    assert!(
+        !evs.contains(&EventKind::InView),
+        "40% must not view a display ad"
+    );
     // 60 % visible: viewed.
     let evs = run_with_visibility(Size::MEDIUM_RECTANGLE, None, 0.60, 2_500);
     assert!(evs.contains(&EventKind::InView));
@@ -53,7 +73,7 @@ fn display_needs_fifty_percent() {
 #[test]
 fn large_display_needs_only_thirty_percent() {
     let billboard = Size::new(970.0, 250.0); // auto-classifies as large display
-    // 40 % visible satisfies the 30 % large-display threshold …
+                                             // 40 % visible satisfies the 30 % large-display threshold …
     let evs = run_with_visibility(billboard, None, 0.40, 2_500);
     assert!(
         evs.contains(&EventKind::InView),
@@ -80,7 +100,10 @@ fn video_needs_two_continuous_seconds() {
     let player = Size::VIDEO_PLAYER;
     // Fully visible for 1.5 s: not viewed (display would be).
     let evs = run_with_visibility(player, Some(AdFormat::Video), 1.0, 1_500);
-    assert!(!evs.contains(&EventKind::InView), "1.5s must not view a video ad");
+    assert!(
+        !evs.contains(&EventKind::InView),
+        "1.5s must not view a video ad"
+    );
     // Fully visible for 2.5 s: viewed.
     let evs = run_with_visibility(player, Some(AdFormat::Video), 1.0, 2_500);
     assert!(evs.contains(&EventKind::InView));
@@ -91,28 +114,49 @@ fn video_interruption_restarts_the_two_second_timer() {
     let player = Size::VIDEO_PLAYER;
     let mut page = Page::new(Origin::https("pub.example"), Size::new(1280.0, 4000.0));
     let frame = page.create_frame(Origin::https("dsp.example"), player);
-    page.embed_iframe(page.root(), frame, Rect::new(100.0, 100.0, player.width, player.height))
-        .unwrap();
+    page.embed_iframe(
+        page.root(),
+        frame,
+        Rect::new(100.0, 100.0, player.width, player.height),
+    )
+    .unwrap();
     let mut screen = Screen::desktop();
     let w = screen.add_window(
-        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page)],
+            active: TabId(0),
+        },
         Rect::new(0.0, 0.0, 1280.0, 880.0),
         80.0,
     );
     let mut engine = Engine::new(EngineConfig::default_desktop(), screen);
     let cfg = QTagConfig::new(1, 1, Rect::from_origin_size(Point::ORIGIN, player)).video();
     engine
-        .attach_script(w, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+        .attach_script(
+            w,
+            Some(TabId(0)),
+            frame,
+            Origin::https("dsp.example"),
+            Box::new(QTag::new(cfg)),
+        )
         .unwrap();
 
     // 1.5 s visible, 0.5 s scrolled away, 1.5 s visible again: two
     // partial exposures must NOT add up to the 2 s requirement.
     engine.run_for(SimDuration::from_millis(1_500));
-    engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 2000.0)).unwrap();
+    engine
+        .scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 2000.0))
+        .unwrap();
     engine.run_for(SimDuration::from_millis(500));
-    engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 0.0)).unwrap();
+    engine
+        .scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 0.0))
+        .unwrap();
     engine.run_for(SimDuration::from_millis(1_500));
-    let evs: Vec<_> = engine.drain_outbox().into_iter().map(|o| o.beacon.event).collect();
+    let evs: Vec<_> = engine
+        .drain_outbox()
+        .into_iter()
+        .map(|o| o.beacon.event)
+        .collect();
     assert!(
         !evs.contains(&EventKind::InView),
         "two 1.5s exposures must not satisfy the continuous 2s rule: {evs:?}"
@@ -120,6 +164,10 @@ fn video_interruption_restarts_the_two_second_timer() {
 
     // A further continuous second completes a fresh 2s window.
     engine.run_for(SimDuration::from_millis(700));
-    let evs: Vec<_> = engine.drain_outbox().into_iter().map(|o| o.beacon.event).collect();
+    let evs: Vec<_> = engine
+        .drain_outbox()
+        .into_iter()
+        .map(|o| o.beacon.event)
+        .collect();
     assert!(evs.contains(&EventKind::InView));
 }

@@ -15,7 +15,10 @@ use qtag_wire::EventKind;
 /// chain sits at `slot` on the publisher page.
 fn build_chain(depth: usize, slot: Rect) -> (Page, qtag_dom::FrameId) {
     let creative = Size::MEDIUM_RECTANGLE;
-    let mut page = Page::new(Origin::https("publisher.example"), Size::new(1280.0, 3000.0));
+    let mut page = Page::new(
+        Origin::https("publisher.example"),
+        Size::new(1280.0, 3000.0),
+    );
     let mut parent = page.root();
     let mut rect = slot;
     for level in 0..depth {
@@ -34,7 +37,10 @@ fn run_at_depth(depth: usize, in_view_position: bool) -> Vec<EventKind> {
     let (page, inner) = build_chain(depth, Rect::new(300.0, y, 300.0, 250.0));
     let mut screen = Screen::desktop();
     let window = screen.add_window(
-        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page)],
+            active: TabId(0),
+        },
         Rect::new(0.0, 0.0, 1280.0, 880.0),
         80.0,
     );
@@ -42,10 +48,20 @@ fn run_at_depth(depth: usize, in_view_position: bool) -> Vec<EventKind> {
     let cfg = QTagConfig::new(1, 1, Rect::new(0.0, 0.0, 300.0, 250.0));
     let inner_origin = Origin::https(&format!("reseller{}.example", depth - 1));
     engine
-        .attach_script(window, Some(TabId(0)), inner, inner_origin, Box::new(QTag::new(cfg)))
+        .attach_script(
+            window,
+            Some(TabId(0)),
+            inner,
+            inner_origin,
+            Box::new(QTag::new(cfg)),
+        )
         .expect("attach");
     engine.run_for(SimDuration::from_secs(2));
-    engine.drain_outbox().into_iter().map(|o| o.beacon.event).collect()
+    engine
+        .drain_outbox()
+        .into_iter()
+        .map(|o| o.beacon.event)
+        .collect()
 }
 
 #[test]
@@ -91,19 +107,34 @@ fn scroll_events_propagate_through_deep_chains() {
     let (page, inner) = build_chain(6, Rect::new(300.0, 150.0, 300.0, 250.0));
     let mut screen = Screen::desktop();
     let window = screen.add_window(
-        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page)],
+            active: TabId(0),
+        },
         Rect::new(0.0, 0.0, 1280.0, 880.0),
         80.0,
     );
     let mut engine = Engine::new(EngineConfig::default_desktop(), screen);
     let cfg = QTagConfig::new(1, 1, Rect::new(0.0, 0.0, 300.0, 250.0));
     engine
-        .attach_script(window, Some(TabId(0)), inner, Origin::https("reseller5.example"), Box::new(QTag::new(cfg)))
+        .attach_script(
+            window,
+            Some(TabId(0)),
+            inner,
+            Origin::https("reseller5.example"),
+            Box::new(QTag::new(cfg)),
+        )
         .unwrap();
     engine.run_for(SimDuration::from_secs(2));
-    engine.scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 2_000.0)).unwrap();
+    engine
+        .scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 2_000.0))
+        .unwrap();
     engine.run_for(SimDuration::from_secs(2));
-    let events: Vec<_> = engine.drain_outbox().into_iter().map(|o| o.beacon.event).collect();
+    let events: Vec<_> = engine
+        .drain_outbox()
+        .into_iter()
+        .map(|o| o.beacon.event)
+        .collect();
     assert!(events.contains(&EventKind::InView));
     assert!(events.contains(&EventKind::OutOfView));
 }

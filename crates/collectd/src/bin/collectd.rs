@@ -1,0 +1,89 @@
+//! `collectd` — run the beacon collector as a foreground daemon.
+//!
+//! ```text
+//! collectd [--bind ADDR] [--max-conns N] [--read-timeout-ms MS]
+//!          [--workers N] [--capacity N] [--duration-secs S]
+//! ```
+//!
+//! Listens for binary and JSON beacon streams on `ADDR` (default
+//! `127.0.0.1:4050`). Runs for `--duration-secs` if given, otherwise
+//! until stdin closes or a line containing `quit` arrives. On exit it
+//! shuts down gracefully — draining in-flight frames into the store —
+//! and prints the final ops snapshot as JSON on stdout.
+
+use parking_lot::Mutex;
+use qtag_collectd::{Collector, CollectorConfig};
+use qtag_server::ImpressionStore;
+use std::io::BufRead;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn parse_args() -> (CollectorConfig, Option<Duration>) {
+    let mut cfg = CollectorConfig {
+        bind: "127.0.0.1:4050".to_string(),
+        ..CollectorConfig::default()
+    };
+    let mut duration = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> &str {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match flag {
+            "--bind" => cfg.bind = value(i).to_string(),
+            "--max-conns" => cfg.max_connections = value(i).parse().expect("--max-conns: usize"),
+            "--read-timeout-ms" => {
+                cfg.read_timeout =
+                    Duration::from_millis(value(i).parse().expect("--read-timeout-ms: u64"))
+            }
+            "--workers" => cfg.ingest_workers = value(i).parse().expect("--workers: usize"),
+            "--capacity" => cfg.inlet_capacity = value(i).parse().expect("--capacity: usize"),
+            "--duration-secs" => {
+                duration = Some(Duration::from_secs(
+                    value(i).parse().expect("--duration-secs: u64"),
+                ))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: collectd [--bind ADDR] [--max-conns N] [--read-timeout-ms MS] \
+                     [--workers N] [--capacity N] [--duration-secs S]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+    (cfg, duration)
+}
+
+fn main() {
+    let (cfg, duration) = parse_args();
+    let store = Arc::new(Mutex::new(ImpressionStore::new()));
+    let collector = Collector::start(cfg, store).expect("bind listener");
+    eprintln!("collectd: listening on {}", collector.local_addr());
+
+    match duration {
+        Some(d) => std::thread::sleep(d),
+        None => {
+            eprintln!("collectd: running until stdin closes (or a `quit` line)");
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                match line {
+                    Ok(l) if l.trim() == "quit" => break,
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+
+    let ops = collector.shutdown();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&ops).expect("ops snapshot serializes")
+    );
+}

@@ -1,0 +1,331 @@
+//! The daemon: listener, acceptor thread, connection supervision,
+//! graceful shutdown.
+
+use crate::config::CollectorConfig;
+use crate::connection::{self, ConnCtx};
+use crate::stats::{CollectorStats, OpsSnapshot};
+use parking_lot::Mutex;
+use qtag_server::{ImpressionStore, IngestService, IngestStats};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running collector daemon. Start with [`Collector::start`], stop
+/// with [`Collector::shutdown`] (graceful: drains in-flight frames
+/// into the store before returning).
+pub struct Collector {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    ingest: Option<IngestService>,
+    ingest_stats: Arc<IngestStats>,
+    stats: Arc<CollectorStats>,
+    store: Arc<Mutex<ImpressionStore>>,
+}
+
+impl Collector {
+    /// Binds the listener and spawns the acceptor. Beacons land in
+    /// `store`; share the `Arc` to read verdicts while the daemon
+    /// runs.
+    pub fn start(cfg: CollectorConfig, store: Arc<Mutex<ImpressionStore>>) -> io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.bind)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let ingest = IngestService::start_with_capacity(
+            Arc::clone(&store),
+            cfg.ingest_workers,
+            cfg.inlet_capacity,
+        );
+        let ingest_stats = Arc::clone(ingest.stats_arc());
+        let stats = Arc::new(CollectorStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let ctx_proto = ConnCtx {
+            cfg: Arc::new(cfg),
+            stats: Arc::clone(&stats),
+            inlet: ingest.inlet(),
+            shutdown: Arc::clone(&shutdown),
+        };
+        let acceptor = std::thread::spawn(move || accept_loop(listener, ctx_proto));
+
+        Ok(Collector {
+            local_addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            ingest: Some(ingest),
+            ingest_stats,
+            stats,
+            store,
+        })
+    }
+
+    /// The actually-bound address (useful with a `:0` bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live daemon counters.
+    pub fn stats(&self) -> &Arc<CollectorStats> {
+        &self.stats
+    }
+
+    /// The shared impression store.
+    pub fn store(&self) -> &Arc<Mutex<ImpressionStore>> {
+        &self.store
+    }
+
+    /// Combined daemon + ingestion counters at this instant.
+    pub fn ops_snapshot(&self) -> OpsSnapshot {
+        OpsSnapshot {
+            collector: self.stats.snapshot(),
+            ingest: self.ingest_stats.snapshot(),
+        }
+    }
+
+    /// Graceful shutdown, in dependency order: stop accepting, let
+    /// every connection thread drain its socket and decoder, drop the
+    /// beacon senders, then drain the ingestion service so every
+    /// accepted beacon reaches the store. Returns the final counters.
+    pub fn shutdown(mut self) -> OpsSnapshot {
+        self.stop();
+        OpsSnapshot {
+            collector: self.stats.snapshot(),
+            ingest: self.ingest_stats.snapshot(),
+        }
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(acceptor) = self.acceptor.take() {
+            // Joins every connection thread too (the acceptor owns
+            // them), and drops the acceptor's inlet clone with it.
+            let _ = acceptor.join();
+        }
+        if let Some(ingest) = self.ingest.take() {
+            ingest.shutdown();
+        }
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        // A dropped (not shut-down) collector must not leak threads.
+        self.stop();
+    }
+}
+
+/// Spawns a reader thread for an accepted connection, or sheds it if
+/// the connection cap is reached.
+fn supervise(stream: std::net::TcpStream, ctx: &ConnCtx, handlers: &mut Vec<JoinHandle<()>>) {
+    handlers.retain(|h| !h.is_finished());
+    let active = ctx.stats.connections_active.load(Ordering::Relaxed);
+    if active >= ctx.cfg.max_connections as u64 {
+        // Shed the connection whole: close immediately so the client
+        // sees EOF/reset rather than a stalled socket.
+        ctx.stats
+            .connections_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        drop(stream);
+        return;
+    }
+    ctx.stats
+        .connections_accepted
+        .fetch_add(1, Ordering::Relaxed);
+    ctx.stats.connections_active.fetch_add(1, Ordering::Relaxed);
+    let conn_ctx = ctx.clone();
+    handlers.push(std::thread::spawn(move || {
+        connection::serve(stream, conn_ctx.clone());
+        conn_ctx
+            .stats
+            .connections_active
+            .fetch_sub(1, Ordering::Relaxed);
+    }));
+}
+
+/// Acceptor: non-blocking accept + per-connection thread supervision.
+fn accept_loop(listener: TcpListener, ctx: ConnCtx) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !ctx.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => supervise(stream, &ctx, &mut handlers),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ctx.cfg.poll_interval);
+            }
+            Err(_) => {
+                // Transient accept error (e.g. EMFILE): back off.
+                std::thread::sleep(ctx.cfg.poll_interval);
+            }
+        }
+    }
+    // Shutdown drain: clients that connected (and possibly already
+    // sent and closed) before the flag flipped may still sit in the
+    // OS accept backlog. Serve them too — their readers drain any
+    // buffered bytes before exiting — so a graceful shutdown never
+    // strands data behind an unaccepted connection.
+    // An Err here is WouldBlock: the backlog is empty.
+    while let Ok((stream, _peer)) = listener.accept() {
+        supervise(stream, &ctx, &mut handlers);
+    }
+    drop(listener); // stop the OS queueing new connections
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtag_wire::framing::encode_frames;
+    use qtag_wire::{json, AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
+    use std::io::Write;
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    fn beacon(id: u64, seq: u16, event: EventKind) -> Beacon {
+        Beacon {
+            impression_id: id,
+            campaign_id: 1,
+            event,
+            timestamp_us: 1_000 * u64::from(seq),
+            ad_format: AdFormat::Display,
+            visible_fraction_milli: 750,
+            exposure_ms: 1200,
+            os: OsKind::Windows10,
+            browser: BrowserKind::Chrome,
+            site_type: SiteType::Browser,
+            seq,
+        }
+    }
+
+    fn start_default() -> Collector {
+        let store = Arc::new(Mutex::new(ImpressionStore::new()));
+        Collector::start(CollectorConfig::default(), store).expect("bind localhost")
+    }
+
+    #[test]
+    fn binary_client_round_trips_through_the_daemon() {
+        let collector = start_default();
+        collector.store().lock().record_served(served(42));
+        let mut sock = TcpStream::connect(collector.local_addr()).unwrap();
+        let stream = encode_frames(&[
+            beacon(42, 0, EventKind::Measurable),
+            beacon(42, 1, EventKind::InView),
+        ])
+        .unwrap();
+        sock.write_all(&stream).unwrap();
+        drop(sock);
+        let ops = collector.shutdown();
+        assert_eq!(ops.collector.frames_decoded, 2);
+        assert_eq!(ops.ingest.beacons, 2);
+        assert!(ops.conserves(2), "{ops:?}");
+    }
+
+    #[test]
+    fn json_client_is_sniffed_and_decoded() {
+        let collector = start_default();
+        let store = Arc::clone(collector.store());
+        store.lock().record_served(served(7));
+        let mut sock = TcpStream::connect(collector.local_addr()).unwrap();
+        let mut payload = json::encode(&beacon(7, 0, EventKind::Measurable)).unwrap();
+        payload.push('\n');
+        payload.push_str(&json::encode(&beacon(7, 1, EventKind::InView)).unwrap());
+        payload.push('\n');
+        payload.push_str("this is not json\n");
+        sock.write_all(payload.as_bytes()).unwrap();
+        drop(sock);
+        let ops = collector.shutdown();
+        assert_eq!(ops.collector.frames_decoded, 2);
+        assert_eq!(ops.collector.corrupt_frames, 1);
+        assert!(ops.conserves(3), "{ops:?}");
+        assert_eq!(store.lock().verdict(7), (true, true));
+    }
+
+    #[test]
+    fn connection_cap_rejects_excess_clients() {
+        let cfg = CollectorConfig {
+            max_connections: 1,
+            ..CollectorConfig::default()
+        };
+        let store = Arc::new(Mutex::new(ImpressionStore::new()));
+        let collector = Collector::start(cfg, store).unwrap();
+        let _first = TcpStream::connect(collector.local_addr()).unwrap();
+        // Give the acceptor time to register the first connection.
+        std::thread::sleep(Duration::from_millis(100));
+        let _second = TcpStream::connect(collector.local_addr()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while collector
+            .stats()
+            .connections_rejected
+            .load(Ordering::Relaxed)
+            == 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let ops = collector.shutdown();
+        assert_eq!(ops.collector.connections_accepted, 1);
+        assert_eq!(ops.collector.connections_rejected, 1);
+    }
+
+    #[test]
+    fn idle_connection_is_timed_out() {
+        let cfg = CollectorConfig {
+            read_timeout: Duration::from_millis(50),
+            poll_interval: Duration::from_millis(10),
+            ..CollectorConfig::default()
+        };
+        let store = Arc::new(Mutex::new(ImpressionStore::new()));
+        let collector = Collector::start(cfg, store).unwrap();
+        let _sock = TcpStream::connect(collector.local_addr()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while collector
+            .stats()
+            .connections_timed_out
+            .load(Ordering::Relaxed)
+            == 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let ops = collector.shutdown();
+        assert_eq!(ops.collector.connections_timed_out, 1);
+    }
+
+    #[test]
+    fn abrupt_disconnect_mid_frame_loses_only_the_partial_frame() {
+        let collector = start_default();
+        let mut sock = TcpStream::connect(collector.local_addr()).unwrap();
+        let stream = encode_frames(&[beacon(1, 0, EventKind::Measurable)]).unwrap();
+        let mut cut = encode_frames(&[beacon(1, 1, EventKind::InView)]).unwrap();
+        cut.truncate(cut.len() / 2); // die mid-frame
+        sock.write_all(&stream).unwrap();
+        sock.write_all(&cut).unwrap();
+        drop(sock);
+        let ops = collector.shutdown();
+        // Only the fully-written beacon counts as sent.
+        assert_eq!(ops.collector.frames_decoded, 1);
+        assert_eq!(ops.collector.corrupt_frames, 0);
+        assert!(ops.conserves(1), "{ops:?}");
+    }
+
+    #[test]
+    fn dropping_the_collector_does_not_hang() {
+        let collector = start_default();
+        let _sock = TcpStream::connect(collector.local_addr()).unwrap();
+        drop(collector);
+    }
+
+    fn served(id: u64) -> qtag_server::ServedImpression {
+        qtag_server::ServedImpression {
+            impression_id: id,
+            campaign_id: 1,
+            os: OsKind::Windows10,
+            browser: BrowserKind::Chrome,
+            site_type: SiteType::Browser,
+            ad_format: AdFormat::Display,
+        }
+    }
+}

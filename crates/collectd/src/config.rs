@@ -1,0 +1,50 @@
+//! Daemon tunables.
+
+use std::time::Duration;
+
+/// Configuration for [`crate::Collector`].
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Listen address, e.g. `127.0.0.1:4050`. Use port `0` to let the
+    /// OS pick (tests do; read it back via
+    /// [`crate::Collector::local_addr`]).
+    pub bind: String,
+    /// Hard cap on concurrently served connections; connections beyond
+    /// it are accepted, counted as rejected, and immediately closed.
+    pub max_connections: usize,
+    /// How long a connection may stay silent before the daemon drops
+    /// it. This is the per-connection read *budget*, enforced in
+    /// [`CollectorConfig::poll_interval`] steps so shutdown stays
+    /// responsive.
+    pub read_timeout: Duration,
+    /// Granularity of blocking waits (socket read timeout and the
+    /// acceptor's idle sleep). Bounds shutdown latency per thread.
+    pub poll_interval: Duration,
+    /// Longest accepted JSON line (bytes, newline excluded). Overlong
+    /// lines are discarded and counted as one corrupt frame each; the
+    /// binary path is already bounded by the wire format's
+    /// [`qtag_wire::framing::MAX_FRAME_LEN`].
+    pub max_line_len: usize,
+    /// Parser workers inside the embedded [`qtag_server::IngestService`]
+    /// (they serve the chunk path; connection threads decode in-line
+    /// and use the inlet, so 1 is normally enough).
+    pub ingest_workers: usize,
+    /// Capacity of the bounded beacon channel between connection
+    /// threads and the store aggregator. When full, beacons are shed
+    /// and counted rather than stalling connection reads.
+    pub inlet_capacity: usize,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            bind: "127.0.0.1:0".to_string(),
+            max_connections: 256,
+            read_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(10),
+            max_line_len: 1024,
+            ingest_workers: 1,
+            inlet_capacity: qtag_server::DEFAULT_INLET_CAPACITY,
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-connection reader: protocol sniffing, decoding, hand-off.
+
+use crate::config::CollectorConfig;
+use crate::stats::CollectorStats;
+use qtag_server::BeaconInlet;
+use qtag_wire::framing::FrameEvent;
+use qtag_wire::{json, FrameDecoder};
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything a connection thread needs; one clone per connection.
+#[derive(Clone)]
+pub(crate) struct ConnCtx {
+    pub(crate) cfg: Arc<CollectorConfig>,
+    pub(crate) stats: Arc<CollectorStats>,
+    pub(crate) inlet: BeaconInlet,
+    pub(crate) shutdown: Arc<AtomicBool>,
+}
+
+/// Wire protocol of one connection, fixed by its first byte.
+enum Protocol {
+    /// `qtag-wire` length-prefixed binary frames.
+    Binary(FrameDecoder),
+    /// Newline-delimited JSON beacons.
+    Json(JsonLines),
+}
+
+/// Accumulates JSON lines with a length cap.
+struct JsonLines {
+    line: Vec<u8>,
+    /// The current line blew the cap; swallow until its newline and
+    /// count the line corrupt once.
+    overflowing: bool,
+}
+
+impl JsonLines {
+    fn new() -> Self {
+        JsonLines {
+            line: Vec::new(),
+            overflowing: false,
+        }
+    }
+
+    fn feed(&mut self, bytes: &[u8], ctx: &ConnCtx) {
+        for &b in bytes {
+            if b == b'\n' {
+                if self.overflowing {
+                    ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                    self.overflowing = false;
+                } else {
+                    self.finish_line(ctx);
+                }
+                self.line.clear();
+            } else if self.overflowing {
+                // discard until newline
+            } else if self.line.len() >= ctx.cfg.max_line_len {
+                self.overflowing = true;
+                self.line.clear();
+            } else {
+                self.line.push(b);
+            }
+        }
+    }
+
+    fn finish_line(&mut self, ctx: &ConnCtx) {
+        let trimmed: &[u8] = {
+            let mut s = self.line.as_slice();
+            while let [b' ' | b'\t' | b'\r', rest @ ..] = s {
+                s = rest;
+            }
+            while let [rest @ .., b' ' | b'\t' | b'\r'] = s {
+                s = rest;
+            }
+            s
+        };
+        if trimmed.is_empty() {
+            return; // blank keep-alive line, not a frame
+        }
+        let parsed = std::str::from_utf8(trimmed)
+            .ok()
+            .and_then(|s| json::decode(s).ok());
+        match parsed {
+            Some(beacon) => {
+                ctx.stats.frames_decoded.fetch_add(1, Ordering::Relaxed);
+                ctx.inlet.offer(beacon);
+            }
+            None => {
+                ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn drain_binary(dec: &mut FrameDecoder, ctx: &ConnCtx) {
+    while let Some(ev) = dec.next_event() {
+        match ev {
+            FrameEvent::Beacon(b) => {
+                ctx.stats.frames_decoded.fetch_add(1, Ordering::Relaxed);
+                ctx.inlet.offer(b);
+            }
+            FrameEvent::Corrupt(_) => {
+                ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Serves one connection to completion. Returns when the peer closes,
+/// the read-timeout budget is exhausted, or the daemon is shutting
+/// down and the socket has gone quiet — always flushing whatever the
+/// decoder still holds so in-flight frames are never dropped.
+pub(crate) fn serve(stream: TcpStream, ctx: ConnCtx) {
+    // Poll-interval read timeout: bounds both idle detection
+    // granularity and shutdown latency.
+    let _ = stream.set_read_timeout(Some(ctx.cfg.poll_interval));
+    let mut stream = stream;
+    let mut proto: Option<Protocol> = None;
+    let mut buf = vec![0u8; 16 * 1024];
+    let mut idle = Duration::ZERO;
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break, // orderly close: socket fully drained
+            Ok(n) => {
+                idle = Duration::ZERO;
+                ctx.stats.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
+                let p = proto.get_or_insert_with(|| {
+                    if buf[0] == b'{' {
+                        Protocol::Json(JsonLines::new())
+                    } else {
+                        Protocol::Binary(FrameDecoder::new())
+                    }
+                });
+                match p {
+                    Protocol::Binary(dec) => {
+                        dec.extend(&buf[..n]);
+                        drain_binary(dec, &ctx);
+                    }
+                    Protocol::Json(lines) => lines.feed(&buf[..n], &ctx),
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if ctx.shutdown.load(Ordering::Relaxed) {
+                    // Draining for shutdown and the socket is quiet:
+                    // nothing more will be waited for.
+                    break;
+                }
+                idle += ctx.cfg.poll_interval;
+                if idle >= ctx.cfg.read_timeout {
+                    ctx.stats
+                        .connections_timed_out
+                        .fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+            // Abrupt disconnect (reset mid-stream): everything already
+            // read still gets flushed below.
+            Err(_) => break,
+        }
+    }
+    // End-of-stream flush. A truncated binary tail frame stays
+    // buffered in the decoder (the sender never completed it — not
+    // corrupt, not applied); a partial JSON line is likewise dropped.
+    if let Some(Protocol::Binary(mut dec)) = proto.take() {
+        for ev in dec.finish() {
+            match ev {
+                FrameEvent::Beacon(b) => {
+                    ctx.stats.frames_decoded.fetch_add(1, Ordering::Relaxed);
+                    ctx.inlet.offer(b);
+                }
+                FrameEvent::Corrupt(_) => {
+                    ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        ctx.stats
+            .resync_bytes
+            .fetch_add(dec.skipped_bytes(), Ordering::Relaxed);
+    }
+}

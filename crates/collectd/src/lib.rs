@@ -1,0 +1,40 @@
+//! `qtag-collectd`: the beacon-collector daemon.
+//!
+//! The paper's measurement pipeline ends at a collector that tags POST
+//! their beacons to (§4). This crate is that collector as a real
+//! network daemon: a TCP listener accepting the `qtag-wire`
+//! length-prefixed binary protocol and the newline-delimited JSON
+//! protocol on the same port, feeding decoded beacons into
+//! [`qtag_server::IngestService`] through its bounded inlet.
+//!
+//! Shape: a non-blocking acceptor thread supervises one OS thread per
+//! connection (ingestion is parse-bound, not IO-bound, so
+//! thread-per-connection with blocking reads-with-timeout is the
+//! simplest correct shape — no async runtime in the dependency tree).
+//! Every hand-off is a crossbeam channel; overload is shed at the
+//! bounded inlet and *counted*, never silently dropped, so the
+//! end-to-end conservation identity
+//!
+//! ```text
+//! beacons sent == beacons applied + corrupt frames + shed beacons
+//! ```
+//!
+//! is exact and checkable by the load generator in `qtag-bench`.
+//!
+//! Protocol sniffing: the first byte of a connection decides its
+//! protocol for the whole connection — `{` means JSON lines, anything
+//! else is treated as binary framing (a well-formed binary frame always
+//! starts with `0x00`, the high byte of a length that fits in
+//! [`qtag_wire::framing::MAX_FRAME_LEN`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod config;
+mod connection;
+mod stats;
+
+pub use collector::Collector;
+pub use config::CollectorConfig;
+pub use stats::{CollectorStats, CollectorStatsSnapshot, OpsSnapshot};

@@ -1,0 +1,131 @@
+//! Ops counters for the daemon, exposed uniformly with the ingestion
+//! service's [`qtag_server::IngestStats`].
+
+use qtag_server::IngestStatsSnapshot;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters maintained by the acceptor and connection threads.
+/// All counters are monotone except `connections_active` (a gauge).
+#[derive(Debug, Default)]
+pub struct CollectorStats {
+    /// Connections accepted and handed to a reader thread.
+    pub connections_accepted: AtomicU64,
+    /// Currently served connections (gauge).
+    pub connections_active: AtomicU64,
+    /// Connections refused because `max_connections` was reached.
+    pub connections_rejected: AtomicU64,
+    /// Connections dropped after exhausting their read-timeout budget.
+    pub connections_timed_out: AtomicU64,
+    /// Raw bytes read off all sockets.
+    pub bytes_read: AtomicU64,
+    /// Beacons successfully decoded off sockets (binary frames plus
+    /// JSON lines), before the inlet accept/shed decision.
+    pub frames_decoded: AtomicU64,
+    /// Frames that failed verification: binary frames with an honest
+    /// header but a bad payload, undecodable JSON lines, and JSON
+    /// lines over the length cap. Exactly one count per damaged frame.
+    pub corrupt_frames: AtomicU64,
+    /// Noise bytes discarded while resynchronising binary streams.
+    pub resync_bytes: AtomicU64,
+}
+
+impl CollectorStats {
+    /// Point-in-time copy (each counter atomic; the set is not a
+    /// transaction).
+    pub fn snapshot(&self) -> CollectorStatsSnapshot {
+        CollectorStatsSnapshot {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            connections_timed_out: self.connections_timed_out.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            frames_decoded: self.frames_decoded.load(Ordering::Relaxed),
+            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
+            resync_bytes: self.resync_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value form of [`CollectorStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CollectorStatsSnapshot {
+    /// Connections accepted and handed to a reader thread.
+    pub connections_accepted: u64,
+    /// Currently served connections at snapshot time.
+    pub connections_active: u64,
+    /// Connections refused because `max_connections` was reached.
+    pub connections_rejected: u64,
+    /// Connections dropped after exhausting their read-timeout budget.
+    pub connections_timed_out: u64,
+    /// Raw bytes read off all sockets.
+    pub bytes_read: u64,
+    /// Beacons successfully decoded off sockets.
+    pub frames_decoded: u64,
+    /// Damaged frames (one count each).
+    pub corrupt_frames: u64,
+    /// Noise bytes discarded during binary resynchronisation.
+    pub resync_bytes: u64,
+}
+
+/// The daemon's full ops surface: its own counters plus the embedded
+/// ingestion service's, in one serializable value. This is what the
+/// `collectd` binary prints and what the conservation check consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct OpsSnapshot {
+    /// Daemon-side counters (sockets, framing).
+    pub collector: CollectorStatsSnapshot,
+    /// Ingestion-side counters (applied beacons, shed beacons).
+    pub ingest: IngestStatsSnapshot,
+}
+
+impl OpsSnapshot {
+    /// The conservation identity the load generator verifies: every
+    /// beacon fully written by clients is either applied, counted
+    /// corrupt, or counted shed — nothing vanishes.
+    pub fn conserves(&self, beacons_sent: u64) -> bool {
+        beacons_sent
+            == self.ingest.beacons + self.collector.corrupt_frames + self.ingest.shed_beacons
+    }
+
+    /// Internal consistency: every decoded frame was either accepted
+    /// by the inlet or shed at it.
+    pub fn decode_accounted(&self) -> bool {
+        self.collector.frames_decoded == self.ingest.beacons + self.ingest.shed_beacons
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_serializes_with_both_layers() {
+        let stats = CollectorStats::default();
+        stats.frames_decoded.fetch_add(3, Ordering::Relaxed);
+        let ops = OpsSnapshot {
+            collector: stats.snapshot(),
+            ingest: qtag_server::IngestStats::default().snapshot(),
+        };
+        let json = serde_json::to_string(&ops).unwrap();
+        assert!(json.contains("\"collector\":{"), "{json}");
+        assert!(json.contains("\"frames_decoded\":3"), "{json}");
+        assert!(json.contains("\"ingest\":{"), "{json}");
+        assert!(json.contains("\"shed_beacons\":0"), "{json}");
+    }
+
+    #[test]
+    fn conservation_identity() {
+        let mut ops = OpsSnapshot {
+            collector: CollectorStats::default().snapshot(),
+            ingest: qtag_server::IngestStats::default().snapshot(),
+        };
+        ops.ingest.beacons = 90;
+        ops.collector.corrupt_frames = 7;
+        ops.ingest.shed_beacons = 3;
+        ops.collector.frames_decoded = 93;
+        assert!(ops.conserves(100));
+        assert!(!ops.conserves(99));
+        assert!(ops.decode_accounted());
+    }
+}

@@ -107,7 +107,11 @@ impl AreaEstimator {
     /// # Panics
     /// Panics when `visible.len()` differs from the pixel count.
     pub fn estimate(&self, visible: &[bool]) -> f64 {
-        assert_eq!(visible.len(), self.weights.len(), "mask/pixel count mismatch");
+        assert_eq!(
+            visible.len(),
+            self.weights.len(),
+            "mask/pixel count mismatch"
+        );
         self.weights
             .iter()
             .zip(visible)
@@ -147,7 +151,13 @@ mod tests {
             for n in [9, 25, 60] {
                 let est = AreaEstimator::new(layout.positions(n, AD), AD);
                 let sum: f64 = (0..n).map(|i| est.weight(i)).sum();
-                assert!((sum - 1.0).abs() < 1e-9, "{} n={} sums to {}", layout.name(), n, sum);
+                assert!(
+                    (sum - 1.0).abs() < 1e-9,
+                    "{} n={} sums to {}",
+                    layout.name(),
+                    n,
+                    sum
+                );
             }
         }
     }
@@ -217,7 +227,7 @@ mod tests {
         for i in 0..25 {
             assert!((est.weight(i) - 0.04).abs() < 1e-12);
         }
-        assert!((est.estimate(&vec![true; 25]) - 1.0).abs() < 1e-9);
+        assert!((est.estimate(&[true; 25]) - 1.0).abs() < 1e-9);
     }
 
     #[test]

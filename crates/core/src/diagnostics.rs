@@ -47,6 +47,7 @@ pub struct TagSnapshot {
 
 impl TagSnapshot {
     /// Assembles a snapshot from the tag's internals.
+    #[allow(clippy::too_many_arguments)] // internal constructor mirroring the tag's state fields
     pub(crate) fn assemble(
         at: SimTime,
         cfg: &QTagConfig,

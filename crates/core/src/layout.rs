@@ -61,16 +61,16 @@ impl PixelLayout {
         match self {
             PixelLayout::X => {
                 let mut pts = vec![
-                    Point::new(cx, cy),            // centre
-                    Point::new(cx, iy),            // top midpoint
-                    Point::new(cx, h - iy),        // bottom midpoint
-                    Point::new(ix, cy),            // left midpoint
-                    Point::new(w - ix, cy),        // right midpoint
+                    Point::new(cx, cy),     // centre
+                    Point::new(cx, iy),     // top midpoint
+                    Point::new(cx, h - iy), // bottom midpoint
+                    Point::new(ix, cy),     // left midpoint
+                    Point::new(w - ix, cy), // right midpoint
                 ];
                 let remaining = n - pts.len();
                 let per_diag = remaining / 2;
                 let extra = remaining % 2; // odd remainder goes to the "\" diagonal
-                // "\" diagonal: top-left → bottom-right, centre excluded.
+                                           // "\" diagonal: top-left → bottom-right, centre excluded.
                 pts.extend(diagonal_points(
                     Point::new(ix, iy),
                     Point::new(w - ix, h - iy),
@@ -214,7 +214,10 @@ mod tests {
     #[test]
     fn x25_has_center_and_side_midpoints() {
         let pts = PixelLayout::X.positions(25, AD);
-        let has = |x: f64, y: f64| pts.iter().any(|p| (p.x - x).abs() < 2.0 && (p.y - y).abs() < 2.0);
+        let has = |x: f64, y: f64| {
+            pts.iter()
+                .any(|p| (p.x - x).abs() < 2.0 && (p.y - y).abs() < 2.0)
+        };
         assert!(has(150.0, 125.0), "centre pixel");
         assert!(has(150.0, 1.5), "top midpoint");
         assert!(has(150.0, 248.5), "bottom midpoint");

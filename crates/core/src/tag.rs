@@ -171,7 +171,9 @@ impl TagScript for QTag {
 
         // 5. Optional heartbeat.
         if self.cfg.heartbeat_every > 0
-            && self.samples_taken % u64::from(self.cfg.heartbeat_every) == 0
+            && self
+                .samples_taken
+                .is_multiple_of(u64::from(self.cfg.heartbeat_every))
         {
             let b = self.beacon(ctx, EventKind::Heartbeat);
             ctx.send_beacon(b);
@@ -219,12 +221,22 @@ mod tests {
     fn attach_qtag(engine: &mut Engine, w: qtag_dom::WindowId, f: qtag_dom::FrameId) {
         let cfg = QTagConfig::new(1, 1, Rect::new(0.0, 0.0, 300.0, 250.0));
         engine
-            .attach_script(w, Some(TabId(0)), f, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+            .attach_script(
+                w,
+                Some(TabId(0)),
+                f,
+                Origin::https("dsp.example"),
+                Box::new(QTag::new(cfg)),
+            )
             .unwrap();
     }
 
     fn events(engine: &mut Engine) -> Vec<EventKind> {
-        engine.drain_outbox().into_iter().map(|b| b.beacon.event).collect()
+        engine
+            .drain_outbox()
+            .into_iter()
+            .map(|b| b.beacon.event)
+            .collect()
     }
 
     #[test]
@@ -255,7 +267,9 @@ mod tests {
         attach_qtag(&mut engine, w, f);
         engine.run_for(SimDuration::from_secs(1));
         assert!(!events(&mut engine).contains(&EventKind::InView));
-        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 1400.0)).unwrap();
+        engine
+            .scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 1400.0))
+            .unwrap();
         engine.run_for(SimDuration::from_secs(2));
         assert!(events(&mut engine).contains(&EventKind::InView));
     }
@@ -266,7 +280,9 @@ mod tests {
         attach_qtag(&mut engine, w, f);
         engine.run_for(SimDuration::from_secs(2));
         assert!(events(&mut engine).contains(&EventKind::InView));
-        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 2000.0)).unwrap();
+        engine
+            .scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 2000.0))
+            .unwrap();
         engine.run_for(SimDuration::from_secs(2));
         assert!(events(&mut engine).contains(&EventKind::OutOfView));
     }
@@ -276,12 +292,19 @@ mod tests {
         let (mut engine, w, f) = scene(1500.0);
         attach_qtag(&mut engine, w, f);
         // Scroll in for only 400 ms, then away.
-        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 1400.0)).unwrap();
+        engine
+            .scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 1400.0))
+            .unwrap();
         engine.run_for(SimDuration::from_millis(400));
-        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 0.0)).unwrap();
+        engine
+            .scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 0.0))
+            .unwrap();
         engine.run_for(SimDuration::from_secs(2));
         let evs = events(&mut engine);
-        assert!(!evs.contains(&EventKind::InView), "400 ms flash must not count");
+        assert!(
+            !evs.contains(&EventKind::InView),
+            "400 ms flash must not count"
+        );
     }
 
     #[test]
@@ -292,8 +315,18 @@ mod tests {
         engine.run_for(SimDuration::from_secs(2));
         assert!(events(&mut engine).contains(&EventKind::InView));
         let other = Page::new(Origin::https("other.example"), Size::new(1280.0, 600.0));
-        let t1 = engine.screen_mut().window_mut(w).unwrap().add_tab(other).unwrap();
-        engine.screen_mut().window_mut(w).unwrap().switch_tab(t1).unwrap();
+        let t1 = engine
+            .screen_mut()
+            .window_mut(w)
+            .unwrap()
+            .add_tab(other)
+            .unwrap();
+        engine
+            .screen_mut()
+            .window_mut(w)
+            .unwrap()
+            .switch_tab(t1)
+            .unwrap();
         // Hidden page: bookkeeping limps at 1 Hz, still detects the drop.
         engine.run_for(SimDuration::from_secs(4));
         assert!(events(&mut engine).contains(&EventKind::OutOfView));
@@ -308,7 +341,9 @@ mod tests {
         // fully visible, instead move ad by scrolling content up so ad
         // spans -150..100 → scroll to 250.
         attach_qtag(&mut engine, w, f);
-        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 250.0)).unwrap();
+        engine
+            .scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 250.0))
+            .unwrap();
         engine.run_for(SimDuration::from_secs(3));
         let evs = events(&mut engine);
         assert!(
@@ -324,7 +359,13 @@ mod tests {
         let mut cfg = cfg;
         cfg.heartbeat_every = 5;
         engine
-            .attach_script(w, Some(TabId(0)), f, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+            .attach_script(
+                w,
+                Some(TabId(0)),
+                f,
+                Origin::https("dsp.example"),
+                Box::new(QTag::new(cfg)),
+            )
             .unwrap();
         engine.run_for(SimDuration::from_secs(2));
         let heartbeats = engine

@@ -120,10 +120,9 @@ proptest! {
     fn sampler_tracks_constant_rates(rate in 1u64..240, window_ms in 50u64..2000) {
         let mut s = RateSampler::new(SimTime::ZERO, 0);
         let mut t = SimTime::ZERO;
-        let mut count = 0u64;
         for i in 1..=10u64 {
             t += SimDuration::from_millis(window_ms);
-            count = rate * window_ms * i / 1000;
+            let count = rate * window_ms * i / 1000;
             let fps = s.update(t, count);
             prop_assert!(fps >= 0.0);
             prop_assert!(fps <= rate as f64 + 1000.0 / window_ms as f64 + 1.0);

@@ -33,7 +33,10 @@ impl ElementKind {
     pub fn occludes(&self) -> bool {
         matches!(
             self,
-            ElementKind::Block | ElementKind::Creative | ElementKind::Overlay | ElementKind::Iframe(_)
+            ElementKind::Block
+                | ElementKind::Creative
+                | ElementKind::Overlay
+                | ElementKind::Iframe(_)
         )
     }
 }
@@ -96,14 +99,22 @@ mod tests {
 
     #[test]
     fn hidden_element_never_occludes() {
-        let e = Element::new("header", ElementKind::Overlay, Rect::new(0.0, 0.0, 100.0, 50.0))
-            .hidden();
+        let e = Element::new(
+            "header",
+            ElementKind::Overlay,
+            Rect::new(0.0, 0.0, 100.0, 50.0),
+        )
+        .hidden();
         assert!(!e.occludes());
     }
 
     #[test]
     fn monitor_pixel_does_not_occlude() {
-        let e = Element::new("px", ElementKind::MonitorPixel, Rect::new(5.0, 5.0, 1.0, 1.0));
+        let e = Element::new(
+            "px",
+            ElementKind::MonitorPixel,
+            Rect::new(5.0, 5.0, 1.0, 1.0),
+        );
         assert!(!e.occludes());
     }
 

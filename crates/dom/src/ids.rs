@@ -84,7 +84,11 @@ mod tests {
         assert_eq!(WindowId(0).to_string(), "window#0");
         assert_eq!(TabId(1).to_string(), "tab#1");
         assert_eq!(
-            ElementRef { frame: FrameId(2), index: 7 }.to_string(),
+            ElementRef {
+                frame: FrameId(2),
+                index: 7
+            }
+            .to_string(),
             "frame#2/el#7"
         );
     }

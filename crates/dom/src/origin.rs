@@ -148,6 +148,9 @@ mod tests {
 
     #[test]
     fn display_omits_default_port() {
-        assert_eq!(Origin::https("pub.example").to_string(), "https://pub.example");
+        assert_eq!(
+            Origin::https("pub.example").to_string(),
+            "https://pub.example"
+        );
     }
 }

@@ -122,7 +122,11 @@ impl Page {
     }
 
     /// Adds an element to a frame, returning its handle.
-    pub fn add_element(&mut self, frame: FrameId, element: Element) -> Result<ElementRef, DomError> {
+    pub fn add_element(
+        &mut self,
+        frame: FrameId,
+        element: Element,
+    ) -> Result<ElementRef, DomError> {
         let f = self.frame_mut(frame)?;
         f.elements.push(element);
         Ok(ElementRef {
@@ -195,10 +199,7 @@ impl Page {
         let f = self.frame_mut(frame)?;
         let max_x = (f.doc_size.width - view.width).max(0.0);
         let max_y = (f.doc_size.height - view.height).max(0.0);
-        f.scroll = Vector::new(
-            offset.dx.clamp(0.0, max_x),
-            offset.dy.clamp(0.0, max_y),
-        );
+        f.scroll = Vector::new(offset.dx.clamp(0.0, max_x), offset.dy.clamp(0.0, max_y));
         Ok(())
     }
 
@@ -243,11 +244,7 @@ impl Page {
     /// For an ad tag inside a cross-domain iframe this returns
     /// [`DomError::SameOriginViolation`]: the starting point of the
     /// paper's §3.
-    pub fn frame_rect_in_root(
-        &self,
-        frame: FrameId,
-        requester: &Origin,
-    ) -> Result<Rect, DomError> {
+    pub fn frame_rect_in_root(&self, frame: FrameId, requester: &Origin) -> Result<Rect, DomError> {
         // SOP check along the whole path.
         let target = self.frame(frame)?;
         if !requester.same_origin(&target.origin) {
@@ -375,7 +372,10 @@ mod tests {
     fn double_iframe_page() -> (Page, FrameId, FrameId) {
         // publisher page 1280x2400, SSP iframe at (200,600) 300x250,
         // DSP iframe filling it (the paper's double cross-domain iframe).
-        let mut page = Page::new(Origin::https("publisher.example"), Size::new(1280.0, 2400.0));
+        let mut page = Page::new(
+            Origin::https("publisher.example"),
+            Size::new(1280.0, 2400.0),
+        );
         let ssp = page.create_frame(Origin::https("ssp.example"), Size::new(300.0, 250.0));
         page.embed_iframe(page.root(), ssp, Rect::new(200.0, 600.0, 300.0, 250.0))
             .unwrap();
@@ -517,7 +517,10 @@ mod tests {
             )
             .unwrap();
         page.element_mut(e).unwrap().rect = Rect::new(5.0, 5.0, 10.0, 10.0);
-        assert_eq!(page.element(e).unwrap().rect, Rect::new(5.0, 5.0, 10.0, 10.0));
+        assert_eq!(
+            page.element(e).unwrap().rect,
+            Rect::new(5.0, 5.0, 10.0, 10.0)
+        );
     }
 
     #[test]
@@ -525,7 +528,10 @@ mod tests {
         let page = Page::new(Origin::https("a"), Size::new(1.0, 1.0));
         assert!(page.frame(FrameId(9)).is_err());
         assert!(page
-            .element(ElementRef { frame: FrameId(0), index: 3 })
+            .element(ElementRef {
+                frame: FrameId(0),
+                index: 3
+            })
             .is_err());
     }
 }

@@ -51,7 +51,12 @@ impl Screen {
     }
 
     /// Adds a window on top of the stack and focuses it.
-    pub fn add_window(&mut self, kind: WindowKind, screen_rect: Rect, chrome_height: f64) -> WindowId {
+    pub fn add_window(
+        &mut self,
+        kind: WindowKind,
+        screen_rect: Rect,
+        chrome_height: f64,
+    ) -> WindowId {
         let id = WindowId(self.windows.len() as u32);
         self.windows.push(Window {
             id,
@@ -195,7 +200,11 @@ mod tests {
     fn add_window_focuses_and_stacks_on_top() {
         let mut s = Screen::desktop();
         let a = s.add_window(browser_kind(), Rect::new(0.0, 0.0, 800.0, 600.0), 80.0);
-        let b = s.add_window(WindowKind::OpaqueApp, Rect::new(100.0, 0.0, 800.0, 600.0), 0.0);
+        let b = s.add_window(
+            WindowKind::OpaqueApp,
+            Rect::new(100.0, 0.0, 800.0, 600.0),
+            0.0,
+        );
         assert!(s.is_focused(b));
         assert_eq!(s.occluders_above(a).unwrap().len(), 1);
         assert!(s.occluders_above(b).unwrap().is_empty());
@@ -205,7 +214,11 @@ mod tests {
     fn raise_reorders_stack() {
         let mut s = Screen::desktop();
         let a = s.add_window(browser_kind(), Rect::new(0.0, 0.0, 800.0, 600.0), 80.0);
-        let _b = s.add_window(WindowKind::OpaqueApp, Rect::new(0.0, 0.0, 800.0, 600.0), 0.0);
+        let _b = s.add_window(
+            WindowKind::OpaqueApp,
+            Rect::new(0.0, 0.0, 800.0, 600.0),
+            0.0,
+        );
         s.raise(a).unwrap();
         assert!(s.occluders_above(a).unwrap().is_empty());
         assert!(s.is_focused(a));
@@ -215,7 +228,11 @@ mod tests {
     fn minimized_windows_do_not_occlude() {
         let mut s = Screen::desktop();
         let a = s.add_window(browser_kind(), Rect::new(0.0, 0.0, 800.0, 600.0), 80.0);
-        let b = s.add_window(WindowKind::OpaqueApp, Rect::new(0.0, 0.0, 800.0, 600.0), 0.0);
+        let b = s.add_window(
+            WindowKind::OpaqueApp,
+            Rect::new(0.0, 0.0, 800.0, 600.0),
+            0.0,
+        );
         s.minimize(b).unwrap();
         assert!(s.occluders_above(a).unwrap().is_empty());
         assert_eq!(s.focused(), None);
@@ -225,7 +242,11 @@ mod tests {
     fn restore_raises_and_refocuses() {
         let mut s = Screen::desktop();
         let _a = s.add_window(browser_kind(), Rect::new(0.0, 0.0, 800.0, 600.0), 80.0);
-        let b = s.add_window(WindowKind::OpaqueApp, Rect::new(0.0, 0.0, 800.0, 600.0), 0.0);
+        let b = s.add_window(
+            WindowKind::OpaqueApp,
+            Rect::new(0.0, 0.0, 800.0, 600.0),
+            0.0,
+        );
         s.minimize(b).unwrap();
         s.restore(b).unwrap();
         assert!(s.is_focused(b));

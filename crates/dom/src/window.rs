@@ -227,7 +227,11 @@ mod tests {
         w.switch_tab(t1).unwrap();
         assert!(w.tab_is_active(t1));
         assert_eq!(
-            w.active_page().unwrap().frame(w.active_page().unwrap().root()).unwrap().origin(),
+            w.active_page()
+                .unwrap()
+                .frame(w.active_page().unwrap().root())
+                .unwrap()
+                .origin(),
             &Origin::https("other.example")
         );
     }

@@ -8,10 +8,7 @@ use qtag_geometry::{Point, Rect, Size, Vector};
 /// Builds a random chain of nested iframes, alternating origins
 /// according to `cross_origin_mask` (bit i set ⇒ level i+1 differs from
 /// its parent). Returns the page and the innermost frame.
-fn build_chain(
-    offsets: &[(f64, f64)],
-    cross_origin_mask: u32,
-) -> (Page, FrameId) {
+fn build_chain(offsets: &[(f64, f64)], cross_origin_mask: u32) -> (Page, FrameId) {
     let mut page = Page::new(Origin::https("origin0.example"), Size::new(2000.0, 4000.0));
     let mut parent = page.root();
     let mut origin_idx = 0u32;
@@ -143,7 +140,9 @@ proptest! {
 /// the single cross-origin hop in the middle.
 #[test]
 fn deep_chain_is_exact() {
-    let offsets: Vec<(f64, f64)> = (0..16).map(|i| (f64::from(i), 2.0 * f64::from(i))).collect();
+    let offsets: Vec<(f64, f64)> = (0..16)
+        .map(|i| (f64::from(i), 2.0 * f64::from(i)))
+        .collect();
     let mut page = Page::new(Origin::https("pub.example"), Size::new(10_000.0, 10_000.0));
     let mut parent = page.root();
     for (i, (dx, dy)) in offsets.iter().enumerate() {
@@ -182,7 +181,10 @@ fn many_tabs_single_active() {
     let page = || Page::new(Origin::https("pub.example"), Size::new(800.0, 800.0));
     let mut screen = Screen::desktop();
     let w = screen.add_window(
-        WindowKind::Browser { tabs: vec![Tab::new(page())], active: TabId(0) },
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page())],
+            active: TabId(0),
+        },
         Rect::new(0.0, 0.0, 800.0, 600.0),
         60.0,
     );

@@ -127,9 +127,12 @@ impl Rect {
     /// hairline overhangs of ~1e-13 px that must not count as "outside").
     pub fn contains_rect(&self, other: &Rect) -> bool {
         let eps = crate::EPSILON
-            * (1.0 + self.max_x().abs().max(self.max_y().abs()).max(
-                other.max_x().abs().max(other.max_y().abs()),
-            ));
+            * (1.0
+                + self
+                    .max_x()
+                    .abs()
+                    .max(self.max_y().abs())
+                    .max(other.max_x().abs().max(other.max_y().abs())));
         other.is_empty()
             || (other.min_x() >= self.min_x() - eps
                 && other.max_x() <= self.max_x() + eps
@@ -217,12 +220,7 @@ impl Rect {
 
 impl fmt::Display for Rect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{} @ {}]",
-            self.size,
-            self.origin
-        )
+        write!(f, "[{} @ {}]", self.size, self.origin)
     }
 }
 
@@ -322,7 +320,10 @@ mod tests {
     #[test]
     fn clamp_point_projects_outside_points() {
         let rect = r(0.0, 0.0, 10.0, 10.0);
-        assert_eq!(rect.clamp_point(Point::new(-5.0, 5.0)), Point::new(0.0, 5.0));
+        assert_eq!(
+            rect.clamp_point(Point::new(-5.0, 5.0)),
+            Point::new(0.0, 5.0)
+        );
         assert_eq!(
             rect.clamp_point(Point::new(20.0, 30.0)),
             Point::new(10.0, 10.0)

@@ -50,9 +50,7 @@ impl Region {
 
     /// Bounding box of the region (`Rect::ZERO` when empty).
     pub fn bounds(&self) -> Rect {
-        self.rects
-            .iter()
-            .fold(Rect::ZERO, |acc, r| acc.union(r))
+        self.rects.iter().fold(Rect::ZERO, |acc, r| acc.union(r))
     }
 
     /// `true` when `p` is covered by the region.
@@ -142,33 +140,40 @@ fn split_around(r: &Rect, hole: &Rect, out: &mut Vec<Rect>) {
     };
 
     // Band above the hole (full width of r).
-    push_nonempty(out, Rect::new(
-        r.min_x(),
-        r.min_y(),
-        r.width(),
-        overlap.min_y() - r.min_y(),
-    ));
+    push_nonempty(
+        out,
+        Rect::new(r.min_x(), r.min_y(), r.width(), overlap.min_y() - r.min_y()),
+    );
     // Band below the hole (full width of r).
-    push_nonempty(out, Rect::new(
-        r.min_x(),
-        overlap.max_y(),
-        r.width(),
-        r.max_y() - overlap.max_y(),
-    ));
+    push_nonempty(
+        out,
+        Rect::new(
+            r.min_x(),
+            overlap.max_y(),
+            r.width(),
+            r.max_y() - overlap.max_y(),
+        ),
+    );
     // Left band (restricted to the hole's vertical extent).
-    push_nonempty(out, Rect::new(
-        r.min_x(),
-        overlap.min_y(),
-        overlap.min_x() - r.min_x(),
-        overlap.height(),
-    ));
+    push_nonempty(
+        out,
+        Rect::new(
+            r.min_x(),
+            overlap.min_y(),
+            overlap.min_x() - r.min_x(),
+            overlap.height(),
+        ),
+    );
     // Right band (restricted to the hole's vertical extent).
-    push_nonempty(out, Rect::new(
-        overlap.max_x(),
-        overlap.min_y(),
-        r.max_x() - overlap.max_x(),
-        overlap.height(),
-    ));
+    push_nonempty(
+        out,
+        Rect::new(
+            overlap.max_x(),
+            overlap.min_y(),
+            r.max_x() - overlap.max_x(),
+            overlap.height(),
+        ),
+    );
 }
 
 fn push_nonempty(out: &mut Vec<Rect>, r: Rect) {

@@ -96,7 +96,10 @@ mod tests {
 
     #[test]
     fn noisy_load_stays_in_band() {
-        let m = CpuLoadModel::Noisy { base: 0.5, amplitude: 0.2 };
+        let m = CpuLoadModel::Noisy {
+            base: 0.5,
+            amplitude: 0.2,
+        };
         let mut r = rng();
         for i in 0..100 {
             let l = m.load_at(SimTime::from_micros(i), &mut r);
@@ -106,14 +109,21 @@ mod tests {
 
     #[test]
     fn noisy_load_is_deterministic_per_seed() {
-        let m = CpuLoadModel::Noisy { base: 0.4, amplitude: 0.1 };
+        let m = CpuLoadModel::Noisy {
+            base: 0.4,
+            amplitude: 0.1,
+        };
         let a: Vec<f64> = {
             let mut r = rng();
-            (0..10).map(|i| m.load_at(SimTime::from_micros(i), &mut r)).collect()
+            (0..10)
+                .map(|i| m.load_at(SimTime::from_micros(i), &mut r))
+                .collect()
         };
         let b: Vec<f64> = {
             let mut r = rng();
-            (0..10).map(|i| m.load_at(SimTime::from_micros(i), &mut r)).collect()
+            (0..10)
+                .map(|i| m.load_at(SimTime::from_micros(i), &mut r))
+                .collect()
         };
         assert_eq!(a, b);
     }

@@ -242,8 +242,8 @@ impl Engine {
             if page_state.contains_key(&key) {
                 continue;
             }
-            let state = composite_state(&self.screen, key.0, key.1)
-                .unwrap_or(CompositeState::Minimized);
+            let state =
+                composite_state(&self.screen, key.0, key.1).unwrap_or(CompositeState::Minimized);
             let rate = paint_rate(state, refresh, load);
             let acc = self.paint_acc.entry(key).or_insert(0.0);
             *acc += rate / refresh;
@@ -277,8 +277,7 @@ impl Engine {
             };
             let Some(page) = page else { continue };
             let vp = w.viewport_size();
-            if visibility::point_in_viewport(page, probe.frame, probe.point, vp).unwrap_or(false)
-            {
+            if visibility::point_in_viewport(page, probe.frame, probe.point, vp).unwrap_or(false) {
                 probe.paints += 1;
             }
         }
@@ -394,7 +393,9 @@ impl Engine {
 
         let mut scripts = std::mem::take(&mut self.scripts);
         for i in &receivers {
-            let Some(slot) = &mut scripts[*i] else { continue };
+            let Some(slot) = &mut scripts[*i] else {
+                continue;
+            };
             let mut ctx = ScriptCtx {
                 now: self.now,
                 host: &slot.host,
@@ -493,12 +494,21 @@ mod tests {
         let (mut engine, w, ad) = engine_with_ad_in_view();
         let script = CounterScript::new(Point::new(150.0, 125.0));
         engine
-            .attach_script(w, Some(TabId(0)), ad, Origin::https("dsp.example"), Box::new(script))
+            .attach_script(
+                w,
+                Some(TabId(0)),
+                ad,
+                Origin::https("dsp.example"),
+                Box::new(script),
+            )
             .unwrap();
         engine.run_for(SimDuration::from_secs(1));
         // 60 fps for 1 s → ~60 paints.
         let paints = engine.probes[0].paints;
-        assert!((58..=62).contains(&paints), "expected ~60 paints, got {paints}");
+        assert!(
+            (58..=62).contains(&paints),
+            "expected ~60 paints, got {paints}"
+        );
     }
 
     #[test]
@@ -508,10 +518,18 @@ mod tests {
         // the iframe clip.
         let script = CounterScript::new(Point::new(150.0, 125.0));
         engine
-            .attach_script(w, Some(TabId(0)), ad, Origin::https("dsp.example"), Box::new(script))
+            .attach_script(
+                w,
+                Some(TabId(0)),
+                ad,
+                Origin::https("dsp.example"),
+                Box::new(script),
+            )
             .unwrap();
         // Scroll the page so the ad leaves the viewport.
-        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 2000.0)).unwrap();
+        engine
+            .scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 2000.0))
+            .unwrap();
         engine.run_for(SimDuration::from_secs(1));
         assert_eq!(engine.probes[0].paints, 0);
     }
@@ -521,12 +539,28 @@ mod tests {
         let (mut engine, w, ad) = engine_with_ad_in_view();
         let script = CounterScript::new(Point::new(150.0, 125.0));
         let sid = engine
-            .attach_script(w, Some(TabId(0)), ad, Origin::https("dsp.example"), Box::new(script))
+            .attach_script(
+                w,
+                Some(TabId(0)),
+                ad,
+                Origin::https("dsp.example"),
+                Box::new(script),
+            )
             .unwrap();
         // Open and switch to a second tab.
         let other = Page::new(Origin::https("other.example"), Size::new(1280.0, 1000.0));
-        let t1 = engine.screen_mut().window_mut(w).unwrap().add_tab(other).unwrap();
-        engine.screen_mut().window_mut(w).unwrap().switch_tab(t1).unwrap();
+        let t1 = engine
+            .screen_mut()
+            .window_mut(w)
+            .unwrap()
+            .add_tab(other)
+            .unwrap();
+        engine
+            .screen_mut()
+            .window_mut(w)
+            .unwrap()
+            .switch_tab(t1)
+            .unwrap();
         engine.run_for(SimDuration::from_secs(2));
         // No rAF, no paints; timers ≈ 2 fires in 2 s.
         assert_eq!(engine.probes[0].paints, 0);
@@ -553,7 +587,10 @@ mod tests {
             .unwrap();
         let mut screen = Screen::desktop();
         let w2 = screen.add_window(
-            WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+            WindowKind::Browser {
+                tabs: vec![Tab::new(page)],
+                active: TabId(0),
+            },
             Rect::new(0.0, 0.0, 1280.0, 880.0),
             80.0,
         );
@@ -562,11 +599,20 @@ mod tests {
         let mut engine = Engine::new(cfg, screen);
         let script = CounterScript::new(Point::new(150.0, 125.0));
         engine
-            .attach_script(w2, Some(TabId(0)), ad2, Origin::https("dsp.example"), Box::new(script))
+            .attach_script(
+                w2,
+                Some(TabId(0)),
+                ad2,
+                Origin::https("dsp.example"),
+                Box::new(script),
+            )
             .unwrap();
         engine.run_for(SimDuration::from_secs(1));
         let paints = engine.probes[0].paints;
-        assert!((28..=32).contains(&paints), "expected ~30 paints at 50 % load, got {paints}");
+        assert!(
+            (28..=32).contains(&paints),
+            "expected ~30 paints at 50 % load, got {paints}"
+        );
     }
 
     #[test]
@@ -574,7 +620,13 @@ mod tests {
         let (mut engine, w, ad) = engine_with_ad_in_view();
         let script = CounterScript::new(Point::new(150.0, 125.0));
         let sid = engine
-            .attach_script(w, Some(TabId(0)), ad, Origin::https("dsp.example"), Box::new(script))
+            .attach_script(
+                w,
+                Some(TabId(0)),
+                ad,
+                Origin::https("dsp.example"),
+                Box::new(script),
+            )
             .unwrap();
         engine.run_for(SimDuration::from_millis(100));
         engine.detach_script(sid);
@@ -598,7 +650,13 @@ mod tests {
             let (mut engine, w, ad) = engine_with_ad_in_view();
             let script = CounterScript::new(Point::new(150.0, 125.0));
             engine
-                .attach_script(w, Some(TabId(0)), ad, Origin::https("dsp.example"), Box::new(script))
+                .attach_script(
+                    w,
+                    Some(TabId(0)),
+                    ad,
+                    Origin::https("dsp.example"),
+                    Box::new(script),
+                )
                 .unwrap();
             engine.run_for(SimDuration::from_secs(1));
             (engine.probes[0].paints, engine.drain_outbox().len())
@@ -623,7 +681,13 @@ mod tests {
         // result we can't reach; so duplicate the check directly:
         let script = SopProbe { result: None };
         engine
-            .attach_script(w, Some(TabId(0)), ad, Origin::https("dsp.example"), Box::new(script))
+            .attach_script(
+                w,
+                Some(TabId(0)),
+                ad,
+                Origin::https("dsp.example"),
+                Box::new(script),
+            )
             .unwrap();
         // Direct check against the page model (cross-origin chain).
         let win = engine.screen().window(w).unwrap();

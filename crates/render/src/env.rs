@@ -165,7 +165,10 @@ mod tests {
 
     #[test]
     fn ios_defaults_map_to_apple_stacks() {
-        assert_eq!(DeviceProfile::mobile_browser(OsKind::Ios).browser, BrowserKind::Safari);
+        assert_eq!(
+            DeviceProfile::mobile_browser(OsKind::Ios).browser,
+            BrowserKind::Safari
+        );
         assert_eq!(
             DeviceProfile::in_app_webview(OsKind::Ios, true).browser,
             BrowserKind::IosWebView

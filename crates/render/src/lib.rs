@@ -49,9 +49,7 @@ pub use cpu::CpuLoadModel;
 pub use engine::{Engine, EngineConfig, OutgoingBeacon, ProbeId, ScriptId};
 pub use env::{ApiCapabilities, DeviceProfile};
 pub use script::{ScriptCtx, ScriptHost, TagScript};
-pub use throttle::{
-    composite_state, paint_rate, timer_hz_when_hidden, timer_rate, CompositeState,
-};
+pub use throttle::{composite_state, paint_rate, timer_hz_when_hidden, timer_rate, CompositeState};
 pub use visibility::{
     element_true_visibility, page_visibility_context, point_in_viewport, rect_in_viewport,
     scroll_page_to, viewport_fraction, TrueVisibility,

@@ -103,7 +103,9 @@ impl<'a> ScriptCtx<'a> {
     pub fn document_hidden(&self) -> bool {
         matches!(
             self.composite,
-            CompositeState::BackgroundTab | CompositeState::Minimized | CompositeState::FullyOccluded
+            CompositeState::BackgroundTab
+                | CompositeState::Minimized
+                | CompositeState::FullyOccluded
         )
     }
 

@@ -172,7 +172,11 @@ mod tests {
     #[test]
     fn full_occlusion_stops_compositing() {
         let (mut s, w) = screen_with_browser();
-        s.add_window(WindowKind::OpaqueApp, Rect::new(0.0, 0.0, 1920.0, 1080.0), 0.0);
+        s.add_window(
+            WindowKind::OpaqueApp,
+            Rect::new(0.0, 0.0, 1920.0, 1080.0),
+            0.0,
+        );
         assert_eq!(
             composite_state(&s, w, Some(TabId(0))).unwrap(),
             CompositeState::FullyOccluded
@@ -182,7 +186,11 @@ mod tests {
     #[test]
     fn partial_occlusion_keeps_compositing() {
         let (mut s, w) = screen_with_browser();
-        s.add_window(WindowKind::OpaqueApp, Rect::new(0.0, 0.0, 600.0, 1080.0), 0.0);
+        s.add_window(
+            WindowKind::OpaqueApp,
+            Rect::new(0.0, 0.0, 600.0, 1080.0),
+            0.0,
+        );
         assert_eq!(
             composite_state(&s, w, Some(TabId(0))).unwrap(),
             CompositeState::Active

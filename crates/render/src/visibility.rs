@@ -122,15 +122,13 @@ pub fn element_true_visibility(
         // For browser windows we address the *requested* tab's page; it
         // is only visible when it is also the active one, which the
         // composite state already encodes.
-        (Some(t), _) => {
-            match &w.kind {
-                qtag_dom::WindowKind::Browser { tabs, .. } => tabs
-                    .get(t.index())
-                    .map(|tb| &tb.page)
-                    .ok_or(DomError::UnknownTab(window, *t))?,
-                _ => return Err(DomError::UnknownTab(window, *t)),
-            }
-        }
+        (Some(t), _) => match &w.kind {
+            qtag_dom::WindowKind::Browser { tabs, .. } => tabs
+                .get(t.index())
+                .map(|tb| &tb.page)
+                .ok_or(DomError::UnknownTab(window, *t))?,
+            _ => return Err(DomError::UnknownTab(window, *t)),
+        },
         (None, Some(p)) => p,
         (None, None) => {
             return Ok(TrueVisibility {
@@ -282,7 +280,10 @@ mod tests {
         let (screen, w, f, r) = setup();
         let v = vis(&screen, w, f, r);
         assert_eq!(v.state, CompositeState::Active);
-        assert_eq!(v.fraction, 0.0, "ad at y=1000 with 800px viewport is below the fold");
+        assert_eq!(
+            v.fraction, 0.0,
+            "ad at y=1000 with 800px viewport is below the fold"
+        );
         assert_eq!(v.viewport_fraction, 0.0);
     }
 
@@ -291,7 +292,11 @@ mod tests {
         let (mut screen, w, f, r) = setup();
         scroll_page_to(&mut screen, w, Some(TabId(0)), Vector::new(0.0, 1000.0)).unwrap();
         let v = vis(&screen, w, f, r);
-        assert!(approx_eq(v.fraction, 1.0), "fully scrolled into view, got {}", v.fraction);
+        assert!(
+            approx_eq(v.fraction, 1.0),
+            "fully scrolled into view, got {}",
+            v.fraction
+        );
         assert!(approx_eq(v.viewport_fraction, 1.0));
     }
 
@@ -303,7 +308,11 @@ mod tests {
         // scrolling to y=325 puts doc y 325..1125 on screen → 125px of ad.
         scroll_page_to(&mut screen, w, Some(TabId(0)), Vector::new(0.0, 325.0)).unwrap();
         let v = vis(&screen, w, f, r);
-        assert!(approx_eq(v.fraction, 0.5), "expected 50 %, got {}", v.fraction);
+        assert!(
+            approx_eq(v.fraction, 0.5),
+            "expected 50 %, got {}",
+            v.fraction
+        );
     }
 
     #[test]
@@ -343,7 +352,11 @@ mod tests {
             .unwrap();
         }
         let v = vis(&screen, w, f, r);
-        assert!(approx_eq(v.fraction, 0.5), "expected 50 % after overlay, got {}", v.fraction);
+        assert!(
+            approx_eq(v.fraction, 0.5),
+            "expected 50 % after overlay, got {}",
+            v.fraction
+        );
         // The side channel cannot see overlays: viewport fraction stays 1.
         assert!(approx_eq(v.viewport_fraction, 1.0));
     }
@@ -354,10 +367,18 @@ mod tests {
         scroll_page_to(&mut screen, w, Some(TabId(0)), Vector::new(0.0, 1000.0)).unwrap();
         // Opaque window covering the left half of the screen: ad sits at
         // viewport x 200..500, screen x 200..500; cover x < 350.
-        screen.add_window(WindowKind::OpaqueApp, Rect::new(0.0, 0.0, 350.0, 1080.0), 0.0);
+        screen.add_window(
+            WindowKind::OpaqueApp,
+            Rect::new(0.0, 0.0, 350.0, 1080.0),
+            0.0,
+        );
         let v = vis(&screen, w, f, r);
         assert_eq!(v.state, CompositeState::Active);
-        assert!(approx_eq(v.fraction, 0.5), "expected half occluded, got {}", v.fraction);
+        assert!(
+            approx_eq(v.fraction, 0.5),
+            "expected half occluded, got {}",
+            v.fraction
+        );
     }
 
     #[test]
@@ -370,7 +391,10 @@ mod tests {
             .unwrap();
         let mut screen = Screen::desktop();
         let w = screen.add_window(
-            WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+            WindowKind::Browser {
+                tabs: vec![Tab::new(page)],
+                active: TabId(0),
+            },
             Rect::new(0.0, 0.0, 1280.0, 880.0),
             80.0,
         );
@@ -382,7 +406,11 @@ mod tests {
             Rect::new(0.0, 0.0, 300.0, 250.0),
         )
         .unwrap();
-        assert!(approx_eq(v.fraction, 0.5), "iframe clip should cap at 50 %, got {}", v.fraction);
+        assert!(
+            approx_eq(v.fraction, 0.5),
+            "iframe clip should cap at 50 %, got {}",
+            v.fraction
+        );
     }
 
     #[test]
@@ -416,7 +444,11 @@ mod tests {
         );
         let v = element_true_visibility(&screen, w, None, ad, Rect::new(0.0, 0.0, 320.0, 50.0))
             .unwrap();
-        assert!(approx_eq(v.fraction, 1.0), "banner should be fully visible, got {}", v.fraction);
+        assert!(
+            approx_eq(v.fraction, 1.0),
+            "banner should be fully visible, got {}",
+            v.fraction
+        );
     }
 
     #[test]
@@ -428,7 +460,11 @@ mod tests {
         screen.move_window(w, Vector::new(-350.0, 0.0)).unwrap();
         let v = vis(&screen, w, f, r);
         assert_eq!(v.state, CompositeState::Active);
-        assert!(approx_eq(v.fraction, 0.5), "expected half on-screen, got {}", v.fraction);
+        assert!(
+            approx_eq(v.fraction, 0.5),
+            "expected half on-screen, got {}",
+            v.fraction
+        );
         // Side channel still sees full viewport visibility.
         assert!(approx_eq(v.viewport_fraction, 1.0));
     }

@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use qtag_dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
 use qtag_geometry::{Point, Rect, Size, Vector};
 use qtag_render::{
-    composite_state, paint_rate, timer_rate, CompositeState, CpuLoadModel, Engine, EngineConfig,
-    ScriptCtx, SimDuration, TagScript,
+    composite_state, paint_rate, timer_rate, CompositeState, Engine, EngineConfig, ScriptCtx,
+    SimDuration, TagScript,
 };
 
 struct ProbeOnly {
@@ -18,10 +18,7 @@ impl TagScript for ProbeOnly {
     }
 }
 
-fn scene(
-    ad_rect: Rect,
-    window_rect: Rect,
-) -> (Engine, qtag_dom::WindowId, qtag_dom::FrameId) {
+fn scene(ad_rect: Rect, window_rect: Rect) -> (Engine, qtag_dom::WindowId, qtag_dom::FrameId) {
     let mut page = Page::new(Origin::https("pub.example"), Size::new(1280.0, 3000.0));
     let frame = page.create_frame(Origin::https("dsp.example"), ad_rect.size);
     page.embed_iframe(page.root(), frame, ad_rect).unwrap();
@@ -34,7 +31,11 @@ fn scene(
         window_rect,
         80.0,
     );
-    (Engine::new(EngineConfig::default_desktop(), screen), w, frame)
+    (
+        Engine::new(EngineConfig::default_desktop(), screen),
+        w,
+        frame,
+    )
 }
 
 proptest! {
@@ -206,7 +207,13 @@ fn probe_rate_matches_compositing_exactly() {
         Rect::new(0.0, 0.0, 1280.0, 880.0),
     );
     engine
-        .attach_script(w, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(Reporter { probe: None }))
+        .attach_script(
+            w,
+            Some(TabId(0)),
+            frame,
+            Origin::https("dsp.example"),
+            Box::new(Reporter { probe: None }),
+        )
         .unwrap();
     engine.run_for(SimDuration::from_secs(2));
     let beacons = engine.drain_outbox();

@@ -52,17 +52,30 @@ fn build(
         .unwrap();
     let mut screen = Screen::desktop();
     let w = screen.add_window(
-        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page)],
+            active: TabId(0),
+        },
         Rect::new(0.0, 0.0, 1280.0, 880.0),
         80.0,
     );
     let mut engine = Engine::new(
-        EngineConfig { profile, cpu: CpuLoadModel::idle(), seed: 3 },
+        EngineConfig {
+            profile,
+            cpu: CpuLoadModel::idle(),
+            seed: 3,
+        },
         screen,
     );
     let obs = Rc::new(RefCell::new(Observations::default()));
     engine
-        .attach_script(w, Some(TabId(0)), frame, Origin::https(ad_origin), Box::new(Observer(Rc::clone(&obs))))
+        .attach_script(
+            w,
+            Some(TabId(0)),
+            frame,
+            Origin::https(ad_origin),
+            Box::new(Observer(Rc::clone(&obs))),
+        )
         .unwrap();
     (engine, w, obs)
 }
@@ -73,7 +86,11 @@ fn cross_origin_tag_gets_side_channel_but_not_geometry() {
     let (mut engine, _w, obs) = build(profile, "dsp.example");
     engine.run_for(SimDuration::from_secs(1));
     let obs = obs.borrow();
-    assert_eq!(obs.doc_size, Some(Size::MEDIUM_RECTANGLE), "own doc size is readable");
+    assert_eq!(
+        obs.doc_size,
+        Some(Size::MEDIUM_RECTANGLE),
+        "own doc size is readable"
+    );
     assert!(obs.raf_count > 50, "rAF flows for visible pages");
     assert!(obs
         .own_rect
@@ -112,12 +129,25 @@ fn document_hidden_follows_tab_and_window_state() {
     let profile = DeviceProfile::desktop(BrowserKind::Chrome, OsKind::Windows10);
     let (mut engine, w, obs) = build(profile, "dsp.example");
     engine.run_for(SimDuration::from_millis(500));
-    assert!(obs.borrow().hidden.iter().all(|h| !h), "visible page is not hidden");
+    assert!(
+        obs.borrow().hidden.iter().all(|h| !h),
+        "visible page is not hidden"
+    );
 
     // Background the tab: hidden flips true (timers limp at 1 Hz).
     let other = Page::new(Origin::https("other.example"), Size::new(100.0, 100.0));
-    let t1 = engine.screen_mut().window_mut(w).unwrap().add_tab(other).unwrap();
-    engine.screen_mut().window_mut(w).unwrap().switch_tab(t1).unwrap();
+    let t1 = engine
+        .screen_mut()
+        .window_mut(w)
+        .unwrap()
+        .add_tab(other)
+        .unwrap();
+    engine
+        .screen_mut()
+        .window_mut(w)
+        .unwrap()
+        .switch_tab(t1)
+        .unwrap();
     obs.borrow_mut().hidden.clear();
     engine.run_for(SimDuration::from_secs(3));
     {
@@ -127,7 +157,12 @@ fn document_hidden_follows_tab_and_window_state() {
     }
 
     // Back to the front: hidden false again.
-    engine.screen_mut().window_mut(w).unwrap().switch_tab(TabId(0)).unwrap();
+    engine
+        .screen_mut()
+        .window_mut(w)
+        .unwrap()
+        .switch_tab(TabId(0))
+        .unwrap();
     obs.borrow_mut().hidden.clear();
     engine.run_for(SimDuration::from_millis(500));
     assert!(obs.borrow().hidden.iter().all(|h| !h));
@@ -143,7 +178,10 @@ fn off_screen_window_is_not_document_hidden_but_stops_raf() {
     engine.run_for(SimDuration::from_millis(500));
     let raf_before = obs.borrow().raf_count;
 
-    engine.screen_mut().move_window(w, Vector::new(5000.0, 0.0)).unwrap();
+    engine
+        .screen_mut()
+        .move_window(w, Vector::new(5000.0, 0.0))
+        .unwrap();
     obs.borrow_mut().hidden.clear();
     engine.run_for(SimDuration::from_secs(2));
     let o = obs.borrow();
@@ -156,14 +194,24 @@ fn native_fraction_reports_zero_when_not_composited() {
     let profile = DeviceProfile::desktop(BrowserKind::Chrome, OsKind::Windows10);
     let (mut engine, w, obs) = build(profile, "dsp.example");
     let other = Page::new(Origin::https("other.example"), Size::new(100.0, 100.0));
-    let t1 = engine.screen_mut().window_mut(w).unwrap().add_tab(other).unwrap();
-    engine.screen_mut().window_mut(w).unwrap().switch_tab(t1).unwrap();
+    let t1 = engine
+        .screen_mut()
+        .window_mut(w)
+        .unwrap()
+        .add_tab(other)
+        .unwrap();
+    engine
+        .screen_mut()
+        .window_mut(w)
+        .unwrap()
+        .switch_tab(t1)
+        .unwrap();
     engine.run_for(SimDuration::from_secs(3));
     let o = obs.borrow();
-    assert!(o
-        .native_fraction
-        .iter()
-        .all(|f| *f == Some(0.0)), "background tab reports 0 visibility");
+    assert!(
+        o.native_fraction.iter().all(|f| *f == Some(0.0)),
+        "background tab reports 0 visibility"
+    );
 }
 
 #[test]

@@ -60,7 +60,10 @@ impl BeaconValidator {
                 self.violations.push((id, Violation::TimeTravel));
             }
         }
-        let entry = self.last.entry(id).or_insert((beacon.seq, beacon.timestamp_us));
+        let entry = self
+            .last
+            .entry(id)
+            .or_insert((beacon.seq, beacon.timestamp_us));
         if beacon.seq >= entry.0 {
             *entry = (beacon.seq, beacon.timestamp_us);
         }
@@ -77,10 +80,9 @@ impl BeaconValidator {
                     self.violations.push((id, Violation::DuplicateInView));
                 }
             }
-            EventKind::OutOfView => {
-                if self.in_view_seen.get(&id).copied().unwrap_or(0) == 0 {
-                    self.violations.push((id, Violation::OutOfViewWithoutInView));
-                }
+            EventKind::OutOfView if self.in_view_seen.get(&id).copied().unwrap_or(0) == 0 => {
+                self.violations
+                    .push((id, Violation::OutOfViewWithoutInView));
             }
             _ => {}
         }
@@ -120,10 +122,7 @@ pub struct OutlierCampaign {
 /// Flags campaigns whose viewability rate deviates more than
 /// `z_threshold` standard deviations from the fleet mean. Requires at
 /// least three campaigns (below that, a "fleet" has no distribution).
-pub fn viewability_outliers(
-    reports: &[CampaignReport],
-    z_threshold: f64,
-) -> Vec<OutlierCampaign> {
+pub fn viewability_outliers(reports: &[CampaignReport], z_threshold: f64) -> Vec<OutlierCampaign> {
     if reports.len() < 3 {
         return Vec::new();
     }
@@ -214,7 +213,12 @@ mod tests {
     fn campaign(id: u32, served: u64, measured: u64, viewed: u64) -> CampaignReport {
         CampaignReport {
             campaign_id: id,
-            total: RateSlice { served, measured, viewed, clicked: 0 },
+            total: RateSlice {
+                served,
+                measured,
+                viewed,
+                clicked: 0,
+            },
             slices: HashMap::new(),
         }
     }

@@ -168,8 +168,16 @@ mod tests {
         for id in 1..=3 {
             worse.apply(&beacon(id, EventKind::InView, 1));
         }
-        let rev_better = total_usd(&invoice_campaigns(&better, PricingModel::PerViewedImpression, 1000));
-        let rev_worse = total_usd(&invoice_campaigns(&worse, PricingModel::PerViewedImpression, 1000));
+        let rev_better = total_usd(&invoice_campaigns(
+            &better,
+            PricingModel::PerViewedImpression,
+            1000,
+        ));
+        let rev_worse = total_usd(&invoice_campaigns(
+            &worse,
+            PricingModel::PerViewedImpression,
+            1000,
+        ));
         assert!(rev_better > rev_worse);
     }
 

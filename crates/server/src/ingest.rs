@@ -12,14 +12,20 @@
 //! tag's stream stay in order on one decoder.
 
 use crate::store::ImpressionStore;
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use qtag_wire::framing::FrameEvent;
-use qtag_wire::FrameDecoder;
+use qtag_wire::{Beacon, FrameDecoder};
+use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Default capacity of the beacon channel feeding the aggregator.
+/// Parser workers block when it fills (backpressure propagates to
+/// their chunk queues); [`BeaconInlet::offer`] sheds instead.
+pub const DEFAULT_INLET_CAPACITY: usize = 65_536;
 
 /// Counters the service maintains while running.
 #[derive(Debug, Default)]
@@ -30,6 +36,36 @@ pub struct IngestStats {
     pub beacons: AtomicU64,
     /// Frames rejected (checksum/decode failures).
     pub corrupt_frames: AtomicU64,
+    /// Beacons dropped by [`BeaconInlet::offer`] because the bounded
+    /// channel was full (slow aggregator / overload shedding).
+    pub shed_beacons: AtomicU64,
+}
+
+impl IngestStats {
+    /// Consistent-enough point-in-time copy of the counters (each
+    /// counter is read atomically; the set is not a transaction).
+    pub fn snapshot(&self) -> IngestStatsSnapshot {
+        IngestStatsSnapshot {
+            chunks: self.chunks.load(Ordering::Relaxed),
+            beacons: self.beacons.load(Ordering::Relaxed),
+            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
+            shed_beacons: self.shed_beacons.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value form of [`IngestStats`], serializable for ops endpoints
+/// and experiment logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct IngestStatsSnapshot {
+    /// Byte chunks accepted.
+    pub chunks: u64,
+    /// Beacons parsed and applied (or queued for application).
+    pub beacons: u64,
+    /// Frames rejected (checksum/decode failures).
+    pub corrupt_frames: u64,
+    /// Beacons shed at the bounded inlet.
+    pub shed_beacons: u64,
 }
 
 enum WorkerMsg {
@@ -37,41 +73,93 @@ enum WorkerMsg {
     Shutdown,
 }
 
+/// Clonable handle pushing already-decoded beacons straight to the
+/// aggregator over the bounded channel, bypassing the parser workers.
+/// Transports that decode in their own threads (the collector daemon)
+/// use this; [`BeaconInlet::offer`] never blocks, so a slow aggregator
+/// sheds load here instead of stalling connection readers.
+///
+/// Drop every inlet clone before calling [`IngestService::shutdown`]:
+/// the aggregator only exits once all beacon senders are gone.
+#[derive(Clone)]
+pub struct BeaconInlet {
+    tx: Sender<Beacon>,
+    stats: Arc<IngestStats>,
+}
+
+impl BeaconInlet {
+    /// Non-blocking hand-off. Returns `true` if the beacon was
+    /// accepted (counted in `beacons`), `false` if it was shed
+    /// (counted in `shed_beacons`). Every offered beacon lands in
+    /// exactly one of the two counters, which keeps end-to-end
+    /// conservation checks exact.
+    pub fn offer(&self, beacon: Beacon) -> bool {
+        match self.tx.try_send(beacon) {
+            Ok(()) => {
+                self.stats.beacons.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.stats.shed_beacons.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Blocking hand-off for callers that prefer backpressure to loss.
+    /// Returns `false` (counted as shed) only if the service is gone.
+    pub fn send(&self, beacon: Beacon) -> bool {
+        match self.tx.send(beacon) {
+            Ok(()) => {
+                self.stats.beacons.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                self.stats.shed_beacons.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+}
+
 /// The ingestion service: `workers` parser threads plus one aggregator.
 pub struct IngestService {
     tx: Vec<Sender<WorkerMsg>>,
     workers: Vec<JoinHandle<()>>,
     aggregator: Option<JoinHandle<()>>,
-    beacon_tx: Option<Sender<Option<qtag_wire::Beacon>>>,
+    beacon_tx: Option<Sender<Beacon>>,
     store: Arc<Mutex<ImpressionStore>>,
     stats: Arc<IngestStats>,
 }
 
 impl IngestService {
-    /// Starts the service over a shared store.
+    /// Starts the service over a shared store with the default inlet
+    /// capacity.
     pub fn start(store: Arc<Mutex<ImpressionStore>>, workers: usize) -> Self {
+        Self::start_with_capacity(store, workers, DEFAULT_INLET_CAPACITY)
+    }
+
+    /// Starts the service with an explicit bounded capacity for the
+    /// beacon channel feeding the aggregator.
+    pub fn start_with_capacity(
+        store: Arc<Mutex<ImpressionStore>>,
+        workers: usize,
+        inlet_capacity: usize,
+    ) -> Self {
         assert!(workers >= 1, "need at least one worker");
         let stats = Arc::new(IngestStats::default());
-        let (beacon_tx, beacon_rx): (
-            Sender<Option<qtag_wire::Beacon>>,
-            Receiver<Option<qtag_wire::Beacon>>,
-        ) = channel::unbounded();
+        let (beacon_tx, beacon_rx): (Sender<Beacon>, Receiver<Beacon>) =
+            channel::bounded(inlet_capacity);
 
         // Aggregator: single owner of store mutations (cheap fold; the
-        // mutex is only contended with synchronous readers).
+        // mutex is only contended with synchronous readers). Exits when
+        // the channel is drained AND every sender (workers + inlets +
+        // the service's own handle) has dropped — so nothing queued is
+        // ever lost, no sentinel counting required.
         let agg_store = Arc::clone(&store);
         let aggregator = std::thread::spawn(move || {
-            let mut live_workers = workers;
-            while let Ok(msg) = beacon_rx.recv() {
-                match msg {
-                    Some(beacon) => agg_store.lock().apply(&beacon),
-                    None => {
-                        live_workers -= 1;
-                        if live_workers == 0 {
-                            break;
-                        }
-                    }
-                }
+            while let Ok(beacon) = beacon_rx.recv() {
+                agg_store.lock().apply(&beacon);
             }
         });
 
@@ -93,47 +181,42 @@ impl IngestService {
                                 match ev {
                                     FrameEvent::Beacon(b) => {
                                         wstats.beacons.fetch_add(1, Ordering::Relaxed);
-                                        // Aggregator gone ⇒ shutting down.
-                                        if out.send(Some(b)).is_err() {
+                                        // Blocking send: parser workers
+                                        // take backpressure rather than
+                                        // shedding. Aggregator gone ⇒
+                                        // shutting down.
+                                        if out.send(b).is_err() {
                                             return;
                                         }
                                     }
                                     FrameEvent::Corrupt(_) => {
-                                        wstats
-                                            .corrupt_frames
-                                            .fetch_add(1, Ordering::Relaxed);
+                                        wstats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
                                     }
                                 }
                             }
                         }
                         WorkerMsg::Shutdown => {
                             // Connections are closing: flush every
-                            // decoder's tail (recovers frames stuck
-                            // behind noise that looked like a length
-                            // prefix).
+                            // decoder's remaining decodable frames.
                             for dec in decoders.values_mut() {
                                 for ev in dec.finish() {
                                     match ev {
                                         FrameEvent::Beacon(b) => {
                                             wstats.beacons.fetch_add(1, Ordering::Relaxed);
-                                            if out.send(Some(b)).is_err() {
+                                            if out.send(b).is_err() {
                                                 return;
                                             }
                                         }
                                         FrameEvent::Corrupt(_) => {
-                                            wstats
-                                                .corrupt_frames
-                                                .fetch_add(1, Ordering::Relaxed);
+                                            wstats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
                                         }
                                     }
                                 }
                             }
-                            let _ = out.send(None);
                             return;
                         }
                     }
                 }
-                let _ = out.send(None);
             }));
             tx.push(wtx);
         }
@@ -145,6 +228,17 @@ impl IngestService {
             beacon_tx: Some(beacon_tx),
             store,
             stats,
+        }
+    }
+
+    /// A new inlet handle for pre-decoded beacons. See [`BeaconInlet`].
+    pub fn inlet(&self) -> BeaconInlet {
+        BeaconInlet {
+            tx: self
+                .beacon_tx
+                .clone()
+                .expect("beacon channel open while service running"),
+            stats: Arc::clone(&self.stats),
         }
     }
 
@@ -175,7 +269,13 @@ impl IngestService {
 
     /// Graceful shutdown: drains all queued chunks, stops the workers and
     /// the aggregator, and returns once every accepted beacon has been
-    /// applied to the store.
+    /// applied to the store. Each worker processes its whole queue before
+    /// seeing the `Shutdown` message (same channel, FIFO), and the
+    /// aggregator drains the beacon channel completely before `recv`
+    /// reports disconnect, so no accepted beacon is lost.
+    ///
+    /// Callers holding [`BeaconInlet`] clones must drop them first, or
+    /// the aggregator join will wait for them.
     pub fn shutdown(mut self) {
         for tx in &self.tx {
             let _ = tx.send(WorkerMsg::Shutdown);
@@ -290,7 +390,9 @@ mod tests {
         let service = IngestService::start(Arc::clone(&store), 3);
         let mut link = LossyLink::lossless();
         for id in 0..50u64 {
-            let bytes = link.transmit(&[beacon(id, 0, EventKind::Measurable)]).unwrap();
+            let bytes = link
+                .transmit(&[beacon(id, 0, EventKind::Measurable)])
+                .unwrap();
             service.submit(id, bytes);
         }
         // stats are monotone; snapshot after shutdown is exact
@@ -306,5 +408,105 @@ mod tests {
         let store = Arc::new(Mutex::new(ImpressionStore::new()));
         let service = IngestService::start(store, 4);
         service.shutdown(); // must not hang
+    }
+
+    /// The graceful-shutdown contract: every chunk queued before
+    /// `shutdown()` is fully parsed and applied before the join
+    /// returns, even when shutdown races a large backlog across many
+    /// workers. Nothing between the Shutdown message and the thread
+    /// join may drop queued frames.
+    #[test]
+    fn shutdown_drains_entire_queued_backlog() {
+        const IMPRESSIONS: u64 = 1_000;
+        let store = Arc::new(Mutex::new(ImpressionStore::new()));
+        {
+            let mut s = store.lock();
+            for id in 0..IMPRESSIONS {
+                s.record_served(served(id));
+            }
+        }
+        // Tiny inlet capacity forces workers to block on the
+        // aggregator mid-drain, exercising the backpressure path
+        // during shutdown too.
+        let service = IngestService::start_with_capacity(Arc::clone(&store), 4, 8);
+        let mut link = LossyLink::lossless();
+        for id in 0..IMPRESSIONS {
+            let bytes = link
+                .transmit(&[
+                    beacon(id, 0, EventKind::Measurable),
+                    beacon(id, 1, EventKind::InView),
+                ])
+                .unwrap();
+            service.submit(id, bytes);
+        }
+        let stats = Arc::clone(service.stats_arc());
+        // Immediately shut down: the whole backlog is still queued.
+        service.shutdown();
+        assert_eq!(stats.beacons.load(Ordering::Relaxed), IMPRESSIONS * 2);
+        assert_eq!(stats.shed_beacons.load(Ordering::Relaxed), 0);
+        let s = store.lock();
+        for id in 0..IMPRESSIONS {
+            assert_eq!(s.verdict(id), (true, true), "impression {id}");
+        }
+    }
+
+    #[test]
+    fn inlet_beacons_are_applied_and_counted() {
+        let store = Arc::new(Mutex::new(ImpressionStore::new()));
+        store.lock().record_served(served(3));
+        let service = IngestService::start(Arc::clone(&store), 1);
+        let inlet = service.inlet();
+        assert!(inlet.offer(beacon(3, 0, EventKind::Measurable)));
+        assert!(inlet.offer(beacon(3, 1, EventKind::InView)));
+        drop(inlet);
+        let stats = Arc::clone(service.stats_arc());
+        service.shutdown();
+        assert_eq!(stats.beacons.load(Ordering::Relaxed), 2);
+        assert_eq!(store.lock().verdict(3), (true, true));
+    }
+
+    /// Overload shedding at the inlet is exact: every offered beacon is
+    /// counted either as accepted or as shed, never both, never neither.
+    #[test]
+    fn inlet_sheds_when_full_and_accounting_is_exact() {
+        let store = Arc::new(Mutex::new(ImpressionStore::new()));
+        store.lock().record_served(served(9));
+        let service = IngestService::start_with_capacity(Arc::clone(&store), 1, 2);
+        let inlet = service.inlet();
+        // Hold the store lock so the aggregator stalls on its first
+        // apply, guaranteeing the bounded channel eventually fills.
+        let mut offered = 0u64;
+        let mut accepted = 0u64;
+        {
+            let _guard = store.lock();
+            while offered < 1_000 {
+                if inlet.offer(beacon(9, offered as u16, EventKind::Heartbeat)) {
+                    accepted += 1;
+                } else if offered > 16 {
+                    // Channel is demonstrably full; stop after proving
+                    // at least one shed.
+                    offered += 1;
+                    break;
+                }
+                offered += 1;
+            }
+        }
+        assert!(accepted < offered, "expected at least one shed offer");
+        drop(inlet);
+        let stats = Arc::clone(service.stats_arc());
+        service.shutdown();
+        let snap = stats.snapshot();
+        assert_eq!(snap.beacons, accepted);
+        assert_eq!(snap.beacons + snap.shed_beacons, offered);
+    }
+
+    #[test]
+    fn stats_snapshot_is_serializable() {
+        let stats = IngestStats::default();
+        stats.beacons.fetch_add(7, Ordering::Relaxed);
+        stats.shed_beacons.fetch_add(2, Ordering::Relaxed);
+        let json = serde_json::to_string(&stats.snapshot()).unwrap();
+        assert!(json.contains("\"beacons\":7"), "{json}");
+        assert!(json.contains("\"shed_beacons\":2"), "{json}");
     }
 }

@@ -37,10 +37,12 @@ mod transport;
 
 pub use anomaly::{viewability_outliers, BeaconValidator, OutlierCampaign, Violation};
 pub use billing::{invoice_campaigns, total_usd, Invoice, PricingModel};
-pub use ingest::{IngestService, IngestStats};
-pub use timeline::{BucketStats, Timeline};
+pub use ingest::{
+    BeaconInlet, IngestService, IngestStats, IngestStatsSnapshot, DEFAULT_INLET_CAPACITY,
+};
 pub use report::{
     mean, std_dev, to_csv, CampaignReport, FleetSummary, RateSlice, ReportBuilder, SliceKey,
 };
 pub use store::{ImpressionRecord, ImpressionStore, ServedImpression};
+pub use timeline::{BucketStats, Timeline};
 pub use transport::LossyLink;

@@ -280,9 +280,15 @@ mod tests {
         store.apply(&beacon(1, EventKind::Measurable, 0));
         let table = ReportBuilder::slice_table(&store);
         assert_eq!(table.len(), 2);
-        let android_app = table[&SliceKey { site_type: SiteType::App, os: OsKind::Android }];
+        let android_app = table[&SliceKey {
+            site_type: SiteType::App,
+            os: OsKind::Android,
+        }];
         assert_eq!((android_app.served, android_app.measured), (1, 1));
-        let ios_browser = table[&SliceKey { site_type: SiteType::Browser, os: OsKind::Ios }];
+        let ios_browser = table[&SliceKey {
+            site_type: SiteType::Browser,
+            os: OsKind::Ios,
+        }];
         assert_eq!((ios_browser.served, ios_browser.measured), (1, 0));
     }
 

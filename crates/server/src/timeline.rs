@@ -82,8 +82,10 @@ impl Timeline {
         stats.beacons += 1;
         match beacon.event {
             EventKind::Measurable => {
-                if !self.first_measured.contains_key(&beacon.impression_id) {
-                    self.first_measured.insert(beacon.impression_id, bucket);
+                if let std::collections::hash_map::Entry::Vacant(e) =
+                    self.first_measured.entry(beacon.impression_id)
+                {
+                    e.insert(bucket);
                     stats.measured += 1;
                 }
             }

@@ -60,7 +60,7 @@ impl LossyLink {
                 self.corrupted += 1;
                 // Flip one random payload byte (beyond the length prefix).
                 let idx = self.rng.gen_range(2..frame.len());
-                frame[idx] ^= 1 << self.rng.gen_range(0..8);
+                frame[idx] ^= 1u8 << self.rng.gen_range(0..8u32);
             }
             out.extend_from_slice(&frame);
         }

@@ -83,9 +83,8 @@ impl SessionBehavior {
     ) -> SessionBehavior {
         let dwell_dist = LogNormal::new(cfg.median_dwell_ms.ln(), cfg.dwell_sigma)
             .expect("valid log-normal parameters");
-        let dwell = |rng: &mut ChaCha8Rng| -> u64 {
-            dwell_dist.sample(rng).clamp(300.0, 30_000.0) as u64
-        };
+        let dwell =
+            |rng: &mut ChaCha8Rng| -> u64 { dwell_dist.sample(rng).clamp(300.0, 30_000.0) as u64 };
 
         let mut actions = Vec::new();
         actions.push(UserAction::Dwell(dwell(rng)));

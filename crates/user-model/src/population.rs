@@ -201,7 +201,7 @@ impl Population {
         let cpu_load = if rng.gen_bool(0.5) {
             rng.gen_range(0.0..0.1)
         } else {
-            (self.cfg.mean_cpu_load + rng.gen_range(-0.1..0.35)).clamp(0.0, 0.6)
+            (self.cfg.mean_cpu_load + rng.gen_range(-0.1..0.35f64)).clamp(0.0, 0.6)
         };
         EnvSample {
             site_type: slice.site_type,

@@ -72,7 +72,8 @@ impl SessionSim {
 
         // Publisher page with the served ad embedded in the double
         // cross-domain iframe.
-        let page_model = PageModel::generate(viewport, ad.creative_size, self.above_fold_share, &mut rng);
+        let page_model =
+            PageModel::generate(viewport, ad.creative_size, self.above_fold_share, &mut rng);
         let mut page = Page::new(Origin::https("publisher.example"), page_model.doc_size);
         let origins = ServingOrigins::default();
         let placement = embed_served_ad(&mut page, page_model.slot, ad, &origins)
@@ -95,11 +96,8 @@ impl SessionSim {
                 (w, Some(TabId(0)))
             }
             SiteType::App => {
-                let w = screen.add_window(
-                    WindowKind::AppWebView { page },
-                    full,
-                    profile.chrome_height,
-                );
+                let w =
+                    screen.add_window(WindowKind::AppWebView { page }, full, profile.chrome_height);
                 (w, None)
             }
         };
@@ -116,21 +114,29 @@ impl SessionSim {
             }
             qtag_id = Some(
                 engine
-                    .attach_script(window, tab, placement.dsp_frame, tag_origin.clone(), Box::new(QTag::new(cfg)))
+                    .attach_script(
+                        window,
+                        tab,
+                        placement.dsp_frame,
+                        tag_origin.clone(),
+                        Box::new(QTag::new(cfg)),
+                    )
                     .expect("attach qtag"),
             );
         }
         let mut verifier_id: Option<ScriptId> = None;
         if self.attach_verifier && !env.verifier_fetch_fail {
-            let cfg = VerifierConfig::new(
-                ad.impression_id,
-                ad.campaign_id.0,
-                creative_rect,
-                ad.format,
-            );
+            let cfg =
+                VerifierConfig::new(ad.impression_id, ad.campaign_id.0, creative_rect, ad.format);
             verifier_id = Some(
                 engine
-                    .attach_script(window, tab, placement.dsp_frame, tag_origin, Box::new(VerifierTag::new(cfg)))
+                    .attach_script(
+                        window,
+                        tab,
+                        placement.dsp_frame,
+                        tag_origin,
+                        Box::new(VerifierTag::new(cfg)),
+                    )
                     .expect("attach verifier"),
             );
         }
@@ -187,11 +193,10 @@ impl SessionSim {
                             ov
                         }
                         None => {
-                            let ov = engine.screen_mut().add_window(
-                                WindowKind::OpaqueApp,
-                                full,
-                                0.0,
-                            );
+                            let ov =
+                                engine
+                                    .screen_mut()
+                                    .add_window(WindowKind::OpaqueApp, full, 0.0);
                             overlay = Some(ov);
                             ov
                         }
@@ -234,7 +239,9 @@ impl SessionSim {
     ) -> Option<qtag_geometry::Point> {
         let w = engine.screen().window(window).ok()?;
         let page = match (&tab, &w.kind) {
-            (Some(t), WindowKind::Browser { tabs, .. }) => tabs.get(t.index()).map(|tb| &tb.page)?,
+            (Some(t), WindowKind::Browser { tabs, .. }) => {
+                tabs.get(t.index()).map(|tb| &tb.page)?
+            }
             (None, WindowKind::AppWebView { page }) => page,
             _ => return None,
         };
@@ -290,7 +297,10 @@ mod tests {
         let out = sim.run(&ad(), &healthy_env(SiteType::Browser), 7);
         assert!(has(&out.qtag_beacons, EventKind::Measurable));
         assert!(has(&out.verifier_beacons, EventKind::Measurable));
-        assert!(has(&out.qtag_beacons, EventKind::InView), "above-fold ad must be viewed");
+        assert!(
+            has(&out.qtag_beacons, EventKind::InView),
+            "above-fold ad must be viewed"
+        );
         assert!(has(&out.verifier_beacons, EventKind::InView));
     }
 
@@ -314,7 +324,10 @@ mod tests {
         };
         let out = sim.run(&ad(), &env, 9);
         assert!(has(&out.qtag_beacons, EventKind::InView));
-        assert!(out.verifier_beacons.is_empty(), "sandboxed SDK stays silent");
+        assert!(
+            out.verifier_beacons.is_empty(),
+            "sandboxed SDK stays silent"
+        );
     }
 
     #[test]

@@ -35,8 +35,15 @@ impl TrafficPattern {
     /// Panics unless exactly 168 non-negative weights with a positive
     /// sum are provided.
     pub fn from_hourly_weights(weights: Vec<f64>) -> Self {
-        assert_eq!(weights.len(), (WEEK_DAYS * DAY_H) as usize, "168 hourly weights");
-        assert!(weights.iter().all(|w| *w >= 0.0), "weights must be non-negative");
+        assert_eq!(
+            weights.len(),
+            (WEEK_DAYS * DAY_H) as usize,
+            "168 hourly weights"
+        );
+        assert!(
+            weights.iter().all(|w| *w >= 0.0),
+            "weights must be non-negative"
+        );
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for w in &weights {
@@ -44,7 +51,10 @@ impl TrafficPattern {
             cumulative.push(acc);
         }
         assert!(acc > 0.0, "total intensity must be positive");
-        TrafficPattern { weights, cumulative }
+        TrafficPattern {
+            weights,
+            cumulative,
+        }
     }
 
     /// A typical mobile-traffic week: overnight trough (02–06 h),

@@ -215,7 +215,9 @@ mod tests {
     use super::*;
     use qtag_dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
     use qtag_geometry::{Size, Vector};
-    use qtag_render::{ApiCapabilities, CpuLoadModel, DeviceProfile, Engine, EngineConfig, SimDuration};
+    use qtag_render::{
+        ApiCapabilities, CpuLoadModel, DeviceProfile, Engine, EngineConfig, SimDuration,
+    };
     use qtag_wire::{BrowserKind, OsKind};
 
     fn scene(ad_y: f64) -> (Page, qtag_dom::FrameId) {
@@ -229,7 +231,10 @@ mod tests {
         (page, dsp)
     }
 
-    fn engine_with(profile: DeviceProfile, ad_y: f64) -> (Engine, qtag_dom::WindowId, qtag_dom::FrameId) {
+    fn engine_with(
+        profile: DeviceProfile,
+        ad_y: f64,
+    ) -> (Engine, qtag_dom::WindowId, qtag_dom::FrameId) {
         let (page, dsp) = scene(ad_y);
         let mut screen = Screen::desktop();
         let w = screen.add_window(
@@ -253,7 +258,11 @@ mod tests {
     }
 
     fn events(engine: &mut Engine) -> Vec<EventKind> {
-        engine.drain_outbox().into_iter().map(|b| b.beacon.event).collect()
+        engine
+            .drain_outbox()
+            .into_iter()
+            .map(|b| b.beacon.event)
+            .collect()
     }
 
     #[test]
@@ -261,7 +270,13 @@ mod tests {
         let profile = DeviceProfile::desktop(BrowserKind::Chrome, OsKind::Windows10);
         let (mut engine, w, dsp) = engine_with(profile, 100.0);
         engine
-            .attach_script(w, Some(TabId(0)), dsp, Origin::https("dsp.example"), Box::new(VerifierTag::new(cfg())))
+            .attach_script(
+                w,
+                Some(TabId(0)),
+                dsp,
+                Origin::https("dsp.example"),
+                Box::new(VerifierTag::new(cfg())),
+            )
             .unwrap();
         engine.run_for(SimDuration::from_secs(2));
         let evs = events(&mut engine);
@@ -275,7 +290,13 @@ mod tests {
         let profile = DeviceProfile::desktop(BrowserKind::Ie11, OsKind::Windows10);
         let (mut engine, w, dsp) = engine_with(profile, 100.0);
         engine
-            .attach_script(w, Some(TabId(0)), dsp, Origin::https("dsp.example"), Box::new(VerifierTag::new(cfg())))
+            .attach_script(
+                w,
+                Some(TabId(0)),
+                dsp,
+                Origin::https("dsp.example"),
+                Box::new(VerifierTag::new(cfg())),
+            )
             .unwrap();
         engine.run_for(SimDuration::from_secs(3));
         let evs = events(&mut engine);
@@ -289,16 +310,33 @@ mod tests {
         let profile = DeviceProfile::in_app_webview(OsKind::Android, false);
         let (page, dsp) = scene(100.0);
         let mut screen = Screen::phone();
-        let w = screen.add_window(WindowKind::AppWebView { page }, Rect::new(0.0, 0.0, 360.0, 740.0), 56.0);
+        let w = screen.add_window(
+            WindowKind::AppWebView { page },
+            Rect::new(0.0, 0.0, 360.0, 740.0),
+            56.0,
+        );
         let mut engine = Engine::new(
-            EngineConfig { profile, cpu: CpuLoadModel::idle(), seed: 1 },
+            EngineConfig {
+                profile,
+                cpu: CpuLoadModel::idle(),
+                seed: 1,
+            },
             screen,
         );
         engine
-            .attach_script(w, None, dsp, Origin::https("dsp.example"), Box::new(VerifierTag::new(cfg())))
+            .attach_script(
+                w,
+                None,
+                dsp,
+                Origin::https("dsp.example"),
+                Box::new(VerifierTag::new(cfg())),
+            )
             .unwrap();
         engine.run_for(SimDuration::from_secs(2));
-        assert!(events(&mut engine).is_empty(), "blocked SDK must stay silent");
+        assert!(
+            events(&mut engine).is_empty(),
+            "blocked SDK must stay silent"
+        );
     }
 
     #[test]
@@ -306,7 +344,13 @@ mod tests {
         let profile = DeviceProfile::desktop(BrowserKind::Chrome, OsKind::Windows10);
         let (mut engine, w, dsp) = engine_with(profile, 1500.0);
         engine
-            .attach_script(w, Some(TabId(0)), dsp, Origin::https("dsp.example"), Box::new(VerifierTag::new(cfg())))
+            .attach_script(
+                w,
+                Some(TabId(0)),
+                dsp,
+                Origin::https("dsp.example"),
+                Box::new(VerifierTag::new(cfg())),
+            )
             .unwrap();
         engine.run_for(SimDuration::from_secs(2));
         let evs = events(&mut engine);
@@ -319,11 +363,19 @@ mod tests {
         let profile = DeviceProfile::desktop(BrowserKind::Firefox, OsKind::MacOs);
         let (mut engine, w, dsp) = engine_with(profile, 100.0);
         engine
-            .attach_script(w, Some(TabId(0)), dsp, Origin::https("dsp.example"), Box::new(VerifierTag::new(cfg())))
+            .attach_script(
+                w,
+                Some(TabId(0)),
+                dsp,
+                Origin::https("dsp.example"),
+                Box::new(VerifierTag::new(cfg())),
+            )
             .unwrap();
         engine.run_for(SimDuration::from_secs(2));
         assert!(events(&mut engine).contains(&EventKind::InView));
-        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 2000.0)).unwrap();
+        engine
+            .scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 2000.0))
+            .unwrap();
         engine.run_for(SimDuration::from_secs(1));
         assert!(events(&mut engine).contains(&EventKind::OutOfView));
     }
@@ -339,7 +391,10 @@ mod tests {
             .unwrap();
         let mut screen = Screen::desktop();
         let w = screen.add_window(
-            WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+            WindowKind::Browser {
+                tabs: vec![Tab::new(page)],
+                active: TabId(0),
+            },
             Rect::new(0.0, 0.0, 1280.0, 880.0),
             80.0,
         );
@@ -350,11 +405,21 @@ mod tests {
             verifier_sdk_loads: true,
         };
         let mut engine = Engine::new(
-            EngineConfig { profile, cpu: CpuLoadModel::idle(), seed: 2 },
+            EngineConfig {
+                profile,
+                cpu: CpuLoadModel::idle(),
+                seed: 2,
+            },
             screen,
         );
         engine
-            .attach_script(w, Some(TabId(0)), frame, Origin::https("pub.example"), Box::new(VerifierTag::new(cfg())))
+            .attach_script(
+                w,
+                Some(TabId(0)),
+                frame,
+                Origin::https("pub.example"),
+                Box::new(VerifierTag::new(cfg())),
+            )
             .unwrap();
         engine.run_for(SimDuration::from_secs(2));
         let evs = events(&mut engine);

@@ -143,7 +143,10 @@ mod tests {
     fn validate_rejects_overfull_fraction() {
         let mut b = sample();
         b.visible_fraction_milli = 1001;
-        assert_eq!(b.validate(), Err(WireError::FieldRange("visible_fraction_milli")));
+        assert_eq!(
+            b.validate(),
+            Err(WireError::FieldRange("visible_fraction_milli"))
+        );
     }
 
     #[test]

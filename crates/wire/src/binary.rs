@@ -160,14 +160,20 @@ mod tests {
     fn corrupted_payload_fails_checksum() {
         let mut bytes = encode_to_vec(&sample()).unwrap();
         bytes[12] ^= 0xFF; // flip a campaign-id byte
-        assert!(matches!(decode(&bytes).unwrap_err(), WireError::BadChecksum { .. }));
+        assert!(matches!(
+            decode(&bytes).unwrap_err(),
+            WireError::BadChecksum { .. }
+        ));
     }
 
     #[test]
     fn bad_magic_is_rejected_before_checksum() {
         let mut bytes = encode_to_vec(&sample()).unwrap();
         bytes[0] = b'X';
-        assert!(matches!(decode(&bytes).unwrap_err(), WireError::BadMagic(_)));
+        assert!(matches!(
+            decode(&bytes).unwrap_err(),
+            WireError::BadMagic(_)
+        ));
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl fmt::Display for WireError {
             WireError::BadVersion(v) => write!(f, "unsupported beacon version {v}"),
             WireError::BadEnum(name, c) => write!(f, "unknown {name} code {c}"),
             WireError::BadChecksum { expected, actual } => {
-                write!(f, "checksum mismatch: frame says {expected:#06x}, computed {actual:#06x}")
+                write!(
+                    f,
+                    "checksum mismatch: frame says {expected:#06x}, computed {actual:#06x}"
+                )
             }
             WireError::FieldRange(name) => write!(f, "field {name} out of range"),
             WireError::BadLength(l) => write!(f, "implausible frame length {l}"),
@@ -61,7 +64,10 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = WireError::BadChecksum { expected: 0xBEEF, actual: 0x1234 };
+        let e = WireError::BadChecksum {
+            expected: 0xBEEF,
+            actual: 0x1234,
+        };
         assert!(e.to_string().contains("0xbeef"));
         assert!(WireError::Truncated { needed: 10, got: 3 }
             .to_string()

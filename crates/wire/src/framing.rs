@@ -13,10 +13,12 @@
 use crate::{binary, Beacon, WireError};
 use bytes::{Buf, BufMut, BytesMut};
 
-/// Maximum payload length the decoder will believe. Anything larger is
-/// treated as corruption and triggers resynchronisation. Kept tight —
-/// current beacons are 38 bytes — because a too-generous bound lets a
-/// noise byte masquerade as a huge length prefix and stall the decoder
+/// Maximum payload length a well-formed frame may declare. The decoder
+/// itself is stricter — only [`binary::ENCODED_LEN`] can hold a valid
+/// beacon, so any other declared length triggers resynchronisation —
+/// but transports use this bound to reject oversized frames before
+/// buffering them. Kept tight because a too-generous bound lets a noise
+/// byte masquerade as a huge length prefix and stall a naive reader
 /// waiting for bytes that will never come.
 pub const MAX_FRAME_LEN: usize = 64;
 
@@ -83,14 +85,32 @@ impl FrameDecoder {
 
     /// Attempts to decode the next frame. Returns `None` when more bytes
     /// are needed.
+    ///
+    /// Event accounting is exact for honest frame headers: a frame that
+    /// declares the one valid payload size ([`binary::ENCODED_LEN`])
+    /// *and* opens with the beacon magic, yet fails verification
+    /// (checksum/version/field), is skipped *whole* and reported as
+    /// exactly one [`FrameEvent::Corrupt`]. Everything else — an
+    /// implausible length, or a plausible length whose payload lacks
+    /// the magic — can only be noise, so the decoder resyncs one byte
+    /// at a time, counting [`FrameDecoder::skipped_bytes`] but emitting
+    /// no events. This keeps `beacons + corrupt frames + noise bytes` a
+    /// conserved decomposition of the input stream, which the collector
+    /// daemon relies on for its end-to-end conservation check.
+    ///
+    /// The emitted event sequence depends only on the byte stream, not
+    /// on how it was chunked across [`FrameDecoder::extend`] calls:
+    /// every decision here reads a fixed-size prefix of the buffer.
     pub fn next_event(&mut self) -> Option<FrameEvent> {
         loop {
             if self.buf.len() < 2 {
                 return None;
             }
             let len = u16::from_be_bytes([self.buf[0], self.buf[1]]) as usize;
-            if len == 0 || len > MAX_FRAME_LEN {
-                // Implausible length: resynchronise by skipping one byte.
+            if len != binary::ENCODED_LEN {
+                // No other payload size can decode; the prefix is noise
+                // (or a corrupted length, indistinguishable from noise).
+                // Resynchronise by skipping one byte, silently.
                 self.buf.advance(1);
                 self.skipped_bytes += 1;
                 continue;
@@ -98,18 +118,29 @@ impl FrameDecoder {
             if self.buf.len() < 2 + len {
                 return None;
             }
-            let payload = self.buf[2..2 + len].to_vec();
-            match binary::decode(&payload) {
+            let payload = &self.buf[2..2 + len];
+            match binary::decode(payload) {
                 Ok(beacon) => {
                     self.buf.advance(2 + len);
                     return Some(FrameEvent::Beacon(beacon));
                 }
-                Err(e) => {
-                    // A declared frame that doesn't verify: skip a single
-                    // byte rather than the whole declared length, in case
-                    // the "length" itself was garbage mid-stream.
+                Err(WireError::BadMagic(_)) => {
+                    // A plausible length followed by non-beacon bytes is
+                    // a noise pair that happened to read as ENCODED_LEN,
+                    // not a damaged frame. Resync silently so a fake
+                    // length can't swallow a real frame behind it.
                     self.buf.advance(1);
                     self.skipped_bytes += 1;
+                    continue;
+                }
+                Err(e) => {
+                    // Honest header (length + magic) but the payload
+                    // doesn't verify: drop the whole declared frame and
+                    // report it exactly once. Advancing past the full
+                    // frame lands on the next frame boundary, which is
+                    // what makes per-frame corruption accounting exact.
+                    self.buf.advance(2 + len);
+                    self.skipped_bytes += (2 + len) as u64;
                     return Some(FrameEvent::Corrupt(e));
                 }
             }
@@ -126,26 +157,14 @@ impl FrameDecoder {
     }
 
     /// End-of-stream flush: the transport closed, so no more bytes are
-    /// coming. A noise byte pair that parsed as a plausible length can
-    /// leave the decoder waiting forever ([`FrameDecoder::next_event`]
-    /// returns `None` mid-"frame"); this forces resynchronisation by
-    /// skipping ahead one byte at a time, recovering any real frames
-    /// buried in the tail, until the buffer is exhausted.
+    /// coming. Drains every decodable event; whatever stays buffered is
+    /// a truncated tail frame (a valid length prefix whose payload was
+    /// cut off mid-send). The tail is deliberately *not* counted as
+    /// corrupt — a sender that died mid-frame never completed that
+    /// beacon, so conservation accounting treats it as never sent.
+    /// Inspect [`FrameDecoder::buffered`] to see how much was left.
     pub fn finish(&mut self) -> Vec<FrameEvent> {
-        let mut out = Vec::new();
-        loop {
-            while let Some(ev) = self.next_event() {
-                out.push(ev);
-            }
-            // A whole frame needs prefix + payload bytes; anything
-            // shorter is guaranteed tail noise.
-            if self.buf.len() < 2 + crate::binary::ENCODED_LEN {
-                break;
-            }
-            self.buf.advance(1);
-            self.skipped_bytes += 1;
-        }
-        out
+        self.drain()
     }
 }
 
@@ -222,9 +241,7 @@ mod tests {
         let mut dec = FrameDecoder::new();
         dec.extend(&bytes);
         let events = dec.drain();
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, FrameEvent::Corrupt(_))));
+        assert!(events.iter().any(|e| matches!(e, FrameEvent::Corrupt(_))));
         assert!(events
             .iter()
             .any(|e| matches!(e, FrameEvent::Beacon(b) if b.seq == 2)));

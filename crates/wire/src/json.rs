@@ -62,8 +62,14 @@ mod tests {
     #[test]
     fn out_of_range_fields_rejected_on_decode() {
         let mut s = encode(&sample()).unwrap();
-        s = s.replace("\"visible_fraction_milli\":333", "\"visible_fraction_milli\":5000");
-        assert_eq!(decode(&s).unwrap_err(), WireError::FieldRange("visible_fraction_milli"));
+        s = s.replace(
+            "\"visible_fraction_milli\":333",
+            "\"visible_fraction_milli\":5000",
+        );
+        assert_eq!(
+            decode(&s).unwrap_err(),
+            WireError::FieldRange("visible_fraction_milli")
+        );
     }
 
     #[test]

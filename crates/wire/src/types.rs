@@ -241,7 +241,12 @@ mod tests {
         ] {
             assert_eq!(BrowserKind::from_code(b.code()).unwrap(), b);
         }
-        for o in [OsKind::Windows10, OsKind::MacOs, OsKind::Android, OsKind::Ios] {
+        for o in [
+            OsKind::Windows10,
+            OsKind::MacOs,
+            OsKind::Android,
+            OsKind::Ios,
+        ] {
             assert_eq!(OsKind::from_code(o.code()).unwrap(), o);
         }
         for s in [SiteType::Browser, SiteType::App] {

@@ -41,7 +41,11 @@ fn unhex(s: &str) -> Vec<u8> {
 #[test]
 fn binary_encoding_is_byte_exact() {
     let bytes = binary::encode_to_vec(&golden_beacon()).unwrap();
-    assert_eq!(hex(&bytes), GOLDEN_HEX, "wire layout changed — version bump required");
+    assert_eq!(
+        hex(&bytes),
+        GOLDEN_HEX,
+        "wire layout changed — version bump required"
+    );
 }
 
 #[test]

@@ -84,6 +84,55 @@ proptest! {
         prop_assert_eq!(got, beacons);
     }
 
+    /// Chunking invariance, exhaustively: the same stream fed whole,
+    /// split in two at *every* possible boundary, and byte-by-byte
+    /// yields the identical event sequence (beacons and corrupt-frame
+    /// reports alike). The stream includes a corrupted frame so the
+    /// invariance covers the resynchronisation path, not just the happy
+    /// path.
+    #[test]
+    fn every_split_point_yields_identical_events(
+        beacons in prop::collection::vec(arb_beacon(), 1..6),
+        corrupt_at in any::<u16>(),
+        flip in 1u8..=255,
+    ) {
+        let mut stream = encode_frames(&beacons).unwrap();
+        // Corrupt one non-magic payload byte of one frame (offsets 4..40
+        // within the frame skip the length prefix and the magic), so the
+        // decoder must report exactly one corrupt frame.
+        let frame_len = 2 + binary::ENCODED_LEN;
+        let victim = corrupt_at as usize % beacons.len();
+        let offset = victim * frame_len + 4 + (corrupt_at as usize / beacons.len()) % (frame_len - 4);
+        stream[offset] ^= flip;
+
+        let decode_with_chunks = |chunks: &[&[u8]]| -> Vec<FrameEvent> {
+            let mut dec = FrameDecoder::new();
+            let mut events = Vec::new();
+            for chunk in chunks {
+                dec.extend(chunk);
+                events.extend(dec.drain());
+            }
+            events.extend(dec.finish());
+            events
+        };
+
+        let whole = decode_with_chunks(&[&stream]);
+        let corrupt_count = whole.iter().filter(|e| matches!(e, FrameEvent::Corrupt(_))).count();
+        prop_assert_eq!(corrupt_count, 1, "expected exactly one corrupt frame, got {:?}", &whole);
+        let beacon_count = whole.iter().filter(|e| matches!(e, FrameEvent::Beacon(_))).count();
+        prop_assert_eq!(beacon_count, beacons.len() - 1);
+
+        for split in 0..=stream.len() {
+            let (a, b) = stream.split_at(split);
+            let two = decode_with_chunks(&[a, b]);
+            prop_assert_eq!(&two, &whole, "split at {} diverged", split);
+        }
+
+        let single_bytes: Vec<&[u8]> = stream.chunks(1).collect();
+        let bytewise = decode_with_chunks(&single_bytes);
+        prop_assert_eq!(&bytewise, &whole, "byte-by-byte feed diverged");
+    }
+
     /// Noise injected before the stream never prevents later frames from
     /// being recovered.
     #[test]

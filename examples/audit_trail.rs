@@ -33,7 +33,7 @@ impl TagScript for AuditedTag {
         self.inner.on_timer(ctx);
         self.samples += 1;
         // snapshot once per second (every 10th sample at 10 Hz)
-        if self.samples % 10 == 0 {
+        if self.samples.is_multiple_of(10) {
             self.snapshots.push(self.inner.snapshot(ctx.now()));
         }
     }
@@ -49,7 +49,10 @@ fn main() {
         .unwrap();
     let mut screen = Screen::desktop();
     let window = screen.add_window(
-        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page)],
+            active: TabId(0),
+        },
         Rect::new(0.0, 0.0, 1280.0, 880.0),
         80.0,
     );
@@ -80,14 +83,24 @@ fn main() {
     }
     let shared = Rc::new(RefCell::new(tag));
     engine
-        .attach_script(window, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(Shared(Rc::clone(&shared))))
+        .attach_script(
+            window,
+            Some(TabId(0)),
+            frame,
+            Origin::https("dsp.example"),
+            Box::new(Shared(Rc::clone(&shared))),
+        )
         .unwrap();
 
     // Below the fold for 1 s, half-visible for 1 s, fully visible for 1.5 s.
     engine.run_for(SimDuration::from_secs(1));
-    engine.scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 325.0)).unwrap();
+    engine
+        .scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 325.0))
+        .unwrap();
     engine.run_for(SimDuration::from_secs(1));
-    engine.scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 900.0)).unwrap();
+    engine
+        .scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 900.0))
+        .unwrap();
     engine.run_for(SimDuration::from_millis(1_500));
 
     let tag = shared.borrow();

@@ -12,9 +12,7 @@
 use parking_lot::Mutex;
 use qtag::adtech::{AdSlotRequest, Campaign, Dsp, Exchange, ExchangeKind, GeoRegion, Sector};
 use qtag::geometry::Size;
-use qtag::server::{
-    IngestService, ImpressionStore, LossyLink, ReportBuilder, ServedImpression,
-};
+use qtag::server::{ImpressionStore, IngestService, LossyLink, ReportBuilder, ServedImpression};
 use qtag::user::{Population, PopulationConfig, SessionSim};
 use qtag::wire::SiteType;
 use rand::SeedableRng;
@@ -78,14 +76,20 @@ fn main() {
         // collectors.
         let mut link = LossyLink::new(env.beacon_loss, 0.002, ad.impression_id);
         qtag_ingest.submit(ad.impression_id, link.transmit(&out.qtag_beacons).unwrap());
-        verifier_ingest.submit(ad.impression_id, link.transmit(&out.verifier_beacons).unwrap());
+        verifier_ingest.submit(
+            ad.impression_id,
+            link.transmit(&out.verifier_beacons).unwrap(),
+        );
     }
 
     qtag_ingest.shutdown();
     verifier_ingest.shutdown();
 
     println!("campaign 'Solera Beverages' — {served} impressions served\n");
-    for (name, store) in [("Q-Tag", &qtag_store), ("Commercial verifier", &verifier_store)] {
+    for (name, store) in [
+        ("Q-Tag", &qtag_store),
+        ("Commercial verifier", &verifier_store),
+    ] {
         let store = store.lock();
         let reports = ReportBuilder::per_campaign(&store);
         let r = &reports[0];

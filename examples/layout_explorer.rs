@@ -7,7 +7,10 @@
 use qtag::core::{AreaEstimator, PixelLayout};
 use qtag::geometry::{Rect, Size};
 
-const AD: Size = Size { width: 300.0, height: 250.0 };
+const AD: Size = Size {
+    width: 300.0,
+    height: 250.0,
+};
 
 fn render(layout: PixelLayout, n: usize) {
     let cols = 46usize;

@@ -16,10 +16,7 @@ use qtag::wire::AdFormat;
 
 fn main() {
     // 1. A publisher page: 1280 px wide, three viewports long.
-    let mut page = Page::new(
-        Origin::https("news.example"),
-        Size::new(1280.0, 2400.0),
-    );
+    let mut page = Page::new(Origin::https("news.example"), Size::new(1280.0, 2400.0));
 
     // 2. A served ad (what the DSP returns after winning the auction),
     //    embedded below the fold through the SSP→DSP iframe chain.
@@ -37,13 +34,18 @@ fn main() {
     // The Same-Origin Policy in action: the tag's origin cannot read its
     // own position — the reason Q-Tag exists.
     let tag_origin = Origin::parse(&origins.dsp).unwrap();
-    assert!(page.frame_rect_in_root(placement.dsp_frame, &tag_origin).is_err());
+    assert!(page
+        .frame_rect_in_root(placement.dsp_frame, &tag_origin)
+        .is_err());
     println!("SOP check: geometry read from the creative iframe is denied ✓");
 
     // 3. A desktop browser showing the page.
     let mut screen = Screen::desktop();
     let window = screen.add_window(
-        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page)],
+            active: TabId(0),
+        },
         Rect::new(0.0, 0.0, 1280.0, 880.0),
         80.0,
     );
@@ -53,16 +55,26 @@ fn main() {
     //    20 fps threshold — the paper's defaults).
     let cfg = QTagConfig::new(ad.impression_id, ad.campaign_id.0, placement.creative_rect);
     engine
-        .attach_script(window, Some(TabId(0)), placement.dsp_frame, tag_origin, Box::new(QTag::new(cfg)))
+        .attach_script(
+            window,
+            Some(TabId(0)),
+            placement.dsp_frame,
+            tag_origin,
+            Box::new(QTag::new(cfg)),
+        )
         .expect("attach Q-Tag");
 
     // 5. The user reads the top of the page for 2 s (ad below the fold)…
     engine.run_for(SimDuration::from_secs(2));
     // …then scrolls the ad into view and dwells …
-    engine.scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 1100.0)).unwrap();
+    engine
+        .scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 1100.0))
+        .unwrap();
     engine.run_for(SimDuration::from_secs(2));
     // …then scrolls on past it.
-    engine.scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 2400.0)).unwrap();
+    engine
+        .scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 2400.0))
+        .unwrap();
     engine.run_for(SimDuration::from_secs(2));
 
     // 6. The beacons, as the monitoring server would receive them.

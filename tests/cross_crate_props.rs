@@ -163,20 +163,36 @@ fn tag_estimate_tracks_oracle_over_scroll_sweep() {
             .unwrap();
         let mut screen = Screen::desktop();
         let window = screen.add_window(
-            WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+            WindowKind::Browser {
+                tabs: vec![Tab::new(page)],
+                active: TabId(0),
+            },
             Rect::new(0.0, 0.0, 1280.0, 880.0),
             80.0,
         );
         let mut engine = Engine::new(EngineConfig::default_desktop(), screen);
-        engine.scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, scroll)).unwrap();
+        engine
+            .scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, scroll))
+            .unwrap();
         let truth = engine
-            .true_visibility(window, Some(TabId(0)), frame, Rect::new(0.0, 0.0, 300.0, 250.0))
+            .true_visibility(
+                window,
+                Some(TabId(0)),
+                frame,
+                Rect::new(0.0, 0.0, 300.0, 250.0),
+            )
             .unwrap()
             .viewport_fraction;
 
         let cfg = QTagConfig::new(1, 1, Rect::new(0.0, 0.0, 300.0, 250.0)).with_fps_threshold(20.0);
         engine
-            .attach_script(window, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+            .attach_script(
+                window,
+                Some(TabId(0)),
+                frame,
+                Origin::https("dsp.example"),
+                Box::new(QTag::new(cfg)),
+            )
             .unwrap();
         engine.run_for(SimDuration::from_millis(600));
 

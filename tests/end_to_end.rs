@@ -10,7 +10,7 @@ use qtag::core::{QTag, QTagConfig};
 use qtag::dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
 use qtag::geometry::{Rect, Size, Vector};
 use qtag::render::{Engine, EngineConfig, SimDuration};
-use qtag::server::{IngestService, ImpressionStore, LossyLink, ReportBuilder, ServedImpression};
+use qtag::server::{ImpressionStore, IngestService, LossyLink, ReportBuilder, ServedImpression};
 use qtag::user::{EnvSample, Population, PopulationConfig, SessionSim};
 use qtag::wire::{AdFormat, EventKind, OsKind, SiteType};
 use rand::SeedableRng;
@@ -40,19 +40,33 @@ fn one_impression_travels_the_whole_stack() {
     };
     let (ad, outcome) = exchange.run(&req, &mut dsp).expect("auction fills");
     assert_eq!(outcome.winner.campaign, CampaignId(9));
-    assert!(ad.paid_cpm_milli <= 1000, "second price never exceeds the bid");
+    assert!(
+        ad.paid_cpm_milli <= 1000,
+        "second price never exceeds the bid"
+    );
 
     // --- sell side: page + markup ---
-    let mut page = Page::new(Origin::https("publisher.example"), Size::new(1280.0, 2000.0));
+    let mut page = Page::new(
+        Origin::https("publisher.example"),
+        Size::new(1280.0, 2000.0),
+    );
     let origins = ServingOrigins::default();
-    let placement = embed_served_ad(&mut page, Rect::new(200.0, 100.0, 300.0, 250.0), &ad, &origins)
-        .expect("embed");
+    let placement = embed_served_ad(
+        &mut page,
+        Rect::new(200.0, 100.0, 300.0, 250.0),
+        &ad,
+        &origins,
+    )
+    .expect("embed");
     assert_eq!(page.cross_origin_depth(placement.dsp_frame).unwrap(), 2);
 
     // --- browser + tag ---
     let mut screen = Screen::desktop();
     let window = screen.add_window(
-        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page)],
+            active: TabId(0),
+        },
         Rect::new(0.0, 0.0, 1280.0, 880.0),
         80.0,
     );
@@ -68,7 +82,11 @@ fn one_impression_travels_the_whole_stack() {
         )
         .unwrap();
     engine.run_for(SimDuration::from_secs(2));
-    let beacons: Vec<_> = engine.drain_outbox().into_iter().map(|o| o.beacon).collect();
+    let beacons: Vec<_> = engine
+        .drain_outbox()
+        .into_iter()
+        .map(|o| o.beacon)
+        .collect();
     assert!(beacons.iter().any(|b| b.event == EventKind::InView));
 
     // --- wire + transport + threaded ingestion ---
@@ -105,7 +123,10 @@ fn dual_tag_session_diverges_only_in_hostile_environments() {
         format: AdFormat::Display,
         paid_cpm_milli: 500,
     };
-    let sim = SessionSim { above_fold_share: 1.0, ..SessionSim::default() };
+    let sim = SessionSim {
+        above_fold_share: 1.0,
+        ..SessionSim::default()
+    };
 
     let mut healthy = EnvSample {
         site_type: SiteType::App,
@@ -124,7 +145,10 @@ fn dual_tag_session_diverges_only_in_hostile_environments() {
 
     healthy.legacy_env = true;
     let out = sim.run(&ad, &healthy, 1);
-    assert!(measured(&out.qtag_beacons), "Q-Tag survives legacy webviews");
+    assert!(
+        measured(&out.qtag_beacons),
+        "Q-Tag survives legacy webviews"
+    );
     assert!(out.verifier_beacons.is_empty(), "verifier SDK sandboxed");
 }
 
@@ -135,26 +159,43 @@ fn dual_tag_session_diverges_only_in_hostile_environments() {
 fn fast_scroll_is_measured_but_not_viewed() {
     let mut page = Page::new(Origin::https("pub.example"), Size::new(1280.0, 4000.0));
     let ad_frame = page.create_frame(Origin::https("dsp.example"), Size::MEDIUM_RECTANGLE);
-    page.embed_iframe(page.root(), ad_frame, Rect::new(400.0, 1500.0, 300.0, 250.0))
-        .unwrap();
+    page.embed_iframe(
+        page.root(),
+        ad_frame,
+        Rect::new(400.0, 1500.0, 300.0, 250.0),
+    )
+    .unwrap();
     let mut screen = Screen::desktop();
     let window = screen.add_window(
-        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page)],
+            active: TabId(0),
+        },
         Rect::new(0.0, 0.0, 1280.0, 880.0),
         80.0,
     );
     let mut engine = Engine::new(EngineConfig::default_desktop(), screen);
     let cfg = QTagConfig::new(5, 1, Rect::new(0.0, 0.0, 300.0, 250.0));
     engine
-        .attach_script(window, Some(TabId(0)), ad_frame, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+        .attach_script(
+            window,
+            Some(TabId(0)),
+            ad_frame,
+            Origin::https("dsp.example"),
+            Box::new(QTag::new(cfg)),
+        )
         .unwrap();
 
     // Read the top for a second, flash past the ad in 400 ms, read the
     // bottom.
     engine.run_for(SimDuration::from_secs(1));
-    engine.scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 1400.0)).unwrap();
+    engine
+        .scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 1400.0))
+        .unwrap();
     engine.run_for(SimDuration::from_millis(400));
-    engine.scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 3100.0)).unwrap();
+    engine
+        .scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 3100.0))
+        .unwrap();
     engine.run_for(SimDuration::from_secs(2));
 
     let mut store = ImpressionStore::new();
@@ -186,32 +227,61 @@ fn click_lifecycle_respects_visibility() {
         .unwrap();
     let mut screen = Screen::desktop();
     let window = screen.add_window(
-        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page)],
+            active: TabId(0),
+        },
         Rect::new(0.0, 0.0, 1280.0, 880.0),
         80.0,
     );
     let mut engine = Engine::new(EngineConfig::default_desktop(), screen);
     let cfg = QTagConfig::new(44, 1, Rect::new(0.0, 0.0, 300.0, 250.0));
     engine
-        .attach_script(window, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+        .attach_script(
+            window,
+            Some(TabId(0)),
+            frame,
+            Origin::https("dsp.example"),
+            Box::new(QTag::new(cfg)),
+        )
         .unwrap();
     engine.run_for(SimDuration::from_millis(500));
 
     // Click beside the ad: nobody receives it.
     assert_eq!(
-        engine.click_at(window, Some(TabId(0)), qtag::geometry::Point::new(50.0, 50.0)).unwrap(),
+        engine
+            .click_at(
+                window,
+                Some(TabId(0)),
+                qtag::geometry::Point::new(50.0, 50.0)
+            )
+            .unwrap(),
         0
     );
     // Click on the ad (viewport coords = doc coords, unscrolled page).
     assert_eq!(
-        engine.click_at(window, Some(TabId(0)), qtag::geometry::Point::new(450.0, 325.0)).unwrap(),
+        engine
+            .click_at(
+                window,
+                Some(TabId(0)),
+                qtag::geometry::Point::new(450.0, 325.0)
+            )
+            .unwrap(),
         1
     );
     // Scroll the ad away; the same point no longer hits it.
-    engine.scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 2000.0)).unwrap();
+    engine
+        .scroll_page_to(window, Some(TabId(0)), Vector::new(0.0, 2000.0))
+        .unwrap();
     engine.run_for(SimDuration::from_millis(100));
     assert_eq!(
-        engine.click_at(window, Some(TabId(0)), qtag::geometry::Point::new(450.0, 325.0)).unwrap(),
+        engine
+            .click_at(
+                window,
+                Some(TabId(0)),
+                qtag::geometry::Point::new(450.0, 325.0)
+            )
+            .unwrap(),
         0
     );
 
@@ -255,10 +325,18 @@ fn measured_rate_ordering_is_seed_independent() {
                 paid_cpm_milli: 700,
             };
             let out = sim.run(&ad, &env, seed ^ u64::from(i));
-            if out.qtag_beacons.iter().any(|b| b.event == EventKind::Measurable) {
+            if out
+                .qtag_beacons
+                .iter()
+                .any(|b| b.event == EventKind::Measurable)
+            {
                 qtag_measured += 1;
             }
-            if out.verifier_beacons.iter().any(|b| b.event == EventKind::Measurable) {
+            if out
+                .verifier_beacons
+                .iter()
+                .any(|b| b.event == EventKind::Measurable)
+            {
                 verifier_measured += 1;
             }
         }

@@ -25,7 +25,10 @@ fn run_schedule(segments: &[(u64, u64)]) -> Vec<Beacon> {
         .unwrap();
     let mut screen = Screen::desktop();
     let w = screen.add_window(
-        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page)],
+            active: TabId(0),
+        },
         Rect::new(0.0, 0.0, 1280.0, 880.0),
         80.0,
     );
@@ -35,20 +38,38 @@ fn run_schedule(segments: &[(u64, u64)]) -> Vec<Beacon> {
     // observable on the wire even when no in-view event fires.
     cfg.heartbeat_every = 2;
     engine
-        .attach_script(w, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+        .attach_script(
+            w,
+            Some(TabId(0)),
+            frame,
+            Origin::https("dsp.example"),
+            Box::new(QTag::new(cfg)),
+        )
         .unwrap();
 
     for (visible_ms, hidden_ms) in segments {
-        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 900.0)).unwrap();
+        engine
+            .scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 900.0))
+            .unwrap();
         engine.run_for(SimDuration::from_millis(*visible_ms));
-        engine.scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 0.0)).unwrap();
+        engine
+            .scroll_page_to(w, Some(TabId(0)), Vector::new(0.0, 0.0))
+            .unwrap();
         engine.run_for(SimDuration::from_millis(*hidden_ms));
     }
-    engine.drain_outbox().into_iter().map(|o| o.beacon).collect()
+    engine
+        .drain_outbox()
+        .into_iter()
+        .map(|o| o.beacon)
+        .collect()
 }
 
 fn max_reported_exposure(beacons: &[Beacon]) -> i64 {
-    beacons.iter().map(|b| i64::from(b.exposure_ms)).max().unwrap_or(0)
+    beacons
+        .iter()
+        .map(|b| i64::from(b.exposure_ms))
+        .max()
+        .unwrap_or(0)
 }
 
 #[test]
@@ -83,7 +104,9 @@ fn interrupted_exposures_report_the_longest_segment() {
 fn sub_threshold_exposures_never_view_but_are_tracked() {
     let beacons = run_schedule(&[(600, 500), (700, 500)]);
     assert!(
-        !beacons.iter().any(|b| b.event == qtag::wire::EventKind::InView),
+        !beacons
+            .iter()
+            .any(|b| b.event == qtag::wire::EventKind::InView),
         "no segment reached 1 s"
     );
     let reported = max_reported_exposure(&beacons);

@@ -7,7 +7,7 @@ use qtag::core::{QTag, QTagConfig};
 use qtag::dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
 use qtag::geometry::{Rect, Size};
 use qtag::render::{Engine, EngineConfig, SimDuration};
-use qtag::server::{IngestService, ImpressionStore, LossyLink, ReportBuilder, ServedImpression};
+use qtag::server::{ImpressionStore, IngestService, LossyLink, ReportBuilder, ServedImpression};
 use qtag::wire::{AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
 use std::sync::Arc;
 
@@ -50,7 +50,10 @@ fn measured_rate_degrades_gracefully_under_loss() {
     let mut link = LossyLink::new(0.4, 0.0, 99);
     for id in 1..=n {
         let bytes = link
-            .transmit(&[beacon(id, EventKind::Measurable, 0), beacon(id, EventKind::InView, 1)])
+            .transmit(&[
+                beacon(id, EventKind::Measurable, 0),
+                beacon(id, EventKind::InView, 1),
+            ])
             .unwrap();
         let mut dec = qtag::wire::FrameDecoder::new();
         dec.extend(&bytes);
@@ -84,7 +87,10 @@ fn ingestion_survives_corrupted_interleaved_streams() {
     let mut corrupting = LossyLink::new(0.0, 0.5, 7);
     for id in 1..=50u64 {
         let bytes = corrupting
-            .transmit(&[beacon(id, EventKind::Measurable, 0), beacon(id, EventKind::Measurable, 1)])
+            .transmit(&[
+                beacon(id, EventKind::Measurable, 0),
+                beacon(id, EventKind::Measurable, 1),
+            ])
             .unwrap();
         service.submit(id, bytes);
     }
@@ -96,7 +102,10 @@ fn ingestion_survives_corrupted_interleaved_streams() {
     let rate = reports[0].total.measured_rate();
     assert!((0.55..=0.92).contains(&rate), "measured rate {rate}");
     assert!(
-        stats.corrupt_frames.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        stats
+            .corrupt_frames
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
         "corruption must be observed and counted"
     );
 }
@@ -111,14 +120,23 @@ fn mid_session_teardown_is_clean() {
         .unwrap();
     let mut screen = Screen::desktop();
     let window = screen.add_window(
-        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page)],
+            active: TabId(0),
+        },
         Rect::new(0.0, 0.0, 1280.0, 880.0),
         80.0,
     );
     let mut engine = Engine::new(EngineConfig::default_desktop(), screen);
     let cfg = QTagConfig::new(3, 1, Rect::new(0.0, 0.0, 300.0, 250.0));
     let sid = engine
-        .attach_script(window, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+        .attach_script(
+            window,
+            Some(TabId(0)),
+            frame,
+            Origin::https("dsp.example"),
+            Box::new(QTag::new(cfg)),
+        )
         .unwrap();
 
     // 600 ms in — timer started but 1 s not reached — the user leaves.
@@ -126,7 +144,11 @@ fn mid_session_teardown_is_clean() {
     engine.detach_script(sid);
     engine.run_for(SimDuration::from_secs(2)); // must not panic
 
-    let events: Vec<_> = engine.drain_outbox().into_iter().map(|o| o.beacon.event).collect();
+    let events: Vec<_> = engine
+        .drain_outbox()
+        .into_iter()
+        .map(|o| o.beacon.event)
+        .collect();
     assert!(events.contains(&EventKind::Measurable));
     assert!(
         !events.contains(&EventKind::InView),
@@ -158,7 +180,10 @@ fn replayed_traffic_does_not_inflate_rates() {
     assert_eq!(before.measured, after.measured);
     // Note: the replay legitimately delivers one *new* event (seq 1 for
     // odd ids was never seen), so compare against the deduped truth:
-    assert_eq!(after.viewed, 20, "replays may fill gaps but never double-count");
+    assert_eq!(
+        after.viewed, 20,
+        "replays may fill gaps but never double-count"
+    );
     assert_eq!(after.served, 20);
 }
 
@@ -173,7 +198,10 @@ fn cpu_starvation_fails_closed() {
         .unwrap();
     let mut screen = Screen::desktop();
     let window = screen.add_window(
-        WindowKind::Browser { tabs: vec![Tab::new(page)], active: TabId(0) },
+        WindowKind::Browser {
+            tabs: vec![Tab::new(page)],
+            active: TabId(0),
+        },
         Rect::new(0.0, 0.0, 1280.0, 880.0),
         80.0,
     );
@@ -186,13 +214,26 @@ fn cpu_starvation_fails_closed() {
     );
     let cfg = QTagConfig::new(9, 1, Rect::new(0.0, 0.0, 300.0, 250.0));
     engine
-        .attach_script(window, Some(TabId(0)), frame, Origin::https("dsp.example"), Box::new(QTag::new(cfg)))
+        .attach_script(
+            window,
+            Some(TabId(0)),
+            frame,
+            Origin::https("dsp.example"),
+            Box::new(QTag::new(cfg)),
+        )
         .unwrap();
     engine.run_for(SimDuration::from_secs(4));
-    let events: Vec<_> = engine.drain_outbox().into_iter().map(|o| o.beacon.event).collect();
+    let events: Vec<_> = engine
+        .drain_outbox()
+        .into_iter()
+        .map(|o| o.beacon.event)
+        .collect();
     assert!(
         !events.contains(&EventKind::InView),
         "a 3 fps device must not satisfy a 20 fps visibility threshold"
     );
-    assert!(events.contains(&EventKind::Measurable), "still measurable — verdict: not viewed");
+    assert!(
+        events.contains(&EventKind::Measurable),
+        "still measurable — verdict: not viewed"
+    );
 }

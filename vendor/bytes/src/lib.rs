@@ -1,0 +1,243 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! shim provides exactly the subset of the `bytes` 1.x API the
+//! workspace uses: [`BytesMut`] as a growable byte buffer with an
+//! amortised-O(1) `advance`, and the [`Buf`] / [`BufMut`] traits with
+//! big-endian integer accessors. Semantics match the real crate for
+//! this subset; swap the real dependency back in by deleting the
+//! `path` override in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable, consumable byte buffer (front-consumption via a start
+/// offset instead of the real crate's refcounted views).
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+            start: 0,
+        }
+    }
+
+    /// Number of readable bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len() - self.start
+    }
+
+    /// Whether no readable bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reserves capacity for at least `additional` more bytes,
+    /// compacting the consumed prefix away first (this is where the
+    /// amortised cost of `advance` is paid).
+    pub fn reserve(&mut self, additional: usize) {
+        self.compact();
+        self.inner.reserve(additional);
+    }
+
+    /// Appends `src` to the buffer.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        // Compact opportunistically once the dead prefix dominates, so
+        // long-running streaming decoders don't grow without bound.
+        if self.start > 4096 && self.start * 2 > self.inner.len() {
+            self.compact();
+        }
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Copies the readable bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.inner[self.start..]
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.inner.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let start = self.start;
+        &mut self.inner[start..]
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Read side of a byte cursor: big-endian accessors over a shrinking
+/// window.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// A view of the readable bytes.
+    fn chunk(&self) -> &[u8];
+    /// Discards the next `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let c = self.chunk();
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&c[..8]);
+        self.advance(8);
+        u64::from_be_bytes(raw)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of BytesMut");
+        self.start += cnt;
+        if self.start == self.inner.len() {
+            // Fully consumed: reset cheaply.
+            self.inner.clear();
+            self.start = 0;
+        }
+    }
+}
+
+/// Write side: big-endian append operations.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_integers() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16(0x0102);
+        b.put_u32(0x03040506);
+        b.put_u64(0x0708090A0B0C0D0E);
+        let mut cur: &[u8] = &b;
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u16(), 0x0102);
+        assert_eq!(cur.get_u32(), 0x03040506);
+        assert_eq!(cur.get_u64(), 0x0708090A0B0C0D0E);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_consumes_front() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[1, 2, 3, 4]);
+        b.advance(2);
+        assert_eq!(&b[..], &[3, 4]);
+        b.extend_from_slice(&[5]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+        assert_eq!(b.to_vec(), vec![3, 4, 5]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface `benches/microbench.rs` uses and performs
+//! honest (if unsophisticated) measurement: a short warm-up, then a
+//! timed loop, reporting mean ns/iteration. No statistics, plots or
+//! regression tracking — swap the real criterion back in when a
+//! registry is available.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup outputs.
+    SmallInput,
+    /// Large per-iteration setup outputs.
+    LargeInput,
+    /// One setup output per iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// (iterations, total time) recorded by the last `iter*` call.
+    result: Option<(u64, Duration)>,
+    target_time: Duration,
+}
+
+impl Bencher {
+    fn new(target_time: Duration) -> Self {
+        Bencher {
+            result: None,
+            target_time,
+        }
+    }
+
+    /// Times `routine` over enough iterations to fill the target time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate iteration count from a few probes.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let iters = (self.target_time.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+
+    /// Times `routine` over per-iteration inputs built by `setup`
+    /// (setup time excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let probe_start = Instant::now();
+        black_box(routine(input));
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let iters = (self.target_time.as_nanos() / probe.as_nanos()).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.result = Some((iters, total));
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+    target_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run(&self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher::new(self.target_time);
+        f(&mut b);
+        match b.result {
+            Some((iters, total)) => {
+                let per_iter = total.as_nanos() as f64 / iters as f64;
+                println!(
+                    "{}/{:<32} {:>12.0} ns/iter ({} iters)",
+                    self.name, id, per_iter, iters
+                );
+            }
+            None => println!("{}/{}: no measurement taken", self.name, id),
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        self.run(&id.to_string(), f);
+    }
+
+    /// Benchmarks `f` with an input parameter.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run(&id.to_string(), |b| f(b, input));
+    }
+
+    /// Accepted for API compatibility (statistics are not computed).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shortens or lengthens the timed loop.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.target_time = d;
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+            target_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,137 @@
+//! Offline stand-in for `rand_chacha`: a real ChaCha8 keystream
+//! generator implementing the vendored `rand` traits. Deterministic
+//! per seed (the property every qtag consumer relies on), with the
+//! statistical quality of the genuine ChaCha permutation. Output
+//! streams are not bit-identical to the real crate's (word order and
+//! `seed_from_u64` expansion differ) — nothing in the workspace
+//! depends on the exact stream, only on per-seed determinism.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+/// ChaCha with 8 rounds — `rand_chacha`'s fast variant.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means exhausted.
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let initial = state;
+        for _ in 0..4 {
+            // One double round: 4 column + 4 diagonal quarter rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.buf[i] = state[i].wrapping_add(initial[i]);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let v = self.buf[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            let mut raw = [0u8; 4];
+            raw.copy_from_slice(chunk);
+            key[i] = u32::from_le_bytes(raw);
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let mut c = ChaCha8Rng::seed_from_u64(10);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn keystream_is_statistically_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let n = 200_000;
+        let ones: u32 = (0..n).map(|_| rng.next_u32() & 1).sum();
+        let frac = ones as f64 / n as f64;
+        assert!((0.49..0.51).contains(&frac), "bit bias {frac}");
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.35)).count();
+        assert!((34_000..36_000).contains(&hits), "gen_bool hits {hits}");
+    }
+
+    #[test]
+    fn clone_continues_identically() {
+        let mut a = ChaCha8Rng::seed_from_u64(4);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait plus
+//! the Normal-family distributions the workspace samples (Box–Muller
+//! rather than the real crate's ziggurat; statistically equivalent).
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+
+pub use rand::distributions::Distribution;
+
+/// Parameter error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// A scale/shape parameter was not finite and positive.
+    BadParam,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev²)`; `std_dev` must be finite and
+    /// non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error::BadParam);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+/// One standard-normal draw via Box–Muller (uses two uniforms; the
+/// second variate is discarded for simplicity).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(0.0f64..1.0);
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen_range(0.0f64..1.0);
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal whose logarithm is `N(mu, sigma²)`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Uniform distribution over a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+}
+
+impl Uniform {
+    /// Creates `U[low, high)`.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low < high, "Uniform: empty range");
+        Uniform { low, high }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_range(self.low..self.high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((4.95..5.05).contains(&mean), "mean {mean}");
+        assert!((3.9..4.1).contains(&var), "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let median = 2_600.0f64;
+        let d = LogNormal::new(median.ln(), 0.6).unwrap();
+        let mut samples: Vec<f64> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let observed = samples[50_000];
+        assert!(
+            (median * 0.97..median * 1.03).contains(&observed),
+            "median {observed}"
+        );
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+}

@@ -1,0 +1,387 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-parses the item token stream (no `syn`/`quote` available
+//! offline) and emits impls of the vendored `serde`'s value-model
+//! traits. Supports what the workspace actually derives:
+//!
+//! * structs with named fields (including empty `{}` structs);
+//! * enums with unit and one-field tuple (newtype) variants;
+//! * `#[serde(skip)]` and `#[serde(skip_serializing_if = "...")]`
+//!   (the latter treated as "skip when the value serializes to
+//!   `Null`", which matches its only use in-tree:
+//!   `Option::is_none`).
+//!
+//! Generics are intentionally unsupported; the macro panics with a
+//! clear message rather than emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FieldAttr {
+    Plain,
+    Skip,
+    SkipIfNull,
+}
+
+struct Field {
+    name: String,
+    attr: FieldAttr,
+}
+
+struct Variant {
+    name: String,
+    has_payload: bool,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    /// Single-field tuple struct — serialized transparently as the
+    /// inner value, matching real serde's newtype behaviour.
+    Newtype {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Reads the serde-relevant attribute (if any) from a `#[...]` group.
+fn classify_attr(group_src: &str) -> Option<FieldAttr> {
+    let src = group_src.replace(' ', "");
+    if !src.starts_with("serde(") {
+        return None;
+    }
+    if src.contains("skip_serializing_if") {
+        Some(FieldAttr::SkipIfNull)
+    } else if src.contains("skip") {
+        Some(FieldAttr::Skip)
+    } else {
+        Some(FieldAttr::Plain)
+    }
+}
+
+/// Skips attributes at `i`, returning the strongest serde field attr
+/// seen.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, FieldAttr) {
+    let mut attr = FieldAttr::Plain;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if let Some(a) = classify_attr(&g.stream().to_string()) {
+                        if a != FieldAttr::Plain {
+                            attr = a;
+                        }
+                    }
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, attr)
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, attr) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, ni);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at zero angle-bracket
+        // depth. Delimited groups are single atomic tokens, so only
+        // `<`/`>` need counting.
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, attr });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, _) = skip_attrs(&tokens, i);
+        i = ni;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let mut has_payload = false;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    let commas = inner
+                        .iter()
+                        .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+                        .count();
+                    assert!(
+                        commas == 0 || (commas == 1 && matches!(inner.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',')),
+                        "serde derive: only newtype (single-field) tuple variants are supported, `{name}` has more"
+                    );
+                    has_payload = true;
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("serde derive: struct variants are not supported (`{name}`)")
+                }
+                _ => {}
+            }
+        }
+        // Skip an explicit discriminant or trailing tokens up to the
+        // comma separating variants.
+        while let Some(t) = tokens.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, has_payload });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip item attributes and visibility.
+    loop {
+        let (ni, _) = skip_attrs(&tokens, i);
+        let vi = skip_vis(&tokens, ni);
+        if vi == i {
+            break;
+        }
+        i = vi;
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "serde derive (offline shim): generic types are not supported (`{name}`)"
+        );
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                fields: Vec::new(),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let commas = inner
+                    .iter()
+                    .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+                    .count();
+                assert!(
+                    commas == 0
+                        || (commas == 1
+                            && matches!(inner.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',')),
+                    "serde derive: only newtype (single-field) tuple structs are supported (`{name}`)"
+                );
+                Item::Newtype { name }
+            }
+            other => panic!("serde derive: malformed struct `{name}` (found {other:?})"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde derive: malformed enum `{name}` ({other:?})"),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Derives `serde::Serialize` (vendored value-model flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut body =
+                String::from("let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in &fields {
+                match f.attr {
+                    FieldAttr::Skip => {}
+                    FieldAttr::Plain => {
+                        body.push_str(&format!(
+                            "__m.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                            n = f.name
+                        ));
+                    }
+                    FieldAttr::SkipIfNull => {
+                        body.push_str(&format!(
+                            "{{ let __v = ::serde::Serialize::to_value(&self.{n});\n\
+                             if !matches!(__v, ::serde::Value::Null) {{ __m.push((\"{n}\".to_string(), __v)); }} }}\n",
+                            n = f.name
+                        ));
+                    }
+                }
+            }
+            body.push_str("::serde::Value::Map(__m)");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::Newtype { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Serialize::to_value(&self.0)\n}}\n}}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                if v.has_payload {
+                    arms.push_str(&format!(
+                        "{name}::{v}(__x) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(__x))]),\n",
+                        v = v.name
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde derive: generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (vendored value-model flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                match f.attr {
+                    FieldAttr::Skip => {
+                        inits.push_str(&format!(
+                            "{n}: ::core::default::Default::default(),\n",
+                            n = f.name
+                        ));
+                    }
+                    _ => {
+                        inits.push_str(&format!(
+                            "{n}: match ::serde::find(__map, \"{n}\") {{\n\
+                             Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                             None => ::serde::Deserialize::missing_field(\"{n}\")?,\n}},\n",
+                            n = f.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 let __map = __v.as_map().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                 #[allow(unused_variables)] let __map = __map;\n\
+                 Ok({name} {{\n{inits}}})\n}}\n}}\n"
+            )
+        }
+        Item::Newtype { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+             Ok({name}(::serde::Deserialize::from_value(__v)?))\n}}\n}}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for v in &variants {
+                if v.has_payload {
+                    map_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),\n",
+                        v = v.name
+                    ));
+                } else {
+                    str_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n", v = v.name));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{str_arms}\
+                 __other => Err(::serde::DeError(format!(\"unknown variant `{{__other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __inner) = &__m[0];\n\
+                 #[allow(unused_variables)] let __inner = __inner;\n\
+                 match __k.as_str() {{\n{map_arms}\
+                 __other => Err(::serde::DeError(format!(\"unknown variant `{{__other}}` for {name}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::DeError::expected(\"variant string or single-key object\", \"{name}\")),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde derive: generated Deserialize impl parses")
+}
