@@ -117,6 +117,17 @@ impl Drop for Collector {
     }
 }
 
+/// Restores the `connections_active` gauge when a reader thread ends,
+/// including when `connection::serve` panics — otherwise a panic would
+/// leak the slot against `max_connections` for the daemon's lifetime.
+struct ActiveGuard(Arc<CollectorStats>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Spawns a reader thread for an accepted connection, or sheds it if
 /// the connection cap is reached.
 fn supervise(stream: std::net::TcpStream, ctx: &ConnCtx, handlers: &mut Vec<JoinHandle<()>>) {
@@ -137,11 +148,8 @@ fn supervise(stream: std::net::TcpStream, ctx: &ConnCtx, handlers: &mut Vec<Join
     ctx.stats.connections_active.fetch_add(1, Ordering::Relaxed);
     let conn_ctx = ctx.clone();
     handlers.push(std::thread::spawn(move || {
-        connection::serve(stream, conn_ctx.clone());
-        conn_ctx
-            .stats
-            .connections_active
-            .fetch_sub(1, Ordering::Relaxed);
+        let _active = ActiveGuard(Arc::clone(&conn_ctx.stats));
+        connection::serve(stream, conn_ctx);
     }));
 }
 
@@ -164,10 +172,20 @@ fn accept_loop(listener: TcpListener, ctx: ConnCtx) {
     // sent and closed) before the flag flipped may still sit in the
     // OS accept backlog. Serve them too — their readers drain any
     // buffered bytes before exiting — so a graceful shutdown never
-    // strands data behind an unaccepted connection.
-    // An Err here is WouldBlock: the backlog is empty.
-    while let Ok((stream, _peer)) = listener.accept() {
-        supervise(stream, &ctx, &mut handlers);
+    // strands data behind an unaccepted connection. The drain is
+    // bounded by `drain_grace`: without a deadline, clients that keep
+    // connecting during shutdown would be accepted forever.
+    let drain_deadline = std::time::Instant::now() + ctx.cfg.drain_grace;
+    while std::time::Instant::now() < drain_deadline {
+        match listener.accept() {
+            Ok((stream, _peer)) => supervise(stream, &ctx, &mut handlers),
+            // Backlog empty: the drain is complete.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            // Any other error (ECONNABORTED, EMFILE, ...) says nothing
+            // about the backlog; back off and keep draining until the
+            // deadline rather than ending the drain early.
+            Err(_) => std::thread::sleep(ctx.cfg.poll_interval),
+        }
     }
     drop(listener); // stop the OS queueing new connections
     for h in handlers {

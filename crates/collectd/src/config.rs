@@ -33,6 +33,12 @@ pub struct CollectorConfig {
     /// threads and the store aggregator. When full, beacons are shed
     /// and counted rather than stalling connection reads.
     pub inlet_capacity: usize,
+    /// How long graceful shutdown keeps accepting from the OS backlog
+    /// before closing the listener. Connections already queued when
+    /// the shutdown flag flips are still served (so their buffered
+    /// beacons are not stranded), but clients that keep connecting
+    /// during shutdown cannot delay it past this grace window.
+    pub drain_grace: Duration,
 }
 
 impl Default for CollectorConfig {
@@ -45,6 +51,7 @@ impl Default for CollectorConfig {
             max_line_len: 1024,
             ingest_workers: 1,
             inlet_capacity: qtag_server::DEFAULT_INLET_CAPACITY,
+            drain_grace: Duration::from_millis(250),
         }
     }
 }

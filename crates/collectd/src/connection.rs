@@ -181,5 +181,8 @@ pub(crate) fn serve(stream: TcpStream, ctx: ConnCtx) {
         ctx.stats
             .resync_bytes
             .fetch_add(dec.skipped_bytes(), Ordering::Relaxed);
+        ctx.stats
+            .corrupt_frame_bytes
+            .fetch_add(dec.corrupt_bytes(), Ordering::Relaxed);
     }
 }

@@ -26,8 +26,13 @@ pub struct CollectorStats {
     /// header but a bad payload, undecodable JSON lines, and JSON
     /// lines over the length cap. Exactly one count per damaged frame.
     pub corrupt_frames: AtomicU64,
-    /// Noise bytes discarded while resynchronising binary streams.
+    /// Noise bytes discarded while resynchronising binary streams
+    /// (single-byte skips only; corrupt frames are accounted in
+    /// `corrupt_frame_bytes`).
     pub resync_bytes: AtomicU64,
+    /// Bytes discarded as whole corrupt binary frames (header plus
+    /// payload of each frame counted in `corrupt_frames`).
+    pub corrupt_frame_bytes: AtomicU64,
 }
 
 impl CollectorStats {
@@ -43,6 +48,7 @@ impl CollectorStats {
             frames_decoded: self.frames_decoded.load(Ordering::Relaxed),
             corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
             resync_bytes: self.resync_bytes.load(Ordering::Relaxed),
+            corrupt_frame_bytes: self.corrupt_frame_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -64,8 +70,11 @@ pub struct CollectorStatsSnapshot {
     pub frames_decoded: u64,
     /// Damaged frames (one count each).
     pub corrupt_frames: u64,
-    /// Noise bytes discarded during binary resynchronisation.
+    /// Noise bytes discarded during binary resynchronisation
+    /// (excludes corrupt-frame bytes).
     pub resync_bytes: u64,
+    /// Bytes discarded as whole corrupt binary frames.
+    pub corrupt_frame_bytes: u64,
 }
 
 /// The daemon's full ops surface: its own counters plus the embedded

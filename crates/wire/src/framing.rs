@@ -58,8 +58,11 @@ pub enum FrameEvent {
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
     buf: BytesMut,
-    /// Total bytes discarded during resynchronisation.
+    /// Noise bytes discarded one at a time during resynchronisation.
     skipped_bytes: u64,
+    /// Bytes discarded as whole corrupt frames (the full `2 + len` of
+    /// each honest-header frame that failed verification).
+    corrupt_bytes: u64,
 }
 
 impl FrameDecoder {
@@ -73,9 +76,17 @@ impl FrameDecoder {
         self.buf.extend_from_slice(bytes);
     }
 
-    /// Bytes dropped so far while hunting for a frame boundary.
+    /// Noise bytes dropped so far while hunting for a frame boundary.
+    /// Does not include corrupt frames, which are discarded whole and
+    /// counted in [`FrameDecoder::corrupt_bytes`].
     pub fn skipped_bytes(&self) -> u64 {
         self.skipped_bytes
+    }
+
+    /// Bytes consumed so far by frames reported as
+    /// [`FrameEvent::Corrupt`] (header and payload both).
+    pub fn corrupt_bytes(&self) -> u64 {
+        self.corrupt_bytes
     }
 
     /// Bytes currently buffered (useful to assert drains in tests).
@@ -140,7 +151,7 @@ impl FrameDecoder {
                     // frame lands on the next frame boundary, which is
                     // what makes per-frame corruption accounting exact.
                     self.buf.advance(2 + len);
-                    self.skipped_bytes += (2 + len) as u64;
+                    self.corrupt_bytes += (2 + len) as u64;
                     return Some(FrameEvent::Corrupt(e));
                 }
             }
@@ -245,6 +256,10 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, FrameEvent::Beacon(b) if b.seq == 2)));
+        // The corrupt frame is accounted whole, and separately from
+        // noise resync skips.
+        assert_eq!(dec.corrupt_bytes(), (2 + crate::binary::ENCODED_LEN) as u64);
+        assert_eq!(dec.skipped_bytes(), 0);
     }
 
     #[test]

@@ -144,7 +144,15 @@ pub mod channel {
         fn drop(&mut self) {
             if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
                 // Last sender: wake blocked receivers so they observe
-                // disconnection.
+                // disconnection. The notify must happen with the queue
+                // mutex held: a receiver that loaded `senders > 0` but
+                // has not yet reached `Condvar::wait` holds the mutex
+                // for that whole check-then-wait window, so acquiring
+                // it here orders the counter update before the wait and
+                // the wakeup cannot be lost. (Binding the `Result`
+                // keeps the lock held even if poisoned, without a
+                // panic-in-drop.)
+                let _guard = self.inner.queue.lock();
                 self.inner.not_empty.notify_all();
             }
         }
@@ -153,6 +161,9 @@ pub mod channel {
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
             if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Same ordering argument as Sender::drop, for senders
+                // blocked on a full bounded channel.
+                let _guard = self.inner.queue.lock();
                 self.inner.not_full.notify_all();
             }
         }
@@ -387,6 +398,32 @@ pub mod channel {
             }
             h.join().unwrap();
             assert_eq!(sum, 999 * 1000 / 2);
+        }
+
+        // Regression tests for a lost-wakeup race: the final Drop used
+        // to notify without the queue mutex, so a waiter between its
+        // disconnect check and Condvar::wait could sleep forever. These
+        // hang (rather than fail) if the race comes back, which CI
+        // surfaces as a test timeout.
+        #[test]
+        fn receiver_wakes_when_last_sender_drops_concurrently() {
+            for _ in 0..200 {
+                let (tx, rx) = unbounded::<i32>();
+                let h = std::thread::spawn(move || rx.recv());
+                drop(tx);
+                assert_eq!(h.join().unwrap(), Err(RecvError));
+            }
+        }
+
+        #[test]
+        fn sender_wakes_when_last_receiver_drops_concurrently() {
+            for _ in 0..200 {
+                let (tx, rx) = bounded::<i32>(1);
+                tx.send(1).unwrap();
+                let h = std::thread::spawn(move || tx.send(2));
+                drop(rx);
+                assert!(h.join().unwrap().is_err());
+            }
         }
 
         #[test]
