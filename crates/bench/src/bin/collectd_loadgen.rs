@@ -4,7 +4,8 @@
 //! ```text
 //! collectd_loadgen [--clients N] [--beacons-per-client N]
 //!                  [--chunk-size BYTES] [--churn-every K]
-//!                  [--corrupt-rate F] [--capacity N] [--abrupt] [--json]
+//!                  [--corrupt-rate F] [--capacity N] [--abrupt]
+//!                  [--retry] [--fault-proxy] [--seed N] [--json]
 //! ```
 //!
 //! Starts an in-process [`qtag_collectd::Collector`] on an ephemeral
@@ -23,11 +24,26 @@
 //! ```
 //!
 //! which must hold EXACTLY — the process exits non-zero otherwise.
+//!
+//! **Retry soak** (`--retry`): clients speak the acked-binary protocol
+//! through a `BeaconSender` instead of firing and forgetting; with
+//! `--fault-proxy` every byte additionally crosses a fault-injecting
+//! proxy (drops, resets, partial writes, stalls — deterministic per
+//! `--seed`). The judged identity becomes the sender-side one:
+//!
+//! ```text
+//! enqueued == unique applied + dropped_after_retries        (exact)
+//! ```
+//!
+//! with duplicates (forced by lost acks) reported separately and
+//! deduplicated server-side.
 
 use qtag_bench::output::ExperimentOutput;
+use qtag_bench::proxy::{FaultProxy, FaultProxyConfig};
 use qtag_collectd::{Collector, CollectorConfig};
-use qtag_server::ImpressionStore;
+use qtag_server::{ImpressionStore, ServedImpression};
 use qtag_wire::framing::encode_frames;
+use qtag_wire::sender::{BeaconSender, SenderConfig, SenderStats, TcpTransport};
 use qtag_wire::{binary, AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -35,8 +51,9 @@ use serde::Serialize;
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+#[derive(Clone)]
 struct LoadgenConfig {
     clients: u64,
     beacons_per_client: u64,
@@ -45,6 +62,9 @@ struct LoadgenConfig {
     corrupt_rate: f64,
     abrupt: bool,
     inlet_capacity: usize,
+    retry: bool,
+    fault_proxy: bool,
+    seed: u64,
 }
 
 impl LoadgenConfig {
@@ -57,6 +77,9 @@ impl LoadgenConfig {
             corrupt_rate: 0.0,
             abrupt: false,
             inlet_capacity: qtag_server::DEFAULT_INLET_CAPACITY,
+            retry: false,
+            fault_proxy: false,
+            seed: 0x50AC,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -84,6 +107,17 @@ impl LoadgenConfig {
                     i += 1;
                     continue;
                 }
+                "--retry" => {
+                    cfg.retry = true;
+                    i += 1;
+                    continue;
+                }
+                "--fault-proxy" => {
+                    cfg.fault_proxy = true;
+                    i += 1;
+                    continue;
+                }
+                "--seed" => cfg.seed = args[i + 1].parse().expect("--seed: u64"),
                 "--json" => {
                     i += 1;
                     continue;
@@ -196,6 +230,198 @@ fn run_client(addr: SocketAddr, cfg: &LoadgenConfig, client: u64) -> ClientOutco
     out
 }
 
+/// Drives one reliable client: offers every beacon into a
+/// `BeaconSender` over real TCP (optionally through the fault proxy)
+/// and pumps on wall time until everything is acked or provably
+/// dropped. Returns the sender's final counters.
+fn run_retry_client(addr: SocketAddr, cfg: &LoadgenConfig, client: u64) -> SenderStats {
+    let sender_cfg = SenderConfig {
+        seed: cfg.seed ^ (client.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        // Wall-clock profile: stalls at the proxy run ~100 ms, so the
+        // ack wait must be longer than a stall but short enough to
+        // keep the soak brisk.
+        ack_timeout_us: 250_000,
+        backoff_base_us: 5_000,
+        backoff_max_us: 200_000,
+        reconnect_backoff_us: 10_000,
+        ..SenderConfig::default()
+    };
+    let mut sender = BeaconSender::new(TcpTransport::new(addr), sender_cfg);
+    let t0 = Instant::now();
+    let now_us = || t0.elapsed().as_micros() as u64;
+    for seq_no in 0..cfg.beacons_per_client {
+        let b = beacon(client, seq_no);
+        // The queue is bounded; when it fills, pump until a slot frees
+        // (backpressure instead of loss).
+        while !sender.offer(&b, now_us()).expect("beacon encodes") {
+            sender.pump(now_us());
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        if seq_no % 32 == 0 {
+            sender.pump(now_us());
+        }
+    }
+    // Drain: everything must resolve to acked or dropped. The
+    // deadline is a safety net, not an expected path — leftovers get
+    // abandoned and fail the conservation gate loudly.
+    let deadline = Duration::from_secs(120);
+    while !sender.is_idle() && t0.elapsed() < deadline {
+        sender.pump(now_us());
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    sender.abandon_pending();
+    sender.stats()
+}
+
+#[derive(Serialize)]
+struct RetryResult {
+    clients: u64,
+    enqueued: u64,
+    unique_applied: u64,
+    duplicates: u64,
+    retransmits: u64,
+    dropped_after_retries: u64,
+    abandoned_unconfirmed: u64,
+    reconnects: u64,
+    acks_sent: u64,
+    elapsed_secs: f64,
+    conservation_holds: bool,
+}
+
+/// The retry-soak main path: acked clients, optional fault proxy,
+/// sender-side conservation judged exactly.
+fn run_retry_soak(cfg: &LoadgenConfig, out: &ExperimentOutput) {
+    let store = Arc::new(parking_lot::Mutex::new(ImpressionStore::new()));
+    {
+        // Register every impression the clients will beacon for; the
+        // store treats beacons for unknown impressions as orphans and
+        // keeps them out of the unique/duplicate counters the
+        // conservation check reads.
+        let mut s = store.lock();
+        for client in 0..cfg.clients {
+            for seq_no in 0..cfg.beacons_per_client {
+                let b = beacon(client, seq_no);
+                s.record_served(ServedImpression {
+                    impression_id: b.impression_id,
+                    campaign_id: b.campaign_id,
+                    os: b.os,
+                    browser: b.browser,
+                    site_type: b.site_type,
+                    ad_format: b.ad_format,
+                });
+            }
+        }
+    }
+    let collector_cfg = CollectorConfig {
+        max_connections: (cfg.clients as usize + 8).max(64),
+        inlet_capacity: cfg.inlet_capacity,
+        ..CollectorConfig::default()
+    };
+    let collector = Collector::start(collector_cfg, Arc::clone(&store)).expect("start collector");
+    let proxy = if cfg.fault_proxy {
+        Some(
+            FaultProxy::start(FaultProxyConfig::soak(collector.local_addr(), cfg.seed))
+                .expect("start proxy"),
+        )
+    } else {
+        None
+    };
+    let addr = proxy
+        .as_ref()
+        .map(|p| p.local_addr())
+        .unwrap_or_else(|| collector.local_addr());
+    println!(
+        "retry soak: {} clients x {} beacons via {}{}, seed {}",
+        cfg.clients,
+        cfg.beacons_per_client,
+        addr,
+        if cfg.fault_proxy {
+            " (fault proxy: drops, resets, partial writes, stalls)"
+        } else {
+            ""
+        },
+        cfg.seed,
+    );
+
+    let started = Instant::now();
+    let shared = Arc::new(cfg.clone());
+    let handles: Vec<_> = (0..cfg.clients)
+        .map(|client| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || run_retry_client(addr, &shared, client))
+        })
+        .collect();
+    let stats: Vec<SenderStats> = handles
+        .into_iter()
+        .map(|h| h.join().expect("retry client thread"))
+        .collect();
+    if let Some(p) = proxy {
+        let ps = p.stats();
+        println!(
+            "proxy faults: {} dropped chunks, {} resets, {} partial writes, {} stalls",
+            ps.dropped_chunks.load(std::sync::atomic::Ordering::Relaxed),
+            ps.resets.load(std::sync::atomic::Ordering::Relaxed),
+            ps.partial_writes.load(std::sync::atomic::Ordering::Relaxed),
+            ps.stalls.load(std::sync::atomic::Ordering::Relaxed),
+        );
+        p.shutdown();
+    }
+    let ops = collector.shutdown();
+    let elapsed = started.elapsed();
+
+    let enqueued: u64 = stats.iter().map(|s| s.enqueued).sum();
+    let retransmits: u64 = stats.iter().map(|s| s.retransmits).sum();
+    let acked: u64 = stats.iter().map(|s| s.acked).sum();
+    let dropped: u64 = stats.iter().map(|s| s.dropped_after_retries).sum();
+    let abandoned: u64 = stats.iter().map(|s| s.abandoned_unconfirmed).sum();
+    let reconnects: u64 = stats.iter().map(|s| s.reconnects).sum();
+    let (unique, duplicates) = {
+        let s = store.lock();
+        (s.unique_beacons(), s.total_duplicates())
+    };
+
+    println!();
+    println!("beacons enqueued      {enqueued:>12}");
+    println!("unique applied        {unique:>12}");
+    println!("duplicates (deduped)  {duplicates:>12}");
+    println!("retransmits           {retransmits:>12}");
+    println!("acks received         {acked:>12}");
+    println!("acks written (daemon) {:>12}", ops.collector.acks_sent);
+    println!("dropped after retries {dropped:>12}");
+    println!("abandoned unconfirmed {abandoned:>12}");
+    println!("sender reconnects     {reconnects:>12}");
+    println!("elapsed               {:>12.3} s", elapsed.as_secs_f64());
+
+    // The exact identity: with a finished drain (abandoned == 0),
+    // every enqueued beacon is a unique applied beacon or a provably
+    // undelivered drop. Acks equal uniques because the collector
+    // re-acks duplicates and the sender counts each key once.
+    let conserves = abandoned == 0 && enqueued == unique + dropped && acked == unique;
+    println!(
+        "conservation check: enqueued == unique applied + dropped (duplicates separate): {}",
+        if conserves { "PASS" } else { "FAIL" }
+    );
+
+    out.finish(&RetryResult {
+        clients: cfg.clients,
+        enqueued,
+        unique_applied: unique,
+        duplicates,
+        retransmits,
+        dropped_after_retries: dropped,
+        abandoned_unconfirmed: abandoned,
+        reconnects,
+        acks_sent: ops.collector.acks_sent,
+        elapsed_secs: elapsed.as_secs_f64(),
+        conservation_holds: conserves,
+    });
+
+    if !conserves {
+        eprintln!("retry conservation violated: sender stats {stats:?}, ops {ops:?}");
+        std::process::exit(1);
+    }
+}
+
 #[derive(Serialize)]
 struct LoadgenResult {
     clients: u64,
@@ -213,6 +439,11 @@ fn main() {
     let cfg = LoadgenConfig::from_args();
     let out = ExperimentOutput::from_args();
     out.section("collectd loadgen: TCP beacon replay with conservation check");
+
+    if cfg.retry {
+        run_retry_soak(&cfg, &out);
+        return;
+    }
 
     let store = Arc::new(parking_lot::Mutex::new(ImpressionStore::new()));
     let collector_cfg = CollectorConfig {

@@ -22,6 +22,11 @@
 
 pub mod output;
 pub mod pipeline;
+pub mod proxy;
 
 pub use output::{format_pct, ExperimentOutput};
-pub use pipeline::{run_production, run_production_sharded, ProductionConfig, ProductionResults};
+pub use pipeline::{
+    ingest_reliable, run_production, run_production_sharded, DeliveryMode, DeliveryTotals,
+    ProductionConfig, ProductionResults,
+};
+pub use proxy::{FaultProxy, FaultProxyConfig, ProxyStats};

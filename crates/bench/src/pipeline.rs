@@ -6,15 +6,32 @@ use qtag_adtech::{AdSlotRequest, Campaign, Dsp, Exchange, ExchangeKind, GeoRegio
 use qtag_geometry::Size;
 use qtag_server::{
     CampaignReport, FleetSummary, ImpressionStore, LossyLink, RateSlice, ReportBuilder,
-    ServedImpression, SliceKey,
+    ServedImpression, SimCollectorTransport, SimFaults, SliceKey,
 };
 use qtag_user::{EnvSample, Population, PopulationConfig, SessionSim};
 use qtag_wire::framing::FrameEvent;
+use qtag_wire::sender::{BeaconSender, SenderConfig, SenderStats};
 use qtag_wire::{BrowserKind, FrameDecoder, SiteType};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::collections::HashMap;
+
+/// How the Q-Tag side of the pipeline gets its beacons to the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryMode {
+    /// Paper-faithful: each beacon crosses the lossy link once;
+    /// whatever the network eats is simply never measured. This is
+    /// the mode every Figure 3 / Table 2 artefact reproduces.
+    #[default]
+    FireAndForget,
+    /// Hardened: a [`BeaconSender`] retries each beacon through the
+    /// same faulty network (loss on both the frame and the ack path)
+    /// until the simulated collector acknowledges it. Loss becomes
+    /// retransmissions and duplicates — which the store deduplicates
+    /// — instead of measurement holes.
+    Reliable,
+}
 
 /// Configuration of one production run.
 #[derive(Debug, Clone)]
@@ -27,6 +44,9 @@ pub struct ProductionConfig {
     pub seed: u64,
     /// Population mix (defaults to the Table 2 calibration).
     pub population: PopulationConfig,
+    /// Q-Tag beacon delivery. The commercial verifier always stays
+    /// fire-and-forget — it is the black box being compared against.
+    pub delivery: DeliveryMode,
 }
 
 impl Default for ProductionConfig {
@@ -36,7 +56,57 @@ impl Default for ProductionConfig {
             impressions_per_campaign: 5_000,
             seed: 2019,
             population: PopulationConfig::default(),
+            delivery: DeliveryMode::FireAndForget,
         }
+    }
+}
+
+/// Fleet-wide sums of every per-impression [`SenderStats`] (all zero
+/// in fire-and-forget mode).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DeliveryTotals {
+    /// Beacons accepted into retry queues.
+    pub enqueued: u64,
+    /// First-time frame writes plus retransmissions.
+    pub frames_written: u64,
+    /// Retransmissions alone.
+    pub retransmits: u64,
+    /// Beacons confirmed by the simulated collector.
+    pub acked: u64,
+    /// Beacons dropped at the retry cap, never fully written.
+    pub dropped_after_retries: u64,
+    /// Maybe-delivered beacons abandoned at the session's unload
+    /// horizon.
+    pub abandoned_unconfirmed: u64,
+    /// Connection reopens performed by senders.
+    pub reconnects: u64,
+}
+
+impl DeliveryTotals {
+    fn add(&mut self, s: &SenderStats) {
+        self.enqueued += s.enqueued;
+        self.frames_written += s.frames_written;
+        self.retransmits += s.retransmits;
+        self.acked += s.acked;
+        self.dropped_after_retries += s.dropped_after_retries;
+        self.abandoned_unconfirmed += s.abandoned_unconfirmed;
+        self.reconnects += s.reconnects;
+    }
+
+    fn merge(&mut self, o: &DeliveryTotals) {
+        self.enqueued += o.enqueued;
+        self.frames_written += o.frames_written;
+        self.retransmits += o.retransmits;
+        self.acked += o.acked;
+        self.dropped_after_retries += o.dropped_after_retries;
+        self.abandoned_unconfirmed += o.abandoned_unconfirmed;
+        self.reconnects += o.reconnects;
+    }
+
+    /// The fleet-level conservation identity: every enqueued beacon
+    /// was acked, provably dropped, or explicitly abandoned.
+    pub fn conserves(&self) -> bool {
+        self.enqueued == self.acked + self.dropped_after_retries + self.abandoned_unconfirmed
     }
 }
 
@@ -62,6 +132,9 @@ pub struct ProductionResults {
     pub served: u64,
     /// DSP spend over the run, milli-dollars CPM summed.
     pub spend_cpm_milli: u64,
+    /// Reliable-delivery counters (zero when the Q-Tag side ran
+    /// fire-and-forget).
+    pub delivery: DeliveryTotals,
 }
 
 /// Runs the pipeline.
@@ -106,6 +179,7 @@ pub fn run_production(cfg: &ProductionConfig) -> ProductionResults {
     let mut qtag_store = ImpressionStore::new();
     let mut verifier_store = ImpressionStore::new();
     let mut served_total = 0u64;
+    let mut delivery = DeliveryTotals::default();
 
     // Serve the whole portfolio from one open-auction request stream:
     // the exchanges emit bid requests with mixed geos, sizes and
@@ -156,12 +230,21 @@ pub fn run_production(cfg: &ProductionConfig) -> ProductionResults {
         let out = sim.run(&ad, &env, session_seed);
 
         // Transport with per-slice loss, then the streaming decoder.
-        ingest(
-            &mut qtag_store,
-            &out.qtag_beacons,
-            env.beacon_loss,
-            session_seed ^ 1,
-        );
+        match cfg.delivery {
+            DeliveryMode::FireAndForget => ingest(
+                &mut qtag_store,
+                &out.qtag_beacons,
+                env.beacon_loss,
+                session_seed ^ 1,
+            ),
+            DeliveryMode::Reliable => ingest_reliable(
+                &mut qtag_store,
+                &out.qtag_beacons,
+                env.beacon_loss,
+                session_seed ^ 1,
+                &mut delivery,
+            ),
+        }
         ingest(
             &mut verifier_store,
             &out.verifier_beacons,
@@ -181,6 +264,7 @@ pub fn run_production(cfg: &ProductionConfig) -> ProductionResults {
         verifier_reports,
         served: served_total,
         spend_cpm_milli: dsp.stats().spend_cpm_milli,
+        delivery,
     }
 }
 
@@ -219,6 +303,7 @@ fn merge_results(mut results: Vec<ProductionResults>) -> ProductionResults {
         }
         merged.served += r.served;
         merged.spend_cpm_milli += r.spend_cpm_milli;
+        merged.delivery.merge(&r.delivery);
     }
     merged.qtag_summary = ReportBuilder::summary(&merged.qtag_reports);
     merged.verifier_summary = ReportBuilder::summary(&merged.verifier_reports);
@@ -264,6 +349,48 @@ fn ingest(store: &mut ImpressionStore, beacons: &[qtag_wire::Beacon], loss: f64,
     }
 }
 
+/// One session's beacons through the reliable path: a [`BeaconSender`]
+/// over a [`SimCollectorTransport`] whose fault profile mirrors the
+/// session's fire-and-forget loss rate on both directions. The sender
+/// is pumped in 5 ms virtual-time steps until everything is resolved
+/// or the page-unload horizon expires; leftovers are abandoned (not
+/// silently lost), keeping the identity exact.
+pub fn ingest_reliable(
+    store: &mut ImpressionStore,
+    beacons: &[qtag_wire::Beacon],
+    loss: f64,
+    seed: u64,
+    totals: &mut DeliveryTotals,
+) {
+    if beacons.is_empty() {
+        return;
+    }
+    let faults = SimFaults::symmetric(loss, 0.002);
+    let transport = SimCollectorTransport::new(store, faults, seed);
+    let mut sender = BeaconSender::new(
+        transport,
+        SenderConfig {
+            seed: seed ^ 0x5EED,
+            ..SenderConfig::default()
+        },
+    );
+    let mut now = 0u64;
+    for b in beacons {
+        sender.offer(b, now).expect("beacon encodes");
+    }
+    // 60 simulated seconds of unload grace — enough for the backoff
+    // ceiling to retry maybe-delivered frames many times over.
+    const HORIZON_US: u64 = 60_000_000;
+    while !sender.is_idle() && now < HORIZON_US {
+        sender.pump(now);
+        now += 5_000;
+    }
+    sender.abandon_pending();
+    let stats = sender.stats();
+    debug_assert!(stats.conserves(0), "{stats:?}");
+    totals.add(&stats);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,7 +401,7 @@ mod tests {
             campaigns: 4,
             impressions_per_campaign: 400,
             seed: 7,
-            population: PopulationConfig::default(),
+            ..ProductionConfig::default()
         };
         let r = run_production(&cfg);
         assert_eq!(r.served, 1600);
@@ -302,7 +429,7 @@ mod tests {
             campaigns: 2,
             impressions_per_campaign: 400,
             seed: 5,
-            population: PopulationConfig::default(),
+            ..ProductionConfig::default()
         };
         let sharded = run_production_sharded(&cfg, 4);
         assert_eq!(
@@ -322,12 +449,49 @@ mod tests {
     }
 
     #[test]
+    fn reliable_delivery_beats_fire_and_forget_and_conserves() {
+        let base = ProductionConfig {
+            campaigns: 2,
+            impressions_per_campaign: 250,
+            seed: 23,
+            ..ProductionConfig::default()
+        };
+        let faf = run_production(&base);
+        let reliable = run_production(&ProductionConfig {
+            delivery: DeliveryMode::Reliable,
+            ..base.clone()
+        });
+        let q_faf = faf.qtag_summary.mean_measured_rate;
+        let q_rel = reliable.qtag_summary.mean_measured_rate;
+        assert!(
+            q_rel >= q_faf,
+            "retries must not lose measurements: {q_rel} vs {q_faf}"
+        );
+        let d = reliable.delivery;
+        assert!(d.conserves(), "{d:?}");
+        assert!(d.enqueued > 0);
+        assert!(
+            d.retransmits > 0,
+            "the population's loss must force retransmissions: {d:?}"
+        );
+        // Fire-and-forget leaves the counters untouched.
+        assert_eq!(faf.delivery, DeliveryTotals::default());
+        // The verifier side is identical in both runs (same seeds,
+        // same fire-and-forget path) — the comparison is apples to
+        // apples.
+        assert_eq!(
+            faf.verifier_summary.mean_measured_rate,
+            reliable.verifier_summary.mean_measured_rate
+        );
+    }
+
+    #[test]
     fn android_app_slice_shows_the_biggest_gap() {
         let cfg = ProductionConfig {
             campaigns: 2,
             impressions_per_campaign: 600,
             seed: 11,
-            population: PopulationConfig::default(),
+            ..ProductionConfig::default()
         };
         let r = run_production(&cfg);
         let key = SliceKey {

@@ -198,7 +198,7 @@ mod tests {
     use super::*;
     use qtag_wire::framing::encode_frames;
     use qtag_wire::{json, AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
-    use std::io::Write;
+    use std::io::{Read, Write};
     use std::net::TcpStream;
     use std::time::Duration;
 
@@ -327,6 +327,104 @@ mod tests {
         assert_eq!(ops.collector.frames_decoded, 1);
         assert_eq!(ops.collector.corrupt_frames, 0);
         assert!(ops.conserves(1), "{ops:?}");
+    }
+
+    #[test]
+    fn acked_client_gets_one_ack_per_accepted_frame_including_duplicates() {
+        use qtag_wire::sender::{AckDecoder, AckKey, ACK_HELLO};
+        let collector = start_default();
+        collector.store().lock().record_served(served(42));
+        let mut sock = TcpStream::connect(collector.local_addr()).unwrap();
+        sock.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        sock.write_all(&[ACK_HELLO]).unwrap();
+        // Two distinct beacons plus a retransmit of the first: the
+        // duplicate must be re-acked (the store already has it; the
+        // honest answer to the retry is "got it").
+        let stream = encode_frames(&[
+            beacon(42, 0, EventKind::Measurable),
+            beacon(42, 1, EventKind::InView),
+            beacon(42, 0, EventKind::Measurable),
+        ])
+        .unwrap();
+        sock.write_all(&stream).unwrap();
+        sock.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut raw = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut chunk = [0u8; 64];
+        while raw.len() < 30 && std::time::Instant::now() < deadline {
+            match sock.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&chunk[..n]),
+                Err(_) => {}
+            }
+        }
+        let mut dec = AckDecoder::new();
+        let mut keys = Vec::new();
+        dec.extend(&raw, &mut keys);
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![
+                AckKey {
+                    impression_id: 42,
+                    seq: 0
+                },
+                AckKey {
+                    impression_id: 42,
+                    seq: 0
+                },
+                AckKey {
+                    impression_id: 42,
+                    seq: 1
+                },
+            ],
+            "raw ack bytes: {raw:?}"
+        );
+        drop(sock);
+        let ops = collector.shutdown();
+        assert_eq!(ops.collector.acked_connections, 1);
+        assert_eq!(ops.collector.acks_sent, 3);
+        assert_eq!(ops.collector.frames_decoded, 3);
+    }
+
+    #[test]
+    fn corrupt_frames_earn_no_ack() {
+        use qtag_wire::sender::ACK_HELLO;
+        let collector = start_default();
+        collector.store().lock().record_served(served(9));
+        let mut sock = TcpStream::connect(collector.local_addr()).unwrap();
+        sock.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        sock.write_all(&[ACK_HELLO]).unwrap();
+        let good = encode_frames(&[beacon(9, 0, EventKind::Measurable)]).unwrap();
+        let mut bad = encode_frames(&[beacon(9, 1, EventKind::InView)]).unwrap();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF; // fails the CRC, header stays honest
+        sock.write_all(&good).unwrap();
+        sock.write_all(&bad).unwrap();
+        sock.shutdown(std::net::Shutdown::Write).unwrap();
+        // Read to EOF: exactly one ack record may come back.
+        let mut raw = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut chunk = [0u8; 64];
+        while std::time::Instant::now() < deadline {
+            match sock.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&chunk[..n]),
+                Err(_) => {
+                    if raw.len() >= 10 {
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(raw.len(), 10, "one ack for the good frame only: {raw:?}");
+        drop(sock);
+        let ops = collector.shutdown();
+        assert_eq!(ops.collector.acks_sent, 1);
+        assert_eq!(ops.collector.corrupt_frames, 1);
+        assert!(ops.conserves(2), "{ops:?}");
     }
 
     #[test]

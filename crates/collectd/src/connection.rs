@@ -4,8 +4,9 @@ use crate::config::CollectorConfig;
 use crate::stats::CollectorStats;
 use qtag_server::BeaconInlet;
 use qtag_wire::framing::FrameEvent;
+use qtag_wire::sender::{encode_ack, AckKey, ACK_HELLO};
 use qtag_wire::{json, FrameDecoder};
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -24,6 +25,13 @@ pub(crate) struct ConnCtx {
 enum Protocol {
     /// `qtag-wire` length-prefixed binary frames.
     Binary(FrameDecoder),
+    /// Binary frames with per-frame acknowledgements written back
+    /// (opted in by a leading [`ACK_HELLO`] byte). Only frames the
+    /// inlet *accepts* are acked — a shed frame earns no ack, turning
+    /// server backpressure into client retry pressure. Duplicates are
+    /// re-acked: the store already holds the beacon, so the honest
+    /// answer to "did you get it?" is yes.
+    BinaryAcked(FrameDecoder),
     /// Newline-delimited JSON beacons.
     Json(JsonLines),
 }
@@ -94,17 +102,43 @@ impl JsonLines {
     }
 }
 
-fn drain_binary(dec: &mut FrameDecoder, ctx: &ConnCtx) {
+/// Drains decoded events into the inlet. When `acks` is `Some`, each
+/// inlet-*accepted* beacon appends one encoded ack record; shed and
+/// corrupt frames append nothing (the client will retry them).
+fn drain_binary(dec: &mut FrameDecoder, ctx: &ConnCtx, mut acks: Option<&mut Vec<u8>>) {
     while let Some(ev) = dec.next_event() {
         match ev {
             FrameEvent::Beacon(b) => {
                 ctx.stats.frames_decoded.fetch_add(1, Ordering::Relaxed);
-                ctx.inlet.offer(b);
+                let key = AckKey::from(&b);
+                if ctx.inlet.offer(b) {
+                    if let Some(out) = acks.as_deref_mut() {
+                        encode_ack(key, out);
+                    }
+                }
             }
             FrameEvent::Corrupt(_) => {
                 ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+}
+
+/// Writes pending ack records back to the client. Returns `false` if
+/// the write fails — the connection is then torn down; the client's
+/// ack timeouts will drive retransmission over a fresh connection.
+fn flush_acks(stream: &mut TcpStream, acks: &mut Vec<u8>, ctx: &ConnCtx) -> bool {
+    if acks.is_empty() {
+        return true;
+    }
+    let n = (acks.len() / qtag_wire::sender::ACK_LEN) as u64;
+    match stream.write_all(acks) {
+        Ok(()) => {
+            ctx.stats.acks_sent.fetch_add(n, Ordering::Relaxed);
+            acks.clear();
+            true
+        }
+        Err(_) => false,
     }
 }
 
@@ -119,6 +153,7 @@ pub(crate) fn serve(stream: TcpStream, ctx: ConnCtx) {
     let mut stream = stream;
     let mut proto: Option<Protocol> = None;
     let mut buf = vec![0u8; 16 * 1024];
+    let mut acks: Vec<u8> = Vec::new();
     let mut idle = Duration::ZERO;
     loop {
         match stream.read(&mut buf) {
@@ -126,19 +161,40 @@ pub(crate) fn serve(stream: TcpStream, ctx: ConnCtx) {
             Ok(n) => {
                 idle = Duration::ZERO;
                 ctx.stats.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
-                let p = proto.get_or_insert_with(|| {
-                    if buf[0] == b'{' {
-                        Protocol::Json(JsonLines::new())
-                    } else {
-                        Protocol::Binary(FrameDecoder::new())
+                // First chunk fixes the protocol; the acked-binary
+                // hello byte is consumed here, not fed to the decoder.
+                let mut start = 0;
+                let p = match proto.as_mut() {
+                    Some(p) => p,
+                    None => {
+                        let chosen = if buf[0] == b'{' {
+                            Protocol::Json(JsonLines::new())
+                        } else if buf[0] == ACK_HELLO {
+                            start = 1;
+                            ctx.stats.acked_connections.fetch_add(1, Ordering::Relaxed);
+                            // Bound ack writes to a stalled client so
+                            // the reader thread cannot hang forever.
+                            let _ = stream.set_write_timeout(Some(ctx.cfg.read_timeout));
+                            Protocol::BinaryAcked(FrameDecoder::new())
+                        } else {
+                            Protocol::Binary(FrameDecoder::new())
+                        };
+                        proto.insert(chosen)
                     }
-                });
+                };
                 match p {
                     Protocol::Binary(dec) => {
-                        dec.extend(&buf[..n]);
-                        drain_binary(dec, &ctx);
+                        dec.extend(&buf[start..n]);
+                        drain_binary(dec, &ctx, None);
                     }
-                    Protocol::Json(lines) => lines.feed(&buf[..n], &ctx),
+                    Protocol::BinaryAcked(dec) => {
+                        dec.extend(&buf[start..n]);
+                        drain_binary(dec, &ctx, Some(&mut acks));
+                        if !flush_acks(&mut stream, &mut acks, &ctx) {
+                            break; // ack channel gone: force a retry cycle
+                        }
+                    }
+                    Protocol::Json(lines) => lines.feed(&buf[start..n], &ctx),
                 }
             }
             Err(e)
@@ -166,23 +222,34 @@ pub(crate) fn serve(stream: TcpStream, ctx: ConnCtx) {
     // End-of-stream flush. A truncated binary tail frame stays
     // buffered in the decoder (the sender never completed it — not
     // corrupt, not applied); a partial JSON line is likewise dropped.
-    if let Some(Protocol::Binary(mut dec)) = proto.take() {
-        for ev in dec.finish() {
-            match ev {
-                FrameEvent::Beacon(b) => {
-                    ctx.stats.frames_decoded.fetch_add(1, Ordering::Relaxed);
-                    ctx.inlet.offer(b);
-                }
-                FrameEvent::Corrupt(_) => {
-                    ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+    let (mut dec, acked) = match proto.take() {
+        Some(Protocol::Binary(dec)) => (dec, false),
+        Some(Protocol::BinaryAcked(dec)) => (dec, true),
+        _ => return,
+    };
+    for ev in dec.finish() {
+        match ev {
+            FrameEvent::Beacon(b) => {
+                ctx.stats.frames_decoded.fetch_add(1, Ordering::Relaxed);
+                let key = AckKey::from(&b);
+                if ctx.inlet.offer(b) && acked {
+                    encode_ack(key, &mut acks);
                 }
             }
+            FrameEvent::Corrupt(_) => {
+                ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        ctx.stats
-            .resync_bytes
-            .fetch_add(dec.skipped_bytes(), Ordering::Relaxed);
-        ctx.stats
-            .corrupt_frame_bytes
-            .fetch_add(dec.corrupt_bytes(), Ordering::Relaxed);
     }
+    if acked {
+        // Best-effort: the peer may already be gone; its ack timeouts
+        // cover the loss.
+        let _ = flush_acks(&mut stream, &mut acks, &ctx);
+    }
+    ctx.stats
+        .resync_bytes
+        .fetch_add(dec.skipped_bytes(), Ordering::Relaxed);
+    ctx.stats
+        .corrupt_frame_bytes
+        .fetch_add(dec.corrupt_bytes(), Ordering::Relaxed);
 }

@@ -33,6 +33,12 @@ pub struct CollectorStats {
     /// Bytes discarded as whole corrupt binary frames (header plus
     /// payload of each frame counted in `corrupt_frames`).
     pub corrupt_frame_bytes: AtomicU64,
+    /// Connections that opted into the acked binary protocol by
+    /// leading with the `ACK_HELLO` byte.
+    pub acked_connections: AtomicU64,
+    /// Per-frame acknowledgements written back to acked clients (one
+    /// per inlet-accepted frame, including re-acked duplicates).
+    pub acks_sent: AtomicU64,
 }
 
 impl CollectorStats {
@@ -49,6 +55,8 @@ impl CollectorStats {
             corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
             resync_bytes: self.resync_bytes.load(Ordering::Relaxed),
             corrupt_frame_bytes: self.corrupt_frame_bytes.load(Ordering::Relaxed),
+            acked_connections: self.acked_connections.load(Ordering::Relaxed),
+            acks_sent: self.acks_sent.load(Ordering::Relaxed),
         }
     }
 }
@@ -75,6 +83,10 @@ pub struct CollectorStatsSnapshot {
     pub resync_bytes: u64,
     /// Bytes discarded as whole corrupt binary frames.
     pub corrupt_frame_bytes: u64,
+    /// Connections that opted into the acked binary protocol.
+    pub acked_connections: u64,
+    /// Per-frame acknowledgements written back to acked clients.
+    pub acks_sent: u64,
 }
 
 /// The daemon's full ops surface: its own counters plus the embedded

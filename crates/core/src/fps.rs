@@ -18,6 +18,7 @@ pub struct RateSampler {
     /// complete window.
     fps: f64,
     primed: bool,
+    resets: u32,
 }
 
 impl RateSampler {
@@ -29,6 +30,7 @@ impl RateSampler {
             last_time: now,
             fps: 0.0,
             primed: false,
+            resets: 0,
         }
     }
 
@@ -37,17 +39,38 @@ impl RateSampler {
     /// window). Observations closer together than 1 ms keep the previous
     /// estimate (guards against division by ~zero when a timer and an
     /// animation frame land on the same tick).
+    ///
+    /// A counter *regression* (`count < last_count`) means the paint
+    /// counter was reset under the sampler — an iframe reload, a
+    /// navigation, a re-created probe. The elapsed window spans two
+    /// counter epochs, so no rate can be computed from it; the sampler
+    /// re-anchors at the new counter value and keeps the previous
+    /// estimate. (Treating the regression as zero paints would report
+    /// 0 fps from a pixel that is actually repainting — a live,
+    /// visible pixel misclassified as culled.)
     pub fn update(&mut self, now: SimTime, count: u64) -> f64 {
+        if count < self.last_count {
+            self.last_count = count;
+            self.last_time = now;
+            self.resets += 1;
+            return self.fps;
+        }
         let dt = now.since(self.last_time).as_secs_f64();
         if dt < 0.001 {
             return self.fps;
         }
-        let dc = count.saturating_sub(self.last_count) as f64;
+        let dc = (count - self.last_count) as f64;
         self.fps = dc / dt;
         self.last_count = count;
         self.last_time = now;
         self.primed = true;
         self.fps
+    }
+
+    /// Number of counter regressions detected (diagnostics: how often
+    /// the probe was reset under the sampler).
+    pub fn resets(&self) -> u32 {
+        self.resets
     }
 
     /// Latest rate estimate (Hz).
@@ -109,10 +132,50 @@ mod tests {
     }
 
     #[test]
-    fn counter_regression_is_treated_as_zero() {
-        // Detached/reset probes must not produce negative rates.
+    fn counter_regression_reanchors_instead_of_reporting_zero() {
+        // A live 60 fps pixel whose counter resets (iframe reload)
+        // must keep reporting ~60 fps, not dip to 0.
+        let mut s = RateSampler::new(SimTime::ZERO, 0);
+        let fps = s.update(SimTime::from_micros(100_000), 6); // 60 fps
+        assert!((fps - 60.0).abs() < 1e-9);
+        // Counter reset: jumps back to 2 (fresh epoch, already painting).
+        let fps = s.update(SimTime::from_micros(200_000), 2);
+        assert!(
+            (fps - 60.0).abs() < 1e-9,
+            "regression window keeps estimate"
+        );
+        assert_eq!(s.resets(), 1);
+        assert!(s.primed());
+        // Next full window measures against the re-anchored epoch.
+        let fps = s.update(SimTime::from_micros(300_000), 8); // 6 paints / 100 ms
+        assert!((fps - 60.0).abs() < 1e-9, "post-reset window is exact");
+    }
+
+    #[test]
+    fn unprimed_regression_does_not_prime_or_distort() {
+        // Regression before any complete window: stay unprimed at 0.
         let mut s = RateSampler::new(SimTime::ZERO, 100);
         let fps = s.update(SimTime::from_micros(1_000_000), 50);
         assert_eq!(fps, 0.0);
+        assert!(!s.primed(), "a regression is not a measured window");
+        // The window after the re-anchor measures correctly.
+        let fps = s.update(SimTime::from_micros(2_000_000), 80); // 30 paints / 1 s
+        assert!((fps - 30.0).abs() < 1e-9);
+        assert!(s.primed());
+    }
+
+    #[test]
+    fn repeated_regressions_from_live_pixel_never_zero_the_rate() {
+        // Pathological environment: the counter resets every window
+        // (e.g. the probe element is torn down and re-created by an
+        // aggressive ad container). The pixel is alive the whole time;
+        // the sampler must never claim 0 fps once primed.
+        let mut s = RateSampler::new(SimTime::ZERO, 0);
+        s.update(SimTime::from_micros(100_000), 6); // primes at 60 fps
+        for w in 1..20u64 {
+            let t = SimTime::from_micros(100_000 + w * 100_000);
+            let fps = s.update(t, w % 3); // counter keeps restarting
+            assert!(fps > 0.0, "window {w}: live pixel reported {fps} fps");
+        }
     }
 }

@@ -41,6 +41,7 @@ mod fps;
 mod layout;
 mod state;
 mod tag;
+mod uplink;
 
 pub use area::AreaEstimator;
 pub use config::QTagConfig;
@@ -49,3 +50,4 @@ pub use fps::RateSampler;
 pub use layout::PixelLayout;
 pub use state::{ViewEvent, ViewabilityMachine};
 pub use tag::QTag;
+pub use uplink::TagUplink;

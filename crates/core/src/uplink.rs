@@ -1,0 +1,220 @@
+//! The tag's reporting uplink: engine outbox → reliable delivery.
+//!
+//! The paper's tag "sends the collected information to a server" and
+//! stops caring — fire-and-forget. [`TagUplink`] is the hardened
+//! version: it drains [`qtag_render::Engine`] outbox beacons into a
+//! [`BeaconSender`], which retries timed-out and failed frames with
+//! seeded exponential backoff until the collector acknowledges them.
+//! The uplink runs on the same simulated clock as the engine, so a
+//! session's delivery (including every retransmission) is exactly
+//! reproducible per seed.
+
+use qtag_render::{OutgoingBeacon, SimDuration, SimTime};
+use qtag_wire::sender::{BeaconSender, SenderConfig, SenderStats, Transport};
+use qtag_wire::{Beacon, WireError};
+
+/// Reliable reporting channel for one tag (or one device's worth of
+/// tags): beacons enter at their simulated emit time and leave only
+/// when the collector has acknowledged them.
+pub struct TagUplink<T: Transport> {
+    sender: BeaconSender<T>,
+    shed: u64,
+}
+
+impl<T: Transport> TagUplink<T> {
+    /// Builds the uplink over `transport`; the first [`TagUplink::tick`]
+    /// opens the connection.
+    pub fn new(transport: T, cfg: SenderConfig) -> Self {
+        TagUplink {
+            sender: BeaconSender::new(transport, cfg),
+            shed: 0,
+        }
+    }
+
+    /// Enqueues freshly drained outbox beacons at their emit times.
+    /// Beacons rejected at the sender's bounded queue are counted shed
+    /// — the tag never blocks the page waiting for the network.
+    pub fn enqueue(
+        &mut self,
+        beacons: impl IntoIterator<Item = OutgoingBeacon>,
+    ) -> Result<(), WireError> {
+        for out in beacons {
+            self.enqueue_at(&out.beacon, out.at)?;
+        }
+        Ok(())
+    }
+
+    /// Enqueues one beacon emitted at `at` (the primitive behind
+    /// [`TagUplink::enqueue`], for callers holding bare beacons).
+    pub fn enqueue_at(&mut self, beacon: &Beacon, at: SimTime) -> Result<(), WireError> {
+        if !self.sender.offer(beacon, at.as_micros())? {
+            self.shed += 1;
+        }
+        Ok(())
+    }
+
+    /// Advances the delivery state machine to `now` (reconnects, ack
+    /// collection, due retransmits). Returns frames written this tick.
+    pub fn tick(&mut self, now: SimTime) -> u64 {
+        self.sender.pump(now.as_micros())
+    }
+
+    /// Pumps from `from` in `step` increments until the queue is idle
+    /// or `horizon` has elapsed — the page-unload grace period during
+    /// which the tag may still flush. Returns the simulated time at
+    /// which it stopped.
+    pub fn drain(&mut self, from: SimTime, horizon: SimDuration, step: SimDuration) -> SimTime {
+        let mut now = from;
+        let deadline = from + horizon;
+        let step_us = step.as_micros().max(1);
+        while !self.sender.is_idle() && now < deadline {
+            self.sender.pump(now.as_micros());
+            now += SimDuration::from_micros(step_us);
+        }
+        now
+    }
+
+    /// Delivery counters so far.
+    pub fn stats(&self) -> SenderStats {
+        self.sender.stats()
+    }
+
+    /// Frames still queued or awaiting ack.
+    pub fn pending(&self) -> u64 {
+        self.sender.pending()
+    }
+
+    /// Beacons rejected at the bounded queue (never enqueued).
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Gives up on everything unconfirmed (page really unloading);
+    /// the count lands in `abandoned_unconfirmed`, keeping the
+    /// conservation identity exact.
+    pub fn abandon_unconfirmed(&mut self) -> u64 {
+        self.sender.abandon_pending()
+    }
+
+    /// Consumes the uplink, returning the transport for inspection.
+    pub fn into_transport(self) -> T {
+        self.sender.into_transport()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtag_wire::sender::{AckKey, TransportError};
+    use qtag_wire::{AdFormat, BrowserKind, EventKind, FrameDecoder, OsKind, SiteType};
+
+    fn emitted(seq: u16, at_ms: u64) -> (Beacon, SimTime) {
+        let beacon = Beacon {
+            impression_id: 5,
+            campaign_id: 2,
+            event: EventKind::Heartbeat,
+            timestamp_us: at_ms * 1_000,
+            ad_format: AdFormat::Display,
+            visible_fraction_milli: 800,
+            exposure_ms: 100,
+            os: OsKind::Android,
+            browser: BrowserKind::Chrome,
+            site_type: SiteType::Browser,
+            seq,
+        };
+        (beacon, SimTime::from_micros(at_ms * 1_000))
+    }
+
+    /// Perfect in-memory collector: every frame decodes and acks.
+    #[derive(Default)]
+    struct LoopbackTransport {
+        delivered: Vec<AckKey>,
+        acks: Vec<AckKey>,
+        open: bool,
+    }
+
+    impl Transport for LoopbackTransport {
+        fn send_frame(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+            if !self.open {
+                return Err(TransportError::Closed);
+            }
+            let mut dec = FrameDecoder::new();
+            dec.extend(frame);
+            for ev in dec.finish() {
+                if let qtag_wire::framing::FrameEvent::Beacon(b) = ev {
+                    let key = AckKey::from(&b);
+                    self.delivered.push(key);
+                    self.acks.push(key);
+                }
+            }
+            Ok(())
+        }
+
+        fn poll_acks(&mut self, out: &mut Vec<AckKey>) -> Result<(), TransportError> {
+            if !self.open {
+                return Err(TransportError::Closed);
+            }
+            out.append(&mut self.acks);
+            Ok(())
+        }
+
+        fn reopen(&mut self) -> Result<(), TransportError> {
+            self.open = true;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn outbox_beacons_flow_through_to_delivery() {
+        let mut uplink = TagUplink::new(LoopbackTransport::default(), SenderConfig::default());
+        for s in 0..8 {
+            let (b, at) = emitted(s, 100 + u64::from(s) * 50);
+            uplink.enqueue_at(&b, at).unwrap();
+        }
+        let end = uplink.drain(
+            SimTime::from_micros(500_000),
+            SimDuration::from_secs(5),
+            SimDuration::from_millis(10),
+        );
+        assert_eq!(uplink.pending(), 0, "drained by {end:?}");
+        let stats = uplink.stats();
+        assert_eq!(stats.acked, 8);
+        assert!(stats.conserves(0));
+        let delivered = uplink.into_transport().delivered;
+        assert_eq!(delivered.len(), 8);
+    }
+
+    #[test]
+    fn drain_respects_its_horizon() {
+        // A transport that never opens: drain must stop at the
+        // horizon, not spin forever.
+        struct DeadTransport;
+        impl Transport for DeadTransport {
+            fn send_frame(&mut self, _frame: &[u8]) -> Result<(), TransportError> {
+                Err(TransportError::Closed)
+            }
+            fn poll_acks(&mut self, _out: &mut Vec<AckKey>) -> Result<(), TransportError> {
+                Err(TransportError::Closed)
+            }
+            fn reopen(&mut self) -> Result<(), TransportError> {
+                Err(TransportError::Unreachable)
+            }
+        }
+        let cfg = SenderConfig {
+            max_attempts: 1_000_000, // never cap inside the horizon
+            ..SenderConfig::default()
+        };
+        let mut uplink = TagUplink::new(DeadTransport, cfg);
+        let (b, at) = emitted(0, 0);
+        uplink.enqueue_at(&b, at).unwrap();
+        let end = uplink.drain(
+            SimTime::ZERO,
+            SimDuration::from_secs(2),
+            SimDuration::from_millis(10),
+        );
+        assert!(end >= SimTime::from_micros(2_000_000));
+        assert_eq!(uplink.pending(), 1);
+        assert_eq!(uplink.abandon_unconfirmed(), 1);
+        assert!(uplink.stats().conserves(0));
+    }
+}

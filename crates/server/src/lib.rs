@@ -31,6 +31,7 @@ mod anomaly;
 mod billing;
 mod ingest;
 mod report;
+mod sim_transport;
 mod store;
 mod timeline;
 mod transport;
@@ -43,6 +44,7 @@ pub use ingest::{
 pub use report::{
     mean, std_dev, to_csv, CampaignReport, FleetSummary, RateSlice, ReportBuilder, SliceKey,
 };
+pub use sim_transport::{SimCollectorStats, SimCollectorTransport, SimFaults};
 pub use store::{ImpressionRecord, ImpressionStore, ServedImpression};
 pub use timeline::{BucketStats, Timeline};
-pub use transport::LossyLink;
+pub use transport::{CorruptionKind, LossyLink};

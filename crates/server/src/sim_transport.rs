@@ -1,0 +1,270 @@
+//! A simulated collector endpoint behind a faulty network, speaking
+//! the acked-binary contract of [`qtag_wire::sender`].
+//!
+//! [`SimCollectorTransport`] is the virtual-time counterpart of a real
+//! `qtag-collectd` daemon reached through `TcpTransport`: the sender
+//! writes frames into it, the configured fault model decides whether
+//! each frame survives the network, surviving frames are decoded and
+//! applied straight into an [`ImpressionStore`], and acks ride back
+//! subject to their own loss. The whole loop is deterministic per
+//! seed, which is what lets the retry-delivery ablation and the
+//! property tests assert the conservation identity *exactly*.
+//!
+//! Fault semantics mirror what the sender is allowed to assume:
+//!
+//! * a **reset** fails the write (`TransportError::Closed`) — the
+//!   frame was at most partially written, so it is *provably* not
+//!   applied; in-flight acks die with the connection;
+//! * a **silent drop** accepts the write but delivers nothing — the
+//!   maybe-delivered case the sender must retry forever;
+//! * **corruption** delivers a damaged frame: the collector counts it
+//!   corrupt and acks nothing;
+//! * otherwise the frame is applied (duplicates deduplicated by the
+//!   store) and an ack is queued unless **ack loss** eats it.
+
+use crate::store::ImpressionStore;
+use qtag_wire::framing::FrameEvent;
+use qtag_wire::sender::{AckKey, Transport, TransportError};
+use qtag_wire::FrameDecoder;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Probabilities of each injected fault, rolled per operation.
+#[derive(Debug, Clone, Copy)]
+pub struct SimFaults {
+    /// Probability a frame write hits a connection reset (write
+    /// fails; frame provably not delivered).
+    pub reset_rate: f64,
+    /// Probability a fully-written frame silently never arrives.
+    pub frame_loss: f64,
+    /// Probability a delivered frame arrives corrupted (counted by
+    /// the collector, never acked).
+    pub corrupt_rate: f64,
+    /// Probability the ack for an applied frame is lost on the way
+    /// back.
+    pub ack_loss: f64,
+}
+
+impl SimFaults {
+    /// A perfectly healthy network.
+    pub const NONE: SimFaults = SimFaults {
+        reset_rate: 0.0,
+        frame_loss: 0.0,
+        corrupt_rate: 0.0,
+        ack_loss: 0.0,
+    };
+
+    /// Symmetric profile used by the bench pipeline: beacons and acks
+    /// both cross the same lossy network.
+    pub fn symmetric(loss: f64, corrupt_rate: f64) -> Self {
+        SimFaults {
+            reset_rate: loss * 0.25,
+            frame_loss: loss,
+            corrupt_rate,
+            ack_loss: loss,
+        }
+    }
+}
+
+/// Counters of what the simulated network and collector actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimCollectorStats {
+    /// Frames whose write failed on an injected reset.
+    pub resets: u64,
+    /// Fully-written frames the network silently dropped.
+    pub frames_lost: u64,
+    /// Frames delivered damaged and rejected by the decoder.
+    pub frames_corrupted: u64,
+    /// Beacons applied to the store (duplicates included).
+    pub applied: u64,
+    /// Acks eaten by the return path.
+    pub acks_lost: u64,
+    /// Acks that died buffered on a reset connection.
+    pub acks_reset: u64,
+}
+
+/// A [`Transport`] that *is* the collector: frames that survive the
+/// fault model land directly in the wrapped [`ImpressionStore`].
+pub struct SimCollectorTransport<'a> {
+    store: &'a mut ImpressionStore,
+    faults: SimFaults,
+    rng: ChaCha8Rng,
+    pending_acks: Vec<AckKey>,
+    open: bool,
+    stats: SimCollectorStats,
+}
+
+impl<'a> SimCollectorTransport<'a> {
+    /// Wraps `store` behind a network with the given fault profile.
+    pub fn new(store: &'a mut ImpressionStore, faults: SimFaults, seed: u64) -> Self {
+        SimCollectorTransport {
+            store,
+            faults,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            pending_acks: Vec::new(),
+            open: false,
+            stats: SimCollectorStats::default(),
+        }
+    }
+
+    /// What happened on the simulated path so far.
+    pub fn stats(&self) -> SimCollectorStats {
+        self.stats
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+}
+
+impl Transport for SimCollectorTransport<'_> {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        if !self.open {
+            return Err(TransportError::Closed);
+        }
+        if self.roll(self.faults.reset_rate) {
+            // Connection dies mid-write: the frame cannot decode, and
+            // any acks still buffered on this connection are gone.
+            self.open = false;
+            self.stats.resets += 1;
+            self.stats.acks_reset += self.pending_acks.len() as u64;
+            self.pending_acks.clear();
+            return Err(TransportError::Closed);
+        }
+        if self.roll(self.faults.frame_loss) {
+            self.stats.frames_lost += 1;
+            return Ok(()); // fully written, silently gone
+        }
+        if self.roll(self.faults.corrupt_rate) {
+            self.stats.frames_corrupted += 1;
+            return Ok(()); // collector counts it corrupt; no ack
+        }
+        let mut dec = FrameDecoder::new();
+        dec.extend(frame);
+        for ev in dec.finish() {
+            if let FrameEvent::Beacon(b) = ev {
+                let key = AckKey::from(&b);
+                self.store.apply(&b);
+                self.stats.applied += 1;
+                if self.roll(self.faults.ack_loss) {
+                    self.stats.acks_lost += 1;
+                } else {
+                    self.pending_acks.push(key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn poll_acks(&mut self, out: &mut Vec<AckKey>) -> Result<(), TransportError> {
+        if !self.open {
+            return Err(TransportError::Closed);
+        }
+        out.append(&mut self.pending_acks);
+        Ok(())
+    }
+
+    fn reopen(&mut self) -> Result<(), TransportError> {
+        self.open = true;
+        self.stats.acks_reset += self.pending_acks.len() as u64;
+        self.pending_acks.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ServedImpression;
+    use qtag_wire::sender::{BeaconSender, SenderConfig};
+    use qtag_wire::{AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
+
+    fn beacon(id: u64, seq: u16) -> Beacon {
+        Beacon {
+            impression_id: id,
+            campaign_id: 1,
+            event: EventKind::Heartbeat,
+            timestamp_us: u64::from(seq) * 1_000,
+            ad_format: AdFormat::Display,
+            visible_fraction_milli: 700,
+            exposure_ms: 400,
+            os: OsKind::Android,
+            browser: BrowserKind::Chrome,
+            site_type: SiteType::Browser,
+            seq,
+        }
+    }
+
+    fn served(id: u64) -> ServedImpression {
+        ServedImpression {
+            impression_id: id,
+            campaign_id: 1,
+            os: OsKind::Android,
+            browser: BrowserKind::Chrome,
+            site_type: SiteType::Browser,
+            ad_format: AdFormat::Display,
+        }
+    }
+
+    /// Drives a sender over the sim transport to idle in virtual time.
+    fn deliver(store: &mut ImpressionStore, n: u16, faults: SimFaults, seed: u64) -> (u64, u64) {
+        let transport = SimCollectorTransport::new(store, faults, seed);
+        let mut sender = BeaconSender::new(transport, SenderConfig::default());
+        let mut now = 0u64;
+        for seq in 0..n {
+            sender.offer(&beacon(1, seq), now).unwrap();
+        }
+        let deadline = 600_000_000u64; // 10 simulated minutes
+        while !sender.is_idle() && now < deadline {
+            sender.pump(now);
+            now += 5_000;
+        }
+        let stats = sender.stats();
+        assert!(stats.conserves(sender.pending()), "{stats:?}");
+        (stats.acked, stats.dropped_after_retries)
+    }
+
+    #[test]
+    fn clean_network_delivers_everything_once() {
+        let mut store = ImpressionStore::new();
+        store.record_served(served(1));
+        let (acked, dropped) = deliver(&mut store, 40, SimFaults::NONE, 3);
+        assert_eq!(acked, 40);
+        assert_eq!(dropped, 0);
+        assert_eq!(store.unique_beacons(), 40);
+        assert_eq!(store.total_duplicates(), 0);
+    }
+
+    #[test]
+    fn heavy_faults_still_conserve_exactly() {
+        let mut store = ImpressionStore::new();
+        store.record_served(served(1));
+        let faults = SimFaults {
+            reset_rate: 0.10,
+            frame_loss: 0.30,
+            corrupt_rate: 0.05,
+            ack_loss: 0.30,
+        };
+        let (acked, dropped) = deliver(&mut store, 60, faults, 99);
+        // Everything resolved: acked beacons are exactly the store's
+        // unique set; dropped frames are provably absent.
+        assert_eq!(acked + dropped, 60);
+        assert_eq!(store.unique_beacons(), acked);
+        assert!(
+            store.total_duplicates() > 0,
+            "30 % ack loss must force at least one duplicate delivery"
+        );
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut store = ImpressionStore::new();
+            store.record_served(served(1));
+            let out = deliver(&mut store, 50, SimFaults::symmetric(0.2, 0.01), seed);
+            (out, store.unique_beacons(), store.total_duplicates())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seed, different fault path");
+    }
+}

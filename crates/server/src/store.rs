@@ -23,6 +23,91 @@ pub struct ServedImpression {
     pub ad_format: AdFormat,
 }
 
+/// Bounded per-impression duplicate tracker over the `u16` sequence
+/// space.
+///
+/// Retry-based delivery makes duplicates routine, so the dedup
+/// structure must stay exact *and* bounded at fleet scale. Because a
+/// beacon's sequence number is a `u16`, the full space fits in an
+/// 8 KiB bitmap — that is the hard per-impression ceiling. Typical
+/// impressions report a handful of beacons, so the tracker starts as
+/// a small sorted vector (two bytes per seen seq) and only promotes
+/// itself to the dense bitmap past [`SeqSeen::PROMOTE_AT`] entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqSeen {
+    /// Sorted list of seen sequence numbers (small impressions).
+    Sparse(Vec<u16>),
+    /// Dense bitmap over the whole `u16` space (chatty impressions).
+    Dense(Box<[u64; 1024]>),
+}
+
+impl Default for SeqSeen {
+    fn default() -> Self {
+        SeqSeen::Sparse(Vec::new())
+    }
+}
+
+impl SeqSeen {
+    /// Sparse→dense promotion threshold (entries). 48 entries keep the
+    /// sparse form under 100 bytes; beyond that the impression is
+    /// chatty enough that the bitmap's fixed 8 KiB is the better deal.
+    pub const PROMOTE_AT: usize = 48;
+
+    /// Records `seq`; returns `true` if it was not seen before.
+    pub fn insert(&mut self, seq: u16) -> bool {
+        match self {
+            SeqSeen::Sparse(v) => match v.binary_search(&seq) {
+                Ok(_) => false,
+                Err(pos) => {
+                    if v.len() >= Self::PROMOTE_AT {
+                        let mut dense = Box::new([0u64; 1024]);
+                        for s in v.iter() {
+                            dense[usize::from(*s) / 64] |= 1u64 << (usize::from(*s) % 64);
+                        }
+                        dense[usize::from(seq) / 64] |= 1u64 << (usize::from(seq) % 64);
+                        *self = SeqSeen::Dense(dense);
+                    } else {
+                        v.insert(pos, seq);
+                    }
+                    true
+                }
+            },
+            SeqSeen::Dense(bits) => {
+                let (word, bit) = (usize::from(seq) / 64, usize::from(seq) % 64);
+                let fresh = bits[word] & (1u64 << bit) == 0;
+                bits[word] |= 1u64 << bit;
+                fresh
+            }
+        }
+    }
+
+    /// `true` if `seq` has been recorded.
+    pub fn contains(&self, seq: u16) -> bool {
+        match self {
+            SeqSeen::Sparse(v) => v.binary_search(&seq).is_ok(),
+            SeqSeen::Dense(bits) => {
+                bits[usize::from(seq) / 64] & (1u64 << (usize::from(seq) % 64)) != 0
+            }
+        }
+    }
+
+    /// Number of distinct sequence numbers recorded.
+    pub fn len(&self) -> usize {
+        match self {
+            SeqSeen::Sparse(v) => v.len(),
+            SeqSeen::Dense(bits) => bits.iter().map(|w| w.count_ones() as usize).sum(),
+        }
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            SeqSeen::Sparse(v) => v.is_empty(),
+            SeqSeen::Dense(bits) => bits.iter().all(|w| *w == 0),
+        }
+    }
+}
+
 /// Measurement state accumulated for one impression from its beacons.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ImpressionRecord {
@@ -38,14 +123,19 @@ pub struct ImpressionRecord {
     pub clicked: bool,
     /// Number of beacons accepted (after dedup).
     pub beacons: u32,
-    /// Number of duplicate beacons discarded.
-    pub duplicates: u32,
+    /// Number of duplicate beacons discarded. `u64`: retry-based
+    /// delivery makes duplicates routine, and a long-lived collector
+    /// would overflow a narrower counter at fleet scale.
+    pub duplicates: u64,
     /// Highest sequence number seen.
     pub max_seq: u16,
     /// Latest reported visible fraction (‰).
     pub last_fraction_milli: u16,
     /// Longest reported qualifying exposure (ms).
     pub best_exposure_ms: u32,
+    /// Which sequence numbers have been applied (bounded: at most
+    /// 8 KiB per impression, usually a few dozen bytes).
+    pub seen: SeqSeen,
 }
 
 /// In-memory impression store with idempotent beacon application.
@@ -61,8 +151,10 @@ pub struct ImpressionStore {
     /// Beacons referencing impressions the ad server never logged
     /// (misconfigured tags, replay noise) — kept out of every rate.
     orphan_beacons: u64,
-    /// (impression, seq) pairs seen, for dedup.
-    seen: std::collections::HashSet<(u64, u16)>,
+    /// Unique beacons applied across all impressions.
+    unique_beacons: u64,
+    /// Duplicate beacons discarded across all impressions.
+    total_duplicates: u64,
 }
 
 impl ImpressionStore {
@@ -106,6 +198,30 @@ impl ImpressionStore {
             .map(move |s| (s, self.records.get(&s.impression_id)))
     }
 
+    /// Unique beacons applied so far (duplicates excluded). Together
+    /// with [`ImpressionStore::total_duplicates`] this is the
+    /// store-side half of the retry conservation identity:
+    /// `sent == unique_applied + dropped_after_retries`.
+    pub fn unique_beacons(&self) -> u64 {
+        self.unique_beacons
+    }
+
+    /// Duplicate beacons discarded so far (retries that had already
+    /// been applied) — counted, never double-applied.
+    pub fn total_duplicates(&self) -> u64 {
+        self.total_duplicates
+    }
+
+    /// `true` if `(impression_id, seq)` has already been applied.
+    /// Delivery harnesses use this to audit that a beacon the sender
+    /// dropped at the retry cap really never reached an aggregate.
+    pub fn contains_seq(&self, impression_id: u64, seq: u16) -> bool {
+        self.records
+            .get(&impression_id)
+            .map(|r| r.seen.contains(seq))
+            .unwrap_or(false)
+    }
+
     /// Applies one beacon. Duplicate `(impression, seq)` pairs are
     /// counted but otherwise ignored (collectors may receive retries).
     pub fn apply(&mut self, beacon: &Beacon) {
@@ -114,10 +230,12 @@ impl ImpressionStore {
             return;
         }
         let rec = self.records.entry(beacon.impression_id).or_default();
-        if !self.seen.insert((beacon.impression_id, beacon.seq)) {
+        if !rec.seen.insert(beacon.seq) {
             rec.duplicates += 1;
+            self.total_duplicates += 1;
             return;
         }
+        self.unique_beacons += 1;
         rec.beacons += 1;
         rec.max_seq = rec.max_seq.max(beacon.seq);
         rec.last_fraction_milli = beacon.visible_fraction_milli;
@@ -253,6 +371,52 @@ mod tests {
         let rec = store.record(5).unwrap();
         assert_eq!(rec.best_exposure_ms, 400);
         assert_eq!(rec.last_fraction_milli, 100);
+    }
+
+    #[test]
+    fn seq_tracker_promotes_sparse_to_dense_and_stays_exact() {
+        let mut seen = SeqSeen::default();
+        // Insert a shuffled-ish pattern well past the promotion point.
+        for i in 0..2_000u16 {
+            let seq = i.wrapping_mul(7919); // coprime walk over u16
+            assert!(seen.insert(seq), "first insert of {seq}");
+            assert!(!seen.insert(seq), "second insert of {seq}");
+        }
+        assert!(matches!(seen, SeqSeen::Dense(_)), "must have promoted");
+        assert_eq!(seen.len(), 2_000);
+        for i in 0..2_000u16 {
+            assert!(seen.contains(i.wrapping_mul(7919)));
+        }
+        assert!(!seen.contains(3)); // 3 is not a multiple of 7919 mod 2^16 within range
+    }
+
+    #[test]
+    fn seq_tracker_is_bounded_at_the_u16_space() {
+        let mut seen = SeqSeen::default();
+        for seq in 0..=u16::MAX {
+            assert!(seen.insert(seq));
+        }
+        for seq in 0..=u16::MAX {
+            assert!(!seen.insert(seq), "every re-insert is a duplicate");
+        }
+        assert_eq!(seen.len(), 65_536);
+    }
+
+    #[test]
+    fn heavy_retry_duplicates_are_counted_wide_and_never_double_applied() {
+        let mut store = ImpressionStore::new();
+        store.record_served(served(8));
+        // One unique beacon redelivered many times (retry storm).
+        for _ in 0..10_000 {
+            store.apply(&beacon(8, EventKind::Measurable, 0));
+        }
+        let rec = store.record(8).unwrap();
+        assert_eq!(rec.beacons, 1);
+        assert_eq!(rec.duplicates, 9_999);
+        assert_eq!(store.unique_beacons(), 1);
+        assert_eq!(store.total_duplicates(), 9_999);
+        assert!(store.contains_seq(8, 0));
+        assert!(!store.contains_seq(8, 1));
     }
 
     #[test]

@@ -4,20 +4,53 @@ use qtag_wire::{framing, Beacon, WireError};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+/// How a corrupted frame is damaged in transit.
+///
+/// Real damage is not confined to payload bytes: length prefixes get
+/// hit too (turning a frame into noise the decoder must resync past),
+/// and frames get cut off mid-stream when a page unloads or a radio
+/// drops. Each kind exercises a different decoder recovery path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Flip one random bit in the payload (past the length prefix);
+    /// caught by the CRC, reported as one corrupt frame.
+    PayloadFlip,
+    /// Flip one random bit in the 2-byte length prefix; the frame
+    /// becomes noise the decoder resynchronises past bytewise.
+    PrefixFlip,
+    /// Cut the frame off after a random prefix of its bytes; the
+    /// stream continues (or ends) mid-frame.
+    Truncate,
+}
+
+impl CorruptionKind {
+    /// Every kind, the default corruption mix.
+    pub const ALL: [CorruptionKind; 3] = [
+        CorruptionKind::PayloadFlip,
+        CorruptionKind::PrefixFlip,
+        CorruptionKind::Truncate,
+    ];
+}
+
 /// A lossy, corrupting link carrying framed beacons.
 ///
 /// Models the realities of fire-and-forget tag telemetry: beacons sent
 /// from a page that is being torn down, over congested mobile radios,
-/// sometimes vanish (`loss_rate`) or arrive damaged (`corruption_rate`).
+/// sometimes vanish (`loss_rate`) or arrive damaged (`corruption_rate`,
+/// with the damage drawn from the configured [`CorruptionKind`] mix).
 /// Deterministic per seed.
 #[derive(Debug)]
 pub struct LossyLink {
     loss_rate: f64,
     corruption_rate: f64,
+    kinds: Vec<CorruptionKind>,
     rng: ChaCha8Rng,
     sent: u64,
     lost: u64,
     corrupted: u64,
+    corrupted_payload: u64,
+    corrupted_prefix: u64,
+    truncated: u64,
 }
 
 impl LossyLink {
@@ -32,16 +65,27 @@ impl LossyLink {
         LossyLink {
             loss_rate,
             corruption_rate,
+            kinds: CorruptionKind::ALL.to_vec(),
             rng: ChaCha8Rng::seed_from_u64(seed),
             sent: 0,
             lost: 0,
             corrupted: 0,
+            corrupted_payload: 0,
+            corrupted_prefix: 0,
+            truncated: 0,
         }
     }
 
     /// A perfect link.
     pub fn lossless() -> Self {
         LossyLink::new(0.0, 0.0, 0)
+    }
+
+    /// Restricts the corruption mix (tests isolate one recovery path;
+    /// the default is [`CorruptionKind::ALL`]).
+    pub fn set_corruption_kinds(&mut self, kinds: &[CorruptionKind]) {
+        assert!(!kinds.is_empty(), "at least one corruption kind");
+        self.kinds = kinds.to_vec();
     }
 
     /// Transmits a batch of beacons; returns the byte stream as it
@@ -58,9 +102,24 @@ impl LossyLink {
             let mut frame = framing::encode_frames(std::slice::from_ref(b))?;
             if self.rng.gen_bool(self.corruption_rate) {
                 self.corrupted += 1;
-                // Flip one random payload byte (beyond the length prefix).
-                let idx = self.rng.gen_range(2..frame.len());
-                frame[idx] ^= 1u8 << self.rng.gen_range(0..8u32);
+                let kind = self.kinds[self.rng.gen_range(0..self.kinds.len())];
+                match kind {
+                    CorruptionKind::PayloadFlip => {
+                        self.corrupted_payload += 1;
+                        let idx = self.rng.gen_range(2..frame.len());
+                        frame[idx] ^= 1u8 << self.rng.gen_range(0..8u32);
+                    }
+                    CorruptionKind::PrefixFlip => {
+                        self.corrupted_prefix += 1;
+                        let idx = self.rng.gen_range(0..2usize);
+                        frame[idx] ^= 1u8 << self.rng.gen_range(0..8u32);
+                    }
+                    CorruptionKind::Truncate => {
+                        self.truncated += 1;
+                        let keep = self.rng.gen_range(1..frame.len());
+                        frame.truncate(keep);
+                    }
+                }
             }
             out.extend_from_slice(&frame);
         }
@@ -77,9 +136,24 @@ impl LossyLink {
         self.lost
     }
 
-    /// Beacons damaged.
+    /// Beacons damaged (all kinds).
     pub fn corrupted(&self) -> u64 {
         self.corrupted
+    }
+
+    /// Beacons damaged by a payload bit flip.
+    pub fn corrupted_payload(&self) -> u64 {
+        self.corrupted_payload
+    }
+
+    /// Beacons damaged in their length prefix.
+    pub fn corrupted_prefix(&self) -> u64 {
+        self.corrupted_prefix
+    }
+
+    /// Beacons cut off mid-frame.
+    pub fn truncated(&self) -> u64 {
+        self.truncated
     }
 }
 
@@ -141,14 +215,108 @@ mod tests {
     }
 
     #[test]
-    fn corruption_is_caught_by_checksum() {
+    fn payload_corruption_is_caught_by_checksum() {
         let mut link = LossyLink::new(0.0, 1.0, 7);
+        link.set_corruption_kinds(&[CorruptionKind::PayloadFlip]);
         let beacons: Vec<_> = (0..20).map(beacon).collect();
         let bytes = link.transmit(&beacons).unwrap();
         // All frames damaged → none decodes as a valid beacon. (The CRC
         // rejects every single-bit flip.)
         assert_eq!(decode_all(&bytes), 0);
         assert_eq!(link.corrupted(), 20);
+        assert_eq!(link.corrupted_payload(), 20);
+    }
+
+    #[test]
+    fn full_corruption_mix_yields_no_valid_beacons() {
+        // Prefix flips and truncations damage the stream structure
+        // itself, not just payload bytes; none of it may decode.
+        let mut link = LossyLink::new(0.0, 1.0, 7);
+        let beacons: Vec<_> = (0..60).map(beacon).collect();
+        let bytes = link.transmit(&beacons).unwrap();
+        assert_eq!(decode_all(&bytes), 0);
+        assert_eq!(link.corrupted(), 60);
+        assert_eq!(
+            link.corrupted_payload() + link.corrupted_prefix() + link.truncated(),
+            60,
+            "every corrupted frame is classified exactly once"
+        );
+        // Seed 7 over 60 frames hits every kind.
+        assert!(link.corrupted_prefix() > 0, "{link:?}");
+        assert!(link.truncated() > 0, "{link:?}");
+    }
+
+    #[test]
+    fn prefix_corruption_exercises_bytewise_resync() {
+        let mut link = LossyLink::new(0.0, 1.0, 11);
+        link.set_corruption_kinds(&[CorruptionKind::PrefixFlip]);
+        let beacons: Vec<_> = (0..10).map(beacon).collect();
+        let mut bytes = link.transmit(&beacons).unwrap();
+        // A clean frame after the damage must still be recovered.
+        bytes.extend_from_slice(&framing::encode_frames(&[beacon(77)]).unwrap());
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        let decoded: Vec<u16> = dec
+            .drain()
+            .into_iter()
+            .filter_map(|e| match e {
+                qtag_wire::framing::FrameEvent::Beacon(b) => Some(b.seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decoded, vec![77], "only the clean trailing frame decodes");
+        assert!(dec.skipped_bytes() > 0, "resync path must have run");
+        assert_eq!(link.corrupted_prefix(), 10);
+    }
+
+    #[test]
+    fn mid_stream_truncation_resyncs_to_a_later_frame() {
+        // frame1 cut off after 10 bytes, frames 2 and 3 intact. The
+        // decoder mis-frames across the cut (frame1's honest header
+        // swallows frame2's leading bytes), reports corruption, and
+        // must recover by frame3 at the latest.
+        let mut bytes = framing::encode_frames(&[beacon(1)]).unwrap();
+        bytes.truncate(10);
+        bytes.extend_from_slice(&framing::encode_frames(&[beacon(2), beacon(3)]).unwrap());
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        let events = dec.drain();
+        let decoded: Vec<u16> = events
+            .iter()
+            .filter_map(|e| match e {
+                qtag_wire::framing::FrameEvent::Beacon(b) => Some(b.seq),
+                _ => None,
+            })
+            .collect();
+        assert!(decoded.contains(&3), "decoder must recover: {decoded:?}");
+        assert!(!decoded.contains(&1), "the truncated frame is gone");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, qtag_wire::framing::FrameEvent::Corrupt(_)))
+                || dec.skipped_bytes() > 0,
+            "the damage is visible in the decoder's accounting"
+        );
+    }
+
+    #[test]
+    fn tail_truncation_strands_only_the_cut_frame() {
+        let mut link = LossyLink::new(0.0, 0.0, 0);
+        let bytes = link.transmit(&[beacon(1), beacon(2)]).unwrap();
+        // Cut the stream mid-way through the second frame.
+        let cut = bytes.len() - 15;
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes[..cut]);
+        let events = dec.finish();
+        let decoded: Vec<u16> = events
+            .iter()
+            .filter_map(|e| match e {
+                qtag_wire::framing::FrameEvent::Beacon(b) => Some(b.seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decoded, vec![1]);
+        assert!(dec.buffered() > 0, "the cut tail stays buffered, uncounted");
     }
 
     #[test]

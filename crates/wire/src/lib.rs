@@ -18,7 +18,13 @@
 //! * **length-prefixed framing** with a streaming, resynchronising
 //!   decoder ([`framing`]) in the style of the Tokio framing chapter: feed
 //!   arbitrary byte chunks, get whole beacons out, survive truncation and
-//!   corruption.
+//!   corruption;
+//! * a **reliable delivery layer** ([`sender`]): a per-frame ack
+//!   protocol and [`BeaconSender`], a bounded retry queue with
+//!   per-send timeouts and seeded exponential backoff that turns the
+//!   fire-and-forget beacon path into at-least-once delivery (the
+//!   server's `(impression, seq)` dedup makes it exactly-once in every
+//!   aggregate).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,9 +35,11 @@ pub mod crc;
 pub mod error;
 pub mod framing;
 pub mod json;
+pub mod sender;
 pub mod types;
 
 pub use beacon::{Beacon, EventKind};
 pub use error::WireError;
 pub use framing::FrameDecoder;
+pub use sender::{AckKey, BeaconSender, SenderConfig, SenderStats, TcpTransport, Transport};
 pub use types::{AdFormat, BrowserKind, OsKind, SiteType};
