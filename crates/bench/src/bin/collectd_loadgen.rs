@@ -5,6 +5,7 @@
 //! collectd_loadgen [--clients N] [--beacons-per-client N]
 //!                  [--chunk-size BYTES] [--churn-every K]
 //!                  [--corrupt-rate F] [--capacity N] [--abrupt]
+//!                  [--shards LIST] [--batch LIST]
 //!                  [--retry] [--fault-proxy] [--seed N] [--json]
 //! ```
 //!
@@ -37,11 +38,17 @@
 //!
 //! with duplicates (forced by lost acks) reported separately and
 //! deduplicated server-side.
+//!
+//! **Sweep mode** (`--shards`/`--batch`): both flags accept
+//! comma-separated lists (e.g. `--shards 1,2,4,8 --batch 1,64`); the
+//! fire-and-forget run repeats over the full cross-product, one fresh
+//! daemon per cell, printing a per-cell row and judging conservation
+//! in every cell. The retry soak uses the first value of each list.
 
 use qtag_bench::output::ExperimentOutput;
 use qtag_bench::proxy::{FaultProxy, FaultProxyConfig};
 use qtag_collectd::{Collector, CollectorConfig};
-use qtag_server::{ImpressionStore, ServedImpression};
+use qtag_server::{ServedImpression, ShardedStore};
 use qtag_wire::framing::encode_frames;
 use qtag_wire::sender::{BeaconSender, SenderConfig, SenderStats, TcpTransport};
 use qtag_wire::{binary, AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
@@ -65,6 +72,25 @@ struct LoadgenConfig {
     retry: bool,
     fault_proxy: bool,
     seed: u64,
+    /// Shard counts to sweep (fire-and-forget cross-product).
+    shards: Vec<usize>,
+    /// Applier batch sizes to sweep.
+    batch: Vec<usize>,
+}
+
+/// Parses a comma-separated list of positive integers.
+fn parse_list(flag: &str, value: &str) -> Vec<usize> {
+    let list: Vec<usize> = value
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag}: comma-separated usizes, got {s:?}"))
+        })
+        .collect();
+    assert!(!list.is_empty(), "{flag} needs at least one value");
+    assert!(list.iter().all(|&v| v >= 1), "{flag} values must be >= 1");
+    list
 }
 
 impl LoadgenConfig {
@@ -80,6 +106,8 @@ impl LoadgenConfig {
             retry: false,
             fault_proxy: false,
             seed: 0x50AC,
+            shards: vec![1],
+            batch: vec![qtag_server::DEFAULT_BATCH],
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -102,6 +130,8 @@ impl LoadgenConfig {
                 "--capacity" => {
                     cfg.inlet_capacity = args[i + 1].parse().expect("--capacity: usize")
                 }
+                "--shards" => cfg.shards = parse_list("--shards", &args[i + 1]),
+                "--batch" => cfg.batch = parse_list("--batch", &args[i + 1]),
                 "--abrupt" => {
                     cfg.abrupt = true;
                     i += 1;
@@ -291,33 +321,32 @@ struct RetryResult {
 /// The retry-soak main path: acked clients, optional fault proxy,
 /// sender-side conservation judged exactly.
 fn run_retry_soak(cfg: &LoadgenConfig, out: &ExperimentOutput) {
-    let store = Arc::new(parking_lot::Mutex::new(ImpressionStore::new()));
-    {
-        // Register every impression the clients will beacon for; the
-        // store treats beacons for unknown impressions as orphans and
-        // keeps them out of the unique/duplicate counters the
-        // conservation check reads.
-        let mut s = store.lock();
-        for client in 0..cfg.clients {
-            for seq_no in 0..cfg.beacons_per_client {
-                let b = beacon(client, seq_no);
-                s.record_served(ServedImpression {
-                    impression_id: b.impression_id,
-                    campaign_id: b.campaign_id,
-                    os: b.os,
-                    browser: b.browser,
-                    site_type: b.site_type,
-                    ad_format: b.ad_format,
-                });
-            }
+    let store = ShardedStore::new(cfg.shards[0]);
+    // Register every impression the clients will beacon for; the
+    // store treats beacons for unknown impressions as orphans and
+    // keeps them out of the unique/duplicate counters the
+    // conservation check reads.
+    for client in 0..cfg.clients {
+        for seq_no in 0..cfg.beacons_per_client {
+            let b = beacon(client, seq_no);
+            store.record_served(ServedImpression {
+                impression_id: b.impression_id,
+                campaign_id: b.campaign_id,
+                os: b.os,
+                browser: b.browser,
+                site_type: b.site_type,
+                ad_format: b.ad_format,
+            });
         }
     }
     let collector_cfg = CollectorConfig {
         max_connections: (cfg.clients as usize + 8).max(64),
         inlet_capacity: cfg.inlet_capacity,
+        batch: cfg.batch[0],
         ..CollectorConfig::default()
     };
-    let collector = Collector::start(collector_cfg, Arc::clone(&store)).expect("start collector");
+    let collector =
+        Collector::start_sharded(collector_cfg, store.clone()).expect("start collector");
     let proxy = if cfg.fault_proxy {
         Some(
             FaultProxy::start(FaultProxyConfig::soak(collector.local_addr(), cfg.seed))
@@ -375,10 +404,7 @@ fn run_retry_soak(cfg: &LoadgenConfig, out: &ExperimentOutput) {
     let dropped: u64 = stats.iter().map(|s| s.dropped_after_retries).sum();
     let abandoned: u64 = stats.iter().map(|s| s.abandoned_unconfirmed).sum();
     let reconnects: u64 = stats.iter().map(|s| s.reconnects).sum();
-    let (unique, duplicates) = {
-        let s = store.lock();
-        (s.unique_beacons(), s.total_duplicates())
-    };
+    let (unique, duplicates) = (store.unique_beacons(), store.total_duplicates());
 
     println!();
     println!("beacons enqueued      {enqueued:>12}");
@@ -425,6 +451,8 @@ fn run_retry_soak(cfg: &LoadgenConfig, out: &ExperimentOutput) {
 #[derive(Serialize)]
 struct LoadgenResult {
     clients: u64,
+    shards: usize,
+    batch: usize,
     beacons_sent: u64,
     beacons_applied: u64,
     corrupt_frames: u64,
@@ -435,25 +463,31 @@ struct LoadgenResult {
     conservation_holds: bool,
 }
 
-fn main() {
-    let cfg = LoadgenConfig::from_args();
-    let out = ExperimentOutput::from_args();
-    out.section("collectd loadgen: TCP beacon replay with conservation check");
+#[derive(Serialize)]
+struct SweepResult {
+    runs: Vec<LoadgenResult>,
+}
 
-    if cfg.retry {
-        run_retry_soak(&cfg, &out);
-        return;
-    }
-
-    let store = Arc::new(parking_lot::Mutex::new(ImpressionStore::new()));
+/// One fire-and-forget cell: fresh daemon over `shards` shards with
+/// applier batch `batch`, full client replay, graceful shutdown,
+/// conservation judged. Returns the cell result and whether every
+/// check (conservation, decode accounting, corruption audit) held.
+fn run_fire_and_forget(
+    cfg: &Arc<LoadgenConfig>,
+    shards: usize,
+    batch: usize,
+) -> (LoadgenResult, bool) {
+    let store = ShardedStore::new(shards);
     let collector_cfg = CollectorConfig {
         max_connections: (cfg.clients as usize + 8).max(64),
         inlet_capacity: cfg.inlet_capacity,
+        batch,
         ..CollectorConfig::default()
     };
-    let collector = Collector::start(collector_cfg, store).expect("start collector");
+    let collector = Collector::start_sharded(collector_cfg, store).expect("start collector");
     let addr = collector.local_addr();
-    println!("collector listening on {addr}");
+    println!();
+    println!("collector listening on {addr} ({shards} shards, batch {batch})");
     println!(
         "{} clients x {} beacons, chunk {} B, churn every {}, corrupt rate {}, abrupt: {}",
         cfg.clients,
@@ -465,10 +499,9 @@ fn main() {
     );
 
     let started = Instant::now();
-    let cfg = Arc::new(cfg);
     let clients: Vec<_> = (0..cfg.clients)
         .map(|client| {
-            let cfg = Arc::clone(&cfg);
+            let cfg = Arc::clone(cfg);
             std::thread::spawn(move || run_client(addr, &cfg, client))
         })
         .collect();
@@ -489,6 +522,7 @@ fn main() {
     println!("beacons applied    {:>12}", ops.ingest.beacons);
     println!("corrupt frames     {:>12}", ops.collector.corrupt_frames);
     println!("shed beacons       {:>12}", ops.ingest.shed_beacons);
+    println!("beacon batches     {:>12}", ops.ingest.beacon_batches);
     println!("client connections {connections:>12}");
     println!("elapsed            {:>12.3} s", elapsed.as_secs_f64());
     println!("throughput         {rate:>12.0} beacons/s (end-to-end, drain included)");
@@ -505,9 +539,15 @@ fn main() {
             ops.collector.corrupt_frames
         );
     }
+    let all_ok = conserves && decode_ok && ops.collector.corrupt_frames == corrupted;
+    if !all_ok {
+        eprintln!("conservation violated at shards={shards} batch={batch}: {ops:?}");
+    }
 
-    out.finish(&LoadgenResult {
+    let result = LoadgenResult {
         clients: cfg.clients,
+        shards,
+        batch,
         beacons_sent: sent,
         beacons_applied: ops.ingest.beacons,
         corrupt_frames: ops.collector.corrupt_frames,
@@ -516,10 +556,56 @@ fn main() {
         elapsed_secs: elapsed.as_secs_f64(),
         beacons_per_sec: rate,
         conservation_holds: conserves,
-    });
+    };
+    (result, all_ok)
+}
 
-    if !conserves || !decode_ok || ops.collector.corrupt_frames != corrupted {
-        eprintln!("conservation violated: {ops:?}");
+fn main() {
+    let cfg = LoadgenConfig::from_args();
+    let out = ExperimentOutput::from_args();
+    out.section("collectd loadgen: TCP beacon replay with conservation check");
+
+    if cfg.retry {
+        run_retry_soak(&cfg, &out);
+        return;
+    }
+
+    let sweep = cfg.shards.len() > 1 || cfg.batch.len() > 1;
+    let shards_list = cfg.shards.clone();
+    let batch_list = cfg.batch.clone();
+    let cfg = Arc::new(cfg);
+    let mut runs = Vec::new();
+    let mut all_ok = true;
+    for &shards in &shards_list {
+        for &batch in &batch_list {
+            let (result, ok) = run_fire_and_forget(&cfg, shards, batch);
+            runs.push(result);
+            all_ok &= ok;
+        }
+    }
+
+    if sweep {
+        println!();
+        println!("sweep summary (shards x batch -> beacons/s):");
+        println!(
+            "{:>7} {:>6} {:>14} {:>8}",
+            "shards", "batch", "beacons/s", "check"
+        );
+        for r in &runs {
+            println!(
+                "{:>7} {:>6} {:>14.0} {:>8}",
+                r.shards,
+                r.batch,
+                r.beacons_per_sec,
+                if r.conservation_holds { "PASS" } else { "FAIL" }
+            );
+        }
+        out.finish(&SweepResult { runs });
+    } else {
+        out.finish(&runs[0]);
+    }
+
+    if !all_ok {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,443 @@
+//! `ingest_scaling` — measure aggregation throughput across shard
+//! counts and batch sizes, in-process (no sockets: this isolates the
+//! aggregation layer the sharded-store refactor targets).
+//!
+//! ```text
+//! ingest_scaling [--impressions N] [--rounds N] [--producers N]
+//!                [--shards LIST] [--batch LIST] [--capacity N]
+//!                [--seed N] [--bench-json PATH] [--smoke] [--json]
+//! ```
+//!
+//! For every `(shards, batch)` cell of the sweep the binary starts a
+//! fresh [`qtag_server::IngestService`] over a
+//! [`qtag_server::ShardedStore`], spawns `--producers` threads that
+//! push `impressions x rounds` beacons through the blocking batched
+//! inlet ([`qtag_server::BeaconInlet::send_batch`], buffering
+//! `batch x shards` beacons per hand-off so each shard channel sees
+//! ~`batch` beacons per operation), then drains via graceful shutdown
+//! and reports beacons/s. The **(1 shard, batch 1)** cell reproduces
+//! the legacy single-aggregator design — one channel operation and one
+//! lock acquisition per beacon — and is the baseline every speedup is
+//! quoted against.
+//!
+//! Every cell asserts the conservation identity exactly
+//! (`sent == applied`, zero shed / rejected / orphans / duplicates,
+//! and `unique_beacons == sent`); the process exits non-zero on any
+//! violation.
+//!
+//! `--smoke` runs one small fixed-seed cell (2 shards, batch 8) and
+//! additionally replays the identical beacon sequence into a reference
+//! single-shard store, requiring bit-identical per-campaign reports,
+//! slice tables and dedup counters — the CI gate for the sharded
+//! aggregation path.
+//!
+//! `--bench-json PATH` writes the machine-readable summary tracked in
+//! `BENCH_ingest.json`.
+
+use qtag_bench::output::ExperimentOutput;
+use qtag_server::{
+    BeaconInlet, ImpressionStore, IngestConfig, IngestService, ReportBuilder, ServedImpression,
+    ShardedStore,
+};
+use qtag_wire::{AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Clone)]
+struct BenchConfig {
+    impressions: u64,
+    rounds: u64,
+    producers: u64,
+    shards: Vec<usize>,
+    batch: Vec<usize>,
+    capacity: usize,
+    seed: u64,
+    smoke: bool,
+    bench_json: Option<String>,
+}
+
+fn parse_list(flag: &str, value: &str) -> Vec<usize> {
+    let list: Vec<usize> = value
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag}: comma-separated usizes, got {s:?}"))
+        })
+        .collect();
+    assert!(!list.is_empty(), "{flag} needs at least one value");
+    assert!(list.iter().all(|&v| v >= 1), "{flag} values must be >= 1");
+    list
+}
+
+impl BenchConfig {
+    fn from_args() -> Self {
+        let mut cfg = BenchConfig {
+            impressions: 50_000,
+            rounds: 8,
+            producers: 2,
+            shards: vec![1, 2, 4, 8],
+            batch: vec![1, 16, 64],
+            capacity: 256,
+            seed: 0x1265,
+            smoke: false,
+            bench_json: None,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            match flag {
+                "--impressions" => {
+                    cfg.impressions = args[i + 1].parse().expect("--impressions: u64")
+                }
+                "--rounds" => cfg.rounds = args[i + 1].parse().expect("--rounds: u64"),
+                "--producers" => cfg.producers = args[i + 1].parse().expect("--producers: u64"),
+                "--shards" => cfg.shards = parse_list("--shards", &args[i + 1]),
+                "--batch" => cfg.batch = parse_list("--batch", &args[i + 1]),
+                "--capacity" => cfg.capacity = args[i + 1].parse().expect("--capacity: usize"),
+                "--seed" => cfg.seed = args[i + 1].parse().expect("--seed: u64"),
+                "--bench-json" => cfg.bench_json = Some(args[i + 1].clone()),
+                "--smoke" => {
+                    cfg.smoke = true;
+                    i += 1;
+                    continue;
+                }
+                "--json" => {
+                    i += 1;
+                    continue;
+                }
+                other => panic!("unknown flag {other}"),
+            }
+            i += 2;
+        }
+        assert!(
+            cfg.rounds >= 1 && cfg.rounds <= u64::from(u16::MAX),
+            "--rounds in 1..=65535"
+        );
+        assert!(cfg.producers >= 1, "--producers must be >= 1");
+        assert!(cfg.impressions >= 1, "--impressions must be >= 1");
+        if cfg.smoke {
+            // Fixed small workload: 2 shards, tiny batch, deterministic.
+            cfg.impressions = 5_000;
+            cfg.rounds = 4;
+            cfg.shards = vec![2];
+            cfg.batch = vec![8];
+        }
+        cfg
+    }
+
+    fn beacons(&self) -> u64 {
+        self.impressions * self.rounds
+    }
+}
+
+/// The deterministic workload: impression `id`, round `seq`. The seed
+/// only perturbs cosmetic fields so different seeds exercise different
+/// byte patterns without changing the aggregate shape.
+fn beacon(cfg: &BenchConfig, id: u64, seq: u64) -> Beacon {
+    let event = match seq {
+        0 => EventKind::Measurable,
+        1 => EventKind::InView,
+        _ => EventKind::Heartbeat,
+    };
+    Beacon {
+        impression_id: id,
+        campaign_id: (id % 7) as u32 + 1,
+        event,
+        timestamp_us: seq * 250_000 + (cfg.seed ^ id) % 1000,
+        ad_format: AdFormat::Display,
+        visible_fraction_milli: 500 + ((id + seq) % 500) as u16,
+        exposure_ms: 1_200,
+        os: if id.is_multiple_of(3) {
+            OsKind::Android
+        } else {
+            OsKind::Ios
+        },
+        browser: BrowserKind::Chrome,
+        site_type: if id.is_multiple_of(2) {
+            SiteType::App
+        } else {
+            SiteType::Browser
+        },
+        seq: seq as u16,
+    }
+}
+
+fn served(cfg: &BenchConfig, id: u64) -> ServedImpression {
+    let b = beacon(cfg, id, 0);
+    ServedImpression {
+        impression_id: id,
+        campaign_id: b.campaign_id,
+        os: b.os,
+        browser: b.browser,
+        site_type: b.site_type,
+        ad_format: b.ad_format,
+    }
+}
+
+/// One producer thread: owns the impressions with
+/// `id % producers == producer`, emits their beacons round by round
+/// (per-impression seq order ascending — the order invariant the
+/// store's last-write-wins fields depend on), buffering
+/// `batch x shards` beacons per blocking batched hand-off.
+fn produce(
+    cfg: &BenchConfig,
+    inlet: &BeaconInlet,
+    producer: u64,
+    shards: usize,
+    batch: usize,
+) -> u64 {
+    let buffer_target = batch * shards;
+    let mut buf: Vec<Beacon> = Vec::with_capacity(buffer_target);
+    let mut sent = 0u64;
+    for seq in 0..cfg.rounds {
+        let mut id = producer;
+        while id < cfg.impressions {
+            buf.push(beacon(cfg, id, seq));
+            if buf.len() >= buffer_target {
+                let outcome = inlet.send_batch(&buf);
+                assert_eq!(outcome.rejected, 0, "service died mid-bench");
+                sent += outcome.accepted;
+                buf.clear();
+            }
+            id += cfg.producers;
+        }
+    }
+    if !buf.is_empty() {
+        let outcome = inlet.send_batch(&buf);
+        assert_eq!(outcome.rejected, 0, "service died mid-bench");
+        sent += outcome.accepted;
+    }
+    sent
+}
+
+#[derive(Serialize)]
+struct Cell {
+    shards: usize,
+    batch: usize,
+    beacons_per_sec: f64,
+    elapsed_secs: f64,
+    beacon_batches: u64,
+    beacons_per_channel_op: f64,
+    conservation_holds: bool,
+}
+
+/// Runs one sweep cell and verifies its conservation identities.
+/// Returns the populated store too (the smoke equivalence gate reads
+/// it).
+fn run_cell(cfg: &Arc<BenchConfig>, shards: usize, batch: usize) -> (Cell, ShardedStore) {
+    let store = ShardedStore::new(shards);
+    for id in 0..cfg.impressions {
+        store.record_served(served(cfg, id));
+    }
+    let service = IngestService::start_sharded(
+        store.clone(),
+        IngestConfig {
+            workers: 1, // producers bypass the chunk path via the inlet
+            batch,
+            inlet_capacity: cfg.capacity,
+        },
+    );
+    let stats = Arc::clone(service.stats_arc());
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..cfg.producers)
+        .map(|p| {
+            let cfg = Arc::clone(cfg);
+            let inlet = service.inlet();
+            std::thread::spawn(move || produce(&cfg, &inlet, p, shards, batch))
+        })
+        .collect();
+    let sent: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("producer thread"))
+        .sum();
+    service.shutdown(); // drains every queued batch before returning
+    let elapsed = started.elapsed();
+
+    let snap = stats.snapshot();
+    let expected = cfg.beacons();
+    let conserves = sent == expected
+        && snap.beacons == expected
+        && snap.shed_beacons == 0
+        && snap.rejected_after_shutdown == 0
+        && store.unique_beacons() == expected
+        && store.total_duplicates() == 0
+        && store.orphan_beacons() == 0;
+    if !conserves {
+        eprintln!(
+            "conservation violated at shards={shards} batch={batch}: \
+             sent={sent} expected={expected} stats={snap:?} \
+             unique={} dup={} orphan={}",
+            store.unique_beacons(),
+            store.total_duplicates(),
+            store.orphan_beacons(),
+        );
+    }
+
+    let rate = expected as f64 / elapsed.as_secs_f64();
+    let cell = Cell {
+        shards,
+        batch,
+        beacons_per_sec: rate,
+        elapsed_secs: elapsed.as_secs_f64(),
+        beacon_batches: snap.beacon_batches,
+        beacons_per_channel_op: if snap.beacon_batches == 0 {
+            0.0
+        } else {
+            snap.beacons as f64 / snap.beacon_batches as f64
+        },
+        conservation_holds: conserves,
+    };
+    (cell, store)
+}
+
+/// Smoke-mode equivalence gate: replay the identical beacon sequence
+/// into a reference single store (impression-major, seq ascending —
+/// any global order respecting per-impression order is equivalent) and
+/// demand bit-identical analytics.
+fn verify_equivalence(cfg: &BenchConfig, sharded: &ShardedStore) -> bool {
+    let mut reference = ImpressionStore::new();
+    for id in 0..cfg.impressions {
+        reference.record_served(served(cfg, id));
+    }
+    for id in 0..cfg.impressions {
+        for seq in 0..cfg.rounds {
+            reference.apply(&beacon(cfg, id, seq));
+        }
+    }
+    let ref_reports = ReportBuilder::per_campaign(&reference);
+    let sharded_reports = ReportBuilder::per_campaign_sharded(sharded);
+    let reports_match = ref_reports.len() == sharded_reports.len()
+        && ref_reports.iter().zip(&sharded_reports).all(|(a, b)| {
+            a.campaign_id == b.campaign_id && a.total == b.total && a.slices == b.slices
+        });
+    let slices_match =
+        ReportBuilder::slice_table(&reference) == ReportBuilder::slice_table_sharded(sharded);
+    let counters_match = reference.unique_beacons() == sharded.unique_beacons()
+        && reference.total_duplicates() == sharded.total_duplicates()
+        && reference.orphan_beacons() == sharded.orphan_beacons();
+    println!(
+        "equivalence vs reference single store: reports {} | slice table {} | counters {}",
+        if reports_match { "MATCH" } else { "MISMATCH" },
+        if slices_match { "MATCH" } else { "MISMATCH" },
+        if counters_match { "MATCH" } else { "MISMATCH" },
+    );
+    reports_match && slices_match && counters_match
+}
+
+#[derive(Serialize)]
+struct BenchSummary {
+    bench: &'static str,
+    seed: u64,
+    beacons: u64,
+    impressions: u64,
+    rounds: u64,
+    producers: u64,
+    baseline_beacons_per_sec: f64,
+    speedup_at_8_shards: Option<f64>,
+    cells: Vec<Cell>,
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let out = ExperimentOutput::from_args();
+    out.section("ingest scaling: sharded store x batched aggregation sweep");
+    println!(
+        "{} impressions x {} rounds = {} beacons, {} producers, capacity {} batches/shard, seed {}{}",
+        cfg.impressions,
+        cfg.rounds,
+        cfg.beacons(),
+        cfg.producers,
+        cfg.capacity,
+        cfg.seed,
+        if cfg.smoke { " [smoke]" } else { "" },
+    );
+
+    let shards_list = cfg.shards.clone();
+    let batch_list = cfg.batch.clone();
+    let smoke = cfg.smoke;
+    let cfg = Arc::new(cfg);
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut all_ok = true;
+    let mut smoke_store: Option<ShardedStore> = None;
+    for &shards in &shards_list {
+        for &batch in &batch_list {
+            let (cell, store) = run_cell(&cfg, shards, batch);
+            if smoke {
+                // Keep the populated store for the equivalence gate.
+                smoke_store = Some(store);
+            }
+            all_ok &= cell.conservation_holds;
+            cells.push(cell);
+        }
+    }
+
+    // The (1 shard, batch 1) cell IS the pre-refactor design: one
+    // channel op + one lock acquisition per beacon through a single
+    // aggregator. Fall back to the first cell when it isn't swept.
+    let baseline = cells
+        .iter()
+        .find(|c| c.shards == 1 && c.batch == 1)
+        .unwrap_or(&cells[0])
+        .beacons_per_sec;
+    let speedup_at_8 = cells
+        .iter()
+        .filter(|c| c.shards == 8)
+        .map(|c| c.beacons_per_sec / baseline)
+        .fold(None, |best: Option<f64>, s| {
+            Some(best.map_or(s, |b| b.max(s)))
+        });
+
+    println!();
+    println!(
+        "{:>7} {:>6} {:>14} {:>12} {:>10} {:>9} {:>8}",
+        "shards", "batch", "beacons/s", "batches", "b/chan-op", "speedup", "check"
+    );
+    for c in &cells {
+        println!(
+            "{:>7} {:>6} {:>14.0} {:>12} {:>10.1} {:>8.2}x {:>8}",
+            c.shards,
+            c.batch,
+            c.beacons_per_sec,
+            c.beacon_batches,
+            c.beacons_per_channel_op,
+            c.beacons_per_sec / baseline,
+            if c.conservation_holds { "PASS" } else { "FAIL" },
+        );
+    }
+    if let Some(s) = speedup_at_8 {
+        println!();
+        println!("speedup at 8 shards vs single-aggregator baseline: {s:.2}x");
+    }
+
+    if smoke {
+        let store = smoke_store.expect("smoke ran one cell");
+        all_ok &= verify_equivalence(&cfg, &store);
+        println!("smoke verdict: {}", if all_ok { "PASS" } else { "FAIL" });
+    }
+
+    let summary = BenchSummary {
+        bench: "ingest_scaling",
+        seed: cfg.seed,
+        beacons: cfg.beacons(),
+        impressions: cfg.impressions,
+        rounds: cfg.rounds,
+        producers: cfg.producers,
+        baseline_beacons_per_sec: baseline,
+        speedup_at_8_shards: speedup_at_8,
+        cells,
+    };
+    if let Some(path) = &cfg.bench_json {
+        let json = serde_json::to_string_pretty(&summary).expect("summary serialises");
+        std::fs::write(path, json + "\n").expect("write bench json");
+        println!("wrote {path}");
+    }
+    out.finish(&summary);
+
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

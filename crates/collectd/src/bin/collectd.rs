@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! collectd [--bind ADDR] [--max-conns N] [--read-timeout-ms MS]
-//!          [--workers N] [--capacity N] [--duration-secs S]
+//!          [--workers N] [--capacity N] [--shards N] [--batch N]
+//!          [--duration-secs S]
 //! ```
 //!
 //! Listens for binary and JSON beacon streams on `ADDR` (default
@@ -11,18 +12,17 @@
 //! shuts down gracefully — draining in-flight frames into the store —
 //! and prints the final ops snapshot as JSON on stdout.
 
-use parking_lot::Mutex;
 use qtag_collectd::{Collector, CollectorConfig};
-use qtag_server::ImpressionStore;
+use qtag_server::ShardedStore;
 use std::io::BufRead;
-use std::sync::Arc;
 use std::time::Duration;
 
-fn parse_args() -> (CollectorConfig, Option<Duration>) {
+fn parse_args() -> (CollectorConfig, usize, Option<Duration>) {
     let mut cfg = CollectorConfig {
         bind: "127.0.0.1:4050".to_string(),
         ..CollectorConfig::default()
     };
+    let mut shards = 1usize;
     let mut duration = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -41,6 +41,8 @@ fn parse_args() -> (CollectorConfig, Option<Duration>) {
             }
             "--workers" => cfg.ingest_workers = value(i).parse().expect("--workers: usize"),
             "--capacity" => cfg.inlet_capacity = value(i).parse().expect("--capacity: usize"),
+            "--shards" => shards = value(i).parse().expect("--shards: usize"),
+            "--batch" => cfg.batch = value(i).parse().expect("--batch: usize"),
             "--duration-secs" => {
                 duration = Some(Duration::from_secs(
                     value(i).parse().expect("--duration-secs: u64"),
@@ -49,7 +51,7 @@ fn parse_args() -> (CollectorConfig, Option<Duration>) {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: collectd [--bind ADDR] [--max-conns N] [--read-timeout-ms MS] \
-                     [--workers N] [--capacity N] [--duration-secs S]"
+                     [--workers N] [--capacity N] [--shards N] [--batch N] [--duration-secs S]"
                 );
                 std::process::exit(0);
             }
@@ -57,13 +59,13 @@ fn parse_args() -> (CollectorConfig, Option<Duration>) {
         }
         i += 2;
     }
-    (cfg, duration)
+    (cfg, shards, duration)
 }
 
 fn main() {
-    let (cfg, duration) = parse_args();
-    let store = Arc::new(Mutex::new(ImpressionStore::new()));
-    let collector = Collector::start(cfg, store).expect("bind listener");
+    let (cfg, shards, duration) = parse_args();
+    let store = ShardedStore::new(shards);
+    let collector = Collector::start_sharded(cfg, store).expect("bind listener");
     eprintln!("collectd: listening on {}", collector.local_addr());
 
     match duration {

@@ -5,7 +5,7 @@ use crate::config::CollectorConfig;
 use crate::connection::{self, ConnCtx};
 use crate::stats::{CollectorStats, OpsSnapshot};
 use parking_lot::Mutex;
-use qtag_server::{ImpressionStore, IngestService, IngestStats};
+use qtag_server::{ImpressionStore, IngestConfig, IngestService, IngestStats, ShardedStore};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -22,22 +22,34 @@ pub struct Collector {
     ingest: Option<IngestService>,
     ingest_stats: Arc<IngestStats>,
     stats: Arc<CollectorStats>,
-    store: Arc<Mutex<ImpressionStore>>,
+    store: ShardedStore,
 }
 
 impl Collector {
-    /// Binds the listener and spawns the acceptor. Beacons land in
-    /// `store`; share the `Arc` to read verdicts while the daemon
-    /// runs.
+    /// Binds the listener and spawns the acceptor over a single shared
+    /// store. Beacons land in `store`; share the `Arc` to read
+    /// verdicts while the daemon runs. For multi-shard aggregation use
+    /// [`Collector::start_sharded`].
     pub fn start(cfg: CollectorConfig, store: Arc<Mutex<ImpressionStore>>) -> io::Result<Self> {
+        Self::start_sharded(cfg, ShardedStore::from_single(store))
+    }
+
+    /// Binds the listener and spawns the acceptor over a sharded
+    /// store: one applier thread per shard, connection threads hand
+    /// off decoded beacons in per-read-iteration batches routed by
+    /// impression-id hash.
+    pub fn start_sharded(cfg: CollectorConfig, store: ShardedStore) -> io::Result<Self> {
         let listener = TcpListener::bind(&cfg.bind)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
-        let ingest = IngestService::start_with_capacity(
-            Arc::clone(&store),
-            cfg.ingest_workers,
-            cfg.inlet_capacity,
+        let ingest = IngestService::start_sharded(
+            store.clone(),
+            IngestConfig {
+                workers: cfg.ingest_workers,
+                batch: cfg.batch,
+                inlet_capacity: cfg.inlet_capacity,
+            },
         );
         let ingest_stats = Arc::clone(ingest.stats_arc());
         let stats = Arc::new(CollectorStats::default());
@@ -72,8 +84,18 @@ impl Collector {
         &self.stats
     }
 
-    /// The shared impression store.
+    /// The shared impression store of a *single-shard* daemon (the
+    /// [`Collector::start`] path, where shard 0 is the caller's own
+    /// `Arc`). With multiple shards, use
+    /// [`Collector::sharded_store`] — writing through this handle
+    /// would bypass shard routing.
     pub fn store(&self) -> &Arc<Mutex<ImpressionStore>> {
+        debug_assert_eq!(self.store.shard_count(), 1);
+        self.store.shard(0)
+    }
+
+    /// The sharded store beacons aggregate into.
+    pub fn sharded_store(&self) -> &ShardedStore {
         &self.store
     }
 
@@ -386,6 +408,48 @@ mod tests {
         assert_eq!(ops.collector.acked_connections, 1);
         assert_eq!(ops.collector.acks_sent, 3);
         assert_eq!(ops.collector.frames_decoded, 3);
+        // Acks are coalesced: one write per read iteration, never one
+        // per frame beyond that.
+        assert!(
+            ops.collector.ack_flushes >= 1 && ops.collector.ack_flushes <= ops.collector.acks_sent,
+            "{ops:?}"
+        );
+    }
+
+    /// A daemon over a multi-shard store aggregates every beacon to
+    /// the right shard and conserves exactly, end to end over TCP.
+    #[test]
+    fn sharded_daemon_aggregates_across_shards() {
+        let store = ShardedStore::new(4);
+        for id in 0..32u64 {
+            store.record_served(served(id));
+        }
+        let collector =
+            Collector::start_sharded(CollectorConfig::default(), store.clone()).unwrap();
+        let beacons: Vec<Beacon> = (0..32u64)
+            .flat_map(|id| {
+                [
+                    beacon(id, 0, EventKind::Measurable),
+                    beacon(id, 1, EventKind::InView),
+                ]
+            })
+            .collect();
+        let mut sock = TcpStream::connect(collector.local_addr()).unwrap();
+        sock.write_all(&encode_frames(&beacons).unwrap()).unwrap();
+        drop(sock);
+        assert_eq!(collector.sharded_store().shard_count(), 4);
+        let ops = collector.shutdown();
+        assert_eq!(ops.ingest.beacons, 64);
+        assert_eq!(ops.ingest.rejected_after_shutdown, 0);
+        assert!(ops.conserves(64), "{ops:?}");
+        assert!(ops.decode_accounted(), "{ops:?}");
+        // Batched hand-off must have coalesced: far fewer channel ops
+        // than beacons even with 4 shards.
+        assert!(ops.ingest.beacon_batches < ops.ingest.beacons, "{ops:?}");
+        for id in 0..32u64 {
+            assert_eq!(store.verdict(id), (true, true), "impression {id}");
+        }
+        assert_eq!(store.unique_beacons(), 64);
     }
 
     #[test]

@@ -29,10 +29,15 @@ pub struct CollectorConfig {
     /// (they serve the chunk path; connection threads decode in-line
     /// and use the inlet, so 1 is normally enough).
     pub ingest_workers: usize,
-    /// Capacity of the bounded beacon channel between connection
-    /// threads and the store aggregator. When full, beacons are shed
-    /// and counted rather than stalling connection reads.
+    /// Capacity of each store shard's bounded batch channel between
+    /// connection threads and that shard's applier, counted in
+    /// *batches*. When full, beacons are shed and counted rather than
+    /// stalling connection reads.
     pub inlet_capacity: usize,
+    /// Maximum beacons per batch handed to a shard applier by the
+    /// embedded ingestion service's parser workers (connection threads
+    /// batch naturally — one hand-off per socket read).
+    pub batch: usize,
     /// How long graceful shutdown keeps accepting from the OS backlog
     /// before closing the listener. Connections already queued when
     /// the shutdown flag flips are still served (so their buffered
@@ -51,6 +56,7 @@ impl Default for CollectorConfig {
             max_line_len: 1024,
             ingest_workers: 1,
             inlet_capacity: qtag_server::DEFAULT_INLET_CAPACITY,
+            batch: qtag_server::DEFAULT_BATCH,
             drain_grace: Duration::from_millis(250),
         }
     }

@@ -5,7 +5,7 @@ use crate::stats::CollectorStats;
 use qtag_server::BeaconInlet;
 use qtag_wire::framing::FrameEvent;
 use qtag_wire::sender::{encode_ack, AckKey, ACK_HELLO};
-use qtag_wire::{json, FrameDecoder};
+use qtag_wire::{json, Beacon, FrameDecoder};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,14 +52,14 @@ impl JsonLines {
         }
     }
 
-    fn feed(&mut self, bytes: &[u8], ctx: &ConnCtx) {
+    fn feed(&mut self, bytes: &[u8], ctx: &ConnCtx, batch: &mut Vec<Beacon>) {
         for &b in bytes {
             if b == b'\n' {
                 if self.overflowing {
                     ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
                     self.overflowing = false;
                 } else {
-                    self.finish_line(ctx);
+                    self.finish_line(ctx, batch);
                 }
                 self.line.clear();
             } else if self.overflowing {
@@ -73,7 +73,7 @@ impl JsonLines {
         }
     }
 
-    fn finish_line(&mut self, ctx: &ConnCtx) {
+    fn finish_line(&mut self, ctx: &ConnCtx, batch: &mut Vec<Beacon>) {
         let trimmed: &[u8] = {
             let mut s = self.line.as_slice();
             while let [b' ' | b'\t' | b'\r', rest @ ..] = s {
@@ -93,7 +93,7 @@ impl JsonLines {
         match parsed {
             Some(beacon) => {
                 ctx.stats.frames_decoded.fetch_add(1, Ordering::Relaxed);
-                ctx.inlet.offer(beacon);
+                batch.push(beacon);
             }
             None => {
                 ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
@@ -102,20 +102,16 @@ impl JsonLines {
     }
 }
 
-/// Drains decoded events into the inlet. When `acks` is `Some`, each
-/// inlet-*accepted* beacon appends one encoded ack record; shed and
-/// corrupt frames append nothing (the client will retry them).
-fn drain_binary(dec: &mut FrameDecoder, ctx: &ConnCtx, mut acks: Option<&mut Vec<u8>>) {
+/// Drains decoded events into `batch` (corrupt frames are counted and
+/// dropped here). The caller hands the whole batch to the inlet once
+/// per read iteration — one channel operation per shard touched,
+/// instead of one per frame.
+fn drain_binary(dec: &mut FrameDecoder, ctx: &ConnCtx, batch: &mut Vec<Beacon>) {
     while let Some(ev) = dec.next_event() {
         match ev {
             FrameEvent::Beacon(b) => {
                 ctx.stats.frames_decoded.fetch_add(1, Ordering::Relaxed);
-                let key = AckKey::from(&b);
-                if ctx.inlet.offer(b) {
-                    if let Some(out) = acks.as_deref_mut() {
-                        encode_ack(key, out);
-                    }
-                }
+                batch.push(b);
             }
             FrameEvent::Corrupt(_) => {
                 ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
@@ -124,9 +120,31 @@ fn drain_binary(dec: &mut FrameDecoder, ctx: &ConnCtx, mut acks: Option<&mut Vec
     }
 }
 
-/// Writes pending ack records back to the client. Returns `false` if
-/// the write fails — the connection is then torn down; the client's
-/// ack timeouts will drive retransmission over a fresh connection.
+/// Offers one read iteration's decoded beacons to the inlet as a
+/// batch. When `acks` is `Some`, each inlet-*accepted* beacon appends
+/// one encoded ack record; shed frames append nothing (the client
+/// will retry them). The batch buffer is cleared for reuse.
+fn offer_collected(ctx: &ConnCtx, batch: &mut Vec<Beacon>, acks: Option<&mut Vec<u8>>) {
+    if batch.is_empty() {
+        return;
+    }
+    match acks {
+        Some(out) => {
+            ctx.inlet
+                .offer_batch(batch, |b| encode_ack(AckKey::from(b), out));
+        }
+        None => {
+            ctx.inlet.offer_batch(batch, |_| {});
+        }
+    }
+    batch.clear();
+}
+
+/// Writes pending ack records back to the client in a single
+/// `write_all` — one syscall for every ack generated during one read
+/// iteration. Returns `false` if the write fails — the connection is
+/// then torn down; the client's ack timeouts will drive
+/// retransmission over a fresh connection.
 fn flush_acks(stream: &mut TcpStream, acks: &mut Vec<u8>, ctx: &ConnCtx) -> bool {
     if acks.is_empty() {
         return true;
@@ -135,6 +153,7 @@ fn flush_acks(stream: &mut TcpStream, acks: &mut Vec<u8>, ctx: &ConnCtx) -> bool
     match stream.write_all(acks) {
         Ok(()) => {
             ctx.stats.acks_sent.fetch_add(n, Ordering::Relaxed);
+            ctx.stats.ack_flushes.fetch_add(1, Ordering::Relaxed);
             acks.clear();
             true
         }
@@ -154,6 +173,9 @@ pub(crate) fn serve(stream: TcpStream, ctx: ConnCtx) {
     let mut proto: Option<Protocol> = None;
     let mut buf = vec![0u8; 16 * 1024];
     let mut acks: Vec<u8> = Vec::new();
+    // Reusable per-iteration batch: every beacon decoded from one
+    // socket read is offered to the inlet in one batched hand-off.
+    let mut batch: Vec<Beacon> = Vec::new();
     let mut idle = Duration::ZERO;
     loop {
         match stream.read(&mut buf) {
@@ -185,16 +207,21 @@ pub(crate) fn serve(stream: TcpStream, ctx: ConnCtx) {
                 match p {
                     Protocol::Binary(dec) => {
                         dec.extend(&buf[start..n]);
-                        drain_binary(dec, &ctx, None);
+                        drain_binary(dec, &ctx, &mut batch);
+                        offer_collected(&ctx, &mut batch, None);
                     }
                     Protocol::BinaryAcked(dec) => {
                         dec.extend(&buf[start..n]);
-                        drain_binary(dec, &ctx, Some(&mut acks));
+                        drain_binary(dec, &ctx, &mut batch);
+                        offer_collected(&ctx, &mut batch, Some(&mut acks));
                         if !flush_acks(&mut stream, &mut acks, &ctx) {
                             break; // ack channel gone: force a retry cycle
                         }
                     }
-                    Protocol::Json(lines) => lines.feed(&buf[start..n], &ctx),
+                    Protocol::Json(lines) => {
+                        lines.feed(&buf[start..n], &ctx, &mut batch);
+                        offer_collected(&ctx, &mut batch, None);
+                    }
                 }
             }
             Err(e)
@@ -231,16 +258,14 @@ pub(crate) fn serve(stream: TcpStream, ctx: ConnCtx) {
         match ev {
             FrameEvent::Beacon(b) => {
                 ctx.stats.frames_decoded.fetch_add(1, Ordering::Relaxed);
-                let key = AckKey::from(&b);
-                if ctx.inlet.offer(b) && acked {
-                    encode_ack(key, &mut acks);
-                }
+                batch.push(b);
             }
             FrameEvent::Corrupt(_) => {
                 ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
+    offer_collected(&ctx, &mut batch, if acked { Some(&mut acks) } else { None });
     if acked {
         // Best-effort: the peer may already be gone; its ack timeouts
         // cover the loss.

@@ -39,6 +39,10 @@ pub struct CollectorStats {
     /// Per-frame acknowledgements written back to acked clients (one
     /// per inlet-accepted frame, including re-acked duplicates).
     pub acks_sent: AtomicU64,
+    /// Coalesced ack writes: each is one `write_all` carrying every
+    /// ack generated during one read iteration. The amortisation
+    /// ratio is `acks_sent / ack_flushes`.
+    pub ack_flushes: AtomicU64,
 }
 
 impl CollectorStats {
@@ -57,6 +61,7 @@ impl CollectorStats {
             corrupt_frame_bytes: self.corrupt_frame_bytes.load(Ordering::Relaxed),
             acked_connections: self.acked_connections.load(Ordering::Relaxed),
             acks_sent: self.acks_sent.load(Ordering::Relaxed),
+            ack_flushes: self.ack_flushes.load(Ordering::Relaxed),
         }
     }
 }
@@ -87,6 +92,8 @@ pub struct CollectorStatsSnapshot {
     pub acked_connections: u64,
     /// Per-frame acknowledgements written back to acked clients.
     pub acks_sent: u64,
+    /// Coalesced ack writes (one `write_all` per read iteration).
+    pub ack_flushes: u64,
 }
 
 /// The daemon's full ops surface: its own counters plus the embedded
@@ -103,16 +110,22 @@ pub struct OpsSnapshot {
 impl OpsSnapshot {
     /// The conservation identity the load generator verifies: every
     /// beacon fully written by clients is either applied, counted
-    /// corrupt, or counted shed — nothing vanishes.
+    /// corrupt, counted shed, or (only when a hand-off races the
+    /// daemon's shutdown) counted rejected — nothing vanishes. In a
+    /// graceful run `rejected_after_shutdown` is zero.
     pub fn conserves(&self, beacons_sent: u64) -> bool {
         beacons_sent
-            == self.ingest.beacons + self.collector.corrupt_frames + self.ingest.shed_beacons
+            == self.ingest.beacons
+                + self.collector.corrupt_frames
+                + self.ingest.shed_beacons
+                + self.ingest.rejected_after_shutdown
     }
 
     /// Internal consistency: every decoded frame was either accepted
-    /// by the inlet or shed at it.
+    /// by the inlet, shed at it, or rejected after shutdown.
     pub fn decode_accounted(&self) -> bool {
-        self.collector.frames_decoded == self.ingest.beacons + self.ingest.shed_beacons
+        self.collector.frames_decoded
+            == self.ingest.beacons + self.ingest.shed_beacons + self.ingest.rejected_after_shutdown
     }
 }
 
@@ -148,5 +161,27 @@ mod tests {
         assert!(ops.conserves(100));
         assert!(!ops.conserves(99));
         assert!(ops.decode_accounted());
+    }
+
+    /// A hand-off racing shutdown is accounted distinctly from
+    /// overload shedding, and the identities still balance.
+    #[test]
+    fn conservation_covers_shutdown_rejections() {
+        let mut ops = OpsSnapshot {
+            collector: CollectorStats::default().snapshot(),
+            ingest: qtag_server::IngestStats::default().snapshot(),
+        };
+        ops.ingest.beacons = 90;
+        ops.collector.corrupt_frames = 5;
+        ops.ingest.shed_beacons = 3;
+        ops.ingest.rejected_after_shutdown = 2;
+        ops.collector.frames_decoded = 95;
+        assert!(ops.conserves(100));
+        assert!(ops.decode_accounted());
+        // A rejection is NOT a shed: moving the count breaks nothing
+        // only if both terms are present in the identity.
+        ops.ingest.rejected_after_shutdown = 0;
+        assert!(!ops.conserves(100));
+        assert!(!ops.decode_accounted());
     }
 }

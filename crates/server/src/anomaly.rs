@@ -20,7 +20,7 @@ use serde::Serialize;
 use std::collections::HashMap;
 
 /// A per-beacon protocol violation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
 pub enum Violation {
     /// `InView` with less qualifying exposure than the format requires.
     UnderExposedInView,
@@ -86,6 +86,29 @@ impl BeaconValidator {
             }
             _ => {}
         }
+    }
+
+    /// Merges another validator into this one (merge-on-read for
+    /// sharded aggregation). Validation state is per-impression, so
+    /// when the two validators saw *disjoint impression sets* — the
+    /// sharded-store guarantee — the merged violation *set*, accepted
+    /// count and violation rate are identical to a single validator
+    /// fed the combined stream. Violation entries are appended in the
+    /// other validator's order; sort by `(impression, violation)` when
+    /// comparing across shard counts.
+    pub fn merge(&mut self, other: &BeaconValidator) {
+        for (id, last) in &other.last {
+            debug_assert!(
+                !self.last.contains_key(id),
+                "impression {id} seen by both validators — shard routing broken"
+            );
+            self.last.insert(*id, *last);
+        }
+        for (id, count) in &other.in_view_seen {
+            self.in_view_seen.insert(*id, *count);
+        }
+        self.violations.extend_from_slice(&other.violations);
+        self.accepted += other.accepted;
     }
 
     /// Beacons checked.
@@ -246,6 +269,48 @@ mod tests {
     fn tiny_fleets_are_not_judged() {
         let reports = vec![campaign(1, 10, 10, 10), campaign(2, 10, 10, 0)];
         assert!(viewability_outliers(&reports, 1.0).is_empty());
+    }
+
+    /// Per-shard validators over disjoint impressions merge to the
+    /// same violation set, count and rate as one validator fed the
+    /// combined stream.
+    #[test]
+    fn merging_disjoint_validators_matches_single_run() {
+        let mut reference = BeaconValidator::new();
+        let mut shard_a = BeaconValidator::new();
+        let mut shard_b = BeaconValidator::new();
+        for id in 0..30u64 {
+            let stream = [
+                beacon(id, EventKind::Measurable, 0, 5_000_000, 0),
+                // Time travel for ids divisible by 3, duplicate
+                // in-views for ids divisible by 5.
+                beacon(
+                    id,
+                    EventKind::InView,
+                    1,
+                    if id % 3 == 0 { 1_000 } else { 6_000_000 },
+                    1_200,
+                ),
+                beacon(id, EventKind::InView, 2, 7_000_000, 1_200),
+            ];
+            let take = if id % 5 == 0 { 3 } else { 2 };
+            for b in &stream[..take] {
+                reference.check(b);
+                if id % 2 == 0 {
+                    shard_a.check(b);
+                } else {
+                    shard_b.check(b);
+                }
+            }
+        }
+        shard_a.merge(&shard_b);
+        assert_eq!(shard_a.accepted(), reference.accepted());
+        let mut merged = shard_a.violations().to_vec();
+        let mut expect = reference.violations().to_vec();
+        merged.sort();
+        expect.sort();
+        assert_eq!(merged, expect);
+        assert!((shard_a.violation_rate() - reference.violation_rate()).abs() < 1e-15);
     }
 
     /// A live Q-Tag never violates the protocol: run a real tag and feed

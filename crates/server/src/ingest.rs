@@ -1,44 +1,84 @@
-//! Multi-worker beacon ingestion.
+//! Multi-worker beacon ingestion over a sharded, batch-applied store.
 //!
 //! Collectors receive raw byte streams from many tags at once. The
 //! service fans chunks out to parser workers over crossbeam channels;
-//! each worker runs a streaming [`FrameDecoder`] and forwards verified
-//! beacons to a single aggregator thread that owns the
-//! [`ImpressionStore`] — the channels-and-workers shape the Tokio
-//! tutorial teaches, implemented with OS threads since ingestion is
-//! CPU-bound parsing, not IO waiting.
+//! each worker runs a streaming [`FrameDecoder`] and routes verified
+//! beacons — in *batches*, one channel operation per up-to-`batch`
+//! beacons — to the applier thread owning the beacon's store shard.
+//! Every shard of the [`ShardedStore`] has exactly one applier, so
+//! aggregation scales with shards instead of serialising on a single
+//! `Mutex<ImpressionStore>` (the single-aggregator design this
+//! replaced). An applier locks its shard once per batch, not once per
+//! beacon.
 //!
 //! Chunks are routed to workers by connection id so that bytes from one
-//! tag's stream stay in order on one decoder.
+//! tag's stream stay in order on one decoder; beacons of one impression
+//! always hash to one shard, so per-impression apply order is preserved
+//! end to end and sharded results are bit-identical to a single-store
+//! run (see `tests/sharded_equivalence.rs`).
 
+use crate::shard::{shard_of, ShardedStore};
 use crate::store::ImpressionStore;
-use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use qtag_wire::framing::FrameEvent;
 use qtag_wire::{Beacon, FrameDecoder};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 
-/// Default capacity of the beacon channel feeding the aggregator.
-/// Parser workers block when it fills (backpressure propagates to
-/// their chunk queues); [`BeaconInlet::offer`] sheds instead.
-pub const DEFAULT_INLET_CAPACITY: usize = 65_536;
+/// Default capacity of each shard's batch channel, in *batches*.
+/// Parser workers block when a channel fills (backpressure propagates
+/// to their chunk queues); [`BeaconInlet::offer`] sheds instead.
+pub const DEFAULT_INLET_CAPACITY: usize = 1_024;
+
+/// Default maximum beacons per batch handed to a shard applier. One
+/// channel operation and one shard-lock acquisition are amortised over
+/// up to this many beacons.
+pub const DEFAULT_BATCH: usize = 64;
+
+/// Tunables for [`IngestService::start_sharded`].
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Parser worker threads (chunk path).
+    pub workers: usize,
+    /// Maximum beacons per shard batch (amortisation factor).
+    pub batch: usize,
+    /// Bounded capacity of each shard's applier channel, in batches.
+    pub inlet_capacity: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            workers: 1,
+            batch: DEFAULT_BATCH,
+            inlet_capacity: DEFAULT_INLET_CAPACITY,
+        }
+    }
+}
 
 /// Counters the service maintains while running.
 #[derive(Debug, Default)]
 pub struct IngestStats {
     /// Byte chunks accepted.
     pub chunks: AtomicU64,
-    /// Beacons parsed and applied.
+    /// Beacons parsed and applied (or queued for application).
     pub beacons: AtomicU64,
     /// Frames rejected (checksum/decode failures).
     pub corrupt_frames: AtomicU64,
     /// Beacons dropped by [`BeaconInlet::offer`] because the bounded
-    /// channel was full (slow aggregator / overload shedding).
+    /// shard channel was full (slow applier / overload shedding).
     pub shed_beacons: AtomicU64,
+    /// Beacons handed to an inlet after the service shut down. Distinct
+    /// from `shed_beacons` (which means *overload*, service alive) so
+    /// conservation checks stay exact across shutdown races.
+    pub rejected_after_shutdown: AtomicU64,
+    /// Batches enqueued to shard appliers (channel operations). The
+    /// amortisation ratio is `beacons / beacon_batches`.
+    pub beacon_batches: AtomicU64,
 }
 
 impl IngestStats {
@@ -50,6 +90,8 @@ impl IngestStats {
             beacons: self.beacons.load(Ordering::Relaxed),
             corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
             shed_beacons: self.shed_beacons.load(Ordering::Relaxed),
+            rejected_after_shutdown: self.rejected_after_shutdown.load(Ordering::Relaxed),
+            beacon_batches: self.beacon_batches.load(Ordering::Relaxed),
         }
     }
 }
@@ -66,6 +108,10 @@ pub struct IngestStatsSnapshot {
     pub corrupt_frames: u64,
     /// Beacons shed at the bounded inlet.
     pub shed_beacons: u64,
+    /// Beacons rejected because the service had already shut down.
+    pub rejected_after_shutdown: u64,
+    /// Batches enqueued to shard appliers.
+    pub beacon_batches: u64,
 }
 
 enum WorkerMsg {
@@ -73,150 +119,322 @@ enum WorkerMsg {
     Shutdown,
 }
 
+/// Outcome of a batched inlet hand-off: every input beacon lands in
+/// exactly one of the three counters, keeping conservation exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Beacons accepted into a shard channel (counted in `beacons`).
+    pub accepted: u64,
+    /// Beacons shed because a shard channel was full.
+    pub shed: u64,
+    /// Beacons rejected because the service has shut down.
+    pub rejected: u64,
+}
+
+impl BatchOutcome {
+    fn merge(&mut self, other: BatchOutcome) {
+        self.accepted += other.accepted;
+        self.shed += other.shed;
+        self.rejected += other.rejected;
+    }
+}
+
 /// Clonable handle pushing already-decoded beacons straight to the
-/// aggregator over the bounded channel, bypassing the parser workers.
-/// Transports that decode in their own threads (the collector daemon)
-/// use this; [`BeaconInlet::offer`] never blocks, so a slow aggregator
-/// sheds load here instead of stalling connection readers.
+/// shard appliers, bypassing the parser workers. Transports that
+/// decode in their own threads (the collector daemon) use this;
+/// [`BeaconInlet::offer`] and [`BeaconInlet::offer_batch`] never
+/// block, so a slow applier sheds load here instead of stalling
+/// connection readers.
 ///
-/// Drop every inlet clone before calling [`IngestService::shutdown`]:
-/// the aggregator only exits once all beacon senders are gone.
+/// The inlet holds only a weak reference to the shard channels:
+/// [`IngestService::shutdown`] severs them, after which every hand-off
+/// is counted in `rejected_after_shutdown` and refused. Inlet clones
+/// may therefore outlive the service safely.
 #[derive(Clone)]
 pub struct BeaconInlet {
-    tx: Sender<Beacon>,
+    txs: Weak<[Sender<Vec<Beacon>>]>,
+    shards: usize,
     stats: Arc<IngestStats>,
 }
 
 impl BeaconInlet {
     /// Non-blocking hand-off. Returns `true` if the beacon was
     /// accepted (counted in `beacons`), `false` if it was shed
-    /// (counted in `shed_beacons`). Every offered beacon lands in
-    /// exactly one of the two counters, which keeps end-to-end
+    /// (counted in `shed_beacons`) or the service is gone (counted in
+    /// `rejected_after_shutdown`). Every offered beacon lands in
+    /// exactly one of the counters, which keeps end-to-end
     /// conservation checks exact.
     pub fn offer(&self, beacon: Beacon) -> bool {
-        match self.tx.try_send(beacon) {
+        let Some(txs) = self.txs.upgrade() else {
+            self.stats
+                .rejected_after_shutdown
+                .fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        let shard = shard_of(beacon.impression_id, self.shards);
+        match txs[shard].try_send(vec![beacon]) {
             Ok(()) => {
                 self.stats.beacons.fetch_add(1, Ordering::Relaxed);
+                self.stats.beacon_batches.fetch_add(1, Ordering::Relaxed);
                 true
             }
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+            Err(TrySendError::Full(_)) => {
                 self.stats.shed_beacons.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.stats
+                    .rejected_after_shutdown
+                    .fetch_add(1, Ordering::Relaxed);
                 false
             }
         }
     }
 
     /// Blocking hand-off for callers that prefer backpressure to loss.
-    /// Returns `false` (counted as shed) only if the service is gone.
+    /// Returns `false` (counted in `rejected_after_shutdown`, *not* in
+    /// `shed_beacons` — this is not an overload signal) only if the
+    /// service is gone.
     pub fn send(&self, beacon: Beacon) -> bool {
-        match self.tx.send(beacon) {
+        let Some(txs) = self.txs.upgrade() else {
+            self.stats
+                .rejected_after_shutdown
+                .fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        let shard = shard_of(beacon.impression_id, self.shards);
+        match txs[shard].send(vec![beacon]) {
             Ok(()) => {
                 self.stats.beacons.fetch_add(1, Ordering::Relaxed);
+                self.stats.beacon_batches.fetch_add(1, Ordering::Relaxed);
                 true
             }
             Err(_) => {
-                self.stats.shed_beacons.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .rejected_after_shutdown
+                    .fetch_add(1, Ordering::Relaxed);
                 false
+            }
+        }
+    }
+
+    /// Non-blocking batched hand-off: one channel operation per shard
+    /// touched, amortising the per-beacon cost [`BeaconInlet::offer`]
+    /// pays. `on_accept` runs once per *accepted* beacon (collectors
+    /// use it to emit acks); shed and rejected beacons never reach it.
+    /// A full shard channel sheds that shard's whole sub-batch.
+    pub fn offer_batch(
+        &self,
+        beacons: &[Beacon],
+        mut on_accept: impl FnMut(&Beacon),
+    ) -> BatchOutcome {
+        let mut outcome = BatchOutcome::default();
+        if beacons.is_empty() {
+            return outcome;
+        }
+        let Some(txs) = self.txs.upgrade() else {
+            outcome.rejected = beacons.len() as u64;
+            self.stats
+                .rejected_after_shutdown
+                .fetch_add(outcome.rejected, Ordering::Relaxed);
+            return outcome;
+        };
+        if self.shards == 1 {
+            outcome.merge(Self::offer_group(
+                &self.stats,
+                &txs[0],
+                beacons,
+                (0..beacons.len()).collect(),
+                &mut on_accept,
+            ));
+            return outcome;
+        }
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards];
+        for (i, b) in beacons.iter().enumerate() {
+            groups[shard_of(b.impression_id, self.shards)].push(i);
+        }
+        for (shard, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            outcome.merge(Self::offer_group(
+                &self.stats,
+                &txs[shard],
+                beacons,
+                group,
+                &mut on_accept,
+            ));
+        }
+        outcome
+    }
+
+    /// Blocking batched hand-off (backpressure instead of shedding).
+    /// Returns the outcome; `rejected` is non-zero only if the service
+    /// shut down mid-call.
+    pub fn send_batch(&self, beacons: &[Beacon]) -> BatchOutcome {
+        let mut outcome = BatchOutcome::default();
+        if beacons.is_empty() {
+            return outcome;
+        }
+        let Some(txs) = self.txs.upgrade() else {
+            outcome.rejected = beacons.len() as u64;
+            self.stats
+                .rejected_after_shutdown
+                .fetch_add(outcome.rejected, Ordering::Relaxed);
+            return outcome;
+        };
+        let mut groups: Vec<Vec<Beacon>> = vec![Vec::new(); self.shards];
+        for b in beacons {
+            groups[shard_of(b.impression_id, self.shards)].push(b.clone());
+        }
+        for (shard, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let n = group.len() as u64;
+            match txs[shard].send(group) {
+                Ok(()) => {
+                    self.stats.beacons.fetch_add(n, Ordering::Relaxed);
+                    self.stats.beacon_batches.fetch_add(1, Ordering::Relaxed);
+                    outcome.accepted += n;
+                }
+                Err(_) => {
+                    self.stats
+                        .rejected_after_shutdown
+                        .fetch_add(n, Ordering::Relaxed);
+                    outcome.rejected += n;
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Offers the `indices` of `beacons` to one shard channel as a
+    /// single batch, updating counters and invoking `on_accept` only
+    /// after the channel took the batch.
+    fn offer_group(
+        stats: &IngestStats,
+        tx: &Sender<Vec<Beacon>>,
+        beacons: &[Beacon],
+        indices: Vec<usize>,
+        on_accept: &mut impl FnMut(&Beacon),
+    ) -> BatchOutcome {
+        let n = indices.len() as u64;
+        let group: Vec<Beacon> = indices.iter().map(|&i| beacons[i].clone()).collect();
+        match tx.try_send(group) {
+            Ok(()) => {
+                stats.beacons.fetch_add(n, Ordering::Relaxed);
+                stats.beacon_batches.fetch_add(1, Ordering::Relaxed);
+                for &i in &indices {
+                    on_accept(&beacons[i]);
+                }
+                BatchOutcome {
+                    accepted: n,
+                    ..BatchOutcome::default()
+                }
+            }
+            Err(TrySendError::Full(_)) => {
+                stats.shed_beacons.fetch_add(n, Ordering::Relaxed);
+                BatchOutcome {
+                    shed: n,
+                    ..BatchOutcome::default()
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                stats
+                    .rejected_after_shutdown
+                    .fetch_add(n, Ordering::Relaxed);
+                BatchOutcome {
+                    rejected: n,
+                    ..BatchOutcome::default()
+                }
             }
         }
     }
 }
 
-/// The ingestion service: `workers` parser threads plus one aggregator.
+/// The ingestion service: `workers` parser threads plus one applier
+/// thread per store shard.
 pub struct IngestService {
     tx: Vec<Sender<WorkerMsg>>,
     workers: Vec<JoinHandle<()>>,
-    aggregator: Option<JoinHandle<()>>,
-    beacon_tx: Option<Sender<Beacon>>,
-    store: Arc<Mutex<ImpressionStore>>,
+    appliers: Vec<JoinHandle<()>>,
+    batch_txs: Option<Arc<[Sender<Vec<Beacon>>]>>,
+    store: ShardedStore,
     stats: Arc<IngestStats>,
 }
 
 impl IngestService {
-    /// Starts the service over a shared store with the default inlet
-    /// capacity.
+    /// Starts the service over a shared single store (one shard) with
+    /// default batching and inlet capacity.
     pub fn start(store: Arc<Mutex<ImpressionStore>>, workers: usize) -> Self {
         Self::start_with_capacity(store, workers, DEFAULT_INLET_CAPACITY)
     }
 
-    /// Starts the service with an explicit bounded capacity for the
-    /// beacon channel feeding the aggregator.
+    /// Starts the service over a shared single store (one shard) with
+    /// an explicit bounded capacity (in batches) for the applier
+    /// channel.
     pub fn start_with_capacity(
         store: Arc<Mutex<ImpressionStore>>,
         workers: usize,
         inlet_capacity: usize,
     ) -> Self {
-        assert!(workers >= 1, "need at least one worker");
+        Self::start_sharded(
+            ShardedStore::from_single(store),
+            IngestConfig {
+                workers,
+                inlet_capacity,
+                ..IngestConfig::default()
+            },
+        )
+    }
+
+    /// Starts the service over a sharded store: one applier thread per
+    /// shard, each owning its shard's lock, fed over an independent
+    /// bounded batch channel. The shard count comes from `store`.
+    pub fn start_sharded(store: ShardedStore, cfg: IngestConfig) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert!(cfg.batch >= 1, "batch size must be positive");
+        assert!(cfg.inlet_capacity >= 1, "inlet capacity must be positive");
+        let shards = store.shard_count();
         let stats = Arc::new(IngestStats::default());
-        let (beacon_tx, beacon_rx): (Sender<Beacon>, Receiver<Beacon>) =
-            channel::bounded(inlet_capacity);
 
-        // Aggregator: single owner of store mutations (cheap fold; the
-        // mutex is only contended with synchronous readers). Exits when
-        // the channel is drained AND every sender (workers + inlets +
-        // the service's own handle) has dropped — so nothing queued is
-        // ever lost, no sentinel counting required.
-        let agg_store = Arc::clone(&store);
-        let aggregator = std::thread::spawn(move || {
-            while let Ok(beacon) = beacon_rx.recv() {
-                agg_store.lock().apply(&beacon);
-            }
-        });
-
-        let mut tx = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let (wtx, wrx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = channel::unbounded();
-            let out = beacon_tx.clone();
-            let wstats = Arc::clone(&stats);
-            handles.push(std::thread::spawn(move || {
-                let mut decoders: HashMap<u64, FrameDecoder> = HashMap::new();
-                while let Ok(msg) = wrx.recv() {
-                    match msg {
-                        WorkerMsg::Chunk { conn, bytes } => {
-                            wstats.chunks.fetch_add(1, Ordering::Relaxed);
-                            let dec = decoders.entry(conn).or_default();
-                            dec.extend(&bytes);
-                            while let Some(ev) = dec.next_event() {
-                                match ev {
-                                    FrameEvent::Beacon(b) => {
-                                        wstats.beacons.fetch_add(1, Ordering::Relaxed);
-                                        // Blocking send: parser workers
-                                        // take backpressure rather than
-                                        // shedding. Aggregator gone ⇒
-                                        // shutting down.
-                                        if out.send(b).is_err() {
-                                            return;
-                                        }
-                                    }
-                                    FrameEvent::Corrupt(_) => {
-                                        wstats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                }
-                            }
-                        }
-                        WorkerMsg::Shutdown => {
-                            // Connections are closing: flush every
-                            // decoder's remaining decodable frames.
-                            for dec in decoders.values_mut() {
-                                for ev in dec.finish() {
-                                    match ev {
-                                        FrameEvent::Beacon(b) => {
-                                            wstats.beacons.fetch_add(1, Ordering::Relaxed);
-                                            if out.send(b).is_err() {
-                                                return;
-                                            }
-                                        }
-                                        FrameEvent::Corrupt(_) => {
-                                            wstats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
-                                        }
-                                    }
-                                }
-                            }
-                            return;
-                        }
+        // Appliers: one owner of mutations per shard. Each exits when
+        // its channel is drained AND every sender (workers + the
+        // service's own handles; inlets hold only weak refs) has
+        // dropped — so nothing queued is ever lost, no sentinel
+        // counting required.
+        let mut batch_txs: Vec<Sender<Vec<Beacon>>> = Vec::with_capacity(shards);
+        let mut appliers: Vec<JoinHandle<()>> = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let (btx, brx): (Sender<Vec<Beacon>>, Receiver<Vec<Beacon>>) =
+                channel::bounded(cfg.inlet_capacity);
+            let shard = Arc::clone(store.shard(s));
+            appliers.push(std::thread::spawn(move || {
+                while let Ok(batch) = brx.recv() {
+                    // One lock acquisition per batch: the whole point.
+                    let mut store = shard.lock();
+                    for b in &batch {
+                        store.apply(b);
                     }
                 }
+            }));
+            batch_txs.push(btx);
+        }
+
+        let batch_txs: Arc<[Sender<Vec<Beacon>>]> = batch_txs.into();
+        let mut tx = Vec::with_capacity(cfg.workers);
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers {
+            let (wtx, wrx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = channel::unbounded();
+            // Direct sender clones (not the Arc): a worker keeps its
+            // shard channels alive until it exits, and workers are
+            // joined before the appliers.
+            let outs: Vec<Sender<Vec<Beacon>>> = batch_txs.iter().cloned().collect();
+            let wstats = Arc::clone(&stats);
+            let batch = cfg.batch;
+            handles.push(std::thread::spawn(move || {
+                worker_loop(wrx, outs, wstats, shards, batch)
             }));
             tx.push(wtx);
         }
@@ -224,8 +442,8 @@ impl IngestService {
         IngestService {
             tx,
             workers: handles,
-            aggregator: Some(aggregator),
-            beacon_tx: Some(beacon_tx),
+            appliers,
+            batch_txs: Some(batch_txs),
             store,
             stats,
         }
@@ -234,10 +452,12 @@ impl IngestService {
     /// A new inlet handle for pre-decoded beacons. See [`BeaconInlet`].
     pub fn inlet(&self) -> BeaconInlet {
         BeaconInlet {
-            tx: self
-                .beacon_tx
-                .clone()
-                .expect("beacon channel open while service running"),
+            txs: Arc::downgrade(
+                self.batch_txs
+                    .as_ref()
+                    .expect("batch channels open while service running"),
+            ),
+            shards: self.store.shard_count(),
             stats: Arc::clone(&self.stats),
         }
     }
@@ -262,20 +482,22 @@ impl IngestService {
         &self.stats
     }
 
-    /// The shared store (lock to read reports mid-flight).
-    pub fn store(&self) -> &Arc<Mutex<ImpressionStore>> {
+    /// The sharded store (lock shards to read reports mid-flight).
+    pub fn store(&self) -> &ShardedStore {
         &self.store
     }
 
-    /// Graceful shutdown: drains all queued chunks, stops the workers and
-    /// the aggregator, and returns once every accepted beacon has been
-    /// applied to the store. Each worker processes its whole queue before
-    /// seeing the `Shutdown` message (same channel, FIFO), and the
-    /// aggregator drains the beacon channel completely before `recv`
-    /// reports disconnect, so no accepted beacon is lost.
+    /// Graceful shutdown: drains all queued chunks, stops the workers
+    /// and the appliers, and returns once every accepted beacon has
+    /// been applied to its shard. Each worker processes its whole
+    /// queue before seeing the `Shutdown` message (same channel,
+    /// FIFO), then flushes its partial batches; each applier drains
+    /// its batch channel completely before `recv` reports disconnect,
+    /// so no accepted beacon is lost.
     ///
-    /// Callers holding [`BeaconInlet`] clones must drop them first, or
-    /// the aggregator join will wait for them.
+    /// Outstanding [`BeaconInlet`] clones hold only weak references:
+    /// they do not delay shutdown, and any hand-off they attempt
+    /// afterwards is counted in `rejected_after_shutdown`.
     pub fn shutdown(mut self) {
         for tx in &self.tx {
             let _ = tx.send(WorkerMsg::Shutdown);
@@ -283,9 +505,114 @@ impl IngestService {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        drop(self.beacon_tx.take());
-        if let Some(agg) = self.aggregator.take() {
-            let _ = agg.join();
+        // Severs the inlets: this is the only strong ref to the shard
+        // senders (workers dropped their clones on exit). An inlet
+        // mid-offer briefly holds an upgraded strong ref; its beacon,
+        // if accepted, is still drained by the applier join below.
+        drop(self.batch_txs.take());
+        for h in self.appliers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Parser worker: streams chunks through per-connection decoders and
+/// routes verified beacons to per-shard batch accumulators. Batches
+/// flush when full, when the worker goes idle (no queued chunks), and
+/// at shutdown — so batching never strands a beacon.
+fn worker_loop(
+    wrx: Receiver<WorkerMsg>,
+    outs: Vec<Sender<Vec<Beacon>>>,
+    stats: Arc<IngestStats>,
+    shards: usize,
+    batch: usize,
+) {
+    let mut decoders: HashMap<u64, FrameDecoder> = HashMap::new();
+    let mut acc: Vec<Vec<Beacon>> = (0..shards).map(|_| Vec::with_capacity(batch)).collect();
+
+    // Sends one shard's accumulated batch (blocking: parser workers
+    // take backpressure rather than shedding). Err means the appliers
+    // are gone, i.e. the service is tearing down.
+    let flush_shard = |acc: &mut Vec<Beacon>, out: &Sender<Vec<Beacon>>, stats: &IngestStats| {
+        if acc.is_empty() {
+            return Ok(());
+        }
+        let full = std::mem::replace(acc, Vec::with_capacity(batch));
+        stats.beacon_batches.fetch_add(1, Ordering::Relaxed);
+        out.send(full).map_err(drop)
+    };
+    let flush_all = |acc: &mut Vec<Vec<Beacon>>, stats: &IngestStats| {
+        for (s, a) in acc.iter_mut().enumerate() {
+            flush_shard(a, &outs[s], stats)?;
+        }
+        Ok(())
+    };
+
+    loop {
+        // Batch across chunks while more work is queued; flush the
+        // partial batches before blocking so no beacon waits on an
+        // idle worker.
+        let msg = match wrx.try_recv() {
+            Ok(m) => m,
+            Err(TryRecvError::Empty) => {
+                if flush_all(&mut acc, &stats).is_err() {
+                    return;
+                }
+                match wrx.recv() {
+                    Ok(m) => m,
+                    Err(_) => return,
+                }
+            }
+            Err(TryRecvError::Disconnected) => return,
+        };
+        match msg {
+            WorkerMsg::Chunk { conn, bytes } => {
+                stats.chunks.fetch_add(1, Ordering::Relaxed);
+                let dec = decoders.entry(conn).or_default();
+                dec.extend(&bytes);
+                while let Some(ev) = dec.next_event() {
+                    match ev {
+                        FrameEvent::Beacon(b) => {
+                            stats.beacons.fetch_add(1, Ordering::Relaxed);
+                            let s = shard_of(b.impression_id, shards);
+                            acc[s].push(b);
+                            if acc[s].len() >= batch
+                                && flush_shard(&mut acc[s], &outs[s], &stats).is_err()
+                            {
+                                return;
+                            }
+                        }
+                        FrameEvent::Corrupt(_) => {
+                            stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            WorkerMsg::Shutdown => {
+                // Connections are closing: flush every decoder's
+                // remaining decodable frames, then the accumulators.
+                for dec in decoders.values_mut() {
+                    for ev in dec.finish() {
+                        match ev {
+                            FrameEvent::Beacon(b) => {
+                                stats.beacons.fetch_add(1, Ordering::Relaxed);
+                                let s = shard_of(b.impression_id, shards);
+                                acc[s].push(b);
+                                if acc[s].len() >= batch
+                                    && flush_shard(&mut acc[s], &outs[s], &stats).is_err()
+                                {
+                                    return;
+                                }
+                            }
+                            FrameEvent::Corrupt(_) => {
+                                stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                let _: Result<(), ()> = flush_all(&mut acc, &stats);
+                return;
+            }
         }
     }
 }
@@ -352,6 +679,49 @@ mod tests {
     }
 
     #[test]
+    fn sharded_ingestion_applies_every_beacon() {
+        let store = ShardedStore::new(8);
+        for id in 0..500 {
+            store.record_served(served(id));
+        }
+        let service = IngestService::start_sharded(
+            store.clone(),
+            IngestConfig {
+                workers: 4,
+                batch: 16,
+                ..IngestConfig::default()
+            },
+        );
+        let mut link = LossyLink::lossless();
+        for id in 0..500u64 {
+            let bytes = link
+                .transmit(&[
+                    beacon(id, 0, EventKind::Measurable),
+                    beacon(id, 1, EventKind::InView),
+                ])
+                .unwrap();
+            service.submit(id, bytes);
+        }
+        let stats = Arc::clone(service.stats_arc());
+        service.shutdown();
+        for id in 0..500 {
+            assert_eq!(store.verdict(id), (true, true), "impression {id}");
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.beacons, 1_000);
+        assert_eq!(snap.shed_beacons, 0);
+        assert_eq!(snap.rejected_after_shutdown, 0);
+        // Batching must amortise: far fewer channel ops than beacons.
+        assert!(
+            snap.beacon_batches < snap.beacons,
+            "batches {} vs beacons {}",
+            snap.beacon_batches,
+            snap.beacons
+        );
+        assert_eq!(store.unique_beacons(), 1_000);
+    }
+
+    #[test]
     fn chunked_streams_reassemble_across_submissions() {
         let store = Arc::new(Mutex::new(ImpressionStore::new()));
         store.lock().record_served(served(7));
@@ -414,21 +784,26 @@ mod tests {
     /// `shutdown()` is fully parsed and applied before the join
     /// returns, even when shutdown races a large backlog across many
     /// workers. Nothing between the Shutdown message and the thread
-    /// join may drop queued frames.
+    /// join may drop queued frames — and no beacon may be rejected,
+    /// because the inlets are severed only after the workers drain.
     #[test]
     fn shutdown_drains_entire_queued_backlog() {
         const IMPRESSIONS: u64 = 1_000;
-        let store = Arc::new(Mutex::new(ImpressionStore::new()));
-        {
-            let mut s = store.lock();
-            for id in 0..IMPRESSIONS {
-                s.record_served(served(id));
-            }
+        let store = ShardedStore::new(4);
+        for id in 0..IMPRESSIONS {
+            store.record_served(served(id));
         }
-        // Tiny inlet capacity forces workers to block on the
-        // aggregator mid-drain, exercising the backpressure path
-        // during shutdown too.
-        let service = IngestService::start_with_capacity(Arc::clone(&store), 4, 8);
+        // Tiny channel capacity forces workers to block on the
+        // appliers mid-drain, exercising the backpressure path during
+        // shutdown too.
+        let service = IngestService::start_sharded(
+            store.clone(),
+            IngestConfig {
+                workers: 4,
+                batch: 8,
+                inlet_capacity: 2,
+            },
+        );
         let mut link = LossyLink::lossless();
         for id in 0..IMPRESSIONS {
             let bytes = link
@@ -442,11 +817,15 @@ mod tests {
         let stats = Arc::clone(service.stats_arc());
         // Immediately shut down: the whole backlog is still queued.
         service.shutdown();
-        assert_eq!(stats.beacons.load(Ordering::Relaxed), IMPRESSIONS * 2);
-        assert_eq!(stats.shed_beacons.load(Ordering::Relaxed), 0);
-        let s = store.lock();
+        let snap = stats.snapshot();
+        assert_eq!(snap.beacons, IMPRESSIONS * 2);
+        assert_eq!(snap.shed_beacons, 0);
+        assert_eq!(
+            snap.rejected_after_shutdown, 0,
+            "a graceful drain must reject nothing"
+        );
         for id in 0..IMPRESSIONS {
-            assert_eq!(s.verdict(id), (true, true), "impression {id}");
+            assert_eq!(store.verdict(id), (true, true), "impression {id}");
         }
     }
 
@@ -458,11 +837,38 @@ mod tests {
         let inlet = service.inlet();
         assert!(inlet.offer(beacon(3, 0, EventKind::Measurable)));
         assert!(inlet.offer(beacon(3, 1, EventKind::InView)));
-        drop(inlet);
         let stats = Arc::clone(service.stats_arc());
         service.shutdown();
         assert_eq!(stats.beacons.load(Ordering::Relaxed), 2);
         assert_eq!(store.lock().verdict(3), (true, true));
+    }
+
+    #[test]
+    fn inlet_batch_is_applied_with_one_channel_op_per_shard() {
+        let store = ShardedStore::new(4);
+        for id in 0..64 {
+            store.record_served(served(id));
+        }
+        let service = IngestService::start_sharded(store.clone(), IngestConfig::default());
+        let inlet = service.inlet();
+        let batch: Vec<Beacon> = (0..64u64)
+            .map(|id| beacon(id, 0, EventKind::InView))
+            .collect();
+        let mut accepted_cb = 0u64;
+        let outcome = inlet.offer_batch(&batch, |_| accepted_cb += 1);
+        assert_eq!(outcome.accepted, 64);
+        assert_eq!(outcome.shed, 0);
+        assert_eq!(outcome.rejected, 0);
+        assert_eq!(accepted_cb, 64);
+        let stats = Arc::clone(service.stats_arc());
+        service.shutdown();
+        let snap = stats.snapshot();
+        assert_eq!(snap.beacons, 64);
+        // At most one channel op per shard for the whole batch.
+        assert!(snap.beacon_batches <= 4, "{}", snap.beacon_batches);
+        for id in 0..64 {
+            assert_eq!(store.verdict(id), (true, true));
+        }
     }
 
     /// Overload shedding at the inlet is exact: every offered beacon is
@@ -473,7 +879,7 @@ mod tests {
         store.lock().record_served(served(9));
         let service = IngestService::start_with_capacity(Arc::clone(&store), 1, 2);
         let inlet = service.inlet();
-        // Hold the store lock so the aggregator stalls on its first
+        // Hold the store lock so the applier stalls on its first
         // apply, guaranteeing the bounded channel eventually fills.
         let mut offered = 0u64;
         let mut accepted = 0u64;
@@ -492,12 +898,44 @@ mod tests {
             }
         }
         assert!(accepted < offered, "expected at least one shed offer");
-        drop(inlet);
         let stats = Arc::clone(service.stats_arc());
         service.shutdown();
         let snap = stats.snapshot();
         assert_eq!(snap.beacons, accepted);
         assert_eq!(snap.beacons + snap.shed_beacons, offered);
+        assert_eq!(snap.rejected_after_shutdown, 0);
+    }
+
+    /// The shutdown race the `rejected_after_shutdown` counter exists
+    /// for: a hand-off against a shut-down service is refused and
+    /// counted distinctly from overload shedding, so conservation
+    /// (`offered == accepted + shed + rejected`) stays exact.
+    #[test]
+    fn send_after_shutdown_is_rejected_and_counted_distinctly() {
+        let store = Arc::new(Mutex::new(ImpressionStore::new()));
+        store.lock().record_served(served(5));
+        let service = IngestService::start(Arc::clone(&store), 1);
+        let inlet = service.inlet();
+        assert!(inlet.send(beacon(5, 0, EventKind::Measurable)));
+        let stats = Arc::clone(service.stats_arc());
+        // The inlet clone stays alive across shutdown — allowed now.
+        service.shutdown();
+        assert!(!inlet.send(beacon(5, 1, EventKind::InView)));
+        assert!(!inlet.offer(beacon(5, 2, EventKind::Heartbeat)));
+        let outcome = inlet.offer_batch(
+            &[
+                beacon(5, 3, EventKind::Heartbeat),
+                beacon(5, 4, EventKind::Heartbeat),
+            ],
+            |_| panic!("no beacon may be accepted after shutdown"),
+        );
+        assert_eq!(outcome.rejected, 2);
+        let snap = stats.snapshot();
+        assert_eq!(snap.beacons, 1);
+        assert_eq!(snap.shed_beacons, 0, "shutdown rejection is not shedding");
+        assert_eq!(snap.rejected_after_shutdown, 4);
+        // The pre-shutdown beacon was applied; the rest never were.
+        assert_eq!(store.lock().verdict(5), (true, false));
     }
 
     #[test]
@@ -505,8 +943,12 @@ mod tests {
         let stats = IngestStats::default();
         stats.beacons.fetch_add(7, Ordering::Relaxed);
         stats.shed_beacons.fetch_add(2, Ordering::Relaxed);
+        stats
+            .rejected_after_shutdown
+            .fetch_add(1, Ordering::Relaxed);
         let json = serde_json::to_string(&stats.snapshot()).unwrap();
         assert!(json.contains("\"beacons\":7"), "{json}");
         assert!(json.contains("\"shed_beacons\":2"), "{json}");
+        assert!(json.contains("\"rejected_after_shutdown\":1"), "{json}");
     }
 }

@@ -31,6 +31,7 @@ mod anomaly;
 mod billing;
 mod ingest;
 mod report;
+mod shard;
 mod sim_transport;
 mod store;
 mod timeline;
@@ -39,11 +40,13 @@ mod transport;
 pub use anomaly::{viewability_outliers, BeaconValidator, OutlierCampaign, Violation};
 pub use billing::{invoice_campaigns, total_usd, Invoice, PricingModel};
 pub use ingest::{
-    BeaconInlet, IngestService, IngestStats, IngestStatsSnapshot, DEFAULT_INLET_CAPACITY,
+    BatchOutcome, BeaconInlet, IngestConfig, IngestService, IngestStats, IngestStatsSnapshot,
+    DEFAULT_BATCH, DEFAULT_INLET_CAPACITY,
 };
 pub use report::{
     mean, std_dev, to_csv, CampaignReport, FleetSummary, RateSlice, ReportBuilder, SliceKey,
 };
+pub use shard::{shard_of, ShardedStore};
 pub use sim_transport::{SimCollectorStats, SimCollectorTransport, SimFaults};
 pub use store::{ImpressionRecord, ImpressionStore, ServedImpression};
 pub use timeline::{BucketStats, Timeline};

@@ -1,6 +1,7 @@
 //! Campaign analytics: the paper's two metrics, sliced every way the
 //! evaluation needs.
 
+use crate::shard::ShardedStore;
 use crate::store::ImpressionStore;
 use qtag_wire::{OsKind, SiteType};
 use serde::Serialize;
@@ -81,7 +82,7 @@ impl RateSlice {
 }
 
 /// Per-campaign report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CampaignReport {
     /// Campaign id.
     pub campaign_id: u32,
@@ -92,6 +93,19 @@ pub struct CampaignReport {
     /// into rows themselves.
     #[serde(skip)]
     pub slices: HashMap<SliceKey, RateSlice>,
+}
+
+impl CampaignReport {
+    /// Merges another report for the *same campaign* into this one —
+    /// totals and every slice are plain sums, so merging per-shard
+    /// reports reproduces the single-store report exactly.
+    pub fn merge(&mut self, other: &CampaignReport) {
+        debug_assert_eq!(self.campaign_id, other.campaign_id);
+        self.total.merge(&other.total);
+        for (key, slice) in &other.slices {
+            self.slices.entry(*key).or_default().merge(slice);
+        }
+    }
 }
 
 /// Summary statistics over a set of campaigns — the mean ± std bars of
@@ -142,6 +156,45 @@ impl ReportBuilder {
         let mut reports: Vec<_> = by_campaign.into_values().collect();
         reports.sort_by_key(|r| r.campaign_id);
         reports
+    }
+
+    /// Per-campaign reports over a sharded store, merged on read.
+    /// Because an impression lives entirely on one shard, each shard's
+    /// report covers a disjoint impression set and campaign totals and
+    /// slices are plain sums — the result is bit-identical to
+    /// [`ReportBuilder::per_campaign`] over an equivalent single store.
+    /// Shards are locked one at a time, never all at once.
+    pub fn per_campaign_sharded(store: &ShardedStore) -> Vec<CampaignReport> {
+        let mut merged: HashMap<u32, CampaignReport> = HashMap::new();
+        for shard in store.iter_shards() {
+            let partial = Self::per_campaign(&shard.lock());
+            for report in partial {
+                match merged.entry(report.campaign_id) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        e.get_mut().merge(&report)
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(report);
+                    }
+                }
+            }
+        }
+        let mut reports: Vec<_> = merged.into_values().collect();
+        reports.sort_by_key(|r| r.campaign_id);
+        reports
+    }
+
+    /// Grand-total slice table over a sharded store, merged on read.
+    /// Bit-identical to [`ReportBuilder::slice_table`] over an
+    /// equivalent single store.
+    pub fn slice_table_sharded(store: &ShardedStore) -> HashMap<SliceKey, RateSlice> {
+        let mut out: HashMap<SliceKey, RateSlice> = HashMap::new();
+        for report in Self::per_campaign_sharded(store) {
+            for (key, slice) in &report.slices {
+                out.entry(*key).or_default().merge(slice);
+            }
+        }
+        out
     }
 
     /// Grand-total slice table over every impression in the store
@@ -338,6 +391,51 @@ mod tests {
         let reports = ReportBuilder::per_campaign(&store);
         let json = serde_json::to_string(&ReportBuilder::summary(&reports)).unwrap();
         assert!(json.contains("mean_measured_rate"));
+    }
+
+    #[test]
+    fn sharded_reports_merge_to_the_single_store_result() {
+        use crate::shard::ShardedStore;
+        let mut single = ImpressionStore::new();
+        let sharded = ShardedStore::new(4);
+        for id in 0..40u64 {
+            let campaign = (id % 3) as u32 + 1;
+            let os = if id % 2 == 0 {
+                OsKind::Android
+            } else {
+                OsKind::Ios
+            };
+            let site = if id % 4 == 0 {
+                SiteType::App
+            } else {
+                SiteType::Browser
+            };
+            let s = served(id, campaign, os, site);
+            single.record_served(s.clone());
+            sharded.record_served(s);
+        }
+        for id in 0..30u64 {
+            let b = beacon(id, EventKind::Measurable, 0);
+            single.apply(&b);
+            sharded.apply(&b);
+        }
+        for id in 0..12u64 {
+            let b = beacon(id, EventKind::InView, 1);
+            single.apply(&b);
+            sharded.apply(&b);
+        }
+        let a = ReportBuilder::per_campaign(&single);
+        let b = ReportBuilder::per_campaign_sharded(&sharded);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.campaign_id, y.campaign_id);
+            assert_eq!(x.total, y.total);
+            assert_eq!(x.slices, y.slices);
+        }
+        assert_eq!(
+            ReportBuilder::slice_table(&single),
+            ReportBuilder::slice_table_sharded(&sharded)
+        );
     }
 
     #[test]

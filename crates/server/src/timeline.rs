@@ -116,6 +116,39 @@ impl Timeline {
         }
     }
 
+    /// Merges another timeline into this one (merge-on-read for
+    /// sharded aggregation). When the two timelines saw *disjoint
+    /// impression sets* — the sharded-store guarantee, since an
+    /// impression's beacons all hash to one shard — the merge is
+    /// bit-identical to one timeline fed the combined stream: bucket
+    /// counters are plain sums and the per-impression cohort maps
+    /// union without conflicts.
+    ///
+    /// # Panics
+    /// Panics if the bucket widths differ.
+    pub fn merge(&mut self, other: &Timeline) {
+        assert_eq!(
+            self.bucket_us, other.bucket_us,
+            "cannot merge timelines with different bucket widths"
+        );
+        for (bucket, stats) in &other.buckets {
+            let b = self.buckets.entry(*bucket).or_default();
+            b.beacons += stats.beacons;
+            b.measured += stats.measured;
+            b.viewed += stats.viewed;
+        }
+        for (id, bucket) in &other.first_measured {
+            debug_assert!(
+                !self.first_measured.contains_key(id),
+                "impression {id} seen by both timelines — shard routing broken"
+            );
+            self.first_measured.insert(*id, *bucket);
+        }
+        for (id, viewed) in &other.viewed {
+            self.viewed.insert(*id, *viewed);
+        }
+    }
+
     /// The buckets in time order.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, &BucketStats)> {
         self.buckets.iter().map(|(k, v)| (*k, v))
@@ -218,5 +251,43 @@ mod tests {
     #[should_panic(expected = "bucket width must be positive")]
     fn zero_bucket_width_panics() {
         Timeline::new(0);
+    }
+
+    /// Per-shard timelines over disjoint impressions merge to exactly
+    /// the timeline a single aggregator would have produced.
+    #[test]
+    fn merging_disjoint_timelines_matches_single_run() {
+        let mut reference = Timeline::hourly();
+        let mut shard_a = Timeline::hourly();
+        let mut shard_b = Timeline::hourly();
+        for id in 0..20u64 {
+            let events = [
+                beacon(id, EventKind::Measurable, id * HOUR / 4),
+                beacon(id, EventKind::InView, id * HOUR / 4 + HOUR),
+                beacon(id, EventKind::Heartbeat, id * HOUR / 4 + 2 * HOUR),
+            ];
+            for e in &events {
+                reference.record(e);
+                if id % 2 == 0 {
+                    shard_a.record(e);
+                } else {
+                    shard_b.record(e);
+                }
+            }
+        }
+        shard_a.merge(&shard_b);
+        let merged: Vec<(u64, BucketStats)> = shard_a.buckets().map(|(k, v)| (k, *v)).collect();
+        let expect: Vec<(u64, BucketStats)> = reference.buckets().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(merged, expect);
+        assert_eq!(shard_a.total_measured(), reference.total_measured());
+        assert_eq!(shard_a.total_viewed(), reference.total_viewed());
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket widths")]
+    fn merging_mismatched_widths_panics() {
+        let mut a = Timeline::hourly();
+        let b = Timeline::daily();
+        a.merge(&b);
     }
 }
