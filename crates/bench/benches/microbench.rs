@@ -11,11 +11,11 @@
 //! * `server/ingest` — end-to-end ingestion service throughput.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use parking_lot::Mutex;
 use qtag_core::{AreaEstimator, PixelLayout, QTag, QTagConfig};
 use qtag_dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
 use qtag_geometry::{Rect, Region, Size};
 use qtag_render::{Engine, EngineConfig, SimDuration};
+use qtag_server::sync::Mutex;
 use qtag_server::{ImpressionStore, IngestService, LossyLink, ServedImpression};
 use qtag_wire::{binary, framing, AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
 use std::sync::Arc;

@@ -168,7 +168,7 @@ fn accept_loop(
         match listener.accept() {
             Ok((client, _)) => {
                 conn_index += 1;
-                stats.connections.fetch_add(1, Ordering::Relaxed);
+                stats.connections.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
                 let cfg = cfg.clone();
                 let stop = Arc::clone(&stop);
                 let stats = Arc::clone(&stats);
@@ -227,6 +227,8 @@ fn serve_pair(
                         if client.write_all(&buf[..n]).is_err() {
                             break;
                         }
+                        // ordering: monotone stat; exact reads only
+                        // after the forwarding threads are joined.
                         stats.bytes_down.fetch_add(n as u64, Ordering::Relaxed);
                     }
                     Err(e)
@@ -252,28 +254,28 @@ fn serve_pair(
             Ok(0) => break,
             Ok(n) => {
                 if cfg.reset_rate > 0.0 && rng.gen_bool(cfg.reset_rate) {
-                    stats.resets.fetch_add(1, Ordering::Relaxed);
+                    stats.resets.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
                     break;
                 }
                 if cfg.drop_rate > 0.0 && rng.gen_bool(cfg.drop_rate) {
-                    stats.dropped_chunks.fetch_add(1, Ordering::Relaxed);
+                    stats.dropped_chunks.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
                     continue;
                 }
                 if cfg.partial_rate > 0.0 && rng.gen_bool(cfg.partial_rate) && n > 1 {
                     let cut = rng.gen_range(1..n);
                     let _ = upstream_w.write_all(&buf[..cut]);
-                    stats.partial_writes.fetch_add(1, Ordering::Relaxed);
-                    stats.bytes_up.fetch_add(cut as u64, Ordering::Relaxed);
+                    stats.partial_writes.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
+                    stats.bytes_up.fetch_add(cut as u64, Ordering::Relaxed); // ordering: stat, read after join
                     break;
                 }
                 if cfg.stall_rate > 0.0 && rng.gen_bool(cfg.stall_rate) {
-                    stats.stalls.fetch_add(1, Ordering::Relaxed);
+                    stats.stalls.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
                     std::thread::sleep(cfg.stall);
                 }
                 if upstream_w.write_all(&buf[..n]).is_err() {
                     break;
                 }
-                stats.bytes_up.fetch_add(n as u64, Ordering::Relaxed);
+                stats.bytes_up.fetch_add(n as u64, Ordering::Relaxed); // ordering: stat, read after join
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -320,7 +322,10 @@ mod tests {
         sock.read_exact(&mut back).unwrap();
         assert_eq!(&back, b"qtag-beacons");
         drop(sock);
-        proxy.shutdown();
+        let stats = Arc::clone(proxy.stats());
+        proxy.shutdown(); // joins every forwarding thread: counts final
+        assert_eq!(stats.bytes_up.load(Ordering::Relaxed), 12);
+        assert_eq!(stats.bytes_down.load(Ordering::Relaxed), 12);
         let _ = server.join();
     }
 

@@ -1,0 +1,101 @@
+//! Workspace invariant linter. See `qtag_check::lint` for the rules.
+//!
+//! ```text
+//! cargo run -p qtag-check --bin qtag-lint                  # check against baseline
+//! cargo run -p qtag-check --bin qtag-lint -- --update-baseline
+//! cargo run -p qtag-check --bin qtag-lint -- --root /path/to/repo
+//! ```
+//!
+//! Exit status: 0 clean (stale baseline entries only warn), 1 new
+//! findings beyond the baseline, 2 usage/IO error.
+
+use qtag_check::lint;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn default_root() -> PathBuf {
+    // crates/check -> crates -> repo root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let mut root = default_root();
+    let mut update = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("qtag-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update-baseline" => update = true,
+            "--help" | "-h" => {
+                eprintln!("usage: qtag-lint [--root DIR] [--update-baseline]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("qtag-lint: unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let findings = lint::run(&root);
+    let current = lint::aggregate(&findings);
+    let baseline_path = root.join("qtag-lint.baseline");
+
+    if update {
+        if let Err(e) = std::fs::write(&baseline_path, lint::render_baseline(&current)) {
+            eprintln!("qtag-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "qtag-lint: baselined {} finding keys ({} sites) into {}",
+            current.len(),
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => lint::parse_baseline(&text),
+        Err(_) => Default::default(),
+    };
+    let diff = lint::diff(&current, &baseline);
+
+    for key in &diff.stale {
+        eprintln!("qtag-lint: warning: stale baseline entry (fixed? tighten the baseline): {key}");
+    }
+
+    if diff.new.is_empty() {
+        println!(
+            "qtag-lint: clean — {} sites across {} keys, all baselined ({} stale entries)",
+            findings.len(),
+            current.len(),
+            diff.stale.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!(
+        "qtag-lint: {} new finding key(s) beyond baseline:",
+        diff.new.len()
+    );
+    for (key, cur, base) in &diff.new {
+        eprintln!("  {key} (now {cur}, baselined {base})");
+        for f in &findings {
+            if format!("{}|{}|{}", f.rule, f.path, f.detail) == *key {
+                eprintln!("    at {}:{}", f.path, f.line);
+            }
+        }
+    }
+    eprintln!("qtag-lint: fix the sites above or, for triaged debt, run with --update-baseline");
+    ExitCode::FAILURE
+}

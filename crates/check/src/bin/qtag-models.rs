@@ -1,0 +1,164 @@
+//! Runs the built-in qtag-check models and reports exploration
+//! throughput (schedules/sec per model). The output is recorded in
+//! `results/qtag_check.txt` so future PRs can spot exploration-budget
+//! regressions.
+//!
+//! ```text
+//! cargo run --release -p qtag-check --bin qtag-models
+//! ```
+//!
+//! Must-fail models (the PR-1 lost-wakeup replica with the fix
+//! reverted, AB-BA deadlock) are asserted to fail; everything else is
+//! asserted to pass under the full bounded-DFS budget. Exit status 1
+//! if any expectation is violated.
+
+use qtag_check::{models, Builder, FailureKind};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    expect: &'static str,
+    outcome: String,
+    schedules: u64,
+    steps: u64,
+    secs: f64,
+    ok: bool,
+}
+
+fn run_model(
+    name: &'static str,
+    must_fail: Option<FailureKind>,
+    b: &Builder,
+    f: impl Fn() + Send + Sync + 'static,
+) -> Row {
+    let t0 = Instant::now();
+    let result = b.try_check(f);
+    let secs = t0.elapsed().as_secs_f64();
+    match (result, must_fail) {
+        (Ok(report), None) => Row {
+            name,
+            expect: "pass",
+            outcome: format!(
+                "pass ({})",
+                if report.complete {
+                    "exhaustive"
+                } else {
+                    "budget"
+                }
+            ),
+            schedules: report.schedules,
+            steps: report.steps,
+            secs,
+            ok: true,
+        },
+        (Ok(report), Some(kind)) => Row {
+            name,
+            expect: "fail",
+            outcome: format!("UNEXPECTED PASS (wanted {kind})"),
+            schedules: report.schedules,
+            steps: report.steps,
+            secs,
+            ok: false,
+        },
+        (Err(failure), None) => Row {
+            name,
+            expect: "pass",
+            outcome: format!("UNEXPECTED {} [{}]", failure.kind, failure.trace),
+            schedules: failure.schedule,
+            steps: 0,
+            secs,
+            ok: false,
+        },
+        (Err(failure), Some(kind)) => {
+            let ok = failure.kind == kind;
+            Row {
+                name,
+                expect: "fail",
+                outcome: if ok {
+                    format!(
+                        "fail as expected ({}, schedule {})",
+                        failure.kind, failure.schedule
+                    )
+                } else {
+                    format!("WRONG FAILURE {} (wanted {kind})", failure.kind)
+                },
+                schedules: failure.schedule,
+                steps: 0,
+                secs,
+                ok,
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let b = Builder::default();
+    // Three-plus-thread models have DFS trees in the millions of
+    // schedules; explore those CHESS-style with a preemption bound
+    // (empirically, almost all real races need very few involuntary
+    // context switches to manifest).
+    let pb2 = Builder::bounded(2);
+    println!(
+        "qtag-models: seed={:#x} max_schedules={} max_steps={} (pb2 = preemption bound 2)",
+        b.seed, b.max_schedules, b.max_steps
+    );
+    println!();
+
+    let rows = vec![
+        run_model(
+            "lost_wakeup_pr1_bug",
+            Some(FailureKind::Deadlock),
+            &b,
+            models::mini_channel_last_sender_drop(false),
+        ),
+        run_model(
+            "lost_wakeup_fixed",
+            None,
+            &b,
+            models::mini_channel_last_sender_drop(true),
+        ),
+        run_model(
+            "abba_deadlock",
+            Some(FailureKind::Deadlock),
+            &b,
+            models::abba_deadlock(),
+        ),
+        run_model(
+            "mpsc_conservation_2x1_pb2",
+            None,
+            &pb2,
+            models::mpsc_conservation(2, 1),
+        ),
+        run_model("mutex_counter_2x2", None, &b, models::mutex_counter(2, 2)),
+        run_model("store_buffer_sc", None, &b, models::store_buffer_sc()),
+        run_model("condvar_handoff", None, &b, models::condvar_handoff()),
+        run_model("recv_timeout_fires", None, &b, models::recv_timeout_fires()),
+    ];
+
+    println!(
+        "{:<24} {:>6} {:>10} {:>10} {:>9} {:>12}  outcome",
+        "model", "expect", "schedules", "steps", "secs", "sched/sec"
+    );
+    let mut all_ok = true;
+    for r in &rows {
+        let rate = if r.secs > 0.0 {
+            r.schedules as f64 / r.secs
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{:<24} {:>6} {:>10} {:>10} {:>9.3} {:>12.0}  {}",
+            r.name, r.expect, r.schedules, r.steps, r.secs, rate, r.outcome
+        );
+        all_ok &= r.ok;
+    }
+    println!();
+    if all_ok {
+        println!("qtag-models: all expectations held");
+        ExitCode::SUCCESS
+    } else {
+        println!("qtag-models: EXPECTATION VIOLATED (see rows above)");
+        ExitCode::FAILURE
+    }
+}

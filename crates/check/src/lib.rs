@@ -1,0 +1,32 @@
+//! qtag-check: the Q-Tag workspace's self-auditing layer.
+//!
+//! Two parts:
+//!
+//! 1. A **deterministic schedule-exploring model checker** (a
+//!    mini-loom): [`Builder`] runs a closure whose threads use the
+//!    shimmed primitives in [`sync`], explores thread interleavings by
+//!    seeded bounded DFS, and reports failures (assertion panics,
+//!    deadlocks, livelocks) with a replayable [`TraceToken`].
+//!    Production crates route their `std`/`parking_lot` usage through
+//!    a `sync` facade that swaps to these shims under
+//!    `--cfg qtag_check`, so the *real* channel/inlet/store/collector
+//!    code runs under the scheduler.
+//!
+//! 2. A **workspace invariant linter** ([`lint`], exposed as the
+//!    `qtag-lint` binary): a lexical pass enforcing the repo's
+//!    concurrency and accounting rules (counter-conservation test
+//!    coverage, justified `Ordering::Relaxed` RMWs, no stray
+//!    wall-clock reads, no facade bypasses) against a checked-in
+//!    baseline.
+//!
+//! See DESIGN.md ("Mechanical concurrency auditing") for the memory
+//! model, the facade contract, and how to write a model.
+
+pub mod lint;
+pub mod models;
+mod rt;
+pub mod sync;
+pub mod trace;
+
+pub use rt::{model, Builder, FailureKind, ModelFailure, Report};
+pub use trace::TraceToken;

@@ -1,0 +1,592 @@
+//! The workspace invariant linter behind the `qtag-lint` binary.
+//!
+//! A lexical pass over `crates/*/src` (plus the vendored crossbeam
+//! shim) enforcing the repo's concurrency and accounting rules:
+//!
+//! - **R1 counter-coverage**: every integer/atomic counter field in a
+//!   `*Stats` struct must appear (word-boundary match) in at least one
+//!   test region — conservation identities are only trustworthy if a
+//!   test actually reads the counter.
+//! - **R2 relaxed-rmw-justified**: every read-modify-write atomic op
+//!   with `Ordering::Relaxed` needs an adjacent `// ordering:` comment
+//!   saying why relaxed is enough (typically: monotone counter whose
+//!   exact read is ordered by a join or channel handoff).
+//! - **R3 no-stray-wall-clock**: `Instant::now()` / `SystemTime::now()`
+//!   only in clock abstractions (`*clock.rs`, or an `Instant` imported
+//!   from a `sync::time` facade, which is virtual under `qtag_check`),
+//!   binaries (`src/bin/`), or test regions — everywhere else
+//!   wall-clock reads make behavior untestable and unmodelable.
+//! - **R4 facade-routing**: crates that route synchronization through
+//!   a `sync` facade (qtag-server, qtag-collectd, vendored crossbeam)
+//!   must not reach for `std::sync::Mutex`/`parking_lot`/raw atomics /
+//!   `std::thread::spawn` outside the facade file itself.
+//!
+//! Findings are aggregated to stable keys (`rule|path|detail|count`,
+//! no line numbers, so unrelated edits don't churn the file) and
+//! compared against the checked-in `qtag-lint.baseline`: new findings
+//! are denied, stale baseline entries are warned about, and
+//! `--update-baseline` rewrites the file. Existing violations are
+//! thereby triaged, not ignored.
+//!
+//! Purely lexical by design: no syn/proc-macro dependency (the crate
+//! is dependency-free), comment lines are skipped, and test regions
+//! (`tests/` files and everything after the first `#[cfg(test)]`) are
+//! exempt from R2–R4 and *are* the corpus for R1.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a concrete site (line is for display only;
+/// baseline keys deliberately exclude it).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    /// Repo-relative path, `/`-separated.
+    pub path: String,
+    pub line: usize,
+    /// Stable description of the site (field, function/op, token).
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: {}",
+            self.rule, self.path, self.line, self.detail
+        )
+    }
+}
+
+const RMW_METHODS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "compare_exchange",
+    ".swap(",
+];
+
+/// Crates whose synchronization must route through their `sync`
+/// facade module (R4).
+const FACADE_CRATES: &[&str] = &[
+    "crates/server/src",
+    "crates/collectd/src",
+    "vendor/crossbeam/src",
+];
+
+const FACADE_BYPASS_TOKENS: &[&str] = &[
+    "parking_lot::",
+    "std::sync::Mutex",
+    "std::sync::Condvar",
+    "std::sync::atomic",
+    "std::thread::spawn",
+    "std::thread::JoinHandle",
+];
+
+struct SourceFile {
+    /// Repo-relative, `/`-separated.
+    rel: String,
+    lines: Vec<String>,
+    /// Index of the first `#[cfg(test)]` line (everything from there
+    /// to EOF is test region), or `lines.len()` if none.
+    test_start: usize,
+}
+
+fn is_comment_line(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with("/*") || t.starts_with('*')
+}
+
+fn word_boundary_contains(haystack: &str, needle: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let before_ok = start == 0 || {
+            let c = bytes[start - 1] as char;
+            !c.is_alphanumeric() && c != '_'
+        };
+        let after_ok = end == bytes.len() || {
+            let c = bytes[end] as char;
+            !c.is_alphanumeric() && c != '_'
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            // Never descend into build artifacts.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn load_file(root: &Path, path: &Path) -> Option<SourceFile> {
+    let text = fs::read_to_string(path).ok()?;
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+    let test_start = lines
+        .iter()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap_or(lines.len());
+    Some(SourceFile {
+        rel,
+        lines,
+        test_start,
+    })
+}
+
+/// Collects the source files each rule scans plus the R1 test corpus.
+struct Workspace {
+    sources: Vec<SourceFile>,
+    /// Concatenated test-region text (tests/ files + `#[cfg(test)]`
+    /// tails of src files) for R1 coverage lookups.
+    test_corpus: String,
+}
+
+fn gather(root: &Path) -> Workspace {
+    let mut src_paths = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for c in dirs {
+            // The checker is the sync/clock abstraction itself.
+            if c.file_name().is_some_and(|n| n == "check") {
+                continue;
+            }
+            walk_rs(&c.join("src"), &mut src_paths);
+        }
+    }
+    walk_rs(&root.join("vendor/crossbeam/src"), &mut src_paths);
+
+    let mut test_paths = Vec::new();
+    walk_rs(&root.join("tests"), &mut test_paths);
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        for c in entries.flatten() {
+            walk_rs(&c.path().join("tests"), &mut test_paths);
+        }
+    }
+    walk_rs(&root.join("vendor/crossbeam/tests"), &mut test_paths);
+
+    let sources: Vec<SourceFile> = src_paths
+        .iter()
+        .filter_map(|p| load_file(root, p))
+        .collect();
+
+    let mut test_corpus = String::new();
+    for p in &test_paths {
+        if let Ok(text) = fs::read_to_string(p) {
+            test_corpus.push_str(&text);
+            test_corpus.push('\n');
+        }
+    }
+    for f in &sources {
+        for line in &f.lines[f.test_start..] {
+            test_corpus.push_str(line);
+            test_corpus.push('\n');
+        }
+    }
+    Workspace {
+        sources,
+        test_corpus,
+    }
+}
+
+fn nearest_fn(lines: &[String], at: usize) -> String {
+    for line in lines[..=at.min(lines.len().saturating_sub(1))].iter().rev() {
+        let t = line.trim_start();
+        for prefix in ["pub fn ", "fn ", "pub(crate) fn ", "pub(super) fn "] {
+            if let Some(rest) = t.strip_prefix(prefix) {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    return name;
+                }
+            }
+        }
+    }
+    "<top>".to_string()
+}
+
+fn check_r1(f: &SourceFile, corpus: &str, out: &mut Vec<Finding>) {
+    let counter_types = [
+        "AtomicU64",
+        "AtomicUsize",
+        "AtomicU32",
+        "u64",
+        "usize",
+        "u32",
+    ];
+    let mut i = 0;
+    while i < f.test_start {
+        let line = &f.lines[i];
+        let struct_name = line
+            .split_whitespace()
+            .skip_while(|w| *w != "struct")
+            .nth(1)
+            .map(|w| w.trim_end_matches(['{', '<']).trim().to_string());
+        let is_stats_struct = !is_comment_line(line)
+            && line.contains("struct ")
+            && struct_name.as_deref().is_some_and(|n| n.ends_with("Stats"));
+        if !is_stats_struct {
+            i += 1;
+            continue;
+        }
+        let struct_name = struct_name.unwrap();
+        // Walk the struct body collecting counter fields.
+        let mut j = i + 1;
+        while j < f.test_start {
+            let body = f.lines[j].trim();
+            if body.starts_with('}') {
+                break;
+            }
+            if !is_comment_line(body) && body.contains(':') {
+                let field = body
+                    .trim_start_matches("pub ")
+                    .trim_start_matches("pub(crate) ")
+                    .split(':')
+                    .next()
+                    .unwrap_or("")
+                    .trim();
+                let ty = body.split(':').nth(1).unwrap_or("").trim();
+                let is_counter = counter_types
+                    .iter()
+                    .any(|t| ty == format!("{t},") || ty == *t || ty.starts_with(&format!("{t},")));
+                let is_ident =
+                    !field.is_empty() && field.chars().all(|c| c.is_alphanumeric() || c == '_');
+                if is_counter && is_ident && !word_boundary_contains(corpus, field) {
+                    out.push(Finding {
+                        rule: "R1",
+                        path: f.rel.clone(),
+                        line: j + 1,
+                        detail: format!("{struct_name}.{field} not read by any test"),
+                    });
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+fn check_r2(f: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..f.test_start {
+        let line = &f.lines[i];
+        if is_comment_line(line) {
+            continue;
+        }
+        let Some(method) = RMW_METHODS.iter().find(|m| line.contains(**m)) else {
+            continue;
+        };
+        // The ordering argument may sit on the next line or two.
+        let window_end = (i + 3).min(f.test_start);
+        let window = f.lines[i..window_end].join("\n");
+        if !window.contains("Relaxed") {
+            continue;
+        }
+        // Justified if `// ordering:` is on the line itself or in the
+        // comment block directly above the statement (skipping at most
+        // a few lines of a chained receiver expression).
+        let mut justified = line.contains("// ordering:");
+        let mut k = i;
+        let mut hops = 0;
+        while !justified && k > 0 && hops < 6 {
+            k -= 1;
+            hops += 1;
+            let above = f.lines[k].trim();
+            if above.starts_with("//") {
+                if above.contains("ordering:") {
+                    justified = true;
+                }
+            } else if above.ends_with(';') || above.ends_with('{') || above.ends_with('}') {
+                // Crossed a statement boundary without finding a
+                // comment block: stop looking.
+                break;
+            }
+        }
+        if !justified {
+            out.push(Finding {
+                rule: "R2",
+                path: f.rel.clone(),
+                line: i + 1,
+                detail: format!(
+                    "{}/{} Relaxed RMW without '// ordering:' justification",
+                    nearest_fn(&f.lines, i),
+                    method.trim_matches(['.', '('])
+                ),
+            });
+        }
+    }
+}
+
+fn check_r3(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.rel.ends_with("clock.rs") || f.rel.contains("/src/bin/") {
+        return;
+    }
+    // An `Instant` imported from a `sync::time` facade IS a clock
+    // abstraction (virtual under qtag_check), so `Instant::now()` is
+    // fine there; `SystemTime::now()` has no facade and stays flagged.
+    let facade_instant = f.lines[..f.test_start]
+        .iter()
+        .any(|l| l.trim_start().starts_with("use ") && l.contains("sync::time::"));
+    for i in 0..f.test_start {
+        let line = &f.lines[i];
+        if is_comment_line(line) {
+            continue;
+        }
+        for token in ["Instant::now()", "SystemTime::now()"] {
+            if token.starts_with("Instant") && facade_instant {
+                continue;
+            }
+            if line.contains(token) {
+                out.push(Finding {
+                    rule: "R3",
+                    path: f.rel.clone(),
+                    line: i + 1,
+                    detail: format!(
+                        "{} in {} (wall clock outside a clock abstraction)",
+                        token.trim_end_matches("()"),
+                        nearest_fn(&f.lines, i)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_r4(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !FACADE_CRATES.iter().any(|c| f.rel.starts_with(c)) {
+        return;
+    }
+    if f.rel.ends_with("/sync.rs") {
+        return;
+    }
+    for i in 0..f.test_start {
+        let line = &f.lines[i];
+        if is_comment_line(line) {
+            continue;
+        }
+        for token in FACADE_BYPASS_TOKENS {
+            if line.contains(token) {
+                out.push(Finding {
+                    rule: "R4",
+                    path: f.rel.clone(),
+                    line: i + 1,
+                    detail: format!("{token} bypasses the sync facade"),
+                });
+            }
+        }
+    }
+}
+
+/// Runs all rules over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let ws = gather(root);
+    let mut findings = Vec::new();
+    for f in &ws.sources {
+        check_r1(f, &ws.test_corpus, &mut findings);
+        check_r2(f, &mut findings);
+        check_r3(f, &mut findings);
+        check_r4(f, &mut findings);
+    }
+    findings.sort_by(|a, b| {
+        (a.rule, &a.path, a.line, &a.detail).cmp(&(b.rule, &b.path, b.line, &b.detail))
+    });
+    findings
+}
+
+/// Aggregates findings to stable baseline keys: `rule|path|detail`
+/// mapped to occurrence count. Line numbers are deliberately absent so
+/// unrelated edits don't churn the baseline.
+pub fn aggregate(findings: &[Finding]) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    for f in findings {
+        *map.entry(format!("{}|{}|{}", f.rule, f.path, f.detail))
+            .or_insert(0) += 1;
+    }
+    map
+}
+
+/// Parses a baseline file (lines of `rule|path|detail|count`; `#`
+/// comments and blanks ignored).
+pub fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, count)) = line.rsplit_once('|') else {
+            continue;
+        };
+        let count = count.trim().parse::<usize>().unwrap_or(1);
+        map.insert(key.to_string(), count);
+    }
+    map
+}
+
+/// Renders an aggregate map back to baseline-file form.
+pub fn render_baseline(map: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# qtag-lint baseline: triaged pre-existing findings (rule|path|detail|count).\n\
+         # New findings beyond these counts fail CI; regenerate with\n\
+         # `cargo run -p qtag-check --bin qtag-lint -- --update-baseline`.\n",
+    );
+    for (key, count) in map {
+        out.push_str(&format!("{key}|{count}\n"));
+    }
+    out
+}
+
+/// Comparison outcome against a baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Keys whose current count exceeds the baselined count (new debt
+    /// — denied).
+    pub new: Vec<(String, usize, usize)>,
+    /// Baselined keys no longer found (stale — warn so the baseline
+    /// gets tightened).
+    pub stale: Vec<String>,
+}
+
+pub fn diff(current: &BTreeMap<String, usize>, baseline: &BTreeMap<String, usize>) -> BaselineDiff {
+    let mut d = BaselineDiff::default();
+    for (key, &count) in current {
+        let base = baseline.get(key).copied().unwrap_or(0);
+        if count > base {
+            d.new.push((key.clone(), count, base));
+        }
+    }
+    for key in baseline.keys() {
+        if !current.contains_key(key) {
+            d.stale.push(key.clone());
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_boundary_matching() {
+        assert!(word_boundary_contains(
+            "a + beacons_sent == b",
+            "beacons_sent"
+        ));
+        assert!(!word_boundary_contains(
+            "total_beacons_sent",
+            "beacons_sent"
+        ));
+        assert!(!word_boundary_contains(
+            "beacons_sent_total",
+            "beacons_sent"
+        ));
+        assert!(word_boundary_contains("beacons_sent", "beacons_sent"));
+        assert!(!word_boundary_contains("", "x"));
+    }
+
+    #[test]
+    fn baseline_round_trip() {
+        let mut map = BTreeMap::new();
+        map.insert("R2|crates/x/src/a.rs|f/fetch_add".to_string(), 3);
+        map.insert("R3|crates/y/src/b.rs|Instant::now in g".to_string(), 1);
+        let text = render_baseline(&map);
+        assert_eq!(parse_baseline(&text), map);
+    }
+
+    #[test]
+    fn diff_flags_new_and_stale() {
+        let mut cur = BTreeMap::new();
+        cur.insert("R2|a|x".to_string(), 2);
+        cur.insert("R3|b|y".to_string(), 1);
+        let mut base = BTreeMap::new();
+        base.insert("R2|a|x".to_string(), 1);
+        base.insert("R4|c|z".to_string(), 1);
+        let d = diff(&cur, &base);
+        assert_eq!(d.new.len(), 2); // R2 count grew, R3 unbaselined
+        assert_eq!(d.stale, vec!["R4|c|z".to_string()]);
+    }
+
+    #[test]
+    fn r2_accepts_justified_and_flags_bare() {
+        let f = SourceFile {
+            rel: "crates/x/src/a.rs".into(),
+            lines: vec![
+                "fn bump(s: &Stats) {".into(),
+                "    // ordering: monotone counter, exact read ordered by join".into(),
+                "    s.n.fetch_add(1, Ordering::Relaxed);".into(),
+                "    s.m.fetch_add(1, Ordering::Relaxed);".into(),
+                "}".into(),
+            ],
+            test_start: 5,
+        };
+        let mut out = Vec::new();
+        check_r2(&f, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn r3_allows_clock_files_and_bins() {
+        let mk = |rel: &str| SourceFile {
+            rel: rel.into(),
+            lines: vec!["fn t() { let x = Instant::now(); }".into()],
+            test_start: 1,
+        };
+        let mut out = Vec::new();
+        check_r3(&mk("crates/render/src/clock.rs"), &mut out);
+        check_r3(&mk("crates/bench/src/bin/loadgen.rs"), &mut out);
+        assert!(out.is_empty());
+        check_r3(&mk("crates/server/src/ingest.rs"), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn r3_allows_facade_instant_but_not_system_time() {
+        let f = SourceFile {
+            rel: "vendor/crossbeam/src/lib.rs".into(),
+            lines: vec![
+                "use crate::sync::time::Instant;".into(),
+                "fn t() { let a = Instant::now(); }".into(),
+                "fn u() { let b = SystemTime::now(); }".into(),
+            ],
+            test_start: 3,
+        };
+        let mut out = Vec::new();
+        check_r3(&f, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].detail.contains("SystemTime"));
+    }
+}

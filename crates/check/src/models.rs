@@ -1,0 +1,257 @@
+//! Built-in models: self-contained replicas of the workspace's
+//! concurrency patterns, runnable without `--cfg qtag_check` (the
+//! shims are runtime-switched), so the PR-1 lost-wakeup regression is
+//! exercised by plain `cargo test` and the `qtag-models` throughput
+//! binary.
+//!
+//! The star exhibit is [`mini_channel_last_sender_drop`]: a faithful
+//! miniature of the vendored crossbeam channel's disconnect path,
+//! parameterized on whether the last sender's drop notifies *under*
+//! the queue mutex. `notify_under_lock = false` is exactly the PR-1
+//! bug: the dropper's `fetch_sub` + `notify_all` can interleave
+//! between a receiver's disconnect check (made while holding the
+//! queue lock) and its enqueue on the condvar, so the notification
+//! finds no waiter and the receiver blocks forever. The model checker
+//! finds that schedule deterministically; with the fix the drop path
+//! cannot run until the receiver's wait has atomically released the
+//! lock and enqueued, so every schedule terminates.
+
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{thread, Arc, Condvar, Mutex};
+use std::collections::VecDeque;
+
+struct MiniInner {
+    queue: Mutex<VecDeque<u64>>,
+    senders: AtomicUsize,
+    not_empty: Condvar,
+}
+
+/// Blocking receive: `Ok(item)` or `Err(())` for disconnected.
+fn mini_recv(inner: &Arc<MiniInner>) -> Result<u64, ()> {
+    let mut q = inner.queue.lock();
+    loop {
+        if let Some(v) = q.pop_front() {
+            return Ok(v);
+        }
+        if inner.senders.load(Ordering::SeqCst) == 0 {
+            return Err(());
+        }
+        q = inner.not_empty.wait(q);
+    }
+}
+
+fn mini_send(inner: &Arc<MiniInner>, v: u64) {
+    let mut q = inner.queue.lock();
+    q.push_back(v);
+    inner.not_empty.notify_one();
+}
+
+/// The last-sender drop path, with the PR-1 bug behind a flag.
+fn mini_drop_sender(inner: &Arc<MiniInner>, notify_under_lock: bool) {
+    if inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+        if notify_under_lock {
+            // The fix: taking the queue lock orders this notify after
+            // any in-flight receiver's atomic unlock-and-enqueue.
+            let _guard = inner.queue.lock();
+            inner.not_empty.notify_all();
+        } else {
+            // The bug: this notify can land between a receiver's
+            // "senders != 0" check and its wait.
+            inner.not_empty.notify_all();
+        }
+    }
+}
+
+/// One receiver blocking for disconnect, one thread dropping the last
+/// sender. Must deadlock in some schedule when `notify_under_lock` is
+/// `false`; must pass every schedule when `true`.
+pub fn mini_channel_last_sender_drop(notify_under_lock: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let inner = Arc::new(MiniInner {
+            queue: Mutex::new(VecDeque::new()),
+            senders: AtomicUsize::new(1),
+            not_empty: Condvar::new(),
+        });
+        let dropper = {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || mini_drop_sender(&inner, notify_under_lock))
+        };
+        let got = mini_recv(&inner);
+        assert_eq!(got, Err(()), "recv after last-sender drop must disconnect");
+        dropper.join().unwrap();
+    }
+}
+
+/// Multi-producer conservation: every item sent is received exactly
+/// once and the receiver sees the disconnect. The miniature of the
+/// `sent == applied + ...` identities the ported models assert.
+pub fn mpsc_conservation(
+    senders: usize,
+    items_per_sender: u64,
+) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let inner = Arc::new(MiniInner {
+            queue: Mutex::new(VecDeque::new()),
+            senders: AtomicUsize::new(senders),
+            not_empty: Condvar::new(),
+        });
+        let handles: Vec<_> = (0..senders)
+            .map(|s| {
+                let inner = Arc::clone(&inner);
+                thread::spawn(move || {
+                    for i in 0..items_per_sender {
+                        mini_send(&inner, (s as u64) * 1_000 + i);
+                    }
+                    mini_drop_sender(&inner, true);
+                })
+            })
+            .collect();
+        let mut received = Vec::new();
+        while let Ok(v) = mini_recv(&inner) {
+            received.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expect = senders as u64 * items_per_sender;
+        assert_eq!(
+            received.len() as u64,
+            expect,
+            "conservation: received {} of {expect} sent",
+            received.len()
+        );
+        received.sort_unstable();
+        received.dedup();
+        assert_eq!(
+            received.len() as u64,
+            expect,
+            "conservation: duplicate delivery"
+        );
+    }
+}
+
+/// N threads × K lock-protected increments; the final count must be
+/// exact in every schedule.
+pub fn mutex_counter(threads: usize, increments: u64) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let counter = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    for _ in 0..increments {
+                        *counter.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), threads as u64 * increments);
+    }
+}
+
+/// The store-buffer litmus test under the model's sequentially
+/// consistent semantics: `r1 == 0 && r2 == 0` is impossible (it
+/// requires store reordering the model does not explore).
+pub fn store_buffer_sc() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let t1 = {
+            let (x, y) = (Arc::clone(&x), Arc::clone(&y));
+            thread::spawn(move || {
+                x.store(1, Ordering::SeqCst);
+                y.load(Ordering::SeqCst)
+            })
+        };
+        let t2 = {
+            let (x, y) = (Arc::clone(&x), Arc::clone(&y));
+            thread::spawn(move || {
+                y.store(1, Ordering::SeqCst);
+                x.load(Ordering::SeqCst)
+            })
+        };
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        assert!(
+            r1 == 1 || r2 == 1,
+            "store-buffer outcome (0,0) must be impossible under SC"
+        );
+    }
+}
+
+/// Producer sets a flag under the mutex and notifies; the consumer
+/// waits for it. Passes iff no schedule loses the wakeup (deadlock
+/// detection is the oracle).
+pub fn condvar_handoff() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let producer = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                let (flag, cv) = &*pair;
+                let mut ready = flag.lock();
+                *ready = true;
+                cv.notify_one();
+            })
+        };
+        let (flag, cv) = &*pair;
+        let mut ready = flag.lock();
+        while !*ready {
+            ready = cv.wait(ready);
+        }
+        drop(ready);
+        producer.join().unwrap();
+    }
+}
+
+/// Classic AB-BA lock-order inversion; some schedule must deadlock.
+/// A must-fail fixture for deadlock detection.
+pub fn abba_deadlock() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let a = Arc::new(Mutex::new(0u64));
+        let b = Arc::new(Mutex::new(0u64));
+        let t1 = {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            thread::spawn(move || {
+                let ga = a.lock();
+                let mut gb = b.lock();
+                *gb += *ga;
+            })
+        };
+        let t2 = {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            thread::spawn(move || {
+                let gb = b.lock();
+                let mut ga = a.lock();
+                *ga += *gb;
+            })
+        };
+        t1.join().unwrap();
+        t2.join().unwrap();
+    }
+}
+
+/// A receiver in `recv_timeout` position: waits with a timeout while
+/// nothing is ever sent. Every schedule must terminate via the timeout
+/// firing — exercises timed-wait scheduling.
+pub fn recv_timeout_fires() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let inner = Arc::new(MiniInner {
+            queue: Mutex::new(VecDeque::new()),
+            senders: AtomicUsize::new(1),
+            not_empty: Condvar::new(),
+        });
+        let q = inner.queue.lock();
+        let (q, res) = inner
+            .not_empty
+            .wait_timeout(q, std::time::Duration::from_millis(5));
+        assert!(
+            res.timed_out(),
+            "nothing notifies, so the wait must time out"
+        );
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,1055 @@
+//! The execution runtime: a token-passing deterministic scheduler with
+//! seeded, bounded-DFS exploration of thread interleavings.
+//!
+//! One model *execution* runs the user's closure with every visible
+//! operation (atomic access, mutex acquire/release, condvar
+//! wait/notify, spawn/join) serialized: exactly one model thread holds
+//! the run token at any instant, and at the start of each visible
+//! operation the token holder asks the scheduler which thread performs
+//! its next operation. When more than one thread could go, that is a
+//! *decision point*; the sequence of decisions is the schedule.
+//!
+//! Exploration is depth-first over the decision tree: run the schedule
+//! that picks candidate 0 everywhere, then backtrack the deepest
+//! decision with an untried alternative and re-run, until the tree is
+//! exhausted or [`Builder::max_schedules`] is reached. A seed permutes
+//! candidate order per decision (diversity under a budget) without
+//! affecting completeness. An optional preemption bound (CHESS-style)
+//! caps the number of *involuntary* context switches per execution,
+//! which concentrates the budget on the schedules most likely to
+//! expose races in larger models.
+//!
+//! Failures — model panics (assertion failures), deadlocks (no thread
+//! runnable, not all finished), step-budget exhaustion (livelock), and
+//! nondeterminism (the model diverged under an identical schedule
+//! prefix) — abort the execution and are reported with a replayable
+//! [`TraceToken`].
+//!
+//! Model threads are real OS threads, but all blocking goes through
+//! the scheduler's own lock, so a failed execution can always wake and
+//! unwind every thread it spawned.
+
+use crate::trace::TraceToken;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Thread id within one execution; the model closure is thread 0.
+pub(crate) type Tid = usize;
+
+/// Panic payload used to unwind model threads when an execution
+/// aborts. Never reported as a model failure.
+pub(crate) struct AbortModel;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut h: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Why a condvar waiter woke up; consumed by the `wait*` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wake {
+    Notify,
+    Timeout,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Status {
+    /// Can perform its next operation when granted the token.
+    Runnable,
+    /// Waiting to acquire model mutex `mid` (first acquire or
+    /// post-wait reacquire); woken to `Runnable` by unlock.
+    BlockedMutex(usize),
+    /// Waiting on condvar `cid`; will reacquire `mid` after waking.
+    /// With `timeout_us`, the scheduler may *choose* this thread,
+    /// which models the timeout firing.
+    BlockedCondvar {
+        cid: usize,
+        mid: usize,
+        timeout_us: Option<u64>,
+    },
+    /// Waiting for thread `tid` to finish; woken by its completion.
+    BlockedJoin(Tid),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadInfo {
+    status: Status,
+    /// Set when a condvar waiter is woken, read back by its `wait*`.
+    wake: Option<Wake>,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Decision {
+    n_candidates: usize,
+    chosen: usize,
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    owner: Option<Tid>,
+}
+
+#[derive(Debug, Default)]
+struct CondvarState {
+    /// The mutex this condvar is currently associated with (std
+    /// semantics: one mutex at a time while there are waiters).
+    mid: Option<usize>,
+}
+
+/// What went wrong in a failing schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure, explicit panic).
+    Panic,
+    /// No thread was runnable but not all had finished.
+    Deadlock,
+    /// The per-execution step budget was exhausted (livelock or an
+    /// unbounded spin under the model).
+    StepBudget,
+    /// The model diverged while replaying a schedule prefix — model
+    /// code must be deterministic apart from scheduling.
+    Nondeterminism,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panic => write!(f, "panic"),
+            FailureKind::Deadlock => write!(f, "deadlock"),
+            FailureKind::StepBudget => write!(f, "step budget exhausted"),
+            FailureKind::Nondeterminism => write!(f, "nondeterministic model"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<ThreadInfo>,
+    n_live: usize,
+    active: Option<Tid>,
+    /// The thread that performed the most recent operation; switching
+    /// away from it while it is still runnable costs a preemption.
+    last_active: Tid,
+    mutexes: Vec<MutexState>,
+    condvars: Vec<CondvarState>,
+    /// Forced choices (candidate indices) for the DFS replay prefix.
+    prefix: Vec<usize>,
+    decisions: Vec<Decision>,
+    preemptions: usize,
+    steps: u64,
+    clock_us: u64,
+    failure: Option<Failure>,
+    aborting: bool,
+    done: bool,
+    seed: u64,
+    max_steps: u64,
+    preemption_bound: Option<usize>,
+}
+
+/// One model execution. Shared by every thread of the execution via
+/// `Arc`; the thread-local [`crate::sync::ctx`] carries (execution,
+/// tid) into the shim types.
+pub(crate) struct Execution {
+    st: Mutex<ExecState>,
+    /// Model threads park here waiting for the token (or abort).
+    cv: Condvar,
+    /// The explorer parks here waiting for the execution to finish.
+    done_cv: Condvar,
+    /// Distinguishes executions so shim primitives created outside the
+    /// closure re-register instead of reusing a stale id.
+    pub(crate) serial: u64,
+}
+
+static EXEC_SERIAL: AtomicU64 = AtomicU64::new(1);
+
+impl Execution {
+    fn new(seed: u64, prefix: Vec<usize>, max_steps: u64, preemption_bound: Option<usize>) -> Self {
+        Execution {
+            st: Mutex::new(ExecState {
+                threads: Vec::new(),
+                n_live: 0,
+                active: None,
+                last_active: 0,
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                prefix,
+                decisions: Vec::new(),
+                preemptions: 0,
+                steps: 0,
+                clock_us: 0,
+                failure: None,
+                aborting: false,
+                done: false,
+                seed,
+                max_steps,
+                preemption_bound,
+            }),
+            cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            serial: EXEC_SERIAL.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        // The scheduler lock is never held across a panic, so
+        // poisoning can only come from a bug in the runtime itself.
+        self.st.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a new model thread; returns its tid.
+    pub(crate) fn register_thread(&self) -> Tid {
+        let mut st = self.lock();
+        let tid = st.threads.len();
+        st.threads.push(ThreadInfo {
+            status: Status::Runnable,
+            wake: None,
+        });
+        st.n_live += 1;
+        tid
+    }
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.lock();
+        st.mutexes.push(MutexState::default());
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut st = self.lock();
+        st.condvars.push(CondvarState::default());
+        st.condvars.len() - 1
+    }
+
+    pub(crate) fn clock_us(&self) -> u64 {
+        self.lock().clock_us
+    }
+
+    /// Declares a failure, aborts the execution, and unwinds the
+    /// calling thread. Only ever called by the token holder, so no
+    /// other thread is mid-operation.
+    fn fail(&self, mut st: MutexGuard<'_, ExecState>, kind: FailureKind, message: String) -> ! {
+        if st.failure.is_none() {
+            st.failure = Some(Failure { kind, message });
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+        drop(st);
+        panic::panic_any(AbortModel);
+    }
+
+    /// Picks the next thread to run. Called with the state lock held
+    /// by the thread that just completed (or is about to block on) an
+    /// operation. Handles deadlock detection and the all-finished
+    /// case.
+    fn pick_next(&self, st: &mut ExecState) {
+        if st.aborting {
+            self.cv.notify_all();
+            return;
+        }
+        if st.n_live == 0 {
+            st.active = None;
+            st.done = true;
+            self.done_cv.notify_all();
+            return;
+        }
+        let mut candidates: Vec<Tid> = Vec::new();
+        for (tid, t) in st.threads.iter().enumerate() {
+            match t.status {
+                Status::Runnable => candidates.push(tid),
+                // A timed wait is schedulable: choosing it fires the
+                // timeout.
+                Status::BlockedCondvar {
+                    timeout_us: Some(_),
+                    ..
+                } => candidates.push(tid),
+                _ => {}
+            }
+        }
+        if candidates.is_empty() {
+            let blocked: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status != Status::Finished)
+                .map(|(tid, t)| format!("thread {tid} {:?}", t.status))
+                .collect();
+            let msg = format!(
+                "deadlock: {} of {} threads blocked forever [{}]",
+                blocked.len(),
+                st.threads.len(),
+                blocked.join(", ")
+            );
+            if st.failure.is_none() {
+                st.failure = Some(Failure {
+                    kind: FailureKind::Deadlock,
+                    message: msg,
+                });
+            }
+            st.aborting = true;
+            self.cv.notify_all();
+            return;
+        }
+        // Preemption bounding: once the budget is spent, stick with
+        // the current thread whenever it is still a candidate.
+        if let Some(bound) = st.preemption_bound {
+            if st.preemptions >= bound && candidates.contains(&st.last_active) {
+                candidates = vec![st.last_active];
+            }
+        }
+        // Seeded rotation: deterministic per (seed, decision index),
+        // so the DFS tree is stable for a given seed.
+        let di = st.decisions.len();
+        if candidates.len() > 1 {
+            let rot = (splitmix64(st.seed ^ (di as u64).wrapping_mul(0x9E37)) as usize)
+                % candidates.len();
+            candidates.rotate_left(rot);
+        }
+        let chosen = if candidates.len() > 1 {
+            let c = if di < st.prefix.len() {
+                st.prefix[di]
+            } else {
+                0
+            };
+            if c >= candidates.len() {
+                let msg = format!(
+                    "schedule prefix expected ≥{} candidates at decision {di}, found {} — \
+                     model code must be deterministic given a schedule",
+                    c + 1,
+                    candidates.len()
+                );
+                if st.failure.is_none() {
+                    st.failure = Some(Failure {
+                        kind: FailureKind::Nondeterminism,
+                        message: msg,
+                    });
+                }
+                st.aborting = true;
+                self.cv.notify_all();
+                return;
+            }
+            st.decisions.push(Decision {
+                n_candidates: candidates.len(),
+                chosen: c,
+            });
+            c
+        } else {
+            0
+        };
+        let next = candidates[chosen];
+        if next != st.last_active
+            && st
+                .threads
+                .get(st.last_active)
+                .is_some_and(|t| t.status == Status::Runnable)
+        {
+            st.preemptions += 1;
+        }
+        // Choosing a timed waiter fires its timeout: it becomes
+        // runnable on the reacquire path with the clock advanced.
+        if let Status::BlockedCondvar {
+            timeout_us: Some(us),
+            cid,
+            ..
+        } = st.threads[next].status
+        {
+            st.clock_us = st.clock_us.saturating_add(us);
+            st.threads[next].status = Status::Runnable;
+            st.threads[next].wake = Some(Wake::Timeout);
+            Self::clear_condvar_if_empty(st, cid);
+        }
+        st.active = Some(next);
+        self.cv.notify_all();
+    }
+
+    /// Parks the calling thread until it holds the token (or the
+    /// execution aborts, in which case it unwinds).
+    fn wait_for_grant<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, ExecState>,
+        me: Tid,
+    ) -> MutexGuard<'a, ExecState> {
+        loop {
+            if st.aborting {
+                drop(st);
+                panic::panic_any(AbortModel);
+            }
+            if st.active == Some(me) {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The start of every visible operation: counts a step, lets the
+    /// scheduler decide who performs their next operation, and returns
+    /// with the token held (state lock still held — callers that
+    /// mutate model state do so under this guard).
+    pub(crate) fn yield_point(&self, me: Tid) -> MutexGuard<'_, ExecState> {
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            panic::panic_any(AbortModel);
+        }
+        debug_assert_eq!(st.active, Some(me), "yield from a thread without the token");
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let steps = st.steps;
+            self.fail(
+                st,
+                FailureKind::StepBudget,
+                format!("exceeded {steps} steps — livelock or an unbounded spin in the model"),
+            );
+        }
+        st.last_active = me;
+        self.pick_next(&mut st);
+        self.wait_for_grant(st, me)
+    }
+
+    // ---- operation semantics (each entered with the token held) ----
+
+    /// An atomic access: the decision point is the whole op; the
+    /// actual memory access runs after the grant, race-free because
+    /// only the token holder executes.
+    pub(crate) fn op_atomic(&self, me: Tid) {
+        // No-op while unwinding: destructors running during a panic
+        // (the thread's own assertion failure or an AbortModel
+        // teardown) must never re-enter the scheduler — a second
+        // panic from a Drop aborts the process.
+        if std::thread::panicking() {
+            return;
+        }
+        let st = self.yield_point(me);
+        drop(st);
+    }
+
+    /// Acquires model mutex `mid`, blocking through the scheduler.
+    /// Returns `false` (not acquired, caller gets untracked teardown
+    /// access) when called from an unwinding destructor.
+    pub(crate) fn mutex_lock(&self, me: Tid, mid: usize) -> bool {
+        if std::thread::panicking() {
+            return false;
+        }
+        let mut st = self.yield_point(me);
+        loop {
+            if st.mutexes[mid].owner.is_none() {
+                st.mutexes[mid].owner = Some(me);
+                drop(st);
+                return true;
+            }
+            if st.mutexes[mid].owner == Some(me) {
+                self.fail(
+                    st,
+                    FailureKind::Panic,
+                    format!("thread {me} re-locked model mutex {mid} (not reentrant)"),
+                );
+            }
+            st.threads[me].status = Status::BlockedMutex(mid);
+            st.last_active = me;
+            self.pick_next(&mut st);
+            st = self.wait_for_grant(st, me);
+            // Woken runnable by an unlock (or spuriously granted after
+            // contention): re-check ownership.
+        }
+    }
+
+    /// Non-blocking acquire; true on success.
+    pub(crate) fn mutex_try_lock(&self, me: Tid, mid: usize) -> bool {
+        if std::thread::panicking() {
+            return false;
+        }
+        let mut st = self.yield_point(me);
+        if st.mutexes[mid].owner.is_none() {
+            st.mutexes[mid].owner = Some(me);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases model mutex `mid` and wakes its waiters.
+    pub(crate) fn mutex_unlock(&self, me: Tid, mid: usize) {
+        if std::thread::panicking() {
+            // Unwinding guard drop: clear ownership so other threads
+            // can make progress once the abort fans out, but do not
+            // reschedule (this thread keeps the token until its
+            // catch_unwind boundary reports the panic).
+            let mut st = self.lock();
+            if st.mutexes[mid].owner == Some(me) {
+                st.mutexes[mid].owner = None;
+                for t in st.threads.iter_mut() {
+                    if t.status == Status::BlockedMutex(mid) {
+                        t.status = Status::Runnable;
+                    }
+                }
+            }
+            return;
+        }
+        let mut st = self.yield_point(me);
+        debug_assert_eq!(st.mutexes[mid].owner, Some(me), "unlock by non-owner");
+        st.mutexes[mid].owner = None;
+        for t in st.threads.iter_mut() {
+            if t.status == Status::BlockedMutex(mid) {
+                t.status = Status::Runnable;
+            }
+        }
+        drop(st);
+    }
+
+    fn clear_condvar_if_empty(st: &mut ExecState, cid: usize) {
+        let any_waiter = st
+            .threads
+            .iter()
+            .any(|t| matches!(t.status, Status::BlockedCondvar { cid: c, .. } if c == cid));
+        if !any_waiter {
+            st.condvars[cid].mid = None;
+        }
+    }
+
+    /// Condvar wait: atomically (one scheduler step) releases `mid`,
+    /// enqueues on `cid`, and blocks. Returns how the thread woke;
+    /// the caller must then reacquire the mutex via
+    /// [`Execution::mutex_lock_after_wait`].
+    ///
+    /// A notification delivered *before* this step (while the waiter
+    /// still held the mutex on its check-then-wait path) finds no
+    /// waiter and is lost — exactly the semantics that make
+    /// notify-outside-the-lock bugs (the PR-1 lost wakeup) explorable.
+    pub(crate) fn condvar_wait(
+        &self,
+        me: Tid,
+        cid: usize,
+        mid: usize,
+        timeout: Option<Duration>,
+    ) -> Wake {
+        if std::thread::panicking() {
+            return Wake::Notify;
+        }
+        let mut st = self.yield_point(me);
+        // Association check (std contract: one mutex at a time).
+        match st.condvars[cid].mid {
+            Some(m) if m != mid => {
+                self.fail(
+                    st,
+                    FailureKind::Panic,
+                    format!("condvar {cid} waited on with two different mutexes ({m} and {mid})"),
+                );
+            }
+            _ => st.condvars[cid].mid = Some(mid),
+        }
+        // Atomic release + enqueue.
+        debug_assert_eq!(st.mutexes[mid].owner, Some(me), "wait without the lock");
+        st.mutexes[mid].owner = None;
+        for t in st.threads.iter_mut() {
+            if t.status == Status::BlockedMutex(mid) {
+                t.status = Status::Runnable;
+            }
+        }
+        let timeout_us = timeout.map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX).max(1));
+        st.threads[me].status = Status::BlockedCondvar {
+            cid,
+            mid,
+            timeout_us,
+        };
+        st.threads[me].wake = None;
+        st.last_active = me;
+        self.pick_next(&mut st);
+        st = self.wait_for_grant(st, me);
+        let wake = st.threads[me].wake.take().unwrap_or(Wake::Notify);
+        drop(st);
+        wake
+    }
+
+    /// The mutex reacquire after a condvar wakeup (no fresh decision
+    /// separate from `mutex_lock`; contention is modeled identically).
+    pub(crate) fn mutex_lock_after_wait(&self, me: Tid, mid: usize) -> bool {
+        self.mutex_lock(me, mid)
+    }
+
+    /// Wakes the lowest-tid waiter (deterministic stand-in for the
+    /// OS's arbitrary pick). A woken waiter becomes runnable on the
+    /// reacquire path.
+    pub(crate) fn condvar_notify(&self, me: Tid, cid: usize, all: bool) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut st = self.yield_point(me);
+        let mut woke = false;
+        for t in st.threads.iter_mut() {
+            if let Status::BlockedCondvar { cid: c, .. } = t.status {
+                if c == cid {
+                    t.status = Status::Runnable;
+                    t.wake = Some(Wake::Notify);
+                    woke = true;
+                    if !all {
+                        break;
+                    }
+                }
+            }
+        }
+        if woke {
+            Self::clear_condvar_if_empty(&mut st, cid);
+        }
+        drop(st);
+    }
+
+    /// Registers a newly spawned thread (the spawn itself is a visible
+    /// operation on the parent).
+    pub(crate) fn op_spawn(&self, me: Tid) -> Tid {
+        let mut st = self.yield_point(me);
+        let tid = st.threads.len();
+        st.threads.push(ThreadInfo {
+            status: Status::Runnable,
+            wake: None,
+        });
+        st.n_live += 1;
+        drop(st);
+        tid
+    }
+
+    /// Blocks until `target` finishes. Returns `false` (join skipped)
+    /// when called from an unwinding destructor.
+    pub(crate) fn join(&self, me: Tid, target: Tid) -> bool {
+        if std::thread::panicking() {
+            return false;
+        }
+        let mut st = self.yield_point(me);
+        while st.threads[target].status != Status::Finished {
+            st.threads[me].status = Status::BlockedJoin(target);
+            st.last_active = me;
+            self.pick_next(&mut st);
+            st = self.wait_for_grant(st, me);
+        }
+        drop(st);
+        true
+    }
+
+    pub(crate) fn is_finished(&self, target: Tid) -> bool {
+        self.lock().threads[target].status == Status::Finished
+    }
+
+    /// Model `sleep`: advances the logical clock and yields.
+    pub(crate) fn op_sleep(&self, me: Tid, dur: Duration) {
+        if std::thread::panicking() {
+            return;
+        }
+        let st = self.yield_point(me);
+        drop(st);
+        let mut st = self.lock();
+        st.clock_us = st
+            .clock_us
+            .saturating_add(u64::try_from(dur.as_micros()).unwrap_or(u64::MAX));
+        drop(st);
+    }
+
+    /// Normal thread completion: marks finished, wakes joiners, passes
+    /// the token on.
+    pub(crate) fn finish_thread(&self, me: Tid) {
+        let mut st = self.lock();
+        st.threads[me].status = Status::Finished;
+        st.n_live -= 1;
+        for t in st.threads.iter_mut() {
+            if t.status == Status::BlockedJoin(me) {
+                t.status = Status::Runnable;
+            }
+        }
+        st.last_active = me;
+        self.pick_next(&mut st);
+    }
+
+    /// Thread completion during abort unwinding: only bookkeeping, no
+    /// scheduling. The last one out signals the explorer.
+    pub(crate) fn finish_thread_aborted(&self, me: Tid) {
+        let mut st = self.lock();
+        if st.threads[me].status != Status::Finished {
+            st.threads[me].status = Status::Finished;
+            st.n_live -= 1;
+        }
+        if st.n_live == 0 {
+            st.done = true;
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Thread completion with a model panic: records the failure and
+    /// aborts every other thread.
+    pub(crate) fn finish_thread_panicked(&self, me: Tid, message: String) {
+        let mut st = self.lock();
+        if st.failure.is_none() {
+            st.failure = Some(Failure {
+                kind: FailureKind::Panic,
+                message,
+            });
+        }
+        st.aborting = true;
+        st.threads[me].status = Status::Finished;
+        st.n_live -= 1;
+        if st.n_live == 0 {
+            st.done = true;
+            self.done_cv.notify_all();
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Suppress default panic output for panics inside model threads: the
+/// failure is captured and re-reported with its trace token instead.
+/// Installed once; delegates to the previous hook outside models.
+fn install_panic_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        if std::env::var_os("QTAG_CHECK_VERBOSE").is_some() {
+            return;
+        }
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if crate::sync::in_model() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Outcome of one execution.
+struct ExecOutcome {
+    decisions: Vec<Decision>,
+    steps: u64,
+    failure: Option<Failure>,
+}
+
+/// Result of exploring a model that never failed.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schedules actually executed.
+    pub schedules: u64,
+    /// Whether the decision tree was exhausted (vs. budget-capped).
+    pub complete: bool,
+    /// Total visible operations across all schedules.
+    pub steps: u64,
+    /// Order-sensitive digest of every explored schedule; two runs of
+    /// the same (model, seed) must produce identical digests.
+    pub digest: u64,
+}
+
+/// A failing schedule, replayable via [`Builder::replay`].
+#[derive(Debug, Clone)]
+pub struct ModelFailure {
+    pub kind: FailureKind,
+    pub message: String,
+    /// Replay token for the failing schedule.
+    pub trace: TraceToken,
+    /// 1-based index of the failing schedule in exploration order.
+    pub schedule: u64,
+}
+
+impl std::fmt::Display for ModelFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model failed ({}) on schedule {}: {}\n  replay trace: {}",
+            self.kind, self.schedule, self.message, self.trace
+        )
+    }
+}
+
+/// Exploration configuration. Environment overrides (read once per
+/// `Builder::default()` call): `QTAG_CHECK_MAX_SCHEDULES`,
+/// `QTAG_CHECK_SEED`, `QTAG_CHECK_MAX_STEPS`.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Cap on schedules explored; exploration reports `complete:
+    /// false` when it hits the cap without exhausting the tree.
+    pub max_schedules: u64,
+    /// Per-execution visible-operation budget (livelock detector).
+    pub max_steps: u64,
+    /// Seed permuting candidate order at each decision.
+    pub seed: u64,
+    /// CHESS-style cap on involuntary context switches per execution;
+    /// `None` explores the full tree.
+    pub preemption_bound: Option<usize>,
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_schedules: env_u64("QTAG_CHECK_MAX_SCHEDULES").unwrap_or(4_096),
+            max_steps: env_u64("QTAG_CHECK_MAX_STEPS").unwrap_or(50_000),
+            seed: env_u64("QTAG_CHECK_SEED").unwrap_or(0x51AD_C0DE),
+            preemption_bound: None,
+        }
+    }
+}
+
+impl Builder {
+    /// Bounded exploration with the given preemption bound — the
+    /// configuration ported production models use.
+    pub fn bounded(preemptions: usize) -> Self {
+        Builder {
+            preemption_bound: Some(preemptions),
+            ..Builder::default()
+        }
+    }
+
+    /// Explores the model; panics (with the replay trace) on the first
+    /// failing schedule. The loom-alike entry point for tests.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match self.try_check(f) {
+            Ok(report) => report,
+            Err(failure) => panic!("{failure}"),
+        }
+    }
+
+    /// Explores the model, returning the first failing schedule
+    /// instead of panicking (for must-fail regression tests).
+    pub fn try_check<F>(&self, f: F) -> Result<Report, ModelFailure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_panic_hook();
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut schedules = 0u64;
+        let mut steps = 0u64;
+        let mut digest = FNV_OFFSET;
+        loop {
+            let outcome = run_one(Arc::clone(&f), self, prefix.clone());
+            schedules += 1;
+            steps += outcome.steps;
+            for d in &outcome.decisions {
+                digest = fnv_fold(digest, (d.chosen as u32).to_le_bytes());
+            }
+            digest = fnv_fold(digest, [0xFF]);
+            if let Some(failure) = outcome.failure {
+                return Err(ModelFailure {
+                    kind: failure.kind,
+                    message: failure.message,
+                    trace: TraceToken {
+                        seed: self.seed,
+                        choices: outcome.decisions.iter().map(|d| d.chosen as u32).collect(),
+                    },
+                    schedule: schedules,
+                });
+            }
+            match next_prefix(&outcome.decisions) {
+                Some(p) if schedules < self.max_schedules => prefix = p,
+                Some(_) => {
+                    return Ok(Report {
+                        schedules,
+                        complete: false,
+                        steps,
+                        digest,
+                    })
+                }
+                None => {
+                    return Ok(Report {
+                        schedules,
+                        complete: true,
+                        steps,
+                        digest,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Runs exactly the schedule a failure's [`TraceToken`] recorded.
+    pub fn replay<F>(&self, trace: &TraceToken, f: F) -> Result<Report, ModelFailure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_panic_hook();
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let replayer = Builder {
+            seed: trace.seed,
+            ..self.clone()
+        };
+        let prefix: Vec<usize> = trace.choices.iter().map(|&c| c as usize).collect();
+        let outcome = run_one(f, &replayer, prefix);
+        let mut digest = FNV_OFFSET;
+        for d in &outcome.decisions {
+            digest = fnv_fold(digest, (d.chosen as u32).to_le_bytes());
+        }
+        digest = fnv_fold(digest, [0xFF]);
+        match outcome.failure {
+            Some(failure) => Err(ModelFailure {
+                kind: failure.kind,
+                message: failure.message,
+                trace: TraceToken {
+                    seed: trace.seed,
+                    choices: outcome.decisions.iter().map(|d| d.chosen as u32).collect(),
+                },
+                schedule: 1,
+            }),
+            None => Ok(Report {
+                schedules: 1,
+                complete: false,
+                steps: outcome.steps,
+                digest,
+            }),
+        }
+    }
+}
+
+/// Explores `f` under the default budget, panicking on failure.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}
+
+/// DFS backtracking: deepest decision with an untried alternative.
+fn next_prefix(decisions: &[Decision]) -> Option<Vec<usize>> {
+    for cut in (0..decisions.len()).rev() {
+        let d = decisions[cut];
+        if d.chosen + 1 < d.n_candidates {
+            let mut p: Vec<usize> = decisions[..cut].iter().map(|d| d.chosen).collect();
+            p.push(d.chosen + 1);
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// Runs one execution of the model under a forced schedule prefix.
+fn run_one(f: Arc<dyn Fn() + Send + Sync>, b: &Builder, prefix: Vec<usize>) -> ExecOutcome {
+    let exec = Arc::new(Execution::new(
+        b.seed,
+        prefix,
+        b.max_steps,
+        b.preemption_bound,
+    ));
+    let tid = exec.register_thread();
+    debug_assert_eq!(tid, 0);
+    {
+        let mut st = exec.lock();
+        st.active = Some(0);
+    }
+    let texec = Arc::clone(&exec);
+    let handle = std::thread::Builder::new()
+        .name("qtag-check-0".into())
+        .spawn(move || {
+            crate::sync::enter_model(Arc::clone(&texec), 0);
+            // Take the token before running the closure, mirroring
+            // spawned threads.
+            {
+                let st = texec.lock();
+                let st = texec.wait_for_grant(st, 0);
+                drop(st);
+            }
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f()));
+            match result {
+                Ok(()) => texec.finish_thread(0),
+                Err(payload) => {
+                    if payload.downcast_ref::<AbortModel>().is_some() {
+                        texec.finish_thread_aborted(0);
+                    } else {
+                        texec.finish_thread_panicked(0, panic_message(payload.as_ref()));
+                    }
+                }
+            }
+            crate::sync::exit_model();
+        })
+        .expect("spawn model main thread");
+    // Wait for the execution to finish (all threads done or aborted).
+    {
+        let mut st = exec.lock();
+        while !st.done {
+            st = exec.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let _ = handle.join();
+    let st = exec.lock();
+    ExecOutcome {
+        decisions: st.decisions.clone(),
+        steps: st.steps,
+        failure: st.failure.clone(),
+    }
+}
+
+/// Spawn support for [`crate::sync::thread::spawn`] inside a model:
+/// registers the thread with the parent's execution and wraps the body
+/// with the token/finish protocol.
+pub(crate) fn model_spawn<T, F>(
+    exec: &Arc<Execution>,
+    parent: Tid,
+    f: F,
+) -> (Tid, std::thread::JoinHandle<T>)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = exec.op_spawn(parent);
+    let texec = Arc::clone(exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("qtag-check-{tid}"))
+        .spawn(move || {
+            crate::sync::enter_model(Arc::clone(&texec), tid);
+            {
+                let st = texec.lock();
+                let st = texec.wait_for_grant(st, tid);
+                drop(st);
+            }
+            let result = panic::catch_unwind(AssertUnwindSafe(f));
+            let out = match result {
+                Ok(v) => {
+                    texec.finish_thread(tid);
+                    crate::sync::exit_model();
+                    v
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<AbortModel>().is_some() {
+                        texec.finish_thread_aborted(tid);
+                    } else {
+                        texec.finish_thread_panicked(tid, panic_message(payload.as_ref()));
+                    }
+                    crate::sync::exit_model();
+                    panic::resume_unwind(payload);
+                }
+            };
+            out
+        })
+        .expect("spawn model thread");
+    (tid, handle)
+}

@@ -1,0 +1,819 @@
+//! Shimmed synchronization primitives: `Mutex`, `Condvar`, atomics,
+//! `thread`, and `time::Instant` with the same shape as their
+//! `std`/`parking_lot` counterparts, routed through the model-checker
+//! scheduler *only* when the calling thread belongs to a model
+//! execution.
+//!
+//! Outside a model (no thread-local execution context) every type
+//! delegates straight to `std`, so a binary compiled with
+//! `--cfg qtag_check` still runs all of its ordinary tests
+//! unperturbed; only code invoked under [`crate::Builder::check`]
+//! gets controlled scheduling. Consuming crates expose these types
+//! behind a `sync` facade module that swaps between
+//! `parking_lot`/`std` and this module on `cfg(qtag_check)`.
+//!
+//! Semantics under a model:
+//! - every lock/unlock, condvar wait/notify, atomic access, spawn and
+//!   join is a *visible operation* — a scheduling decision point;
+//! - atomics are sequentially consistent regardless of the `Ordering`
+//!   argument (interleaving exploration only; weak memory is out of
+//!   scope and documented as such in DESIGN.md);
+//! - `Instant::now()` reads the execution's logical clock and is not
+//!   a decision point; `Condvar::wait_timeout` waiters are
+//!   schedulable, and scheduling one models the timeout firing.
+
+use crate::rt::{self, Execution, Tid, Wake};
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
+use std::sync::Arc as StdArc;
+use std::time::Duration;
+
+pub use std::sync::{Arc, Weak};
+
+type Ctx = (StdArc<Execution>, Tid);
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn enter_model(exec: StdArc<Execution>, tid: Tid) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+pub(crate) fn exit_model() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Whether the calling thread is currently inside a model execution.
+pub(crate) fn in_model() -> bool {
+    CURRENT.try_with(|c| c.borrow().is_some()).unwrap_or(false)
+}
+
+fn ctx() -> Option<Ctx> {
+    CURRENT.try_with(|c| c.borrow().clone()).unwrap_or(None)
+}
+
+/// Lazily binds a shim object to the *current* execution: objects can
+/// be created outside any model (statics, captured state) and reused
+/// across executions, so the model-side id is resolved per execution
+/// serial, not at construction.
+struct ModelRef(StdAtomicU64);
+
+enum RefKind {
+    Mutex,
+    Condvar,
+}
+
+impl ModelRef {
+    const fn new() -> Self {
+        ModelRef(StdAtomicU64::new(0))
+    }
+
+    fn resolve(&self, exec: &StdArc<Execution>, kind: RefKind) -> usize {
+        use std::sync::atomic::Ordering::Relaxed;
+        let serial = exec.serial & 0xFFFF_FFFF;
+        let packed = self.0.load(Relaxed);
+        if packed != 0 && packed >> 32 == serial {
+            return (packed & 0xFFFF_FFFF) as usize;
+        }
+        let id = match kind {
+            RefKind::Mutex => exec.register_mutex(),
+            RefKind::Condvar => exec.register_condvar(),
+        };
+        // Only the token-holding thread executes model code, so this
+        // store cannot race with another resolve on the same object.
+        self.0.store((serial << 32) | id as u64, Relaxed);
+        id
+    }
+}
+
+// ---------------------------------------------------------------- Mutex
+
+/// Dual-mode mutex with a `parking_lot`-shaped API: `lock()` returns
+/// the guard directly (no poison `Result`).
+///
+/// The data lives in an `UnsafeCell`; exclusion comes from the OS
+/// mutex outside a model and from model-level ownership (enforced by
+/// the single-token scheduler) inside one. Keeping model-mode data
+/// access off any OS lock matters for teardown: when an execution
+/// aborts, unwinding destructors may touch a mutex whose model owner
+/// is parked forever, and a real lock there would hang the process.
+/// A single object must not be locked from model and non-model
+/// threads concurrently (no workspace code does this).
+pub struct Mutex<T: ?Sized> {
+    model: ModelRef,
+    os: std::sync::Mutex<()>,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// Mirror std: the lock makes T shareable iff T is Send.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    /// Held in non-model mode; `None` under a model (exclusion is
+    /// model ownership) and for untracked teardown access.
+    os: Option<std::sync::MutexGuard<'a, ()>>,
+    model: Option<(StdArc<Execution>, Tid, usize)>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            model: ModelRef::new(),
+            os: std::sync::Mutex::new(()),
+            data: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn os_lock(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.os.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match ctx() {
+            Some((exec, me)) => {
+                let mid = self.model.resolve(&exec, RefKind::Mutex);
+                if exec.mutex_lock(me, mid) {
+                    MutexGuard {
+                        lock: self,
+                        os: None,
+                        model: Some((exec, me, mid)),
+                    }
+                } else {
+                    // Unwinding teardown of an aborted execution:
+                    // best-effort untracked access so destructors can
+                    // finish; the execution's results are discarded.
+                    MutexGuard {
+                        lock: self,
+                        os: None,
+                        model: None,
+                    }
+                }
+            }
+            None => MutexGuard {
+                lock: self,
+                os: Some(self.os_lock()),
+                model: None,
+            },
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match ctx() {
+            Some((exec, me)) => {
+                let mid = self.model.resolve(&exec, RefKind::Mutex);
+                if !exec.mutex_try_lock(me, mid) {
+                    return None;
+                }
+                Some(MutexGuard {
+                    lock: self,
+                    os: None,
+                    model: Some((exec, me, mid)),
+                })
+            }
+            None => match self.os.try_lock() {
+                Ok(g) => Some(MutexGuard {
+                    lock: self,
+                    os: Some(g),
+                    model: None,
+                }),
+                Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                    lock: self,
+                    os: Some(e.into_inner()),
+                    model: None,
+                }),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            },
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> From<T> for Mutex<T> {
+    fn from(value: T) -> Self {
+        Mutex::new(value)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Non-model peek only: Debug must not become a model decision
+        // point, and (like std) prints `<locked>` under contention.
+        match self.os.try_lock() {
+            Ok(_g) => {
+                let data = unsafe { &*self.data.get() };
+                f.debug_struct("Mutex").field("data", &data).finish()
+            }
+            _ => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: exclusion is the held OS guard (non-model), model
+        // ownership (single-token scheduler), or — with both `None` —
+        // abort teardown, where no other thread executes model code.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as for Deref.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.os.take());
+        if let Some((exec, me, mid)) = self.model.take() {
+            exec.mutex_unlock(me, mid);
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+// -------------------------------------------------------------- Condvar
+
+/// Result of a [`Condvar::wait_timeout`] (std's equivalent cannot be
+/// constructed outside std, hence our own).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Dual-mode condition variable. The API takes and returns the shim
+/// [`MutexGuard`] so that a model-side wait can atomically release
+/// the model mutex and enqueue (std semantics), which is what makes
+/// notify-outside-the-lock lost wakeups explorable.
+pub struct Condvar {
+    model: ModelRef,
+    std: std::sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            model: ModelRef::new(),
+            std: std::sync::Condvar::new(),
+        }
+    }
+
+    fn wait_inner<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: Option<Duration>,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        if std::thread::panicking() {
+            // Waiting inside an unwinding destructor would park a
+            // dying thread; report a timeout and let teardown proceed.
+            return (guard, WaitTimeoutResult { timed_out: true });
+        }
+        match guard.model.take() {
+            Some((exec, me, mid)) => {
+                let cid = self.model.resolve(&exec, RefKind::Condvar);
+                let lock = guard.lock;
+                // Nothing else to release: under a model the guard
+                // holds no OS lock, and the model-level atomic
+                // unlock-and-enqueue inside `condvar_wait` is the
+                // whole handoff.
+                drop(guard);
+                let wake = exec.condvar_wait(me, cid, mid, timeout);
+                let reacquired = exec.mutex_lock_after_wait(me, mid);
+                (
+                    MutexGuard {
+                        lock,
+                        os: None,
+                        model: reacquired.then_some((exec, me, mid)),
+                    },
+                    WaitTimeoutResult {
+                        timed_out: wake == Wake::Timeout,
+                    },
+                )
+            }
+            None => {
+                let lock = guard.lock;
+                let os = guard.os.take().expect("guard accessed after release");
+                drop(guard);
+                match timeout {
+                    None => {
+                        let os = self.std.wait(os).unwrap_or_else(|e| e.into_inner());
+                        (
+                            MutexGuard {
+                                lock,
+                                os: Some(os),
+                                model: None,
+                            },
+                            WaitTimeoutResult { timed_out: false },
+                        )
+                    }
+                    Some(dur) => {
+                        let (os, res) = self
+                            .std
+                            .wait_timeout(os, dur)
+                            .unwrap_or_else(|e| e.into_inner());
+                        (
+                            MutexGuard {
+                                lock,
+                                os: Some(os),
+                                model: None,
+                            },
+                            WaitTimeoutResult {
+                                timed_out: res.timed_out(),
+                            },
+                        )
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.wait_inner(guard, None).0
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        self.wait_inner(guard, Some(dur))
+    }
+
+    pub fn wait_while<'a, T, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> MutexGuard<'a, T>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while condition(&mut guard) {
+            guard = self.wait(guard);
+        }
+        guard
+    }
+
+    pub fn notify_one(&self) {
+        match ctx() {
+            Some((exec, me)) => {
+                let cid = self.model.resolve(&exec, RefKind::Condvar);
+                exec.condvar_notify(me, cid, false);
+            }
+            None => self.std.notify_one(),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match ctx() {
+            Some((exec, me)) => {
+                let cid = self.model.resolve(&exec, RefKind::Condvar);
+                exec.condvar_notify(me, cid, true);
+            }
+            None => self.std.notify_all(),
+        }
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+// -------------------------------------------------------------- atomics
+
+pub mod atomic {
+    use super::ctx;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! shim_atomic_int {
+        ($name:ident, $std:ty, $prim:ty) => {
+            /// Dual-mode atomic; every access is a model decision
+            /// point. The model executes atomics sequentially
+            /// consistently whatever `Ordering` is passed.
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                pub const fn new(v: $prim) -> Self {
+                    Self {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                #[inline]
+                fn op(&self) {
+                    if let Some((exec, me)) = ctx() {
+                        exec.op_atomic(me);
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $prim {
+                    self.op();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, val: $prim, order: Ordering) {
+                    self.op();
+                    self.inner.store(val, order)
+                }
+
+                pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                    self.op();
+                    self.inner.swap(val, order)
+                }
+
+                pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
+                    self.op();
+                    self.inner.fetch_add(val, order)
+                }
+
+                pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
+                    self.op();
+                    self.inner.fetch_sub(val, order)
+                }
+
+                pub fn fetch_and(&self, val: $prim, order: Ordering) -> $prim {
+                    self.op();
+                    self.inner.fetch_and(val, order)
+                }
+
+                pub fn fetch_or(&self, val: $prim, order: Ordering) -> $prim {
+                    self.op();
+                    self.inner.fetch_or(val, order)
+                }
+
+                pub fn fetch_max(&self, val: $prim, order: Ordering) -> $prim {
+                    self.op();
+                    self.inner.fetch_max(val, order)
+                }
+
+                pub fn fetch_min(&self, val: $prim, order: Ordering) -> $prim {
+                    self.op();
+                    self.inner.fetch_min(val, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.op();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.op();
+                    // Weak CAS never fails spuriously under the model:
+                    // spurious failure is scheduling nondeterminism the
+                    // explorer does not control.
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn into_inner(self) -> $prim {
+                    self.inner.into_inner()
+                }
+
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.inner.get_mut()
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(<$prim>::default())
+                }
+            }
+
+            impl From<$prim> for $name {
+                fn from(v: $prim) -> Self {
+                    Self::new(v)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    std::fmt::Debug::fmt(&self.inner, f)
+                }
+            }
+        };
+    }
+
+    shim_atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    shim_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    shim_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    shim_atomic_int!(AtomicI64, std::sync::atomic::AtomicI64, i64);
+
+    /// Dual-mode `AtomicBool`; see the integer shims for semantics.
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        #[inline]
+        fn op(&self) {
+            if let Some((exec, me)) = ctx() {
+                exec.op_atomic(me);
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            self.op();
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, val: bool, order: Ordering) {
+            self.op();
+            self.inner.store(val, order)
+        }
+
+        pub fn swap(&self, val: bool, order: Ordering) -> bool {
+            self.op();
+            self.inner.swap(val, order)
+        }
+
+        pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+            self.op();
+            self.inner.fetch_or(val, order)
+        }
+
+        pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+            self.op();
+            self.inner.fetch_and(val, order)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            self.op();
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+
+        pub fn into_inner(self) -> bool {
+            self.inner.into_inner()
+        }
+
+        pub fn get_mut(&mut self) -> &mut bool {
+            self.inner.get_mut()
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    impl From<bool> for AtomicBool {
+        fn from(v: bool) -> Self {
+            Self::new(v)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            std::fmt::Debug::fmt(&self.inner, f)
+        }
+    }
+}
+
+// --------------------------------------------------------------- thread
+
+pub mod thread {
+    use super::{ctx, rt};
+    use std::sync::Arc as StdArc;
+    use std::time::Duration;
+
+    /// Dual-mode join handle.
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+        model: Option<(StdArc<rt::Execution>, rt::Tid)>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Joins the thread. Inside a model this is a visible
+        /// (blocking) operation; the scheduler explores schedules in
+        /// which other threads run to completion first.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some((exec, target)) = &self.model {
+                if let Some((jexec, me)) = ctx() {
+                    debug_assert_eq!(jexec.serial, exec.serial, "join across executions");
+                    if !exec.join(me, *target) {
+                        // Unwinding teardown: the target may be parked
+                        // forever in an aborted execution; never block
+                        // a dying thread on it.
+                        return Err(Box::new(
+                            "model execution aborted; join skipped during unwind".to_string(),
+                        ));
+                    }
+                }
+            }
+            self.inner.join()
+        }
+
+        pub fn is_finished(&self) -> bool {
+            match &self.model {
+                Some((exec, target)) => exec.is_finished(*target),
+                None => self.inner.is_finished(),
+            }
+        }
+
+        pub fn thread(&self) -> &std::thread::Thread {
+            self.inner.thread()
+        }
+    }
+
+    impl<T> std::fmt::Debug for JoinHandle<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("JoinHandle").finish_non_exhaustive()
+        }
+    }
+
+    /// Dual-mode `thread::spawn`. Inside a model the new thread is
+    /// registered with the execution and runs under the scheduler
+    /// token; outside it is a plain OS thread.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match ctx() {
+            // Spawning from an unwinding destructor falls through to a
+            // plain OS thread (no ctx inheritance): the execution is
+            // being torn down and must not gain new model threads.
+            Some((exec, me)) if !std::thread::panicking() => {
+                let (tid, inner) = rt::model_spawn(&exec, me, f);
+                JoinHandle {
+                    inner,
+                    model: Some((exec, tid)),
+                }
+            }
+            _ => JoinHandle {
+                inner: std::thread::spawn(f),
+                model: None,
+            },
+        }
+    }
+
+    /// A pure scheduling decision point inside a model; a real
+    /// `yield_now` outside.
+    pub fn yield_now() {
+        match ctx() {
+            Some((exec, me)) => exec.op_atomic(me),
+            None => std::thread::yield_now(),
+        }
+    }
+
+    /// Advances the execution's logical clock inside a model (no real
+    /// delay); sleeps for real outside.
+    pub fn sleep(dur: Duration) {
+        match ctx() {
+            Some((exec, me)) => exec.op_sleep(me, dur),
+            None => std::thread::sleep(dur),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- time
+
+pub mod time {
+    use super::ctx;
+    use std::cmp::Ordering as CmpOrdering;
+    use std::ops::{Add, AddAssign};
+
+    pub use std::time::Duration;
+
+    /// Dual-mode instant: wall-clock outside a model, the execution's
+    /// logical microsecond clock inside. Reading the clock is *not* a
+    /// scheduling decision point — only timed waits advance it.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Instant {
+        Real(std::time::Instant),
+        Virtual(u64),
+    }
+
+    impl Instant {
+        pub fn now() -> Instant {
+            match ctx() {
+                Some((exec, _)) => Instant::Virtual(exec.clock_us()),
+                None => Instant::Real(std::time::Instant::now()),
+            }
+        }
+
+        pub fn elapsed(&self) -> Duration {
+            Instant::now().saturating_duration_since(*self)
+        }
+
+        pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+            match (*self, earlier) {
+                (Instant::Real(a), Instant::Real(b)) => a.saturating_duration_since(b),
+                (Instant::Virtual(a), Instant::Virtual(b)) => {
+                    Duration::from_micros(a.saturating_sub(b))
+                }
+                _ => panic!("compared a real Instant with a virtual one"),
+            }
+        }
+
+        pub fn checked_duration_since(&self, earlier: Instant) -> Option<Duration> {
+            match (*self, earlier) {
+                (Instant::Real(a), Instant::Real(b)) => a.checked_duration_since(b),
+                (Instant::Virtual(a), Instant::Virtual(b)) => {
+                    a.checked_sub(b).map(Duration::from_micros)
+                }
+                _ => panic!("compared a real Instant with a virtual one"),
+            }
+        }
+    }
+
+    impl Add<Duration> for Instant {
+        type Output = Instant;
+        fn add(self, rhs: Duration) -> Instant {
+            match self {
+                Instant::Real(i) => Instant::Real(i + rhs),
+                Instant::Virtual(us) => Instant::Virtual(
+                    us.saturating_add(u64::try_from(rhs.as_micros()).unwrap_or(u64::MAX)),
+                ),
+            }
+        }
+    }
+
+    impl AddAssign<Duration> for Instant {
+        fn add_assign(&mut self, rhs: Duration) {
+            *self = *self + rhs;
+        }
+    }
+
+    impl PartialOrd for Instant {
+        fn partial_cmp(&self, other: &Instant) -> Option<CmpOrdering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl Ord for Instant {
+        fn cmp(&self, other: &Instant) -> CmpOrdering {
+            match (self, other) {
+                (Instant::Real(a), Instant::Real(b)) => a.cmp(b),
+                (Instant::Virtual(a), Instant::Virtual(b)) => a.cmp(b),
+                _ => panic!("compared a real Instant with a virtual one"),
+            }
+        }
+    }
+}

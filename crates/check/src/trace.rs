@@ -1,0 +1,116 @@
+//! Replayable schedule traces.
+//!
+//! A failing schedule is fully determined by the exploration seed
+//! (which fixes candidate rotation at every decision) and the
+//! sequence of candidate indices chosen at each decision point. The
+//! printable form — `qtc1:<seed hex>:<c0.c1.c2...>` — is what a test
+//! failure prints and what [`crate::Builder::replay`] parses back.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A printable, parsable token identifying one exact interleaving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceToken {
+    /// Exploration seed (fixes candidate rotation per decision).
+    pub seed: u64,
+    /// Candidate index chosen at each decision point, in order.
+    pub choices: Vec<u32>,
+}
+
+impl fmt::Display for TraceToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qtc1:{:x}:", self.seed)?;
+        if self.choices.is_empty() {
+            return write!(f, "-");
+        }
+        for (i, c) in self.choices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a [`TraceToken`] from its printed form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError(String);
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid trace token: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl FromStr for TraceToken {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.trim().splitn(3, ':');
+        let magic = parts.next().unwrap_or("");
+        if magic != "qtc1" {
+            return Err(ParseTraceError(format!(
+                "expected 'qtc1:' prefix, got '{magic}'"
+            )));
+        }
+        let seed_str = parts
+            .next()
+            .ok_or_else(|| ParseTraceError("missing seed field".into()))?;
+        let seed = u64::from_str_radix(seed_str, 16)
+            .map_err(|e| ParseTraceError(format!("bad seed '{seed_str}': {e}")))?;
+        let choices_str = parts
+            .next()
+            .ok_or_else(|| ParseTraceError("missing choices field".into()))?;
+        let choices = if choices_str == "-" || choices_str.is_empty() {
+            Vec::new()
+        } else {
+            choices_str
+                .split('.')
+                .map(|c| {
+                    c.parse::<u32>()
+                        .map_err(|e| ParseTraceError(format!("bad choice '{c}': {e}")))
+                })
+                .collect::<Result<Vec<u32>, _>>()?
+        };
+        Ok(TraceToken { seed, choices })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_display() {
+        let t = TraceToken {
+            seed: 0x51AD_C0DE,
+            choices: vec![0, 2, 1, 0, 3],
+        };
+        let s = t.to_string();
+        assert_eq!(s, "qtc1:51adc0de:0.2.1.0.3");
+        assert_eq!(s.parse::<TraceToken>().unwrap(), t);
+    }
+
+    #[test]
+    fn round_trips_empty_choices() {
+        let t = TraceToken {
+            seed: 7,
+            choices: vec![],
+        };
+        let s = t.to_string();
+        assert_eq!(s, "qtc1:7:-");
+        assert_eq!(s.parse::<TraceToken>().unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("".parse::<TraceToken>().is_err());
+        assert!("qtc2:0:-".parse::<TraceToken>().is_err());
+        assert!("qtc1:zz:-".parse::<TraceToken>().is_err());
+        assert!("qtc1:0:a.b".parse::<TraceToken>().is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Satellite: scheduler determinism. Same seed + same model must give
+//! a byte-identical exploration (digest over every schedule's decision
+//! vector), and a failing model must replay to the same interleaving
+//! from its printed trace token.
+
+use qtag_check::{models, Builder, FailureKind, TraceToken};
+
+#[test]
+fn same_seed_same_model_identical_exploration() {
+    let b = Builder {
+        seed: 0xDEC0DE,
+        preemption_bound: Some(2),
+        max_schedules: 2_048,
+        ..Builder::default()
+    };
+    let a = b.check(models::mpsc_conservation(2, 1));
+    let c = b.check(models::mpsc_conservation(2, 1));
+    assert_eq!(a.schedules, c.schedules);
+    assert_eq!(a.steps, c.steps);
+    assert_eq!(a.digest, c.digest, "exploration must be byte-identical");
+}
+
+#[test]
+fn different_seeds_still_exhaust_the_same_tree() {
+    let a = Builder {
+        seed: 1,
+        ..Builder::default()
+    }
+    .check(models::mutex_counter(2, 1));
+    let b = Builder {
+        seed: 2,
+        ..Builder::default()
+    }
+    .check(models::mutex_counter(2, 1));
+    // Rotation permutes visit order (digests may differ) but the DFS
+    // still covers the same complete tree.
+    assert!(a.complete && b.complete);
+    assert_eq!(a.schedules, b.schedules);
+}
+
+#[test]
+fn failing_model_replays_from_its_printed_token() {
+    let b = Builder {
+        seed: 0xB0B,
+        ..Builder::default()
+    };
+    let failure = b
+        .try_check(models::mini_channel_last_sender_drop(false))
+        .expect_err("the PR-1 bug must fail");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+
+    // Parse the token back from its *printed* form, as a developer
+    // pasting it out of a CI log would.
+    let printed = failure.trace.to_string();
+    let token: TraceToken = printed.parse().expect("token must round-trip");
+    assert_eq!(token, failure.trace);
+
+    // Replaying runs exactly one schedule and reproduces the same
+    // failure kind on the same interleaving.
+    let replayed = b
+        .replay(&token, models::mini_channel_last_sender_drop(false))
+        .expect_err("replay must reproduce the failure");
+    assert_eq!(replayed.kind, failure.kind);
+    assert_eq!(replayed.schedule, 1, "replay runs a single schedule");
+    assert_eq!(
+        replayed.trace, failure.trace,
+        "replay must follow the identical interleaving"
+    );
+}
+
+#[test]
+fn replaying_a_passing_schedule_passes() {
+    let b = Builder::default();
+    let token = TraceToken {
+        seed: b.seed,
+        choices: vec![],
+    };
+    // An empty prefix replays the first DFS schedule; a correct model
+    // passes on it.
+    let report = b
+        .replay(&token, models::mini_channel_last_sender_drop(true))
+        .expect("first schedule of the fixed model must pass");
+    assert_eq!(report.schedules, 1);
+}
+
+#[test]
+fn failure_display_carries_the_trace() {
+    let failure = Builder::default()
+        .try_check(models::abba_deadlock())
+        .expect_err("must deadlock");
+    let msg = failure.to_string();
+    assert!(msg.contains("replay trace: qtc1:"), "display: {msg}");
+}

@@ -1,0 +1,55 @@
+//! The PR-1 lost-wakeup race as a must-fail/must-pass model pair.
+//!
+//! PR 1's review found (by eyeball) that the vendored crossbeam
+//! channel's `Sender`/`Receiver` `Drop` notified the condvar *without*
+//! holding the queue mutex, so the notification could land between a
+//! receiver's "senders != 0" check and its enqueue on the condvar —
+//! a lost wakeup that could hang `Collector::shutdown` forever.
+//!
+//! `models::mini_channel_last_sender_drop(false)` replicates the buggy
+//! drop path; the model checker must find the deadlocking interleaving
+//! deterministically. With `true` (the shipped fix: notify under the
+//! queue lock) every schedule must terminate. The same scenario also
+//! runs against the *real* vendored channel in
+//! `vendor/crossbeam/tests/check_models.rs` under `--cfg qtag_check`.
+
+use qtag_check::{models, Builder, FailureKind};
+
+#[test]
+fn buggy_drop_path_deadlocks_under_some_schedule() {
+    let failure = Builder::default()
+        .try_check(models::mini_channel_last_sender_drop(false))
+        .expect_err("notify outside the queue lock must lose a wakeup");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(
+        failure.message.contains("BlockedCondvar"),
+        "the stuck thread should be parked on the condvar: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn fixed_drop_path_terminates_in_every_schedule() {
+    let report = Builder::default().check(models::mini_channel_last_sender_drop(true));
+    assert!(
+        report.complete,
+        "the fixed model must exhaust its schedule tree under the default budget"
+    );
+    assert!(report.schedules > 1);
+}
+
+#[test]
+fn buggy_failure_is_reproducible_across_runs() {
+    let b = Builder::default();
+    let f1 = b
+        .try_check(models::mini_channel_last_sender_drop(false))
+        .expect_err("run 1");
+    let f2 = b
+        .try_check(models::mini_channel_last_sender_drop(false))
+        .expect_err("run 2");
+    assert_eq!(
+        f1.trace, f2.trace,
+        "same seed must find the same failing interleaving"
+    );
+    assert_eq!(f1.schedule, f2.schedule);
+}

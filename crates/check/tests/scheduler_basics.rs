@@ -1,0 +1,135 @@
+//! Core scheduler semantics: mutual exclusion, SC atomics, condvar
+//! handoff, deadlock detection, timed waits. These run in plain
+//! builds (the shims are runtime-switched), so tier-1 `cargo test`
+//! exercises the model checker itself.
+
+use qtag_check::sync::atomic::{AtomicU64, Ordering};
+use qtag_check::sync::{thread, Arc, Mutex};
+use qtag_check::{models, Builder, FailureKind};
+
+#[test]
+fn mutex_counter_is_exact_in_every_schedule() {
+    let report = Builder::default().check(models::mutex_counter(2, 1));
+    assert!(report.complete, "small model should exhaust its tree");
+    assert!(report.schedules > 1, "must explore more than one schedule");
+}
+
+#[test]
+fn store_buffer_never_sees_both_zeros_under_sc() {
+    let report = Builder::default().check(models::store_buffer_sc());
+    assert!(report.complete);
+    // The three SC-reachable outcomes must all be visited.
+    let seen = Arc::new(std::sync::Mutex::new(std::collections::BTreeSet::new()));
+    let sink = Arc::clone(&seen);
+    Builder::default().check(move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let t1 = {
+            let (x, y) = (Arc::clone(&x), Arc::clone(&y));
+            thread::spawn(move || {
+                x.store(1, Ordering::SeqCst);
+                y.load(Ordering::SeqCst)
+            })
+        };
+        let t2 = {
+            let (x, y) = (Arc::clone(&x), Arc::clone(&y));
+            thread::spawn(move || {
+                y.store(1, Ordering::SeqCst);
+                x.load(Ordering::SeqCst)
+            })
+        };
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        // Collection state is plain std (invisible to the scheduler):
+        // it accumulates across executions on purpose.
+        sink.lock().unwrap().insert((r1, r2));
+    });
+    let seen = seen.lock().unwrap();
+    assert!(seen.contains(&(1, 1)), "outcomes seen: {seen:?}");
+    assert!(seen.contains(&(0, 1)), "outcomes seen: {seen:?}");
+    assert!(seen.contains(&(1, 0)), "outcomes seen: {seen:?}");
+    assert!(!seen.contains(&(0, 0)), "SC must forbid (0,0): {seen:?}");
+}
+
+#[test]
+fn condvar_handoff_never_loses_the_wakeup() {
+    let report = Builder::default().check(models::condvar_handoff());
+    assert!(report.complete);
+}
+
+#[test]
+fn abba_deadlock_is_detected() {
+    let failure = Builder::default()
+        .try_check(models::abba_deadlock())
+        .expect_err("AB-BA lock inversion must deadlock in some schedule");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(
+        failure.message.contains("deadlock"),
+        "message: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn assertion_failures_are_reported_with_a_trace() {
+    let failure = Builder::default()
+        .try_check(|| {
+            let v = Arc::new(Mutex::new(0u64));
+            let w = Arc::clone(&v);
+            let t = thread::spawn(move || *w.lock() += 1);
+            // Racy read: in the schedule where the spawned thread has
+            // not yet run, the assertion below fails.
+            let observed = *v.lock();
+            t.join().unwrap();
+            assert_eq!(observed, 1, "observed the pre-increment value");
+        })
+        .expect_err("some schedule must observe 0");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(failure.message.contains("pre-increment"));
+    assert!(!failure.trace.to_string().is_empty());
+}
+
+#[test]
+fn timed_wait_fires_when_nothing_notifies() {
+    let report = Builder::default().check(models::recv_timeout_fires());
+    assert!(report.complete);
+}
+
+#[test]
+fn livelock_hits_the_step_budget() {
+    let b = Builder {
+        max_steps: 200,
+        ..Builder::default()
+    };
+    let failure = b
+        .try_check(|| {
+            let stop = Arc::new(AtomicU64::new(0));
+            // Spin that no schedule ever satisfies.
+            while stop.load(Ordering::SeqCst) == 0 {
+                thread::yield_now();
+            }
+        })
+        .expect_err("unbounded spin must exhaust the step budget");
+    assert_eq!(failure.kind, FailureKind::StepBudget);
+}
+
+#[test]
+fn preemption_bound_caps_exploration() {
+    let unbounded = Builder::default().check(models::mutex_counter(2, 1));
+    let bounded = Builder::bounded(1).check(models::mutex_counter(2, 1));
+    assert!(
+        bounded.schedules < unbounded.schedules,
+        "preemption bound must shrink the tree ({} vs {})",
+        bounded.schedules,
+        unbounded.schedules
+    );
+}
+
+#[test]
+fn conservation_holds_across_all_schedules() {
+    // Full DFS on this 3-thread model runs to millions of schedules;
+    // bound preemptions CHESS-style for a tractable sound-for-races
+    // slice of the tree.
+    let report = Builder::bounded(2).check(models::mpsc_conservation(2, 1));
+    assert!(report.schedules > 10, "schedules: {}", report.schedules);
+}

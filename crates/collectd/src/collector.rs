@@ -4,13 +4,13 @@
 use crate::config::CollectorConfig;
 use crate::connection::{self, ConnCtx};
 use crate::stats::{CollectorStats, OpsSnapshot};
-use parking_lot::Mutex;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::thread::JoinHandle;
+use crate::sync::time::Instant;
+use crate::sync::{thread, Arc, Mutex};
 use qtag_server::{ImpressionStore, IngestConfig, IngestService, IngestStats, ShardedStore};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// A running collector daemon. Start with [`Collector::start`], stop
 /// with [`Collector::shutdown`] (graceful: drains in-flight frames
@@ -61,7 +61,7 @@ impl Collector {
             inlet: ingest.inlet(),
             shutdown: Arc::clone(&shutdown),
         };
-        let acceptor = std::thread::spawn(move || accept_loop(listener, ctx_proto));
+        let acceptor = thread::spawn(move || accept_loop(listener, ctx_proto));
 
         Ok(Collector {
             local_addr,
@@ -120,7 +120,10 @@ impl Collector {
     }
 
     fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
+        // ordering: Release pairs with the Acquire loads in the accept
+        // loop and connection readers — a thread that observes the flag
+        // also observes everything published before the stop began.
+        self.shutdown.store(true, Ordering::Release);
         if let Some(acceptor) = self.acceptor.take() {
             // Joins every connection thread too (the acceptor owns
             // them), and drops the acceptor's inlet clone with it.
@@ -146,6 +149,9 @@ struct ActiveGuard(Arc<CollectorStats>);
 
 impl Drop for ActiveGuard {
     fn drop(&mut self) {
+        // ordering: admission-control gauge; the acceptor's cap check
+        // tolerates a momentarily stale value (briefly over-admitting
+        // by one), and the final read happens after the joins.
         self.0.connections_active.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -158,18 +164,22 @@ fn supervise(stream: std::net::TcpStream, ctx: &ConnCtx, handlers: &mut Vec<Join
     if active >= ctx.cfg.max_connections as u64 {
         // Shed the connection whole: close immediately so the client
         // sees EOF/reset rather than a stalled socket.
+        // ordering: monotone stat; exact reads only after join.
         ctx.stats
             .connections_rejected
             .fetch_add(1, Ordering::Relaxed);
         drop(stream);
         return;
     }
+    // ordering: monotone stat; exact reads only after join.
     ctx.stats
         .connections_accepted
         .fetch_add(1, Ordering::Relaxed);
+    // ordering: admission gauge, only this acceptor thread increments;
+    // see ActiveGuard for the decrement rationale.
     ctx.stats.connections_active.fetch_add(1, Ordering::Relaxed);
     let conn_ctx = ctx.clone();
-    handlers.push(std::thread::spawn(move || {
+    handlers.push(thread::spawn(move || {
         let _active = ActiveGuard(Arc::clone(&conn_ctx.stats));
         connection::serve(stream, conn_ctx);
     }));
@@ -178,15 +188,17 @@ fn supervise(stream: std::net::TcpStream, ctx: &ConnCtx, handlers: &mut Vec<Join
 /// Acceptor: non-blocking accept + per-connection thread supervision.
 fn accept_loop(listener: TcpListener, ctx: ConnCtx) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    while !ctx.shutdown.load(Ordering::Relaxed) {
+    // ordering: Acquire pairs with the Release store in
+    // `Collector::stop`; see the store for the rationale.
+    while !ctx.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => supervise(stream, &ctx, &mut handlers),
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ctx.cfg.poll_interval);
+                thread::sleep(ctx.cfg.poll_interval);
             }
             Err(_) => {
                 // Transient accept error (e.g. EMFILE): back off.
-                std::thread::sleep(ctx.cfg.poll_interval);
+                thread::sleep(ctx.cfg.poll_interval);
             }
         }
     }
@@ -197,8 +209,8 @@ fn accept_loop(listener: TcpListener, ctx: ConnCtx) {
     // strands data behind an unaccepted connection. The drain is
     // bounded by `drain_grace`: without a deadline, clients that keep
     // connecting during shutdown would be accepted forever.
-    let drain_deadline = std::time::Instant::now() + ctx.cfg.drain_grace;
-    while std::time::Instant::now() < drain_deadline {
+    let drain_deadline = Instant::now() + ctx.cfg.drain_grace;
+    while Instant::now() < drain_deadline {
         match listener.accept() {
             Ok((stream, _peer)) => supervise(stream, &ctx, &mut handlers),
             // Backlog empty: the drain is complete.
@@ -206,7 +218,7 @@ fn accept_loop(listener: TcpListener, ctx: ConnCtx) {
             // Any other error (ECONNABORTED, EMFILE, ...) says nothing
             // about the backlog; back off and keep draining until the
             // deadline rather than ending the drain early.
-            Err(_) => std::thread::sleep(ctx.cfg.poll_interval),
+            Err(_) => thread::sleep(ctx.cfg.poll_interval),
         }
     }
     drop(listener); // stop the OS queueing new connections
@@ -308,6 +320,9 @@ mod tests {
         let ops = collector.shutdown();
         assert_eq!(ops.collector.connections_accepted, 1);
         assert_eq!(ops.collector.connections_rejected, 1);
+        // Every reader thread is joined by shutdown, so the gauge
+        // must be fully restored.
+        assert_eq!(ops.collector.connections_active, 0);
     }
 
     #[test]

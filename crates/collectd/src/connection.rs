@@ -2,14 +2,14 @@
 
 use crate::config::CollectorConfig;
 use crate::stats::CollectorStats;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Arc;
 use qtag_server::BeaconInlet;
 use qtag_wire::framing::FrameEvent;
 use qtag_wire::sender::{encode_ack, AckKey, ACK_HELLO};
 use qtag_wire::{json, Beacon, FrameDecoder};
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 /// Everything a connection thread needs; one clone per connection.
@@ -56,7 +56,7 @@ impl JsonLines {
         for &b in bytes {
             if b == b'\n' {
                 if self.overflowing {
-                    ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                    ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
                     self.overflowing = false;
                 } else {
                     self.finish_line(ctx, batch);
@@ -92,11 +92,11 @@ impl JsonLines {
             .and_then(|s| json::decode(s).ok());
         match parsed {
             Some(beacon) => {
-                ctx.stats.frames_decoded.fetch_add(1, Ordering::Relaxed);
+                ctx.stats.frames_decoded.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
                 batch.push(beacon);
             }
             None => {
-                ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
             }
         }
     }
@@ -110,11 +110,11 @@ fn drain_binary(dec: &mut FrameDecoder, ctx: &ConnCtx, batch: &mut Vec<Beacon>) 
     while let Some(ev) = dec.next_event() {
         match ev {
             FrameEvent::Beacon(b) => {
-                ctx.stats.frames_decoded.fetch_add(1, Ordering::Relaxed);
+                ctx.stats.frames_decoded.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
                 batch.push(b);
             }
             FrameEvent::Corrupt(_) => {
-                ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
             }
         }
     }
@@ -152,8 +152,8 @@ fn flush_acks(stream: &mut TcpStream, acks: &mut Vec<u8>, ctx: &ConnCtx) -> bool
     let n = (acks.len() / qtag_wire::sender::ACK_LEN) as u64;
     match stream.write_all(acks) {
         Ok(()) => {
-            ctx.stats.acks_sent.fetch_add(n, Ordering::Relaxed);
-            ctx.stats.ack_flushes.fetch_add(1, Ordering::Relaxed);
+            ctx.stats.acks_sent.fetch_add(n, Ordering::Relaxed); // ordering: stat, read after join
+            ctx.stats.ack_flushes.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
             acks.clear();
             true
         }
@@ -182,9 +182,9 @@ pub(crate) fn serve(stream: TcpStream, ctx: ConnCtx) {
             Ok(0) => break, // orderly close: socket fully drained
             Ok(n) => {
                 idle = Duration::ZERO;
-                ctx.stats.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
-                // First chunk fixes the protocol; the acked-binary
-                // hello byte is consumed here, not fed to the decoder.
+                ctx.stats.bytes_read.fetch_add(n as u64, Ordering::Relaxed); // ordering: stat, read after join
+                                                                             // First chunk fixes the protocol; the acked-binary
+                                                                             // hello byte is consumed here, not fed to the decoder.
                 let mut start = 0;
                 let p = match proto.as_mut() {
                     Some(p) => p,
@@ -193,9 +193,9 @@ pub(crate) fn serve(stream: TcpStream, ctx: ConnCtx) {
                             Protocol::Json(JsonLines::new())
                         } else if buf[0] == ACK_HELLO {
                             start = 1;
-                            ctx.stats.acked_connections.fetch_add(1, Ordering::Relaxed);
-                            // Bound ack writes to a stalled client so
-                            // the reader thread cannot hang forever.
+                            ctx.stats.acked_connections.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
+                                                                                         // Bound ack writes to a stalled client so
+                                                                                         // the reader thread cannot hang forever.
                             let _ = stream.set_write_timeout(Some(ctx.cfg.read_timeout));
                             Protocol::BinaryAcked(FrameDecoder::new())
                         } else {
@@ -228,13 +228,18 @@ pub(crate) fn serve(stream: TcpStream, ctx: ConnCtx) {
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                if ctx.shutdown.load(Ordering::Relaxed) {
+                // ordering: Acquire pairs with the Release store in
+                // `Collector::stop` — reader threads that see the flag
+                // also see everything the stopping thread published
+                // before flipping it.
+                if ctx.shutdown.load(Ordering::Acquire) {
                     // Draining for shutdown and the socket is quiet:
                     // nothing more will be waited for.
                     break;
                 }
                 idle += ctx.cfg.poll_interval;
                 if idle >= ctx.cfg.read_timeout {
+                    // ordering: monotone stat; exact reads only after join.
                     ctx.stats
                         .connections_timed_out
                         .fetch_add(1, Ordering::Relaxed);
@@ -254,27 +259,74 @@ pub(crate) fn serve(stream: TcpStream, ctx: ConnCtx) {
         Some(Protocol::BinaryAcked(dec)) => (dec, true),
         _ => return,
     };
-    for ev in dec.finish() {
-        match ev {
-            FrameEvent::Beacon(b) => {
-                ctx.stats.frames_decoded.fetch_add(1, Ordering::Relaxed);
-                batch.push(b);
-            }
-            FrameEvent::Corrupt(_) => {
-                ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-    }
+    finish_binary(&mut dec, &ctx, &mut batch);
     offer_collected(&ctx, &mut batch, if acked { Some(&mut acks) } else { None });
     if acked {
         // Best-effort: the peer may already be gone; its ack timeouts
         // cover the loss.
         let _ = flush_acks(&mut stream, &mut acks, &ctx);
     }
+}
+
+/// End-of-stream decoder accounting shared by the socket path and the
+/// socket-free model driver: flushes the decoder's remaining complete
+/// frames into `batch` and accounts resync/corrupt byte totals.
+fn finish_binary(dec: &mut FrameDecoder, ctx: &ConnCtx, batch: &mut Vec<Beacon>) {
+    for ev in dec.finish() {
+        match ev {
+            FrameEvent::Beacon(b) => {
+                ctx.stats.frames_decoded.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
+                batch.push(b);
+            }
+            FrameEvent::Corrupt(_) => {
+                ctx.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
+            }
+        }
+    }
+    // ordering: monotone stats; exact reads only after join.
     ctx.stats
         .resync_bytes
         .fetch_add(dec.skipped_bytes(), Ordering::Relaxed);
+    // ordering: monotone stat; exact reads only after join.
     ctx.stats
         .corrupt_frame_bytes
         .fetch_add(dec.corrupt_bytes(), Ordering::Relaxed);
+}
+
+/// Drives one binary-protocol session over in-memory byte chunks —
+/// the real decode → drain → batched-inlet-offer → finish path of
+/// [`serve`], minus the socket (whose blocking reads the qtag-check
+/// scheduler cannot preempt). Each chunk plays one socket read.
+/// Returns once the stream is fully drained and flushed, exactly like
+/// a connection whose peer closed.
+///
+/// This exists solely as a model seam for `tests/check_models.rs`;
+/// it is not part of the supported API.
+#[doc(hidden)]
+pub fn serve_binary_chunks(
+    cfg: Arc<CollectorConfig>,
+    stats: Arc<CollectorStats>,
+    inlet: BeaconInlet,
+    shutdown: Arc<AtomicBool>,
+    chunks: &[Vec<u8>],
+) {
+    let ctx = ConnCtx {
+        cfg,
+        stats,
+        inlet,
+        shutdown,
+    };
+    let mut dec = FrameDecoder::new();
+    let mut batch: Vec<Beacon> = Vec::new();
+    for chunk in chunks {
+        ctx.stats
+            .bytes_read
+            // ordering: monotone stat; exact reads only after join.
+            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        dec.extend(chunk);
+        drain_binary(&mut dec, &ctx, &mut batch);
+        offer_collected(&ctx, &mut batch, None);
+    }
+    finish_binary(&mut dec, &ctx, &mut batch);
+    offer_collected(&ctx, &mut batch, None);
 }

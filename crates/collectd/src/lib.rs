@@ -34,7 +34,13 @@ mod collector;
 mod config;
 mod connection;
 mod stats;
+pub mod sync;
 
 pub use collector::Collector;
 pub use config::CollectorConfig;
 pub use stats::{CollectorStats, CollectorStatsSnapshot, OpsSnapshot};
+
+// Socket-free session driver for the qtag_check schedule-exploration
+// models (`tests/check_models.rs`); not part of the supported API.
+#[doc(hidden)]
+pub use connection::serve_binary_chunks;

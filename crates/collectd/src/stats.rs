@@ -1,9 +1,9 @@
 //! Ops counters for the daemon, exposed uniformly with the ingestion
 //! service's [`qtag_server::IngestStats`].
 
+use crate::sync::atomic::{AtomicU64, Ordering};
 use qtag_server::IngestStatsSnapshot;
 use serde::Serialize;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Live counters maintained by the acceptor and connection threads.
 /// All counters are monotone except `connections_active` (a gauge).

@@ -1,0 +1,9 @@
+//! Synchronization facade for the daemon — a re-export of
+//! [`qtag_server::sync`], so both crates swap to the qtag-check
+//! model-checker shims together under `--cfg qtag_check` and a
+//! `Collector`'s primitives are always the same types as the embedded
+//! `IngestService`'s. `qtag-lint` rule R4 enforces that no other file
+//! in this crate names `std::sync`/`parking_lot`/`std::thread`
+//! primitives directly.
+
+pub use qtag_server::sync::*;

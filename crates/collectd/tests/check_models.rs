@@ -1,0 +1,187 @@
+//! Schedule-exploration models over the daemon's decode → batch →
+//! inlet → applier path, built only under `--cfg qtag_check`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg qtag_check" cargo test -p qtag-collectd --test check_models
+//! ```
+//!
+//! The socket itself is replaced by in-memory chunks (the model
+//! scheduler cannot preempt an OS `read`); everything downstream —
+//! `FrameDecoder`, the per-read batching, `BeaconInlet::offer_batch`,
+//! the shard appliers, the ingest shutdown drain — is the real code,
+//! routed through the sync facades. Each model asserts the collector's
+//! conservation identities in *every* explored interleaving.
+#![cfg(qtag_check)]
+
+use qtag_check::sync::atomic::AtomicBool;
+use qtag_check::sync::thread;
+use qtag_check::Builder;
+use qtag_collectd::{serve_binary_chunks, CollectorConfig, CollectorStats, OpsSnapshot};
+use qtag_server::sync::Arc;
+use qtag_server::{IngestConfig, IngestService, ServedImpression, ShardedStore};
+use qtag_wire::framing::encode_frames;
+use qtag_wire::{AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
+
+fn beacon(id: u64, seq: u16) -> Beacon {
+    Beacon {
+        impression_id: id,
+        campaign_id: 1,
+        event: EventKind::InView,
+        timestamp_us: 0,
+        ad_format: AdFormat::Display,
+        visible_fraction_milli: 1000,
+        exposure_ms: 1000,
+        os: OsKind::Windows10,
+        browser: BrowserKind::Chrome,
+        site_type: SiteType::Browser,
+        seq,
+    }
+}
+
+struct Rig {
+    service: IngestService,
+    store: ShardedStore,
+    stats: Arc<CollectorStats>,
+    cfg: Arc<CollectorConfig>,
+    shutdown: Arc<AtomicBool>,
+}
+
+fn rig() -> Rig {
+    let store = ShardedStore::new(1);
+    // Serve the ids the models send, so applied beacons count as
+    // unique rather than orphans.
+    for id in 1..=2u64 {
+        store.record_served(ServedImpression {
+            impression_id: id,
+            campaign_id: 1,
+            os: OsKind::Windows10,
+            browser: BrowserKind::Chrome,
+            site_type: SiteType::Browser,
+            ad_format: AdFormat::Display,
+        });
+    }
+    let service = IngestService::start_sharded(
+        store.clone(),
+        IngestConfig {
+            workers: 1,
+            batch: 2,
+            inlet_capacity: 2,
+        },
+    );
+    Rig {
+        service,
+        store,
+        stats: Arc::new(CollectorStats::default()),
+        cfg: Arc::new(CollectorConfig::default()),
+        shutdown: Arc::new(AtomicBool::new(false)),
+    }
+}
+
+/// A connection drains its stream while the daemon's ingest service
+/// shuts down concurrently — the shutdown/drain race of PR 2. In every
+/// interleaving `sent == applied + corrupt + shed + rejected` must
+/// hold, and whatever the inlet accepted must be in the store once
+/// `shutdown` returns.
+#[test]
+fn drain_vs_shutdown_conserves() {
+    let report = Builder::bounded(2).check(|| {
+        let r = rig();
+        let ingest_stats = Arc::clone(r.service.stats_arc());
+        let inlet = r.service.inlet();
+        let bytes = encode_frames(&[beacon(1, 0), beacon(2, 0)]).unwrap();
+        let total_bytes = bytes.len() as u64;
+        // Split mid-frame: the second read must resume the partial
+        // frame exactly as a socket would.
+        let cut = bytes.len() / 2;
+        let chunks = vec![bytes[..cut].to_vec(), bytes[cut..].to_vec()];
+        let stats = Arc::clone(&r.stats);
+        let cfg = Arc::clone(&r.cfg);
+        let shutdown = Arc::clone(&r.shutdown);
+        let conn = thread::spawn(move || serve_binary_chunks(cfg, stats, inlet, shutdown, &chunks));
+        r.service.shutdown();
+        conn.join().unwrap();
+        let ops = OpsSnapshot {
+            collector: r.stats.snapshot(),
+            ingest: ingest_stats.snapshot(),
+        };
+        assert!(ops.conserves(2), "conservation violated: {ops:?}");
+        assert!(ops.decode_accounted(), "decode accounting broken: {ops:?}");
+        assert_eq!(ops.collector.bytes_read, total_bytes, "{ops:?}");
+        assert_eq!(
+            r.store.unique_beacons(),
+            ops.ingest.beacons,
+            "an accepted beacon missed the store: {ops:?}"
+        );
+    });
+    assert!(report.schedules > 1, "schedules: {}", report.schedules);
+}
+
+/// Same race with a damaged frame in the stream: the corrupt frame is
+/// counted exactly once, never applied, and the identity still
+/// balances in every interleaving.
+#[test]
+fn corrupt_frame_accounting_survives_shutdown_race() {
+    let report = Builder::bounded(2).check(|| {
+        let r = rig();
+        let ingest_stats = Arc::clone(r.service.stats_arc());
+        let inlet = r.service.inlet();
+        let good = encode_frames(&[beacon(1, 0)]).unwrap();
+        let mut bad = encode_frames(&[beacon(1, 1)]).unwrap();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF; // fails the CRC, header stays honest
+        let bad_bytes = bad.len() as u64;
+        let chunks = vec![good, bad];
+        let stats = Arc::clone(&r.stats);
+        let cfg = Arc::clone(&r.cfg);
+        let shutdown = Arc::clone(&r.shutdown);
+        let conn = thread::spawn(move || serve_binary_chunks(cfg, stats, inlet, shutdown, &chunks));
+        r.service.shutdown();
+        conn.join().unwrap();
+        let ops = OpsSnapshot {
+            collector: r.stats.snapshot(),
+            ingest: ingest_stats.snapshot(),
+        };
+        assert_eq!(ops.collector.corrupt_frames, 1, "{ops:?}");
+        // The damaged frame is discarded whole (honest header), so
+        // its bytes land in corrupt_frame_bytes and none are spent
+        // resynchronising.
+        assert_eq!(ops.collector.corrupt_frame_bytes, bad_bytes, "{ops:?}");
+        assert_eq!(ops.collector.resync_bytes, 0, "{ops:?}");
+        assert!(ops.conserves(2), "conservation violated: {ops:?}");
+        assert!(ops.decode_accounted(), "decode accounting broken: {ops:?}");
+    });
+    assert!(report.schedules > 1, "schedules: {}", report.schedules);
+}
+
+/// Two connections racing each other and the shutdown: per-connection
+/// batches land on the same shard applier without losing or double
+/// counting anything.
+#[test]
+fn two_connections_conserve_jointly() {
+    let report = Builder::bounded(1).check(|| {
+        let r = rig();
+        let ingest_stats = Arc::clone(r.service.stats_arc());
+        let conns: Vec<_> = (0..2u64)
+            .map(|id| {
+                let chunks = vec![encode_frames(&[beacon(id + 1, 0)]).unwrap()];
+                let stats = Arc::clone(&r.stats);
+                let cfg = Arc::clone(&r.cfg);
+                let shutdown = Arc::clone(&r.shutdown);
+                let inlet = r.service.inlet();
+                thread::spawn(move || serve_binary_chunks(cfg, stats, inlet, shutdown, &chunks))
+            })
+            .collect();
+        r.service.shutdown();
+        for c in conns {
+            c.join().unwrap();
+        }
+        let ops = OpsSnapshot {
+            collector: r.stats.snapshot(),
+            ingest: ingest_stats.snapshot(),
+        };
+        assert!(ops.conserves(2), "conservation violated: {ops:?}");
+        assert!(ops.decode_accounted(), "decode accounting broken: {ops:?}");
+        assert_eq!(r.store.unique_beacons(), ops.ingest.beacons);
+    });
+    assert!(report.schedules > 1, "schedules: {}", report.schedules);
+}

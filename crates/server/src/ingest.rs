@@ -19,15 +19,14 @@
 
 use crate::shard::{shard_of, ShardedStore};
 use crate::store::ImpressionStore;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::thread::JoinHandle;
+use crate::sync::{thread, Arc, Mutex, Weak};
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
-use parking_lot::Mutex;
 use qtag_wire::framing::FrameEvent;
 use qtag_wire::{Beacon, FrameDecoder};
 use serde::Serialize;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Weak};
-use std::thread::JoinHandle;
 
 /// Default capacity of each shard's batch channel, in *batches*.
 /// Parser workers block when a channel fills (backpressure propagates
@@ -166,6 +165,8 @@ impl BeaconInlet {
     /// conservation checks exact.
     pub fn offer(&self, beacon: Beacon) -> bool {
         let Some(txs) = self.txs.upgrade() else {
+            // ordering: monotone stat counter; exact reads happen after
+            // shutdown() joins, in-flight snapshots tolerate staleness.
             self.stats
                 .rejected_after_shutdown
                 .fetch_add(1, Ordering::Relaxed);
@@ -174,15 +175,16 @@ impl BeaconInlet {
         let shard = shard_of(beacon.impression_id, self.shards);
         match txs[shard].try_send(vec![beacon]) {
             Ok(()) => {
-                self.stats.beacons.fetch_add(1, Ordering::Relaxed);
-                self.stats.beacon_batches.fetch_add(1, Ordering::Relaxed);
+                self.stats.beacons.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
+                self.stats.beacon_batches.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
                 true
             }
             Err(TrySendError::Full(_)) => {
-                self.stats.shed_beacons.fetch_add(1, Ordering::Relaxed);
+                self.stats.shed_beacons.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
                 false
             }
             Err(TrySendError::Disconnected(_)) => {
+                // ordering: monotone stat; exact reads only after join.
                 self.stats
                     .rejected_after_shutdown
                     .fetch_add(1, Ordering::Relaxed);
@@ -197,6 +199,7 @@ impl BeaconInlet {
     /// service is gone.
     pub fn send(&self, beacon: Beacon) -> bool {
         let Some(txs) = self.txs.upgrade() else {
+            // ordering: monotone stat; exact reads only after join.
             self.stats
                 .rejected_after_shutdown
                 .fetch_add(1, Ordering::Relaxed);
@@ -205,11 +208,12 @@ impl BeaconInlet {
         let shard = shard_of(beacon.impression_id, self.shards);
         match txs[shard].send(vec![beacon]) {
             Ok(()) => {
-                self.stats.beacons.fetch_add(1, Ordering::Relaxed);
-                self.stats.beacon_batches.fetch_add(1, Ordering::Relaxed);
+                self.stats.beacons.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
+                self.stats.beacon_batches.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
                 true
             }
             Err(_) => {
+                // ordering: monotone stat; exact reads only after join.
                 self.stats
                     .rejected_after_shutdown
                     .fetch_add(1, Ordering::Relaxed);
@@ -234,6 +238,7 @@ impl BeaconInlet {
         }
         let Some(txs) = self.txs.upgrade() else {
             outcome.rejected = beacons.len() as u64;
+            // ordering: monotone stat; exact reads only after join.
             self.stats
                 .rejected_after_shutdown
                 .fetch_add(outcome.rejected, Ordering::Relaxed);
@@ -278,6 +283,7 @@ impl BeaconInlet {
         }
         let Some(txs) = self.txs.upgrade() else {
             outcome.rejected = beacons.len() as u64;
+            // ordering: monotone stat; exact reads only after join.
             self.stats
                 .rejected_after_shutdown
                 .fetch_add(outcome.rejected, Ordering::Relaxed);
@@ -294,11 +300,12 @@ impl BeaconInlet {
             let n = group.len() as u64;
             match txs[shard].send(group) {
                 Ok(()) => {
-                    self.stats.beacons.fetch_add(n, Ordering::Relaxed);
-                    self.stats.beacon_batches.fetch_add(1, Ordering::Relaxed);
+                    self.stats.beacons.fetch_add(n, Ordering::Relaxed); // ordering: stat, read after join
+                    self.stats.beacon_batches.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
                     outcome.accepted += n;
                 }
                 Err(_) => {
+                    // ordering: monotone stat; exact reads only after join.
                     self.stats
                         .rejected_after_shutdown
                         .fetch_add(n, Ordering::Relaxed);
@@ -323,8 +330,8 @@ impl BeaconInlet {
         let group: Vec<Beacon> = indices.iter().map(|&i| beacons[i].clone()).collect();
         match tx.try_send(group) {
             Ok(()) => {
-                stats.beacons.fetch_add(n, Ordering::Relaxed);
-                stats.beacon_batches.fetch_add(1, Ordering::Relaxed);
+                stats.beacons.fetch_add(n, Ordering::Relaxed); // ordering: stat, read after join
+                stats.beacon_batches.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
                 for &i in &indices {
                     on_accept(&beacons[i]);
                 }
@@ -334,13 +341,14 @@ impl BeaconInlet {
                 }
             }
             Err(TrySendError::Full(_)) => {
-                stats.shed_beacons.fetch_add(n, Ordering::Relaxed);
+                stats.shed_beacons.fetch_add(n, Ordering::Relaxed); // ordering: stat, read after join
                 BatchOutcome {
                     shed: n,
                     ..BatchOutcome::default()
                 }
             }
             Err(TrySendError::Disconnected(_)) => {
+                // ordering: monotone stat; exact reads only after join.
                 stats
                     .rejected_after_shutdown
                     .fetch_add(n, Ordering::Relaxed);
@@ -410,7 +418,7 @@ impl IngestService {
             let (btx, brx): (Sender<Vec<Beacon>>, Receiver<Vec<Beacon>>) =
                 channel::bounded(cfg.inlet_capacity);
             let shard = Arc::clone(store.shard(s));
-            appliers.push(std::thread::spawn(move || {
+            appliers.push(thread::spawn(move || {
                 while let Ok(batch) = brx.recv() {
                     // One lock acquisition per batch: the whole point.
                     let mut store = shard.lock();
@@ -433,7 +441,7 @@ impl IngestService {
             let outs: Vec<Sender<Vec<Beacon>>> = batch_txs.iter().cloned().collect();
             let wstats = Arc::clone(&stats);
             let batch = cfg.batch;
-            handles.push(std::thread::spawn(move || {
+            handles.push(thread::spawn(move || {
                 worker_loop(wrx, outs, wstats, shards, batch)
             }));
             tx.push(wtx);
@@ -538,7 +546,7 @@ fn worker_loop(
             return Ok(());
         }
         let full = std::mem::replace(acc, Vec::with_capacity(batch));
-        stats.beacon_batches.fetch_add(1, Ordering::Relaxed);
+        stats.beacon_batches.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
         out.send(full).map_err(drop)
     };
     let flush_all = |acc: &mut Vec<Vec<Beacon>>, stats: &IngestStats| {
@@ -567,13 +575,13 @@ fn worker_loop(
         };
         match msg {
             WorkerMsg::Chunk { conn, bytes } => {
-                stats.chunks.fetch_add(1, Ordering::Relaxed);
+                stats.chunks.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
                 let dec = decoders.entry(conn).or_default();
                 dec.extend(&bytes);
                 while let Some(ev) = dec.next_event() {
                     match ev {
                         FrameEvent::Beacon(b) => {
-                            stats.beacons.fetch_add(1, Ordering::Relaxed);
+                            stats.beacons.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
                             let s = shard_of(b.impression_id, shards);
                             acc[s].push(b);
                             if acc[s].len() >= batch
@@ -583,6 +591,7 @@ fn worker_loop(
                             }
                         }
                         FrameEvent::Corrupt(_) => {
+                            // ordering: stat, read after join
                             stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -595,7 +604,7 @@ fn worker_loop(
                     for ev in dec.finish() {
                         match ev {
                             FrameEvent::Beacon(b) => {
-                                stats.beacons.fetch_add(1, Ordering::Relaxed);
+                                stats.beacons.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
                                 let s = shard_of(b.impression_id, shards);
                                 acc[s].push(b);
                                 if acc[s].len() >= batch
@@ -605,6 +614,7 @@ fn worker_loop(
                                 }
                             }
                             FrameEvent::Corrupt(_) => {
+                                // ordering: stat, read after join
                                 stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
                             }
                         }

@@ -34,6 +34,7 @@ mod report;
 mod shard;
 mod sim_transport;
 mod store;
+pub mod sync;
 mod timeline;
 mod transport;
 

@@ -19,9 +19,8 @@
 //! shard counts 1–16.
 
 use crate::store::{ImpressionRecord, ImpressionStore, ServedImpression};
-use parking_lot::Mutex;
+use crate::sync::{Arc, Mutex};
 use qtag_wire::Beacon;
-use std::sync::Arc;
 
 /// Deterministic shard routing: Fibonacci multiplicative hash over the
 /// impression id. Sequential ids (common in load generators and the

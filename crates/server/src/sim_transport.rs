@@ -207,7 +207,12 @@ mod tests {
     }
 
     /// Drives a sender over the sim transport to idle in virtual time.
-    fn deliver(store: &mut ImpressionStore, n: u16, faults: SimFaults, seed: u64) -> (u64, u64) {
+    fn deliver(
+        store: &mut ImpressionStore,
+        n: u16,
+        faults: SimFaults,
+        seed: u64,
+    ) -> (u64, u64, SimCollectorStats) {
         let transport = SimCollectorTransport::new(store, faults, seed);
         let mut sender = BeaconSender::new(transport, SenderConfig::default());
         let mut now = 0u64;
@@ -221,16 +226,22 @@ mod tests {
         }
         let stats = sender.stats();
         assert!(stats.conserves(sender.pending()), "{stats:?}");
-        (stats.acked, stats.dropped_after_retries)
+        let sim = sender.into_transport().stats();
+        (stats.acked, stats.dropped_after_retries, sim)
     }
 
     #[test]
     fn clean_network_delivers_everything_once() {
         let mut store = ImpressionStore::new();
         store.record_served(served(1));
-        let (acked, dropped) = deliver(&mut store, 40, SimFaults::NONE, 3);
+        let (acked, dropped, sim) = deliver(&mut store, 40, SimFaults::NONE, 3);
         assert_eq!(acked, 40);
         assert_eq!(dropped, 0);
+        // A healthy network injects nothing at all.
+        assert_eq!(sim.frames_lost, 0);
+        assert_eq!(sim.frames_corrupted, 0);
+        assert_eq!(sim.acks_lost, 0);
+        assert_eq!(sim.acks_reset, 0);
         assert_eq!(store.unique_beacons(), 40);
         assert_eq!(store.total_duplicates(), 0);
     }
@@ -245,11 +256,15 @@ mod tests {
             corrupt_rate: 0.05,
             ack_loss: 0.30,
         };
-        let (acked, dropped) = deliver(&mut store, 60, faults, 99);
+        let (acked, dropped, sim) = deliver(&mut store, 60, faults, 99);
         // Everything resolved: acked beacons are exactly the store's
         // unique set; dropped frames are provably absent.
         assert_eq!(acked + dropped, 60);
         assert_eq!(store.unique_beacons(), acked);
+        // The profile is hot enough that faults of some class fired.
+        let injected =
+            sim.resets + sim.frames_lost + sim.frames_corrupted + sim.acks_lost + sim.acks_reset;
+        assert!(injected > 0, "no faults at this seed: {sim:?}");
         assert!(
             store.total_duplicates() > 0,
             "30 % ack loss must force at least one duplicate delivery"

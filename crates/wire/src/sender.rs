@@ -806,6 +806,11 @@ mod tests {
         assert!(s.is_idle(), "all frames must resolve");
         assert_eq!(stats.dropped_after_retries, 5);
         assert_eq!(stats.acked, 0);
+        assert_eq!(stats.reconnects, 0);
+        assert!(
+            stats.reconnect_failures > 0,
+            "every open attempt must be refused: {stats:?}"
+        );
         assert!(stats.conserves(0));
     }
 
@@ -831,6 +836,7 @@ mod tests {
         assert_eq!(s.pending(), 1, "maybe-delivered frame stays queued");
         assert!(stats.conserves(1));
         assert_eq!(s.abandon_pending(), 1);
+        assert_eq!(s.stats().abandoned_unconfirmed, 1);
         assert!(s.stats().conserves(0));
     }
 

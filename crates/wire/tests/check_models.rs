@@ -1,0 +1,205 @@
+//! Schedule-exploration models for the [`qtag_wire::sender`] retry
+//! state machine, built only under `--cfg qtag_check`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg qtag_check" cargo test -p qtag-wire --test check_models
+//! ```
+//!
+//! `BeaconSender` itself is single-threaded and clock-virtual (every
+//! method takes `now_us`), so the concurrency under test is the
+//! transport: here it is a pair of vendored crossbeam channels shared
+//! with an acker thread standing in for the collector. The scheduler
+//! explores every interleaving of the sender's pumps against the
+//! acker's recv/ack work — exactly the races a real socket produces
+//! between `poll_acks` and the collector's ack writes — and the
+//! sender-side conservation identity
+//!
+//! ```text
+//! enqueued == acked + dropped_after_retries + abandoned + pending
+//! ```
+//!
+//! must hold at every pump of every schedule.
+
+#![cfg(qtag_check)]
+
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use qtag_check::sync::thread;
+use qtag_check::Builder;
+use qtag_wire::framing::FrameEvent;
+use qtag_wire::sender::{AckKey, BeaconSender, SenderConfig, Transport, TransportError};
+use qtag_wire::{AdFormat, Beacon, BrowserKind, EventKind, FrameDecoder, OsKind, SiteType};
+
+fn beacon(seq: u16) -> Beacon {
+    Beacon {
+        impression_id: 7,
+        campaign_id: 1,
+        event: EventKind::Heartbeat,
+        timestamp_us: u64::from(seq) * 1_000,
+        ad_format: AdFormat::Display,
+        visible_fraction_milli: 500,
+        exposure_ms: 0,
+        os: OsKind::Android,
+        browser: BrowserKind::Chrome,
+        site_type: SiteType::Browser,
+        seq,
+    }
+}
+
+/// A [`Transport`] over two in-memory channels: frames flow to the
+/// acker thread, acks flow back. `poll_acks` is genuinely
+/// non-blocking (`try_recv`), so the ack-arrival race is real.
+struct ChannelTransport {
+    frames: Sender<Vec<u8>>,
+    acks: Receiver<AckKey>,
+}
+
+impl Transport for ChannelTransport {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        self.frames
+            .send(frame.to_vec())
+            .map_err(|_| TransportError::Closed)
+    }
+
+    fn poll_acks(&mut self, out: &mut Vec<AckKey>) -> Result<(), TransportError> {
+        loop {
+            match self.acks.try_recv() {
+                Ok(k) => out.push(k),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return Ok(()),
+            }
+        }
+    }
+
+    fn reopen(&mut self) -> Result<(), TransportError> {
+        Ok(())
+    }
+}
+
+/// Decodes every beacon in `frame` and acks each one.
+fn ack_frame(frame: &[u8], acks: &Sender<AckKey>) {
+    let mut dec = FrameDecoder::new();
+    dec.extend(frame);
+    for ev in dec.drain() {
+        if let FrameEvent::Beacon(b) = ev {
+            acks.send(AckKey::from(&b)).unwrap();
+        }
+    }
+}
+
+fn rig() -> (
+    BeaconSender<ChannelTransport>,
+    Receiver<Vec<u8>>,
+    Sender<AckKey>,
+) {
+    let (frames_tx, frames_rx) = channel::unbounded::<Vec<u8>>();
+    let (acks_tx, acks_rx) = channel::unbounded::<AckKey>();
+    let sender = BeaconSender::new(
+        ChannelTransport {
+            frames: frames_tx,
+            acks: acks_rx,
+        },
+        SenderConfig::default(),
+    );
+    (sender, frames_rx, acks_tx)
+}
+
+/// Happy path under every interleaving: two beacons written in one
+/// pump while the acker concurrently receives and acks them. Whatever
+/// order the scheduler picks — acker blocked before the first frame
+/// exists, acks landing between the two writes, acks only drained by
+/// the final pump — everything ends acked and the identity balances
+/// at each step.
+#[test]
+fn concurrent_acker_delivers_everything() {
+    let report = Builder::bounded(2).check(|| {
+        let (mut s, frames_rx, acks_tx) = rig();
+        let acker = thread::spawn(move || {
+            for _ in 0..2 {
+                let frame = frames_rx.recv().unwrap();
+                ack_frame(&frame, &acks_tx);
+            }
+        });
+        assert!(s.offer(&beacon(0), 0).unwrap());
+        assert!(s.offer(&beacon(1), 0).unwrap());
+        s.pump(0);
+        assert!(s.stats().conserves(s.pending()));
+        acker.join().unwrap();
+        s.pump(1);
+        let stats = s.stats();
+        assert!(s.is_idle(), "{stats:?}");
+        assert_eq!(stats.acked, 2);
+        assert_eq!(stats.frames_written, 2);
+        assert_eq!(stats.retransmits, 0);
+        assert!(stats.conserves(0));
+    });
+    assert!(report.schedules > 1, "schedules: {}", report.schedules);
+}
+
+/// A lossy link: the acker swallows the first copy of the frame
+/// without acking. The ack-wait window must expire exactly once, the
+/// retransmit must carry the identical beacon, and nothing is ever
+/// dropped — a fully-written frame may never leave the queue except
+/// by ack.
+#[test]
+fn lost_frame_is_retransmitted_not_dropped() {
+    let report = Builder::bounded(2).check(|| {
+        let (mut s, frames_rx, acks_tx) = rig();
+        let acker = thread::spawn(move || {
+            let _swallowed = frames_rx.recv().unwrap();
+            let frame = frames_rx.recv().unwrap();
+            ack_frame(&frame, &acks_tx);
+        });
+        assert!(s.offer(&beacon(0), 0).unwrap());
+        s.pump(0); // first write; ack deadline 50ms out
+        assert!(s.stats().conserves(s.pending()));
+        // The acker only acks the *second* copy, so no ack can exist
+        // yet: this pump must expire the wait, not drain an ack.
+        s.pump(60_000);
+        assert_eq!(s.stats().ack_timeouts, 1);
+        s.pump(200_000); // backoff elapsed: retransmit
+        assert!(s.stats().conserves(s.pending()));
+        acker.join().unwrap();
+        s.pump(300_000);
+        let stats = s.stats();
+        assert!(s.is_idle(), "{stats:?}");
+        assert_eq!(stats.acked, 1);
+        assert_eq!(stats.retransmits, 1);
+        assert_eq!(stats.dropped_after_retries, 0);
+        assert!(stats.conserves(0));
+    });
+    assert!(report.schedules > 1, "schedules: {}", report.schedules);
+}
+
+/// A delayed ack crossing a retransmit: the acker holds both copies of
+/// the frame and then acks the key twice (the collector re-acks
+/// duplicates). The sender must count the beacon acked exactly once —
+/// the second ack finds nothing pending — and still conserve.
+#[test]
+fn duplicate_acks_count_once() {
+    let report = Builder::bounded(2).check(|| {
+        let (mut s, frames_rx, acks_tx) = rig();
+        let acker = thread::spawn(move || {
+            // Hold the first copy un-acked until the retransmit lands,
+            // then ack both: the late ack + the re-ack of the dup.
+            let first = frames_rx.recv().unwrap();
+            let second = frames_rx.recv().unwrap();
+            ack_frame(&first, &acks_tx);
+            ack_frame(&second, &acks_tx);
+        });
+        assert!(s.offer(&beacon(0), 0).unwrap());
+        s.pump(0);
+        // No acks can arrive before the retransmit (the acker is
+        // blocked on the second frame), so the timeout fires.
+        s.pump(60_000);
+        s.pump(200_000); // retransmit: unblocks the acker
+        assert!(s.stats().conserves(s.pending()));
+        acker.join().unwrap();
+        s.pump(300_000); // drains both acks for the one key
+        let stats = s.stats();
+        assert!(s.is_idle(), "{stats:?}");
+        assert_eq!(stats.acked, 1, "one beacon, one ack count: {stats:?}");
+        assert_eq!(stats.enqueued, 1);
+        assert_eq!(stats.retransmits, 1);
+        assert!(stats.conserves(0));
+    });
+    assert!(report.schedules > 1, "schedules: {}", report.schedules);
+}

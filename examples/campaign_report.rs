@@ -9,9 +9,9 @@
 //!
 //! Run with: `cargo run --release --example campaign_report`
 
-use parking_lot::Mutex;
 use qtag::adtech::{AdSlotRequest, Campaign, Dsp, Exchange, ExchangeKind, GeoRegion, Sector};
 use qtag::geometry::Size;
+use qtag::server::sync::Mutex;
 use qtag::server::{ImpressionStore, IngestService, LossyLink, ReportBuilder, ServedImpression};
 use qtag::user::{Population, PopulationConfig, SessionSim};
 use qtag::wire::SiteType;

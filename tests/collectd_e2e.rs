@@ -8,7 +8,7 @@
 //! beacons sent == beacons applied + corrupt frames + shed beacons
 //! ```
 
-use parking_lot::Mutex;
+use qtag::server::sync::Mutex;
 use qtag_collectd::{Collector, CollectorConfig};
 use qtag_server::{ImpressionStore, ServedImpression};
 use qtag_wire::framing::encode_frames;

@@ -1,7 +1,6 @@
 //! End-to-end integration tests spanning every crate: auction → serving
 //! → markup → session → tag → wire → transport → ingestion → report.
 
-use parking_lot::Mutex;
 use qtag::adtech::{
     embed_served_ad, AdSlotRequest, Campaign, CampaignId, Dsp, Exchange, ExchangeKind, GeoRegion,
     Sector, ServedAd, ServingOrigins,
@@ -10,6 +9,7 @@ use qtag::core::{QTag, QTagConfig};
 use qtag::dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
 use qtag::geometry::{Rect, Size, Vector};
 use qtag::render::{Engine, EngineConfig, SimDuration};
+use qtag::server::sync::Mutex;
 use qtag::server::{ImpressionStore, IngestService, LossyLink, ReportBuilder, ServedImpression};
 use qtag::user::{EnvSample, Population, PopulationConfig, SessionSim};
 use qtag::wire::{AdFormat, EventKind, OsKind, SiteType};

@@ -2,11 +2,11 @@
 //! parts of the pipeline break — lossy networks, corrupted streams,
 //! dying sessions, hostile environments.
 
-use parking_lot::Mutex;
 use qtag::core::{QTag, QTagConfig};
 use qtag::dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
 use qtag::geometry::{Rect, Size};
 use qtag::render::{Engine, EngineConfig, SimDuration};
+use qtag::server::sync::Mutex;
 use qtag::server::{ImpressionStore, IngestService, LossyLink, ReportBuilder, ServedImpression};
 use qtag::wire::{AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
 use std::sync::Arc;

@@ -15,8 +15,8 @@
 //! with duplicates forced by lost acks counted separately and never
 //! double-applied to an aggregate.
 
-use parking_lot::Mutex;
 use proptest::prelude::*;
+use qtag::server::sync::Mutex;
 use qtag_collectd::{Collector, CollectorConfig};
 use qtag_server::{
     ImpressionStore, ReportBuilder, ServedImpression, SimCollectorTransport, SimFaults,

@@ -251,7 +251,7 @@ proptest! {
 /// every sharded-interface write.
 #[test]
 fn one_shard_wrapper_is_transparent() {
-    use parking_lot::Mutex;
+    use qtag::server::sync::Mutex;
     use std::sync::Arc;
     let inner = Arc::new(Mutex::new(ImpressionStore::new()));
     let sharded = ShardedStore::from_single(Arc::clone(&inner));

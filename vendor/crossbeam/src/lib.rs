@@ -8,15 +8,23 @@
 //! lock-free original, but the same observable behaviour; throughput
 //! is adequate for the ingest pipeline (hundreds of thousands of
 //! messages per second with the batching the callers do).
+//!
+//! All primitives come from the [`sync`] facade, so a `--cfg
+//! qtag_check` build runs this exact channel under the `qtag-check`
+//! deterministic scheduler; the model-based regression suite lives in
+//! `tests/check_models.rs`.
 
 #![forbid(unsafe_code)]
 
+pub mod sync;
+
 /// MPMC channels in the crossbeam 0.8 API shape.
 pub mod channel {
+    use crate::sync::atomic::{AtomicUsize, Ordering};
+    use crate::sync::time::Instant;
+    use crate::sync::{Arc, Condvar, Mutex, MutexGuard};
     use std::collections::VecDeque;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::{Arc, Condvar, Mutex};
-    use std::time::{Duration, Instant};
+    use std::time::Duration;
 
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
@@ -35,6 +43,57 @@ pub mod channel {
             self.senders.load(Ordering::SeqCst) == 0
         }
     }
+
+    // ---- wakeup rules: single source of truth ------------------------
+    //
+    // Every `Condvar` notification on a channel goes through the four
+    // helpers below, and each takes the queue guard by reference: a
+    // notification is always issued *while holding the queue mutex*.
+    //
+    // Why this is sufficient to never lose a wakeup: a waiter's whole
+    // check-then-wait window — inspecting the queue and the
+    // disconnection counters, then calling `Condvar::wait` — runs
+    // under the queue mutex, and `wait` releases that mutex atomically
+    // with enqueueing the waiter. A notifier holding the same mutex
+    // therefore runs either before the waiter's check (the waiter then
+    // sees the new state and never sleeps) or after the waiter is
+    // enqueued (the notification wakes it). Nothing can fall between.
+    //
+    // Why it is also necessary on the drop paths: `Sender::drop` and
+    // `Receiver::drop` flip the disconnection condition with a
+    // lock-free `fetch_sub` *outside* the mutex. PR-1 shipped exactly
+    // that decrement followed by a lock-free notification, and a
+    // receiver sitting between its disconnect check and its wait
+    // parked forever. Taking the mutex inside the helper orders the
+    // notification after that receiver's wait, closing the window.
+    //
+    // The deterministic-schedule regression for that bug lives in
+    // `tests/check_models.rs`, and a lexical unit test below keeps
+    // every notification site inside this block.
+    impl<T> Inner<T> {
+        /// A message was pushed: wake one blocked receiver.
+        fn wake_one_receiver(&self, _queue: &MutexGuard<'_, VecDeque<T>>) {
+            self.not_empty.notify_one();
+        }
+
+        /// A slot was freed in a bounded queue: wake one blocked sender.
+        fn wake_one_sender(&self, _queue: &MutexGuard<'_, VecDeque<T>>) {
+            self.not_full.notify_one();
+        }
+
+        /// The last sender disconnected: wake every blocked receiver so
+        /// it observes `RecvError`.
+        fn wake_all_receivers(&self, _queue: &MutexGuard<'_, VecDeque<T>>) {
+            self.not_empty.notify_all();
+        }
+
+        /// The last receiver disconnected: wake every blocked sender so
+        /// it observes `SendError`.
+        fn wake_all_senders(&self, _queue: &MutexGuard<'_, VecDeque<T>>) {
+            self.not_full.notify_all();
+        }
+    }
+    // ---- end wakeup rules --------------------------------------------
 
     /// Error returned by [`Sender::send`] when all receivers are gone.
     #[derive(PartialEq, Eq)]
@@ -142,29 +201,24 @@ pub mod channel {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
+            // ordering: SeqCst pairs with the `disconnected_for_recv`
+            // loads; only the thread that observes the counter at 1
+            // (the last sender) performs the wakeup, under the queue
+            // mutex per the wakeup rules above.
             if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
-                // Last sender: wake blocked receivers so they observe
-                // disconnection. The notify must happen with the queue
-                // mutex held: a receiver that loaded `senders > 0` but
-                // has not yet reached `Condvar::wait` holds the mutex
-                // for that whole check-then-wait window, so acquiring
-                // it here orders the counter update before the wait and
-                // the wakeup cannot be lost. (Binding the `Result`
-                // keeps the lock held even if poisoned, without a
-                // panic-in-drop.)
-                let _guard = self.inner.queue.lock();
-                self.inner.not_empty.notify_all();
+                let queue = self.inner.queue.lock();
+                self.inner.wake_all_receivers(&queue);
             }
         }
     }
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
+            // ordering: as in `Sender::drop`, for senders blocked on a
+            // full bounded channel.
             if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
-                // Same ordering argument as Sender::drop, for senders
-                // blocked on a full bounded channel.
-                let _guard = self.inner.queue.lock();
-                self.inner.not_full.notify_all();
+                let queue = self.inner.queue.lock();
+                self.inner.wake_all_senders(&queue);
             }
         }
     }
@@ -185,27 +239,26 @@ pub mod channel {
         /// Sends, blocking while a bounded channel is full. Errors only
         /// when every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            let mut q = self.inner.queue.lock().expect("channel lock");
+            let mut q = self.inner.queue.lock();
             loop {
                 if self.inner.disconnected_for_send() {
                     return Err(SendError(value));
                 }
                 match self.inner.cap {
                     Some(cap) if q.len() >= cap => {
-                        q = self.inner.not_full.wait(q).expect("channel lock");
+                        q = self.inner.not_full.wait(q);
                     }
                     _ => break,
                 }
             }
             q.push_back(value);
-            drop(q);
-            self.inner.not_empty.notify_one();
+            self.inner.wake_one_receiver(&q);
             Ok(())
         }
 
         /// Sends without blocking; a bounded channel at capacity sheds.
         pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-            let mut q = self.inner.queue.lock().expect("channel lock");
+            let mut q = self.inner.queue.lock();
             if self.inner.disconnected_for_send() {
                 return Err(TrySendError::Disconnected(value));
             }
@@ -215,14 +268,13 @@ pub mod channel {
                 }
             }
             q.push_back(value);
-            drop(q);
-            self.inner.not_empty.notify_one();
+            self.inner.wake_one_receiver(&q);
             Ok(())
         }
 
         /// Queued messages right now.
         pub fn len(&self) -> usize {
-            self.inner.queue.lock().expect("channel lock").len()
+            self.inner.queue.lock().len()
         }
 
         /// Whether the queue is currently empty.
@@ -234,26 +286,24 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Receives, blocking until a message or disconnection.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut q = self.inner.queue.lock().expect("channel lock");
+            let mut q = self.inner.queue.lock();
             loop {
                 if let Some(v) = q.pop_front() {
-                    drop(q);
-                    self.inner.not_full.notify_one();
+                    self.inner.wake_one_sender(&q);
                     return Ok(v);
                 }
                 if self.inner.disconnected_for_recv() {
                     return Err(RecvError);
                 }
-                q = self.inner.not_empty.wait(q).expect("channel lock");
+                q = self.inner.not_empty.wait(q);
             }
         }
 
         /// Receives without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut q = self.inner.queue.lock().expect("channel lock");
+            let mut q = self.inner.queue.lock();
             if let Some(v) = q.pop_front() {
-                drop(q);
-                self.inner.not_full.notify_one();
+                self.inner.wake_one_sender(&q);
                 return Ok(v);
             }
             if self.inner.disconnected_for_recv() {
@@ -263,35 +313,33 @@ pub mod channel {
             }
         }
 
-        /// Receives with a deadline.
+        /// Receives with a deadline. The clock comes from the facade:
+        /// under `qtag_check` it is the execution's logical clock, and
+        /// a scheduled timed-wait wakeup advances it past the
+        /// deadline, so models never stall here.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
             let deadline = Instant::now() + timeout;
-            let mut q = self.inner.queue.lock().expect("channel lock");
+            let mut q = self.inner.queue.lock();
             loop {
                 if let Some(v) = q.pop_front() {
-                    drop(q);
-                    self.inner.not_full.notify_one();
+                    self.inner.wake_one_sender(&q);
                     return Ok(v);
                 }
                 if self.inner.disconnected_for_recv() {
                     return Err(RecvTimeoutError::Disconnected);
                 }
-                let now = Instant::now();
-                if now >= deadline {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining == Duration::ZERO {
                     return Err(RecvTimeoutError::Timeout);
                 }
-                let (guard, _res) = self
-                    .inner
-                    .not_empty
-                    .wait_timeout(q, deadline - now)
-                    .expect("channel lock");
+                let (guard, _timed_out) = self.inner.not_empty.wait_timeout(q, remaining);
                 q = guard;
             }
         }
 
         /// Queued messages right now.
         pub fn len(&self) -> usize {
-            self.inner.queue.lock().expect("channel lock").len()
+            self.inner.queue.lock().len()
         }
 
         /// Whether the queue is currently empty.
@@ -400,11 +448,13 @@ pub mod channel {
             assert_eq!(sum, 999 * 1000 / 2);
         }
 
-        // Regression tests for a lost-wakeup race: the final Drop used
-        // to notify without the queue mutex, so a waiter between its
-        // disconnect check and Condvar::wait could sleep forever. These
-        // hang (rather than fail) if the race comes back, which CI
-        // surfaces as a test timeout.
+        // Stress regressions for the lost-wakeup race (the final Drop
+        // used to notify without the queue mutex, so a waiter between
+        // its disconnect check and `Condvar::wait` could sleep
+        // forever). These hang (rather than fail) if the race comes
+        // back, which CI surfaces as a test timeout; the
+        // *deterministic* regression — every interleaving, not 200
+        // dice rolls — is `tests/check_models.rs`.
         #[test]
         fn receiver_wakes_when_last_sender_drops_concurrently() {
             for _ in 0..200 {
@@ -432,6 +482,36 @@ pub mod channel {
             assert_eq!(
                 rx.recv_timeout(Duration::from_millis(10)),
                 Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        // S2 guard: every condvar notification must live inside the
+        // delimited "wakeup rules" block — the guard-taking helpers —
+        // which is what keeps notify-under-lock auditable in one
+        // place. Lexical assertion over this very file; the needle is
+        // assembled at runtime so this test cannot match itself.
+        #[test]
+        fn wakeup_notifications_are_centralized_and_under_lock() {
+            let src = include_str!("lib.rs");
+            let needle = String::from(".notify") + "_";
+            let start = src
+                .find("// ---- wakeup rules")
+                .expect("wakeup-rules start marker");
+            let end = src
+                .find("// ---- end wakeup rules")
+                .expect("wakeup-rules end marker");
+            assert!(start < end, "markers out of order");
+            let block = &src[start..end];
+            let outside =
+                src[..start].matches(&needle).count() + src[end..].matches(&needle).count();
+            assert_eq!(
+                outside, 0,
+                "a condvar notification escaped the wakeup-rules block"
+            );
+            assert_eq!(
+                block.matches(&needle).count(),
+                4,
+                "expected exactly one notification per wakeup helper"
             );
         }
     }

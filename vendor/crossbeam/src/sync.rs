@@ -1,0 +1,92 @@
+//! Sync facade: the single place this crate obtains its concurrency
+//! primitives. Building with `--cfg qtag_check` swaps `std` for the
+//! `qtag-check` model-checker shims, so the *same channel code* runs
+//! under deterministic bounded-DFS schedule exploration (see
+//! `tests/check_models.rs`); a normal build uses thin poison-free
+//! `std` wrappers with an identical guard-returning API.
+//!
+//! The channel implementation must route every lock, condvar, atomic
+//! and clock read through this module — `qtag-lint` (rule R4) rejects
+//! direct `std::sync`/`parking_lot` use elsewhere in this crate.
+
+#[cfg(qtag_check)]
+pub use qtag_check::sync::{atomic, time, Arc, Condvar, Mutex, MutexGuard};
+
+#[cfg(not(qtag_check))]
+pub use real::{Condvar, Mutex, MutexGuard};
+#[cfg(not(qtag_check))]
+pub use std::sync::Arc;
+
+/// Atomics in the `std::sync::atomic` shape.
+#[cfg(not(qtag_check))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Clock types in the `std::time` shape.
+#[cfg(not(qtag_check))]
+pub mod time {
+    pub use std::time::{Duration, Instant};
+}
+
+#[cfg(not(qtag_check))]
+mod real {
+    use std::sync::PoisonError;
+    use std::time::Duration;
+
+    /// Guard type shared with the `qtag_check` facade shape.
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    /// `std::sync::Mutex` with a `parking_lot`-shaped, poison-free
+    /// `lock()` (a poisoned lock is recovered, not propagated: the
+    /// channel holds plain data whose invariants every method
+    /// re-establishes before releasing).
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub const fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Poison-free `std::sync::Condvar` with guard-returning waits.
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Condvar::new()
+        }
+    }
+
+    impl Condvar {
+        pub const fn new() -> Self {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+        }
+
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> (MutexGuard<'a, T>, std::sync::WaitTimeoutResult) {
+            self.0
+                .wait_timeout(guard, dur)
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+
+        pub fn notify_one(&self) {
+            self.0.notify_one()
+        }
+
+        pub fn notify_all(&self) {
+            self.0.notify_all()
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Deterministic schedule-exploration models over the *real* channel
+//! code, built only under `--cfg qtag_check` (the sync facade then
+//! routes every lock, condvar, atomic and clock read through the
+//! qtag-check scheduler):
+//!
+//! ```text
+//! RUSTFLAGS="--cfg qtag_check" cargo test -p crossbeam --test check_models
+//! ```
+//!
+//! Two-thread models run full bounded DFS; the three-thread mpsc model
+//! uses a preemption bound (CHESS-style) because its full tree runs to
+//! millions of schedules.
+#![cfg(qtag_check)]
+
+use crossbeam::channel::{bounded, unbounded, RecvError, RecvTimeoutError};
+use qtag_check::sync::thread;
+use qtag_check::Builder;
+
+/// The PR-1 lost-wakeup regression, on the real channel: a receiver
+/// blocks in `recv()` while the last sender drops concurrently. With
+/// the drop-path notification outside the queue mutex this deadlocks
+/// (qtag-check's built-in `mini_channel_last_sender_drop(false)` model
+/// keeps that failure reproducible); the shipped code must survive
+/// every interleaving.
+#[test]
+fn recv_wakes_when_last_sender_drops() {
+    let report = Builder::default().check(|| {
+        let (tx, rx) = unbounded::<u32>();
+        let recv = thread::spawn(move || rx.recv());
+        drop(tx);
+        assert_eq!(recv.join().unwrap(), Err(RecvError));
+    });
+    assert!(report.complete, "model must exhaust its schedule tree");
+    assert!(report.schedules > 1);
+}
+
+/// Mirror image: a sender blocked on a full bounded channel must
+/// observe disconnection when the last receiver drops.
+#[test]
+fn sender_wakes_when_last_receiver_drops() {
+    let report = Builder::default().check(|| {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let send = thread::spawn(move || tx.send(2));
+        drop(rx);
+        assert!(send.join().unwrap().is_err());
+    });
+    assert!(report.complete, "model must exhaust its schedule tree");
+    assert!(report.schedules > 1);
+}
+
+/// Two producers, one consumer: every message arrives exactly once and
+/// each producer's messages arrive in its send order (per-sender FIFO).
+#[test]
+fn mpsc_fifo_and_conservation() {
+    let report = Builder::bounded(2).check(|| {
+        let (tx, rx) = unbounded::<(u32, u32)>();
+        let producers: Vec<_> = (0..2u32)
+            .map(|id| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for seq in 0..2u32 {
+                        tx.send((id, seq)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut next_seq = [0u32; 2];
+        let mut total = 0u32;
+        while let Ok((id, seq)) = rx.recv() {
+            assert_eq!(
+                seq, next_seq[id as usize],
+                "per-sender FIFO violated for sender {id}"
+            );
+            next_seq[id as usize] += 1;
+            total += 1;
+        }
+        assert_eq!(total, 4, "conservation: every sent message received once");
+        for h in producers {
+            h.join().unwrap();
+        }
+    });
+    assert!(report.schedules > 10, "schedules: {}", report.schedules);
+}
+
+/// Bounded capacity-1 channel: the producer must block and resume on
+/// every item, and nothing is lost or duplicated across the handoffs.
+#[test]
+fn bounded_backpressure_conserves() {
+    let report = Builder::default().check(|| {
+        let (tx, rx) = bounded::<u32>(1);
+        let producer = thread::spawn(move || {
+            for i in 0..3u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        assert_eq!(got, vec![0, 1, 2]);
+        producer.join().unwrap();
+    });
+    assert!(report.schedules > 1, "schedules: {}", report.schedules);
+}
+
+/// `recv_timeout` must terminate in every schedule: either the message
+/// arrives or the (virtual) deadline fires — never a hang, even when
+/// the sender races the timeout.
+#[test]
+fn recv_timeout_never_hangs() {
+    use std::time::Duration;
+    // The timed-wait branch point (timeout firing is schedulable at
+    // every step the receiver is parked) widens the tree past the
+    // default budget; this model needs a larger one to exhaust.
+    let b = Builder {
+        max_schedules: 50_000,
+        ..Builder::default()
+    };
+    let report = b.check(|| {
+        let (tx, rx) = unbounded::<u32>();
+        let producer = thread::spawn(move || {
+            tx.send(7).unwrap();
+        });
+        match rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(v) => assert_eq!(v, 7),
+            Err(e) => assert_eq!(e, RecvTimeoutError::Timeout),
+        }
+        producer.join().unwrap();
+    });
+    assert!(report.complete, "model must exhaust its schedule tree");
+}
+
+/// An empty channel with a live sender can only time out.
+#[test]
+fn recv_timeout_fires_with_idle_sender() {
+    use std::time::Duration;
+    let report = Builder::default().check(|| {
+        let (_tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    });
+    assert!(report.complete);
+}
