@@ -112,6 +112,7 @@ fn main() {
                 *loss,
                 seed ^ i,
                 &mut totals,
+                None,
             );
         }
         let faf_rate = ReportBuilder::per_campaign(&faf_store)[0]

@@ -7,6 +7,7 @@
 //!                  [--corrupt-rate F] [--capacity N] [--abrupt]
 //!                  [--shards LIST] [--batch LIST]
 //!                  [--retry] [--fault-proxy] [--seed N] [--json]
+//!                  [--metrics PATH] [--metrics-json PATH]
 //! ```
 //!
 //! Starts an in-process [`qtag_collectd::Collector`] on an ephemeral
@@ -48,9 +49,10 @@
 use qtag_bench::output::ExperimentOutput;
 use qtag_bench::proxy::{FaultProxy, FaultProxyConfig};
 use qtag_collectd::{Collector, CollectorConfig};
+use qtag_obs::Registry;
 use qtag_server::{ServedImpression, ShardedStore};
 use qtag_wire::framing::encode_frames;
-use qtag_wire::sender::{BeaconSender, SenderConfig, SenderStats, TcpTransport};
+use qtag_wire::sender::{BeaconSender, SenderConfig, SenderMetrics, SenderStats, TcpTransport};
 use qtag_wire::{binary, AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -76,6 +78,22 @@ struct LoadgenConfig {
     shards: Vec<usize>,
     /// Applier batch sizes to sweep.
     batch: Vec<usize>,
+    /// Dump the daemon registry as Prometheus text exposition here
+    /// after the run (`-` for stdout). Sweeps overwrite per cell.
+    metrics: Option<String>,
+    /// Same registry as a JSON snapshot.
+    metrics_json: Option<String>,
+}
+
+/// Writes one rendered registry exposition to `path` (or stdout for
+/// `-`).
+fn dump_metrics(path: &str, rendered: &str) {
+    if path == "-" {
+        println!("{rendered}");
+    } else {
+        std::fs::write(path, rendered).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
 }
 
 /// Parses a comma-separated list of positive integers.
@@ -108,6 +126,8 @@ impl LoadgenConfig {
             seed: 0x50AC,
             shards: vec![1],
             batch: vec![qtag_server::DEFAULT_BATCH],
+            metrics: None,
+            metrics_json: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -132,6 +152,8 @@ impl LoadgenConfig {
                 }
                 "--shards" => cfg.shards = parse_list("--shards", &args[i + 1]),
                 "--batch" => cfg.batch = parse_list("--batch", &args[i + 1]),
+                "--metrics" => cfg.metrics = Some(args[i + 1].clone()),
+                "--metrics-json" => cfg.metrics_json = Some(args[i + 1].clone()),
                 "--abrupt" => {
                     cfg.abrupt = true;
                     i += 1;
@@ -264,7 +286,12 @@ fn run_client(addr: SocketAddr, cfg: &LoadgenConfig, client: u64) -> ClientOutco
 /// `BeaconSender` over real TCP (optionally through the fault proxy)
 /// and pumps on wall time until everything is acked or provably
 /// dropped. Returns the sender's final counters.
-fn run_retry_client(addr: SocketAddr, cfg: &LoadgenConfig, client: u64) -> SenderStats {
+fn run_retry_client(
+    addr: SocketAddr,
+    cfg: &LoadgenConfig,
+    client: u64,
+    metrics: Arc<SenderMetrics>,
+) -> SenderStats {
     let sender_cfg = SenderConfig {
         seed: cfg.seed ^ (client.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         // Wall-clock profile: stalls at the proxy run ~100 ms, so the
@@ -277,6 +304,7 @@ fn run_retry_client(addr: SocketAddr, cfg: &LoadgenConfig, client: u64) -> Sende
         ..SenderConfig::default()
     };
     let mut sender = BeaconSender::new(TcpTransport::new(addr), sender_cfg);
+    sender.attach_metrics(metrics);
     let t0 = Instant::now();
     let now_us = || t0.elapsed().as_micros() as u64;
     for seq_no in 0..cfg.beacons_per_client {
@@ -372,12 +400,19 @@ fn run_retry_soak(cfg: &LoadgenConfig, out: &ExperimentOutput) {
         cfg.seed,
     );
 
+    // One fleet-wide sender metric block, registered alongside the
+    // daemon's own metrics so a single scrape covers both sides of the
+    // protocol.
+    let registry: Arc<Registry> = Arc::clone(collector.registry());
+    let sender_metrics = SenderMetrics::register(&registry, "qtag_sender");
+
     let started = Instant::now();
     let shared = Arc::new(cfg.clone());
     let handles: Vec<_> = (0..cfg.clients)
         .map(|client| {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || run_retry_client(addr, &shared, client))
+            let metrics = Arc::clone(&sender_metrics);
+            std::thread::spawn(move || run_retry_client(addr, &shared, client, metrics))
         })
         .collect();
     let stats: Vec<SenderStats> = handles
@@ -417,6 +452,23 @@ fn run_retry_soak(cfg: &LoadgenConfig, out: &ExperimentOutput) {
     println!("abandoned unconfirmed {abandoned:>12}");
     println!("sender reconnects     {reconnects:>12}");
     println!("elapsed               {:>12.3} s", elapsed.as_secs_f64());
+    let ack_latency = sender_metrics.ack_latency_us.snapshot();
+    if let (Some(p50), Some(p99)) = (ack_latency.quantile(0.5), ack_latency.quantile(0.99)) {
+        println!("ack latency p50/p99   {p50:>8} / {p99} us");
+    }
+    let backoff = sender_metrics.backoff_us.snapshot();
+    if let Some(p99) = backoff.quantile(0.99) {
+        println!(
+            "backoff p99           {p99:>12} us ({} scheduled)",
+            backoff.count
+        );
+    }
+    if let Some(path) = &cfg.metrics {
+        dump_metrics(path, &registry.render_prometheus());
+    }
+    if let Some(path) = &cfg.metrics_json {
+        dump_metrics(path, &registry.render_json());
+    }
 
     // The exact identity: with a finished drain (abandoned == 0),
     // every enqueued beacon is a unique applied beacon or a provably
@@ -509,6 +561,7 @@ fn run_fire_and_forget(
         .into_iter()
         .map(|h| h.join().expect("client thread"))
         .collect();
+    let registry: Arc<Registry> = Arc::clone(collector.registry());
     let ops = collector.shutdown(); // graceful drain before the clock stops
     let elapsed = started.elapsed();
 
@@ -542,6 +595,16 @@ fn run_fire_and_forget(
     let all_ok = conserves && decode_ok && ops.collector.corrupt_frames == corrupted;
     if !all_ok {
         eprintln!("conservation violated at shards={shards} batch={batch}: {ops:?}");
+    }
+
+    // The registry is the same cells the legacy snapshot read, so the
+    // scraped exposition agrees with the judged identity by
+    // construction. Sweeps overwrite: the dump describes the last cell.
+    if let Some(path) = &cfg.metrics {
+        dump_metrics(path, &registry.render_prometheus());
+    }
+    if let Some(path) = &cfg.metrics_json {
+        dump_metrics(path, &registry.render_json());
     }
 
     let result = LoadgenResult {

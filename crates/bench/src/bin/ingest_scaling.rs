@@ -6,6 +6,7 @@
 //! ingest_scaling [--impressions N] [--rounds N] [--producers N]
 //!                [--shards LIST] [--batch LIST] [--capacity N]
 //!                [--seed N] [--bench-json PATH] [--smoke] [--json]
+//!                [--no-metrics]
 //! ```
 //!
 //! For every `(shards, batch)` cell of the sweep the binary starts a
@@ -35,9 +36,10 @@
 //! `BENCH_ingest.json`.
 
 use qtag_bench::output::ExperimentOutput;
+use qtag_obs::Registry;
 use qtag_server::{
-    BeaconInlet, ImpressionStore, IngestConfig, IngestService, ReportBuilder, ServedImpression,
-    ShardedStore,
+    BeaconInlet, ImpressionStore, IngestConfig, IngestMetrics, IngestService, ReportBuilder,
+    ServedImpression, ShardedStore,
 };
 use qtag_wire::{AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
 use serde::Serialize;
@@ -55,6 +57,9 @@ struct BenchConfig {
     seed: u64,
     smoke: bool,
     bench_json: Option<String>,
+    /// Detach the registry instrumentation — the control arm of the
+    /// overhead measurement in results/obs_overhead.txt.
+    no_metrics: bool,
 }
 
 fn parse_list(flag: &str, value: &str) -> Vec<usize> {
@@ -83,6 +88,7 @@ impl BenchConfig {
             seed: 0x1265,
             smoke: false,
             bench_json: None,
+            no_metrics: false,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -101,6 +107,11 @@ impl BenchConfig {
                 "--bench-json" => cfg.bench_json = Some(args[i + 1].clone()),
                 "--smoke" => {
                     cfg.smoke = true;
+                    i += 1;
+                    continue;
+                }
+                "--no-metrics" => {
+                    cfg.no_metrics = true;
                     i += 1;
                     continue;
                 }
@@ -221,6 +232,8 @@ struct Cell {
     elapsed_secs: f64,
     beacon_batches: u64,
     beacons_per_channel_op: f64,
+    apply_p50_us: u64,
+    apply_p99_us: u64,
     conservation_holds: bool,
 }
 
@@ -232,12 +245,19 @@ fn run_cell(cfg: &Arc<BenchConfig>, shards: usize, batch: usize) -> (Cell, Shard
     for id in 0..cfg.impressions {
         store.record_served(served(cfg, id));
     }
+    // Every cell runs with the registry-backed instrumentation live —
+    // the throughput numbers include its overhead by construction —
+    // unless `--no-metrics` detaches it (the control arm of
+    // results/obs_overhead.txt, which pins that overhead below 2 %).
+    let registry = Registry::new();
+    let metrics = IngestMetrics::new(&registry, None);
     let service = IngestService::start_sharded(
         store.clone(),
         IngestConfig {
             workers: 1, // producers bypass the chunk path via the inlet
             batch,
             inlet_capacity: cfg.capacity,
+            metrics: (!cfg.no_metrics).then(|| Arc::clone(&metrics)),
         },
     );
     let stats = Arc::clone(service.stats_arc());
@@ -278,6 +298,7 @@ fn run_cell(cfg: &Arc<BenchConfig>, shards: usize, batch: usize) -> (Cell, Shard
     }
 
     let rate = expected as f64 / elapsed.as_secs_f64();
+    let apply = metrics.apply_latency_us.snapshot();
     let cell = Cell {
         shards,
         batch,
@@ -289,6 +310,8 @@ fn run_cell(cfg: &Arc<BenchConfig>, shards: usize, batch: usize) -> (Cell, Shard
         } else {
             snap.beacons as f64 / snap.beacon_batches as f64
         },
+        apply_p50_us: apply.quantile(0.5).unwrap_or(0),
+        apply_p99_us: apply.quantile(0.99).unwrap_or(0),
         conservation_holds: conserves,
     };
     (cell, store)
@@ -393,17 +416,18 @@ fn main() {
 
     println!();
     println!(
-        "{:>7} {:>6} {:>14} {:>12} {:>10} {:>9} {:>8}",
-        "shards", "batch", "beacons/s", "batches", "b/chan-op", "speedup", "check"
+        "{:>7} {:>6} {:>14} {:>12} {:>10} {:>9} {:>9} {:>8}",
+        "shards", "batch", "beacons/s", "batches", "b/chan-op", "p99(us)", "speedup", "check"
     );
     for c in &cells {
         println!(
-            "{:>7} {:>6} {:>14.0} {:>12} {:>10.1} {:>8.2}x {:>8}",
+            "{:>7} {:>6} {:>14.0} {:>12} {:>10.1} {:>9} {:>8.2}x {:>8}",
             c.shards,
             c.batch,
             c.beacons_per_sec,
             c.beacon_batches,
             c.beacons_per_channel_op,
+            c.apply_p99_us,
             c.beacons_per_sec / baseline,
             if c.conservation_holds { "PASS" } else { "FAIL" },
         );

@@ -10,12 +10,13 @@ use qtag_server::{
 };
 use qtag_user::{EnvSample, Population, PopulationConfig, SessionSim};
 use qtag_wire::framing::FrameEvent;
-use qtag_wire::sender::{BeaconSender, SenderConfig, SenderStats};
+use qtag_wire::sender::{BeaconSender, SenderConfig, SenderMetrics, SenderStats};
 use qtag_wire::{BrowserKind, FrameDecoder, SiteType};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How the Q-Tag side of the pipeline gets its beacons to the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,6 +48,11 @@ pub struct ProductionConfig {
     /// Q-Tag beacon delivery. The commercial verifier always stays
     /// fire-and-forget — it is the black box being compared against.
     pub delivery: DeliveryMode,
+    /// Registry-backed sender metrics shared by every per-session
+    /// [`BeaconSender`] the reliable path spins up (including across
+    /// the shards of [`run_production_sharded`] — the cells are
+    /// atomic). `None` skips the mirroring entirely.
+    pub sender_metrics: Option<Arc<SenderMetrics>>,
 }
 
 impl Default for ProductionConfig {
@@ -57,6 +63,7 @@ impl Default for ProductionConfig {
             seed: 2019,
             population: PopulationConfig::default(),
             delivery: DeliveryMode::FireAndForget,
+            sender_metrics: None,
         }
     }
 }
@@ -243,6 +250,7 @@ pub fn run_production(cfg: &ProductionConfig) -> ProductionResults {
                 env.beacon_loss,
                 session_seed ^ 1,
                 &mut delivery,
+                cfg.sender_metrics.as_ref(),
             ),
         }
         ingest(
@@ -361,6 +369,7 @@ pub fn ingest_reliable(
     loss: f64,
     seed: u64,
     totals: &mut DeliveryTotals,
+    metrics: Option<&Arc<SenderMetrics>>,
 ) {
     if beacons.is_empty() {
         return;
@@ -374,6 +383,9 @@ pub fn ingest_reliable(
             ..SenderConfig::default()
         },
     );
+    if let Some(m) = metrics {
+        sender.attach_metrics(Arc::clone(m));
+    }
     let mut now = 0u64;
     for b in beacons {
         sender.offer(b, now).expect("beacon encodes");
@@ -483,6 +495,36 @@ mod tests {
             faf.verifier_summary.mean_measured_rate,
             reliable.verifier_summary.mean_measured_rate
         );
+    }
+
+    #[test]
+    fn registry_snapshot_mirrors_delivery_totals() {
+        let registry = qtag_obs::Registry::new();
+        let metrics = SenderMetrics::register(&registry, "qtag_sender");
+        let r = run_production(&ProductionConfig {
+            campaigns: 2,
+            impressions_per_campaign: 150,
+            seed: 29,
+            delivery: DeliveryMode::Reliable,
+            sender_metrics: Some(Arc::clone(&metrics)),
+            ..ProductionConfig::default()
+        });
+        let snap = registry.snapshot();
+        let get = |name: &str| snap.value(name).unwrap_or_else(|| panic!("{name} missing"));
+        let d = r.delivery;
+        assert_eq!(get("qtag_sender_enqueued_total"), d.enqueued);
+        assert_eq!(get("qtag_sender_acked_total"), d.acked);
+        assert_eq!(get("qtag_sender_retransmits_total"), d.retransmits);
+        assert_eq!(
+            get("qtag_sender_dropped_after_retries_total"),
+            d.dropped_after_retries
+        );
+        assert_eq!(
+            get("qtag_sender_abandoned_unconfirmed_total"),
+            d.abandoned_unconfirmed
+        );
+        assert_eq!(get("qtag_sender_pending"), 0, "every run drains");
+        assert_eq!(metrics.ack_latency_us.count(), d.acked);
     }
 
     #[test]

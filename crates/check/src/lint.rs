@@ -6,7 +6,13 @@
 //! - **R1 counter-coverage**: every integer/atomic counter field in a
 //!   `*Stats` struct must appear (word-boundary match) in at least one
 //!   test region — conservation identities are only trustworthy if a
-//!   test actually reads the counter.
+//!   test actually reads the counter. The rule extends to the metrics
+//!   registry: `counters!` macro fields (`name: counter("help")`) and
+//!   metric-name string literals passed to `registry.counter(...)` /
+//!   `.gauge(...)` / `.histogram(...)` / `.counter_fn(...)` /
+//!   `.gauge_fn(...)` must likewise be read by at least one test
+//!   (prefix-parameterised names like `{prefix}_acked_total` match on
+//!   their suffix).
 //! - **R2 relaxed-rmw-justified**: every read-modify-write atomic op
 //!   with `Ordering::Relaxed` needs an adjacent `// ordering:` comment
 //!   saying why relaxed is enough (typically: monotone counter whose
@@ -77,6 +83,7 @@ const RMW_METHODS: &[&str] = &[
 const FACADE_CRATES: &[&str] = &[
     "crates/server/src",
     "crates/collectd/src",
+    "crates/obs/src",
     "vendor/crossbeam/src",
 ];
 
@@ -296,6 +303,97 @@ fn check_r1(f: &SourceFile, corpus: &str, out: &mut Vec<Finding>) {
             j += 1;
         }
         i = j + 1;
+    }
+    check_r1_registry(f, corpus, out);
+}
+
+/// First double-quoted string literal in `s` (no escape handling:
+/// metric names and the `{prefix}` format shapes never contain one).
+fn first_string_literal(s: &str) -> Option<&str> {
+    let start = s.find('"')? + 1;
+    let len = s[start..].find('"')?;
+    Some(&s[start..start + len])
+}
+
+/// The registry half of R1: `counters!` macro fields and metric-name
+/// literals at direct registration sites must be read by a test.
+fn check_r1_registry(f: &SourceFile, corpus: &str, out: &mut Vec<Finding>) {
+    const REGISTER_CALLS: &[&str] = &[
+        ".counter(",
+        ".counter_fn(",
+        ".gauge(",
+        ".gauge_fn(",
+        ".histogram(",
+    ];
+    for i in 0..f.test_start {
+        let line = &f.lines[i];
+        if is_comment_line(line) {
+            continue;
+        }
+
+        // `counters!` field syntax: `name: counter("help")` /
+        // `name: gauge("help")`. The exported metric embeds the field
+        // name, so covering the field covers the metric.
+        for kind in [": counter(\"", ": gauge(\""] {
+            let Some(pos) = line.find(kind) else {
+                continue;
+            };
+            let field = line[..pos]
+                .trim()
+                .rsplit(|c: char| !c.is_alphanumeric() && c != '_')
+                .next()
+                .unwrap_or("");
+            if !field.is_empty() && !word_boundary_contains(corpus, field) {
+                out.push(Finding {
+                    rule: "R1",
+                    path: f.rel.clone(),
+                    line: i + 1,
+                    detail: format!("counters! field {field} not read by any test"),
+                });
+            }
+        }
+
+        // Direct registrations: the metric-name literal is the first
+        // string in the call, possibly on a following line. Literal
+        // names must appear verbatim in a test; `{prefix}_suffix`
+        // shapes match on the suffix (any prefix counts as coverage).
+        if !REGISTER_CALLS.iter().any(|c| line.contains(c)) {
+            continue;
+        }
+        let window_end = (i + 3).min(f.test_start);
+        let window = f.lines[i..window_end].join("\n");
+        let after_call = REGISTER_CALLS
+            .iter()
+            .filter_map(|c| window.find(c).map(|p| p + c.len()))
+            .min()
+            .unwrap();
+        let Some(name) = first_string_literal(&window[after_call..]) else {
+            continue;
+        };
+        let covered = if let Some(rest) = name.strip_prefix('{') {
+            // `{prefix}_acked_total` → require some full name ending
+            // in `_acked_total`; doubly-dynamic shapes like
+            // `{}_{}_total` are unverifiable lexically — skip.
+            match rest.split_once('}') {
+                Some((_, suffix)) if !suffix.is_empty() && !suffix.contains('{') => {
+                    corpus.contains(suffix)
+                }
+                _ => continue,
+            }
+        } else if name.starts_with("qtag_") {
+            word_boundary_contains(corpus, name)
+        } else {
+            // Not a metric name (help text or unrelated literal).
+            continue;
+        };
+        if !covered {
+            out.push(Finding {
+                rule: "R1",
+                path: f.rel.clone(),
+                line: i + 1,
+                detail: format!("registry metric {name} not read by any test"),
+            });
+        }
     }
 }
 
@@ -537,6 +635,57 @@ mod tests {
         let d = diff(&cur, &base);
         assert_eq!(d.new.len(), 2); // R2 count grew, R3 unbaselined
         assert_eq!(d.stale, vec!["R4|c|z".to_string()]);
+    }
+
+    #[test]
+    fn r1_flags_uncovered_counters_macro_fields() {
+        let f = SourceFile {
+            rel: "crates/x/src/stats.rs".into(),
+            lines: vec![
+                "qtag_obs::counters! {".into(),
+                "    pub struct FooStats / FooStatsSnapshot {".into(),
+                "        frames_seen: counter(\"Frames seen.\"),".into(),
+                "        depth_now: gauge(\"Live depth.\"),".into(),
+                "    }".into(),
+                "}".into(),
+            ],
+            test_start: 6,
+        };
+        let mut out = Vec::new();
+        check_r1(&f, "assert_eq!(snap.frames_seen, 4);", &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].detail.contains("depth_now"));
+    }
+
+    #[test]
+    fn r1_flags_uncovered_registry_metric_literals() {
+        let f = SourceFile {
+            rel: "crates/x/src/metrics.rs".into(),
+            lines: vec![
+                "fn register(registry: &Registry, prefix: &str) {".into(),
+                "    registry.histogram(".into(),
+                "        \"qtag_x_latency_us\",".into(),
+                "        \"Help text only.\",".into(),
+                "    );".into(),
+                "    registry.counter(&format!(\"{prefix}_acked_total\"), \"h\");".into(),
+                "    registry.gauge(&format!(\"{prefix}_pending\"), \"h\");".into(),
+                "    registry.counter_fn(&format!(\"{}_{}_total\", prefix, f), \"h\", || 0);"
+                    .into(),
+                "}".into(),
+            ],
+            test_start: 9,
+        };
+        let mut out = Vec::new();
+        // Corpus covers the histogram verbatim and the acked suffix
+        // under some concrete prefix; `{prefix}_pending` is uncovered
+        // and the doubly-dynamic `{}_{}_total` shape is skipped.
+        check_r1(
+            &f,
+            "registry.get(\"qtag_x_latency_us\"); get(\"qtag_sender_acked_total\");",
+            &mut out,
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].detail.contains("{prefix}_pending"), "{out:?}");
     }
 
     #[test]

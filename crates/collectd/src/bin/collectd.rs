@@ -3,7 +3,7 @@
 //! ```text
 //! collectd [--bind ADDR] [--max-conns N] [--read-timeout-ms MS]
 //!          [--workers N] [--capacity N] [--shards N] [--batch N]
-//!          [--duration-secs S]
+//!          [--duration-secs S] [--metrics PATH] [--metrics-json PATH]
 //! ```
 //!
 //! Listens for binary and JSON beacon streams on `ADDR` (default
@@ -11,19 +11,38 @@
 //! until stdin closes or a line containing `quit` arrives. On exit it
 //! shuts down gracefully — draining in-flight frames into the store —
 //! and prints the final ops snapshot as JSON on stdout.
+//!
+//! The ops path doubles as the metrics endpoint: while running, a
+//! `metrics` line on stdin prints the live registry as Prometheus text
+//! exposition, `metrics-json` prints the same registry as a JSON
+//! snapshot, and `ops` prints the legacy ops snapshot (all three read
+//! the same atomic cells). `--metrics PATH` / `--metrics-json PATH`
+//! additionally dump the final exposition on exit.
 
 use qtag_collectd::{Collector, CollectorConfig};
 use qtag_server::ShardedStore;
 use std::io::BufRead;
 use std::time::Duration;
 
-fn parse_args() -> (CollectorConfig, usize, Option<Duration>) {
-    let mut cfg = CollectorConfig {
-        bind: "127.0.0.1:4050".to_string(),
-        ..CollectorConfig::default()
+struct BinArgs {
+    cfg: CollectorConfig,
+    shards: usize,
+    duration: Option<Duration>,
+    metrics: Option<String>,
+    metrics_json: Option<String>,
+}
+
+fn parse_args() -> BinArgs {
+    let mut out = BinArgs {
+        cfg: CollectorConfig {
+            bind: "127.0.0.1:4050".to_string(),
+            ..CollectorConfig::default()
+        },
+        shards: 1,
+        duration: None,
+        metrics: None,
+        metrics_json: None,
     };
-    let mut shards = 1usize;
-    let mut duration = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -33,25 +52,30 @@ fn parse_args() -> (CollectorConfig, usize, Option<Duration>) {
                 .unwrap_or_else(|| panic!("{flag} needs a value"))
         };
         match flag {
-            "--bind" => cfg.bind = value(i).to_string(),
-            "--max-conns" => cfg.max_connections = value(i).parse().expect("--max-conns: usize"),
+            "--bind" => out.cfg.bind = value(i).to_string(),
+            "--max-conns" => {
+                out.cfg.max_connections = value(i).parse().expect("--max-conns: usize")
+            }
             "--read-timeout-ms" => {
-                cfg.read_timeout =
+                out.cfg.read_timeout =
                     Duration::from_millis(value(i).parse().expect("--read-timeout-ms: u64"))
             }
-            "--workers" => cfg.ingest_workers = value(i).parse().expect("--workers: usize"),
-            "--capacity" => cfg.inlet_capacity = value(i).parse().expect("--capacity: usize"),
-            "--shards" => shards = value(i).parse().expect("--shards: usize"),
-            "--batch" => cfg.batch = value(i).parse().expect("--batch: usize"),
+            "--workers" => out.cfg.ingest_workers = value(i).parse().expect("--workers: usize"),
+            "--capacity" => out.cfg.inlet_capacity = value(i).parse().expect("--capacity: usize"),
+            "--shards" => out.shards = value(i).parse().expect("--shards: usize"),
+            "--batch" => out.cfg.batch = value(i).parse().expect("--batch: usize"),
             "--duration-secs" => {
-                duration = Some(Duration::from_secs(
+                out.duration = Some(Duration::from_secs(
                     value(i).parse().expect("--duration-secs: u64"),
                 ))
             }
+            "--metrics" => out.metrics = Some(value(i).to_string()),
+            "--metrics-json" => out.metrics_json = Some(value(i).to_string()),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: collectd [--bind ADDR] [--max-conns N] [--read-timeout-ms MS] \
-                     [--workers N] [--capacity N] [--shards N] [--batch N] [--duration-secs S]"
+                     [--workers N] [--capacity N] [--shards N] [--batch N] [--duration-secs S] \
+                     [--metrics PATH] [--metrics-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -59,23 +83,35 @@ fn parse_args() -> (CollectorConfig, usize, Option<Duration>) {
         }
         i += 2;
     }
-    (cfg, shards, duration)
+    out
 }
 
 fn main() {
-    let (cfg, shards, duration) = parse_args();
-    let store = ShardedStore::new(shards);
-    let collector = Collector::start_sharded(cfg, store).expect("bind listener");
+    let args = parse_args();
+    let store = ShardedStore::new(args.shards);
+    let collector = Collector::start_sharded(args.cfg, store).expect("bind listener");
     eprintln!("collectd: listening on {}", collector.local_addr());
 
-    match duration {
+    match args.duration {
         Some(d) => std::thread::sleep(d),
         None => {
-            eprintln!("collectd: running until stdin closes (or a `quit` line)");
+            eprintln!(
+                "collectd: running until stdin closes (or a `quit` line; \
+                 `metrics`, `metrics-json` and `ops` print live snapshots)"
+            );
             let stdin = std::io::stdin();
             for line in stdin.lock().lines() {
                 match line {
                     Ok(l) if l.trim() == "quit" => break,
+                    Ok(l) if l.trim() == "metrics" => print!("{}", collector.metrics_text()),
+                    Ok(l) if l.trim() == "metrics-json" => {
+                        println!("{}", collector.metrics_json())
+                    }
+                    Ok(l) if l.trim() == "ops" => println!(
+                        "{}",
+                        serde_json::to_string_pretty(&collector.ops_snapshot())
+                            .expect("ops snapshot serializes")
+                    ),
                     Ok(_) => {}
                     Err(_) => break,
                 }
@@ -83,7 +119,20 @@ fn main() {
         }
     }
 
+    // The registry outlives the collector handle, so the final dumps
+    // see the fully drained counters.
+    let registry = std::sync::Arc::clone(collector.registry());
     let ops = collector.shutdown();
+    if let Some(path) = &args.metrics {
+        std::fs::write(path, registry.render_prometheus())
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("collectd: wrote {path}");
+    }
+    if let Some(path) = &args.metrics_json {
+        std::fs::write(path, registry.render_json())
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("collectd: wrote {path}");
+    }
     println!(
         "{}",
         serde_json::to_string_pretty(&ops).expect("ops snapshot serializes")

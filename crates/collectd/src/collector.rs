@@ -2,13 +2,16 @@
 //! graceful shutdown.
 
 use crate::config::CollectorConfig;
-use crate::connection::{self, ConnCtx};
+use crate::connection::{self, ConnCtx, ConnObs};
 use crate::stats::{CollectorStats, OpsSnapshot};
 use crate::sync::atomic::{AtomicBool, Ordering};
 use crate::sync::thread::JoinHandle;
 use crate::sync::time::Instant;
 use crate::sync::{thread, Arc, Mutex};
-use qtag_server::{ImpressionStore, IngestConfig, IngestService, IngestStats, ShardedStore};
+use qtag_obs::{Registry, TraceRing};
+use qtag_server::{
+    ImpressionStore, IngestConfig, IngestMetrics, IngestService, IngestStats, ShardedStore,
+};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 
@@ -23,6 +26,8 @@ pub struct Collector {
     ingest_stats: Arc<IngestStats>,
     stats: Arc<CollectorStats>,
     store: ShardedStore,
+    registry: Arc<Registry>,
+    trace: Arc<TraceRing>,
 }
 
 impl Collector {
@@ -43,23 +48,40 @@ impl Collector {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
+        // One registry + trace ring per daemon: every subsystem
+        // (collector sockets, ingest appliers, connection spans)
+        // registers into this single observable surface.
+        let registry = Arc::new(Registry::new());
+        let trace = Arc::new(TraceRing::new(cfg.trace_capacity));
+        let metrics = IngestMetrics::new(&registry, Some(Arc::clone(&trace)));
+
         let ingest = IngestService::start_sharded(
             store.clone(),
             IngestConfig {
                 workers: cfg.ingest_workers,
                 batch: cfg.batch,
                 inlet_capacity: cfg.inlet_capacity,
+                metrics: Some(Arc::clone(&metrics)),
             },
         );
         let ingest_stats = Arc::clone(ingest.stats_arc());
         let stats = Arc::new(CollectorStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
 
+        stats.register(&registry, "qtag_collectd");
+        ingest_stats.register(&registry, "qtag_ingest");
+        metrics.register_queue_depth(&registry, &ingest_stats);
+
         let ctx_proto = ConnCtx {
             cfg: Arc::new(cfg),
             stats: Arc::clone(&stats),
             inlet: ingest.inlet(),
             shutdown: Arc::clone(&shutdown),
+            obs: ConnObs {
+                trace: Some(Arc::clone(&trace)),
+                epoch: Instant::now(),
+                conn_id: 0,
+            },
         };
         let acceptor = thread::spawn(move || accept_loop(listener, ctx_proto));
 
@@ -71,6 +93,8 @@ impl Collector {
             ingest_stats,
             stats,
             store,
+            registry,
+            trace,
         })
     }
 
@@ -97,6 +121,29 @@ impl Collector {
     /// The sharded store beacons aggregate into.
     pub fn sharded_store(&self) -> &ShardedStore {
         &self.store
+    }
+
+    /// The daemon's metric registry: every collector, ingest, and
+    /// apply-path metric in one named surface. Clone the `Arc` to keep
+    /// reading after [`Collector::shutdown`] consumes the daemon.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The per-stage trace-event ring (decode → inlet → shard apply →
+    /// ack spans).
+    pub fn trace(&self) -> &Arc<TraceRing> {
+        &self.trace
+    }
+
+    /// Prometheus text exposition of the full registry.
+    pub fn metrics_text(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// JSON exposition of the full registry (pretty-printed).
+    pub fn metrics_json(&self) -> String {
+        self.registry.render_json()
     }
 
     /// Combined daemon + ingestion counters at this instant.
@@ -171,14 +218,17 @@ fn supervise(stream: std::net::TcpStream, ctx: &ConnCtx, handlers: &mut Vec<Join
         drop(stream);
         return;
     }
-    // ordering: monotone stat; exact reads only after join.
-    ctx.stats
+    // ordering: monotone stat; exact reads only after join. The prior
+    // value doubles as the connection's trace correlation id.
+    let conn_id = ctx
+        .stats
         .connections_accepted
         .fetch_add(1, Ordering::Relaxed);
     // ordering: admission gauge, only this acceptor thread increments;
     // see ActiveGuard for the decrement rationale.
     ctx.stats.connections_active.fetch_add(1, Ordering::Relaxed);
-    let conn_ctx = ctx.clone();
+    let mut conn_ctx = ctx.clone();
+    conn_ctx.obs.conn_id = conn_id;
     handlers.push(thread::spawn(move || {
         let _active = ActiveGuard(Arc::clone(&conn_ctx.stats));
         connection::serve(stream, conn_ctx);

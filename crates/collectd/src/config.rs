@@ -44,6 +44,11 @@ pub struct CollectorConfig {
     /// beacons are not stranded), but clients that keep connecting
     /// during shutdown cannot delay it past this grace window.
     pub drain_grace: Duration,
+    /// Capacity of the daemon's trace-event ring (per-stage spans:
+    /// decode → inlet → shard apply → ack). The ring overwrites its
+    /// oldest events when full; it never blocks or allocates on the
+    /// hot path.
+    pub trace_capacity: usize,
 }
 
 impl Default for CollectorConfig {
@@ -58,6 +63,7 @@ impl Default for CollectorConfig {
             inlet_capacity: qtag_server::DEFAULT_INLET_CAPACITY,
             batch: qtag_server::DEFAULT_BATCH,
             drain_grace: Duration::from_millis(250),
+            trace_capacity: 4096,
         }
     }
 }

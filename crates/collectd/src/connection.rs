@@ -3,7 +3,9 @@
 use crate::config::CollectorConfig;
 use crate::stats::CollectorStats;
 use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::time::Instant;
 use crate::sync::Arc;
+use qtag_obs::{Stage, TraceEvent, TraceRing};
 use qtag_server::BeaconInlet;
 use qtag_wire::framing::FrameEvent;
 use qtag_wire::sender::{encode_ack, AckKey, ACK_HELLO};
@@ -12,6 +14,52 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+/// Per-connection observability: the shared trace ring, the daemon's
+/// span epoch, and this connection's correlation id. When `trace` is
+/// `None` the span helpers never read the clock, so the socket-free
+/// model driver stays deterministic.
+#[derive(Clone)]
+pub(crate) struct ConnObs {
+    pub(crate) trace: Option<Arc<TraceRing>>,
+    pub(crate) epoch: Instant,
+    pub(crate) conn_id: u64,
+}
+
+impl ConnObs {
+    /// An observability context that records nothing.
+    pub(crate) fn disabled() -> ConnObs {
+        ConnObs {
+            trace: None,
+            epoch: Instant::now(),
+            conn_id: 0,
+        }
+    }
+
+    /// Span-start timestamp (µs since the daemon's epoch), or 0 when
+    /// tracing is off.
+    fn now_us(&self) -> u64 {
+        if self.trace.is_some() {
+            self.epoch.elapsed().as_micros() as u64
+        } else {
+            0
+        }
+    }
+
+    /// Records a completed span covering `items` items.
+    fn span(&self, stage: Stage, start_us: u64, items: u64) {
+        if let Some(ring) = &self.trace {
+            let end_us = self.epoch.elapsed().as_micros() as u64;
+            ring.record(TraceEvent {
+                stage,
+                key: self.conn_id,
+                start_us,
+                dur_us: end_us.saturating_sub(start_us),
+                items,
+            });
+        }
+    }
+}
+
 /// Everything a connection thread needs; one clone per connection.
 #[derive(Clone)]
 pub(crate) struct ConnCtx {
@@ -19,6 +67,7 @@ pub(crate) struct ConnCtx {
     pub(crate) stats: Arc<CollectorStats>,
     pub(crate) inlet: BeaconInlet,
     pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) obs: ConnObs,
 }
 
 /// Wire protocol of one connection, fixed by its first byte.
@@ -128,6 +177,8 @@ fn offer_collected(ctx: &ConnCtx, batch: &mut Vec<Beacon>, acks: Option<&mut Vec
     if batch.is_empty() {
         return;
     }
+    let items = batch.len() as u64;
+    let start_us = ctx.obs.now_us();
     match acks {
         Some(out) => {
             ctx.inlet
@@ -138,6 +189,7 @@ fn offer_collected(ctx: &ConnCtx, batch: &mut Vec<Beacon>, acks: Option<&mut Vec
         }
     }
     batch.clear();
+    ctx.obs.span(Stage::Inlet, start_us, items);
 }
 
 /// Writes pending ack records back to the client in a single
@@ -150,11 +202,13 @@ fn flush_acks(stream: &mut TcpStream, acks: &mut Vec<u8>, ctx: &ConnCtx) -> bool
         return true;
     }
     let n = (acks.len() / qtag_wire::sender::ACK_LEN) as u64;
+    let start_us = ctx.obs.now_us();
     match stream.write_all(acks) {
         Ok(()) => {
             ctx.stats.acks_sent.fetch_add(n, Ordering::Relaxed); // ordering: stat, read after join
             ctx.stats.ack_flushes.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
             acks.clear();
+            ctx.obs.span(Stage::Ack, start_us, n);
             true
         }
         Err(_) => false,
@@ -204,15 +258,20 @@ pub(crate) fn serve(stream: TcpStream, ctx: ConnCtx) {
                         proto.insert(chosen)
                     }
                 };
+                let decode_start_us = ctx.obs.now_us();
                 match p {
                     Protocol::Binary(dec) => {
                         dec.extend(&buf[start..n]);
                         drain_binary(dec, &ctx, &mut batch);
+                        ctx.obs
+                            .span(Stage::Decode, decode_start_us, batch.len() as u64);
                         offer_collected(&ctx, &mut batch, None);
                     }
                     Protocol::BinaryAcked(dec) => {
                         dec.extend(&buf[start..n]);
                         drain_binary(dec, &ctx, &mut batch);
+                        ctx.obs
+                            .span(Stage::Decode, decode_start_us, batch.len() as u64);
                         offer_collected(&ctx, &mut batch, Some(&mut acks));
                         if !flush_acks(&mut stream, &mut acks, &ctx) {
                             break; // ack channel gone: force a retry cycle
@@ -220,6 +279,8 @@ pub(crate) fn serve(stream: TcpStream, ctx: ConnCtx) {
                     }
                     Protocol::Json(lines) => {
                         lines.feed(&buf[start..n], &ctx, &mut batch);
+                        ctx.obs
+                            .span(Stage::Decode, decode_start_us, batch.len() as u64);
                         offer_collected(&ctx, &mut batch, None);
                     }
                 }
@@ -315,6 +376,7 @@ pub fn serve_binary_chunks(
         stats,
         inlet,
         shutdown,
+        obs: ConnObs::disabled(),
     };
     let mut dec = FrameDecoder::new();
     let mut batch: Vec<Beacon> = Vec::new();

@@ -38,7 +38,7 @@ pub mod sync;
 
 pub use collector::Collector;
 pub use config::CollectorConfig;
-pub use stats::{CollectorStats, CollectorStatsSnapshot, OpsSnapshot};
+pub use stats::{CollectorStats, CollectorStatsSnapshot, IngestMetrics, IngestStats, OpsSnapshot};
 
 // Socket-free session driver for the qtag_check schedule-exploration
 // models (`tests/check_models.rs`); not part of the supported API.

@@ -1,99 +1,36 @@
 //! Ops counters for the daemon, exposed uniformly with the ingestion
 //! service's [`qtag_server::IngestStats`].
+//!
+//! Both stats blocks are declared through `qtag_obs::counters!`, so
+//! the atomic struct, its serializable snapshot twin, and the registry
+//! hookup come from one definition each — the collector's here, the
+//! ingest service's in `qtag-server` (re-exported below so callers
+//! keep a single import surface).
 
-use crate::sync::atomic::{AtomicU64, Ordering};
 use qtag_server::IngestStatsSnapshot;
 use serde::Serialize;
 
-/// Live counters maintained by the acceptor and connection threads.
-/// All counters are monotone except `connections_active` (a gauge).
-#[derive(Debug, Default)]
-pub struct CollectorStats {
-    /// Connections accepted and handed to a reader thread.
-    pub connections_accepted: AtomicU64,
-    /// Currently served connections (gauge).
-    pub connections_active: AtomicU64,
-    /// Connections refused because `max_connections` was reached.
-    pub connections_rejected: AtomicU64,
-    /// Connections dropped after exhausting their read-timeout budget.
-    pub connections_timed_out: AtomicU64,
-    /// Raw bytes read off all sockets.
-    pub bytes_read: AtomicU64,
-    /// Beacons successfully decoded off sockets (binary frames plus
-    /// JSON lines), before the inlet accept/shed decision.
-    pub frames_decoded: AtomicU64,
-    /// Frames that failed verification: binary frames with an honest
-    /// header but a bad payload, undecodable JSON lines, and JSON
-    /// lines over the length cap. Exactly one count per damaged frame.
-    pub corrupt_frames: AtomicU64,
-    /// Noise bytes discarded while resynchronising binary streams
-    /// (single-byte skips only; corrupt frames are accounted in
-    /// `corrupt_frame_bytes`).
-    pub resync_bytes: AtomicU64,
-    /// Bytes discarded as whole corrupt binary frames (header plus
-    /// payload of each frame counted in `corrupt_frames`).
-    pub corrupt_frame_bytes: AtomicU64,
-    /// Connections that opted into the acked binary protocol by
-    /// leading with the `ACK_HELLO` byte.
-    pub acked_connections: AtomicU64,
-    /// Per-frame acknowledgements written back to acked clients (one
-    /// per inlet-accepted frame, including re-acked duplicates).
-    pub acks_sent: AtomicU64,
-    /// Coalesced ack writes: each is one `write_all` carrying every
-    /// ack generated during one read iteration. The amortisation
-    /// ratio is `acks_sent / ack_flushes`.
-    pub ack_flushes: AtomicU64,
-}
+pub use qtag_server::{IngestMetrics, IngestStats};
 
-impl CollectorStats {
-    /// Point-in-time copy (each counter atomic; the set is not a
-    /// transaction).
-    pub fn snapshot(&self) -> CollectorStatsSnapshot {
-        CollectorStatsSnapshot {
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            connections_active: self.connections_active.load(Ordering::Relaxed),
-            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
-            connections_timed_out: self.connections_timed_out.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            frames_decoded: self.frames_decoded.load(Ordering::Relaxed),
-            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
-            resync_bytes: self.resync_bytes.load(Ordering::Relaxed),
-            corrupt_frame_bytes: self.corrupt_frame_bytes.load(Ordering::Relaxed),
-            acked_connections: self.acked_connections.load(Ordering::Relaxed),
-            acks_sent: self.acks_sent.load(Ordering::Relaxed),
-            ack_flushes: self.ack_flushes.load(Ordering::Relaxed),
-        }
+qtag_obs::counters! {
+    /// Live counters maintained by the acceptor and connection
+    /// threads. All counters are monotone except `connections_active`
+    /// (a gauge). Exported through a registry under the
+    /// `qtag_collectd` prefix via [`CollectorStats::register`].
+    pub struct CollectorStats / CollectorStatsSnapshot {
+        connections_accepted: counter("Connections accepted and handed to a reader thread."),
+        connections_active: gauge("Currently served connections."),
+        connections_rejected: counter("Connections refused because max_connections was reached."),
+        connections_timed_out: counter("Connections dropped after exhausting their read-timeout budget."),
+        bytes_read: counter("Raw bytes read off all sockets."),
+        frames_decoded: counter("Beacons successfully decoded off sockets (binary frames plus JSON lines), before the inlet accept/shed decision."),
+        corrupt_frames: counter("Frames that failed verification: binary frames with an honest header but a bad payload, undecodable JSON lines, and JSON lines over the length cap. Exactly one count per damaged frame."),
+        resync_bytes: counter("Noise bytes discarded while resynchronising binary streams (single-byte skips only; corrupt frames are accounted in corrupt_frame_bytes)."),
+        corrupt_frame_bytes: counter("Bytes discarded as whole corrupt binary frames (header plus payload of each frame counted in corrupt_frames)."),
+        acked_connections: counter("Connections that opted into the acked binary protocol by leading with the ACK_HELLO byte."),
+        acks_sent: counter("Per-frame acknowledgements written back to acked clients (one per inlet-accepted frame, including re-acked duplicates)."),
+        ack_flushes: counter("Coalesced ack writes: each is one write_all carrying every ack generated during one read iteration. The amortisation ratio is acks_sent / ack_flushes."),
     }
-}
-
-/// Plain-value form of [`CollectorStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
-pub struct CollectorStatsSnapshot {
-    /// Connections accepted and handed to a reader thread.
-    pub connections_accepted: u64,
-    /// Currently served connections at snapshot time.
-    pub connections_active: u64,
-    /// Connections refused because `max_connections` was reached.
-    pub connections_rejected: u64,
-    /// Connections dropped after exhausting their read-timeout budget.
-    pub connections_timed_out: u64,
-    /// Raw bytes read off all sockets.
-    pub bytes_read: u64,
-    /// Beacons successfully decoded off sockets.
-    pub frames_decoded: u64,
-    /// Damaged frames (one count each).
-    pub corrupt_frames: u64,
-    /// Noise bytes discarded during binary resynchronisation
-    /// (excludes corrupt-frame bytes).
-    pub resync_bytes: u64,
-    /// Bytes discarded as whole corrupt binary frames.
-    pub corrupt_frame_bytes: u64,
-    /// Connections that opted into the acked binary protocol.
-    pub acked_connections: u64,
-    /// Per-frame acknowledgements written back to acked clients.
-    pub acks_sent: u64,
-    /// Coalesced ack writes (one `write_all` per read iteration).
-    pub ack_flushes: u64,
 }
 
 /// The daemon's full ops surface: its own counters plus the embedded
@@ -132,6 +69,7 @@ impl OpsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::atomic::Ordering;
 
     #[test]
     fn snapshot_serializes_with_both_layers() {
@@ -183,5 +121,27 @@ mod tests {
         ops.ingest.rejected_after_shutdown = 0;
         assert!(!ops.conserves(100));
         assert!(!ops.decode_accounted());
+    }
+
+    /// Both stats blocks register under their prefixes and read the
+    /// same cells the legacy snapshots read.
+    #[test]
+    fn registry_mirrors_snapshots() {
+        use crate::sync::Arc;
+        let registry = qtag_obs::Registry::new();
+        let collector = Arc::new(CollectorStats::default());
+        let ingest = Arc::new(IngestStats::default());
+        collector.frames_decoded.fetch_add(9, Ordering::Relaxed);
+        collector.connections_active.fetch_add(2, Ordering::Relaxed);
+        ingest.beacons.fetch_add(8, Ordering::Relaxed);
+        collector.register(&registry, "qtag_collectd");
+        ingest.register(&registry, "qtag_ingest");
+        assert_eq!(registry.get("qtag_collectd_frames_decoded_total"), Some(9));
+        assert_eq!(registry.get("qtag_collectd_connections_active"), Some(2));
+        assert_eq!(registry.get("qtag_ingest_beacons_total"), Some(8));
+        assert_eq!(
+            registry.get("qtag_collectd_frames_decoded_total"),
+            Some(collector.snapshot().frames_decoded)
+        );
     }
 }

@@ -66,6 +66,7 @@ fn rig() -> Rig {
             workers: 1,
             batch: 2,
             inlet_capacity: 2,
+            metrics: None,
         },
     );
     Rig {

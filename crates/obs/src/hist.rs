@@ -1,0 +1,318 @@
+//! Log-linear latency histogram with lock-free recording and
+//! mergeable snapshots.
+//!
+//! Values are bucketed on a log-linear grid: each power-of-two range
+//! is split into `SUB = 8` linear sub-buckets, so the bucket width is
+//! at most 1/8 of the bucket's lower bound (relative quantile error
+//! ≤ 12.5%). Values below `SUB` get exact unit buckets. The full u64
+//! range maps onto [`BUCKETS`] = 496 buckets, cheap enough to embed
+//! one histogram per pipeline stage.
+//!
+//! Recording is a single index computation plus saturating atomic
+//! adds — no locks, no allocation, and no clock reads: callers supply
+//! already-measured durations, which keeps the type usable under
+//! `qtag-check`'s shimmed time.
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of linear sub-buckets per power-of-two range (2^SUB_BITS).
+pub const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+pub const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range.
+pub const BUCKETS: usize = (SUB as usize) * 62;
+
+/// Bucket index for a recorded value. Monotone in `v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros(); // floor(log2 v), >= SUB_BITS
+        let sub = (v >> (exp - SUB_BITS)) - SUB; // 0..SUB
+        ((exp - (SUB_BITS - 1)) as usize) * (SUB as usize) + sub as usize
+    }
+}
+
+/// Smallest value that maps to bucket `i`.
+#[inline]
+pub fn bucket_lower(i: usize) -> u64 {
+    debug_assert!(i < BUCKETS);
+    let s = (i as u64) % SUB;
+    if i < SUB as usize {
+        s
+    } else {
+        let exp = (i as u32) / (SUB as u32) + (SUB_BITS - 1);
+        (SUB + s) << (exp - SUB_BITS)
+    }
+}
+
+/// Largest value that maps to bucket `i` (inclusive).
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    debug_assert!(i < BUCKETS);
+    if i + 1 == BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower(i + 1) - 1
+    }
+}
+
+/// Add `delta` to an atomic counter, sticking at `u64::MAX` instead of
+/// wrapping. Once a counter saturates it never moves again.
+#[inline]
+pub(crate) fn saturating_fetch_add(counter: &AtomicU64, delta: u64) {
+    if delta == 0 {
+        return;
+    }
+    // ordering: Relaxed — independent monotone statistic; no other
+    // memory is published through it, snapshots tolerate staleness.
+    let mut cur = counter.load(Ordering::Relaxed);
+    loop {
+        if cur == u64::MAX {
+            return;
+        }
+        let next = cur.saturating_add(delta);
+        // ordering: Relaxed — same counter-only reasoning as the load above.
+        match counter.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Concurrent log-linear histogram. Shared via `Arc`; `record` is safe
+/// from any number of threads.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation of `v` (e.g. a duration in microseconds).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` observations of `v` at once.
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        saturating_fetch_add(&self.buckets[bucket_index(v)], n);
+        saturating_fetch_add(&self.count, n);
+        saturating_fetch_add(&self.sum, v.saturating_mul(n));
+    }
+
+    /// Total observations recorded (saturating).
+    pub fn count(&self) -> u64 {
+        // ordering: Relaxed — statistic read, no synchronization implied.
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        // ordering: Relaxed — statistic read, no synchronization implied.
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the bucket array. Not atomic across
+    /// buckets — concurrent recorders may land between loads — but
+    /// each individual counter is monotone.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            // ordering: Relaxed — statistic read, no synchronization implied.
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+/// Immutable copy of a [`Histogram`]: mergeable and queryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts, `BUCKETS` entries.
+    pub buckets: Vec<u64>,
+    /// Total observations (saturating).
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Element-wise saturating merge. Associative and commutative
+    /// (property-tested in `tests/hist_props.rs`).
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .zip(other.buckets.iter())
+            .map(|(a, b)| a.saturating_add(*b))
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.saturating_add(other.sum),
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// observation (`q` clamped to `[0, 1]`). `None` when empty. The
+    /// returned bound overshoots the true quantile by at most 1/8
+    /// relative (one bucket width).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum: u64 = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum = cum.saturating_add(n);
+            if cum >= rank {
+                return Some(bucket_upper(i));
+            }
+        }
+        // Reachable only if bucket totals saturated below `count`.
+        Some(u64::MAX)
+    }
+
+    /// Mean of recorded values, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_below_sub() {
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower(v as usize), v);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bounds_bracket_values() {
+        for &v in &[8u64, 9, 15, 16, 100, 1_000, 65_535, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_lower(i) <= v, "lower({i}) > {v}");
+            assert!(v <= bucket_upper(i), "{v} > upper({i})");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn buckets_tile_contiguously() {
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(
+                bucket_upper(i) + 1,
+                bucket_lower(i + 1),
+                "gap after bucket {i}"
+            );
+        }
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_quantile() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((500..=563).contains(&p50), "p50 = {p50}");
+        let p100 = s.quantile(1.0).unwrap();
+        assert!(
+            (1000..=1000 + 1000 / 8 + 1).contains(&p100),
+            "p100 = {p100}"
+        );
+        assert_eq!(s.quantile(0.0).unwrap(), 1);
+    }
+
+    #[test]
+    fn saturation_sticks_at_max() {
+        let h = Histogram::new();
+        h.record_n(7, u64::MAX);
+        h.record_n(7, 5);
+        let s = h.snapshot();
+        assert_eq!(s.count, u64::MAX);
+        assert_eq!(s.buckets[7], u64::MAX);
+        assert_eq!(s.sum, u64::MAX);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(10);
+        b.record(99);
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.buckets[bucket_index(10)], 2);
+        assert_eq!(m.buckets[bucket_index(99)], 1);
+    }
+}

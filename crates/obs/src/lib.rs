@@ -1,0 +1,30 @@
+//! `qtag-obs`: the unified observability layer for the Q-Tag
+//! pipeline.
+//!
+//! The paper's headline number is a *measured-rate* gap that only
+//! holds up if every beacon is accounted for end to end. This crate
+//! provides the single surface those accounts live on:
+//!
+//! * [`Registry`] — named counters, gauges, and log-linear
+//!   [`Histogram`]s, exported through two sinks: Prometheus text
+//!   exposition ([`Registry::render_prometheus`]) and a JSON snapshot
+//!   ([`Registry::render_json`]).
+//! * [`counters!`] — declares an atomic stats struct + serializable
+//!   snapshot twin + registry hookup in one place, replacing the
+//!   divergent hand-rolled `*Stats` pairs.
+//! * [`TraceRing`] — a fixed-capacity ring of per-stage spans
+//!   (decode → inlet → shard apply → ack).
+//!
+//! Everything is clock-agnostic: recording APIs take caller-supplied
+//! microsecond values, so the whole layer runs unmodified under
+//! `qtag-check`'s shimmed time (`RUSTFLAGS="--cfg qtag_check"`).
+
+pub mod hist;
+mod macros;
+pub mod registry;
+pub mod sync;
+pub mod trace;
+
+pub use hist::{bucket_index, bucket_lower, bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{Counter, Gauge, MetricValue, Registry, RegistrySnapshot};
+pub use trace::{Stage, TraceEvent, TraceRing};

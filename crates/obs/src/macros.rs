@@ -1,0 +1,146 @@
+//! The [`counters!`] macro: one declaration produces an atomic stats
+//! struct, its serializable snapshot twin, and a `register` method
+//! that exposes every field through a [`Registry`](crate::Registry).
+//!
+//! This replaces the hand-rolled `*Stats` / `*StatsSnapshot` pairs
+//! that had drifted apart across crates (collectd vs server) with a
+//! single definition per subsystem. Field order in the declaration is
+//! field order in the snapshot, so existing JSON schemas survive the
+//! migration unchanged.
+//!
+//! Each field is declared as `name: counter("help")` or
+//! `name: gauge("help")`. Both back onto an `AtomicU64` from the
+//! crate's sync facade (model-checkable under `--cfg qtag_check`);
+//! the kind only changes how the field is registered — counters are
+//! exported as `<prefix>_<name>_total`, gauges as `<prefix>_<name>`.
+
+/// Declare an atomic stats struct plus snapshot twin. See the module
+/// docs for the field syntax; `qtag-lint` rule R1 checks that every
+/// declared field is read by at least one test.
+#[macro_export]
+macro_rules! counters {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $Name:ident / $Snap:ident {
+            $( $field:ident : $kind:ident($help:literal) ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Default)]
+        $vis struct $Name {
+            $( #[doc = $help] pub $field: $crate::sync::atomic::AtomicU64, )+
+        }
+
+        #[doc = concat!("Point-in-time copy of [`", stringify!($Name), "`].")]
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, ::serde::Serialize)]
+        $vis struct $Snap {
+            $( #[doc = $help] pub $field: u64, )+
+        }
+
+        impl $Name {
+            /// A zeroed stats block.
+            $vis fn new() -> Self {
+                Self::default()
+            }
+
+            /// Point-in-time copy of every field. Not atomic across
+            /// fields; each individual load is monotone (counters) or
+            /// last-write (gauges).
+            $vis fn snapshot(&self) -> $Snap {
+                $Snap {
+                    $(
+                        // ordering: Relaxed — statistic read, no synchronization implied.
+                        $field: self.$field.load($crate::sync::atomic::Ordering::Relaxed),
+                    )+
+                }
+            }
+
+            /// Expose every field through `registry` as a computed
+            /// metric reading these same atomics: counters as
+            /// `<prefix>_<field>_total`, gauges as `<prefix>_<field>`.
+            $vis fn register(
+                self: &$crate::sync::Arc<Self>,
+                registry: &$crate::Registry,
+                prefix: &str,
+            ) {
+                $( $crate::register_counters_field!(self, registry, prefix, $field, $kind, $help); )+
+            }
+        }
+    };
+}
+
+/// Implementation detail of [`counters!`]: registers one field,
+/// dispatching on the declared kind. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! register_counters_field {
+    ($self:ident, $registry:ident, $prefix:ident, $field:ident, counter, $help:literal) => {{
+        let cell = $crate::sync::Arc::clone($self);
+        $registry.counter_fn(
+            &format!("{}_{}_total", $prefix, stringify!($field)),
+            $help,
+            // ordering: Relaxed — statistic read, no synchronization implied.
+            move || cell.$field.load($crate::sync::atomic::Ordering::Relaxed),
+        );
+    }};
+    ($self:ident, $registry:ident, $prefix:ident, $field:ident, gauge, $help:literal) => {{
+        let cell = $crate::sync::Arc::clone($self);
+        $registry.gauge_fn(
+            &format!("{}_{}", $prefix, stringify!($field)),
+            $help,
+            // ordering: Relaxed — statistic read, no synchronization implied.
+            move || cell.$field.load($crate::sync::atomic::Ordering::Relaxed),
+        );
+    }};
+    ($self:ident, $registry:ident, $prefix:ident, $field:ident, $other:ident, $help:literal) => {
+        compile_error!(concat!(
+            "counters!: field kind must be `counter` or `gauge`, got `",
+            stringify!($other),
+            "`"
+        ));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sync::atomic::Ordering;
+    use crate::sync::Arc;
+    use crate::Registry;
+
+    crate::counters! {
+        /// Test stats block.
+        pub struct DemoStats / DemoStatsSnapshot {
+            ops: counter("Operations performed."),
+            depth: gauge("Current queue depth."),
+        }
+    }
+
+    #[test]
+    fn snapshot_and_register_share_cells() {
+        let stats = Arc::new(DemoStats::new());
+        // ordering: Relaxed — test-only bump of an independent counter.
+        stats.ops.fetch_add(3, Ordering::Relaxed);
+        // ordering: Relaxed — test-only gauge write.
+        stats.depth.store(2, Ordering::Relaxed);
+
+        let snap = stats.snapshot();
+        assert_eq!(snap.ops, 3);
+        assert_eq!(snap.depth, 2);
+
+        let registry = Registry::new();
+        stats.register(&registry, "qtag_demo");
+        assert_eq!(registry.get("qtag_demo_ops_total"), Some(3));
+        assert_eq!(registry.get("qtag_demo_depth"), Some(2));
+
+        // ordering: Relaxed — test-only bump of an independent counter.
+        stats.ops.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(registry.get("qtag_demo_ops_total"), Some(4));
+    }
+
+    #[test]
+    fn snapshot_serializes_in_declaration_order() {
+        let snap = DemoStatsSnapshot { ops: 1, depth: 2 };
+        let json = serde_json::to_string(&snap).unwrap();
+        assert_eq!(json, r#"{"ops":1,"depth":2}"#);
+    }
+}

@@ -1,0 +1,521 @@
+//! Metric registry: a single named surface over the pipeline's
+//! counters, gauges, and histograms, with two exposition sinks
+//! (Prometheus text format and a JSON snapshot).
+//!
+//! Naming scheme (enforced at registration): `[a-zA-Z_][a-zA-Z0-9_]*`,
+//! by convention `qtag_<subsystem>_<field>` with counters carrying a
+//! `_total` suffix (the `counters!` macro appends it). Registration is
+//! idempotent for handle-backed metrics — registering the same name
+//! with the same kind returns the existing handle — and panics on a
+//! kind mismatch, which is always a programming error.
+//!
+//! The registry itself is lock-light: one facade mutex guards the
+//! name→slot map (touched only at registration and snapshot time);
+//! every hot-path update goes straight to an `Arc`'d atomic or
+//! histogram without taking the map lock.
+
+use crate::hist::{bucket_upper, Histogram, HistogramSnapshot};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
+use std::collections::BTreeMap;
+
+/// Monotone counter handle. Cloning shares the underlying cell.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        crate::hist::saturating_fetch_add(&self.0, n);
+    }
+
+    pub fn get(&self) -> u64 {
+        // ordering: Relaxed — statistic read, no synchronization implied.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+/// Gauge handle: a settable, up/down u64 (floors at 0, caps at MAX).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn set(&self, v: u64) {
+        // ordering: Relaxed — statistic write, no synchronization implied.
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        crate::hist::saturating_fetch_add(&self.0, 1);
+    }
+
+    #[inline]
+    pub fn dec(&self) {
+        // ordering: Relaxed — independent statistic; snapshots tolerate
+        // staleness, no other memory is published through the gauge.
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(1);
+            // ordering: Relaxed — same gauge-only reasoning as the load above.
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        // ordering: Relaxed — statistic read, no synchronization implied.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get()).finish()
+    }
+}
+
+type ReadFn = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<Histogram>),
+    /// Computed counter: reads an externally-owned monotone value.
+    CounterFn(ReadFn),
+    /// Computed gauge: reads an externally-owned instantaneous value.
+    GaugeFn(ReadFn),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) | Slot::CounterFn(_) => "counter",
+            Slot::Gauge(_) | Slot::GaugeFn(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    help: String,
+    slot: Slot,
+}
+
+/// The registry. Share via `Arc<Registry>`; registration and snapshot
+/// take the map lock, metric updates never do.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Entry>>,
+}
+
+fn validate_name(name: &str) {
+    let mut chars = name.chars();
+    let ok_first = matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_');
+    let ok_rest = chars.all(|c| c.is_ascii_alphanumeric() || c == '_');
+    assert!(
+        ok_first && ok_rest && !name.is_empty(),
+        "invalid metric name {name:?}: must match [a-zA-Z_][a-zA-Z0-9_]*"
+    );
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register_with<T>(
+        &self,
+        name: &str,
+        help: &str,
+        make: impl FnOnce() -> (Slot, T),
+        reuse: impl FnOnce(&Slot) -> Option<T>,
+        kind: &'static str,
+    ) -> T {
+        validate_name(name);
+        let mut map = self.inner.lock();
+        if let Some(existing) = map.get(name) {
+            match reuse(&existing.slot) {
+                Some(handle) => return handle,
+                None => panic!(
+                    "metric {name:?} already registered as {}, requested {kind}",
+                    existing.slot.kind()
+                ),
+            }
+        }
+        let (slot, handle) = make();
+        map.insert(
+            name.to_string(),
+            Entry {
+                help: help.to_string(),
+                slot,
+            },
+        );
+        handle
+    }
+
+    /// Register (or fetch) a monotone counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.register_with(
+            name,
+            help,
+            || {
+                let cell = Arc::new(AtomicU64::new(0));
+                (Slot::Counter(cell.clone()), Counter(cell))
+            },
+            |slot| match slot {
+                Slot::Counter(cell) => Some(Counter(cell.clone())),
+                _ => None,
+            },
+            "counter",
+        )
+    }
+
+    /// Register (or fetch) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.register_with(
+            name,
+            help,
+            || {
+                let cell = Arc::new(AtomicU64::new(0));
+                (Slot::Gauge(cell.clone()), Gauge(cell))
+            },
+            |slot| match slot {
+                Slot::Gauge(cell) => Some(Gauge(cell.clone())),
+                _ => None,
+            },
+            "gauge",
+        )
+    }
+
+    /// Register (or fetch) a log-linear histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.register_with(
+            name,
+            help,
+            || {
+                let h = Arc::new(Histogram::new());
+                (Slot::Histogram(h.clone()), h.clone())
+            },
+            |slot| match slot {
+                Slot::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            "histogram",
+        )
+    }
+
+    /// Register a computed counter reading an externally-owned
+    /// monotone value (e.g. a field of a legacy stats struct).
+    /// Panics if `name` is already registered: closures cannot be
+    /// deduplicated, so double registration is a bug.
+    pub fn counter_fn(&self, name: &str, help: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.register_with(
+            name,
+            help,
+            || (Slot::CounterFn(Arc::new(f)), ()),
+            |_| None,
+            "counter_fn",
+        )
+    }
+
+    /// Register a computed gauge. Same double-registration rule as
+    /// [`Registry::counter_fn`].
+    pub fn gauge_fn(&self, name: &str, help: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.register_with(
+            name,
+            help,
+            || (Slot::GaugeFn(Arc::new(f)), ()),
+            |_| None,
+            "gauge_fn",
+        )
+    }
+
+    /// Current value of a counter or gauge by name (`None` for
+    /// histograms or unknown names). The conservation test suite
+    /// cross-checks legacy stats structs through this.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        let map = self.inner.lock();
+        map.get(name).and_then(|e| match &e.slot {
+            // ordering: Relaxed — statistic read, no synchronization implied.
+            Slot::Counter(c) | Slot::Gauge(c) => Some(c.load(Ordering::Relaxed)),
+            Slot::CounterFn(f) | Slot::GaugeFn(f) => Some(f()),
+            Slot::Histogram(_) => None,
+        })
+    }
+
+    /// Registered metric names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.lock().keys().cloned().collect()
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let map = self.inner.lock();
+        let metrics = map
+            .iter()
+            .map(|(name, e)| {
+                let value = match &e.slot {
+                    Slot::Counter(c) => {
+                        // ordering: Relaxed — statistic read only.
+                        MetricValue::Counter(c.load(Ordering::Relaxed))
+                    }
+                    Slot::Gauge(g) => {
+                        // ordering: Relaxed — statistic read only.
+                        MetricValue::Gauge(g.load(Ordering::Relaxed))
+                    }
+                    Slot::CounterFn(f) => MetricValue::Counter(f()),
+                    Slot::GaugeFn(f) => MetricValue::Gauge(f()),
+                    Slot::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), (e.help.clone(), value))
+            })
+            .collect();
+        RegistrySnapshot { metrics }
+    }
+
+    /// Prometheus text exposition (format version 0.0.4).
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+
+    /// Pretty-printed JSON snapshot.
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot())
+            .expect("registry snapshot contains only finite values")
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("metrics", &self.names())
+            .finish()
+    }
+}
+
+/// Snapshot value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(u64),
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Registry`]: name → (help, value), sorted
+/// by name so both exposition formats are byte-stable.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    pub metrics: BTreeMap<String, (String, MetricValue)>,
+}
+
+/// Escape a HELP string per the Prometheus text format: backslash and
+/// newline only.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+impl RegistrySnapshot {
+    /// Counter/gauge value by name (`None` for histograms).
+    pub fn value(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name)? {
+            (_, MetricValue::Counter(v)) | (_, MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.metrics.get(name)? {
+            (_, MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Prometheus text exposition: `# HELP` / `# TYPE` per metric,
+    /// histograms expanded to cumulative `_bucket{le=...}` series over
+    /// non-empty buckets plus `+Inf`, `_sum`, `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, (help, value)) in &self.metrics {
+            out.push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+            out.push_str(&format!("# TYPE {name} {}\n", value.kind()));
+            match value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{name} {v}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum: u64 = 0;
+                    for (i, &n) in h.buckets.iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        cum = cum.saturating_add(n);
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                            bucket_upper(i)
+                        ));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                    out.push_str(&format!("{name}_sum {}\n", h.sum));
+                    out.push_str(&format!("{name}_count {}\n", h.count));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl serde::Serialize for RegistrySnapshot {
+    fn to_value(&self) -> serde::Value {
+        let entries = self
+            .metrics
+            .iter()
+            .map(|(name, (help, value))| {
+                let mut fields: Vec<(String, serde::Value)> = vec![
+                    (
+                        "type".to_string(),
+                        serde::Value::Str(value.kind().to_string()),
+                    ),
+                    ("help".to_string(), serde::Value::Str(help.clone())),
+                ];
+                match value {
+                    MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                        fields.push(("value".to_string(), serde::Value::UInt(*v)));
+                    }
+                    MetricValue::Histogram(h) => {
+                        fields.push(("count".to_string(), serde::Value::UInt(h.count)));
+                        fields.push(("sum".to_string(), serde::Value::UInt(h.sum)));
+                        let buckets = h
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &n)| n != 0)
+                            .map(|(i, &n)| {
+                                serde::Value::Map(vec![
+                                    ("le".to_string(), serde::Value::UInt(bucket_upper(i))),
+                                    ("n".to_string(), serde::Value::UInt(n)),
+                                ])
+                            })
+                            .collect();
+                        fields.push(("buckets".to_string(), serde::Value::Seq(buckets)));
+                    }
+                }
+                (name.clone(), serde::Value::Map(fields))
+            })
+            .collect();
+        serde::Value::Map(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip_and_reuse() {
+        let r = Registry::new();
+        let c = r.counter("qtag_test_ops_total", "ops");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.get("qtag_test_ops_total"), Some(5));
+        let again = r.counter("qtag_test_ops_total", "ops");
+        again.inc();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("qtag_test_x", "x");
+        r.gauge("qtag_test_x", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_name_panics() {
+        Registry::new().counter("qtag test", "x");
+    }
+
+    #[test]
+    fn gauge_up_down_floors_at_zero() {
+        let r = Registry::new();
+        let g = r.gauge("qtag_test_depth", "depth");
+        g.inc();
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), 0);
+        g.set(41);
+        g.inc();
+        assert_eq!(r.get("qtag_test_depth"), Some(42));
+    }
+
+    #[test]
+    fn fn_metrics_read_external_state() {
+        let r = Registry::new();
+        let cell = Arc::new(AtomicU64::new(7));
+        let read = cell.clone();
+        r.counter_fn("qtag_test_ext_total", "ext", move || {
+            // ordering: Relaxed — statistic read in a test closure.
+            read.load(Ordering::Relaxed)
+        });
+        assert_eq!(r.get("qtag_test_ext_total"), Some(7));
+        // ordering: Relaxed — test-only bump of an independent counter.
+        cell.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(r.get("qtag_test_ext_total"), Some(8));
+    }
+
+    #[test]
+    fn exposition_is_sorted_and_escaped() {
+        let r = Registry::new();
+        r.counter("qtag_b_total", "line1\nline2 \\ slash");
+        r.gauge("qtag_a_depth", "a gauge");
+        let text = r.render_prometheus();
+        let a = text.find("qtag_a_depth").unwrap();
+        let b = text.find("qtag_b_total").unwrap();
+        assert!(a < b, "names must render sorted");
+        assert!(text.contains("line1\\nline2 \\\\ slash"));
+    }
+
+    #[test]
+    fn histogram_exposition_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("qtag_test_lat_us", "latency");
+        h.record(3);
+        h.record(3);
+        h.record(100);
+        let text = r.render_prometheus();
+        assert!(text.contains("qtag_test_lat_us_bucket{le=\"3\"} 2\n"));
+        assert!(text.contains("qtag_test_lat_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("qtag_test_lat_us_count 3\n"));
+        let json = r.render_json();
+        assert!(json.contains("\"type\": \"histogram\""));
+    }
+}

@@ -1,0 +1,32 @@
+//! Synchronization facade for `qtag-obs`.
+//!
+//! Mirrors the facades in `qtag-server` / `qtag-collectd`: a normal
+//! build delegates to `parking_lot` (locks) and `std` (atomics), while
+//! `RUSTFLAGS="--cfg qtag_check"` swaps in the `qtag-check`
+//! model-checker shims so registry updates run under deterministic
+//! schedule exploration. The metrics layer is deliberately
+//! clock-agnostic — every latency-recording API takes caller-supplied
+//! microsecond values — so no `time` module is re-exported here.
+//!
+//! `qtag-lint` (rule R4) enforces the routing: no file in this crate
+//! may name `std::sync`/`parking_lot` primitives outside this module.
+
+#[cfg(qtag_check)]
+pub use qtag_check::sync::{atomic, Arc, Mutex, MutexGuard, Weak};
+
+#[cfg(not(qtag_check))]
+pub use parking_lot::Mutex;
+
+#[cfg(not(qtag_check))]
+pub use std::sync::{Arc, Weak};
+
+/// Guard returned by [`Mutex::lock`] (the vendored `parking_lot`
+/// hands out recovered `std` guards).
+#[cfg(not(qtag_check))]
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// Atomics in the `std::sync::atomic` shape.
+#[cfg(not(qtag_check))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+}

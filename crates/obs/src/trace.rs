@@ -1,0 +1,178 @@
+//! Structured trace-event ring buffer with per-stage spans.
+//!
+//! Every hop a beacon batch takes through the pipeline — decode →
+//! inlet → shard apply → ack — can drop a [`TraceEvent`] into a shared
+//! fixed-capacity ring. The ring never allocates after construction
+//! and overwrites the oldest event when full (total recorded and
+//! dropped counts stay exact), so it is safe to leave enabled in
+//! production and under `qtag-check` model runs.
+//!
+//! Like the histogram core, the ring is clock-agnostic: callers supply
+//! `start_us` / `dur_us` measured against whatever epoch they own.
+
+use crate::sync::Mutex;
+
+/// Pipeline stage a span was measured in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Wire-frame decode on a collector connection.
+    Decode,
+    /// Hand-off of a decoded batch into the bounded ingest inlet.
+    Inlet,
+    /// A shard applier draining one batch into its store.
+    ShardApply,
+    /// Ack encode + flush back to the sender.
+    Ack,
+}
+
+impl Stage {
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::Inlet => "inlet",
+            Stage::ShardApply => "shard_apply",
+            Stage::Ack => "ack",
+        }
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub stage: Stage,
+    /// Stage-specific correlation key: connection id for
+    /// decode/inlet/ack spans, shard index for apply spans.
+    pub key: u64,
+    /// Span start, microseconds since the owner's epoch.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Items the span covered (beacons decoded, batch length, acks
+    /// flushed).
+    pub items: u64,
+}
+
+struct Inner {
+    buf: Vec<TraceEvent>,
+    /// Next write position once the ring has wrapped.
+    next: usize,
+    /// Total events ever recorded (monotone).
+    recorded: u64,
+}
+
+/// Fixed-capacity overwrite-oldest event ring. Share via `Arc`.
+pub struct TraceRing {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl TraceRing {
+    /// `capacity` must be at least 1.
+    pub fn new(capacity: usize) -> TraceRing {
+        assert!(capacity > 0, "trace ring capacity must be at least 1");
+        TraceRing {
+            capacity,
+            inner: Mutex::new(Inner {
+                buf: Vec::with_capacity(capacity),
+                next: 0,
+                recorded: 0,
+            }),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append an event, overwriting the oldest if the ring is full.
+    pub fn record(&self, ev: TraceEvent) {
+        let mut inner = self.inner.lock();
+        if inner.buf.len() < self.capacity {
+            inner.buf.push(ev);
+        } else {
+            let at = inner.next;
+            inner.buf[at] = ev;
+            inner.next = (at + 1) % self.capacity;
+        }
+        inner.recorded += 1;
+    }
+
+    /// Events currently held, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let inner = self.inner.lock();
+        let mut out = Vec::with_capacity(inner.buf.len());
+        out.extend_from_slice(&inner.buf[inner.next..]);
+        out.extend_from_slice(&inner.buf[..inner.next]);
+        out
+    }
+
+    /// Total events ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().recorded
+    }
+
+    /// Events lost to overwriting.
+    pub fn dropped(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.recorded - inner.buf.len() as u64
+    }
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.capacity)
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(stage: Stage, key: u64) -> TraceEvent {
+        TraceEvent {
+            stage,
+            key,
+            start_us: key * 10,
+            dur_us: 5,
+            items: 1,
+        }
+    }
+
+    #[test]
+    fn records_in_order_below_capacity() {
+        let ring = TraceRing::new(4);
+        ring.record(ev(Stage::Decode, 1));
+        ring.record(ev(Stage::Inlet, 2));
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].key, 1);
+        assert_eq!(snap[1].key, 2);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let ring = TraceRing::new(3);
+        for k in 1..=5 {
+            ring.record(ev(Stage::ShardApply, k));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(
+            snap.iter().map(|e| e.key).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        assert_eq!(Stage::Decode.name(), "decode");
+        assert_eq!(Stage::Inlet.name(), "inlet");
+        assert_eq!(Stage::ShardApply.name(), "shard_apply");
+        assert_eq!(Stage::Ack.name(), "ack");
+    }
+}

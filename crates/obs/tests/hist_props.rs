@@ -1,0 +1,156 @@
+//! Property tests for the log-linear histogram core: bucket geometry,
+//! merge algebra, record-then-quantile error bounds, and u64
+//! saturation. Everything is value-driven — no clocks — so the suite
+//! runs identically under `--cfg qtag_check`.
+
+use proptest::prelude::*;
+use qtag_obs::{bucket_index, bucket_lower, bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
+
+/// Builds a snapshot from raw samples through the real recording path.
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Every value lands in a bucket whose [lower, upper] range
+    /// actually contains it — the indexing function and the bound
+    /// functions agree.
+    #[test]
+    fn bucket_bounds_contain_the_value(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(bucket_lower(i) <= v, "lower({i}) > {v}");
+        prop_assert!(v <= bucket_upper(i), "upper({i}) < {v}");
+    }
+
+    /// Bucket index is monotone in the value: a bigger sample never
+    /// maps to a smaller bucket.
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    /// The log-linear design bound: each bucket's width is at most
+    /// 1/8 of its lower bound (relative quantile error <= 12.5 %).
+    #[test]
+    fn bucket_relative_width_is_bounded(v in 8u64..u64::MAX) {
+        let i = bucket_index(v);
+        let lower = bucket_lower(i);
+        let width = bucket_upper(i).saturating_sub(lower);
+        prop_assert!(
+            width <= lower / 8,
+            "bucket {i}: width {width} vs lower {lower}"
+        );
+    }
+
+    /// Merge is commutative: a ∪ b == b ∪ a, bucket by bucket.
+    #[test]
+    fn merge_is_commutative(
+        xs in prop::collection::vec(any::<u64>(), 0..64),
+        ys in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (a, b) = (snapshot_of(&xs), snapshot_of(&ys));
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(
+        xs in prop::collection::vec(any::<u64>(), 0..48),
+        ys in prop::collection::vec(any::<u64>(), 0..48),
+        zs in prop::collection::vec(any::<u64>(), 0..48),
+    ) {
+        let (a, b, c) = (snapshot_of(&xs), snapshot_of(&ys), snapshot_of(&zs));
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+    }
+
+    /// Merging two snapshots is the same as recording the concatenated
+    /// sample stream — the histogram is a homomorphism.
+    #[test]
+    fn merge_equals_concatenated_recording(
+        xs in prop::collection::vec(any::<u64>(), 0..64),
+        ys in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let merged = snapshot_of(&xs).merge(&snapshot_of(&ys));
+        let mut both = xs.clone();
+        both.extend_from_slice(&ys);
+        prop_assert_eq!(merged, snapshot_of(&both));
+    }
+
+    /// Record-then-quantile bound: every quantile of a recorded stream
+    /// overestimates some real sample by at most the bucket's relative
+    /// width — never *under* the sample it represents, never beyond
+    /// 12.5 % (+1 for integer rounding in the tiny linear buckets)
+    /// above the stream maximum.
+    #[test]
+    fn quantiles_are_bounded_by_bucket_error(
+        samples in prop::collection::vec(0u64..1_000_000_000, 1..64),
+        q_milli in 0u64..=1000,
+    ) {
+        let snap = snapshot_of(&samples);
+        let q = q_milli as f64 / 1000.0;
+        let r = snap.quantile(q).expect("non-empty");
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        prop_assert!(r >= min, "quantile {r} below min sample {min}");
+        prop_assert!(
+            r <= max + max / 8 + 1,
+            "quantile {r} beyond bucket error above max {max}"
+        );
+    }
+
+    /// count/sum agree with the recorded stream exactly (no sample is
+    /// lost or double-counted on the lock-free path).
+    #[test]
+    fn count_and_sum_are_exact(samples in prop::collection::vec(0u64..1_000_000, 0..128)) {
+        let snap = snapshot_of(&samples);
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum, samples.iter().sum::<u64>());
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), samples.len() as u64);
+    }
+
+    /// The sum saturates at u64::MAX instead of wrapping, and stays
+    /// saturated once there.
+    #[test]
+    fn sum_saturates_instead_of_wrapping(extra in prop::collection::vec(1u64..u64::MAX, 1..8)) {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        for &v in &extra {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.sum, u64::MAX);
+        prop_assert_eq!(snap.count, 1 + extra.len() as u64);
+    }
+
+    /// Merging saturated snapshots stays saturated (merge uses the
+    /// same saturating arithmetic as recording).
+    #[test]
+    fn merge_saturates(samples in prop::collection::vec(1u64..u64::MAX, 1..16)) {
+        let merged = snapshot_of(&[u64::MAX]).merge(&snapshot_of(&samples));
+        prop_assert_eq!(merged.sum, u64::MAX);
+        prop_assert_eq!(merged.count, 1 + samples.len() as u64);
+    }
+}
+
+/// Deterministic tiling check (not a proptest: exhaustive over bucket
+/// indices): consecutive buckets tile the u64 line with no gap and no
+/// overlap.
+#[test]
+fn buckets_tile_the_u64_line() {
+    assert_eq!(bucket_lower(0), 0);
+    for i in 0..BUCKETS - 1 {
+        assert_eq!(
+            bucket_upper(i) + 1,
+            bucket_lower(i + 1),
+            "gap/overlap between buckets {i} and {}",
+            i + 1
+        );
+    }
+    assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+}

@@ -19,13 +19,14 @@
 
 use crate::shard::{shard_of, ShardedStore};
 use crate::store::ImpressionStore;
-use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::Ordering;
 use crate::sync::thread::JoinHandle;
+use crate::sync::time::Instant;
 use crate::sync::{thread, Arc, Mutex, Weak};
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
+use qtag_obs::{Counter, Histogram, Registry, Stage, TraceEvent, TraceRing};
 use qtag_wire::framing::FrameEvent;
 use qtag_wire::{Beacon, FrameDecoder};
-use serde::Serialize;
 use std::collections::HashMap;
 
 /// Default capacity of each shard's batch channel, in *batches*.
@@ -47,6 +48,10 @@ pub struct IngestConfig {
     pub batch: usize,
     /// Bounded capacity of each shard's applier channel, in batches.
     pub inlet_capacity: usize,
+    /// Observability hooks for the apply hot path (latency histogram,
+    /// queue-depth gauge, shard-apply trace spans). `None` runs the
+    /// appliers without instrumentation.
+    pub metrics: Option<Arc<IngestMetrics>>,
 }
 
 impl Default for IngestConfig {
@@ -55,62 +60,98 @@ impl Default for IngestConfig {
             workers: 1,
             batch: DEFAULT_BATCH,
             inlet_capacity: DEFAULT_INLET_CAPACITY,
+            metrics: None,
         }
     }
 }
 
-/// Counters the service maintains while running.
-#[derive(Debug, Default)]
-pub struct IngestStats {
-    /// Byte chunks accepted.
-    pub chunks: AtomicU64,
-    /// Beacons parsed and applied (or queued for application).
-    pub beacons: AtomicU64,
-    /// Frames rejected (checksum/decode failures).
-    pub corrupt_frames: AtomicU64,
-    /// Beacons dropped by [`BeaconInlet::offer`] because the bounded
-    /// shard channel was full (slow applier / overload shedding).
-    pub shed_beacons: AtomicU64,
-    /// Beacons handed to an inlet after the service shut down. Distinct
-    /// from `shed_beacons` (which means *overload*, service alive) so
-    /// conservation checks stay exact across shutdown races.
-    pub rejected_after_shutdown: AtomicU64,
-    /// Batches enqueued to shard appliers (channel operations). The
-    /// amortisation ratio is `beacons / beacon_batches`.
-    pub beacon_batches: AtomicU64,
+qtag_obs::counters! {
+    /// Counters the service maintains while running. Each field is
+    /// read atomically; the set is not a transaction. Exported through
+    /// a [`Registry`] under the `qtag_ingest` prefix via
+    /// [`IngestStats::register`].
+    pub struct IngestStats / IngestStatsSnapshot {
+        chunks: counter("Byte chunks accepted."),
+        beacons: counter("Beacons parsed and applied (or queued for application)."),
+        corrupt_frames: counter("Frames rejected (checksum/decode failures)."),
+        shed_beacons: counter("Beacons dropped at the bounded inlet because a shard channel was full (overload shedding, service alive)."),
+        rejected_after_shutdown: counter("Beacons handed to an inlet after the service shut down (distinct from shed_beacons so conservation stays exact across shutdown races)."),
+        beacon_batches: counter("Batches enqueued to shard appliers (channel operations); beacons / beacon_batches is the amortisation ratio."),
+    }
 }
 
-impl IngestStats {
-    /// Consistent-enough point-in-time copy of the counters (each
-    /// counter is read atomically; the set is not a transaction).
-    pub fn snapshot(&self) -> IngestStatsSnapshot {
-        IngestStatsSnapshot {
-            chunks: self.chunks.load(Ordering::Relaxed),
-            beacons: self.beacons.load(Ordering::Relaxed),
-            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
-            shed_beacons: self.shed_beacons.load(Ordering::Relaxed),
-            rejected_after_shutdown: self.rejected_after_shutdown.load(Ordering::Relaxed),
-            beacon_batches: self.beacon_batches.load(Ordering::Relaxed),
+/// Observability hooks threaded into the ingest hot path. Create one
+/// per service with [`IngestMetrics::new`], hand it to the service via
+/// [`IngestConfig::metrics`], then (once the service is running) call
+/// [`IngestMetrics::register_queue_depth`] to expose the enqueued −
+/// applied backlog.
+pub struct IngestMetrics {
+    /// Per-batch shard apply latency in microseconds (lock + apply).
+    pub apply_latency_us: Arc<Histogram>,
+    batches_applied: Counter,
+    trace: Option<Arc<TraceRing>>,
+}
+
+impl IngestMetrics {
+    /// Registers the apply-path metrics (`qtag_ingest_apply_latency_us`,
+    /// `qtag_ingest_batches_applied_total`) and keeps a handle on the
+    /// trace ring (pass `None` to skip span recording).
+    pub fn new(registry: &Registry, trace: Option<Arc<TraceRing>>) -> Arc<IngestMetrics> {
+        Arc::new(IngestMetrics {
+            apply_latency_us: registry.histogram(
+                "qtag_ingest_apply_latency_us",
+                "Per-batch shard apply latency: one shard lock plus up to `batch` store applies, in microseconds.",
+            ),
+            batches_applied: registry.counter(
+                "qtag_ingest_batches_applied_total",
+                "Batches drained from shard channels and applied to their stores.",
+            ),
+            trace,
+        })
+    }
+
+    /// Exposes `qtag_ingest_queue_depth`: batches enqueued by workers
+    /// and inlets minus batches drained by appliers — the live backlog
+    /// across all shard channels.
+    pub fn register_queue_depth(self: &Arc<Self>, registry: &Registry, stats: &Arc<IngestStats>) {
+        let stats = Arc::clone(stats);
+        let applied = self.batches_applied.clone();
+        registry.gauge_fn(
+            "qtag_ingest_queue_depth",
+            "Batches enqueued to shard appliers but not yet applied (live backlog, all shards).",
+            move || {
+                // ordering: Relaxed — statistic read, no synchronization implied.
+                let enqueued = stats.beacon_batches.load(Ordering::Relaxed);
+                enqueued.saturating_sub(applied.get())
+            },
+        );
+    }
+
+    /// Records one drained batch: apply latency, the applied-batches
+    /// counter, and (when tracing) a [`Stage::ShardApply`] span.
+    fn batch_applied(&self, shard: u64, start_us: u64, end_us: u64, items: u64) {
+        let dur_us = end_us.saturating_sub(start_us);
+        self.apply_latency_us.record(dur_us);
+        self.batches_applied.inc();
+        if let Some(ring) = &self.trace {
+            ring.record(TraceEvent {
+                stage: Stage::ShardApply,
+                key: shard,
+                start_us,
+                dur_us,
+                items,
+            });
         }
     }
 }
 
-/// Plain-value form of [`IngestStats`], serializable for ops endpoints
-/// and experiment logs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
-pub struct IngestStatsSnapshot {
-    /// Byte chunks accepted.
-    pub chunks: u64,
-    /// Beacons parsed and applied (or queued for application).
-    pub beacons: u64,
-    /// Frames rejected (checksum/decode failures).
-    pub corrupt_frames: u64,
-    /// Beacons shed at the bounded inlet.
-    pub shed_beacons: u64,
-    /// Beacons rejected because the service had already shut down.
-    pub rejected_after_shutdown: u64,
-    /// Batches enqueued to shard appliers.
-    pub beacon_batches: u64,
+impl std::fmt::Debug for IngestMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestMetrics")
+            .field("batches_applied", &self.batches_applied.get())
+            .field("tracing", &self.trace.is_some())
+            .finish()
+    }
 }
 
 enum WorkerMsg {
@@ -418,12 +459,28 @@ impl IngestService {
             let (btx, brx): (Sender<Vec<Beacon>>, Receiver<Vec<Beacon>>) =
                 channel::bounded(cfg.inlet_capacity);
             let shard = Arc::clone(store.shard(s));
+            let metrics = cfg.metrics.clone();
             appliers.push(thread::spawn(move || {
+                // Span timestamps are µs since this applier started;
+                // the metrics layer never reads a clock itself.
+                let epoch = Instant::now();
                 while let Ok(batch) = brx.recv() {
-                    // One lock acquisition per batch: the whole point.
-                    let mut store = shard.lock();
-                    for b in &batch {
-                        store.apply(b);
+                    let start_us = metrics.as_ref().map(|_| epoch.elapsed().as_micros() as u64);
+                    {
+                        // One lock acquisition per batch: the whole point.
+                        let mut store = shard.lock();
+                        for b in &batch {
+                            store.apply(b);
+                        }
+                    }
+                    if let Some(m) = &metrics {
+                        let end_us = epoch.elapsed().as_micros() as u64;
+                        m.batch_applied(
+                            s as u64,
+                            start_us.unwrap_or(end_us),
+                            end_us,
+                            batch.len() as u64,
+                        );
                     }
                 }
             }));
@@ -812,6 +869,7 @@ mod tests {
                 workers: 4,
                 batch: 8,
                 inlet_capacity: 2,
+                metrics: None,
             },
         );
         let mut link = LossyLink::lossless();

@@ -41,8 +41,8 @@ mod transport;
 pub use anomaly::{viewability_outliers, BeaconValidator, OutlierCampaign, Violation};
 pub use billing::{invoice_campaigns, total_usd, Invoice, PricingModel};
 pub use ingest::{
-    BatchOutcome, BeaconInlet, IngestConfig, IngestService, IngestStats, IngestStatsSnapshot,
-    DEFAULT_BATCH, DEFAULT_INLET_CAPACITY,
+    BatchOutcome, BeaconInlet, IngestConfig, IngestMetrics, IngestService, IngestStats,
+    IngestStatsSnapshot, DEFAULT_BATCH, DEFAULT_INLET_CAPACITY,
 };
 pub use report::{
     mean, std_dev, to_csv, CampaignReport, FleetSummary, RateSlice, ReportBuilder, SliceKey,

@@ -63,6 +63,7 @@ fn offer_vs_shutdown_conserves_every_beacon() {
                 workers: 1,
                 batch: 2,
                 inlet_capacity: 1,
+                metrics: None,
             },
         );
         let stats = Arc::clone(service.stats_arc());
@@ -111,6 +112,7 @@ fn sharded_handoff_applies_all_accepted() {
                 workers: 1,
                 batch: 1,
                 inlet_capacity: 2,
+                metrics: None,
             },
         );
         let stats = Arc::clone(service.stats_arc());

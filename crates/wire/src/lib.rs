@@ -41,5 +41,7 @@ pub mod types;
 pub use beacon::{Beacon, EventKind};
 pub use error::WireError;
 pub use framing::FrameDecoder;
-pub use sender::{AckKey, BeaconSender, SenderConfig, SenderStats, TcpTransport, Transport};
+pub use sender::{
+    AckKey, BeaconSender, SenderConfig, SenderMetrics, SenderStats, TcpTransport, Transport,
+};
 pub use types::{AdFormat, BrowserKind, OsKind, SiteType};

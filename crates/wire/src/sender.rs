@@ -49,10 +49,12 @@
 //! provably absent from every aggregate.
 
 use crate::{framing, Beacon, WireError};
+use qtag_obs::{Counter, Gauge, Histogram, Registry};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// First byte of a connection that wants per-frame acknowledgements
@@ -246,6 +248,72 @@ impl SenderStats {
     }
 }
 
+/// Registry-backed mirror of the sender's hot counters plus the two
+/// timing distributions the ad-hoc [`SenderStats`] struct cannot hold:
+/// write→ack latency and the backoff the retry schedule actually chose
+/// (base × jitter stretch, capped). Shared across senders — the load
+/// generator registers one block and attaches it to every client, so
+/// the scraped totals are fleet-wide.
+///
+/// Purely additive: [`SenderStats`] stays the source of truth for the
+/// conservation identity; the conservation test suite asserts the two
+/// agree.
+#[derive(Debug)]
+pub struct SenderMetrics {
+    /// Microseconds from a frame's most recent full write to its ack.
+    pub ack_latency_us: Arc<Histogram>,
+    /// Backoff delays (µs) the retry schedule produced, post-jitter.
+    pub backoff_us: Arc<Histogram>,
+    enqueued: Counter,
+    acked: Counter,
+    retransmits: Counter,
+    dropped_after_retries: Counter,
+    abandoned_unconfirmed: Counter,
+    pending: Gauge,
+}
+
+impl SenderMetrics {
+    /// Registers the sender metric family under `prefix` (e.g.
+    /// `qtag_sender`) and returns the shared block. Calling twice with
+    /// the same prefix on the same registry reuses the same cells.
+    pub fn register(registry: &Registry, prefix: &str) -> Arc<Self> {
+        Arc::new(SenderMetrics {
+            ack_latency_us: registry.histogram(
+                &format!("{prefix}_ack_latency_us"),
+                "Microseconds from a frame's last full write to its acknowledgement.",
+            ),
+            backoff_us: registry.histogram(
+                &format!("{prefix}_backoff_us"),
+                "Retry backoff delays chosen by the sender, in microseconds (post-jitter).",
+            ),
+            enqueued: registry.counter(
+                &format!("{prefix}_enqueued_total"),
+                "Beacons accepted into the retry queue.",
+            ),
+            acked: registry.counter(
+                &format!("{prefix}_acked_total"),
+                "Beacons confirmed by the collector and released.",
+            ),
+            retransmits: registry.counter(
+                &format!("{prefix}_retransmits_total"),
+                "Frame writes beyond each frame's first attempt.",
+            ),
+            dropped_after_retries: registry.counter(
+                &format!("{prefix}_dropped_after_retries_total"),
+                "Never-written beacons dropped at the retry cap.",
+            ),
+            abandoned_unconfirmed: registry.counter(
+                &format!("{prefix}_abandoned_unconfirmed_total"),
+                "Maybe-delivered beacons explicitly abandoned by the caller.",
+            ),
+            pending: registry.gauge(
+                &format!("{prefix}_pending"),
+                "Frames currently queued or awaiting an ack.",
+            ),
+        })
+    }
+}
+
 #[derive(Debug)]
 enum FrameState {
     /// Waiting (or backing off) to be written; due at the given time.
@@ -259,6 +327,9 @@ struct PendingFrame {
     bytes: Vec<u8>,
     attempts: u32,
     ever_written: bool,
+    /// Clock reading (`now_us`) of the most recent full write; the
+    /// write→ack latency sample is measured from here.
+    sent_at_us: u64,
     state: FrameState,
 }
 
@@ -299,6 +370,7 @@ pub struct BeaconSender<T: Transport> {
     connected: bool,
     reconnect_due_us: u64,
     stats: SenderStats,
+    metrics: Option<Arc<SenderMetrics>>,
     jitter: JitterRng,
     ack_buf: Vec<AckKey>,
 }
@@ -316,9 +388,17 @@ impl<T: Transport> BeaconSender<T> {
             connected: false,
             reconnect_due_us: 0,
             stats: SenderStats::default(),
+            metrics: None,
             jitter,
             ack_buf: Vec::new(),
         }
+    }
+
+    /// Attaches a registry-backed metrics block; every subsequent
+    /// state transition is mirrored into it. The same block may be
+    /// shared by many senders (the counters are atomic).
+    pub fn attach_metrics(&mut self, metrics: Arc<SenderMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// Counters so far.
@@ -363,11 +443,16 @@ impl<T: Transport> BeaconSender<T> {
                 bytes,
                 attempts: 0,
                 ever_written: false,
+                sent_at_us: now_us,
                 state: FrameState::Queued { due_us: now_us },
             },
         );
         self.order.push(key);
         self.stats.enqueued += 1;
+        if let Some(m) = &self.metrics {
+            m.enqueued.inc();
+            m.pending.inc();
+        }
         Ok(true)
     }
 
@@ -379,7 +464,11 @@ impl<T: Transport> BeaconSender<T> {
             .saturating_mul(1u64 << exp)
             .min(self.cfg.backoff_max_us);
         let stretch = 1.0 + self.cfg.jitter * self.jitter.next_f64();
-        (base as f64 * stretch) as u64
+        let chosen = (base as f64 * stretch) as u64;
+        if let Some(m) = &self.metrics {
+            m.backoff_us.record(chosen);
+        }
+        chosen
     }
 
     /// Drives the state machine: reconnects, drains acks, writes due
@@ -406,8 +495,16 @@ impl<T: Transport> BeaconSender<T> {
                 Ok(()) => {
                     let acks = std::mem::take(&mut self.ack_buf);
                     for key in &acks {
-                        if self.pending.remove(key).is_some() {
+                        if let Some(frame) = self.pending.remove(key) {
                             self.stats.acked += 1;
+                            if let Some(m) = &self.metrics {
+                                m.acked.inc();
+                                m.pending.dec();
+                                if frame.ever_written {
+                                    m.ack_latency_us
+                                        .record(now_us.saturating_sub(frame.sent_at_us));
+                                }
+                            }
                         }
                     }
                     self.ack_buf = acks;
@@ -457,6 +554,9 @@ impl<T: Transport> BeaconSender<T> {
                     frame.attempts += 1;
                     if frame.attempts > 1 {
                         self.stats.retransmits += 1;
+                        if let Some(m) = &self.metrics {
+                            m.retransmits.inc();
+                        }
                     }
                     frame.bytes.clone()
                 };
@@ -466,6 +566,7 @@ impl<T: Transport> BeaconSender<T> {
                         self.stats.frames_written += 1;
                         let frame = self.pending.get_mut(&key).expect("frame pending");
                         frame.ever_written = true;
+                        frame.sent_at_us = now_us;
                         frame.state = FrameState::AwaitingAck {
                             deadline_us: now_us + self.cfg.ack_timeout_us,
                         };
@@ -510,6 +611,10 @@ impl<T: Transport> BeaconSender<T> {
         if attempts >= self.cfg.max_attempts && !ever_written {
             self.pending.remove(&key);
             self.stats.dropped_after_retries += 1;
+            if let Some(m) = &self.metrics {
+                m.dropped_after_retries.inc();
+                m.pending.dec();
+            }
             return;
         }
         let due_us = now_us + self.backoff_us(attempts.saturating_add(1));
@@ -530,6 +635,12 @@ impl<T: Transport> BeaconSender<T> {
     pub fn abandon_pending(&mut self) -> u64 {
         let n = self.pending.len() as u64;
         self.stats.abandoned_unconfirmed += n;
+        if let Some(m) = &self.metrics {
+            m.abandoned_unconfirmed.add(n);
+            for _ in 0..n {
+                m.pending.dec();
+            }
+        }
         self.pending.clear();
         self.order.clear();
         n
@@ -838,6 +949,71 @@ mod tests {
         assert_eq!(s.abandon_pending(), 1);
         assert_eq!(s.stats().abandoned_unconfirmed, 1);
         assert!(s.stats().conserves(0));
+    }
+
+    #[test]
+    fn registry_metrics_mirror_sender_stats() {
+        let registry = Registry::new();
+        let metrics = SenderMetrics::register(&registry, "qtag_sender");
+
+        // A retrying run: two silent drops force retransmits with
+        // backoff, then delivery.
+        let mut s = BeaconSender::new(
+            ScriptedTransport::scripted(vec![Script::Vanish, Script::Vanish]),
+            SenderConfig::default(),
+        );
+        s.attach_metrics(Arc::clone(&metrics));
+        assert!(s.offer(&beacon(0), 0).unwrap());
+        run_to_idle(&mut s, 0, 10_000_000);
+        let stats = s.stats();
+        assert!(s.is_idle());
+
+        // A second sender sharing the same block: a never-written
+        // frame dropped at the cap, plus an abandoned pending frame.
+        let mut unreachable = ScriptedTransport::scripted(vec![]);
+        unreachable.refuse_reopen = true;
+        let mut s2 = BeaconSender::new(
+            unreachable,
+            SenderConfig {
+                max_attempts: 2,
+                ..SenderConfig::default()
+            },
+        );
+        s2.attach_metrics(Arc::clone(&metrics));
+        assert!(s2.offer(&beacon(1), 0).unwrap());
+        assert!(s2.offer(&beacon(2), 0).unwrap());
+        let mut now = 0;
+        while s2.pending() > 1 && now < 10_000_000 {
+            s2.pump(now);
+            now += 1_000;
+        }
+        // Stop one frame short of resolution by abandoning the rest.
+        let abandoned = s2.abandon_pending();
+        let stats2 = s2.stats();
+
+        let get = |name: &str| registry.get(name).expect(name);
+        assert_eq!(
+            get("qtag_sender_enqueued_total"),
+            stats.enqueued + stats2.enqueued
+        );
+        assert_eq!(get("qtag_sender_acked_total"), stats.acked + stats2.acked);
+        assert_eq!(
+            get("qtag_sender_retransmits_total"),
+            stats.retransmits + stats2.retransmits
+        );
+        assert_eq!(
+            get("qtag_sender_dropped_after_retries_total"),
+            stats.dropped_after_retries + stats2.dropped_after_retries
+        );
+        assert_eq!(get("qtag_sender_abandoned_unconfirmed_total"), abandoned);
+        assert_eq!(get("qtag_sender_pending"), 0);
+
+        // Timing distributions observed real samples.
+        assert_eq!(metrics.ack_latency_us.count(), stats.acked + stats2.acked);
+        assert!(
+            metrics.backoff_us.count() >= stats.ack_timeouts,
+            "every retry scheduled a backoff"
+        );
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Cross-crate conservation through the metrics registry: the scraped
+//! totals must reproduce the exact end-to-end identities the legacy
+//! stats structs judge — for a fire-and-forget loadgen run,
+//!
+//! ```text
+//! sent == applied + corrupt + shed + rejected_after_shutdown
+//! ```
+//!
+//! and for a retry run through the fault-injecting proxy,
+//!
+//! ```text
+//! enqueued == acked + dropped_after_retries + abandoned + pending
+//! ```
+//!
+//! Each test drives real localhost TCP through the collector daemon,
+//! then checks every identity twice: once on the legacy snapshot
+//! structs and once on the registry, and asserts the two views agree
+//! field by field (they read the same atomic cells, so any divergence
+//! is a wiring bug in the registry layer).
+
+use qtag_bench::proxy::{FaultProxy, FaultProxyConfig};
+use qtag_collectd::{Collector, CollectorConfig};
+use qtag_obs::RegistrySnapshot;
+use qtag_server::{ServedImpression, ShardedStore};
+use qtag_wire::framing::encode_frames;
+use qtag_wire::sender::{BeaconSender, SenderConfig, SenderMetrics, TcpTransport};
+use qtag_wire::{binary, AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn beacon(client: u64, seq_no: u64) -> Beacon {
+    Beacon {
+        impression_id: (client << 32) | seq_no,
+        campaign_id: client as u32 + 1,
+        event: EventKind::Heartbeat,
+        timestamp_us: seq_no * 50_000,
+        ad_format: AdFormat::Display,
+        visible_fraction_milli: 700,
+        exposure_ms: 1_000,
+        os: OsKind::Android,
+        browser: BrowserKind::Chrome,
+        site_type: SiteType::Browser,
+        seq: seq_no as u16,
+    }
+}
+
+fn get(snap: &RegistrySnapshot, name: &str) -> u64 {
+    snap.value(name)
+        .unwrap_or_else(|| panic!("registry metric {name} missing"))
+}
+
+/// Fire-and-forget clients (one of them corrupting a known number of
+/// frames) against a sharded daemon: the registry must reproduce
+/// `sent == applied + corrupt + shed + rejected` and agree with the
+/// legacy ops snapshot on every field it mirrors.
+#[test]
+fn fire_and_forget_registry_reproduces_collector_identity() {
+    const CLIENTS: u64 = 3;
+    const PER_CLIENT: u64 = 1_500;
+    const CORRUPT_EVERY: u64 = 97; // client 0 flips one byte per stride
+
+    let collector = Collector::start_sharded(CollectorConfig::default(), ShardedStore::new(2))
+        .expect("bind localhost");
+    let addr = collector.local_addr();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            std::thread::spawn(move || {
+                let frame_len = 2 + binary::ENCODED_LEN;
+                let mut stream = Vec::with_capacity(PER_CLIENT as usize * frame_len);
+                let mut corrupted = 0u64;
+                for seq_no in 0..PER_CLIENT {
+                    let mut frame = encode_frames(&[beacon(client, seq_no)]).expect("encode");
+                    if client == 0 && seq_no % CORRUPT_EVERY == 0 {
+                        // Flip a payload byte past the length prefix and
+                        // magic so the daemon counts exactly one corrupt
+                        // frame and resynchronises.
+                        frame[5] ^= 0x40;
+                        corrupted += 1;
+                    }
+                    stream.extend_from_slice(&frame);
+                }
+                let mut sock = TcpStream::connect(addr).expect("connect");
+                for chunk in stream.chunks(1024) {
+                    sock.write_all(chunk).expect("write");
+                }
+                (PER_CLIENT, corrupted)
+            })
+        })
+        .collect();
+    let mut sent = 0u64;
+    let mut corrupted = 0u64;
+    for h in handles {
+        let (s, c) = h.join().expect("client thread");
+        sent += s;
+        corrupted += c;
+    }
+
+    let registry = Arc::clone(collector.registry());
+    let ops = collector.shutdown();
+    let snap = registry.snapshot();
+
+    // The identity, judged on the registry alone.
+    let applied = get(&snap, "qtag_ingest_beacons_total");
+    let corrupt = get(&snap, "qtag_collectd_corrupt_frames_total");
+    let shed = get(&snap, "qtag_ingest_shed_beacons_total");
+    let rejected = get(&snap, "qtag_ingest_rejected_after_shutdown_total");
+    assert_eq!(
+        sent,
+        applied + corrupt + shed + rejected,
+        "registry conservation: sent {sent} vs {applied}+{corrupt}+{shed}+{rejected}"
+    );
+    assert_eq!(corrupt, corrupted, "every injected flip counted once");
+
+    // Decode accounting, registry view: every decoded frame was
+    // applied, shed, or rejected at shutdown.
+    let decoded = get(&snap, "qtag_collectd_frames_decoded_total");
+    assert_eq!(decoded, applied + shed + rejected);
+
+    // The legacy snapshot and the registry read the same cells.
+    assert!(ops.conserves(sent), "{ops:?}");
+    assert_eq!(applied, ops.ingest.beacons);
+    assert_eq!(corrupt, ops.collector.corrupt_frames);
+    assert_eq!(shed, ops.ingest.shed_beacons);
+    assert_eq!(rejected, ops.ingest.rejected_after_shutdown);
+    assert_eq!(decoded, ops.collector.frames_decoded);
+    assert_eq!(
+        get(&snap, "qtag_collectd_connections_accepted_total"),
+        ops.collector.connections_accepted
+    );
+    assert_eq!(
+        get(&snap, "qtag_collectd_bytes_read_total"),
+        ops.collector.bytes_read
+    );
+    assert_eq!(
+        get(&snap, "qtag_ingest_beacon_batches_total"),
+        ops.ingest.beacon_batches
+    );
+
+    // Instrumentation sanity after a drained shutdown: the latency
+    // histogram saw every applied batch and the queue is empty.
+    assert_eq!(
+        get(&snap, "qtag_ingest_batches_applied_total"),
+        ops.ingest.beacon_batches,
+        "every batch applied exactly once"
+    );
+    let hist = snap
+        .histogram("qtag_ingest_apply_latency_us")
+        .expect("apply latency histogram registered");
+    assert_eq!(hist.count, ops.ingest.beacon_batches);
+    assert_eq!(get(&snap, "qtag_ingest_queue_depth"), 0, "drained");
+    assert_eq!(get(&snap, "qtag_collectd_connections_active"), 0);
+}
+
+/// Retry clients through the fault-injecting proxy: the registry's
+/// sender family must reproduce `enqueued == acked + dropped +
+/// abandoned + pending` and agree with the summed legacy SenderStats.
+#[test]
+fn retry_through_fault_proxy_registry_reproduces_sender_identity() {
+    const CLIENTS: u64 = 2;
+    const PER_CLIENT: u64 = 600;
+
+    let store = ShardedStore::new(2);
+    for client in 0..CLIENTS {
+        for seq_no in 0..PER_CLIENT {
+            let b = beacon(client, seq_no);
+            store.record_served(ServedImpression {
+                impression_id: b.impression_id,
+                campaign_id: b.campaign_id,
+                os: b.os,
+                browser: b.browser,
+                site_type: b.site_type,
+                ad_format: b.ad_format,
+            });
+        }
+    }
+    let collector =
+        Collector::start_sharded(CollectorConfig::default(), store.clone()).expect("bind");
+    let proxy = FaultProxy::start(FaultProxyConfig::soak(collector.local_addr(), 0x0B5C))
+        .expect("start proxy");
+    let addr = proxy.local_addr();
+
+    let registry = Arc::clone(collector.registry());
+    let metrics = SenderMetrics::register(&registry, "qtag_sender");
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || {
+                let mut sender = BeaconSender::new(
+                    TcpTransport::new(addr),
+                    SenderConfig {
+                        seed: 0xC0_u64.wrapping_add(client),
+                        ack_timeout_us: 250_000,
+                        backoff_base_us: 5_000,
+                        backoff_max_us: 100_000,
+                        reconnect_backoff_us: 10_000,
+                        ..SenderConfig::default()
+                    },
+                );
+                sender.attach_metrics(metrics);
+                let t0 = Instant::now();
+                let now_us = || t0.elapsed().as_micros() as u64;
+                for seq_no in 0..PER_CLIENT {
+                    let b = beacon(client, seq_no);
+                    while !sender.offer(&b, now_us()).expect("encodes") {
+                        sender.pump(now_us());
+                        std::thread::sleep(Duration::from_micros(500));
+                    }
+                    if seq_no % 32 == 0 {
+                        sender.pump(now_us());
+                    }
+                }
+                let deadline = Duration::from_secs(120);
+                while !sender.is_idle() && t0.elapsed() < deadline {
+                    sender.pump(now_us());
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                sender.abandon_pending();
+                sender.stats()
+            })
+        })
+        .collect();
+    let stats: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("retry client"))
+        .collect();
+    proxy.shutdown();
+    let ops = collector.shutdown();
+    let snap = registry.snapshot();
+
+    // The sender identity, judged on the registry alone. After the
+    // drain + abandon, pending must be zero and the counters closed.
+    let enqueued = get(&snap, "qtag_sender_enqueued_total");
+    let acked = get(&snap, "qtag_sender_acked_total");
+    let dropped = get(&snap, "qtag_sender_dropped_after_retries_total");
+    let abandoned = get(&snap, "qtag_sender_abandoned_unconfirmed_total");
+    let pending = get(&snap, "qtag_sender_pending");
+    assert_eq!(
+        enqueued,
+        acked + dropped + abandoned + pending,
+        "registry sender conservation"
+    );
+    assert_eq!(pending, 0, "every frame resolved");
+
+    // Registry vs the summed legacy stats, field by field.
+    assert_eq!(enqueued, stats.iter().map(|s| s.enqueued).sum::<u64>());
+    assert_eq!(acked, stats.iter().map(|s| s.acked).sum::<u64>());
+    assert_eq!(
+        dropped,
+        stats.iter().map(|s| s.dropped_after_retries).sum::<u64>()
+    );
+    assert_eq!(
+        abandoned,
+        stats.iter().map(|s| s.abandoned_unconfirmed).sum::<u64>()
+    );
+    assert_eq!(
+        get(&snap, "qtag_sender_retransmits_total"),
+        stats.iter().map(|s| s.retransmits).sum::<u64>()
+    );
+
+    // Cross-side agreement: acks equal unique applied beacons (the
+    // store deduplicates retransmits and the collector re-acks them).
+    assert_eq!(acked, store.unique_beacons(), "{ops:?}");
+    let hist = snap
+        .histogram("qtag_sender_ack_latency_us")
+        .expect("ack latency registered");
+    assert_eq!(hist.count, acked, "one latency sample per acked frame");
+    assert!(
+        snap.histogram("qtag_sender_backoff_us").is_some(),
+        "backoff histogram registered"
+    );
+}

@@ -231,7 +231,7 @@ proptest! {
 
         let service = IngestService::start_sharded(
             sharded.clone(),
-            IngestConfig { workers: 1, batch, inlet_capacity: 64 },
+            IngestConfig { workers: 1, batch, inlet_capacity: 64, metrics: None },
         );
         let inlet = service.inlet();
         for chunk in workload.chunks(batch.max(2) * shards) {

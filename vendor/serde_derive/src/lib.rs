@@ -49,6 +49,24 @@ enum Item {
     },
 }
 
+/// Flattens a token stream, splicing the contents of None-delimited
+/// groups in place. `macro_rules!` wraps matched fragments (`$vis:vis`,
+/// `$ty:ty`, …) in invisible groups; derives on macro-generated items
+/// would otherwise see `Group { delimiter: None, .. }` where they
+/// expect plain idents.
+fn flatten(stream: TokenStream) -> Vec<TokenTree> {
+    let mut out = Vec::new();
+    for t in stream {
+        match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::None => {
+                out.extend(flatten(g.stream()));
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 /// Reads the serde-relevant attribute (if any) from a `#[...]` group.
 fn classify_attr(group_src: &str) -> Option<FieldAttr> {
     let src = group_src.replace(' ', "");
@@ -104,7 +122,7 @@ fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
 }
 
 fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
-    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let tokens: Vec<TokenTree> = flatten(stream);
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -142,7 +160,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
 }
 
 fn parse_variants(stream: TokenStream) -> Vec<Variant> {
-    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let tokens: Vec<TokenTree> = flatten(stream);
     let mut variants = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -191,7 +209,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 }
 
 fn parse_item(input: TokenStream) -> Item {
-    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens: Vec<TokenTree> = flatten(input);
     let mut i = 0;
     // Skip item attributes and visibility.
     loop {
