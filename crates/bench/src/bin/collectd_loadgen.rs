@@ -7,6 +7,8 @@
 //!                  [--corrupt-rate F] [--capacity N] [--abrupt]
 //!                  [--shards LIST] [--batch LIST]
 //!                  [--retry] [--fault-proxy] [--seed N] [--json]
+//!                  [--wal-dir DIR] [--sync none|batch|record]
+//!                  [--crash-after N]
 //!                  [--metrics PATH] [--metrics-json PATH]
 //! ```
 //!
@@ -40,6 +42,20 @@
 //! with duplicates (forced by lost acks) reported separately and
 //! deduplicated server-side.
 //!
+//! **Durable retry soak** (`--retry --wal-dir DIR`): the daemon runs
+//! on the `qtag-store` durable backend — every applied batch journaled
+//! to per-shard WALs under the `--sync` policy — and after the
+//! graceful shutdown the WAL is flushed, recovered into a fresh
+//! backend, and checked bit-identical to the final live store.
+//!
+//! **Crash soak** (`--retry --fault-proxy --wal-dir DIR
+//! --crash-after N`): the fault proxy hard-kills the stream after `N`
+//! forwarded chunks, the daemon is crash-stopped (in-flight batches
+//! discarded whole, no drain), and the run is judged post-crash:
+//! sender conservation with the abandoned term, daemon conservation
+//! with the in-flight term, and WAL recovery bit-identical to the
+//! live post-crash store. This is the CI kill-and-recover gate.
+//!
 //! **Sweep mode** (`--shards`/`--batch`): both flags accept
 //! comma-separated lists (e.g. `--shards 1,2,4,8 --batch 1,64`); the
 //! fire-and-forget run repeats over the full cross-product, one fresh
@@ -50,7 +66,8 @@ use qtag_bench::output::ExperimentOutput;
 use qtag_bench::proxy::{FaultProxy, FaultProxyConfig};
 use qtag_collectd::{Collector, CollectorConfig};
 use qtag_obs::Registry;
-use qtag_server::{ServedImpression, ShardedStore};
+use qtag_server::{ReportBuilder, ServedImpression, ShardedStore};
+use qtag_store::{DurableBackend, DurableConfig, StorageBackend, SyncPolicy};
 use qtag_wire::framing::encode_frames;
 use qtag_wire::sender::{BeaconSender, SenderConfig, SenderMetrics, SenderStats, TcpTransport};
 use qtag_wire::{binary, AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
@@ -83,6 +100,14 @@ struct LoadgenConfig {
     metrics: Option<String>,
     /// Same registry as a JSON snapshot.
     metrics_json: Option<String>,
+    /// Run the daemon on the durable backend, journaling to per-shard
+    /// WALs under this directory (retry soak only).
+    wal_dir: Option<String>,
+    /// WAL sync policy for `--wal-dir`.
+    sync: SyncPolicy,
+    /// Crash soak: the fault proxy hard-kills the stream after this
+    /// many forwarded chunks and the daemon is crash-stopped.
+    crash_after: Option<u64>,
 }
 
 /// Writes one rendered registry exposition to `path` (or stdout for
@@ -128,6 +153,9 @@ impl LoadgenConfig {
             batch: vec![qtag_server::DEFAULT_BATCH],
             metrics: None,
             metrics_json: None,
+            wal_dir: None,
+            sync: SyncPolicy::Batch,
+            crash_after: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -154,6 +182,11 @@ impl LoadgenConfig {
                 "--batch" => cfg.batch = parse_list("--batch", &args[i + 1]),
                 "--metrics" => cfg.metrics = Some(args[i + 1].clone()),
                 "--metrics-json" => cfg.metrics_json = Some(args[i + 1].clone()),
+                "--wal-dir" => cfg.wal_dir = Some(args[i + 1].clone()),
+                "--sync" => cfg.sync = args[i + 1].parse().expect("--sync: none|batch|record"),
+                "--crash-after" => {
+                    cfg.crash_after = Some(args[i + 1].parse().expect("--crash-after: u64"))
+                }
                 "--abrupt" => {
                     cfg.abrupt = true;
                     i += 1;
@@ -183,6 +216,15 @@ impl LoadgenConfig {
             (0.0..=1.0).contains(&cfg.corrupt_rate),
             "--corrupt-rate in [0, 1]"
         );
+        if cfg.crash_after.is_some() {
+            assert!(
+                cfg.retry && cfg.fault_proxy && cfg.wal_dir.is_some(),
+                "--crash-after needs --retry, --fault-proxy and --wal-dir"
+            );
+        }
+        if cfg.wal_dir.is_some() {
+            assert!(cfg.retry, "--wal-dir applies to the retry soak");
+        }
         cfg
     }
 }
@@ -311,9 +353,18 @@ fn run_retry_client(
         let b = beacon(client, seq_no);
         // The queue is bounded; when it fills, pump until a slot frees
         // (backpressure instead of loss).
+        let mut spins = 0u32;
         while !sender.offer(&b, now_us()).expect("beacon encodes") {
             sender.pump(now_us());
             std::thread::sleep(Duration::from_micros(500));
+            spins += 1;
+            if cfg.crash_after.is_some() && spins > 4_000 {
+                // Crash soak: the daemon is dead and the queue will
+                // never free up. Stop feeding; the leftovers become
+                // the abandoned term of the identity.
+                sender.abandon_pending();
+                return sender.stats();
+            }
         }
         if seq_no % 32 == 0 {
             sender.pump(now_us());
@@ -321,8 +372,13 @@ fn run_retry_client(
     }
     // Drain: everything must resolve to acked or dropped. The
     // deadline is a safety net, not an expected path — leftovers get
-    // abandoned and fail the conservation gate loudly.
-    let deadline = Duration::from_secs(120);
+    // abandoned and fail the conservation gate loudly. (In the crash
+    // soak abandonment IS the expected path, so the drain is short.)
+    let deadline = if cfg.crash_after.is_some() {
+        Duration::from_secs(10)
+    } else {
+        Duration::from_secs(120)
+    };
     while !sender.is_idle() && t0.elapsed() < deadline {
         sender.pump(now_us());
         std::thread::sleep(Duration::from_millis(1));
@@ -344,12 +400,34 @@ struct RetryResult {
     acks_sent: u64,
     elapsed_secs: f64,
     conservation_holds: bool,
+    /// `Some` when `--wal-dir` was given: whether recovery after the
+    /// graceful shutdown reproduced the live store bit-identically.
+    durable_recovery_ok: Option<bool>,
 }
 
 /// The retry-soak main path: acked clients, optional fault proxy,
-/// sender-side conservation judged exactly.
+/// optional durable backend, sender-side conservation judged exactly.
+/// With `--crash-after` the run is hard-killed mid-stream and judged
+/// post-crash instead (see [`judge_crash_soak`]).
 fn run_retry_soak(cfg: &LoadgenConfig, out: &ExperimentOutput) {
-    let store = ShardedStore::new(cfg.shards[0]);
+    let backend = cfg.wal_dir.as_ref().map(|dir| {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {dir}: {e}"));
+        let (b, report) = DurableBackend::open(DurableConfig {
+            dir: dir.into(),
+            shards: cfg.shards[0],
+            sync: cfg.sync,
+        })
+        .unwrap_or_else(|e| panic!("open WAL dir {dir}: {e}"));
+        println!(
+            "durable backend on {dir} ({:?} sync): recovered {report:?}",
+            cfg.sync
+        );
+        b
+    });
+    let store = match &backend {
+        Some(b) => b.store().clone(),
+        None => ShardedStore::new(cfg.shards[0]),
+    };
     // Register every impression the clients will beacon for; the
     // store treats beacons for unknown impressions as orphans and
     // keeps them out of the unique/duplicate counters the
@@ -357,14 +435,20 @@ fn run_retry_soak(cfg: &LoadgenConfig, out: &ExperimentOutput) {
     for client in 0..cfg.clients {
         for seq_no in 0..cfg.beacons_per_client {
             let b = beacon(client, seq_no);
-            store.record_served(ServedImpression {
+            let serve = ServedImpression {
                 impression_id: b.impression_id,
                 campaign_id: b.campaign_id,
                 os: b.os,
                 browser: b.browser,
                 site_type: b.site_type,
                 ad_format: b.ad_format,
-            });
+            };
+            // Registers must go through the backend so durable runs
+            // journal them — recovery rebuilds the serve log too.
+            match &backend {
+                Some(be) => be.record_served(serve),
+                None => store.record_served(serve),
+            }
         }
     }
     let collector_cfg = CollectorConfig {
@@ -373,13 +457,16 @@ fn run_retry_soak(cfg: &LoadgenConfig, out: &ExperimentOutput) {
         batch: cfg.batch[0],
         ..CollectorConfig::default()
     };
-    let collector =
-        Collector::start_sharded(collector_cfg, store.clone()).expect("start collector");
+    let collector = Collector::start_sharded_journaled(
+        collector_cfg,
+        store.clone(),
+        backend.as_ref().and_then(|b| b.journal()),
+    )
+    .expect("start collector");
     let proxy = if cfg.fault_proxy {
-        Some(
-            FaultProxy::start(FaultProxyConfig::soak(collector.local_addr(), cfg.seed))
-                .expect("start proxy"),
-        )
+        let mut pcfg = FaultProxyConfig::soak(collector.local_addr(), cfg.seed);
+        pcfg.crash_after = cfg.crash_after;
+        Some(FaultProxy::start(pcfg).expect("start proxy"))
     } else {
         None
     };
@@ -415,10 +502,39 @@ fn run_retry_soak(cfg: &LoadgenConfig, out: &ExperimentOutput) {
             std::thread::spawn(move || run_retry_client(addr, &shared, client, metrics))
         })
         .collect();
-    let stats: Vec<SenderStats> = handles
-        .into_iter()
-        .map(|h| h.join().expect("retry client thread"))
-        .collect();
+    let (stats, ops): (Vec<SenderStats>, _) = if cfg.crash_after.is_some() {
+        // Crash soak: wait for the proxy's crash point, then hard-kill
+        // the daemon — appliers aborted first so queued batches are
+        // discarded whole, never half-journaled. Clients keep running
+        // against the dead endpoint and abandon their leftovers.
+        let p = proxy.as_ref().expect("--crash-after implies --fault-proxy");
+        let t0 = Instant::now();
+        while !p.has_crashed() && t0.elapsed() < Duration::from_secs(120) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            p.has_crashed(),
+            "crash point never fired — lower --crash-after or raise traffic"
+        );
+        let ops = collector.crash();
+        println!(
+            "proxy crashed the stream after {} forwarded chunks; daemon crash-stopped",
+            p.stats()
+                .forwarded_chunks
+                .load(std::sync::atomic::Ordering::Relaxed)
+        );
+        let stats = handles
+            .into_iter()
+            .map(|h| h.join().expect("retry client thread"))
+            .collect();
+        (stats, ops)
+    } else {
+        let stats = handles
+            .into_iter()
+            .map(|h| h.join().expect("retry client thread"))
+            .collect();
+        (stats, collector.shutdown())
+    };
     if let Some(p) = proxy {
         let ps = p.stats();
         println!(
@@ -430,7 +546,6 @@ fn run_retry_soak(cfg: &LoadgenConfig, out: &ExperimentOutput) {
         );
         p.shutdown();
     }
-    let ops = collector.shutdown();
     let elapsed = started.elapsed();
 
     let enqueued: u64 = stats.iter().map(|s| s.enqueued).sum();
@@ -470,6 +585,25 @@ fn run_retry_soak(cfg: &LoadgenConfig, out: &ExperimentOutput) {
         dump_metrics(path, &registry.render_json());
     }
 
+    if cfg.crash_after.is_some() {
+        let ok = judge_crash_soak(
+            cfg,
+            out,
+            backend.expect("--crash-after implies --wal-dir"),
+            &ops,
+            enqueued,
+            acked,
+            dropped,
+            abandoned,
+            elapsed,
+        );
+        if !ok {
+            eprintln!("crash soak violated: sender stats {stats:?}, ops {ops:?}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     // The exact identity: with a finished drain (abandoned == 0),
     // every enqueued beacon is a unique applied beacon or a provably
     // undelivered drop. Acks equal uniques because the collector
@@ -479,6 +613,34 @@ fn run_retry_soak(cfg: &LoadgenConfig, out: &ExperimentOutput) {
         "conservation check: enqueued == unique applied + dropped (duplicates separate): {}",
         if conserves { "PASS" } else { "FAIL" }
     );
+
+    // Durable mode, graceful path: flush + compact the WAL, then
+    // recover into a fresh backend and require bit-identical reports.
+    let recovery_ok = backend.map(|b| {
+        b.flush().expect("flush WAL");
+        b.compact().expect("compact WAL");
+        let live_report = ReportBuilder::per_campaign_sharded(b.store());
+        let (live_unique, live_dups) = (b.store().unique_beacons(), b.store().total_duplicates());
+        drop(b);
+        let dir = cfg.wal_dir.as_ref().expect("durable mode");
+        let (recovered, report) = DurableBackend::open(DurableConfig {
+            dir: dir.into(),
+            shards: cfg.shards[0],
+            sync: cfg.sync,
+        })
+        .expect("recover WAL dir");
+        let ok = recovered.store().unique_beacons() == live_unique
+            && recovered.store().total_duplicates() == live_dups
+            && ReportBuilder::per_campaign_sharded(recovered.store()) == live_report;
+        println!(
+            "durable recovery check: {} ({} snapshots, {} records replayed): {}",
+            dir,
+            report.snapshots_loaded,
+            report.records_replayed,
+            if ok { "PASS" } else { "FAIL" }
+        );
+        ok
+    });
 
     out.finish(&RetryResult {
         clients: cfg.clients,
@@ -492,12 +654,117 @@ fn run_retry_soak(cfg: &LoadgenConfig, out: &ExperimentOutput) {
         acks_sent: ops.collector.acks_sent,
         elapsed_secs: elapsed.as_secs_f64(),
         conservation_holds: conserves,
+        durable_recovery_ok: recovery_ok,
     });
 
-    if !conserves {
+    if !conserves || recovery_ok == Some(false) {
         eprintln!("retry conservation violated: sender stats {stats:?}, ops {ops:?}");
         std::process::exit(1);
     }
+}
+
+#[derive(Serialize)]
+struct CrashSoakResult {
+    clients: u64,
+    crash_after_chunks: u64,
+    enqueued: u64,
+    acked: u64,
+    dropped_after_retries: u64,
+    abandoned_unconfirmed: u64,
+    applied_live: u64,
+    in_flight_discarded: u64,
+    wal_records: u64,
+    records_replayed: u64,
+    elapsed_secs: f64,
+    sender_identity_holds: bool,
+    daemon_identity_holds: bool,
+    recovery_bit_identical: bool,
+}
+
+/// Judges a crash soak: sender conservation with the abandoned term,
+/// daemon conservation with the in-flight term, and WAL recovery
+/// bit-identical to the live post-crash store (counters + reports).
+#[allow(clippy::too_many_arguments)]
+fn judge_crash_soak(
+    cfg: &LoadgenConfig,
+    out: &ExperimentOutput,
+    backend: DurableBackend,
+    ops: &qtag_collectd::OpsSnapshot,
+    enqueued: u64,
+    acked: u64,
+    dropped: u64,
+    abandoned: u64,
+    elapsed: Duration,
+) -> bool {
+    // Sender side: every enqueued beacon resolved to acked, dropped,
+    // or abandoned at the kill.
+    let sender_ok = enqueued == acked + dropped + abandoned;
+    println!(
+        "crash sender identity: enqueued == acked + dropped + abandoned: {}",
+        if sender_ok { "PASS" } else { "FAIL" }
+    );
+
+    // Daemon side: beacons are counted at enqueue into the shard
+    // channels; the crash discards whole batches between enqueue and
+    // apply, so the gap is the (non-negative) in-flight term.
+    let live = backend.store();
+    let applied_live = live.unique_beacons() + live.total_duplicates() + live.orphan_beacons();
+    let daemon_ok = ops.ingest.beacons >= applied_live
+        && ops.collector.frames_decoded
+            == ops.ingest.beacons + ops.ingest.shed_beacons + ops.ingest.rejected_after_shutdown;
+    let in_flight = ops.ingest.beacons.saturating_sub(applied_live);
+    println!(
+        "crash daemon identity: decoded == enqueued + shed + rejected, \
+         in-flight discarded {in_flight}: {}",
+        if daemon_ok { "PASS" } else { "FAIL" }
+    );
+
+    // Recovery: reopen the WAL dir and require the recovered store to
+    // be bit-identical to the live post-crash store — journal and
+    // apply are atomic under the shard lock, so the WAL can neither
+    // lead nor trail the store across a crash.
+    let live_unique = live.unique_beacons();
+    let live_dups = live.total_duplicates();
+    let live_served = live.served_count();
+    let live_report = ReportBuilder::per_campaign_sharded(live);
+    let wal_records = backend.stats().snapshot().records_appended;
+    drop(backend);
+    let dir = cfg.wal_dir.as_ref().expect("durable mode");
+    let (recovered, report) = DurableBackend::open(DurableConfig {
+        dir: dir.into(),
+        shards: cfg.shards[0],
+        sync: cfg.sync,
+    })
+    .expect("recover WAL dir");
+    let recovery_ok = recovered.store().unique_beacons() == live_unique
+        && recovered.store().total_duplicates() == live_dups
+        && recovered.store().served_count() == live_served
+        && ReportBuilder::per_campaign_sharded(recovered.store()) == live_report
+        && report.truncated_tails == 0;
+    println!(
+        "crash recovery: {} records replayed from {}: {}",
+        report.records_replayed,
+        dir,
+        if recovery_ok { "PASS" } else { "FAIL" }
+    );
+
+    out.finish(&CrashSoakResult {
+        clients: cfg.clients,
+        crash_after_chunks: cfg.crash_after.expect("crash soak"),
+        enqueued,
+        acked,
+        dropped_after_retries: dropped,
+        abandoned_unconfirmed: abandoned,
+        applied_live,
+        in_flight_discarded: in_flight,
+        wal_records,
+        records_replayed: report.records_replayed,
+        elapsed_secs: elapsed.as_secs_f64(),
+        sender_identity_holds: sender_ok,
+        daemon_identity_holds: daemon_ok,
+        recovery_bit_identical: recovery_ok,
+    });
+    sender_ok && daemon_ok && recovery_ok
 }
 
 #[derive(Serialize)]

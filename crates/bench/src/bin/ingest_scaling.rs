@@ -258,6 +258,7 @@ fn run_cell(cfg: &Arc<BenchConfig>, shards: usize, batch: usize) -> (Cell, Shard
             batch,
             inlet_capacity: cfg.capacity,
             metrics: (!cfg.no_metrics).then(|| Arc::clone(&metrics)),
+            journal: None,
         },
     );
     let stats = Arc::clone(service.stats_arc());

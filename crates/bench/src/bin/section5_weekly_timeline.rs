@@ -10,11 +10,21 @@
 //! viewability rate riding on top.
 //!
 //! Flags: `--impressions N` (total, default 8000), `--seed N`, `--json`.
+//!
+//! **Durable mode** (`--wal-dir DIR`, optional `--restart-at K`):
+//! every beacon additionally flows through the `qtag-store` durable
+//! backend, which journals it and folds it into per-shard hourly/daily
+//! rollups. At impression `K` the backend is dropped cold and
+//! recovered from the WAL (a mid-run restart), and at the end the
+//! published timeline is read from a *recovered* backend's merged
+//! rollups — which must be bit-identical to the uninterrupted
+//! in-memory timelines, or the run fails its shape checks.
 
 use qtag_adtech::{CampaignId, ServedAd};
 use qtag_bench::{format_pct, ExperimentOutput};
 use qtag_geometry::Size;
-use qtag_server::Timeline;
+use qtag_server::{ServedImpression, Timeline};
+use qtag_store::{DurableBackend, DurableConfig, StorageBackend, SyncPolicy};
 use qtag_user::{Population, PopulationConfig, SessionSim, TrafficPattern};
 use qtag_wire::AdFormat;
 use rand::SeedableRng;
@@ -22,17 +32,39 @@ use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 
 fn arg(name: &str) -> Option<u64> {
+    arg_str(name).and_then(|v| v.parse().ok())
+}
+
+fn arg_str(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+        .cloned()
 }
 
 fn main() {
     let out = ExperimentOutput::from_args();
     let total = arg("--impressions").unwrap_or(8_000);
     let seed = arg("--seed").unwrap_or(55);
+    let wal_dir = arg_str("--wal-dir");
+    let restart_at = arg("--restart-at");
+
+    let open_backend = |dir: &str| {
+        DurableBackend::open(DurableConfig {
+            dir: dir.into(),
+            shards: 2,
+            sync: SyncPolicy::Batch,
+        })
+        .unwrap_or_else(|e| panic!("open WAL dir {dir}: {e}"))
+    };
+    let mut backend = wal_dir.as_ref().map(|dir| {
+        // A fresh week: the WAL dir is scratch space for this run.
+        let _ = std::fs::remove_dir_all(dir);
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {dir}: {e}"));
+        eprintln!("durable mode: journaling beacons to {dir}");
+        open_backend(dir).0
+    });
 
     let pattern = TrafficPattern::typical_week();
     let population = Population::new(PopulationConfig::default());
@@ -45,6 +77,19 @@ fn main() {
 
     eprintln!("simulating {total} impressions over one week …");
     for i in 0..total {
+        if backend.is_some() && restart_at == Some(i) {
+            // Mid-run restart: drop the backend cold (no flush, no
+            // compaction) and recover everything from the WAL.
+            drop(backend.take());
+            let dir = wal_dir.as_ref().expect("durable mode");
+            let (recovered, report) = open_backend(dir);
+            eprintln!(
+                "mid-run restart at impression {i}: recovered {} records \
+                 ({} torn tails) from {dir}",
+                report.records_replayed, report.truncated_tails
+            );
+            backend = Some(recovered);
+        }
         let arrival = pattern.sample_arrival(&mut rng);
         per_day_volume[TrafficPattern::day_of(arrival) as usize] += 1;
         let env = population.sample(&mut rng);
@@ -60,13 +105,52 @@ fn main() {
             paid_cpm_milli: 800,
         };
         let outcome = sim.run(&ad, &env, seed ^ (i * 2_654_435_761));
+        // Durable mode journals the serve too: the store joins beacons
+        // against the served log, and the rollup folds are gated by
+        // that join (an unregistered impression is an orphan and
+        // cannot enter the measured/viewed cohorts).
+        if let (Some(b), Some(first)) = (&backend, outcome.qtag_beacons.first()) {
+            b.record_served(ServedImpression {
+                impression_id: first.impression_id,
+                campaign_id: first.campaign_id,
+                os: first.os,
+                browser: first.browser,
+                site_type: first.site_type,
+                ad_format: first.ad_format,
+            });
+        }
         for mut beacon in outcome.qtag_beacons {
             // Session-relative time → wall-clock time of the week.
             beacon.timestamp_us += arrival.as_micros();
             hourly.record(&beacon);
             daily.record(&beacon);
+            if let Some(b) = &backend {
+                b.apply(&beacon);
+            }
         }
     }
+
+    // Durable mode: restart once more at the end, then serve the
+    // published timeline from the RECOVERED backend's merged rollups.
+    // They must be bit-identical to the uninterrupted in-memory
+    // timelines — the rollup rides the journal's critical section, so
+    // neither the mid-run restart nor this one may move a single
+    // bucket.
+    let durable_identical = backend.take().map(|live| {
+        drop(live);
+        let dir = wal_dir.as_ref().expect("durable mode");
+        let (recovered, report) = open_backend(dir);
+        eprintln!(
+            "final recovery: {} records replayed, {} snapshots loaded",
+            report.records_replayed, report.snapshots_loaded
+        );
+        // Compare the published buckets: the rollup timelines are
+        // outcome-driven (per-impression dedup lives in the store, not
+        // in cohort maps of their own), so bucket stats — the thing a
+        // report serves — are the surface that must not move.
+        recovered.merged_hourly().export_state().buckets == hourly.export_state().buckets
+            && recovered.merged_daily().export_state().buckets == daily.export_state().buckets
+    });
 
     out.section("§5 weekly monitoring — daily volume and viewability (Q-Tag)");
     println!(
@@ -127,6 +211,19 @@ fn main() {
         println!("  [{}] {}", if ok { "ok" } else { "FAIL" }, name);
         all_ok &= ok;
     }
+    if let Some(ok) = durable_identical {
+        println!(
+            "  [{}] published timeline from recovered rollups bit-identical \
+             (mid-run restart{})",
+            if ok { "ok" } else { "FAIL" },
+            if restart_at.is_some() {
+                ""
+            } else {
+                " not exercised"
+            },
+        );
+        all_ok &= ok;
+    }
 
     #[derive(Serialize)]
     struct Payload {
@@ -135,6 +232,8 @@ fn main() {
         total_viewed: u64,
         mean_daily_viewability: f64,
         shape_checks_pass: bool,
+        /// `Some` in durable mode: recovered rollups == direct timelines.
+        durable_timeline_identical: Option<bool>,
     }
     out.finish(&Payload {
         impressions: total,
@@ -142,6 +241,7 @@ fn main() {
         total_viewed: hourly.total_viewed(),
         mean_daily_viewability: mean_rate,
         shape_checks_pass: all_ok,
+        durable_timeline_identical: durable_identical,
     });
     if !all_ok {
         std::process::exit(1);

@@ -48,6 +48,13 @@ pub struct FaultProxyConfig {
     pub stall_rate: f64,
     /// Length of an injected stall.
     pub stall: Duration,
+    /// Hard-kill crash point: after this many client→collector chunks
+    /// have been forwarded (across all connections), the proxy tears
+    /// every connection down and stops accepting — the network-side
+    /// shape of the collector host dying mid-stream. `None` never
+    /// crashes. Durability soaks pair this with
+    /// [`qtag_collectd::Collector::crash`] and WAL recovery.
+    pub crash_after: Option<u64>,
 }
 
 impl FaultProxyConfig {
@@ -61,6 +68,7 @@ impl FaultProxyConfig {
             reset_rate: 0.0,
             stall_rate: 0.0,
             stall: Duration::from_millis(0),
+            crash_after: None,
         }
     }
 
@@ -74,6 +82,7 @@ impl FaultProxyConfig {
             reset_rate: 0.03,
             stall_rate: 0.05,
             stall: Duration::from_millis(80),
+            crash_after: None,
         }
     }
 }
@@ -95,6 +104,11 @@ pub struct ProxyStats {
     pub bytes_up: AtomicU64,
     /// Ack bytes forwarded back to clients.
     pub bytes_down: AtomicU64,
+    /// Chunks fully forwarded to the collector (the crash-point
+    /// countdown input).
+    pub forwarded_chunks: AtomicU64,
+    /// Crash points fired (0 or 1 per proxy lifetime).
+    pub crashes: AtomicU64,
 }
 
 /// A running fault proxy. Stop it with [`FaultProxy::shutdown`].
@@ -135,6 +149,11 @@ impl FaultProxy {
     /// Live fault counters.
     pub fn stats(&self) -> &Arc<ProxyStats> {
         &self.stats
+    }
+
+    /// Whether the configured crash point has fired.
+    pub fn has_crashed(&self) -> bool {
+        self.stats.crashes.load(Ordering::Relaxed) > 0
     }
 
     /// Stops accepting and joins every forwarding thread.
@@ -276,6 +295,22 @@ fn serve_pair(
                     break;
                 }
                 stats.bytes_up.fetch_add(n as u64, Ordering::Relaxed); // ordering: stat, read after join
+                                                                       // ordering: stat + crash countdown; the +1 makes the
+                                                                       // fetch_add prior value this chunk's 1-based index, so
+                                                                       // exactly one thread observes the crash point.
+                let fwd = stats.forwarded_chunks.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(at) = cfg.crash_after {
+                    if fwd >= at {
+                        if fwd == at {
+                            stats.crashes.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
+                        }
+                        // The whole proxy dies: acceptor stops, every
+                        // forwarding thread exits, both socket
+                        // directions are reset below.
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock

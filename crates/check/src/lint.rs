@@ -23,9 +23,10 @@
 //!   binaries (`src/bin/`), or test regions — everywhere else
 //!   wall-clock reads make behavior untestable and unmodelable.
 //! - **R4 facade-routing**: crates that route synchronization through
-//!   a `sync` facade (qtag-server, qtag-collectd, vendored crossbeam)
-//!   must not reach for `std::sync::Mutex`/`parking_lot`/raw atomics /
-//!   `std::thread::spawn` outside the facade file itself.
+//!   a `sync` facade (qtag-server, qtag-collectd, qtag-store, vendored
+//!   crossbeam) must not reach for `std::sync::Mutex`/`parking_lot`/
+//!   raw atomics / `std::thread::spawn` outside the facade file
+//!   itself.
 //!
 //! Findings are aggregated to stable keys (`rule|path|detail|count`,
 //! no line numbers, so unrelated edits don't churn the file) and
@@ -84,6 +85,7 @@ const FACADE_CRATES: &[&str] = &[
     "crates/server/src",
     "crates/collectd/src",
     "crates/obs/src",
+    "crates/store/src",
     "vendor/crossbeam/src",
 ];
 

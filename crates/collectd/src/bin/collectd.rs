@@ -4,6 +4,7 @@
 //! collectd [--bind ADDR] [--max-conns N] [--read-timeout-ms MS]
 //!          [--workers N] [--capacity N] [--shards N] [--batch N]
 //!          [--duration-secs S] [--metrics PATH] [--metrics-json PATH]
+//!          [--wal-dir DIR] [--sync none|batch|record]
 //! ```
 //!
 //! Listens for binary and JSON beacon streams on `ADDR` (default
@@ -11,6 +12,13 @@
 //! until stdin closes or a line containing `quit` arrives. On exit it
 //! shuts down gracefully — draining in-flight frames into the store —
 //! and prints the final ops snapshot as JSON on stdout.
+//!
+//! With `--wal-dir DIR` the daemon runs on the durable backend from
+//! `qtag-store`: state recovered from `DIR` on start (snapshot + WAL
+//! replay; the recovery report prints on stderr), every beacon batch
+//! journaled ahead of apply under the `--sync` policy (default
+//! `batch`), and the logs fsynced and compacted into fresh snapshots
+//! on graceful exit.
 //!
 //! The ops path doubles as the metrics endpoint: while running, a
 //! `metrics` line on stdin prints the live registry as Prometheus text
@@ -21,6 +29,7 @@
 
 use qtag_collectd::{Collector, CollectorConfig};
 use qtag_server::ShardedStore;
+use qtag_store::{DurableBackend, DurableConfig, StorageBackend, SyncPolicy};
 use std::io::BufRead;
 use std::time::Duration;
 
@@ -30,6 +39,8 @@ struct BinArgs {
     duration: Option<Duration>,
     metrics: Option<String>,
     metrics_json: Option<String>,
+    wal_dir: Option<String>,
+    sync: SyncPolicy,
 }
 
 fn parse_args() -> BinArgs {
@@ -42,6 +53,8 @@ fn parse_args() -> BinArgs {
         duration: None,
         metrics: None,
         metrics_json: None,
+        wal_dir: None,
+        sync: SyncPolicy::Batch,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -71,11 +84,14 @@ fn parse_args() -> BinArgs {
             }
             "--metrics" => out.metrics = Some(value(i).to_string()),
             "--metrics-json" => out.metrics_json = Some(value(i).to_string()),
+            "--wal-dir" => out.wal_dir = Some(value(i).to_string()),
+            "--sync" => out.sync = value(i).parse().expect("--sync: none|batch|record"),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: collectd [--bind ADDR] [--max-conns N] [--read-timeout-ms MS] \
                      [--workers N] [--capacity N] [--shards N] [--batch N] [--duration-secs S] \
-                     [--metrics PATH] [--metrics-json PATH]"
+                     [--metrics PATH] [--metrics-json PATH] [--wal-dir DIR] \
+                     [--sync none|batch|record]"
                 );
                 std::process::exit(0);
             }
@@ -88,8 +104,25 @@ fn parse_args() -> BinArgs {
 
 fn main() {
     let args = parse_args();
-    let store = ShardedStore::new(args.shards);
-    let collector = Collector::start_sharded(args.cfg, store).expect("bind listener");
+    let backend: Option<DurableBackend> = args.wal_dir.as_ref().map(|dir| {
+        let (backend, report) = DurableBackend::open(DurableConfig {
+            dir: dir.into(),
+            shards: args.shards,
+            sync: args.sync,
+        })
+        .unwrap_or_else(|e| panic!("open WAL dir {dir}: {e}"));
+        eprintln!("collectd: recovered from {dir}: {report:?}");
+        backend
+    });
+    let (store, journal) = match &backend {
+        Some(b) => (b.store().clone(), b.journal()),
+        None => (ShardedStore::new(args.shards), None),
+    };
+    let collector =
+        Collector::start_sharded_journaled(args.cfg, store, journal).expect("bind listener");
+    if let Some(b) = &backend {
+        b.stats().register(collector.registry(), "qtag_store");
+    }
     eprintln!("collectd: listening on {}", collector.local_addr());
 
     match args.duration {
@@ -123,6 +156,13 @@ fn main() {
     // see the fully drained counters.
     let registry = std::sync::Arc::clone(collector.registry());
     let ops = collector.shutdown();
+    if let Some(b) = &backend {
+        // Every drained beacon is journaled; make it stable, then fold
+        // the log into a snapshot so the next start replays nothing.
+        b.flush().expect("flush WAL");
+        b.compact().expect("compact WAL");
+        eprintln!("collectd: WAL flushed and compacted");
+    }
     if let Some(path) = &args.metrics {
         std::fs::write(path, registry.render_prometheus())
             .unwrap_or_else(|e| panic!("write {path}: {e}"));

@@ -10,7 +10,8 @@ use crate::sync::time::Instant;
 use crate::sync::{thread, Arc, Mutex};
 use qtag_obs::{Registry, TraceRing};
 use qtag_server::{
-    ImpressionStore, IngestConfig, IngestMetrics, IngestService, IngestStats, ShardedStore,
+    ImpressionStore, IngestConfig, IngestMetrics, IngestService, IngestStats, ShardJournal,
+    ShardedStore,
 };
 use std::io;
 use std::net::{SocketAddr, TcpListener};
@@ -44,6 +45,19 @@ impl Collector {
     /// off decoded beacons in per-read-iteration batches routed by
     /// impression-id hash.
     pub fn start_sharded(cfg: CollectorConfig, store: ShardedStore) -> io::Result<Self> {
+        Self::start_sharded_journaled(cfg, store, None)
+    }
+
+    /// [`Collector::start_sharded`] with a write-ahead journal hook:
+    /// when `journal` is `Some`, each shard applier journals every
+    /// beacon batch inside the shard's store lock before applying it
+    /// (the durable backend from `qtag-store` implements the trait).
+    /// `None` is exactly the in-memory daemon.
+    pub fn start_sharded_journaled(
+        cfg: CollectorConfig,
+        store: ShardedStore,
+        journal: Option<Arc<dyn ShardJournal>>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(&cfg.bind)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -62,6 +76,7 @@ impl Collector {
                 batch: cfg.batch,
                 inlet_capacity: cfg.inlet_capacity,
                 metrics: Some(Arc::clone(&metrics)),
+                journal,
             },
         );
         let ingest_stats = Arc::clone(ingest.stats_arc());
@@ -160,6 +175,31 @@ impl Collector {
     /// accepted beacon reaches the store. Returns the final counters.
     pub fn shutdown(mut self) -> OpsSnapshot {
         self.stop();
+        OpsSnapshot {
+            collector: self.stats.snapshot(),
+            ingest: self.ingest_stats.snapshot(),
+        }
+    }
+
+    /// Simulated hard kill for durability testing: stop accepting and
+    /// join every thread (a test can't leak them), but *abort* the
+    /// ingestion service instead of draining it — batches still in
+    /// flight are discarded whole, exactly as if the process had died
+    /// between journaling batches. Nothing is flushed. The returned
+    /// counters describe what the dying process had accepted; the
+    /// durable state on disk is whatever the journal captured.
+    pub fn crash(mut self) -> OpsSnapshot {
+        // ordering: Release pairs with the Acquire loads in the accept
+        // loop and connection readers, same as the graceful path.
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(ingest) = self.ingest.take() {
+            // Abort first: the discard flag is up before the acceptor
+            // join lets connection readers push their last batches.
+            ingest.abort();
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
         OpsSnapshot {
             collector: self.stats.snapshot(),
             ingest: self.ingest_stats.snapshot(),

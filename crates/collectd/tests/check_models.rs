@@ -67,6 +67,7 @@ fn rig() -> Rig {
             batch: 2,
             inlet_capacity: 2,
             metrics: None,
+            journal: None,
         },
     );
     Rig {

@@ -59,6 +59,11 @@ pub mod server {
     pub use qtag_server::*;
 }
 
+/// Durable impression storage (per-shard WAL, snapshots, rollups).
+pub mod store {
+    pub use qtag_store::*;
+}
+
 /// Programmatic advertising substrate (auctions, DSP, markup, blockers).
 pub mod adtech {
     pub use qtag_adtech::*;

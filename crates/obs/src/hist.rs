@@ -150,6 +150,19 @@ impl Histogram {
             sum: self.sum(),
         }
     }
+
+    /// Folds a snapshot back into this live histogram (saturating,
+    /// bucket by bucket, plus count and sum verbatim). Recovery in the
+    /// durable backend restores persisted rollup histograms into fresh
+    /// live instances with this; absorbing a snapshot into an empty
+    /// histogram then snapshotting again round-trips exactly.
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        for (cell, n) in self.buckets.iter().zip(snap.buckets.iter()) {
+            saturating_fetch_add(cell, *n);
+        }
+        saturating_fetch_add(&self.count, snap.count);
+        saturating_fetch_add(&self.sum, snap.sum);
+    }
 }
 
 impl std::fmt::Debug for Histogram {
@@ -228,6 +241,37 @@ impl HistogramSnapshot {
         Some(u64::MAX)
     }
 
+    /// Sparse persistence form: the non-zero `(bucket, count)` pairs
+    /// in ascending bucket order. Most histograms touch a handful of
+    /// the 496 buckets, so snapshots written to disk by the durable
+    /// backend store pairs instead of the dense array.
+    pub fn sparse(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n != 0)
+            .map(|(i, n)| (i as u32, *n))
+            .collect()
+    }
+
+    /// Rebuilds a snapshot from its sparse form. Out-of-range bucket
+    /// indices are ignored (a corrupt pair cannot panic the reader;
+    /// the snapshot file's checksum is the real guard). Exact inverse
+    /// of [`HistogramSnapshot::sparse`] for any valid input.
+    pub fn from_sparse(pairs: &[(u32, u64)], count: u64, sum: u64) -> Self {
+        let mut buckets = vec![0u64; BUCKETS];
+        for (i, n) in pairs {
+            if let Some(slot) = buckets.get_mut(*i as usize) {
+                *slot = *n;
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+        }
+    }
+
     /// Mean of recorded values, or `None` when empty.
     pub fn mean(&self) -> Option<f64> {
         if self.count == 0 {
@@ -301,6 +345,27 @@ mod tests {
         assert_eq!(s.count, u64::MAX);
         assert_eq!(s.buckets[7], u64::MAX);
         assert_eq!(s.sum, u64::MAX);
+    }
+
+    #[test]
+    fn sparse_round_trip_and_absorb_are_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 3, 7, 8, 1_000, 65_535, 1 << 33] {
+            h.record_n(v, v + 1);
+        }
+        let snap = h.snapshot();
+        let pairs = snap.sparse();
+        assert!(pairs.len() <= 7, "only touched buckets persist");
+        assert_eq!(
+            HistogramSnapshot::from_sparse(&pairs, snap.count, snap.sum),
+            snap
+        );
+        // Corrupt index is dropped, not a panic.
+        let _ = HistogramSnapshot::from_sparse(&[(u32::MAX, 9)], 9, 9);
+
+        let fresh = Histogram::new();
+        fresh.absorb(&snap);
+        assert_eq!(fresh.snapshot(), snap);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! run (see `tests/sharded_equivalence.rs`).
 
 use crate::shard::{shard_of, ShardedStore};
-use crate::store::ImpressionStore;
+use crate::store::{ApplyOutcome, ImpressionStore};
 use crate::sync::atomic::Ordering;
 use crate::sync::thread::JoinHandle;
 use crate::sync::time::Instant;
@@ -39,8 +39,40 @@ pub const DEFAULT_INLET_CAPACITY: usize = 1_024;
 /// up to this many beacons.
 pub const DEFAULT_BATCH: usize = 64;
 
+/// Group-commit cap for shard appliers, in beacons. When batches are
+/// already queued behind the one an applier just received, it drains
+/// up to this many beacons into a single group so that one shard-lock
+/// acquisition — and, when a journal is attached, one WAL append and
+/// one fsync — covers the whole backlog. Matters most on filesystems
+/// that serialise fsyncs across files (ext3/4 journal commits):
+/// per-shard WALs alone cannot parallelise those. Bounds the largest
+/// journaled batch; an empty queue adds no latency (the drain never
+/// blocks).
+pub const GROUP_COMMIT_CAP: usize = 4096;
+
+/// Durability hook threaded into the shard appliers: when present,
+/// each applier hands every batch to the journal together with the
+/// per-beacon [`ApplyOutcome`]s the store just produced, from the
+/// single thread that owns the shard, while still holding the shard's
+/// store lock. Per-shard append order therefore equals per-shard
+/// apply order, which is what makes journal replay reproduce store
+/// state exactly — and the outcomes let the journal's rollups fold
+/// measured/viewed cohorts without re-deduplicating the stream (the
+/// `qtag-store` durable backend relies on both).
+///
+/// The journal call sits *after* the applies but inside the same lock
+/// acquisition: no other shard-lock holder (reader, compaction) can
+/// observe the pair out of step, and since the in-memory store is
+/// exactly what a crash erases, apply-then-journal and
+/// journal-then-apply leave identical recoverable states.
+pub trait ShardJournal: Send + Sync {
+    /// Appends one applied shard batch to the journal.
+    /// `outcomes[i]` is the store's outcome for `batch[i]`.
+    fn append_beacons(&self, shard: usize, batch: &[Beacon], outcomes: &[ApplyOutcome]);
+}
+
 /// Tunables for [`IngestService::start_sharded`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct IngestConfig {
     /// Parser worker threads (chunk path).
     pub workers: usize,
@@ -52,6 +84,21 @@ pub struct IngestConfig {
     /// queue-depth gauge, shard-apply trace spans). `None` runs the
     /// appliers without instrumentation.
     pub metrics: Option<Arc<IngestMetrics>>,
+    /// Durable write-ahead hook; `None` (the default) keeps the
+    /// in-memory fast path untouched.
+    pub journal: Option<Arc<dyn ShardJournal>>,
+}
+
+impl std::fmt::Debug for IngestConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestConfig")
+            .field("workers", &self.workers)
+            .field("batch", &self.batch)
+            .field("inlet_capacity", &self.inlet_capacity)
+            .field("metrics", &self.metrics.is_some())
+            .field("journal", &self.journal.is_some())
+            .finish()
+    }
 }
 
 impl Default for IngestConfig {
@@ -61,6 +108,7 @@ impl Default for IngestConfig {
             batch: DEFAULT_BATCH,
             inlet_capacity: DEFAULT_INLET_CAPACITY,
             metrics: None,
+            journal: None,
         }
     }
 }
@@ -89,6 +137,7 @@ pub struct IngestMetrics {
     /// Per-batch shard apply latency in microseconds (lock + apply).
     pub apply_latency_us: Arc<Histogram>,
     batches_applied: Counter,
+    batches_merged: Counter,
     trace: Option<Arc<TraceRing>>,
 }
 
@@ -104,7 +153,11 @@ impl IngestMetrics {
             ),
             batches_applied: registry.counter(
                 "qtag_ingest_batches_applied_total",
-                "Batches drained from shard channels and applied to their stores.",
+                "Apply groups: shard-lock acquisitions that journaled and applied one group-committed run of enqueued batches.",
+            ),
+            batches_merged: registry.counter(
+                "qtag_ingest_batches_merged_total",
+                "Enqueued batches folded into apply groups (group commit). Equals batches enqueued once the service drains; batches_merged / batches_applied is the group-commit amortisation ratio.",
             ),
             trace,
         })
@@ -115,24 +168,27 @@ impl IngestMetrics {
     /// across all shard channels.
     pub fn register_queue_depth(self: &Arc<Self>, registry: &Registry, stats: &Arc<IngestStats>) {
         let stats = Arc::clone(stats);
-        let applied = self.batches_applied.clone();
+        let merged = self.batches_merged.clone();
         registry.gauge_fn(
             "qtag_ingest_queue_depth",
             "Batches enqueued to shard appliers but not yet applied (live backlog, all shards).",
             move || {
                 // ordering: Relaxed — statistic read, no synchronization implied.
                 let enqueued = stats.beacon_batches.load(Ordering::Relaxed);
-                enqueued.saturating_sub(applied.get())
+                enqueued.saturating_sub(merged.get())
             },
         );
     }
 
-    /// Records one drained batch: apply latency, the applied-batches
-    /// counter, and (when tracing) a [`Stage::ShardApply`] span.
-    fn batch_applied(&self, shard: u64, start_us: u64, end_us: u64, items: u64) {
+    /// Records one drained apply group: apply latency, the group and
+    /// merged-batch counters, and (when tracing) a
+    /// [`Stage::ShardApply`] span. `merged` is how many enqueued
+    /// channel batches the group commit folded into this apply.
+    fn batch_applied(&self, shard: u64, start_us: u64, end_us: u64, items: u64, merged: u64) {
         let dur_us = end_us.saturating_sub(start_us);
         self.apply_latency_us.record(dur_us);
         self.batches_applied.inc();
+        self.batches_merged.add(merged);
         if let Some(ring) = &self.trace {
             ring.record(TraceEvent {
                 stage: Stage::ShardApply,
@@ -411,6 +467,10 @@ pub struct IngestService {
     batch_txs: Option<Arc<[Sender<Vec<Beacon>>]>>,
     store: ShardedStore,
     stats: Arc<IngestStats>,
+    /// When set, appliers discard queued batches instead of
+    /// journaling/applying them — the crash-simulation teardown path
+    /// ([`IngestService::abort`]).
+    aborted: Arc<crate::sync::atomic::AtomicBool>,
 }
 
 impl IngestService {
@@ -447,6 +507,7 @@ impl IngestService {
         assert!(cfg.inlet_capacity >= 1, "inlet capacity must be positive");
         let shards = store.shard_count();
         let stats = Arc::new(IngestStats::default());
+        let aborted = Arc::new(crate::sync::atomic::AtomicBool::new(false));
 
         // Appliers: one owner of mutations per shard. Each exits when
         // its channel is drained AND every sender (workers + the
@@ -460,17 +521,60 @@ impl IngestService {
                 channel::bounded(cfg.inlet_capacity);
             let shard = Arc::clone(store.shard(s));
             let metrics = cfg.metrics.clone();
+            let journal = cfg.journal.clone();
+            let applier_aborted = Arc::clone(&aborted);
             appliers.push(thread::spawn(move || {
                 // Span timestamps are µs since this applier started;
                 // the metrics layer never reads a clock itself.
                 let epoch = Instant::now();
+                // Outcome scratch, reused across groups (journal path
+                // only — the in-memory path never allocates it).
+                let mut outcomes: Vec<ApplyOutcome> = Vec::new();
                 while let Ok(batch) = brx.recv() {
+                    // ordering: Acquire pairs with the Release store in
+                    // `abort` — an applier that sees the flag also sees
+                    // the abort decision, and the batch vanishes whole
+                    // (neither journaled nor applied), exactly like a
+                    // crash between enqueue and apply.
+                    if applier_aborted.load(Ordering::Acquire) {
+                        continue;
+                    }
+                    // Group commit: fold already-queued batches into
+                    // this one, up to GROUP_COMMIT_CAP beacons. FIFO
+                    // order is preserved (single consumer), so WAL
+                    // order still equals apply order; the group is
+                    // journaled and applied as one unit, exactly like
+                    // a single larger batch.
+                    let mut batch = batch;
+                    let mut merged = 1u64;
+                    while batch.len() < GROUP_COMMIT_CAP {
+                        match brx.try_recv() {
+                            Ok(more) => {
+                                batch.extend(more);
+                                merged += 1;
+                            }
+                            Err(_) => break,
+                        }
+                    }
                     let start_us = metrics.as_ref().map(|_| epoch.elapsed().as_micros() as u64);
                     {
                         // One lock acquisition per batch: the whole point.
+                        // The journal call sits INSIDE the shard lock,
+                        // after the applies (whose outcomes it needs) —
+                        // atomic with them as far as any other
+                        // shard-lock holder (reader, compactor) can
+                        // observe. Lock order is store shard → journal,
+                        // matching the durable backend's compaction
+                        // path, so the pair cannot deadlock.
                         let mut store = shard.lock();
-                        for b in &batch {
-                            store.apply(b);
+                        if let Some(j) = &journal {
+                            outcomes.clear();
+                            outcomes.extend(batch.iter().map(|b| store.apply(b)));
+                            j.append_beacons(s, &batch, &outcomes);
+                        } else {
+                            for b in &batch {
+                                store.apply(b);
+                            }
                         }
                     }
                     if let Some(m) = &metrics {
@@ -480,6 +584,7 @@ impl IngestService {
                             start_us.unwrap_or(end_us),
                             end_us,
                             batch.len() as u64,
+                            merged,
                         );
                     }
                 }
@@ -511,6 +616,7 @@ impl IngestService {
             batch_txs: Some(batch_txs),
             store,
             stats,
+            aborted,
         }
     }
 
@@ -574,6 +680,28 @@ impl IngestService {
         // senders (workers dropped their clones on exit). An inlet
         // mid-offer briefly holds an upgraded strong ref; its beacon,
         // if accepted, is still drained by the applier join below.
+        drop(self.batch_txs.take());
+        for h in self.appliers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Crash-simulation teardown: everything still queued is discarded
+    /// instead of drained. Batches already journaled/applied stay;
+    /// batches in flight vanish whole, exactly as if the process died
+    /// between enqueue and apply. Used by durability harnesses to
+    /// exercise write-ahead-log recovery; production shutdown is
+    /// [`IngestService::shutdown`].
+    pub fn abort(mut self) {
+        // ordering: Release pairs with the Acquire load in the applier
+        // loop — an applier observing the flag observes the abort.
+        self.aborted.store(true, Ordering::Release);
+        for tx in &self.tx {
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
         drop(self.batch_txs.take());
         for h in self.appliers.drain(..) {
             let _ = h.join();
@@ -870,6 +998,7 @@ mod tests {
                 batch: 8,
                 inlet_capacity: 2,
                 metrics: None,
+                journal: None,
             },
         );
         let mut link = LossyLink::lossless();

@@ -42,13 +42,13 @@ pub use anomaly::{viewability_outliers, BeaconValidator, OutlierCampaign, Violat
 pub use billing::{invoice_campaigns, total_usd, Invoice, PricingModel};
 pub use ingest::{
     BatchOutcome, BeaconInlet, IngestConfig, IngestMetrics, IngestService, IngestStats,
-    IngestStatsSnapshot, DEFAULT_BATCH, DEFAULT_INLET_CAPACITY,
+    IngestStatsSnapshot, ShardJournal, DEFAULT_BATCH, DEFAULT_INLET_CAPACITY,
 };
 pub use report::{
     mean, std_dev, to_csv, CampaignReport, FleetSummary, RateSlice, ReportBuilder, SliceKey,
 };
 pub use shard::{shard_of, ShardedStore};
 pub use sim_transport::{SimCollectorStats, SimCollectorTransport, SimFaults};
-pub use store::{ImpressionRecord, ImpressionStore, ServedImpression};
-pub use timeline::{BucketStats, Timeline};
+pub use store::{ApplyOutcome, ImpressionRecord, ImpressionStore, SeqSeen, ServedImpression};
+pub use timeline::{BucketStats, Timeline, TimelineState};
 pub use transport::{CorruptionKind, LossyLink};

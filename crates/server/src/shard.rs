@@ -91,9 +91,10 @@ impl ShardedStore {
     }
 
     /// Applies one beacon to its owning shard (locks that shard only).
-    pub fn apply(&self, beacon: &Beacon) {
+    /// Returns the per-beacon [`ApplyOutcome`](crate::ApplyOutcome).
+    pub fn apply(&self, beacon: &Beacon) -> crate::ApplyOutcome {
         let idx = self.shard_of(beacon.impression_id);
-        self.shards[idx].lock().apply(beacon);
+        self.shards[idx].lock().apply(beacon)
     }
 
     /// Measurement verdict for an impression: `(measured, viewed)`.

@@ -136,6 +136,32 @@ pub struct ImpressionRecord {
     /// Which sequence numbers have been applied (bounded: at most
     /// 8 KiB per impression, usually a few dozen bytes).
     pub seen: SeqSeen,
+    /// Timestamp (µs) of the beacon that first made this impression
+    /// measurable (a `Measurable` or `InView` event, whichever arrived
+    /// first). Zero until `measurable` is set. Durable rollups use it
+    /// to attribute the impression — and any later view — to its
+    /// first-measured time bucket without keeping their own
+    /// per-impression cohort maps.
+    pub first_measured_us: u64,
+}
+
+/// What applying one beacon did to the store — the per-beacon facts a
+/// caller cannot reconstruct afterwards (whether *this* beacon crossed
+/// a dedup boundary). The durable backend's rollups fold these instead
+/// of re-deduplicating the stream with maps of their own, which keeps
+/// the journal hot path free of per-impression hash lookups.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// The beacon mutated the store (not an orphan, not a duplicate).
+    pub applied: bool,
+    /// This beacon made the impression measurable for the first time.
+    pub newly_measured: bool,
+    /// This beacon met the viewability criteria for the first time.
+    pub newly_viewed: bool,
+    /// The impression's first-measured timestamp (µs) after this
+    /// apply. Meaningful whenever the impression is measurable; rollup
+    /// attribution reads it on `newly_measured` / `newly_viewed`.
+    pub first_measured_us: u64,
 }
 
 /// In-memory impression store with idempotent beacon application.
@@ -224,16 +250,21 @@ impl ImpressionStore {
 
     /// Applies one beacon. Duplicate `(impression, seq)` pairs are
     /// counted but otherwise ignored (collectors may receive retries).
-    pub fn apply(&mut self, beacon: &Beacon) {
+    /// Returns what the apply did (see [`ApplyOutcome`]); callers that
+    /// only mutate may drop it.
+    pub fn apply(&mut self, beacon: &Beacon) -> ApplyOutcome {
         if !self.served.contains_key(&beacon.impression_id) {
             self.orphan_beacons += 1;
-            return;
+            return ApplyOutcome::default();
         }
         let rec = self.records.entry(beacon.impression_id).or_default();
         if !rec.seen.insert(beacon.seq) {
             rec.duplicates += 1;
             self.total_duplicates += 1;
-            return;
+            return ApplyOutcome {
+                first_measured_us: rec.first_measured_us,
+                ..ApplyOutcome::default()
+            };
         }
         self.unique_beacons += 1;
         rec.beacons += 1;
@@ -241,6 +272,8 @@ impl ImpressionStore {
         rec.last_fraction_milli = beacon.visible_fraction_milli;
         rec.best_exposure_ms = rec.best_exposure_ms.max(beacon.exposure_ms);
         rec.tag_loaded = true;
+        let was_measurable = rec.measurable;
+        let was_in_view = rec.in_view;
         match beacon.event {
             EventKind::TagLoaded => {}
             EventKind::Measurable => rec.measurable = true,
@@ -252,6 +285,15 @@ impl ImpressionStore {
             EventKind::Heartbeat => {}
             EventKind::Click => rec.clicked = true,
         }
+        if rec.measurable && !was_measurable {
+            rec.first_measured_us = beacon.timestamp_us;
+        }
+        ApplyOutcome {
+            applied: true,
+            newly_measured: rec.measurable && !was_measurable,
+            newly_viewed: rec.in_view && !was_in_view,
+            first_measured_us: rec.first_measured_us,
+        }
     }
 
     /// Applies many beacons.
@@ -259,6 +301,29 @@ impl ImpressionStore {
         for b in beacons {
             self.apply(b);
         }
+    }
+
+    /// Restores one impression's measurement record verbatim, without
+    /// counting it as a fresh beacon. Snapshot recovery in the durable
+    /// backend (`qtag-store`) rebuilds a store from persisted records;
+    /// the live counters come back separately through
+    /// [`ImpressionStore::restore_counters`].
+    pub fn restore_record(&mut self, impression_id: u64, rec: ImpressionRecord) {
+        self.records.insert(impression_id, rec);
+    }
+
+    /// Restores the store-level counters verbatim (snapshot recovery
+    /// companion of [`ImpressionStore::restore_record`]). Overwrites,
+    /// never adds: recovery starts from an empty store.
+    pub fn restore_counters(
+        &mut self,
+        orphan_beacons: u64,
+        unique_beacons: u64,
+        total_duplicates: u64,
+    ) {
+        self.orphan_beacons = orphan_beacons;
+        self.unique_beacons = unique_beacons;
+        self.total_duplicates = total_duplicates;
     }
 
     /// Measurement verdict for an impression: `(measured, viewed)`.

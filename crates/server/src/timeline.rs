@@ -8,7 +8,34 @@
 
 use qtag_wire::{Beacon, EventKind};
 use serde::Serialize;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-shift hasher for u64 impression-id keys. The SipHash
+/// default is DoS-resistant but roughly an order of magnitude slower,
+/// and these maps are keyed by ids the pipeline itself assigns — so
+/// collision resistance buys nothing on the per-beacon fold path,
+/// which the durable backend runs twice per journaled beacon (hourly
+/// and daily rollups) inside the shard's journal critical section.
+#[derive(Default)]
+pub struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ u64::from(b)).wrapping_mul(0x517c_c1b7_2722_0a95);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+/// `HashMap` keyed by impression id, using [`IdHasher`].
+pub type IdMap<V> = HashMap<u64, V, BuildHasherDefault<IdHasher>>;
 
 /// Counters for one time bucket.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
@@ -34,15 +61,36 @@ impl BucketStats {
     }
 }
 
+/// A [`Timeline`]'s complete state in plain sorted vectors — the
+/// persistence form used by durable-backend snapshots. Produced by
+/// [`Timeline::export_state`], consumed by [`Timeline::from_state`];
+/// the round trip is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineState {
+    /// Bucket width in microseconds.
+    pub bucket_us: u64,
+    /// `(bucket index, stats)` in ascending bucket order.
+    pub buckets: Vec<(u64, BucketStats)>,
+    /// `(impression, first-measured bucket)` ascending by impression.
+    pub first_measured: Vec<(u64, u64)>,
+    /// `(impression, viewed)` ascending by impression.
+    pub viewed: Vec<(u64, bool)>,
+}
+
 /// Fixed-width time-bucket aggregation over a beacon stream.
 #[derive(Debug)]
 pub struct Timeline {
     bucket_us: u64,
-    buckets: BTreeMap<u64, BucketStats>,
+    /// Keyed by bucket index. A hash map, not an ordered map: the fold
+    /// path runs up to three bucket lookups per beacon (twice per
+    /// journaled beacon in the durable backend's rollups), while
+    /// ordered iteration only happens on read — so readers sort the
+    /// handful of buckets instead.
+    buckets: IdMap<BucketStats>,
     /// impression → bucket index of its first Measurable.
-    first_measured: HashMap<u64, u64>,
+    first_measured: IdMap<u64>,
     /// impressions already counted as viewed.
-    viewed: HashMap<u64, bool>,
+    viewed: IdMap<bool>,
 }
 
 impl Timeline {
@@ -54,9 +102,9 @@ impl Timeline {
         assert!(bucket_us > 0, "bucket width must be positive");
         Timeline {
             bucket_us,
-            buckets: BTreeMap::new(),
-            first_measured: HashMap::new(),
-            viewed: HashMap::new(),
+            buckets: IdMap::default(),
+            first_measured: IdMap::default(),
+            viewed: IdMap::default(),
         }
     }
 
@@ -116,6 +164,63 @@ impl Timeline {
         }
     }
 
+    /// Folds one *store-applied* beacon by its [`ApplyOutcome`] — the
+    /// durable rollup hot path. Where [`Timeline::record`] keeps its
+    /// own per-impression cohort maps to deduplicate the raw stream,
+    /// this variant trusts the store's dedup (the outcome says whether
+    /// *this* beacon crossed the measurable/viewed boundary) and only
+    /// touches the bucket counters, which stay cache-resident: a
+    /// week of hourly buckets is 168 entries.
+    ///
+    /// On a stream where every beacon applies cleanly (registered
+    /// impressions, no `(impression, seq)` duplicates) this is
+    /// bit-identical to [`Timeline::record`]; on dirty streams it is
+    /// *stricter* — orphan and duplicate beacons still count in
+    /// `beacons` but can no longer inflate the measured/viewed
+    /// cohorts, because the store rejected them.
+    pub fn record_outcome(&mut self, beacon: &Beacon, outcome: &crate::ApplyOutcome) {
+        let bucket = self.bucket_of(beacon.timestamp_us);
+        self.buckets.entry(bucket).or_default().beacons += 1;
+        if outcome.newly_measured {
+            // The flip happened at this beacon, so its bucket IS the
+            // first-measured bucket.
+            self.buckets.entry(bucket).or_default().measured += 1;
+        }
+        if outcome.newly_viewed {
+            let first = self.bucket_of(outcome.first_measured_us);
+            self.buckets.entry(first).or_default().viewed += 1;
+        }
+    }
+
+    /// Derives the timeline at a coarser bucket width: `factor`
+    /// original buckets per derived bucket (hourly → daily is
+    /// `coarsen(24)`). Exact, not approximate: because
+    /// `floor(floor(t / w) / k) == floor(t / (w * k))`, every beacon,
+    /// cohort entry, and view attribution lands in precisely the
+    /// bucket a timeline of width `w * k` fed the same stream would
+    /// have chosen — so the durable rollups maintain only the hourly
+    /// timeline on the hot path and derive daily on read.
+    ///
+    /// # Panics
+    /// Panics on a zero factor.
+    pub fn coarsen(&self, factor: u64) -> Timeline {
+        assert!(factor > 0, "coarsen factor must be positive");
+        let mut t = Timeline::new(self.bucket_us * factor);
+        for (bucket, stats) in &self.buckets {
+            let b = t.buckets.entry(bucket / factor).or_default();
+            b.beacons += stats.beacons;
+            b.measured += stats.measured;
+            b.viewed += stats.viewed;
+        }
+        for (id, bucket) in &self.first_measured {
+            t.first_measured.insert(*id, bucket / factor);
+        }
+        for (id, viewed) in &self.viewed {
+            t.viewed.insert(*id, *viewed);
+        }
+        t
+    }
+
     /// Merges another timeline into this one (merge-on-read for
     /// sharded aggregation). When the two timelines saw *disjoint
     /// impression sets* — the sharded-store guarantee, since an
@@ -149,9 +254,47 @@ impl Timeline {
         }
     }
 
+    /// Exports the timeline's full state in a deterministic order
+    /// (sorted by key everywhere), for snapshot persistence in the
+    /// durable backend. [`Timeline::from_state`] round-trips exactly:
+    /// the per-impression cohort maps travel too, so a restored
+    /// timeline keeps deduplicating and attributing views precisely
+    /// where the original would have.
+    pub fn export_state(&self) -> TimelineState {
+        let mut first_measured: Vec<(u64, u64)> =
+            self.first_measured.iter().map(|(k, v)| (*k, *v)).collect();
+        first_measured.sort_unstable();
+        let mut viewed: Vec<(u64, bool)> = self.viewed.iter().map(|(k, v)| (*k, *v)).collect();
+        viewed.sort_unstable();
+        let mut buckets: Vec<(u64, BucketStats)> =
+            self.buckets.iter().map(|(k, v)| (*k, *v)).collect();
+        buckets.sort_unstable_by_key(|(k, _)| *k);
+        TimelineState {
+            bucket_us: self.bucket_us,
+            buckets,
+            first_measured,
+            viewed,
+        }
+    }
+
+    /// Rebuilds a timeline from exported state.
+    ///
+    /// # Panics
+    /// Panics on a zero bucket width (a corrupt export).
+    pub fn from_state(state: TimelineState) -> Self {
+        let mut t = Timeline::new(state.bucket_us);
+        t.buckets = state.buckets.into_iter().collect();
+        t.first_measured = state.first_measured.into_iter().collect();
+        t.viewed = state.viewed.into_iter().collect();
+        t
+    }
+
     /// The buckets in time order.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, &BucketStats)> {
-        self.buckets.iter().map(|(k, v)| (*k, v))
+        let mut sorted: Vec<(u64, &BucketStats)> =
+            self.buckets.iter().map(|(k, v)| (*k, v)).collect();
+        sorted.sort_unstable_by_key(|(k, _)| *k);
+        sorted.into_iter()
     }
 
     /// Total impressions measured across all buckets.
@@ -281,6 +424,29 @@ mod tests {
         assert_eq!(merged, expect);
         assert_eq!(shard_a.total_measured(), reference.total_measured());
         assert_eq!(shard_a.total_viewed(), reference.total_viewed());
+    }
+
+    /// Export → import round-trips the full state: buckets, cohort
+    /// maps, and dedup sets — further recording behaves identically on
+    /// the original and the restored timeline.
+    #[test]
+    fn state_round_trip_is_exact_and_keeps_deduplicating() {
+        let mut original = Timeline::hourly();
+        for id in 0..12u64 {
+            original.record(&beacon(id, EventKind::Measurable, id * HOUR / 3));
+            if id % 3 == 0 {
+                original.record(&beacon(id, EventKind::InView, id * HOUR / 3 + HOUR));
+            }
+        }
+        let mut restored = Timeline::from_state(original.export_state());
+        assert_eq!(restored.export_state(), original.export_state());
+        // Replays of already-seen events must dedup identically.
+        for id in 0..12u64 {
+            original.record(&beacon(id, EventKind::InView, 5 * HOUR));
+            restored.record(&beacon(id, EventKind::InView, 5 * HOUR));
+        }
+        assert_eq!(restored.export_state(), original.export_state());
+        assert_eq!(restored.total_viewed(), original.total_viewed());
     }
 
     #[test]

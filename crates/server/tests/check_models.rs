@@ -64,6 +64,7 @@ fn offer_vs_shutdown_conserves_every_beacon() {
                 batch: 2,
                 inlet_capacity: 1,
                 metrics: None,
+                journal: None,
             },
         );
         let stats = Arc::clone(service.stats_arc());
@@ -113,6 +114,7 @@ fn sharded_handoff_applies_all_accepted() {
                 batch: 1,
                 inlet_capacity: 2,
                 metrics: None,
+                journal: None,
             },
         );
         let stats = Arc::clone(service.stats_arc());

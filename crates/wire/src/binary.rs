@@ -24,7 +24,7 @@
 //! beacon, the shape production tags use.
 
 use crate::{crc::crc16, AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType, WireError};
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut};
 
 /// Frame magic: ASCII `QT`.
 pub const MAGIC: [u8; 2] = [0x51, 0x54];
@@ -36,11 +36,15 @@ pub const ENCODED_LEN: usize = 38;
 /// Encodes a beacon into `buf`.
 ///
 /// Fails only when the beacon violates field ranges; the buffer grows as
-/// needed.
-pub fn encode(beacon: &Beacon, buf: &mut BytesMut) -> Result<(), WireError> {
+/// needed. Generic over the buffer so batching callers (the WAL journal
+/// path) can append straight into a reused `Vec<u8>` without a
+/// per-beacon heap allocation.
+pub fn encode<B>(beacon: &Beacon, buf: &mut B) -> Result<(), WireError>
+where
+    B: BufMut + std::ops::Deref<Target = [u8]>,
+{
     beacon.validate()?;
     let start = buf.len();
-    buf.reserve(ENCODED_LEN);
     buf.put_slice(&MAGIC);
     buf.put_u8(VERSION);
     buf.put_u8(beacon.event.code());
@@ -62,9 +66,9 @@ pub fn encode(beacon: &Beacon, buf: &mut BytesMut) -> Result<(), WireError> {
 
 /// Convenience: encodes into a fresh buffer.
 pub fn encode_to_vec(beacon: &Beacon) -> Result<Vec<u8>, WireError> {
-    let mut buf = BytesMut::with_capacity(ENCODED_LEN);
+    let mut buf = Vec::with_capacity(ENCODED_LEN);
     encode(beacon, &mut buf)?;
-    Ok(buf.to_vec())
+    Ok(buf)
 }
 
 /// Decodes one beacon from the front of `data`.
