@@ -6,6 +6,8 @@
 //!                  [--chunk-size BYTES] [--churn-every K]
 //!                  [--corrupt-rate F] [--capacity N] [--abrupt]
 //!                  [--shards LIST] [--batch LIST]
+//!                  [--reactor] [--reactor-workers N]
+//!                  [--connections LIST] [--virtual] [--bench-json PATH]
 //!                  [--retry] [--fault-proxy] [--seed N] [--json]
 //!                  [--wal-dir DIR] [--sync none|batch|record]
 //!                  [--crash-after N]
@@ -61,6 +63,25 @@
 //! fire-and-forget run repeats over the full cross-product, one fresh
 //! daemon per cell, printing a per-cell row and judging conservation
 //! in every cell. The retry soak uses the first value of each list.
+//!
+//! **Connection scaling** (`--connections LIST`): instead of a few
+//! fat streams, each cell holds N concurrent mostly-idle connections
+//! open simultaneously — every socket writes one beacon at connect,
+//! the whole fleet is held open until the daemon's active-connection
+//! gauge reaches N, then every socket writes its remaining beacons
+//! (`--beacons-per-client` per connection, default 2) and closes.
+//! `--reactor` serves the cell on the epoll reactor instead of one
+//! thread per connection. Both loopback socket ends live in this
+//! process, so a TCP cell costs two fds per connection and the cell
+//! is clamped to the soft `RLIMIT_NOFILE` budget (printed when it
+//! happens); `--virtual` drives the same per-connection reactor state
+//! machines over in-memory transport instead, which is how cells
+//! beyond the fd budget (50k+) are measured — cells are tagged
+//! `transport: tcp|virtual` so the two are never conflated.
+//! `--bench-json PATH` additionally runs a threaded-vs-reactor
+//! throughput comparison at the first `--shards`/`--batch` cell and
+//! writes the machine-readable summary tracked in
+//! `results/BENCH_reactor.json`.
 
 use qtag_bench::output::ExperimentOutput;
 use qtag_bench::proxy::{FaultProxy, FaultProxyConfig};
@@ -108,6 +129,20 @@ struct LoadgenConfig {
     /// Crash soak: the fault proxy hard-kills the stream after this
     /// many forwarded chunks and the daemon is crash-stopped.
     crash_after: Option<u64>,
+    /// Serve fire-and-forget daemons on the epoll reactor instead of
+    /// one thread per connection.
+    reactor: bool,
+    /// Reactor event-loop threads (and virtual-fleet driver threads).
+    reactor_workers: usize,
+    /// Connection-scaling cells: each N holds that many concurrent
+    /// connections open at once. Empty = throughput mode.
+    connections: Vec<usize>,
+    /// Drive connection cells over in-memory transport (resident
+    /// reactor state machines) instead of real loopback sockets.
+    virtual_transport: bool,
+    /// Write the reactor-scaling bench summary (peak-cell comparison
+    /// + all connection cells) to this path.
+    bench_json: Option<String>,
 }
 
 /// Writes one rendered registry exposition to `path` (or stdout for
@@ -156,7 +191,13 @@ impl LoadgenConfig {
             wal_dir: None,
             sync: SyncPolicy::Batch,
             crash_after: None,
+            reactor: false,
+            reactor_workers: 2,
+            connections: Vec::new(),
+            virtual_transport: false,
+            bench_json: None,
         };
+        let mut beacons_flag_seen = false;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -164,7 +205,9 @@ impl LoadgenConfig {
             match flag {
                 "--clients" => cfg.clients = args[i + 1].parse().expect("--clients: u64"),
                 "--beacons-per-client" => {
-                    cfg.beacons_per_client = args[i + 1].parse().expect("--beacons-per-client: u64")
+                    cfg.beacons_per_client =
+                        args[i + 1].parse().expect("--beacons-per-client: u64");
+                    beacons_flag_seen = true;
                 }
                 "--chunk-size" => {
                     cfg.chunk_size = args[i + 1].parse().expect("--chunk-size: usize")
@@ -186,6 +229,21 @@ impl LoadgenConfig {
                 "--sync" => cfg.sync = args[i + 1].parse().expect("--sync: none|batch|record"),
                 "--crash-after" => {
                     cfg.crash_after = Some(args[i + 1].parse().expect("--crash-after: u64"))
+                }
+                "--reactor-workers" => {
+                    cfg.reactor_workers = args[i + 1].parse().expect("--reactor-workers: usize")
+                }
+                "--connections" => cfg.connections = parse_list("--connections", &args[i + 1]),
+                "--bench-json" => cfg.bench_json = Some(args[i + 1].clone()),
+                "--reactor" => {
+                    cfg.reactor = true;
+                    i += 1;
+                    continue;
+                }
+                "--virtual" => {
+                    cfg.virtual_transport = true;
+                    i += 1;
+                    continue;
                 }
                 "--abrupt" => {
                     cfg.abrupt = true;
@@ -224,6 +282,18 @@ impl LoadgenConfig {
         }
         if cfg.wal_dir.is_some() {
             assert!(cfg.retry, "--wal-dir applies to the retry soak");
+        }
+        if cfg.virtual_transport {
+            assert!(
+                !cfg.connections.is_empty(),
+                "--virtual applies to --connections cells"
+            );
+        }
+        // Connection cells are about fan-in, not per-stream volume:
+        // unless the caller asked for more, each connection carries a
+        // couple of beacons (one at connect, the rest at close).
+        if !cfg.connections.is_empty() && !beacons_flag_seen {
+            cfg.beacons_per_client = 2;
         }
         cfg
     }
@@ -801,12 +871,21 @@ fn run_fire_and_forget(
         max_connections: (cfg.clients as usize + 8).max(64),
         inlet_capacity: cfg.inlet_capacity,
         batch,
+        reactor: cfg.reactor,
+        reactor_workers: cfg.reactor_workers,
         ..CollectorConfig::default()
     };
     let collector = Collector::start_sharded(collector_cfg, store).expect("start collector");
     let addr = collector.local_addr();
     println!();
-    println!("collector listening on {addr} ({shards} shards, batch {batch})");
+    println!(
+        "collector listening on {addr} ({shards} shards, batch {batch}, {})",
+        if cfg.reactor {
+            "reactor"
+        } else {
+            "thread-per-connection"
+        }
+    );
     println!(
         "{} clients x {} beacons, chunk {} B, churn every {}, corrupt rate {}, abrupt: {}",
         cfg.clients,
@@ -890,6 +969,422 @@ fn run_fire_and_forget(
     (result, all_ok)
 }
 
+/// Soft `RLIMIT_NOFILE` of this process, from `/proc/self/limits`
+/// (no libc dependency; absent on non-Linux).
+fn fd_soft_limit() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/limits").ok()?;
+    text.lines()
+        .find(|l| l.starts_with("Max open files"))?
+        .split_whitespace()
+        .nth(3)?
+        .parse()
+        .ok()
+}
+
+/// One connection-scaling cell: N concurrent connections held open
+/// simultaneously, judged by conservation plus admission accounting.
+#[derive(Serialize, Clone)]
+struct ConnCell {
+    connections_requested: u64,
+    /// What actually ran (TCP cells are clamped to the fd budget).
+    connections: u64,
+    /// `"tcp"` (real loopback sockets) or `"virtual"` (in-memory
+    /// transport driving the same reactor state machines).
+    transport: &'static str,
+    reactor: bool,
+    reactor_workers: usize,
+    beacons_sent: u64,
+    beacons_applied: u64,
+    shed_beacons: u64,
+    accept_errors: u64,
+    /// Highest simultaneously-live connection count observed.
+    peak_active: u64,
+    elapsed_secs: f64,
+    beacons_per_sec: f64,
+    conservation_holds: bool,
+}
+
+fn connect_with_retry(addr: SocketAddr) -> TcpStream {
+    let t0 = Instant::now();
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(e) => {
+                assert!(
+                    t0.elapsed() < Duration::from_secs(20),
+                    "connect to collector: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+/// Runs one TCP connection-scaling cell: opener threads connect the
+/// whole fleet (one beacon written per socket at connect), the fleet
+/// is held open until the daemon's active gauge reaches N, then every
+/// socket writes its remaining beacons and closes.
+fn run_tcp_connections_cell(cfg: &LoadgenConfig, requested: usize) -> (ConnCell, bool) {
+    use std::sync::Barrier;
+
+    let fd_limit = fd_soft_limit().unwrap_or(1 << 20);
+    // Both socket ends live in this process: two fds per connection,
+    // plus headroom for the daemon, WALs, epoll instances and stdio.
+    let budget = ((fd_limit.saturating_sub(512)) / 2) as usize;
+    let connections = requested.min(budget.max(16));
+    if connections < requested {
+        println!(
+            "fd soft limit {fd_limit}: clamping tcp cell {requested} -> {connections} \
+             (two fds per loopback connection in-process; use --virtual beyond the budget)"
+        );
+    }
+    let per = cfg.beacons_per_client.max(1);
+    let store = ShardedStore::new(cfg.shards[0]);
+    let collector_cfg = CollectorConfig {
+        max_connections: connections + 64,
+        inlet_capacity: cfg.inlet_capacity,
+        batch: cfg.batch[0],
+        reactor: cfg.reactor,
+        reactor_workers: cfg.reactor_workers,
+        // The fleet is deliberately idle while it is being assembled;
+        // reaping slow-opening cells would measure the opener, not the
+        // daemon (idle-timeout behavior has its own tests).
+        read_timeout: Duration::from_secs(120),
+        ..CollectorConfig::default()
+    };
+    let collector = Collector::start_sharded(collector_cfg, store).expect("start collector");
+    let addr = collector.local_addr();
+    println!();
+    println!(
+        "tcp connection cell: {connections} concurrent connections x {per} beacons ({})",
+        if cfg.reactor {
+            format!("reactor, {} workers", cfg.reactor_workers)
+        } else {
+            "thread-per-connection".to_string()
+        }
+    );
+
+    let openers = (cfg.clients as usize).clamp(1, 16);
+    let open_barrier = Arc::new(Barrier::new(openers + 1));
+    let hold_barrier = Arc::new(Barrier::new(openers + 1));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..openers)
+        .map(|o| {
+            let share = connections / openers + usize::from(o < connections % openers);
+            let open_b = Arc::clone(&open_barrier);
+            let hold_b = Arc::clone(&hold_barrier);
+            std::thread::spawn(move || {
+                let mut socks = Vec::with_capacity(share);
+                let mut sent = 0u64;
+                for s in 0..share {
+                    let conn_id = (o * 100_000 + s) as u64;
+                    let mut sock = connect_with_retry(addr);
+                    let frame = encode_frames(&[beacon(conn_id, 0)]).expect("encode");
+                    sock.write_all(&frame).expect("write first beacon");
+                    sent += 1;
+                    socks.push((conn_id, sock));
+                    // Pace the fleet below the listener's 128-entry
+                    // backlog: an unthrottled burst overflows it and
+                    // every dropped SYN costs a ~1 s client-side
+                    // retransmit, collapsing the open rate to ~190/s.
+                    // ~8k conns/s aggregate keeps the worst burst per
+                    // acceptor poll interval under the backlog.
+                    std::thread::sleep(Duration::from_micros(125 * openers as u64));
+                }
+                open_b.wait();
+                hold_b.wait();
+                for (conn_id, mut sock) in socks {
+                    for seq_no in 1..per {
+                        let frame = encode_frames(&[beacon(conn_id, seq_no)]).expect("encode");
+                        sock.write_all(&frame).expect("write beacon");
+                        sent += 1;
+                    }
+                }
+                sent
+            })
+        })
+        .collect();
+
+    // Hold phase: wait for the daemon to have the whole fleet live at
+    // once — this is the claim the cell exists to verify.
+    open_barrier.wait();
+    let mut peak_active = 0u64;
+    let t0 = Instant::now();
+    loop {
+        let active = collector.ops_snapshot().collector.connections_active;
+        peak_active = peak_active.max(active);
+        if active >= connections as u64 || t0.elapsed() > Duration::from_secs(30) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    hold_barrier.wait();
+
+    let sent: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("opener thread"))
+        .sum();
+    let ops = collector.shutdown();
+    let elapsed = started.elapsed();
+
+    let conserves = ops.conserves(sent);
+    let decode_ok = ops.decode_accounted();
+    let all_ok = conserves
+        && decode_ok
+        && ops.collector.accept_errors == 0
+        && peak_active >= connections as u64;
+    println!(
+        "peak active {peak_active} / {connections}, sent {sent}, applied {}, \
+         accept errors {}, elapsed {:.3} s — {}",
+        ops.ingest.beacons,
+        ops.collector.accept_errors,
+        elapsed.as_secs_f64(),
+        if all_ok { "PASS" } else { "FAIL" }
+    );
+    if !all_ok {
+        eprintln!("connection cell violated at {connections} tcp: {ops:?}");
+    }
+    let cell = ConnCell {
+        connections_requested: requested as u64,
+        connections: connections as u64,
+        transport: "tcp",
+        reactor: cfg.reactor,
+        reactor_workers: cfg.reactor_workers,
+        beacons_sent: sent,
+        beacons_applied: ops.ingest.beacons,
+        shed_beacons: ops.ingest.shed_beacons,
+        accept_errors: ops.collector.accept_errors,
+        peak_active,
+        elapsed_secs: elapsed.as_secs_f64(),
+        beacons_per_sec: sent as f64 / elapsed.as_secs_f64(),
+        conservation_holds: conserves,
+    };
+    (cell, all_ok)
+}
+
+/// Runs one virtual connection-scaling cell: N reactor connection
+/// state machines resident simultaneously, driven round-robin by
+/// `--reactor-workers` threads over in-memory transport. No fds, so
+/// the fleet scales past `RLIMIT_NOFILE` — this is the 50k+ cell.
+#[cfg(target_os = "linux")]
+fn run_virtual_connections_cell(cfg: &LoadgenConfig, sessions: usize) -> (ConnCell, bool) {
+    use qtag_collectd::{reactor_virtual_fleet, CollectorStats, OpsSnapshot};
+    use qtag_server::{IngestConfig, IngestService};
+
+    let per = cfg.beacons_per_client.max(1);
+    let store = ShardedStore::new(cfg.shards[0]);
+    let service = IngestService::start_sharded(
+        store,
+        IngestConfig {
+            workers: 1,
+            batch: cfg.batch[0],
+            inlet_capacity: cfg.inlet_capacity,
+            metrics: None,
+            journal: None,
+        },
+    );
+    let ingest_stats = Arc::clone(service.stats_arc());
+    let stats = Arc::new(CollectorStats::default());
+    let collector_cfg = Arc::new(CollectorConfig {
+        batch: cfg.batch[0],
+        ..CollectorConfig::default()
+    });
+    let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    // Every session replays the same schedule, one frame per read
+    // event (ids collide across sessions — they land as duplicates,
+    // which the conservation identity counts as applied).
+    let chunks: Arc<Vec<Vec<u8>>> = Arc::new(
+        (0..per)
+            .map(|seq_no| encode_frames(&[beacon(0, seq_no)]).expect("encode"))
+            .collect(),
+    );
+    let workers = cfg.reactor_workers.max(1);
+    println!();
+    println!(
+        "virtual connection cell: {sessions} resident reactor state machines x {per} beacons \
+         ({workers} driver threads, in-memory transport)"
+    );
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let share = sessions / workers + usize::from(w < sessions % workers);
+            let cfg = Arc::clone(&collector_cfg);
+            let stats = Arc::clone(&stats);
+            let inlet = service.inlet();
+            let shutdown = Arc::clone(&shutdown);
+            let chunks = Arc::clone(&chunks);
+            std::thread::spawn(move || {
+                reactor_virtual_fleet(cfg, stats, inlet, shutdown, share, &chunks, 64)
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("fleet driver thread");
+    }
+    service.shutdown();
+    let elapsed = started.elapsed();
+    let ops = OpsSnapshot {
+        collector: stats.snapshot(),
+        ingest: ingest_stats.snapshot(),
+    };
+
+    let sent = sessions as u64 * per;
+    let conserves = ops.conserves(sent);
+    let decode_ok = ops.decode_accounted();
+    let all_ok = conserves && decode_ok;
+    println!(
+        "resident {sessions}, sent {sent}, applied {}, shed {}, elapsed {:.3} s — {}",
+        ops.ingest.beacons,
+        ops.ingest.shed_beacons,
+        elapsed.as_secs_f64(),
+        if all_ok { "PASS" } else { "FAIL" }
+    );
+    if !all_ok {
+        eprintln!("connection cell violated at {sessions} virtual: {ops:?}");
+    }
+    let cell = ConnCell {
+        connections_requested: sessions as u64,
+        connections: sessions as u64,
+        transport: "virtual",
+        reactor: true,
+        reactor_workers: workers,
+        beacons_sent: sent,
+        beacons_applied: ops.ingest.beacons,
+        shed_beacons: ops.ingest.shed_beacons,
+        accept_errors: 0,
+        peak_active: sessions as u64,
+        elapsed_secs: elapsed.as_secs_f64(),
+        beacons_per_sec: sent as f64 / elapsed.as_secs_f64(),
+        conservation_holds: conserves,
+    };
+    (cell, all_ok)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn run_virtual_connections_cell(_cfg: &LoadgenConfig, _sessions: usize) -> (ConnCell, bool) {
+    panic!("--virtual drives the reactor state machines, which are Linux-only");
+}
+
+#[derive(Serialize)]
+struct PeakCellComparison {
+    shards: usize,
+    batch: usize,
+    clients: u64,
+    beacons_per_client: u64,
+    threaded_beacons_per_sec: f64,
+    reactor_beacons_per_sec: f64,
+    reactor_over_threaded: f64,
+}
+
+#[derive(Serialize)]
+struct ReactorBench {
+    bench: &'static str,
+    seed: u64,
+    fd_soft_limit: u64,
+    beacons_per_connection: u64,
+    peak_cell: PeakCellComparison,
+    cells: Vec<ConnCell>,
+}
+
+#[derive(Serialize)]
+struct ConnScalingResult {
+    cells: Vec<ConnCell>,
+}
+
+/// Connection-scaling main path: one cell per `--connections` entry,
+/// with the threaded-vs-reactor throughput comparison and the bench
+/// JSON when `--bench-json` asks for them.
+fn run_connection_scaling(cfg: &LoadgenConfig, out: &ExperimentOutput) {
+    let fd_budget = ((fd_soft_limit().unwrap_or(1 << 20).saturating_sub(512)) / 2) as usize;
+    let mut cells = Vec::new();
+    let mut all_ok = true;
+    for &n in &cfg.connections {
+        let (cell, ok) = if cfg.virtual_transport {
+            run_virtual_connections_cell(cfg, n)
+        } else if n > fd_budget {
+            // A loopback cell costs two fds per connection in this
+            // process; cells past the soft RLIMIT_NOFILE budget run on
+            // the in-memory transport instead of lying with a clamp.
+            println!(
+                "cell {n} exceeds the fd budget ({fd_budget} tcp connections): \
+                 running on virtual transport"
+            );
+            run_virtual_connections_cell(cfg, n)
+        } else {
+            run_tcp_connections_cell(cfg, n)
+        };
+        cells.push(cell);
+        all_ok &= ok;
+    }
+
+    println!();
+    println!("connection scaling summary:");
+    println!(
+        "{:>11} {:>9} {:>8} {:>11} {:>12} {:>8}",
+        "connections", "transport", "reactor", "peak_active", "beacons/s", "check"
+    );
+    for c in &cells {
+        println!(
+            "{:>11} {:>9} {:>8} {:>11} {:>12.0} {:>8}",
+            c.connections,
+            c.transport,
+            c.reactor,
+            c.peak_active,
+            c.beacons_per_sec,
+            if c.conservation_holds { "PASS" } else { "FAIL" }
+        );
+    }
+
+    if let Some(path) = &cfg.bench_json {
+        // Throughput comparison at the first shards x batch cell:
+        // same client replay, the only variable is the serving shape.
+        let mk = |reactor: bool| {
+            let mut c = cfg.clone();
+            c.connections = Vec::new();
+            c.reactor = reactor;
+            c.clients = 4;
+            c.beacons_per_client = 50_000;
+            c.churn_every = 0;
+            c.corrupt_rate = 0.0;
+            c.abrupt = false;
+            c.metrics = None;
+            c.metrics_json = None;
+            Arc::new(c)
+        };
+        let (threaded, t_ok) = run_fire_and_forget(&mk(false), cfg.shards[0], cfg.batch[0]);
+        let (reactor, r_ok) = run_fire_and_forget(&mk(true), cfg.shards[0], cfg.batch[0]);
+        all_ok &= t_ok && r_ok;
+        let bench = ReactorBench {
+            bench: "reactor_scaling",
+            seed: cfg.seed,
+            fd_soft_limit: fd_soft_limit().unwrap_or(0),
+            beacons_per_connection: cfg.beacons_per_client,
+            peak_cell: PeakCellComparison {
+                shards: cfg.shards[0],
+                batch: cfg.batch[0],
+                clients: threaded.clients,
+                beacons_per_client: 50_000,
+                threaded_beacons_per_sec: threaded.beacons_per_sec,
+                reactor_beacons_per_sec: reactor.beacons_per_sec,
+                reactor_over_threaded: reactor.beacons_per_sec / threaded.beacons_per_sec,
+            },
+            cells: cells.clone(),
+        };
+        let rendered = serde_json::to_string_pretty(&bench).expect("bench serializes");
+        std::fs::write(path, rendered).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!(
+            "wrote {path} (reactor/threaded at peak cell: {:.2}x)",
+            bench.peak_cell.reactor_over_threaded
+        );
+    }
+
+    out.finish(&ConnScalingResult { cells });
+    if !all_ok {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let cfg = LoadgenConfig::from_args();
     let out = ExperimentOutput::from_args();
@@ -897,6 +1392,11 @@ fn main() {
 
     if cfg.retry {
         run_retry_soak(&cfg, &out);
+        return;
+    }
+
+    if !cfg.connections.is_empty() {
+        run_connection_scaling(&cfg, &out);
         return;
     }
 

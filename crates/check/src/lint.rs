@@ -27,6 +27,14 @@
 //!   crossbeam) must not reach for `std::sync::Mutex`/`parking_lot`/
 //!   raw atomics / `std::thread::spawn` outside the facade file
 //!   itself.
+//! - **R5 reactor-no-blocking**: event-loop files (`*/reactor.rs`)
+//!   must not call blocking primitives — `thread::sleep`,
+//!   `write_all`/`read_exact`, socket timeouts, blocking
+//!   `.lock()`/`.recv()` — outside test regions. One stalled callback
+//!   stalls every connection on that worker, so the event loop only
+//!   gets non-blocking reads, cursor-tracked partial writes, and
+//!   `try_recv` hand-offs; sleeps and deadline waits belong to the
+//!   acceptor (`collector.rs`) or the poll timeout.
 //!
 //! Findings are aggregated to stable keys (`rule|path|detail|count`,
 //! no line numbers, so unrelated edits don't churn the file) and
@@ -96,6 +104,22 @@ const FACADE_BYPASS_TOKENS: &[&str] = &[
     "std::sync::atomic",
     "std::thread::spawn",
     "std::thread::JoinHandle",
+];
+
+/// Blocking primitives banned from event-loop files (R5). Lexical
+/// like everything else: `.recv()` catches blocking channel waits
+/// (`try_recv`/`recv_timeout` don't match the parenthesized form),
+/// and the timeout setters catch any attempt to drive a reactor
+/// socket through blocking reads-with-deadline.
+const REACTOR_BLOCKING_TOKENS: &[&str] = &[
+    "thread::sleep",
+    ".write_all(",
+    ".read_exact(",
+    ".set_read_timeout(",
+    ".set_write_timeout(",
+    ".lock()",
+    ".recv()",
+    ".join()",
 ];
 
 struct SourceFile {
@@ -509,6 +533,32 @@ fn check_r4(f: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+fn check_r5(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !f.rel.ends_with("/reactor.rs") {
+        return;
+    }
+    for i in 0..f.test_start {
+        let line = &f.lines[i];
+        if is_comment_line(line) {
+            continue;
+        }
+        for token in REACTOR_BLOCKING_TOKENS {
+            if line.contains(token) {
+                out.push(Finding {
+                    rule: "R5",
+                    path: f.rel.clone(),
+                    line: i + 1,
+                    detail: format!(
+                        "{} blocks the event loop in {}",
+                        token.trim_matches(['.', '(']),
+                        nearest_fn(&f.lines, i)
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Runs all rules over the workspace rooted at `root`.
 pub fn run(root: &Path) -> Vec<Finding> {
     let ws = gather(root);
@@ -518,6 +568,7 @@ pub fn run(root: &Path) -> Vec<Finding> {
         check_r2(f, &mut findings);
         check_r3(f, &mut findings);
         check_r4(f, &mut findings);
+        check_r5(f, &mut findings);
     }
     findings.sort_by(|a, b| {
         (a.rule, &a.path, a.line, &a.detail).cmp(&(b.rule, &b.path, b.line, &b.detail))
@@ -722,6 +773,65 @@ mod tests {
         assert!(out.is_empty());
         check_r3(&mk("crates/server/src/ingest.rs"), &mut out);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn r5_flags_blocking_calls_only_in_reactor_files() {
+        let lines: Vec<String> = vec![
+            "fn pump(rx: &Receiver<Conn>, io: &mut TcpStream) {".into(),
+            "    let c = rx.recv(); // blocking hand-off wait".into(),
+            "    io.write_all(&[1]).unwrap();".into(),
+            "    io.set_read_timeout(None).unwrap();".into(),
+            "    thread::sleep(POLL);".into(),
+            "    let n = rx.try_recv(); // non-blocking: fine".into(),
+            "}".into(),
+        ];
+        let mut out = Vec::new();
+        // Same tokens outside an event-loop file are R5-exempt (the
+        // threaded path blocks by design).
+        check_r5(
+            &SourceFile {
+                rel: "crates/collectd/src/connection.rs".into(),
+                lines: lines.clone(),
+                test_start: lines.len(),
+            },
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+        let test_start = lines.len();
+        check_r5(
+            &SourceFile {
+                rel: "crates/collectd/src/reactor.rs".into(),
+                lines,
+                test_start,
+            },
+            &mut out,
+        );
+        assert_eq!(out.len(), 4, "{out:?}");
+        assert!(out.iter().all(|f| f.rule == "R5"));
+        assert!(out.iter().any(|f| f.detail.contains("recv")), "{out:?}");
+        assert!(
+            out.iter().any(|f| f.detail.contains("thread::sleep")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn r5_exempts_test_regions() {
+        let f = SourceFile {
+            rel: "crates/collectd/src/reactor.rs".into(),
+            lines: vec![
+                "fn pump() {}".into(),
+                "#[cfg(test)]".into(),
+                "mod tests {".into(),
+                "    fn t() { std::thread::sleep(D); }".into(),
+                "}".into(),
+            ],
+            test_start: 1,
+        };
+        let mut out = Vec::new();
+        check_r5(&f, &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

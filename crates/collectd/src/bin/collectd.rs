@@ -3,6 +3,7 @@
 //! ```text
 //! collectd [--bind ADDR] [--max-conns N] [--read-timeout-ms MS]
 //!          [--workers N] [--capacity N] [--shards N] [--batch N]
+//!          [--reactor] [--reactor-workers N] [--ack-buffer-cap BYTES]
 //!          [--duration-secs S] [--metrics PATH] [--metrics-json PATH]
 //!          [--wal-dir DIR] [--sync none|batch|record]
 //! ```
@@ -19,6 +20,12 @@
 //! journaled ahead of apply under the `--sync` policy (default
 //! `batch`), and the logs fsynced and compacted into fresh snapshots
 //! on graceful exit.
+//!
+//! `--reactor` serves connections on a few epoll event loops instead
+//! of one thread per connection (`--reactor-workers`, default 2) —
+//! the mode for tens of thousands of concurrent sockets.
+//! `--ack-buffer-cap` bounds the per-connection ack backlog towards a
+//! slow acked client before its reads are paused.
 //!
 //! The ops path doubles as the metrics endpoint: while running, a
 //! `metrics` line on stdin prints the live registry as Prometheus text
@@ -77,6 +84,17 @@ fn parse_args() -> BinArgs {
             "--capacity" => out.cfg.inlet_capacity = value(i).parse().expect("--capacity: usize"),
             "--shards" => out.shards = value(i).parse().expect("--shards: usize"),
             "--batch" => out.cfg.batch = value(i).parse().expect("--batch: usize"),
+            "--reactor" => {
+                out.cfg.reactor = true;
+                i += 1; // boolean flag, no value
+                continue;
+            }
+            "--reactor-workers" => {
+                out.cfg.reactor_workers = value(i).parse().expect("--reactor-workers: usize")
+            }
+            "--ack-buffer-cap" => {
+                out.cfg.ack_buffer_cap = value(i).parse().expect("--ack-buffer-cap: usize")
+            }
             "--duration-secs" => {
                 out.duration = Some(Duration::from_secs(
                     value(i).parse().expect("--duration-secs: u64"),
@@ -89,9 +107,10 @@ fn parse_args() -> BinArgs {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: collectd [--bind ADDR] [--max-conns N] [--read-timeout-ms MS] \
-                     [--workers N] [--capacity N] [--shards N] [--batch N] [--duration-secs S] \
-                     [--metrics PATH] [--metrics-json PATH] [--wal-dir DIR] \
-                     [--sync none|batch|record]"
+                     [--workers N] [--capacity N] [--shards N] [--batch N] \
+                     [--reactor] [--reactor-workers N] [--ack-buffer-cap BYTES] \
+                     [--duration-secs S] [--metrics PATH] [--metrics-json PATH] \
+                     [--wal-dir DIR] [--sync none|batch|record]"
                 );
                 std::process::exit(0);
             }

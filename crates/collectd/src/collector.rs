@@ -3,11 +3,15 @@
 
 use crate::config::CollectorConfig;
 use crate::connection::{self, ConnCtx, ConnObs};
+#[cfg(target_os = "linux")]
+use crate::reactor::{self, NewConn};
 use crate::stats::{CollectorStats, OpsSnapshot};
 use crate::sync::atomic::{AtomicBool, Ordering};
 use crate::sync::thread::JoinHandle;
 use crate::sync::time::Instant;
 use crate::sync::{thread, Arc, Mutex};
+#[cfg(target_os = "linux")]
+use crossbeam::channel::{unbounded, Sender};
 use qtag_obs::{Registry, TraceRing};
 use qtag_server::{
     ImpressionStore, IngestConfig, IngestMetrics, IngestService, IngestStats, ShardJournal,
@@ -243,10 +247,128 @@ impl Drop for ActiveGuard {
     }
 }
 
-/// Spawns a reader thread for an accepted connection, or sheds it if
-/// the connection cap is reached.
-fn supervise(stream: std::net::TcpStream, ctx: &ConnCtx, handlers: &mut Vec<JoinHandle<()>>) {
-    handlers.retain(|h| !h.is_finished());
+/// The mode-specific half of connection admission: where an accepted,
+/// cap-checked connection goes. The acceptor loop, admission counters,
+/// and shutdown drain are shared between modes; only this differs.
+enum Admitter {
+    /// Classic mode: one blocking reader thread per connection.
+    Threaded { handlers: Vec<JoinHandle<()>> },
+    /// Reactor mode: round-robin hand-off to epoll worker loops.
+    #[cfg(target_os = "linux")]
+    Reactor {
+        txs: Vec<Sender<NewConn>>,
+        workers: Vec<JoinHandle<()>>,
+        next: usize,
+    },
+}
+
+impl Admitter {
+    fn threaded() -> Admitter {
+        Admitter::Threaded {
+            handlers: Vec::new(),
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn reactor(ctx: &ConnCtx) -> Admitter {
+        let n = ctx.cfg.reactor_workers.max(1);
+        let mut txs = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            let cfg = Arc::clone(&ctx.cfg);
+            let shutdown = Arc::clone(&ctx.shutdown);
+            workers.push(thread::spawn(move || {
+                reactor::run_worker(rx, cfg, shutdown)
+            }));
+            txs.push(tx);
+        }
+        Admitter::Reactor {
+            txs,
+            workers,
+            next: 0,
+        }
+    }
+
+    /// Takes ownership of one admitted connection, already counted in
+    /// `connections_accepted` and `connections_active`.
+    fn admit(&mut self, stream: std::net::TcpStream, conn_ctx: ConnCtx) {
+        match self {
+            Admitter::Threaded { handlers } => {
+                handlers.push(thread::spawn(move || {
+                    let _active = ActiveGuard(Arc::clone(&conn_ctx.stats));
+                    connection::serve(stream, conn_ctx);
+                }));
+            }
+            #[cfg(target_os = "linux")]
+            Admitter::Reactor { txs, next, .. } => {
+                let idx = *next % txs.len();
+                *next = next.wrapping_add(1);
+                let stats = Arc::clone(&conn_ctx.stats);
+                if txs[idx]
+                    .send(NewConn {
+                        stream,
+                        ctx: conn_ctx,
+                    })
+                    .is_err()
+                {
+                    // The worker died (epoll setup failure): shed the
+                    // connection and restore the gauge it was counted in.
+                    // ordering: admission gauge, see ActiveGuard.
+                    stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Reclaims finished per-connection threads (no-op for the
+    /// reactor, whose worker count is fixed).
+    fn reap(&mut self) {
+        if let Admitter::Threaded { handlers } = self {
+            handlers.retain(|h| !h.is_finished());
+        }
+    }
+
+    /// Joins everything the admitter owns. Dropping the reactor
+    /// senders is the workers' signal that no more connections come.
+    fn finish(self) {
+        match self {
+            Admitter::Threaded { handlers } => {
+                for h in handlers {
+                    let _ = h.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            Admitter::Reactor { txs, workers, .. } => {
+                drop(txs);
+                for w in workers {
+                    let _ = w.join();
+                }
+            }
+        }
+    }
+}
+
+/// Backoff after a failed `accept(2)`. Running out of file
+/// descriptors (EMFILE/ENFILE) cannot be fixed by re-calling accept
+/// faster — back off an order of magnitude to give in-flight
+/// connections a chance to close and release fds; everything else
+/// (e.g. ECONNABORTED) retries at the normal poll cadence.
+fn accept_backoff(e: &io::Error, poll_interval: std::time::Duration) -> std::time::Duration {
+    const ENFILE: i32 = 23;
+    const EMFILE: i32 = 24;
+    match e.raw_os_error() {
+        Some(EMFILE) | Some(ENFILE) => (poll_interval * 10)
+            .min(std::time::Duration::from_millis(250))
+            .max(poll_interval),
+        _ => poll_interval,
+    }
+}
+
+/// Cap-checks and counts an accepted connection, then hands it to the
+/// mode's admitter (reader thread or reactor worker).
+fn supervise(stream: std::net::TcpStream, ctx: &ConnCtx, admitter: &mut Admitter) {
+    admitter.reap();
     let active = ctx.stats.connections_active.load(Ordering::Relaxed);
     if active >= ctx.cfg.max_connections as u64 {
         // Shed the connection whole: close immediately so the client
@@ -269,26 +391,36 @@ fn supervise(stream: std::net::TcpStream, ctx: &ConnCtx, handlers: &mut Vec<Join
     ctx.stats.connections_active.fetch_add(1, Ordering::Relaxed);
     let mut conn_ctx = ctx.clone();
     conn_ctx.obs.conn_id = conn_id;
-    handlers.push(thread::spawn(move || {
-        let _active = ActiveGuard(Arc::clone(&conn_ctx.stats));
-        connection::serve(stream, conn_ctx);
-    }));
+    admitter.admit(stream, conn_ctx);
 }
 
-/// Acceptor: non-blocking accept + per-connection thread supervision.
+/// Acceptor: non-blocking accept, admission accounting, and graceful
+/// backlog drain — shared by both serving modes via [`Admitter`].
 fn accept_loop(listener: TcpListener, ctx: ConnCtx) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    #[cfg(target_os = "linux")]
+    let mut admitter = if ctx.cfg.reactor {
+        Admitter::reactor(&ctx)
+    } else {
+        Admitter::threaded()
+    };
+    #[cfg(not(target_os = "linux"))]
+    let mut admitter = Admitter::threaded();
     // ordering: Acquire pairs with the Release store in
     // `Collector::stop`; see the store for the rationale.
     while !ctx.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
-            Ok((stream, _peer)) => supervise(stream, &ctx, &mut handlers),
+            Ok((stream, _peer)) => supervise(stream, &ctx, &mut admitter),
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(ctx.cfg.poll_interval);
             }
-            Err(_) => {
-                // Transient accept error (e.g. EMFILE): back off.
-                thread::sleep(ctx.cfg.poll_interval);
+            Err(e) => {
+                // Failed accept (EMFILE fd exhaustion, ECONNABORTED,
+                // ...): count it — a silently respinning acceptor is
+                // indistinguishable from a healthy idle one — and
+                // back off instead of hammering a condition that
+                // re-calling accept cannot clear.
+                ctx.stats.accept_errors.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
+                thread::sleep(accept_backoff(&e, ctx.cfg.poll_interval));
             }
         }
     }
@@ -302,19 +434,20 @@ fn accept_loop(listener: TcpListener, ctx: ConnCtx) {
     let drain_deadline = Instant::now() + ctx.cfg.drain_grace;
     while Instant::now() < drain_deadline {
         match listener.accept() {
-            Ok((stream, _peer)) => supervise(stream, &ctx, &mut handlers),
+            Ok((stream, _peer)) => supervise(stream, &ctx, &mut admitter),
             // Backlog empty: the drain is complete.
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             // Any other error (ECONNABORTED, EMFILE, ...) says nothing
             // about the backlog; back off and keep draining until the
             // deadline rather than ending the drain early.
-            Err(_) => thread::sleep(ctx.cfg.poll_interval),
+            Err(e) => {
+                ctx.stats.accept_errors.fetch_add(1, Ordering::Relaxed); // ordering: stat, read after join
+                thread::sleep(accept_backoff(&e, ctx.cfg.poll_interval));
+            }
         }
     }
     drop(listener); // stop the OS queueing new connections
-    for h in handlers {
-        let _ = h.join();
-    }
+    admitter.finish();
 }
 
 #[cfg(test)]
@@ -599,6 +732,192 @@ mod tests {
     #[test]
     fn dropping_the_collector_does_not_hang() {
         let collector = start_default();
+        let _sock = TcpStream::connect(collector.local_addr()).unwrap();
+        drop(collector);
+    }
+
+    #[test]
+    fn accept_backoff_slows_down_on_fd_exhaustion() {
+        let poll = Duration::from_millis(10);
+        let emfile = io::Error::from_raw_os_error(24);
+        let enfile = io::Error::from_raw_os_error(23);
+        let aborted = io::Error::from_raw_os_error(103); // ECONNABORTED
+        assert_eq!(accept_backoff(&emfile, poll), Duration::from_millis(100));
+        assert_eq!(accept_backoff(&enfile, poll), Duration::from_millis(100));
+        assert_eq!(accept_backoff(&aborted, poll), poll);
+        // The EMFILE backoff is capped, and never below the poll cadence.
+        let slow = Duration::from_millis(200);
+        assert_eq!(accept_backoff(&emfile, slow), Duration::from_millis(250));
+        let zero = Duration::ZERO;
+        assert_eq!(accept_backoff(&emfile, zero), zero);
+    }
+
+    fn start_reactor(cfg: CollectorConfig) -> Collector {
+        let cfg = CollectorConfig {
+            reactor: true,
+            reactor_workers: 2,
+            ..cfg
+        };
+        let store = Arc::new(Mutex::new(ImpressionStore::new()));
+        Collector::start(cfg, store).expect("bind localhost")
+    }
+
+    /// The reactor daemon serves the binary protocol bit-identically
+    /// to the threaded daemon: same counters, same conservation.
+    #[test]
+    fn reactor_binary_client_round_trips() {
+        let collector = start_reactor(CollectorConfig::default());
+        collector.store().lock().record_served(served(42));
+        let mut sock = TcpStream::connect(collector.local_addr()).unwrap();
+        let stream = encode_frames(&[
+            beacon(42, 0, EventKind::Measurable),
+            beacon(42, 1, EventKind::InView),
+        ])
+        .unwrap();
+        sock.write_all(&stream).unwrap();
+        drop(sock);
+        let ops = collector.shutdown();
+        assert_eq!(ops.collector.frames_decoded, 2);
+        assert_eq!(ops.ingest.beacons, 2);
+        assert!(ops.conserves(2), "{ops:?}");
+        assert_eq!(ops.collector.connections_active, 0);
+        assert_eq!(ops.collector.accept_errors, 0);
+    }
+
+    /// Acked protocol over the reactor: per-frame acks arrive,
+    /// duplicates re-acked, same as the threaded mode.
+    #[test]
+    fn reactor_acked_client_receives_every_ack() {
+        use qtag_wire::sender::{AckDecoder, AckKey, ACK_HELLO};
+        let collector = start_reactor(CollectorConfig::default());
+        collector.store().lock().record_served(served(7));
+        let mut sock = TcpStream::connect(collector.local_addr()).unwrap();
+        sock.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        sock.write_all(&[ACK_HELLO]).unwrap();
+        let stream = encode_frames(&[
+            beacon(7, 0, EventKind::Measurable),
+            beacon(7, 1, EventKind::InView),
+            beacon(7, 0, EventKind::Measurable), // retransmit: re-acked
+        ])
+        .unwrap();
+        sock.write_all(&stream).unwrap();
+        sock.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut raw = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut chunk = [0u8; 64];
+        while raw.len() < 30 && std::time::Instant::now() < deadline {
+            match sock.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&chunk[..n]),
+                Err(_) => {}
+            }
+        }
+        let mut dec = AckDecoder::new();
+        let mut keys = Vec::new();
+        dec.extend(&raw, &mut keys);
+        assert_eq!(keys.len(), 3, "raw ack bytes: {raw:?}");
+        assert!(keys.contains(&AckKey {
+            impression_id: 7,
+            seq: 1
+        }));
+        drop(sock);
+        let ops = collector.shutdown();
+        assert_eq!(ops.collector.acked_connections, 1);
+        assert_eq!(ops.collector.acks_sent, 3);
+        assert!(ops.conserves(3), "{ops:?}");
+    }
+
+    /// JSON sniffing works per connection on the reactor too, and the
+    /// unterminated-tail fix holds over a real socket.
+    #[test]
+    fn reactor_json_client_with_unterminated_tail() {
+        let collector = start_reactor(CollectorConfig::default());
+        let store = Arc::clone(collector.store());
+        store.lock().record_served(served(5));
+        let mut sock = TcpStream::connect(collector.local_addr()).unwrap();
+        let mut payload = json::encode(&beacon(5, 0, EventKind::Measurable)).unwrap();
+        payload.push('\n');
+        // Final beacon: complete JSON, no trailing newline.
+        payload.push_str(&json::encode(&beacon(5, 1, EventKind::InView)).unwrap());
+        sock.write_all(payload.as_bytes()).unwrap();
+        drop(sock);
+        let ops = collector.shutdown();
+        assert_eq!(ops.collector.frames_decoded, 2, "{ops:?}");
+        assert!(ops.conserves(2), "{ops:?}");
+        assert_eq!(store.lock().verdict(5), (true, true));
+    }
+
+    #[test]
+    fn reactor_idle_connection_is_timed_out() {
+        let collector = start_reactor(CollectorConfig {
+            read_timeout: Duration::from_millis(50),
+            poll_interval: Duration::from_millis(10),
+            ..CollectorConfig::default()
+        });
+        let _sock = TcpStream::connect(collector.local_addr()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while collector
+            .stats()
+            .connections_timed_out
+            .load(Ordering::Relaxed)
+            == 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let ops = collector.shutdown();
+        assert_eq!(ops.collector.connections_timed_out, 1);
+        assert_eq!(ops.collector.connections_active, 0);
+    }
+
+    /// Many concurrent clients on a two-worker reactor: every beacon
+    /// from every connection lands, conservation exact.
+    #[test]
+    fn reactor_fan_in_conserves_across_many_connections() {
+        const CONNS: u64 = 64;
+        let store = ShardedStore::new(4);
+        for id in 0..CONNS {
+            store.record_served(served(id));
+        }
+        let cfg = CollectorConfig {
+            reactor: true,
+            reactor_workers: 2,
+            max_connections: 1024,
+            ..CollectorConfig::default()
+        };
+        let collector = Collector::start_sharded(cfg, store.clone()).unwrap();
+        let addr = collector.local_addr();
+        let clients: Vec<_> = (0..CONNS)
+            .map(|id| {
+                std::thread::spawn(move || {
+                    let mut sock = TcpStream::connect(addr).unwrap();
+                    let frames = encode_frames(&[
+                        beacon(id, 0, EventKind::Measurable),
+                        beacon(id, 1, EventKind::InView),
+                    ])
+                    .unwrap();
+                    // Two writes to exercise partial-stream reads.
+                    sock.write_all(&frames[..frames.len() / 2]).unwrap();
+                    sock.write_all(&frames[frames.len() / 2..]).unwrap();
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        let ops = collector.shutdown();
+        assert_eq!(ops.collector.connections_accepted, CONNS);
+        assert_eq!(ops.collector.connections_active, 0, "{ops:?}");
+        assert_eq!(ops.collector.accept_errors, 0, "{ops:?}");
+        assert!(ops.conserves(2 * CONNS), "{ops:?}");
+        assert!(ops.decode_accounted(), "{ops:?}");
+        assert_eq!(store.unique_beacons(), 2 * CONNS);
+    }
+
+    #[test]
+    fn reactor_dropping_the_collector_does_not_hang() {
+        let collector = start_reactor(CollectorConfig::default());
         let _sock = TcpStream::connect(collector.local_addr()).unwrap();
         drop(collector);
     }

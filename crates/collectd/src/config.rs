@@ -49,6 +49,22 @@ pub struct CollectorConfig {
     /// oldest events when full; it never blocks or allocates on the
     /// hot path.
     pub trace_capacity: usize,
+    /// Serve connections on an epoll reactor (a few worker event
+    /// loops, one non-blocking state machine per connection) instead
+    /// of one blocking reader thread per connection. Identical wire
+    /// protocol and accounting; the reactor is what lets one daemon
+    /// hold tens of thousands of mostly-idle sockets.
+    pub reactor: bool,
+    /// Reactor event-loop threads. Connections are spread
+    /// round-robin at accept time; each worker owns its connections
+    /// for life (no migration, no cross-worker locking).
+    pub reactor_workers: usize,
+    /// Per-connection cap, in bytes, on acks buffered towards a slow
+    /// acked client (reactor mode). Above the cap the connection's
+    /// *reads* are paused until the client drains its ack backlog —
+    /// backpressure flows to the sender instead of into daemon
+    /// memory.
+    pub ack_buffer_cap: usize,
 }
 
 impl Default for CollectorConfig {
@@ -64,6 +80,9 @@ impl Default for CollectorConfig {
             batch: qtag_server::DEFAULT_BATCH,
             drain_grace: Duration::from_millis(250),
             trace_capacity: 4096,
+            reactor: false,
+            reactor_workers: 2,
+            ack_buffer_cap: 64 * 1024,
         }
     }
 }

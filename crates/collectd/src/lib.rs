@@ -7,10 +7,18 @@
 //! protocol on the same port, feeding decoded beacons into
 //! [`qtag_server::IngestService`] through its bounded inlet.
 //!
-//! Shape: a non-blocking acceptor thread supervises one OS thread per
-//! connection (ingestion is parse-bound, not IO-bound, so
-//! thread-per-connection with blocking reads-with-timeout is the
-//! simplest correct shape — no async runtime in the dependency tree).
+//! Two serving shapes share one protocol engine and one acceptor:
+//!
+//! - **Threaded** (default): the acceptor supervises one OS thread per
+//!   connection with blocking reads-with-timeout — the simplest
+//!   correct shape while connection counts are modest (no async
+//!   runtime in the dependency tree).
+//! - **Reactor** ([`CollectorConfig::reactor`]): a few epoll worker
+//!   loops drive non-blocking per-connection state machines
+//!   (`reactor.rs`), which is what lets one daemon hold tens of
+//!   thousands of mostly-idle sockets without ten thousand stacks.
+//!
+//! Both modes decode through the same engine and account identically.
 //! Every hand-off is a crossbeam channel; overload is shed at the
 //! bounded inlet and *counted*, never silently dropped, so the
 //! end-to-end conservation identity
@@ -33,6 +41,8 @@
 mod collector;
 mod config;
 mod connection;
+#[cfg(target_os = "linux")]
+mod reactor;
 mod stats;
 pub mod sync;
 
@@ -40,7 +50,11 @@ pub use collector::Collector;
 pub use config::CollectorConfig;
 pub use stats::{CollectorStats, CollectorStatsSnapshot, IngestMetrics, IngestStats, OpsSnapshot};
 
-// Socket-free session driver for the qtag_check schedule-exploration
-// models (`tests/check_models.rs`); not part of the supported API.
+// Socket-free session drivers for the qtag_check schedule-exploration
+// models (`tests/check_models.rs`) and the reactor-vs-threaded
+// equivalence suite; not part of the supported API.
 #[doc(hidden)]
 pub use connection::serve_binary_chunks;
+#[doc(hidden)]
+#[cfg(target_os = "linux")]
+pub use reactor::{reactor_chunks, reactor_virtual_fleet};

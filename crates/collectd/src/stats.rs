@@ -30,6 +30,8 @@ qtag_obs::counters! {
         acked_connections: counter("Connections that opted into the acked binary protocol by leading with the ACK_HELLO byte."),
         acks_sent: counter("Per-frame acknowledgements written back to acked clients (one per inlet-accepted frame, including re-acked duplicates)."),
         ack_flushes: counter("Coalesced ack writes: each is one write_all carrying every ack generated during one read iteration. The amortisation ratio is acks_sent / ack_flushes."),
+        accept_errors: counter("accept(2) failures other than an empty backlog (EMFILE/ENFILE fd exhaustion, ECONNABORTED, ...). Each earns a backoff sleep instead of a hot respin; sustained growth means the daemon is shedding accepts under fd pressure."),
+        ack_backpressure_pauses: counter("Reactor connections whose reads were paused because the pending-ack write buffer exceeded ack_buffer_cap (a client reading its acks too slowly); each pause-resume cycle counts once."),
     }
 }
 

@@ -16,6 +16,8 @@
 use qtag_check::sync::atomic::AtomicBool;
 use qtag_check::sync::thread;
 use qtag_check::Builder;
+#[cfg(target_os = "linux")]
+use qtag_collectd::reactor_chunks;
 use qtag_collectd::{serve_binary_chunks, CollectorConfig, CollectorStats, OpsSnapshot};
 use qtag_server::sync::Arc;
 use qtag_server::{IngestConfig, IngestService, ServedImpression, ShardedStore};
@@ -177,6 +179,90 @@ fn two_connections_conserve_jointly() {
         for c in conns {
             c.join().unwrap();
         }
+        let ops = OpsSnapshot {
+            collector: r.stats.snapshot(),
+            ingest: ingest_stats.snapshot(),
+        };
+        assert!(ops.conserves(2), "conservation violated: {ops:?}");
+        assert!(ops.decode_accounted(), "decode accounting broken: {ops:?}");
+        assert_eq!(r.store.unique_beacons(), ops.ingest.beacons);
+    });
+    assert!(report.schedules > 1, "schedules: {}", report.schedules);
+}
+
+/// The reactor's non-blocking state machine racing the ingest
+/// shutdown — the reactor twin of [`drain_vs_shutdown_conserves`].
+/// `reactor_chunks` runs the real `ConnState` read/flush path (scripted
+/// IO with partial 4-byte ack writes), so every interleaving of its
+/// inlet offers against the applier and the shutdown drain must keep
+/// the identity balanced, acked mode included.
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_drain_vs_shutdown_conserves() {
+    let report = Builder::bounded(2).check(|| {
+        let r = rig();
+        let ingest_stats = Arc::clone(r.service.stats_arc());
+        let inlet = r.service.inlet();
+        let mut bytes = vec![qtag_wire::sender::ACK_HELLO];
+        bytes.extend(encode_frames(&[beacon(1, 0), beacon(2, 0)]).unwrap());
+        let cut = bytes.len() / 2;
+        let chunks = vec![bytes[..cut].to_vec(), bytes[cut..].to_vec()];
+        let stats = Arc::clone(&r.stats);
+        let cfg = Arc::clone(&r.cfg);
+        let shutdown = Arc::clone(&r.shutdown);
+        let conn = thread::spawn(move || reactor_chunks(cfg, stats, inlet, shutdown, &chunks, 4));
+        r.service.shutdown();
+        let acks = conn.join().unwrap();
+        let ops = OpsSnapshot {
+            collector: r.stats.snapshot(),
+            ingest: ingest_stats.snapshot(),
+        };
+        assert!(ops.conserves(2), "conservation violated: {ops:?}");
+        assert!(ops.decode_accounted(), "decode accounting broken: {ops:?}");
+        assert_eq!(ops.collector.acked_connections, 1, "{ops:?}");
+        // Every beacon the inlet accepted was acked in full, through
+        // the partial-write cursor, in every interleaving.
+        assert_eq!(
+            acks.len() as u64,
+            ops.ingest.beacons * qtag_wire::sender::ACK_LEN as u64,
+            "{ops:?}"
+        );
+        assert_eq!(r.store.unique_beacons(), ops.ingest.beacons, "{ops:?}");
+    });
+    assert!(report.schedules > 1, "schedules: {}", report.schedules);
+}
+
+/// A threaded connection and a reactor connection share one inlet
+/// while the service shuts down: the two serving shapes must account
+/// jointly — mixed-mode deployments (rolling out `--reactor`) keep
+/// exactly-once semantics.
+#[cfg(target_os = "linux")]
+#[test]
+fn mixed_mode_connections_conserve_jointly() {
+    let report = Builder::bounded(1).check(|| {
+        let r = rig();
+        let ingest_stats = Arc::clone(r.service.stats_arc());
+        let threaded = {
+            let chunks = vec![encode_frames(&[beacon(1, 0)]).unwrap()];
+            let stats = Arc::clone(&r.stats);
+            let cfg = Arc::clone(&r.cfg);
+            let shutdown = Arc::clone(&r.shutdown);
+            let inlet = r.service.inlet();
+            thread::spawn(move || serve_binary_chunks(cfg, stats, inlet, shutdown, &chunks))
+        };
+        let reactor = {
+            let chunks = vec![encode_frames(&[beacon(2, 0)]).unwrap()];
+            let stats = Arc::clone(&r.stats);
+            let cfg = Arc::clone(&r.cfg);
+            let shutdown = Arc::clone(&r.shutdown);
+            let inlet = r.service.inlet();
+            thread::spawn(move || {
+                reactor_chunks(cfg, stats, inlet, shutdown, &chunks, 4);
+            })
+        };
+        r.service.shutdown();
+        threaded.join().unwrap();
+        reactor.join().unwrap();
         let ops = OpsSnapshot {
             collector: r.stats.snapshot(),
             ingest: ingest_stats.snapshot(),

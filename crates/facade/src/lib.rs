@@ -59,6 +59,11 @@ pub mod server {
     pub use qtag_server::*;
 }
 
+/// The beacon-collector daemon (threaded and epoll-reactor modes).
+pub mod collectd {
+    pub use qtag_collectd::*;
+}
+
 /// Durable impression storage (per-shard WAL, snapshots, rollups).
 pub mod store {
     pub use qtag_store::*;

@@ -1,0 +1,428 @@
+//! Offline stand-in for `mio`.
+//!
+//! A minimal readiness API over raw Linux `epoll`, shaped like the
+//! subset of mio the workspace uses: [`Poll`], [`Events`], [`Token`]
+//! and [`Interest`], registering anything that is [`AsRawFd`]. The
+//! syscalls are declared directly (`extern "C"` against the libc the
+//! platform already links) so the crate stays dependency-free and
+//! builds offline.
+//!
+//! Deviations from real mio, chosen for a smaller correct surface:
+//!
+//! - **Level-triggered**, not edge-triggered: an event keeps firing
+//!   while the condition holds, so a handler that stops reading (e.g.
+//!   for backpressure) simply sees the event again on the next wait.
+//! - Registration takes `&impl AsRawFd` rather than a `Source` trait;
+//!   the caller owns fd lifetimes and must `deregister` (or close)
+//!   before dropping a registered fd.
+//! - `Poll::poll` surfaces `EINTR` as an error for the caller to
+//!   retry; it never tears state down.
+//!
+//! Linux-only: the readiness reactor this backs is gated to platforms
+//! with epoll.
+
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+#[allow(non_camel_case_types)]
+type c_int = i32;
+
+// Kernel ABI constants (uapi/linux/eventpoll.h).
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// `struct epoll_event`: packed on x86-64 (the kernel ABI demands it
+/// there), naturally aligned elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Caller-chosen identifier carried by every readiness event for the
+/// registered fd (typically a slab index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// What to watch a registration for. Combine with `|`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// Readiness to read (includes peer half-close notification).
+    pub const READABLE: Interest = Interest(EPOLLIN | EPOLLRDHUP);
+    /// Readiness to write.
+    pub const WRITABLE: Interest = Interest(EPOLLOUT);
+
+    fn mask(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// One readiness event delivered by [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    flags: u32,
+}
+
+impl Event {
+    /// The token the fd was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Data (or EOF/err — both unblock a read) can be read.
+    pub fn is_readable(&self) -> bool {
+        self.flags & (EPOLLIN | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// The socket can accept writes (or erred — a write will tell).
+    pub fn is_writable(&self) -> bool {
+        self.flags & (EPOLLOUT | EPOLLERR) != 0
+    }
+
+    /// The peer closed (at least) its write half: a read will reach
+    /// EOF once the in-flight bytes are drained.
+    pub fn is_read_closed(&self) -> bool {
+        self.flags & (EPOLLRDHUP | EPOLLHUP) != 0
+    }
+
+    /// The fd is in an error state (e.g. connection reset).
+    pub fn is_error(&self) -> bool {
+        self.flags & EPOLLERR != 0
+    }
+}
+
+/// Reusable buffer of readiness events.
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Number of events delivered by the last poll.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the last poll delivered nothing (pure timeout).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the events of the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|e| Event {
+            token: Token(e.data as usize),
+            flags: e.events,
+        })
+    }
+}
+
+/// An epoll instance: register fds, then wait for readiness.
+#[derive(Debug)]
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    /// Creates the epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poll> {
+        // SAFETY: plain syscall, no pointers.
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poll { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, event: Option<&mut EpollEvent>) -> io::Result<()> {
+        let ptr = event.map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+        // SAFETY: `ptr` is null only for EPOLL_CTL_DEL (where the
+        // kernel ignores it) and otherwise points at a live stack
+        // value for the duration of the call.
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, ptr) })?;
+        Ok(())
+    }
+
+    /// Starts watching `source` for `interests`, tagging its events
+    /// with `token`.
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interests.mask(),
+            data: token.0 as u64,
+        };
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), Some(&mut ev))
+    }
+
+    /// Replaces the interest set (and token) of a registered fd.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interests.mask(),
+            data: token.0 as u64,
+        };
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), Some(&mut ev))
+    }
+
+    /// Stops watching a registered fd.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+
+    /// Blocks until at least one event is ready or `timeout` elapses
+    /// (`None` waits forever). Returns the number of events delivered
+    /// into `events` — `0` means the timeout fired. `EINTR` is
+    /// returned as `ErrorKind::Interrupted` for the caller to retry.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            Some(d) => {
+                // Round a sub-millisecond timeout up to 1 ms so a
+                // short timeout never degenerates into a busy spin.
+                let ms = d.as_millis();
+                if ms == 0 && !d.is_zero() {
+                    1
+                } else {
+                    ms.min(c_int::MAX as u128) as c_int
+                }
+            }
+        };
+        events.len = 0;
+        // SAFETY: the buffer outlives the call and maxevents matches
+        // its length.
+        let n = cvt(unsafe {
+            epoll_wait(
+                self.epfd,
+                events.buf.as_mut_ptr(),
+                events.buf.len() as c_int,
+                timeout_ms,
+            )
+        })?;
+        events.len = n as usize;
+        Ok(events.len)
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        // SAFETY: closing the fd we created; no further use follows.
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// Socket types re-exported for signature compatibility with real mio
+/// call sites (the stand-in registers plain `std::net` sockets).
+pub mod net {
+    pub use std::net::{TcpListener, TcpStream};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    const T_LISTENER: Token = Token(0);
+    const T_CONN: Token = Token(1);
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let poll = Poll::new().unwrap();
+        poll.register(&listener, T_LISTENER, Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing connected yet: pure timeout.
+        let n = poll
+            .poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token(), T_LISTENER);
+        assert!(ev.is_readable());
+        assert!(!ev.is_read_closed());
+    }
+
+    #[test]
+    fn stream_readability_tracks_data_and_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poll = Poll::new().unwrap();
+        poll.register(&server, T_CONN, Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        client.write_all(b"hello").unwrap();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events.iter().next().unwrap().is_readable());
+
+        // Level-triggered: unread data keeps the event firing.
+        let n = poll
+            .poll(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert_eq!(n, 1, "level-triggered events must re-fire while unread");
+
+        let mut s = server;
+        let mut buf = [0u8; 16];
+        assert_eq!(s.read(&mut buf).unwrap(), 5);
+
+        // Drained and still open: quiet again.
+        let n = poll
+            .poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        // Peer close surfaces as readable + read-closed.
+        drop(client);
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert!(ev.is_readable());
+        assert!(ev.is_read_closed());
+        assert_eq!(s.read(&mut buf).unwrap(), 0, "read reaches EOF");
+    }
+
+    #[test]
+    fn writable_interest_and_reregister() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poll = Poll::new().unwrap();
+        // Watch both directions: an idle healthy socket is writable.
+        poll.register(&server, T_CONN, Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        let n = poll
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert!(ev.is_writable());
+        assert!(!ev.is_readable());
+
+        // Narrow back to read interest: the writable event stops.
+        poll.reregister(&server, T_CONN, Interest::READABLE)
+            .unwrap();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        // Deregister: even incoming data no longer wakes the poll.
+        poll.deregister(&server).unwrap();
+        let mut client = client;
+        client.write_all(b"x").unwrap();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn tokens_distinguish_many_sources() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poll = Poll::new().unwrap();
+        let mut clients = Vec::new();
+        let mut servers = Vec::new();
+        for i in 0..16usize {
+            let mut c = TcpStream::connect(addr).unwrap();
+            let (s, _) = listener.accept().unwrap();
+            s.set_nonblocking(true).unwrap();
+            poll.register(&s, Token(100 + i), Interest::READABLE)
+                .unwrap();
+            if i % 2 == 0 {
+                c.write_all(b"ping").unwrap();
+            }
+            clients.push(c);
+            servers.push(s);
+        }
+        let mut events = Events::with_capacity(32);
+        let mut seen = std::collections::BTreeSet::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while seen.len() < 8 && std::time::Instant::now() < deadline {
+            poll.poll(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            for ev in events.iter() {
+                assert!(ev.is_readable());
+                seen.insert(ev.token().0);
+            }
+            // Drain so level-triggered events stop re-firing.
+            for ev in events.iter() {
+                let mut buf = [0u8; 8];
+                let _ = Read::read(&mut &servers[ev.token().0 - 100], &mut buf);
+            }
+        }
+        let expect: std::collections::BTreeSet<usize> =
+            (0..16).filter(|i| i % 2 == 0).map(|i| 100 + i).collect();
+        assert_eq!(seen, expect);
+    }
+}
