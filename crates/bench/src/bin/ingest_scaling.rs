@@ -33,7 +33,7 @@
 //! aggregation path.
 //!
 //! `--bench-json PATH` writes the machine-readable summary tracked in
-//! `BENCH_ingest.json`.
+//! `results/BENCH_ingest.json`.
 
 use qtag_bench::output::ExperimentOutput;
 use qtag_obs::Registry;

@@ -4,7 +4,7 @@ use qtag_adtech::BlockerKind;
 use qtag_core::{QTag, QTagConfig};
 use qtag_dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
 use qtag_geometry::{Point, Rect, Size};
-use qtag_render::{CpuLoadModel, DeviceProfile, Engine, EngineConfig, SimDuration};
+use qtag_render::{CpuLoadModel, DeviceProfile, Engine, EngineConfig, RenderMode, SimDuration};
 use qtag_wire::{EventKind, OsKind};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -168,6 +168,7 @@ pub fn run_inapp_test(seed: u64) -> InAppOutcome {
                 profile: DeviceProfile::in_app_webview(OsKind::Android, true),
                 cpu: CpuLoadModel::idle(),
                 seed: seed + i as u64,
+                mode: RenderMode::Indexed,
             },
             screen,
         );

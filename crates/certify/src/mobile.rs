@@ -9,7 +9,7 @@
 use qtag_core::{QTag, QTagConfig};
 use qtag_dom::{Origin, Page, Screen, WindowKind};
 use qtag_geometry::{Point, Rect, Size, Vector};
-use qtag_render::{CpuLoadModel, DeviceProfile, Engine, EngineConfig, SimDuration};
+use qtag_render::{CpuLoadModel, DeviceProfile, Engine, EngineConfig, RenderMode, SimDuration};
 use qtag_wire::{EventKind, OsKind};
 use serde::Serialize;
 
@@ -100,6 +100,7 @@ pub fn run_mobile_scenario(scenario: MobileScenario, os: OsKind, seed: u64) -> S
                 amplitude: 0.10,
             },
             seed,
+            mode: RenderMode::Indexed,
         },
         screen,
     );
@@ -212,6 +213,7 @@ mod tests {
                 profile: DeviceProfile::in_app_webview(OsKind::Android, true),
                 cpu: CpuLoadModel::idle(),
                 seed: 1,
+                mode: RenderMode::Indexed,
             },
             screen,
         );

@@ -4,7 +4,7 @@
 use qtag_core::{QTag, QTagConfig};
 use qtag_dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
 use qtag_geometry::{Rect, Size, Vector};
-use qtag_render::{CpuLoadModel, DeviceProfile, Engine, EngineConfig, SimDuration};
+use qtag_render::{CpuLoadModel, DeviceProfile, Engine, EngineConfig, RenderMode, SimDuration};
 use qtag_wire::{AdFormat, BrowserKind, EventKind, OsKind};
 use serde::Serialize;
 
@@ -218,6 +218,7 @@ pub fn run_scenario(
                 amplitude: 0.10,
             },
             seed,
+            mode: RenderMode::Indexed,
         },
         screen,
     );

@@ -35,6 +35,15 @@
 //!   gets non-blocking reads, cursor-tracked partial writes, and
 //!   `try_recv` hand-offs; sleeps and deadline waits belong to the
 //!   acceptor (`collector.rs`) or the poll timeout.
+//! - **R6 tick-no-alloc**: render hot-path files (the engine's tick
+//!   loop and the spatial index) must not heap-allocate per frame —
+//!   `Vec::new`/`vec![`/`HashMap::new`/`format!`/`.collect()`/
+//!   `.resize(`/… are banned outside an allowlist of setup and
+//!   teardown functions (`new`, `attach_script`, `rebuild`, …) plus
+//!   `tick_naive`, which is the deliberately-allocating measured
+//!   baseline. The per-frame path works exclusively through reused
+//!   scratch buffers (`clear()` + `push()` retain capacity), which is
+//!   what lets one process hold a million resident sessions.
 //!
 //! Findings are aggregated to stable keys (`rule|path|detail|count`,
 //! no line numbers, so unrelated edits don't churn the file) and
@@ -120,6 +129,47 @@ const REACTOR_BLOCKING_TOKENS: &[&str] = &[
     ".lock()",
     ".recv()",
     ".join()",
+];
+
+/// Files whose non-test code is the per-frame render hot path (R6).
+const HOT_PATH_FILES: &[&str] = &["render/src/engine.rs", "render/src/spatial.rs"];
+
+/// Heap-allocating constructs banned from the render tick path (R6).
+/// Lexical: `.push(`/`.clear(` are deliberately absent — on a reused
+/// scratch buffer they retain capacity and are the sanctioned idiom.
+const TICK_ALLOC_TOKENS: &[&str] = &[
+    "Vec::new(",
+    "vec![",
+    "HashMap::new(",
+    "HashSet::new(",
+    "BTreeMap::new(",
+    "Box::new(",
+    "String::new(",
+    "format!(",
+    ".to_string(",
+    ".to_vec(",
+    ".to_owned(",
+    ".collect(",
+    "with_capacity(",
+    ".resize(",
+    ".entry(",
+];
+
+/// Functions in hot-path files allowed to allocate (R6): construction,
+/// script attach/detach, outbox draining, slot growth in the index's
+/// mutation path, grid rebuilds — none of them run on the per-frame
+/// fast path. `tick_naive` is the measured full-walk baseline and
+/// allocates by design (its doc comment says "do not optimise it").
+const TICK_ALLOC_ALLOWLIST: &[(&str, &str)] = &[
+    ("render/src/engine.rs", "new"),
+    ("render/src/engine.rs", "attach_script"),
+    ("render/src/engine.rs", "probe_paint_counts"),
+    ("render/src/engine.rs", "drain_outbox"),
+    ("render/src/engine.rs", "click_at"),
+    ("render/src/engine.rs", "tick_naive"),
+    ("render/src/spatial.rs", "new"),
+    ("render/src/spatial.rs", "insert"),
+    ("render/src/spatial.rs", "rebuild"),
 ];
 
 struct SourceFile {
@@ -559,6 +609,39 @@ fn check_r5(f: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+fn check_r6(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !HOT_PATH_FILES.iter().any(|h| f.rel.ends_with(h)) {
+        return;
+    }
+    for i in 0..f.test_start {
+        let line = &f.lines[i];
+        if is_comment_line(line) {
+            continue;
+        }
+        for token in TICK_ALLOC_TOKENS {
+            if !line.contains(token) {
+                continue;
+            }
+            let func = nearest_fn(&f.lines, i);
+            let allowed = TICK_ALLOC_ALLOWLIST
+                .iter()
+                .any(|(file, name)| f.rel.ends_with(file) && *name == func);
+            if !allowed {
+                out.push(Finding {
+                    rule: "R6",
+                    path: f.rel.clone(),
+                    line: i + 1,
+                    detail: format!(
+                        "{} heap-allocates in render hot path fn {}",
+                        token.trim_matches(['.', '(', '[', '!']),
+                        func
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Runs all rules over the workspace rooted at `root`.
 pub fn run(root: &Path) -> Vec<Finding> {
     let ws = gather(root);
@@ -569,6 +652,7 @@ pub fn run(root: &Path) -> Vec<Finding> {
         check_r3(f, &mut findings);
         check_r4(f, &mut findings);
         check_r5(f, &mut findings);
+        check_r6(f, &mut findings);
     }
     findings.sort_by(|a, b| {
         (a.rule, &a.path, a.line, &a.detail).cmp(&(b.rule, &b.path, b.line, &b.detail))
@@ -832,6 +916,89 @@ mod tests {
         let mut out = Vec::new();
         check_r5(&f, &mut out);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn r6_flags_allocation_only_in_hot_path_files() {
+        let lines: Vec<String> = vec![
+            "fn tick_indexed(&mut self) {".into(),
+            "    let mut extra = Vec::new();".into(),
+            "    let ids: Vec<u32> = xs.iter().collect();".into(),
+            "    self.query_scratch.clear(); // reuse: fine".into(),
+            "    self.query_scratch.push(3); // reuse: fine".into(),
+            "}".into(),
+            "fn tick_naive(&mut self) {".into(),
+            "    let mut m = HashMap::new(); // measured baseline".into(),
+            "}".into(),
+            "pub fn attach_script(&mut self) {".into(),
+            "    self.pages.push(Vec::new()); // setup path".into(),
+            "}".into(),
+        ];
+        let mut out = Vec::new();
+        // Same tokens outside a hot-path file are R6-exempt.
+        check_r6(
+            &SourceFile {
+                rel: "crates/server/src/ingest.rs".into(),
+                lines: lines.clone(),
+                test_start: lines.len(),
+            },
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+        let test_start = lines.len();
+        check_r6(
+            &SourceFile {
+                rel: "crates/render/src/engine.rs".into(),
+                lines,
+                test_start,
+            },
+            &mut out,
+        );
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|f| f.rule == "R6"));
+        assert!(out.iter().all(|f| f.detail.contains("tick_indexed")));
+        assert!(out.iter().any(|f| f.detail.contains("Vec::new")), "{out:?}");
+        assert!(out.iter().any(|f| f.detail.contains("collect")), "{out:?}");
+    }
+
+    #[test]
+    fn r6_exempts_test_regions_and_spatial_mutation_paths() {
+        let f = SourceFile {
+            rel: "crates/render/src/spatial.rs".into(),
+            lines: vec![
+                "pub fn insert(&mut self, id: u32, rect: Rect) {".into(),
+                "    self.items.resize(slot + 1, None); // slot growth".into(),
+                "}".into(),
+                "pub fn query(&self, rect: &Rect, out: &mut Vec<u32>) {".into(),
+                "    out.clear();".into(),
+                "}".into(),
+                "#[cfg(test)]".into(),
+                "mod tests {".into(),
+                "    fn t() { let v = vec![1, 2]; }".into(),
+                "}".into(),
+            ],
+            test_start: 6,
+        };
+        let mut out = Vec::new();
+        check_r6(&f, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn r6_flags_query_path_allocation_in_the_index() {
+        let f = SourceFile {
+            rel: "crates/render/src/spatial.rs".into(),
+            lines: vec![
+                "pub fn query(&self, rect: &Rect) -> Vec<u32> {".into(),
+                "    self.cells.iter().flatten().copied().collect()".into(),
+                "}".into(),
+            ],
+            test_start: 3,
+        };
+        let mut out = Vec::new();
+        check_r6(&f, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].detail.contains("query"));
     }
 
     #[test]

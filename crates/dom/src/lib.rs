@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 mod element;
+mod epoch;
 mod error;
 mod ids;
 mod origin;

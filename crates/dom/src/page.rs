@@ -1,5 +1,6 @@
 //! Pages and frames: the browsing-context tree.
 
+use crate::epoch::next_epoch;
 use crate::{DomError, Element, ElementKind, ElementRef, FrameId, Origin};
 use qtag_geometry::{Rect, Size, Vector};
 
@@ -61,6 +62,15 @@ impl Frame {
 pub struct Page {
     frames: Vec<Frame>,
     root: FrameId,
+    /// Stamp of the last mutation of *any* kind (scrolls included).
+    /// Drawn from the process-wide epoch counter — see [`crate::epoch`].
+    mutation_epoch: u64,
+    /// Stamp of the last mutation that can move content relative to
+    /// **root-document coordinates**: adding/moving elements, embedding
+    /// iframes, scrolling *inner* frames. Root-frame scrolls bump only
+    /// `mutation_epoch` — projections to root-document space exclude
+    /// the root scroll, so layout-keyed caches survive page scrolling.
+    layout_epoch: u64,
 }
 
 impl Page {
@@ -78,12 +88,42 @@ impl Page {
         Page {
             frames: vec![root],
             root: FrameId(0),
+            mutation_epoch: next_epoch(),
+            layout_epoch: next_epoch(),
         }
     }
 
     /// The root frame handle.
     pub fn root(&self) -> FrameId {
         self.root
+    }
+
+    /// Stamp of the last mutation of any kind (scrolls included). Equal
+    /// stamps prove the page is observably unchanged; see
+    /// [`crate::epoch`] for why stamps are process-unique.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutation_epoch
+    }
+
+    /// Stamp of the last mutation that can move content in
+    /// root-document coordinates (everything except root-frame
+    /// scrolls). Spatial indexes over root-document space are valid
+    /// exactly as long as this stamp holds still.
+    pub fn layout_epoch(&self) -> u64 {
+        self.layout_epoch
+    }
+
+    /// Marks a mutation that may have moved content relative to the
+    /// root document (pessimistic: callers need not prove movement).
+    fn touch_layout(&mut self) {
+        self.layout_epoch = next_epoch();
+        self.mutation_epoch = self.layout_epoch;
+    }
+
+    /// Marks a mutation that leaves root-document layout intact (a
+    /// root-frame scroll: the view moved, the content did not).
+    fn touch_view(&mut self) {
+        self.mutation_epoch = next_epoch();
     }
 
     /// Number of frames in the page.
@@ -113,8 +153,10 @@ impl Page {
     }
 
     /// Mutable element access (experiment scripts move ads around with
-    /// this; production code never needs it).
+    /// this; production code never needs it). Pessimistically counts as
+    /// a layout mutation — the caller may move an iframe element's box.
     pub fn element_mut(&mut self, eref: ElementRef) -> Result<&mut Element, DomError> {
+        self.touch_layout();
         self.frame_mut(eref.frame)?
             .elements
             .get_mut(eref.index as usize)
@@ -129,10 +171,12 @@ impl Page {
     ) -> Result<ElementRef, DomError> {
         let f = self.frame_mut(frame)?;
         f.elements.push(element);
-        Ok(ElementRef {
+        let eref = ElementRef {
             frame,
             index: (f.elements.len() - 1) as u32,
-        })
+        };
+        self.touch_layout();
+        Ok(eref)
     }
 
     /// Creates a new, not-yet-embedded frame (a child document that has
@@ -147,6 +191,7 @@ impl Page {
             elements: Vec::new(),
             parent: None,
         });
+        self.touch_layout();
         id
     }
 
@@ -185,6 +230,7 @@ impl Page {
             ),
         )?;
         self.frames[child.0 as usize].parent = Some((parent, eref.index));
+        self.touch_layout();
         Ok(eref)
     }
 
@@ -196,10 +242,18 @@ impl Page {
         offset: Vector,
         view: Size,
     ) -> Result<(), DomError> {
+        let root = self.root;
         let f = self.frame_mut(frame)?;
         let max_x = (f.doc_size.width - view.width).max(0.0);
         let max_y = (f.doc_size.height - view.height).max(0.0);
         f.scroll = Vector::new(offset.dx.clamp(0.0, max_x), offset.dy.clamp(0.0, max_y));
+        // Root scrolls move the viewport, not the layout; inner-frame
+        // scrolls shift child content in root-document coordinates.
+        if frame == root {
+            self.touch_view();
+        } else {
+            self.touch_layout();
+        }
         Ok(())
     }
 
@@ -521,6 +575,68 @@ mod tests {
             page.element(e).unwrap().rect,
             Rect::new(5.0, 5.0, 10.0, 10.0)
         );
+    }
+
+    #[test]
+    fn root_scroll_bumps_mutation_but_not_layout() {
+        let mut page = Page::new(Origin::https("a"), Size::new(1000.0, 3000.0));
+        let m0 = page.mutation_epoch();
+        let l0 = page.layout_epoch();
+        page.scroll_frame_to(
+            page.root(),
+            Vector::new(0.0, 100.0),
+            Size::new(1000.0, 800.0),
+        )
+        .unwrap();
+        assert_ne!(page.mutation_epoch(), m0, "root scroll is a mutation");
+        assert_eq!(page.layout_epoch(), l0, "root scroll leaves layout alone");
+    }
+
+    #[test]
+    fn inner_scroll_and_structure_bump_layout() {
+        let mut page = Page::new(Origin::https("a"), Size::new(1000.0, 1000.0));
+        let l0 = page.layout_epoch();
+        let child = page.create_frame(Origin::https("b"), Size::new(100.0, 500.0));
+        let l1 = page.layout_epoch();
+        assert_ne!(l1, l0);
+        page.embed_iframe(page.root(), child, Rect::new(0.0, 0.0, 100.0, 100.0))
+            .unwrap();
+        let l2 = page.layout_epoch();
+        assert_ne!(l2, l1);
+        page.scroll_frame_to(child, Vector::new(0.0, 50.0), Size::new(100.0, 100.0))
+            .unwrap();
+        let l3 = page.layout_epoch();
+        assert_ne!(l3, l2, "inner scroll moves content in root coords");
+        assert_eq!(
+            page.mutation_epoch(),
+            l3,
+            "layout bumps imply mutation bumps"
+        );
+    }
+
+    #[test]
+    fn element_mutation_bumps_layout() {
+        let mut page = Page::new(Origin::https("a"), Size::new(100.0, 100.0));
+        let e = page
+            .add_element(
+                page.root(),
+                Element::new("ad", ElementKind::Creative, Rect::new(0.0, 0.0, 10.0, 10.0)),
+            )
+            .unwrap();
+        let l0 = page.layout_epoch();
+        page.element_mut(e).unwrap().rect = Rect::new(5.0, 5.0, 10.0, 10.0);
+        assert_ne!(page.layout_epoch(), l0);
+    }
+
+    #[test]
+    fn epochs_are_process_unique_across_pages() {
+        let a = Page::new(Origin::https("a"), Size::new(1.0, 1.0));
+        let b = Page::new(Origin::https("b"), Size::new(1.0, 1.0));
+        assert_ne!(a.mutation_epoch(), b.mutation_epoch());
+        assert_ne!(a.layout_epoch(), b.layout_epoch());
+        // Clones are content-identical, so sharing stamps is sound.
+        let c = a.clone();
+        assert_eq!(a.mutation_epoch(), c.mutation_epoch());
     }
 
     #[test]

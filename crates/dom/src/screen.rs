@@ -1,5 +1,6 @@
 //! The screen: physical display bounds, window stack and focus.
 
+use crate::epoch::next_epoch;
 use crate::{DomError, Window, WindowId, WindowKind, WindowState};
 use qtag_geometry::{Rect, Size, Vector};
 
@@ -17,6 +18,16 @@ pub struct Screen {
     /// Bottom → top stacking order of non-minimised windows.
     z_order: Vec<WindowId>,
     focused: Option<WindowId>,
+    /// Stamp drawn on every potentially observable change (see
+    /// [`crate::Page::mutation_epoch`] for the epoch contract).
+    ///
+    /// All fields of `Screen` are private, and every mutable path into a
+    /// window, tab or page goes through a `&mut Screen` method — so an
+    /// unchanged stamp proves the *entire scene* (stacking, focus, window
+    /// geometry, tab switches, page content, scrolls) is unchanged. This
+    /// is the one-compare fast path the render engine's static-frame
+    /// short-circuit relies on.
+    epoch: u64,
 }
 
 impl Screen {
@@ -27,7 +38,18 @@ impl Screen {
             windows: Vec::new(),
             z_order: Vec::new(),
             focused: None,
+            epoch: next_epoch(),
         }
+    }
+
+    /// Current scene epoch. Unchanged between two reads ⇒ no `&mut self`
+    /// method ran in between ⇒ nothing the compositor can observe moved.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn touch(&mut self) {
+        self.epoch = next_epoch();
     }
 
     /// A 1920×1080 desktop display.
@@ -57,6 +79,7 @@ impl Screen {
         screen_rect: Rect,
         chrome_height: f64,
     ) -> WindowId {
+        self.touch();
         let id = WindowId(self.windows.len() as u32);
         self.windows.push(Window {
             id,
@@ -83,7 +106,12 @@ impl Screen {
     }
 
     /// Mutable window lookup.
+    ///
+    /// Bumps the scene epoch pessimistically: the caller holds `&mut`
+    /// access to the window (and through it, its tabs and pages), so
+    /// anything may change. Read-only callers should use [`Screen::window`].
     pub fn window_mut(&mut self, id: WindowId) -> Result<&mut Window, DomError> {
+        self.touch();
         self.windows
             .get_mut(id.index())
             .ok_or(DomError::UnknownWindow(id))
@@ -109,18 +137,21 @@ impl Screen {
     /// visibility are independent).
     pub fn focus(&mut self, id: WindowId) -> Result<(), DomError> {
         self.window(id)?;
+        self.touch();
         self.focused = Some(id);
         Ok(())
     }
 
     /// Removes focus from all windows.
     pub fn blur_all(&mut self) {
+        self.touch();
         self.focused = None;
     }
 
     /// Raises `id` to the top of the stack and focuses it.
     pub fn raise(&mut self, id: WindowId) -> Result<(), DomError> {
         self.window(id)?;
+        self.touch();
         self.z_order.retain(|w| *w != id);
         self.z_order.push(id);
         self.focused = Some(id);
@@ -178,6 +209,24 @@ impl Screen {
             }
         }
         Ok(out)
+    }
+
+    /// Allocation-free variant of [`Screen::occluders_above`]: clears
+    /// `out` and fills it with the same rects. The render tick calls this
+    /// every frame with a reused scratch buffer.
+    pub fn occluders_above_into(&self, id: WindowId, out: &mut Vec<Rect>) -> Result<(), DomError> {
+        out.clear();
+        let pos = match self.z_position(id) {
+            Some(p) => p,
+            None => return Ok(()),
+        };
+        for above in &self.z_order[pos + 1..] {
+            let w = self.window(*above)?;
+            if w.is_opaque_surface() {
+                out.push(w.screen_rect);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -277,6 +326,60 @@ mod tests {
         s.resize_window(a, Size::new(1900.0, 1060.0)).unwrap();
         let w = s.window(a).unwrap();
         assert_eq!(w.screen_rect, Rect::new(10.0, 20.0, 1900.0, 1060.0));
+    }
+
+    #[test]
+    fn every_mutable_path_bumps_the_scene_epoch() {
+        let mut s = Screen::desktop();
+        let mut last = s.epoch();
+        let mut expect_bump = |s: &Screen, what: &str| {
+            assert_ne!(s.epoch(), last, "{what} must bump the scene epoch");
+            last = s.epoch();
+        };
+        let a = s.add_window(browser_kind(), Rect::new(0.0, 0.0, 800.0, 600.0), 80.0);
+        expect_bump(&s, "add_window");
+        s.window_mut(a).unwrap();
+        expect_bump(&s, "window_mut");
+        s.move_window(a, Vector::new(1.0, 0.0)).unwrap();
+        expect_bump(&s, "move_window");
+        s.resize_window(a, Size::new(640.0, 480.0)).unwrap();
+        expect_bump(&s, "resize_window");
+        s.blur_all();
+        expect_bump(&s, "blur_all");
+        s.focus(a).unwrap();
+        expect_bump(&s, "focus");
+        s.raise(a).unwrap();
+        expect_bump(&s, "raise");
+        s.minimize(a).unwrap();
+        expect_bump(&s, "minimize");
+        s.restore(a).unwrap();
+        expect_bump(&s, "restore");
+        // Read-only paths must NOT bump.
+        let before = s.epoch();
+        let _ = s.window(a).unwrap();
+        let _ = s.occluders_above(a).unwrap();
+        let mut scratch = Vec::new();
+        s.occluders_above_into(a, &mut scratch).unwrap();
+        assert_eq!(s.epoch(), before, "read paths must not bump the epoch");
+    }
+
+    #[test]
+    fn occluders_into_matches_allocating_variant() {
+        let mut s = Screen::desktop();
+        let a = s.add_window(browser_kind(), Rect::new(0.0, 0.0, 800.0, 600.0), 80.0);
+        let b = s.add_window(
+            WindowKind::OpaqueApp,
+            Rect::new(100.0, 50.0, 400.0, 300.0),
+            0.0,
+        );
+        let mut scratch = vec![Rect::new(9.0, 9.0, 9.0, 9.0)];
+        s.occluders_above_into(a, &mut scratch).unwrap();
+        assert_eq!(scratch, s.occluders_above(a).unwrap());
+        assert_eq!(scratch.len(), 1);
+        s.minimize(b).unwrap();
+        s.occluders_above_into(a, &mut scratch).unwrap();
+        assert_eq!(scratch, s.occluders_above(a).unwrap());
+        assert!(scratch.is_empty());
     }
 
     #[test]

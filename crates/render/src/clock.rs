@@ -125,9 +125,68 @@ impl fmt::Display for SimDuration {
     }
 }
 
+/// A fixed-interval frame clock: the engine's notion of "one tick".
+///
+/// Bundling `now`, the frame interval and the tick counter into one value
+/// keeps the static-frame fast path honest — a short-circuited tick still
+/// advances exactly the same clock state as a full tick, so indexed and
+/// naive engines can never drift in time.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameClock {
+    now: SimTime,
+    interval: SimDuration,
+    frames: u64,
+}
+
+impl FrameClock {
+    /// A clock at the epoch ticking every `interval`.
+    pub fn new(interval: SimDuration) -> Self {
+        FrameClock {
+            now: SimTime::ZERO,
+            interval,
+            frames: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The fixed tick interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Ticks elapsed since construction.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Advances one frame and returns the new `now`.
+    pub fn advance(&mut self) -> SimTime {
+        self.now += self.interval;
+        self.frames += 1;
+        self.now
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn frame_clock_advances_uniformly() {
+        let mut c = FrameClock::new(SimDuration::from_micros(16_667));
+        assert_eq!(c.frames(), 0);
+        assert_eq!(c.now(), SimTime::ZERO);
+        let t1 = c.advance();
+        assert_eq!(t1.as_micros(), 16_667);
+        c.advance();
+        assert_eq!(c.frames(), 2);
+        assert_eq!(c.now().as_micros(), 33_334);
+        assert_eq!(c.interval().as_micros(), 16_667);
+    }
 
     #[test]
     fn arithmetic_round_trips() {

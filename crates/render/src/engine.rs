@@ -1,14 +1,18 @@
 //! The frame-clock engine: ticks the compositor, paints probes,
 //! dispatches script callbacks, collects beacons.
 
+use crate::clock::FrameClock;
 use crate::cpu::CpuLoadModel;
 use crate::env::DeviceProfile;
 use crate::script::{ScriptCtx, ScriptHost, TagScript};
-use crate::throttle::{composite_state, paint_rate, timer_rate, CompositeState};
-use crate::visibility::{self, TrueVisibility};
+use crate::spatial::SpatialIndex;
+use crate::throttle::{
+    composite_state, composite_state_with, paint_rate, timer_rate, CompositeState,
+};
+use crate::visibility::{self, cull_projected_points, point_in_viewport_projected, TrueVisibility};
 use crate::{SimDuration, SimTime};
 use qtag_dom::{DomError, FrameId, Origin, Screen, TabId, WindowId};
-use qtag_geometry::{Point, Rect, Vector};
+use qtag_geometry::{Point, Rect, Size, Vector};
 use qtag_wire::Beacon;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -51,6 +55,25 @@ struct ScriptSlot {
     timer_acc: f64,
 }
 
+/// How the engine decides which probes repaint each frame.
+///
+/// Both modes produce **bit-identical** output — same probe paint counts,
+/// same callback schedule, same beacons — on every scene and mutation
+/// schedule; a property suite (`tests/spatial_props.rs`) holds them equal.
+/// `Naive` exists as the measured baseline and as the oracle the indexed
+/// path is checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenderMode {
+    /// Re-derive everything from the scene each tick: recompute every
+    /// page's composite state and re-project every probe through its
+    /// iframe chain. O(probes) work per frame, no caching.
+    Naive,
+    /// Cache per-page visibility behind DOM mutation epochs and cull
+    /// probe candidates through a [`SpatialIndex`]. A frame in which
+    /// nothing changed validates each page with a single `u64` compare.
+    Indexed,
+}
+
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -60,6 +83,8 @@ pub struct EngineConfig {
     pub cpu: CpuLoadModel,
     /// Seed for all engine-internal randomness.
     pub seed: u64,
+    /// Repaint-dispatch strategy (identical output either way).
+    pub mode: RenderMode,
 }
 
 impl EngineConfig {
@@ -72,9 +97,62 @@ impl EngineConfig {
             ),
             cpu: CpuLoadModel::idle(),
             seed: 0,
+            mode: RenderMode::Indexed,
         }
     }
 }
+
+/// Cached per-`(window, tab)` render state for [`RenderMode::Indexed`].
+///
+/// Validity protocol (checked cheapest-first every tick):
+///
+/// 1. `screen_epoch` equal to the live [`Screen::epoch`] ⇒ the whole
+///    scene is unchanged ⇒ *everything* below is still valid.
+/// 2. Otherwise recompute the composite state, then compare the page's
+///    `layout_epoch` — unchanged ⇒ cached probe projections and the
+///    spatial index survive (root-frame scrolls don't move content in
+///    root-document coordinates).
+/// 3. `mutation_epoch` / viewport / root scroll unchanged ⇒ the cached
+///    visible set survives too; otherwise re-query the index.
+///
+/// `probes_len`/`probe_generation` guard the probe table itself: scripts
+/// can grow it mid-callback and detaches compact it, either of which
+/// invalidates the cached probe indices.
+struct PageCache {
+    window: WindowId,
+    tab: Option<TabId>,
+    /// Live scripts hosted on this page; 0 ⇒ the page does not
+    /// participate in ticks (matching the naive walk, which derives its
+    /// page set from live scripts).
+    live_scripts: u32,
+    /// Paint accumulator (fractional frames owed). Persists across
+    /// detach/re-attach exactly like the naive mode's accumulator map.
+    acc: f64,
+    screen_epoch: u64,
+    layout_epoch: u64,
+    mutation_epoch: u64,
+    probes_len: usize,
+    probe_generation: u64,
+    state: CompositeState,
+    viewport: Size,
+    root_scroll: Vector,
+    /// `(probe index, projected point in root-doc coords)` for every
+    /// probe on this page whose projection is not clipped away.
+    entries: Vec<(u32, Point)>,
+    /// Spatial index over `entries` (ids are *positions in `entries`*).
+    index: SpatialIndex,
+    /// Probe indices currently inside the viewport.
+    visible: Vec<u32>,
+    /// Did this page paint on the current tick?
+    painted: bool,
+}
+
+/// Extra slop (CSS px) added around the viewport query rect so float
+/// rounding in `projected − scroll` can never drop a candidate the exact
+/// per-point test would accept. The lower bound needs none (`a − s ≥ 0 ⇔
+/// a ≥ s` exactly in IEEE); the upper bound can disagree by an ulp, which
+/// at document-scale magnitudes is far below one pixel.
+const QUERY_SLOP: f64 = 1.0;
 
 /// The deterministic browser engine: owns the screen, the clock, all
 /// attached scripts and their probes.
@@ -86,40 +164,63 @@ impl EngineConfig {
 pub struct Engine {
     cfg: EngineConfig,
     screen: Screen,
-    now: SimTime,
+    clock: FrameClock,
     scripts: Vec<Option<ScriptSlot>>,
     probes: Vec<ProbeState>,
     outbox: Vec<(ScriptId, SimTime, Beacon)>,
     paint_acc: HashMap<(WindowId, Option<TabId>), f64>,
     rng: ChaCha8Rng,
-    frames_ticked: u64,
+    /// Per-page caches for [`RenderMode::Indexed`]; maintained (cheaply)
+    /// in both modes so the mode is a pure dispatch choice.
+    pages: Vec<PageCache>,
+    /// `page_of_script[script index] == index into `pages``.
+    page_of_script: Vec<u32>,
+    /// Bumped whenever probe indices may have shifted (detach compaction);
+    /// caches referencing probe indices must rebuild when it moves.
+    probe_generation: u64,
+    /// Reused occluder buffer for `composite_state_with`.
+    occ_scratch: Vec<Rect>,
+    /// Reused spatial-query output buffer.
+    query_scratch: Vec<u32>,
 }
 
 impl Engine {
     /// Creates an engine over an existing screen/scene.
     pub fn new(cfg: EngineConfig, screen: Screen) -> Self {
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let clock = FrameClock::new(cfg.profile.frame_interval());
         Engine {
             cfg,
             screen,
-            now: SimTime::ZERO,
+            clock,
             scripts: Vec::new(),
             probes: Vec::new(),
             outbox: Vec::new(),
             paint_acc: HashMap::new(),
             rng,
-            frames_ticked: 0,
+            pages: Vec::new(),
+            page_of_script: Vec::new(),
+            probe_generation: 1,
+            occ_scratch: Vec::new(),
+            query_scratch: Vec::new(),
         }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.clock.now()
     }
 
     /// Frames ticked so far.
     pub fn frames_ticked(&self) -> u64 {
-        self.frames_ticked
+        self.clock.frames()
+    }
+
+    /// Lifetime paint counts of every probe, in probe order. The
+    /// cross-mode equivalence suites and the fleet bench compare these
+    /// between [`RenderMode::Naive`] and [`RenderMode::Indexed`] runs.
+    pub fn probe_paint_counts(&self) -> Vec<u64> {
+        self.probes.iter().map(|p| p.paints).collect()
     }
 
     /// Engine configuration.
@@ -189,7 +290,7 @@ impl Engine {
         let composite = composite_state(&self.screen, window, tab)?;
         {
             let mut ctx = ScriptCtx {
-                now: self.now,
+                now: self.clock.now(),
                 host: &slot.host,
                 screen: &self.screen,
                 profile: &self.cfg.profile,
@@ -201,6 +302,38 @@ impl Engine {
             slot.script.on_attach(&mut ctx);
         }
         self.scripts.push(Some(slot));
+        // Page-cache bookkeeping: find or create the cache for this
+        // page's key and point the script at it.
+        let key = (window, tab);
+        let page_idx = match self.pages.iter().position(|c| (c.window, c.tab) == key) {
+            Some(i) => i,
+            None => {
+                self.pages.push(PageCache {
+                    window,
+                    tab,
+                    live_scripts: 0,
+                    acc: 0.0,
+                    // Zero epochs never match live stamps (the epoch
+                    // allocator starts at 1), so the first tick fully
+                    // validates this cache.
+                    screen_epoch: 0,
+                    layout_epoch: 0,
+                    mutation_epoch: 0,
+                    probes_len: 0,
+                    probe_generation: 0,
+                    state: CompositeState::Minimized,
+                    viewport: Size::ZERO,
+                    root_scroll: Vector::ZERO,
+                    entries: Vec::new(),
+                    index: SpatialIndex::new(),
+                    visible: Vec::new(),
+                    painted: false,
+                });
+                self.pages.len() - 1
+            }
+        };
+        self.pages[page_idx].live_scripts += 1;
+        self.page_of_script.push(page_idx as u32);
         Ok(id)
     }
 
@@ -208,9 +341,15 @@ impl Engine {
     /// accumulating paints. Beacons already sent remain in the outbox.
     pub fn detach_script(&mut self, id: ScriptId) {
         if let Some(slot) = self.scripts.get_mut(id.0 as usize) {
-            *slot = None;
+            if slot.take().is_some() {
+                let page_idx = self.page_of_script[id.0 as usize] as usize;
+                self.pages[page_idx].live_scripts -= 1;
+            }
         }
         self.probes.retain(|p| p.owner != id);
+        // Compaction may have shifted probe indices out from under every
+        // page cache.
+        self.probe_generation += 1;
     }
 
     /// Drains every beacon emitted since the last drain.
@@ -223,10 +362,20 @@ impl Engine {
 
     /// Advances the simulation by exactly one device frame.
     pub fn tick(&mut self) {
-        let interval = self.cfg.profile.frame_interval();
-        self.now += interval;
-        self.frames_ticked += 1;
-        let load = self.cfg.cpu.load_at(self.now, &mut self.rng);
+        match self.cfg.mode {
+            RenderMode::Naive => self.tick_naive(),
+            RenderMode::Indexed => self.tick_indexed(),
+        }
+    }
+
+    /// The reference tick: re-derives all per-page and per-probe state
+    /// from the scene, allocating freely. This is the measured baseline
+    /// the fleet bench compares against and the oracle the equivalence
+    /// property holds [`Engine::tick_indexed`] to, so it stays
+    /// deliberately simple — do not optimise it.
+    fn tick_naive(&mut self) {
+        let now = self.clock.advance();
+        let load = self.cfg.cpu.load_at(now, &mut self.rng);
         let refresh = self.cfg.profile.refresh_hz;
 
         // 1. Decide, per hosting page, whether this tick produces a paint.
@@ -295,7 +444,7 @@ impl Engine {
             // requestAnimationFrame
             if painted && self.cfg.profile.caps.animation_frames {
                 let mut ctx = ScriptCtx {
-                    now: self.now,
+                    now,
                     host: &slot.host,
                     screen: &self.screen,
                     profile: &self.cfg.profile,
@@ -318,7 +467,7 @@ impl Engine {
                     slot.timer_acc = 1.0;
                 }
                 let mut ctx = ScriptCtx {
-                    now: self.now,
+                    now,
                     host: &slot.host,
                     screen: &self.screen,
                     profile: &self.cfg.profile,
@@ -333,10 +482,230 @@ impl Engine {
         self.scripts = scripts;
     }
 
+    /// The indexed tick: validates per-page caches against the scene and
+    /// probe-table epochs, re-deriving only what a stamp proves stale.
+    /// Output is bit-identical to [`Engine::tick_naive`]; the per-frame
+    /// path is allocation-free (qtag-lint rule R6 enforces this
+    /// lexically for this file).
+    fn tick_indexed(&mut self) {
+        let now = self.clock.advance();
+        // Drawn unconditionally so the RNG stream matches naive mode even
+        // on fully short-circuited frames.
+        let load = self.cfg.cpu.load_at(now, &mut self.rng);
+        let refresh = self.cfg.profile.refresh_hz;
+        let screen_epoch = self.screen.epoch();
+
+        // 1. Per page: validate the cache, settle the paint accumulator,
+        //    credit visible probes.
+        let Engine {
+            screen,
+            probes,
+            pages,
+            occ_scratch,
+            query_scratch,
+            probe_generation,
+            ..
+        } = self;
+        for cache in pages.iter_mut() {
+            if cache.live_scripts == 0 {
+                // The naive walk derives its page set from live scripts,
+                // so a script-less page neither paints nor accumulates.
+                cache.painted = false;
+                continue;
+            }
+            let probes_stale =
+                cache.probe_generation != *probe_generation || cache.probes_len != probes.len();
+            if probes_stale || cache.screen_epoch != screen_epoch {
+                Self::revalidate_page(
+                    screen,
+                    probes,
+                    cache,
+                    occ_scratch,
+                    query_scratch,
+                    screen_epoch,
+                    *probe_generation,
+                    probes_stale,
+                );
+            }
+            let rate = paint_rate(cache.state, refresh, load);
+            cache.acc += rate / refresh;
+            cache.painted = if cache.acc >= 1.0 {
+                cache.acc -= 1.0;
+                true
+            } else {
+                false
+            };
+            if cache.painted {
+                for idx in &cache.visible {
+                    probes[*idx as usize].paints += 1;
+                }
+            }
+        }
+
+        // 2. Dispatch callbacks in script-slot order (same order as the
+        //    naive walk — scripts observe attach order, not page order).
+        let mut scripts = std::mem::take(&mut self.scripts);
+        for (i, slot_opt) in scripts.iter_mut().enumerate() {
+            let Some(slot) = slot_opt else { continue };
+            let cache = &self.pages[self.page_of_script[i] as usize];
+            let (state, painted) = (cache.state, cache.painted);
+
+            // requestAnimationFrame
+            if painted && self.cfg.profile.caps.animation_frames {
+                let mut ctx = ScriptCtx {
+                    now,
+                    host: &slot.host,
+                    screen: &self.screen,
+                    profile: &self.cfg.profile,
+                    composite: state,
+                    probes: &mut self.probes,
+                    outbox: &mut self.outbox,
+                    timer_hz: &mut slot.timer_hz,
+                };
+                slot.script.on_animation_frame(&mut ctx);
+            }
+
+            // timers
+            let t_rate = timer_rate(state, slot.timer_hz);
+            slot.timer_acc += t_rate / refresh;
+            if slot.timer_acc >= 1.0 {
+                slot.timer_acc -= 1.0;
+                // Clamp pathological backlogs (rate changes) to one fire
+                // per tick.
+                if slot.timer_acc > 1.0 {
+                    slot.timer_acc = 1.0;
+                }
+                let mut ctx = ScriptCtx {
+                    now,
+                    host: &slot.host,
+                    screen: &self.screen,
+                    profile: &self.cfg.profile,
+                    composite: state,
+                    probes: &mut self.probes,
+                    outbox: &mut self.outbox,
+                    timer_hz: &mut slot.timer_hz,
+                };
+                slot.script.on_timer(&mut ctx);
+            }
+        }
+        self.scripts = scripts;
+    }
+
+    /// Brings one page cache up to date with the live scene.
+    ///
+    /// Tiered by what the stamps prove stale: composite state is always
+    /// recomputed (the screen epoch moved to get here); probe projections
+    /// and the spatial index rebuild only when the page's *layout* epoch
+    /// moved or the probe table itself changed; the visible set re-queries
+    /// only when the view (root scroll / viewport / any mutation) moved.
+    #[allow(clippy::too_many_arguments)]
+    fn revalidate_page(
+        screen: &Screen,
+        probes: &[ProbeState],
+        cache: &mut PageCache,
+        occ_scratch: &mut Vec<Rect>,
+        query_scratch: &mut Vec<u32>,
+        screen_epoch: u64,
+        probe_generation: u64,
+        probes_stale: bool,
+    ) {
+        cache.state = composite_state_with(screen, cache.window, cache.tab, occ_scratch)
+            .unwrap_or(CompositeState::Minimized);
+        cache.screen_epoch = screen_epoch;
+        cache.probe_generation = probe_generation;
+        cache.probes_len = probes.len();
+
+        // Resolve the page the same way the naive probe loop does; on any
+        // mismatch the page contributes no paints (but keeps ticking its
+        // accumulator and callbacks, exactly like naive).
+        let Ok(w) = screen.window(cache.window) else {
+            cache.entries.clear();
+            cache.index.clear();
+            cache.visible.clear();
+            return;
+        };
+        let page = match (&cache.tab, &w.kind) {
+            (Some(t), qtag_dom::WindowKind::Browser { tabs, .. }) => {
+                tabs.get(t.index()).map(|tb| &tb.page)
+            }
+            (None, qtag_dom::WindowKind::AppWebView { page }) => Some(page),
+            _ => None,
+        };
+        let Some(page) = page else {
+            cache.entries.clear();
+            cache.index.clear();
+            cache.visible.clear();
+            return;
+        };
+        let vp = w.viewport_size();
+        let layout_epoch = page.layout_epoch();
+        let mutation_epoch = page.mutation_epoch();
+        let root_scroll = match page.frame(page.root()) {
+            Ok(f) => f.scroll(),
+            Err(_) => Vector::ZERO,
+        };
+
+        let layout_stale = probes_stale || cache.layout_epoch != layout_epoch;
+        let view_stale = layout_stale
+            || cache.mutation_epoch != mutation_epoch
+            || cache.viewport != vp
+            || cache.root_scroll != root_scroll;
+        cache.layout_epoch = layout_epoch;
+        cache.mutation_epoch = mutation_epoch;
+        cache.viewport = vp;
+        cache.root_scroll = root_scroll;
+
+        if layout_stale {
+            // Re-project every probe on this page to root-doc coordinates
+            // and rebuild the index over the projections. Projections are
+            // pure functions of the layout (root scroll excluded), so
+            // they stay valid across root-frame scrolling.
+            cache.entries.clear();
+            cache.index.clear();
+            for (i, probe) in probes.iter().enumerate() {
+                if probe.window != cache.window || probe.tab != cache.tab {
+                    continue;
+                }
+                if let Ok(Some(projected)) = page.point_to_root_unchecked(probe.frame, probe.point)
+                {
+                    let pos = cache.entries.len() as u32;
+                    cache.entries.push((i as u32, projected));
+                    cache
+                        .index
+                        .insert(pos, Rect::new(projected.x, projected.y, 0.0, 0.0));
+                }
+            }
+            // Re-fit grid bounds over the full population (bulk inserts
+            // promoted against a partial bounding box).
+            cache.index.rebuild();
+            // Fresh projections in hand, culling the full entry set is
+            // cheaper than an index round-trip.
+            cull_projected_points(&cache.entries, root_scroll, vp, &mut cache.visible);
+        } else if view_stale {
+            // Layout stands; only the view moved. Query the index for
+            // candidates near the viewport, then re-test each with the
+            // exact per-point expression.
+            let query = Rect::new(
+                root_scroll.dx - QUERY_SLOP,
+                root_scroll.dy - QUERY_SLOP,
+                vp.width + 2.0 * QUERY_SLOP,
+                vp.height + 2.0 * QUERY_SLOP,
+            );
+            cache.index.query(&query, query_scratch);
+            cache.visible.clear();
+            for pos in query_scratch.iter() {
+                let (probe_idx, projected) = cache.entries[*pos as usize];
+                if point_in_viewport_projected(projected, root_scroll, vp) {
+                    cache.visible.push(probe_idx);
+                }
+            }
+        }
+    }
+
     /// Runs the engine for (at least) the given simulated duration.
     pub fn run_for(&mut self, d: SimDuration) {
-        let end = self.now + d;
-        while self.now < end {
+        let end = self.clock.now() + d;
+        while self.clock.now() < end {
             self.tick();
         }
     }
@@ -397,7 +766,7 @@ impl Engine {
                 continue;
             };
             let mut ctx = ScriptCtx {
-                now: self.now,
+                now: self.clock.now(),
                 host: &slot.host,
                 screen: &self.screen,
                 profile: &self.cfg.profile,

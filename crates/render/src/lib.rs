@@ -41,16 +41,22 @@ mod cpu;
 mod engine;
 mod env;
 mod script;
+mod spatial;
 mod throttle;
 mod visibility;
 
-pub use clock::{SimDuration, SimTime};
+pub use clock::{FrameClock, SimDuration, SimTime};
 pub use cpu::CpuLoadModel;
-pub use engine::{Engine, EngineConfig, OutgoingBeacon, ProbeId, ScriptId};
+pub use engine::{Engine, EngineConfig, OutgoingBeacon, ProbeId, RenderMode, ScriptId};
 pub use env::{ApiCapabilities, DeviceProfile};
 pub use script::{ScriptCtx, ScriptHost, TagScript};
-pub use throttle::{composite_state, paint_rate, timer_hz_when_hidden, timer_rate, CompositeState};
+pub use spatial::SpatialIndex;
+pub use throttle::{
+    composite_state, composite_state_with, paint_rate, timer_hz_when_hidden, timer_rate,
+    CompositeState,
+};
 pub use visibility::{
-    element_true_visibility, page_visibility_context, point_in_viewport, rect_in_viewport,
-    scroll_page_to, viewport_fraction, TrueVisibility,
+    cull_projected_points, element_true_visibility, page_visibility_context, point_in_viewport,
+    point_in_viewport_projected, rect_in_viewport, scroll_page_to, viewport_fraction,
+    TrueVisibility,
 };

@@ -1,0 +1,399 @@
+//! Screen-space spatial index used by the render engine to cull probe
+//! candidates per frame.
+//!
+//! The index maps caller-assigned `u32` ids to axis-aligned rectangles in
+//! one coordinate space (the engine uses root-document coordinates, which
+//! are invariant under root-frame scrolling) and answers *"which ids might
+//! intersect this query rect?"* in sub-linear time for large populations.
+//!
+//! # Contract: conservative pruner
+//!
+//! [`SpatialIndex::query`] returns a **superset** of the exactly
+//! intersecting ids — never a subset. Callers must re-test each candidate
+//! exactly; the engine does so with the same float expressions as the
+//! naive full walk, which is what makes indexed and naive ticks
+//! bit-identical. Over-reporting costs a few wasted point tests;
+//! under-reporting would silently change visibility results, so every
+//! mapping here (cell spans, clamping, degenerate rects) rounds toward
+//! inclusion.
+//!
+//! # Backends
+//!
+//! Small populations use a flat scan (cheaper than any structure below a
+//! few dozen rects); larger ones a uniform grid over the bounding box of
+//! all live rects, ≤64×64 cells with a minimum cell extent so tiny
+//! documents do not shatter into thousands of cells. The backend choice is
+//! internal: the API (`insert` / `remove` / `update` / `query` /
+//! [`SpatialIndex::rebuild`]) is structure-agnostic, so a quadtree can
+//! replace the grid without touching callers.
+
+use qtag_geometry::{Point, Rect};
+
+/// Flat→grid promotion threshold: below this many live rects a linear
+/// scan beats grid bookkeeping.
+const PROMOTE_AT: usize = 33;
+
+/// Maximum cells per axis.
+const MAX_CELLS_PER_AXIS: u32 = 64;
+
+/// Minimum cell extent in CSS px — stops small documents from producing
+/// degenerate, memory-heavy grids.
+const MIN_CELL_EXTENT: f64 = 128.0;
+
+/// A spatial index over `(u32 id → Rect)` pairs with a conservative
+/// rectangle query. See the module docs for the superset contract.
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    /// Slot table: `items[id]` is the rect currently registered under
+    /// `id`, or `None` when the id is absent.
+    items: Vec<Option<Rect>>,
+    /// Number of `Some` slots.
+    live: usize,
+    backend: Backend,
+}
+
+#[derive(Debug, Clone)]
+enum Backend {
+    /// Linear scan over `items` — exact, no bookkeeping.
+    Flat,
+    Grid(Grid),
+}
+
+#[derive(Debug, Clone)]
+struct Grid {
+    origin: Point,
+    cell_w: f64,
+    cell_h: f64,
+    cols: u32,
+    rows: u32,
+    /// `cells[row * cols + col]` holds the ids whose rect spans that cell.
+    cells: Vec<Vec<u32>>,
+}
+
+impl Grid {
+    /// Maps an x-interval to an inclusive, clamped column span.
+    ///
+    /// The mapping is a monotone function of each endpoint, and insert and
+    /// query use the *same* mapping — so two rects overlapping in x always
+    /// land on overlapping column spans, including when either lies partly
+    /// or fully outside the grid bounds (clamping preserves monotonicity).
+    /// That is the whole superset argument, axis by axis.
+    #[inline]
+    fn col_span(&self, min_x: f64, max_x: f64) -> (u32, u32) {
+        let lo = ((min_x - self.origin.x) / self.cell_w).floor();
+        let hi = ((max_x - self.origin.x) / self.cell_w).floor();
+        let max = (self.cols - 1) as f64;
+        (lo.clamp(0.0, max) as u32, hi.clamp(0.0, max) as u32)
+    }
+
+    /// Row-axis analogue of [`Grid::col_span`].
+    #[inline]
+    fn row_span(&self, min_y: f64, max_y: f64) -> (u32, u32) {
+        let lo = ((min_y - self.origin.y) / self.cell_h).floor();
+        let hi = ((max_y - self.origin.y) / self.cell_h).floor();
+        let max = (self.rows - 1) as f64;
+        (lo.clamp(0.0, max) as u32, hi.clamp(0.0, max) as u32)
+    }
+
+    fn insert(&mut self, id: u32, rect: &Rect) {
+        let (c0, c1) = self.col_span(rect.min_x(), rect.max_x());
+        let (r0, r1) = self.row_span(rect.min_y(), rect.max_y());
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                self.cells[(row * self.cols + col) as usize].push(id);
+            }
+        }
+    }
+
+    fn remove(&mut self, id: u32, rect: &Rect) {
+        let (c0, c1) = self.col_span(rect.min_x(), rect.max_x());
+        let (r0, r1) = self.row_span(rect.min_y(), rect.max_y());
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                self.cells[(row * self.cols + col) as usize].retain(|x| *x != id);
+            }
+        }
+    }
+}
+
+impl Default for SpatialIndex {
+    fn default() -> Self {
+        SpatialIndex::new()
+    }
+}
+
+impl SpatialIndex {
+    /// Creates an empty index (flat backend).
+    pub fn new() -> Self {
+        SpatialIndex {
+            items: Vec::new(),
+            live: 0,
+            backend: Backend::Flat,
+        }
+    }
+
+    /// Number of live rects.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no rects are registered.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// `true` when the grid backend is active (exposed for tests and
+    /// promotion diagnostics).
+    pub fn is_gridded(&self) -> bool {
+        matches!(self.backend, Backend::Grid(_))
+    }
+
+    /// Removes every rect, keeping allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.live = 0;
+        self.backend = Backend::Flat;
+    }
+
+    /// Registers `rect` under `id`, replacing any previous rect for that
+    /// id. Grows the slot table as needed; may promote flat → grid.
+    pub fn insert(&mut self, id: u32, rect: Rect) {
+        let slot = id as usize;
+        if slot >= self.items.len() {
+            self.items.resize(slot + 1, None);
+        }
+        match self.items[slot].take() {
+            Some(old) => {
+                if let Backend::Grid(g) = &mut self.backend {
+                    g.remove(id, &old);
+                }
+            }
+            None => self.live += 1,
+        }
+        self.items[slot] = Some(rect);
+        if let Backend::Grid(g) = &mut self.backend {
+            g.insert(id, &rect);
+        } else if self.live >= PROMOTE_AT {
+            self.rebuild();
+        }
+    }
+
+    /// Unregisters `id`. A no-op for absent ids.
+    pub fn remove(&mut self, id: u32) {
+        let slot = id as usize;
+        if slot >= self.items.len() {
+            return;
+        }
+        if let Some(old) = self.items[slot].take() {
+            self.live -= 1;
+            if let Backend::Grid(g) = &mut self.backend {
+                g.remove(id, &old);
+            }
+        }
+    }
+
+    /// Moves an existing id to a new rect (inserts it when absent).
+    pub fn update(&mut self, id: u32, rect: Rect) {
+        self.insert(id, rect);
+    }
+
+    /// Rebuilds the backend from scratch over the current slot table.
+    ///
+    /// Incremental `insert`/`remove`/`update` keep the structure exact, so
+    /// calling this never changes query results (a property test holds the
+    /// two paths equal); it exists to re-fit the grid bounds after bulk
+    /// churn and as the hook a future quadtree backend would implement.
+    pub fn rebuild(&mut self) {
+        if self.live < PROMOTE_AT {
+            self.backend = Backend::Flat;
+            return;
+        }
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for rect in self.items.iter().flatten() {
+            min_x = min_x.min(rect.min_x());
+            min_y = min_y.min(rect.min_y());
+            max_x = max_x.max(rect.max_x());
+            max_y = max_y.max(rect.max_y());
+        }
+        let extent_x = (max_x - min_x).max(0.0);
+        let extent_y = (max_y - min_y).max(0.0);
+        let cell_w = (extent_x / MAX_CELLS_PER_AXIS as f64).max(MIN_CELL_EXTENT);
+        let cell_h = (extent_y / MAX_CELLS_PER_AXIS as f64).max(MIN_CELL_EXTENT);
+        let cols = ((extent_x / cell_w).ceil() as u32).clamp(1, MAX_CELLS_PER_AXIS);
+        let rows = ((extent_y / cell_h).ceil() as u32).clamp(1, MAX_CELLS_PER_AXIS);
+        let mut grid = Grid {
+            origin: Point::new(min_x, min_y),
+            cell_w,
+            cell_h,
+            cols,
+            rows,
+            cells: vec![Vec::new(); (cols * rows) as usize],
+        };
+        for (slot, rect) in self.items.iter().enumerate() {
+            if let Some(rect) = rect {
+                grid.insert(slot as u32, rect);
+            }
+        }
+        self.backend = Backend::Grid(grid);
+    }
+
+    /// Fills `out` with a sorted, deduplicated **superset** of the ids
+    /// whose rect intersects `query` (boundary touches included — the
+    /// test here is closed-interval on purpose; exactness is the
+    /// caller's job). `out` is cleared first; no allocation happens when
+    /// its capacity suffices.
+    pub fn query(&self, query: &Rect, out: &mut Vec<u32>) {
+        out.clear();
+        match &self.backend {
+            Backend::Flat => {
+                for (slot, rect) in self.items.iter().enumerate() {
+                    if let Some(rect) = rect {
+                        if rects_may_touch(rect, query) {
+                            out.push(slot as u32);
+                        }
+                    }
+                }
+                // Slot order is already sorted and unique.
+            }
+            Backend::Grid(g) => {
+                let (c0, c1) = g.col_span(query.min_x(), query.max_x());
+                let (r0, r1) = g.row_span(query.min_y(), query.max_y());
+                for row in r0..=r1 {
+                    for col in c0..=c1 {
+                        for id in &g.cells[(row * g.cols + col) as usize] {
+                            let rect = self.items[*id as usize]
+                                .as_ref()
+                                .expect("grid cell holds only live ids");
+                            if rects_may_touch(rect, query) {
+                                out.push(*id);
+                            }
+                        }
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+            }
+        }
+    }
+}
+
+/// Closed-interval overlap test: includes shared edges, unlike the
+/// half-open [`Rect::intersects`]. Used as the candidate filter so the
+/// index errs toward inclusion at rect boundaries.
+#[inline]
+fn rects_may_touch(a: &Rect, b: &Rect) -> bool {
+    a.min_x() <= b.max_x()
+        && b.min_x() <= a.max_x()
+        && a.min_y() <= b.max_y()
+        && b.min_y() <= a.max_y()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_candidates(index: &SpatialIndex, query: &Rect) -> Vec<u32> {
+        index
+            .items
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, rect)| {
+                rect.as_ref()
+                    .filter(|r| rects_may_touch(r, query))
+                    .map(|_| slot as u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flat_query_finds_exact_overlaps() {
+        let mut idx = SpatialIndex::new();
+        idx.insert(0, Rect::new(0.0, 0.0, 10.0, 10.0));
+        idx.insert(5, Rect::new(100.0, 100.0, 10.0, 10.0));
+        idx.insert(2, Rect::new(5.0, 5.0, 10.0, 10.0));
+        assert!(!idx.is_gridded());
+        let mut out = Vec::new();
+        idx.query(&Rect::new(0.0, 0.0, 8.0, 8.0), &mut out);
+        assert_eq!(out, vec![0, 2]);
+        idx.query(&Rect::new(99.0, 99.0, 1.0, 1.0), &mut out);
+        assert_eq!(out, vec![5], "edge touch must be included");
+        idx.query(&Rect::new(500.0, 500.0, 1.0, 1.0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn promotion_preserves_queries_and_is_superset() {
+        let mut idx = SpatialIndex::new();
+        for i in 0..100u32 {
+            let x = (i % 10) as f64 * 300.0;
+            let y = (i / 10) as f64 * 300.0;
+            idx.insert(i, Rect::new(x, y, 250.0, 250.0));
+        }
+        assert!(idx.is_gridded());
+        let mut out = Vec::new();
+        for qx in [-100.0, 0.0, 275.0, 1500.0, 9000.0] {
+            for qy in [-100.0, 0.0, 275.0, 1500.0, 9000.0] {
+                let q = Rect::new(qx, qy, 400.0, 400.0);
+                idx.query(&q, &mut out);
+                let exact = exact_candidates(&idx, &q);
+                // Sorted + deduped, and a superset that is also exact here
+                // because the candidate filter re-tests every cell hit.
+                assert_eq!(out, exact, "query {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn remove_and_update_stay_consistent() {
+        let mut idx = SpatialIndex::new();
+        for i in 0..50u32 {
+            idx.insert(i, Rect::new(i as f64 * 100.0, 0.0, 80.0, 80.0));
+        }
+        idx.remove(7);
+        idx.remove(7); // double-remove is a no-op
+        idx.update(3, Rect::new(10_000.0, 10_000.0, 5.0, 5.0));
+        assert_eq!(idx.len(), 49);
+        let mut out = Vec::new();
+        idx.query(&Rect::new(700.0, 0.0, 80.0, 80.0), &mut out);
+        assert!(!out.contains(&7), "removed id must not be reported");
+        idx.query(&Rect::new(9_999.0, 9_999.0, 10.0, 10.0), &mut out);
+        assert_eq!(out, vec![3], "updated id must be found at its new rect");
+        idx.query(&Rect::new(300.0, 0.0, 80.0, 80.0), &mut out);
+        assert!(!out.contains(&3), "updated id must leave its old rect");
+    }
+
+    #[test]
+    fn degenerate_point_rects_are_indexed() {
+        let mut idx = SpatialIndex::new();
+        for i in 0..40u32 {
+            idx.insert(i, Rect::new(i as f64 * 500.0, 42.0, 0.0, 0.0));
+        }
+        assert!(idx.is_gridded());
+        let mut out = Vec::new();
+        idx.query(&Rect::new(4_400.0, 0.0, 200.0, 100.0), &mut out);
+        assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn rebuild_never_changes_results() {
+        let mut idx = SpatialIndex::new();
+        for i in 0..60u32 {
+            let x = (i as f64 * 137.0) % 4_000.0;
+            let y = (i as f64 * 211.0) % 6_000.0;
+            idx.insert(i, Rect::new(x, y, 120.0, 90.0));
+        }
+        idx.remove(11);
+        idx.update(12, Rect::new(-50.0, -50.0, 10.0, 10.0));
+        let mut before = Vec::new();
+        let q = Rect::new(-100.0, -100.0, 1_000.0, 1_000.0);
+        idx.query(&q, &mut before);
+        let mut rebuilt = idx.clone();
+        rebuilt.rebuild();
+        let mut after = Vec::new();
+        rebuilt.query(&q, &mut after);
+        assert_eq!(before, after);
+    }
+}

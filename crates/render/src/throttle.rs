@@ -5,7 +5,7 @@
 //! run?* — the browser behaviour Q-Tag's side channel reads.
 
 use qtag_dom::{DomError, Screen, TabId, WindowId, WindowState};
-use qtag_geometry::Region;
+use qtag_geometry::{Rect, Region};
 
 /// Timer rate (Hz) browsers allow pages that are not being composited
 /// (hidden tab, minimised or fully occluded window). Production browsers
@@ -49,6 +49,23 @@ pub fn composite_state(
     window: WindowId,
     tab: Option<TabId>,
 ) -> Result<CompositeState, DomError> {
+    let mut scratch = Vec::new();
+    composite_state_with(screen, window, tab, &mut scratch)
+}
+
+/// [`composite_state`] with a caller-provided occluder scratch buffer.
+///
+/// The render engine calls this once per page per frame; passing a reused
+/// buffer keeps the tick loop allocation-free (the buffer is cleared and
+/// refilled, its capacity is retained across frames). Results are
+/// identical to [`composite_state`] by construction — the allocating
+/// variant delegates here.
+pub fn composite_state_with(
+    screen: &Screen,
+    window: WindowId,
+    tab: Option<TabId>,
+    occluder_scratch: &mut Vec<Rect>,
+) -> Result<CompositeState, DomError> {
     let w = screen.window(window)?;
     if w.state == WindowState::Minimized {
         return Ok(CompositeState::Minimized);
@@ -67,9 +84,10 @@ pub fn composite_state(
     // Fully occluded by opaque windows above? (Browsers detect *full*
     // occlusion and stop compositing; partial occlusion does not throttle
     // because the compositor rasterises the whole surface regardless.)
+    screen.occluders_above_into(window, occluder_scratch)?;
     let mut visible = Region::from_rect(on_screen);
-    for occluder in screen.occluders_above(window)? {
-        visible = visible.subtract_rect(&occluder);
+    for occluder in occluder_scratch.iter() {
+        visible = visible.subtract_rect(occluder);
         if visible.is_empty() {
             return Ok(CompositeState::FullyOccluded);
         }
@@ -205,6 +223,28 @@ mod tests {
         assert_eq!(
             composite_state(&s, w, Some(TabId(0))).unwrap(),
             CompositeState::Active
+        );
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_variant() {
+        let (mut s, w) = screen_with_browser();
+        s.add_window(
+            WindowKind::OpaqueApp,
+            Rect::new(0.0, 0.0, 600.0, 1080.0),
+            0.0,
+        );
+        let mut scratch = Vec::new();
+        for tab in [Some(TabId(0)), Some(TabId(1)), None] {
+            assert_eq!(
+                composite_state_with(&s, w, tab, &mut scratch).unwrap(),
+                composite_state(&s, w, tab).unwrap()
+            );
+        }
+        s.minimize(w).unwrap();
+        assert_eq!(
+            composite_state_with(&s, w, Some(TabId(0)), &mut scratch).unwrap(),
+            CompositeState::Minimized
         );
     }
 

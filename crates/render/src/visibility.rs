@@ -82,6 +82,42 @@ pub fn point_in_viewport(
     Ok(vp_rect.contains(p))
 }
 
+/// Culling test for a point **already projected** to root-document
+/// coordinates (e.g. by `Page::point_to_root_unchecked`, cached while the
+/// layout is unchanged).
+///
+/// Performs *exactly* the float operations of the tail of
+/// [`point_in_viewport`] — `projected - root_scroll`, then a half-open
+/// `contains` against `Rect::new(0, 0, vp.w, vp.h)` — so an engine that
+/// caches projections and calls this per candidate produces bit-identical
+/// decisions to one that re-projects every frame. Do not "simplify" the
+/// arithmetic here: any algebraically equal but differently-rounded form
+/// breaks that guarantee.
+pub fn point_in_viewport_projected(projected: Point, root_scroll: Vector, viewport: Size) -> bool {
+    let p = projected - root_scroll;
+    let vp_rect = Rect::new(0.0, 0.0, viewport.width, viewport.height);
+    vp_rect.contains(p)
+}
+
+/// Culls a candidate set of projected points against the viewport,
+/// appending the ids of the visible ones to `out` (cleared first, in
+/// candidate order). Each candidate is tested with
+/// [`point_in_viewport_projected`]; this is the bulk entry point the
+/// engine uses when (re)building a page's visible set.
+pub fn cull_projected_points(
+    candidates: &[(u32, Point)],
+    root_scroll: Vector,
+    viewport: Size,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
+    for (id, projected) in candidates {
+        if point_in_viewport_projected(*projected, root_scroll, viewport) {
+            out.push(*id);
+        }
+    }
+}
+
 /// Fraction of `rect` (in `frame` doc coordinates) that survives viewport
 /// culling. This is the *side-channel-observable* visible fraction.
 pub fn viewport_fraction(
@@ -427,6 +463,38 @@ mod tests {
             let win = screen.window(w).unwrap();
             let page = win.active_page().unwrap();
             assert!(point_in_viewport(page, f, center, win.viewport_size()).unwrap());
+        }
+    }
+
+    #[test]
+    fn projected_culling_matches_full_projection() {
+        let (mut screen, w, f, _) = setup();
+        scroll_page_to(&mut screen, w, Some(TabId(0)), Vector::new(0.0, 1000.0)).unwrap();
+        let win = screen.window(w).unwrap();
+        let page = win.active_page().unwrap();
+        let vp = win.viewport_size();
+        let root_scroll = page.frame(page.root()).unwrap().scroll();
+        let points = [
+            Point::new(150.0, 125.0),
+            Point::new(0.0, 0.0),
+            Point::new(299.0, 249.0),
+            Point::new(301.0, 125.0), // outside the dsp doc, still projectable
+        ];
+        let mut candidates = Vec::new();
+        for (i, pt) in points.iter().enumerate() {
+            if let Some(projected) = page.point_to_root_unchecked(f, *pt).unwrap() {
+                candidates.push((i as u32, projected));
+            }
+        }
+        let mut culled = Vec::new();
+        cull_projected_points(&candidates, root_scroll, vp, &mut culled);
+        for (i, pt) in points.iter().enumerate() {
+            let naive = point_in_viewport(page, f, *pt, vp).unwrap();
+            assert_eq!(
+                culled.contains(&(i as u32)),
+                naive,
+                "candidate {i} at {pt:?} must agree with the full projection"
+            );
         }
     }
 

@@ -4,8 +4,8 @@
 use qtag_dom::{DomError, Origin, Page, Screen, Tab, TabId, WindowKind};
 use qtag_geometry::{Point, Rect, Size, Vector};
 use qtag_render::{
-    ApiCapabilities, CpuLoadModel, DeviceProfile, Engine, EngineConfig, ScriptCtx, SimDuration,
-    TagScript,
+    ApiCapabilities, CpuLoadModel, DeviceProfile, Engine, EngineConfig, RenderMode, ScriptCtx,
+    SimDuration, TagScript,
 };
 use qtag_wire::{BrowserKind, OsKind};
 use std::cell::RefCell;
@@ -64,6 +64,7 @@ fn build(
             profile,
             cpu: CpuLoadModel::idle(),
             seed: 3,
+            mode: RenderMode::Indexed,
         },
         screen,
     );

@@ -17,7 +17,7 @@
 //! (Figure 3, Table 2, §6.1) is measured from simulation output, not
 //! copied.
 
-use qtag_render::{ApiCapabilities, CpuLoadModel, DeviceProfile, EngineConfig};
+use qtag_render::{ApiCapabilities, CpuLoadModel, DeviceProfile, EngineConfig, RenderMode};
 use qtag_wire::{OsKind, SiteType};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -159,6 +159,7 @@ impl EnvSample {
             profile: self.device_profile(),
             cpu: CpuLoadModel::Constant(self.cpu_load),
             seed,
+            mode: RenderMode::Indexed,
         }
     }
 }

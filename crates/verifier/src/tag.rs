@@ -216,7 +216,7 @@ mod tests {
     use qtag_dom::{Origin, Page, Screen, Tab, TabId, WindowKind};
     use qtag_geometry::{Size, Vector};
     use qtag_render::{
-        ApiCapabilities, CpuLoadModel, DeviceProfile, Engine, EngineConfig, SimDuration,
+        ApiCapabilities, CpuLoadModel, DeviceProfile, Engine, EngineConfig, RenderMode, SimDuration,
     };
     use qtag_wire::{BrowserKind, OsKind};
 
@@ -249,6 +249,7 @@ mod tests {
             profile,
             cpu: CpuLoadModel::idle(),
             seed: 1,
+            mode: RenderMode::Indexed,
         };
         (Engine::new(cfg, screen), w, dsp)
     }
@@ -320,6 +321,7 @@ mod tests {
                 profile,
                 cpu: CpuLoadModel::idle(),
                 seed: 1,
+                mode: RenderMode::Indexed,
             },
             screen,
         );
@@ -409,6 +411,7 @@ mod tests {
                 profile,
                 cpu: CpuLoadModel::idle(),
                 seed: 2,
+                mode: RenderMode::Indexed,
             },
             screen,
         );
