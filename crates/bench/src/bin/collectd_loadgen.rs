@@ -1189,7 +1189,9 @@ fn run_virtual_connections_cell(cfg: &LoadgenConfig, sessions: usize) -> (ConnCe
         batch: cfg.batch[0],
         ..CollectorConfig::default()
     });
-    let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    // The facade type, not std's: under `--cfg qtag_check` the reactor
+    // compiles against the shimmed AtomicBool and the two are distinct.
+    let shutdown = Arc::new(qtag_collectd::sync::atomic::AtomicBool::new(false));
     // Every session replays the same schedule, one frame per read
     // event (ids collide across sessions — they land as duplicates,
     // which the conservation identity counts as applied).

@@ -8,9 +8,12 @@
 //! ```
 //!
 //! Must-fail models (the PR-1 lost-wakeup replica with the fix
-//! reverted, AB-BA deadlock) are asserted to fail; everything else is
-//! asserted to pass under the full bounded-DFS budget. Exit status 1
-//! if any expectation is violated.
+//! reverted, AB-BA deadlock, the Relaxed-handoff race canary) are
+//! asserted to fail; everything else is asserted to pass under the
+//! full bounded-DFS budget. Exit status 1 if any expectation is
+//! violated. `QTAG_CHECK_DPOR=0` disables sleep-set reduction — the
+//! before/after table in `results/qtag_check_dpor.txt` is two runs of
+//! this binary.
 
 use qtag_check::{models, Builder, FailureKind};
 use std::process::ExitCode;
@@ -22,6 +25,7 @@ struct Row {
     outcome: String,
     schedules: u64,
     steps: u64,
+    pruned: u64,
     secs: f64,
     ok: bool,
 }
@@ -49,6 +53,7 @@ fn run_model(
             ),
             schedules: report.schedules,
             steps: report.steps,
+            pruned: report.pruned,
             secs,
             ok: true,
         },
@@ -58,6 +63,7 @@ fn run_model(
             outcome: format!("UNEXPECTED PASS (wanted {kind})"),
             schedules: report.schedules,
             steps: report.steps,
+            pruned: report.pruned,
             secs,
             ok: false,
         },
@@ -67,6 +73,7 @@ fn run_model(
             outcome: format!("UNEXPECTED {} [{}]", failure.kind, failure.trace),
             schedules: failure.schedule,
             steps: 0,
+            pruned: 0,
             secs,
             ok: false,
         },
@@ -85,6 +92,7 @@ fn run_model(
                 },
                 schedules: failure.schedule,
                 steps: 0,
+                pruned: 0,
                 secs,
                 ok,
             }
@@ -134,11 +142,33 @@ fn main() -> ExitCode {
         run_model("store_buffer_sc", None, &b, models::store_buffer_sc()),
         run_model("condvar_handoff", None, &b, models::condvar_handoff()),
         run_model("recv_timeout_fires", None, &b, models::recv_timeout_fires()),
+        // Race-detector canary: the unpublished Relaxed handoff must
+        // be reported as a data race, its published twin must pass.
+        run_model(
+            "relaxed_handoff_race",
+            Some(FailureKind::Race),
+            &b,
+            models::relaxed_counter_handoff(false),
+        ),
+        run_model(
+            "relaxed_handoff_fixed",
+            None,
+            &b,
+            models::relaxed_counter_handoff(true),
+        ),
+        // All-commuting model: the sleep-set reduction's best case
+        // (and the headline row of results/qtag_check_dpor.txt).
+        run_model(
+            "independent_counters_3",
+            None,
+            &b,
+            models::independent_counters(3),
+        ),
     ];
 
     println!(
-        "{:<24} {:>6} {:>10} {:>10} {:>9} {:>12}  outcome",
-        "model", "expect", "schedules", "steps", "secs", "sched/sec"
+        "{:<24} {:>6} {:>10} {:>10} {:>8} {:>8} {:>11}  outcome",
+        "model", "expect", "schedules", "steps", "pruned", "secs", "sched/sec"
     );
     let mut all_ok = true;
     for r in &rows {
@@ -148,8 +178,8 @@ fn main() -> ExitCode {
             f64::INFINITY
         };
         println!(
-            "{:<24} {:>6} {:>10} {:>10} {:>9.3} {:>12.0}  {}",
-            r.name, r.expect, r.schedules, r.steps, r.secs, rate, r.outcome
+            "{:<24} {:>6} {:>10} {:>10} {:>8} {:>8.3} {:>11.0}  {}",
+            r.name, r.expect, r.schedules, r.steps, r.pruned, r.secs, rate, r.outcome
         );
         all_ok &= r.ok;
     }

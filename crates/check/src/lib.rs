@@ -24,6 +24,7 @@
 
 pub mod lint;
 pub mod models;
+mod race;
 mod rt;
 pub mod sync;
 pub mod trace;

@@ -44,6 +44,13 @@
 //!   baseline. The per-frame path works exclusively through reused
 //!   scratch buffers (`clear()` + `push()` retain capacity), which is
 //!   what lets one process hold a million resident sessions.
+//! - **R7 model-coverage**: every facade crate (the R4 set) must ship
+//!   a `tests/check_models.rs` schedule-exploration suite, and the
+//!   crate's package must be listed on CI's `--cfg qtag_check`
+//!   `cargo test` sweep. Routing a crate's synchronization through the
+//!   facade is only worth the indirection if the checker actually
+//!   explores that crate's interleavings on every push — a facade
+//!   without models is unverified surface area.
 //!
 //! Findings are aggregated to stable keys (`rule|path|detail|count`,
 //! no line numbers, so unrelated edits don't churn the file) and
@@ -642,6 +649,75 @@ fn check_r6(f: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Package names run by `cargo test` lines under `--cfg qtag_check`
+/// in the CI workflow text. The `--cfg` typically lives in a step's
+/// `env:` block adjacent to the `run:` line, so the match window
+/// spans a few lines around each `cargo test`.
+fn qtag_check_sweep_packages(ci: &str) -> Vec<String> {
+    let lines: Vec<&str> = ci.lines().collect();
+    let mut pkgs = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if is_comment_line(line) || !line.contains("cargo test") {
+            continue;
+        }
+        let lo = i.saturating_sub(4);
+        let hi = (i + 5).min(lines.len());
+        if !lines[lo..hi].iter().any(|l| l.contains("--cfg qtag_check")) {
+            continue;
+        }
+        let mut rest = *line;
+        while let Some(pos) = rest.find("-p ") {
+            let tail = &rest[pos + 3..];
+            let pkg: String = tail
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '-')
+                .collect();
+            if !pkg.is_empty() {
+                pkgs.push(pkg);
+            }
+            rest = tail;
+        }
+    }
+    pkgs
+}
+
+/// R7 model-coverage: each facade crate must ship a
+/// `tests/check_models.rs` suite and appear on CI's qtag_check sweep.
+fn check_r7(root: &Path, out: &mut Vec<Finding>) {
+    const CI_PATH: &str = ".github/workflows/ci.yml";
+    let ci = fs::read_to_string(root.join(CI_PATH)).unwrap_or_default();
+    let swept = qtag_check_sweep_packages(&ci);
+    for src in FACADE_CRATES {
+        let crate_dir = src.trim_end_matches("/src");
+        let models = format!("{crate_dir}/tests/check_models.rs");
+        if !root.join(&models).is_file() {
+            out.push(Finding {
+                rule: "R7",
+                path: models,
+                line: 1,
+                detail: format!("facade crate {crate_dir} ships no check_models.rs suite"),
+            });
+        }
+        let manifest =
+            fs::read_to_string(root.join(crate_dir).join("Cargo.toml")).unwrap_or_default();
+        let Some(pkg) = manifest.lines().find_map(|l| {
+            l.trim()
+                .strip_prefix("name = \"")
+                .and_then(|r| r.split('"').next())
+        }) else {
+            continue;
+        };
+        if !swept.iter().any(|s| s == pkg) {
+            out.push(Finding {
+                rule: "R7",
+                path: CI_PATH.to_string(),
+                line: 1,
+                detail: format!("{pkg} missing from the --cfg qtag_check model sweep"),
+            });
+        }
+    }
+}
+
 /// Runs all rules over the workspace rooted at `root`.
 pub fn run(root: &Path) -> Vec<Finding> {
     let ws = gather(root);
@@ -654,6 +730,7 @@ pub fn run(root: &Path) -> Vec<Finding> {
         check_r5(f, &mut findings);
         check_r6(f, &mut findings);
     }
+    check_r7(root, &mut findings);
     findings.sort_by(|a, b| {
         (a.rule, &a.path, a.line, &a.detail).cmp(&(b.rule, &b.path, b.line, &b.detail))
     });
@@ -999,6 +1076,24 @@ mod tests {
         check_r6(&f, &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].detail.contains("query"));
+    }
+
+    #[test]
+    fn r7_sweep_parser_reads_packages_near_the_cfg() {
+        let ci = "\
+      - name: Ported-code models (--cfg qtag_check)\n\
+        run: cargo test -q -p qtag-check -p crossbeam -p qtag-store\n\
+        env:\n\
+          RUSTFLAGS: --cfg qtag_check\n\
+      - name: Plain suite (no cfg nearby)\n\
+        run: echo spacer\n\
+        # pad the window so the qtag_check above is out of range\n\
+        # pad\n\
+        # pad\n\
+      - name: Far-away test\n\
+        run: cargo test -q -p qtag-wire\n";
+        let pkgs = qtag_check_sweep_packages(ci);
+        assert_eq!(pkgs, vec!["qtag-check", "crossbeam", "qtag-store"]);
     }
 
     #[test]

@@ -234,6 +234,70 @@ pub fn abba_deadlock() -> impl Fn() + Send + Sync + 'static {
     }
 }
 
+/// The race-detector canary: a worker bumps a shared counter while
+/// the spawner takes a concurrent "progress glimpse" of it before
+/// joining. With `publish = false` both sides are `Relaxed` and
+/// nothing orders them — the happens-before race detector must flag
+/// the pair (deliberately unsynchronized, styled after the kept PR-1
+/// lost-wakeup bug). With `publish = true` the increment is `AcqRel`
+/// and the glimpse `Acquire`: the same interleavings are explored but
+/// the pair is synchronization, not a race.
+///
+/// Either way the *exact* read happens after `join`, through a
+/// `Relaxed` load — ordered by the join edge, which is precisely the
+/// "monotone stat, read after join" pattern the workspace's R2
+/// comments justify; the detector must accept it.
+pub fn relaxed_counter_handoff(publish: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let count = Arc::new(AtomicU64::new(0));
+        let worker = {
+            let count = Arc::clone(&count);
+            thread::spawn(move || {
+                if publish {
+                    count.fetch_add(1, Ordering::AcqRel);
+                } else {
+                    count.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+        let glimpse = if publish {
+            count.load(Ordering::Acquire)
+        } else {
+            count.load(Ordering::Relaxed)
+        };
+        assert!(glimpse <= 1);
+        worker.join().unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+}
+
+/// N threads each incrementing their *own* atomic: every cross-thread
+/// op pair is independent, so sleep-set reduction collapses the n!
+/// interleavings to a handful of representatives. The showcase for
+/// the schedule-reduction table (and the equivalence property test).
+pub fn independent_counters(threads: usize) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let counters: Vec<Arc<AtomicU64>> =
+            (0..threads).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let handles: Vec<_> = counters
+            .iter()
+            .map(|c| {
+                let c = Arc::clone(c);
+                thread::spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for c in &counters {
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+        }
+    }
+}
+
 /// A receiver in `recv_timeout` position: waits with a timeout while
 /// nothing is ever sent. Every schedule must terminate via the timeout
 /// firing — exercises timed-wait scheduling.

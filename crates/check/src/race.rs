@@ -1,0 +1,531 @@
+//! Happens-before machinery: vector clocks, operation descriptors,
+//! the dependency relation, and the data-race detector state.
+//!
+//! Every visible operation a model thread announces at its
+//! `yield_point` carries an [`Op`] descriptor. The scheduler uses the
+//! descriptors twice:
+//!
+//! 1. **Race detection** (FastTrack-style): each thread carries a
+//!    [`VClock`]; happens-before edges are built *only* from
+//!    synchronization the code actually expresses — mutex
+//!    unlock→lock, condvar notify→wake, spawn/join, and
+//!    Acquire/Release/SeqCst atomic accesses (a release write joins
+//!    the object's sync clock; an acquire read joins it back). A pair
+//!    of conflicting accesses (same atomic, at least one write) that
+//!    is unordered by that HB relation *and* involves at least one
+//!    `Relaxed` access is a data race: the model's interleaving
+//!    exploration is sequentially consistent, so a Relaxed access that
+//!    only works because the explorer serializes everything is exactly
+//!    the bug class R2's `// ordering:` comments promise away — here
+//!    it is verified dynamically on every explored schedule. Pairs
+//!    where both sides are Acquire/Release/SeqCst are synchronization
+//!    by construction and never flagged.
+//!
+//! 2. **Sleep-set partial-order reduction**: two ops *commute* (are
+//!    independent) when executing them in either order reaches the
+//!    same state — see [`dependent`]. The DFS in `rt.rs` uses this to
+//!    skip interleavings that only permute independent operations.
+//!
+//! Approximations, all conservative for the race check (extra HB
+//! edges → fewer reported races, never spurious ones):
+//! - an acquire read synchronizes with *every* prior release write to
+//!   the object, not just the one whose value it read (the explorer
+//!   serializes all accesses, so this is the release-sequence
+//!   over-approximation);
+//! - `compare_exchange` uses its success ordering whether or not the
+//!   exchange succeeded;
+//! - a condvar notify joins the condvar's clock, and any waiter later
+//!   woken by a notify joins it back (edges from notifies that woke
+//!   nobody are included).
+
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+
+use crate::rt::Tid;
+
+/// Grow-on-demand vector clock indexed by [`Tid`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    pub(crate) fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    pub(crate) fn get(&self, tid: Tid) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn grow_to(&mut self, tid: Tid) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+    }
+
+    /// Increments `tid`'s own component and returns the new epoch.
+    pub(crate) fn bump(&mut self, tid: Tid) -> u64 {
+        self.grow_to(tid);
+        self.0[tid] += 1;
+        self.0[tid]
+    }
+
+    /// Pointwise max; returns whether anything changed (a genuinely
+    /// new happens-before edge was learned).
+    pub(crate) fn join(&mut self, other: &VClock) -> bool {
+        let mut changed = false;
+        for (i, &v) in other.0.iter().enumerate() {
+            self.grow_to(i);
+            if self.0[i] < v {
+                self.0[i] = v;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// How an atomic access touches memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AccessKind {
+    Load,
+    Store,
+    /// Read-modify-write (`fetch_*`, `swap`, `compare_exchange*`).
+    Rmw,
+}
+
+impl AccessKind {
+    pub(crate) fn is_write(self) -> bool {
+        !matches!(self, AccessKind::Load)
+    }
+
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+            AccessKind::Rmw => "rmw",
+        }
+    }
+}
+
+fn order_label(o: Ordering) -> &'static str {
+    match o {
+        Ordering::Relaxed => "Relaxed",
+        Ordering::Acquire => "Acquire",
+        Ordering::Release => "Release",
+        Ordering::AcqRel => "AcqRel",
+        Ordering::SeqCst => "SeqCst",
+        _ => "?",
+    }
+}
+
+/// Whether the ordering has acquire semantics for a read side.
+pub(crate) fn acquires(kind: AccessKind, order: Ordering) -> bool {
+    match kind {
+        AccessKind::Store => false,
+        _ => matches!(
+            order,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        ),
+    }
+}
+
+/// Whether the ordering has release semantics for a write side.
+pub(crate) fn releases(kind: AccessKind, order: Ordering) -> bool {
+    match kind {
+        AccessKind::Load => false,
+        _ => matches!(
+            order,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        ),
+    }
+}
+
+/// The visible operation a thread has announced as its next step.
+/// Known for every parked candidate at a decision point (threads
+/// announce *before* asking the scheduler), which is what makes
+/// sleep-set reasoning possible in this runtime.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Op {
+    Atomic {
+        obj: usize,
+        kind: AccessKind,
+        // Ordering and call site live in the [`Access`] record, not
+        // here: the dependency relation cares only about object
+        // identity and write-ness.
+    },
+    MutexLock {
+        mid: usize,
+    },
+    MutexUnlock {
+        mid: usize,
+    },
+    CondvarWait {
+        cid: usize,
+        mid: usize,
+    },
+    CondvarNotify {
+        cid: usize,
+    },
+    /// Synthetic: scheduling a timed waiter fires its timeout (and
+    /// advances the logical clock — which is why it is dependent with
+    /// everything, regardless of which condvar it waited on).
+    CondvarTimeout,
+    Spawn,
+    Join {
+        target: Tid,
+    },
+    /// Synthetic: a thread completing (wakes joiners).
+    Finish {
+        tid: Tid,
+    },
+    /// `thread::yield_now` — a pure decision point, no state touched.
+    Yield,
+    /// `thread::sleep` — advances the shared logical clock.
+    Sleep,
+}
+
+/// The dependency relation for partial-order reduction: `true` when
+/// the two operations do **not** commute (executing them in either
+/// order may reach different states), or when we cannot prove they
+/// do. Symmetric. Conservative in the dependent direction — extra
+/// dependence only costs reduction, never soundness.
+pub(crate) fn dependent(a: &Op, b: &Op) -> bool {
+    use Op::*;
+    // Clock-advancing ops are dependent with everything: any other
+    // thread may read the logical clock (`Instant::now`) from invisible
+    // code, which reordering would change.
+    if matches!(a, Sleep | CondvarTimeout) || matches!(b, Sleep | CondvarTimeout) {
+        // ... except two pure yields/sleeps against a yield, handled
+        // below via the Yield arm being unconditionally independent.
+        if !matches!(a, Yield) && !matches!(b, Yield) {
+            return true;
+        }
+    }
+    match (a, b) {
+        // Yield touches nothing.
+        (Yield, _) | (_, Yield) => false,
+        // Spawn only creates a thread that did not exist before the
+        // op; it cannot race with anything already enabled.
+        (Spawn, _) | (_, Spawn) => false,
+        (
+            Atomic {
+                obj: o1, kind: k1, ..
+            },
+            Atomic {
+                obj: o2, kind: k2, ..
+            },
+        ) => o1 == o2 && (k1.is_write() || k2.is_write()),
+        (Atomic { .. }, _) | (_, Atomic { .. }) => false,
+        // All mutex ops on the same mutex interfere (lock vs lock
+        // contend, unlock enables lock). A condvar wait releases and
+        // reacquires its mutex, so it participates in both classes.
+        (MutexLock { mid: m1 }, MutexLock { mid: m2 })
+        | (MutexLock { mid: m1 }, MutexUnlock { mid: m2 })
+        | (MutexUnlock { mid: m1 }, MutexLock { mid: m2 })
+        | (MutexUnlock { mid: m1 }, MutexUnlock { mid: m2 })
+        | (MutexLock { mid: m1 }, CondvarWait { mid: m2, .. })
+        | (CondvarWait { mid: m1, .. }, MutexLock { mid: m2 })
+        | (MutexUnlock { mid: m1 }, CondvarWait { mid: m2, .. })
+        | (CondvarWait { mid: m1, .. }, MutexUnlock { mid: m2 }) => m1 == m2,
+        (CondvarWait { cid: c1, mid: m1 }, CondvarWait { cid: c2, mid: m2 }) => {
+            c1 == c2 || m1 == m2
+        }
+        (CondvarWait { cid: c1, .. }, CondvarNotify { cid: c2 })
+        | (CondvarNotify { cid: c1 }, CondvarWait { cid: c2, .. })
+        | (CondvarNotify { cid: c1 }, CondvarNotify { cid: c2 }) => c1 == c2,
+        (CondvarNotify { .. }, _) | (_, CondvarNotify { .. }) => false,
+        (MutexLock { .. } | MutexUnlock { .. } | CondvarWait { .. }, _)
+        | (_, MutexLock { .. } | MutexUnlock { .. } | CondvarWait { .. }) => false,
+        // Join interferes only with its target finishing; Finish
+        // interferes only with joins on it.
+        (Join { target }, Finish { tid }) | (Finish { tid }, Join { target }) => target == tid,
+        (Join { .. }, Join { .. }) => false,
+        (Join { .. } | Finish { .. }, _) | (_, Join { .. } | Finish { .. }) => false,
+        // Sleep/CondvarTimeout pairs were handled up front.
+        (Sleep | CondvarTimeout, _) => true,
+    }
+}
+
+/// One recorded access for the race check: the accessing thread's own
+/// epoch at access time plus everything a report needs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Access {
+    pub(crate) tid: Tid,
+    pub(crate) epoch: u64,
+    pub(crate) kind: AccessKind,
+    pub(crate) order: Ordering,
+    pub(crate) site: &'static Location<'static>,
+}
+
+impl Access {
+    fn describe(&self) -> String {
+        format!(
+            "{}({}) by thread {} at {}:{}",
+            self.kind.label(),
+            order_label(self.order),
+            self.tid,
+            self.site.file(),
+            self.site.line()
+        )
+    }
+}
+
+/// Per-atomic-object detector state. For each (thread, read/write)
+/// slot the latest access is kept, plus the latest *Relaxed* access
+/// when a stronger one has since overwritten it — epochs are
+/// monotone, so if the latest access is ordered before a later
+/// conflicting access, every older one is too; only the Relaxed flag
+/// of an overwritten access can change a verdict.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicObj {
+    /// Joined clocks of all release writes (the object's
+    /// synchronizes-with frontier).
+    pub(crate) sync: VClock,
+    writes: Vec<Option<Access>>,
+    relaxed_writes: Vec<Option<Access>>,
+    reads: Vec<Option<Access>>,
+    relaxed_reads: Vec<Option<Access>>,
+}
+
+fn slot(v: &mut Vec<Option<Access>>, tid: Tid) -> &mut Option<Access> {
+    if v.len() <= tid {
+        v.resize(tid + 1, None);
+    }
+    &mut v[tid]
+}
+
+impl AtomicObj {
+    /// Records `access` and returns the first conflicting prior access
+    /// that is unordered by happens-before and Relaxed on at least one
+    /// side (`clock` is the accessing thread's clock, already bumped
+    /// and acquire-joined for this access).
+    pub(crate) fn check_and_record(&mut self, access: Access, clock: &VClock) -> Option<Access> {
+        let mut hit: Option<Access> = None;
+        {
+            let mut consider = |prev: &Option<Access>| {
+                if hit.is_some() {
+                    return;
+                }
+                let Some(p) = prev else { return };
+                if p.tid == access.tid {
+                    return;
+                }
+                // Conflicting = same object (given), at least one write.
+                if !(p.kind.is_write() || access.kind.is_write()) {
+                    return;
+                }
+                // Ordered iff the accessor has seen the prior access's
+                // epoch through some happens-before path.
+                if clock.get(p.tid) >= p.epoch {
+                    return;
+                }
+                // Both sides non-Relaxed = synchronization traffic.
+                if p.order != Ordering::Relaxed && access.order != Ordering::Relaxed {
+                    return;
+                }
+                hit = Some(*p);
+            };
+            for t in 0..self
+                .writes
+                .len()
+                .max(self.reads.len())
+                .max(self.relaxed_writes.len())
+                .max(self.relaxed_reads.len())
+            {
+                consider(self.writes.get(t).unwrap_or(&None));
+                consider(self.relaxed_writes.get(t).unwrap_or(&None));
+                if access.kind.is_write() {
+                    consider(self.reads.get(t).unwrap_or(&None));
+                    consider(self.relaxed_reads.get(t).unwrap_or(&None));
+                }
+            }
+        }
+        // Record (RMW counts as a write: its epoch covers both halves).
+        let (latest, relaxed) = if access.kind.is_write() {
+            (&mut self.writes, &mut self.relaxed_writes)
+        } else {
+            (&mut self.reads, &mut self.relaxed_reads)
+        };
+        if access.order == Ordering::Relaxed {
+            *slot(relaxed, access.tid) = Some(access);
+        } else if slot(latest, access.tid).is_some_and(|p| p.order == Ordering::Relaxed) {
+            *slot(relaxed, access.tid) = slot(latest, access.tid).take();
+        }
+        *slot(latest, access.tid) = Some(access);
+        hit
+    }
+}
+
+/// Renders the race-report message; both access sites are named so
+/// the offending pair can be found (and justified or fixed) directly.
+pub(crate) fn race_message(obj: usize, prev: &Access, cur: &Access) -> String {
+    format!(
+        "data race on atomic #{obj}: {} is unordered (happens-before) with {} — \
+         a Relaxed access relies on scheduling for correctness; add synchronization \
+         or allow it via Builder::allow_race(\"<site>\") with a justification",
+        prev.describe(),
+        cur.describe()
+    )
+}
+
+/// `true` when either access site matches an allowlist pattern
+/// (substring of `file` or `file:line`).
+pub(crate) fn race_allowed(patterns: &[String], a: &Access, b: &Access) -> bool {
+    let sa = format!("{}:{}", a.site.file(), a.site.line());
+    let sb = format!("{}:{}", b.site.file(), b.site.line());
+    patterns
+        .iter()
+        .any(|p| !p.is_empty() && (sa.contains(p.as_str()) || sb.contains(p.as_str())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[track_caller]
+    fn here() -> &'static Location<'static> {
+        Location::caller()
+    }
+
+    fn acc(tid: Tid, epoch: u64, kind: AccessKind, order: Ordering) -> Access {
+        Access {
+            tid,
+            epoch,
+            kind,
+            order,
+            site: here(),
+        }
+    }
+
+    #[test]
+    fn vclock_join_and_bump() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        assert_eq!(a.bump(0), 1);
+        assert_eq!(a.bump(0), 2);
+        assert_eq!(b.bump(3), 1);
+        assert!(a.join(&b), "learning a new component changes the clock");
+        assert!(!a.join(&b), "re-joining the same clock is a no-op");
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(3), 1);
+        assert_eq!(a.get(7), 0);
+    }
+
+    #[test]
+    fn unordered_relaxed_writes_race() {
+        let mut obj = AtomicObj::default();
+        let mut c0 = VClock::new();
+        let mut c1 = VClock::new();
+        let e0 = c0.bump(0);
+        assert!(obj
+            .check_and_record(acc(0, e0, AccessKind::Rmw, Ordering::Relaxed), &c0)
+            .is_none());
+        let e1 = c1.bump(1);
+        let hit = obj.check_and_record(acc(1, e1, AccessKind::Rmw, Ordering::Relaxed), &c1);
+        assert!(hit.is_some(), "unordered Relaxed RMWs must race");
+        assert_eq!(hit.unwrap().tid, 0);
+    }
+
+    #[test]
+    fn hb_ordered_relaxed_accesses_do_not_race() {
+        let mut obj = AtomicObj::default();
+        let mut c0 = VClock::new();
+        let e0 = c0.bump(0);
+        obj.check_and_record(acc(0, e0, AccessKind::Store, Ordering::Relaxed), &c0);
+        // Thread 1 joins thread 0's clock (e.g. via a mutex) before
+        // accessing: ordered, no race.
+        let mut c1 = VClock::new();
+        c1.join(&c0);
+        let e1 = c1.bump(1);
+        assert!(obj
+            .check_and_record(acc(1, e1, AccessKind::Load, Ordering::Relaxed), &c1)
+            .is_none());
+    }
+
+    #[test]
+    fn unordered_seqcst_pair_is_synchronization_not_a_race() {
+        let mut obj = AtomicObj::default();
+        let mut c0 = VClock::new();
+        let mut c1 = VClock::new();
+        let e0 = c0.bump(0);
+        obj.check_and_record(acc(0, e0, AccessKind::Store, Ordering::SeqCst), &c0);
+        let e1 = c1.bump(1);
+        assert!(obj
+            .check_and_record(acc(1, e1, AccessKind::Load, Ordering::SeqCst), &c1)
+            .is_none());
+    }
+
+    #[test]
+    fn reads_do_not_conflict_with_reads() {
+        let mut obj = AtomicObj::default();
+        let mut c0 = VClock::new();
+        let mut c1 = VClock::new();
+        let e0 = c0.bump(0);
+        obj.check_and_record(acc(0, e0, AccessKind::Load, Ordering::Relaxed), &c0);
+        let e1 = c1.bump(1);
+        assert!(obj
+            .check_and_record(acc(1, e1, AccessKind::Load, Ordering::Relaxed), &c1)
+            .is_none());
+    }
+
+    #[test]
+    fn overwritten_relaxed_access_still_races() {
+        // Thread 0: Relaxed store, then SeqCst store. Thread 1's
+        // unordered SeqCst load must still be flagged against the
+        // shadowed Relaxed store.
+        let mut obj = AtomicObj::default();
+        let mut c0 = VClock::new();
+        let e = c0.bump(0);
+        obj.check_and_record(acc(0, e, AccessKind::Store, Ordering::Relaxed), &c0);
+        let e = c0.bump(0);
+        obj.check_and_record(acc(0, e, AccessKind::Store, Ordering::SeqCst), &c0);
+        let mut c1 = VClock::new();
+        let e1 = c1.bump(1);
+        let hit = obj.check_and_record(acc(1, e1, AccessKind::Load, Ordering::SeqCst), &c1);
+        assert!(hit.is_some(), "shadowed Relaxed store must still be found");
+        assert_eq!(hit.unwrap().order, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn dependence_relation_basics() {
+        use Op::*;
+        let w = |obj| Atomic {
+            obj,
+            kind: AccessKind::Store,
+        };
+        let r = |obj| Atomic {
+            obj,
+            kind: AccessKind::Load,
+        };
+        assert!(dependent(&w(0), &r(0)));
+        assert!(dependent(&w(0), &w(0)));
+        assert!(!dependent(&r(0), &r(0)), "loads commute");
+        assert!(!dependent(&w(0), &w(1)), "distinct objects commute");
+        assert!(dependent(&MutexLock { mid: 0 }, &MutexUnlock { mid: 0 }));
+        assert!(!dependent(&MutexLock { mid: 0 }, &MutexLock { mid: 1 }));
+        assert!(dependent(
+            &CondvarNotify { cid: 2 },
+            &CondvarWait { cid: 2, mid: 0 }
+        ));
+        assert!(!dependent(&CondvarNotify { cid: 2 }, &w(0)));
+        assert!(dependent(&Join { target: 3 }, &Finish { tid: 3 }));
+        assert!(!dependent(&Join { target: 3 }, &Finish { tid: 4 }));
+        assert!(!dependent(&Yield, &w(0)));
+        assert!(!dependent(&Spawn, &w(0)));
+        assert!(dependent(&Sleep, &w(0)), "clock advancers never commute");
+        assert!(dependent(&CondvarTimeout, &w(1)));
+        assert!(
+            !dependent(&Yield, &Sleep),
+            "yield commutes even with clock advancers"
+        );
+    }
+
+    #[test]
+    fn allowlist_matches_either_site() {
+        let a = acc(0, 1, AccessKind::Rmw, Ordering::Relaxed);
+        let b = acc(1, 1, AccessKind::Load, Ordering::Relaxed);
+        assert!(race_allowed(&["race.rs".into()], &a, &b));
+        assert!(!race_allowed(&["nonexistent.rs".into()], &a, &b));
+        assert!(!race_allowed(&[String::new()], &a, &b));
+    }
+}

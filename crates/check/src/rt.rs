@@ -1,13 +1,16 @@
 //! The execution runtime: a token-passing deterministic scheduler with
-//! seeded, bounded-DFS exploration of thread interleavings.
+//! seeded, bounded-DFS exploration of thread interleavings, sleep-set
+//! partial-order reduction, and a vector-clock data-race detector.
 //!
 //! One model *execution* runs the user's closure with every visible
 //! operation (atomic access, mutex acquire/release, condvar
 //! wait/notify, spawn/join) serialized: exactly one model thread holds
 //! the run token at any instant, and at the start of each visible
-//! operation the token holder asks the scheduler which thread performs
-//! its next operation. When more than one thread could go, that is a
-//! *decision point*; the sequence of decisions is the schedule.
+//! operation the token holder announces the operation (an
+//! [`Op`](crate::race) descriptor) and asks the scheduler which thread
+//! performs its next operation. When more than one thread could go,
+//! that is a *decision point*; the sequence of decisions is the
+//! schedule.
 //!
 //! Exploration is depth-first over the decision tree: run the schedule
 //! that picks candidate 0 everywhere, then backtrack the deepest
@@ -19,18 +22,41 @@
 //! which concentrates the budget on the schedules most likely to
 //! expose races in larger models.
 //!
+//! **Partial-order reduction** (on by default, `Builder::dpor`):
+//! because every candidate thread has already announced its next
+//! operation, the scheduler maintains classic sleep sets — after a
+//! branch at a decision node is fully explored, the branch's thread
+//! *sleeps* in the node's later branches until some dependent
+//! operation (see [`crate::race::dependent`]) executes. An execution
+//! whose every candidate is asleep is a redundant interleaving of an
+//! already-explored Mazurkiewicz trace and is abandoned ("pruned").
+//! Pruned executions do **not** count against `max_schedules` — only
+//! completed schedules burn exploration budget. Sleep sets preserve
+//! all deadlocks and local assertion failures: at least one
+//! representative per trace class is still explored.
+//!
+//! **Race detection** (on by default, `Builder::race_detector`):
+//! every atomic access carries its `Ordering` and caller location;
+//! happens-before is built only from Acquire/Release/SeqCst edges plus
+//! mutex unlock→lock, condvar notify→wake, and spawn/join. A pair of
+//! conflicting accesses unordered by that relation with at least one
+//! `Relaxed` side fails the schedule with [`FailureKind::Race`],
+//! naming both access sites — unless allowlisted via
+//! [`Builder::allow_race`] (counted in [`Report::races`] instead).
+//!
 //! Failures — model panics (assertion failures), deadlocks (no thread
-//! runnable, not all finished), step-budget exhaustion (livelock), and
-//! nondeterminism (the model diverged under an identical schedule
-//! prefix) — abort the execution and are reported with a replayable
-//! [`TraceToken`].
+//! runnable, not all finished), data races, step-budget exhaustion
+//! (livelock), and nondeterminism (the model diverged under an
+//! identical schedule prefix) — abort the execution and are reported
+//! with a replayable [`TraceToken`].
 //!
 //! Model threads are real OS threads, but all blocking goes through
 //! the scheduler's own lock, so a failed execution can always wake and
 //! unwind every thread it spawned.
 
+use crate::race::{self, AccessKind, AtomicObj, Op, VClock};
 use crate::trace::TraceToken;
-use std::panic::{self, AssertUnwindSafe};
+use std::panic::{self, AssertUnwindSafe, Location};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
@@ -93,6 +119,30 @@ struct ThreadInfo {
     status: Status,
     /// Set when a condvar waiter is woken, read back by its `wait*`.
     wake: Option<Wake>,
+    /// The operation this thread announced at its last `yield_point`
+    /// and has not yet moved past — the candidate's next transition,
+    /// used by the sleep-set dependence checks. `None` only for a
+    /// freshly spawned thread that has not reached its first visible
+    /// operation (treated as dependent with everything).
+    pending: Option<Op>,
+    /// Sleep-set membership: an asleep thread's next operation
+    /// commutes with an already-explored sibling branch, so running it
+    /// here would re-explore an equivalent interleaving.
+    asleep: bool,
+    /// Vector clock for happens-before construction.
+    clock: VClock,
+}
+
+impl ThreadInfo {
+    fn new() -> Self {
+        ThreadInfo {
+            status: Status::Runnable,
+            wake: None,
+            pending: None,
+            asleep: false,
+            clock: VClock::new(),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -104,6 +154,8 @@ pub(crate) struct Decision {
 #[derive(Debug, Default)]
 struct MutexState {
     owner: Option<Tid>,
+    /// Joined clocks of all releases (unlock→lock edges).
+    clock: VClock,
 }
 
 #[derive(Debug, Default)]
@@ -111,6 +163,8 @@ struct CondvarState {
     /// The mutex this condvar is currently associated with (std
     /// semantics: one mutex at a time while there are waiters).
     mid: Option<usize>,
+    /// Joined clocks of all notifies (notify→wake edges).
+    clock: VClock,
 }
 
 /// What went wrong in a failing schedule.
@@ -120,6 +174,9 @@ pub enum FailureKind {
     Panic,
     /// No thread was runnable but not all had finished.
     Deadlock,
+    /// Two conflicting atomic accesses, at least one `Relaxed`,
+    /// unordered by happens-before (see `crates/check/src/race.rs`).
+    Race,
     /// The per-execution step budget was exhausted (livelock or an
     /// unbounded spin under the model).
     StepBudget,
@@ -133,6 +190,7 @@ impl std::fmt::Display for FailureKind {
         match self {
             FailureKind::Panic => write!(f, "panic"),
             FailureKind::Deadlock => write!(f, "deadlock"),
+            FailureKind::Race => write!(f, "data race"),
             FailureKind::StepBudget => write!(f, "step budget exhausted"),
             FailureKind::Nondeterminism => write!(f, "nondeterministic model"),
         }
@@ -154,6 +212,7 @@ pub(crate) struct ExecState {
     last_active: Tid,
     mutexes: Vec<MutexState>,
     condvars: Vec<CondvarState>,
+    atomics: Vec<AtomicObj>,
     /// Forced choices (candidate indices) for the DFS replay prefix.
     prefix: Vec<usize>,
     decisions: Vec<Decision>,
@@ -162,10 +221,34 @@ pub(crate) struct ExecState {
     clock_us: u64,
     failure: Option<Failure>,
     aborting: bool,
+    /// Execution abandoned by sleep-set reduction (redundant
+    /// interleaving, not a failure).
+    pruned: bool,
     done: bool,
     seed: u64,
     max_steps: u64,
     preemption_bound: Option<usize>,
+    dpor: bool,
+    race_detector: bool,
+    benign_patterns: Arc<Vec<String>>,
+    /// Acquire-side happens-before joins that learned something new.
+    hb_edges: u64,
+    /// Racy pairs observed but tolerated (allowlisted, or detector
+    /// disabled).
+    races: u64,
+}
+
+/// The next transition a candidate thread would perform if chosen:
+/// its announced pending op, except that choosing a timed condvar
+/// waiter fires its timeout (a clock-advancing synthetic op).
+fn sched_op(st: &ExecState, tid: Tid) -> Option<Op> {
+    match st.threads[tid].status {
+        Status::BlockedCondvar {
+            timeout_us: Some(_),
+            ..
+        } => Some(Op::CondvarTimeout),
+        _ => st.threads[tid].pending,
+    }
 }
 
 /// One model execution. Shared by every thread of the execution via
@@ -185,7 +268,7 @@ pub(crate) struct Execution {
 static EXEC_SERIAL: AtomicU64 = AtomicU64::new(1);
 
 impl Execution {
-    fn new(seed: u64, prefix: Vec<usize>, max_steps: u64, preemption_bound: Option<usize>) -> Self {
+    fn new(b: &Builder, prefix: Vec<usize>, benign_patterns: Arc<Vec<String>>) -> Self {
         Execution {
             st: Mutex::new(ExecState {
                 threads: Vec::new(),
@@ -194,6 +277,7 @@ impl Execution {
                 last_active: 0,
                 mutexes: Vec::new(),
                 condvars: Vec::new(),
+                atomics: Vec::new(),
                 prefix,
                 decisions: Vec::new(),
                 preemptions: 0,
@@ -201,10 +285,16 @@ impl Execution {
                 clock_us: 0,
                 failure: None,
                 aborting: false,
+                pruned: false,
                 done: false,
-                seed,
-                max_steps,
-                preemption_bound,
+                seed: b.seed,
+                max_steps: b.max_steps,
+                preemption_bound: b.preemption_bound,
+                dpor: b.dpor,
+                race_detector: b.race_detector,
+                benign_patterns,
+                hb_edges: 0,
+                races: 0,
             }),
             cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -222,10 +312,7 @@ impl Execution {
     pub(crate) fn register_thread(&self) -> Tid {
         let mut st = self.lock();
         let tid = st.threads.len();
-        st.threads.push(ThreadInfo {
-            status: Status::Runnable,
-            wake: None,
-        });
+        st.threads.push(ThreadInfo::new());
         st.n_live += 1;
         tid
     }
@@ -240,6 +327,12 @@ impl Execution {
         let mut st = self.lock();
         st.condvars.push(CondvarState::default());
         st.condvars.len() - 1
+    }
+
+    pub(crate) fn register_atomic(&self) -> usize {
+        let mut st = self.lock();
+        st.atomics.push(AtomicObj::default());
+        st.atomics.len() - 1
     }
 
     pub(crate) fn clock_us(&self) -> u64 {
@@ -261,8 +354,8 @@ impl Execution {
 
     /// Picks the next thread to run. Called with the state lock held
     /// by the thread that just completed (or is about to block on) an
-    /// operation. Handles deadlock detection and the all-finished
-    /// case.
+    /// operation. Handles deadlock detection, sleep-set pruning, and
+    /// the all-finished case.
     fn pick_next(&self, st: &mut ExecState) {
         if st.aborting {
             self.cv.notify_all();
@@ -311,6 +404,25 @@ impl Execution {
             self.cv.notify_all();
             return;
         }
+        // Sleep-set reduction: a sleeping candidate's next operation
+        // commutes with an already-explored sibling branch. If every
+        // candidate is asleep, this whole execution is a redundant
+        // member of an explored trace class — abandon it (counted as
+        // pruned, never as a schedule or a failure).
+        if st.dpor {
+            let eligible: Vec<Tid> = candidates
+                .iter()
+                .copied()
+                .filter(|&t| !st.threads[t].asleep)
+                .collect();
+            if eligible.is_empty() {
+                st.pruned = true;
+                st.aborting = true;
+                self.cv.notify_all();
+                return;
+            }
+            candidates = eligible;
+        }
         // Preemption bounding: once the budget is spent, stick with
         // the current thread whenever it is still a candidate.
         if let Some(bound) = st.preemption_bound {
@@ -358,6 +470,30 @@ impl Execution {
             0
         };
         let next = candidates[chosen];
+        if st.dpor {
+            // Sleep-set bookkeeping (Godefroid). Forcing choice `c`
+            // during DFS replay means branches 0..c at this node are
+            // fully explored: their threads sleep in this branch.
+            // Executing the chosen op then wakes every sleeper whose
+            // next operation depends on it (a sleeper with an unknown
+            // op — fresh spawn — is treated as dependent).
+            for &sib in &candidates[..chosen] {
+                st.threads[sib].asleep = true;
+            }
+            let chosen_op = sched_op(st, next);
+            for q in 0..st.threads.len() {
+                if !st.threads[q].asleep {
+                    continue;
+                }
+                let woke = match (chosen_op, sched_op(st, q)) {
+                    (Some(a), Some(b)) => race::dependent(&a, &b),
+                    _ => true,
+                };
+                if woke {
+                    st.threads[q].asleep = false;
+                }
+            }
+        }
         if next != st.last_active
             && st
                 .threads
@@ -402,17 +538,19 @@ impl Execution {
         }
     }
 
-    /// The start of every visible operation: counts a step, lets the
-    /// scheduler decide who performs their next operation, and returns
-    /// with the token held (state lock still held — callers that
-    /// mutate model state do so under this guard).
-    pub(crate) fn yield_point(&self, me: Tid) -> MutexGuard<'_, ExecState> {
+    /// The start of every visible operation: announces the operation
+    /// (for sleep-set dependence), counts a step, lets the scheduler
+    /// decide who performs their next operation, and returns with the
+    /// token held (state lock still held — callers that mutate model
+    /// state do so under this guard).
+    pub(crate) fn yield_point(&self, me: Tid, op: Op) -> MutexGuard<'_, ExecState> {
         let mut st = self.lock();
         if st.aborting {
             drop(st);
             panic::panic_any(AbortModel);
         }
         debug_assert_eq!(st.active, Some(me), "yield from a thread without the token");
+        st.threads[me].pending = Some(op);
         st.steps += 1;
         if st.steps > st.max_steps {
             let steps = st.steps;
@@ -430,9 +568,21 @@ impl Execution {
     // ---- operation semantics (each entered with the token held) ----
 
     /// An atomic access: the decision point is the whole op; the
-    /// actual memory access runs after the grant, race-free because
-    /// only the token holder executes.
-    pub(crate) fn op_atomic(&self, me: Tid) {
+    /// actual memory access runs after the grant, race-free (at the
+    /// implementation level) because only the token holder executes.
+    /// At the *model* level this is where happens-before is built and
+    /// data races are detected: the access is stamped with the
+    /// thread's bumped epoch, acquire orderings join the object's
+    /// release frontier, and the access is checked against every
+    /// prior conflicting access (see `race.rs`).
+    pub(crate) fn op_atomic(
+        &self,
+        me: Tid,
+        obj: usize,
+        kind: AccessKind,
+        order: Ordering,
+        site: &'static Location<'static>,
+    ) {
         // No-op while unwinding: destructors running during a panic
         // (the thread's own assertion failure or an AbortModel
         // teardown) must never re-enter the scheduler — a second
@@ -440,7 +590,53 @@ impl Execution {
         if std::thread::panicking() {
             return;
         }
-        let st = self.yield_point(me);
+        let mut st = self.yield_point(me, Op::Atomic { obj, kind });
+        let stm = &mut *st;
+        let epoch = stm.threads[me].clock.bump(me);
+        if race::acquires(kind, order) {
+            // Synchronizes-with: join every prior release write's
+            // clock (the model serializes accesses, so this is the
+            // release-sequence over-approximation; conservative —
+            // extra edges only suppress race reports).
+            let joined = {
+                let (threads, atomics) = (&mut stm.threads, &stm.atomics);
+                threads[me].clock.join(&atomics[obj].sync)
+            };
+            if joined {
+                stm.hb_edges += 1;
+            }
+        }
+        let access = race::Access {
+            tid: me,
+            epoch,
+            kind,
+            order,
+            site,
+        };
+        let hit = {
+            let (threads, atomics) = (&stm.threads, &mut stm.atomics);
+            atomics[obj].check_and_record(access, &threads[me].clock)
+        };
+        if race::releases(kind, order) {
+            let (threads, atomics) = (&stm.threads, &mut stm.atomics);
+            atomics[obj].sync.join(&threads[me].clock);
+        }
+        if let Some(prev) = hit {
+            if !st.race_detector || race::race_allowed(&st.benign_patterns, &prev, &access) {
+                st.races += 1;
+            } else {
+                let msg = race::race_message(obj, &prev, &access);
+                self.fail(st, FailureKind::Race, msg);
+            }
+        }
+    }
+
+    /// `thread::yield_now`: a pure scheduling decision point.
+    pub(crate) fn op_yield(&self, me: Tid) {
+        if std::thread::panicking() {
+            return;
+        }
+        let st = self.yield_point(me, Op::Yield);
         drop(st);
     }
 
@@ -451,10 +647,20 @@ impl Execution {
         if std::thread::panicking() {
             return false;
         }
-        let mut st = self.yield_point(me);
+        let mut st = self.yield_point(me, Op::MutexLock { mid });
         loop {
             if st.mutexes[mid].owner.is_none() {
                 st.mutexes[mid].owner = Some(me);
+                // Acquire edge: everything before every prior unlock
+                // happens-before this critical section.
+                let stm = &mut *st;
+                let joined = {
+                    let (threads, mutexes) = (&mut stm.threads, &stm.mutexes);
+                    threads[me].clock.join(&mutexes[mid].clock)
+                };
+                if joined {
+                    stm.hb_edges += 1;
+                }
                 drop(st);
                 return true;
             }
@@ -479,13 +685,29 @@ impl Execution {
         if std::thread::panicking() {
             return false;
         }
-        let mut st = self.yield_point(me);
+        let mut st = self.yield_point(me, Op::MutexLock { mid });
         if st.mutexes[mid].owner.is_none() {
             st.mutexes[mid].owner = Some(me);
+            let stm = &mut *st;
+            let joined = {
+                let (threads, mutexes) = (&mut stm.threads, &stm.mutexes);
+                threads[me].clock.join(&mutexes[mid].clock)
+            };
+            if joined {
+                stm.hb_edges += 1;
+            }
             true
         } else {
             false
         }
+    }
+
+    /// Release edge: fold the releasing thread's clock into the
+    /// mutex's, so the next acquirer is ordered after this critical
+    /// section.
+    fn mutex_release_edge(st: &mut ExecState, me: Tid, mid: usize) {
+        let (threads, mutexes) = (&st.threads, &mut st.mutexes);
+        mutexes[mid].clock.join(&threads[me].clock);
     }
 
     /// Releases model mutex `mid` and wakes its waiters.
@@ -506,9 +728,10 @@ impl Execution {
             }
             return;
         }
-        let mut st = self.yield_point(me);
+        let mut st = self.yield_point(me, Op::MutexUnlock { mid });
         debug_assert_eq!(st.mutexes[mid].owner, Some(me), "unlock by non-owner");
         st.mutexes[mid].owner = None;
+        Self::mutex_release_edge(&mut st, me, mid);
         for t in st.threads.iter_mut() {
             if t.status == Status::BlockedMutex(mid) {
                 t.status = Status::Runnable;
@@ -546,7 +769,7 @@ impl Execution {
         if std::thread::panicking() {
             return Wake::Notify;
         }
-        let mut st = self.yield_point(me);
+        let mut st = self.yield_point(me, Op::CondvarWait { cid, mid });
         // Association check (std contract: one mutex at a time).
         match st.condvars[cid].mid {
             Some(m) if m != mid => {
@@ -561,6 +784,7 @@ impl Execution {
         // Atomic release + enqueue.
         debug_assert_eq!(st.mutexes[mid].owner, Some(me), "wait without the lock");
         st.mutexes[mid].owner = None;
+        Self::mutex_release_edge(&mut st, me, mid);
         for t in st.threads.iter_mut() {
             if t.status == Status::BlockedMutex(mid) {
                 t.status = Status::Runnable;
@@ -577,6 +801,18 @@ impl Execution {
         self.pick_next(&mut st);
         st = self.wait_for_grant(st, me);
         let wake = st.threads[me].wake.take().unwrap_or(Wake::Notify);
+        if wake == Wake::Notify {
+            // Notify→wake edge: the waiter is ordered after every
+            // notify folded into the condvar's clock so far.
+            let stm = &mut *st;
+            let joined = {
+                let (threads, condvars) = (&mut stm.threads, &stm.condvars);
+                threads[me].clock.join(&condvars[cid].clock)
+            };
+            if joined {
+                stm.hb_edges += 1;
+            }
+        }
         drop(st);
         wake
     }
@@ -594,7 +830,15 @@ impl Execution {
         if std::thread::panicking() {
             return;
         }
-        let mut st = self.yield_point(me);
+        let mut st = self.yield_point(me, Op::CondvarNotify { cid });
+        {
+            // Release edge toward whoever this notify wakes (now or
+            // in a later wait — an over-approximation, conservative
+            // for race detection).
+            let stm = &mut *st;
+            let (threads, condvars) = (&stm.threads, &mut stm.condvars);
+            condvars[cid].clock.join(&threads[me].clock);
+        }
         let mut woke = false;
         for t in st.threads.iter_mut() {
             if let Status::BlockedCondvar { cid: c, .. } = t.status {
@@ -615,15 +859,16 @@ impl Execution {
     }
 
     /// Registers a newly spawned thread (the spawn itself is a visible
-    /// operation on the parent).
+    /// operation on the parent). The child starts with the parent's
+    /// clock: everything before the spawn happens-before the child.
     pub(crate) fn op_spawn(&self, me: Tid) -> Tid {
-        let mut st = self.yield_point(me);
+        let mut st = self.yield_point(me, Op::Spawn);
         let tid = st.threads.len();
-        st.threads.push(ThreadInfo {
-            status: Status::Runnable,
-            wake: None,
-        });
+        let mut info = ThreadInfo::new();
+        info.clock = st.threads[me].clock.clone();
+        st.threads.push(info);
         st.n_live += 1;
+        st.hb_edges += 1;
         drop(st);
         tid
     }
@@ -634,12 +879,19 @@ impl Execution {
         if std::thread::panicking() {
             return false;
         }
-        let mut st = self.yield_point(me);
+        let mut st = self.yield_point(me, Op::Join { target });
         while st.threads[target].status != Status::Finished {
             st.threads[me].status = Status::BlockedJoin(target);
             st.last_active = me;
             self.pick_next(&mut st);
             st = self.wait_for_grant(st, me);
+        }
+        // Join edge: everything the target ever did happens-before
+        // the joiner's continuation.
+        let stm = &mut *st;
+        let target_clock = stm.threads[target].clock.clone();
+        if stm.threads[me].clock.join(&target_clock) {
+            stm.hb_edges += 1;
         }
         drop(st);
         true
@@ -654,7 +906,7 @@ impl Execution {
         if std::thread::panicking() {
             return;
         }
-        let st = self.yield_point(me);
+        let st = self.yield_point(me, Op::Sleep);
         drop(st);
         let mut st = self.lock();
         st.clock_us = st
@@ -664,7 +916,8 @@ impl Execution {
     }
 
     /// Normal thread completion: marks finished, wakes joiners, passes
-    /// the token on.
+    /// the token on. Finishing is an (unannounced) operation for the
+    /// sleep sets too: it wakes any sleeper joining on this thread.
     pub(crate) fn finish_thread(&self, me: Tid) {
         let mut st = self.lock();
         st.threads[me].status = Status::Finished;
@@ -672,6 +925,21 @@ impl Execution {
         for t in st.threads.iter_mut() {
             if t.status == Status::BlockedJoin(me) {
                 t.status = Status::Runnable;
+            }
+        }
+        if st.dpor {
+            let fin = Op::Finish { tid: me };
+            for q in 0..st.threads.len() {
+                if !st.threads[q].asleep {
+                    continue;
+                }
+                let woke = match sched_op(&st, q) {
+                    Some(b) => race::dependent(&fin, &b),
+                    None => true,
+                };
+                if woke {
+                    st.threads[q].asleep = false;
+                }
             }
         }
         st.last_active = me;
@@ -749,17 +1017,32 @@ struct ExecOutcome {
     decisions: Vec<Decision>,
     steps: u64,
     failure: Option<Failure>,
+    pruned: bool,
+    hb_edges: u64,
+    races: u64,
 }
 
 /// Result of exploring a model that never failed.
 #[derive(Debug, Clone)]
 pub struct Report {
-    /// Schedules actually executed.
+    /// Schedules actually executed to completion. Executions
+    /// abandoned by partial-order reduction are in [`Report::pruned`]
+    /// instead and do not burn [`Builder::max_schedules`] budget.
     pub schedules: u64,
     /// Whether the decision tree was exhausted (vs. budget-capped).
     pub complete: bool,
-    /// Total visible operations across all schedules.
+    /// Total visible operations across all executions (including
+    /// pruned ones).
     pub steps: u64,
+    /// Executions abandoned by sleep-set reduction: every candidate's
+    /// next operation commuted with an already-explored branch.
+    pub pruned: u64,
+    /// Racy access pairs observed but tolerated (allowlisted via
+    /// [`Builder::allow_race`], or the detector was disabled).
+    pub races: u64,
+    /// Acquire-side happens-before joins that learned new ordering
+    /// (synchronization edges actually exercised by the model).
+    pub hb_edges: u64,
     /// Order-sensitive digest of every explored schedule; two runs of
     /// the same (model, seed) must produce identical digests.
     pub digest: u64,
@@ -788,11 +1071,17 @@ impl std::fmt::Display for ModelFailure {
 
 /// Exploration configuration. Environment overrides (read once per
 /// `Builder::default()` call): `QTAG_CHECK_MAX_SCHEDULES`,
-/// `QTAG_CHECK_SEED`, `QTAG_CHECK_MAX_STEPS`.
+/// `QTAG_CHECK_SEED`, `QTAG_CHECK_MAX_STEPS`, `QTAG_CHECK_DPOR`
+/// (`0` disables sleep-set reduction), `QTAG_CHECK_RACES` (`0`
+/// disables the race detector).
 #[derive(Debug, Clone)]
 pub struct Builder {
-    /// Cap on schedules explored; exploration reports `complete:
-    /// false` when it hits the cap without exhausting the tree.
+    /// Cap on *completed* schedules explored; exploration reports
+    /// `complete: false` when a schedule beyond the cap completes with
+    /// tree still unexhausted (so at most one over-budget schedule
+    /// runs, and a tree with exactly `max_schedules` completed
+    /// schedules still exhausts). Pruned (sleep-set-redundant)
+    /// executions never count.
     pub max_schedules: u64,
     /// Per-execution visible-operation budget (livelock detector).
     pub max_steps: u64,
@@ -801,6 +1090,18 @@ pub struct Builder {
     /// CHESS-style cap on involuntary context switches per execution;
     /// `None` explores the full tree.
     pub preemption_bound: Option<usize>,
+    /// Sleep-set partial-order reduction (default on): prune
+    /// interleavings that only permute independent operations.
+    pub dpor: bool,
+    /// Vector-clock happens-before race detector (default on): fail
+    /// schedules with conflicting HB-unordered accesses where at
+    /// least one side is `Relaxed`.
+    pub race_detector: bool,
+    /// Access-site substrings (`file` or `file:line`) whose races are
+    /// justified-benign: observed pairs are counted in
+    /// [`Report::races`] instead of failing. Each entry should have a
+    /// comment at the call site saying *why* the race is benign.
+    pub benign_races: Vec<String>,
 }
 
 fn env_u64(name: &str) -> Option<u64> {
@@ -814,6 +1115,9 @@ impl Default for Builder {
             max_steps: env_u64("QTAG_CHECK_MAX_STEPS").unwrap_or(50_000),
             seed: env_u64("QTAG_CHECK_SEED").unwrap_or(0x51AD_C0DE),
             preemption_bound: None,
+            dpor: env_u64("QTAG_CHECK_DPOR").map(|v| v != 0).unwrap_or(true),
+            race_detector: env_u64("QTAG_CHECK_RACES").map(|v| v != 0).unwrap_or(true),
+            benign_races: Vec::new(),
         }
     }
 }
@@ -826,6 +1130,16 @@ impl Builder {
             preemption_bound: Some(preemptions),
             ..Builder::default()
         }
+    }
+
+    /// Declares races touching an access site matching `pattern` (a
+    /// substring of the site's `file` or `file:line`) benign: they are
+    /// counted in [`Report::races`] instead of failing the schedule.
+    /// Use for monotone stats counters whose exact reads are ordered
+    /// by join/shutdown; say why at the call site.
+    pub fn allow_race(mut self, pattern: &str) -> Self {
+        self.benign_races.push(pattern.to_string());
+        self
     }
 
     /// Explores the model; panics (with the replay trace) on the first
@@ -848,18 +1162,32 @@ impl Builder {
     {
         install_panic_hook();
         let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let benign = Arc::new(self.benign_races.clone());
         let mut prefix: Vec<usize> = Vec::new();
         let mut schedules = 0u64;
+        let mut pruned = 0u64;
         let mut steps = 0u64;
+        let mut races = 0u64;
+        let mut hb_edges = 0u64;
         let mut digest = FNV_OFFSET;
         loop {
-            let outcome = run_one(Arc::clone(&f), self, prefix.clone());
-            schedules += 1;
+            let outcome = run_one(Arc::clone(&f), self, prefix.clone(), Arc::clone(&benign));
             steps += outcome.steps;
+            races += outcome.races;
+            hb_edges += outcome.hb_edges;
             for d in &outcome.decisions {
                 digest = fnv_fold(digest, (d.chosen as u32).to_le_bytes());
             }
-            digest = fnv_fold(digest, [0xFF]);
+            if outcome.pruned {
+                // A sleep-set-redundant execution: backtrack as usual
+                // but burn no schedule budget (the whole point of the
+                // reduction is reclaiming it).
+                pruned += 1;
+                digest = fnv_fold(digest, [0xFE]);
+            } else {
+                schedules += 1;
+                digest = fnv_fold(digest, [0xFF]);
+            }
             if let Some(failure) = outcome.failure {
                 return Err(ModelFailure {
                     kind: failure.kind,
@@ -872,20 +1200,33 @@ impl Builder {
                 });
             }
             match next_prefix(&outcome.decisions) {
-                Some(p) if schedules < self.max_schedules => prefix = p,
-                Some(_) => {
+                // Budget check: only *completed* schedules burn budget,
+                // and the stop fires one schedule past the cap (a tree
+                // whose completed-schedule count equals the cap still
+                // reports `complete: true` after draining any trailing
+                // pruned subtrees). At most one over-budget schedule
+                // runs; it is counted and its failure, if any, is
+                // reported above.
+                Some(_) if !outcome.pruned && schedules > self.max_schedules => {
                     return Ok(Report {
                         schedules,
                         complete: false,
                         steps,
+                        pruned,
+                        races,
+                        hb_edges,
                         digest,
                     })
                 }
+                Some(p) => prefix = p,
                 None => {
                     return Ok(Report {
                         schedules,
                         complete: true,
                         steps,
+                        pruned,
+                        races,
+                        hb_edges,
                         digest,
                     })
                 }
@@ -904,13 +1245,14 @@ impl Builder {
             seed: trace.seed,
             ..self.clone()
         };
+        let benign = Arc::new(replayer.benign_races.clone());
         let prefix: Vec<usize> = trace.choices.iter().map(|&c| c as usize).collect();
-        let outcome = run_one(f, &replayer, prefix);
+        let outcome = run_one(f, &replayer, prefix, benign);
         let mut digest = FNV_OFFSET;
         for d in &outcome.decisions {
             digest = fnv_fold(digest, (d.chosen as u32).to_le_bytes());
         }
-        digest = fnv_fold(digest, [0xFF]);
+        digest = fnv_fold(digest, [if outcome.pruned { 0xFE } else { 0xFF }]);
         match outcome.failure {
             Some(failure) => Err(ModelFailure {
                 kind: failure.kind,
@@ -922,9 +1264,12 @@ impl Builder {
                 schedule: 1,
             }),
             None => Ok(Report {
-                schedules: 1,
+                schedules: u64::from(!outcome.pruned),
                 complete: false,
                 steps: outcome.steps,
+                pruned: u64::from(outcome.pruned),
+                races: outcome.races,
+                hb_edges: outcome.hb_edges,
                 digest,
             }),
         }
@@ -953,13 +1298,13 @@ fn next_prefix(decisions: &[Decision]) -> Option<Vec<usize>> {
 }
 
 /// Runs one execution of the model under a forced schedule prefix.
-fn run_one(f: Arc<dyn Fn() + Send + Sync>, b: &Builder, prefix: Vec<usize>) -> ExecOutcome {
-    let exec = Arc::new(Execution::new(
-        b.seed,
-        prefix,
-        b.max_steps,
-        b.preemption_bound,
-    ));
+fn run_one(
+    f: Arc<dyn Fn() + Send + Sync>,
+    b: &Builder,
+    prefix: Vec<usize>,
+    benign: Arc<Vec<String>>,
+) -> ExecOutcome {
+    let exec = Arc::new(Execution::new(b, prefix, benign));
     let tid = exec.register_thread();
     debug_assert_eq!(tid, 0);
     {
@@ -1005,6 +1350,9 @@ fn run_one(f: Arc<dyn Fn() + Send + Sync>, b: &Builder, prefix: Vec<usize>) -> E
         decisions: st.decisions.clone(),
         steps: st.steps,
         failure: st.failure.clone(),
+        pruned: st.pruned,
+        hb_edges: st.hb_edges,
+        races: st.races,
     }
 }
 

@@ -15,9 +15,13 @@
 //! Semantics under a model:
 //! - every lock/unlock, condvar wait/notify, atomic access, spawn and
 //!   join is a *visible operation* — a scheduling decision point;
-//! - atomics are sequentially consistent regardless of the `Ordering`
-//!   argument (interleaving exploration only; weak memory is out of
-//!   scope and documented as such in DESIGN.md);
+//! - atomic *values* are sequentially consistent regardless of the
+//!   `Ordering` argument (weak-memory value exploration is out of
+//!   scope, documented in DESIGN.md §14), but the `Ordering` and the
+//!   caller's source location are recorded per access and feed the
+//!   vector-clock happens-before race detector: a `Relaxed` access
+//!   that conflicts with another access unordered by HB fails the
+//!   schedule;
 //! - `Instant::now()` reads the execution's logical clock and is not
 //!   a decision point; `Condvar::wait_timeout` waiters are
 //!   schedulable, and scheduling one models the timeout firing.
@@ -63,6 +67,7 @@ struct ModelRef(StdAtomicU64);
 enum RefKind {
     Mutex,
     Condvar,
+    Atomic,
 }
 
 impl ModelRef {
@@ -80,6 +85,7 @@ impl ModelRef {
         let id = match kind {
             RefKind::Mutex => exec.register_mutex(),
             RefKind::Condvar => exec.register_condvar(),
+            RefKind::Atomic => exec.register_atomic(),
         };
         // Only the token-holding thread executes model code, so this
         // store cannot race with another resolve on the same object.
@@ -422,77 +428,101 @@ impl fmt::Debug for Condvar {
 // -------------------------------------------------------------- atomics
 
 pub mod atomic {
-    use super::ctx;
+    use super::{ctx, ModelRef, RefKind};
+    use crate::race::AccessKind;
+    use std::panic::Location;
     pub use std::sync::atomic::Ordering;
 
     macro_rules! shim_atomic_int {
         ($name:ident, $std:ty, $prim:ty) => {
             /// Dual-mode atomic; every access is a model decision
-            /// point. The model executes atomics sequentially
-            /// consistently whatever `Ordering` is passed.
+            /// point. The model executes atomic *values* sequentially
+            /// consistently whatever `Ordering` is passed, but records
+            /// the ordering, access kind, and caller location per
+            /// access for the happens-before race detector.
             pub struct $name {
+                model: ModelRef,
                 inner: $std,
             }
 
             impl $name {
                 pub const fn new(v: $prim) -> Self {
                     Self {
+                        model: ModelRef::new(),
                         inner: <$std>::new(v),
                     }
                 }
 
                 #[inline]
-                fn op(&self) {
+                #[track_caller]
+                fn op(&self, kind: AccessKind, order: Ordering) {
                     if let Some((exec, me)) = ctx() {
-                        exec.op_atomic(me);
+                        let obj = self.model.resolve(&exec, RefKind::Atomic);
+                        exec.op_atomic(me, obj, kind, order, Location::caller());
                     }
                 }
 
+                #[track_caller]
                 pub fn load(&self, order: Ordering) -> $prim {
-                    self.op();
+                    self.op(AccessKind::Load, order);
                     self.inner.load(order)
                 }
 
+                #[track_caller]
                 pub fn store(&self, val: $prim, order: Ordering) {
-                    self.op();
+                    self.op(AccessKind::Store, order);
                     self.inner.store(val, order)
                 }
 
+                #[track_caller]
                 pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
-                    self.op();
+                    self.op(AccessKind::Rmw, order);
                     self.inner.swap(val, order)
                 }
 
+                #[track_caller]
                 pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
-                    self.op();
+                    self.op(AccessKind::Rmw, order);
                     self.inner.fetch_add(val, order)
                 }
 
+                #[track_caller]
                 pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
-                    self.op();
+                    self.op(AccessKind::Rmw, order);
                     self.inner.fetch_sub(val, order)
                 }
 
+                #[track_caller]
                 pub fn fetch_and(&self, val: $prim, order: Ordering) -> $prim {
-                    self.op();
+                    self.op(AccessKind::Rmw, order);
                     self.inner.fetch_and(val, order)
                 }
 
+                #[track_caller]
                 pub fn fetch_or(&self, val: $prim, order: Ordering) -> $prim {
-                    self.op();
+                    self.op(AccessKind::Rmw, order);
                     self.inner.fetch_or(val, order)
                 }
 
+                #[track_caller]
                 pub fn fetch_max(&self, val: $prim, order: Ordering) -> $prim {
-                    self.op();
+                    self.op(AccessKind::Rmw, order);
                     self.inner.fetch_max(val, order)
                 }
 
+                #[track_caller]
                 pub fn fetch_min(&self, val: $prim, order: Ordering) -> $prim {
-                    self.op();
+                    self.op(AccessKind::Rmw, order);
                     self.inner.fetch_min(val, order)
                 }
 
+                /// Recorded as an RMW with the *success* ordering — a
+                /// conservative simplification (a failed CAS is really
+                /// a load with the failure ordering, but the model
+                /// cannot know the outcome before the decision point,
+                /// and treating it as the stronger op only suppresses
+                /// false race reports, never creates them).
+                #[track_caller]
                 pub fn compare_exchange(
                     &self,
                     current: $prim,
@@ -500,10 +530,11 @@ pub mod atomic {
                     success: Ordering,
                     failure: Ordering,
                 ) -> Result<$prim, $prim> {
-                    self.op();
+                    self.op(AccessKind::Rmw, success);
                     self.inner.compare_exchange(current, new, success, failure)
                 }
 
+                #[track_caller]
                 pub fn compare_exchange_weak(
                     &self,
                     current: $prim,
@@ -511,7 +542,7 @@ pub mod atomic {
                     success: Ordering,
                     failure: Ordering,
                 ) -> Result<$prim, $prim> {
-                    self.op();
+                    self.op(AccessKind::Rmw, success);
                     // Weak CAS never fails spuriously under the model:
                     // spurious failure is scheduling nondeterminism the
                     // explorer does not control.
@@ -554,48 +585,60 @@ pub mod atomic {
 
     /// Dual-mode `AtomicBool`; see the integer shims for semantics.
     pub struct AtomicBool {
+        model: ModelRef,
         inner: std::sync::atomic::AtomicBool,
     }
 
     impl AtomicBool {
         pub const fn new(v: bool) -> Self {
             Self {
+                model: ModelRef::new(),
                 inner: std::sync::atomic::AtomicBool::new(v),
             }
         }
 
         #[inline]
-        fn op(&self) {
+        #[track_caller]
+        fn op(&self, kind: AccessKind, order: Ordering) {
             if let Some((exec, me)) = ctx() {
-                exec.op_atomic(me);
+                let obj = self.model.resolve(&exec, RefKind::Atomic);
+                exec.op_atomic(me, obj, kind, order, Location::caller());
             }
         }
 
+        #[track_caller]
         pub fn load(&self, order: Ordering) -> bool {
-            self.op();
+            self.op(AccessKind::Load, order);
             self.inner.load(order)
         }
 
+        #[track_caller]
         pub fn store(&self, val: bool, order: Ordering) {
-            self.op();
+            self.op(AccessKind::Store, order);
             self.inner.store(val, order)
         }
 
+        #[track_caller]
         pub fn swap(&self, val: bool, order: Ordering) -> bool {
-            self.op();
+            self.op(AccessKind::Rmw, order);
             self.inner.swap(val, order)
         }
 
+        #[track_caller]
         pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
-            self.op();
+            self.op(AccessKind::Rmw, order);
             self.inner.fetch_or(val, order)
         }
 
+        #[track_caller]
         pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
-            self.op();
+            self.op(AccessKind::Rmw, order);
             self.inner.fetch_and(val, order)
         }
 
+        /// See the integer shims: recorded as an RMW with the success
+        /// ordering.
+        #[track_caller]
         pub fn compare_exchange(
             &self,
             current: bool,
@@ -603,7 +646,7 @@ pub mod atomic {
             success: Ordering,
             failure: Ordering,
         ) -> Result<bool, bool> {
-            self.op();
+            self.op(AccessKind::Rmw, success);
             self.inner.compare_exchange(current, new, success, failure)
         }
 
@@ -714,10 +757,11 @@ pub mod thread {
     }
 
     /// A pure scheduling decision point inside a model; a real
-    /// `yield_now` outside.
+    /// `yield_now` outside. Touches no shared object, so it is
+    /// independent of everything for partial-order reduction.
     pub fn yield_now() {
         match ctx() {
-            Some((exec, me)) => exec.op_atomic(me),
+            Some((exec, me)) => exec.op_yield(me),
             None => std::thread::yield_now(),
         }
     }

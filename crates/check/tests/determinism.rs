@@ -22,20 +22,35 @@ fn same_seed_same_model_identical_exploration() {
 
 #[test]
 fn different_seeds_still_exhaust_the_same_tree() {
-    let a = Builder {
+    let unreduced = |seed| Builder {
+        seed,
+        dpor: false,
+        ..Builder::default()
+    };
+    let a = unreduced(1).check(models::mutex_counter(2, 1));
+    let b = unreduced(2).check(models::mutex_counter(2, 1));
+    // Rotation permutes visit order (digests may differ) but the raw
+    // DFS still covers the same complete tree.
+    assert!(a.complete && b.complete);
+    assert_eq!(a.schedules, b.schedules);
+
+    // Under sleep-set reduction the *number* of representatives kept
+    // per equivalence class depends on visit order, so counts may
+    // differ by seed — but exploration still terminates complete and
+    // never explores more than the full tree.
+    let ra = Builder {
         seed: 1,
         ..Builder::default()
     }
     .check(models::mutex_counter(2, 1));
-    let b = Builder {
+    let rb = Builder {
         seed: 2,
         ..Builder::default()
     }
     .check(models::mutex_counter(2, 1));
-    // Rotation permutes visit order (digests may differ) but the DFS
-    // still covers the same complete tree.
-    assert!(a.complete && b.complete);
-    assert_eq!(a.schedules, b.schedules);
+    assert!(ra.complete && rb.complete);
+    assert!(ra.schedules <= a.schedules);
+    assert!(rb.schedules <= b.schedules);
 }
 
 #[test]

@@ -1,0 +1,89 @@
+//! Satellite: the race-detector canary. A deliberately unsynchronized
+//! Relaxed counter handoff (styled after the kept PR-1 lost-wakeup
+//! model) must be reported as a data race naming *both* access sites,
+//! in perpetuity — if this test starts passing the detector has gone
+//! blind. The synchronized twin of the same model must pass, and the
+//! post-join Relaxed read (the workspace's "stat, read after join"
+//! pattern) must never be flagged.
+
+use qtag_check::{models, Builder, FailureKind};
+
+#[test]
+fn unsynchronized_relaxed_handoff_is_reported_as_a_race() {
+    let failure = Builder::default()
+        .try_check(models::relaxed_counter_handoff(false))
+        .expect_err("the unsynchronized handoff must race");
+    assert_eq!(failure.kind, FailureKind::Race);
+    // Both the worker's fetch_add and the spawner's glimpse load live
+    // in models.rs; the report must name each so the pair can be
+    // found directly.
+    assert_eq!(
+        failure
+            .message
+            .matches("crates/check/src/models.rs")
+            .count(),
+        2,
+        "both access sites must be named: {}",
+        failure.message
+    );
+    assert!(
+        failure.message.contains("rmw(Relaxed)"),
+        "{}",
+        failure.message
+    );
+    assert!(
+        failure.message.contains("load(Relaxed)"),
+        "{}",
+        failure.message
+    );
+}
+
+#[test]
+fn the_racy_schedule_replays_from_its_trace() {
+    let b = Builder::default();
+    let failure = b
+        .try_check(models::relaxed_counter_handoff(false))
+        .expect_err("must race");
+    let replayed = b
+        .replay(&failure.trace, models::relaxed_counter_handoff(false))
+        .expect_err("replay must reproduce the race");
+    assert_eq!(replayed.kind, FailureKind::Race);
+    assert_eq!(replayed.message, failure.message);
+}
+
+#[test]
+fn synchronized_handoff_passes_every_schedule() {
+    // Same interleavings, but the increment is AcqRel and the glimpse
+    // Acquire: synchronization traffic, never a race. The post-join
+    // Relaxed load is ordered by the join edge in both variants.
+    let report = Builder::default().check(models::relaxed_counter_handoff(true));
+    assert!(report.complete);
+    assert_eq!(report.races, 0, "nothing to tolerate: all pairs ordered");
+    assert!(
+        report.hb_edges > 0,
+        "the Acquire glimpse must learn an edge"
+    );
+}
+
+#[test]
+fn allowlisted_race_is_tolerated_and_counted() {
+    let report = Builder::default()
+        .allow_race("crates/check/src/models.rs")
+        .check(models::relaxed_counter_handoff(false));
+    assert!(report.complete);
+    assert!(
+        report.races > 0,
+        "the tolerated racy pair must be surfaced in the report"
+    );
+}
+
+#[test]
+fn disabling_the_detector_reverts_to_plain_exploration() {
+    let report = Builder {
+        race_detector: false,
+        ..Builder::default()
+    }
+    .check(models::relaxed_counter_handoff(false));
+    assert!(report.complete);
+    assert!(report.races > 0, "observed but not failed");
+}

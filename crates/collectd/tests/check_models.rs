@@ -162,32 +162,45 @@ fn corrupt_frame_accounting_survives_shutdown_race() {
 /// counting anything.
 #[test]
 fn two_connections_conserve_jointly() {
-    let report = Builder::bounded(1).check(|| {
-        let r = rig();
-        let ingest_stats = Arc::clone(r.service.stats_arc());
-        let conns: Vec<_> = (0..2u64)
-            .map(|id| {
-                let chunks = vec![encode_frames(&[beacon(id + 1, 0)]).unwrap()];
-                let stats = Arc::clone(&r.stats);
-                let cfg = Arc::clone(&r.cfg);
-                let shutdown = Arc::clone(&r.shutdown);
-                let inlet = r.service.inlet();
-                thread::spawn(move || serve_binary_chunks(cfg, stats, inlet, shutdown, &chunks))
-            })
-            .collect();
-        r.service.shutdown();
-        for c in conns {
-            c.join().unwrap();
-        }
-        let ops = OpsSnapshot {
-            collector: r.stats.snapshot(),
-            ingest: ingest_stats.snapshot(),
-        };
-        assert!(ops.conserves(2), "conservation violated: {ops:?}");
-        assert!(ops.decode_accounted(), "decode accounting broken: {ops:?}");
-        assert_eq!(r.store.unique_beacons(), ops.ingest.beacons);
-    });
+    // Both connections bump the same monotone `CollectorStats` and
+    // `IngestStats` counters with Relaxed RMWs. Exact reads happen
+    // only after both joins (the joins supply the happens-before), so
+    // the unordered increments the race detector sees are benign —
+    // the sites carry matching `// ordering:` justifications.
+    let report = Builder::bounded(1)
+        .allow_race("crates/collectd/src/connection.rs")
+        .allow_race("crates/server/src/ingest.rs")
+        .check(|| {
+            let r = rig();
+            let ingest_stats = Arc::clone(r.service.stats_arc());
+            let conns: Vec<_> = (0..2u64)
+                .map(|id| {
+                    let chunks = vec![encode_frames(&[beacon(id + 1, 0)]).unwrap()];
+                    let stats = Arc::clone(&r.stats);
+                    let cfg = Arc::clone(&r.cfg);
+                    let shutdown = Arc::clone(&r.shutdown);
+                    let inlet = r.service.inlet();
+                    thread::spawn(move || serve_binary_chunks(cfg, stats, inlet, shutdown, &chunks))
+                })
+                .collect();
+            r.service.shutdown();
+            for c in conns {
+                c.join().unwrap();
+            }
+            let ops = OpsSnapshot {
+                collector: r.stats.snapshot(),
+                ingest: ingest_stats.snapshot(),
+            };
+            assert!(ops.conserves(2), "conservation violated: {ops:?}");
+            assert!(ops.decode_accounted(), "decode accounting broken: {ops:?}");
+            assert_eq!(r.store.unique_beacons(), ops.ingest.beacons);
+        });
     assert!(report.schedules > 1, "schedules: {}", report.schedules);
+    assert!(
+        report.races > 0,
+        "the allowlist should be load-bearing: the detector must have \
+         observed the stats-counter races it tolerates"
+    );
 }
 
 /// The reactor's non-blocking state machine racing the ingest
@@ -199,7 +212,14 @@ fn two_connections_conserve_jointly() {
 #[cfg(target_os = "linux")]
 #[test]
 fn reactor_drain_vs_shutdown_conserves() {
-    let report = Builder::bounded(2).check(|| {
+    // Sleep-set reduction prunes the interleavings that only permute
+    // independent ops, so the same wall-clock budget now covers a
+    // deeper preemption bound (2 → 3) and a doubled schedule cap.
+    let report = Builder {
+        max_schedules: 8_192,
+        ..Builder::bounded(3)
+    }
+    .check(|| {
         let r = rig();
         let ingest_stats = Arc::clone(r.service.stats_arc());
         let inlet = r.service.inlet();
@@ -239,37 +259,45 @@ fn reactor_drain_vs_shutdown_conserves() {
 #[cfg(target_os = "linux")]
 #[test]
 fn mixed_mode_connections_conserve_jointly() {
-    let report = Builder::bounded(1).check(|| {
-        let r = rig();
-        let ingest_stats = Arc::clone(r.service.stats_arc());
-        let threaded = {
-            let chunks = vec![encode_frames(&[beacon(1, 0)]).unwrap()];
-            let stats = Arc::clone(&r.stats);
-            let cfg = Arc::clone(&r.cfg);
-            let shutdown = Arc::clone(&r.shutdown);
-            let inlet = r.service.inlet();
-            thread::spawn(move || serve_binary_chunks(cfg, stats, inlet, shutdown, &chunks))
-        };
-        let reactor = {
-            let chunks = vec![encode_frames(&[beacon(2, 0)]).unwrap()];
-            let stats = Arc::clone(&r.stats);
-            let cfg = Arc::clone(&r.cfg);
-            let shutdown = Arc::clone(&r.shutdown);
-            let inlet = r.service.inlet();
-            thread::spawn(move || {
-                reactor_chunks(cfg, stats, inlet, shutdown, &chunks, 4);
-            })
-        };
-        r.service.shutdown();
-        threaded.join().unwrap();
-        reactor.join().unwrap();
-        let ops = OpsSnapshot {
-            collector: r.stats.snapshot(),
-            ingest: ingest_stats.snapshot(),
-        };
-        assert!(ops.conserves(2), "conservation violated: {ops:?}");
-        assert!(ops.decode_accounted(), "decode accounting broken: {ops:?}");
-        assert_eq!(r.store.unique_beacons(), ops.ingest.beacons);
-    });
+    // Same benign stats-counter races as `two_connections_conserve_
+    // jointly`, from both serving shapes this time (threaded
+    // connection.rs + reactor.rs + the shared ingest counters);
+    // exact reads only after both joins.
+    let report = Builder::bounded(1)
+        .allow_race("crates/collectd/src/connection.rs")
+        .allow_race("crates/collectd/src/reactor.rs")
+        .allow_race("crates/server/src/ingest.rs")
+        .check(|| {
+            let r = rig();
+            let ingest_stats = Arc::clone(r.service.stats_arc());
+            let threaded = {
+                let chunks = vec![encode_frames(&[beacon(1, 0)]).unwrap()];
+                let stats = Arc::clone(&r.stats);
+                let cfg = Arc::clone(&r.cfg);
+                let shutdown = Arc::clone(&r.shutdown);
+                let inlet = r.service.inlet();
+                thread::spawn(move || serve_binary_chunks(cfg, stats, inlet, shutdown, &chunks))
+            };
+            let reactor = {
+                let chunks = vec![encode_frames(&[beacon(2, 0)]).unwrap()];
+                let stats = Arc::clone(&r.stats);
+                let cfg = Arc::clone(&r.cfg);
+                let shutdown = Arc::clone(&r.shutdown);
+                let inlet = r.service.inlet();
+                thread::spawn(move || {
+                    reactor_chunks(cfg, stats, inlet, shutdown, &chunks, 4);
+                })
+            };
+            r.service.shutdown();
+            threaded.join().unwrap();
+            reactor.join().unwrap();
+            let ops = OpsSnapshot {
+                collector: r.stats.snapshot(),
+                ingest: ingest_stats.snapshot(),
+            };
+            assert!(ops.conserves(2), "conservation violated: {ops:?}");
+            assert!(ops.decode_accounted(), "decode accounting broken: {ops:?}");
+            assert_eq!(r.store.unique_beacons(), ops.ingest.beacons);
+        });
     assert!(report.schedules > 1, "schedules: {}", report.schedules);
 }

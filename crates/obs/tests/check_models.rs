@@ -1,0 +1,139 @@
+//! Schedule-exploration models over the real metrics primitives, built
+//! only under `--cfg qtag_check`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg qtag_check" cargo test -p qtag-obs --test check_models
+//! ```
+//!
+//! Every recording path in this crate is deliberately lock-free and
+//! `Relaxed` (`saturating_fetch_add`'s CAS loop, gauge `dec`, snapshot
+//! loads): nothing is published through a metric, so staleness is fine
+//! and synchronization would be pure overhead. Under the happens-before
+//! race detector that is exactly the class of conflict that gets
+//! flagged, so these models double as the executable justification for
+//! the crate's `// ordering: Relaxed` comments: each one allowlists the
+//! specific files and asserts the allowlist is *load-bearing*
+//! (`report.races > 0`) while the conservation invariants hold in every
+//! schedule.
+#![cfg(qtag_check)]
+
+use qtag_check::sync::thread;
+use qtag_check::Builder;
+use qtag_obs::sync::Arc;
+use qtag_obs::{Histogram, Registry};
+
+#[test]
+fn concurrent_recorders_conserve_histogram_totals() {
+    let report = Builder::default()
+        // saturating_fetch_add: Relaxed load + CAS from both recorders.
+        .allow_race("crates/obs/src/hist.rs")
+        .check(|| {
+            let hist = Arc::new(Histogram::new());
+            let recorders: Vec<_> = [3u64, 90u64]
+                .into_iter()
+                .map(|v| {
+                    let hist = Arc::clone(&hist);
+                    thread::spawn(move || hist.record(v))
+                })
+                .collect();
+            for r in recorders {
+                r.join().unwrap();
+            }
+            // Reads below are join-ordered; the races are between the
+            // two recorders' CAS loops on count/sum.
+            let snap = hist.snapshot();
+            assert_eq!(snap.count, 2, "every observation lands exactly once");
+            assert_eq!(snap.sum, 93);
+            assert_eq!(snap.buckets.iter().sum::<u64>(), 2);
+        });
+    assert!(report.complete, "schedules: {}", report.schedules);
+    assert!(
+        report.races > 0,
+        "the hist.rs allowlist should be load-bearing (Relaxed CAS loops)"
+    );
+}
+
+#[test]
+fn registry_counters_conserve_under_contention() {
+    // Two workers hammer the same counter cell: the CAS loop must not
+    // lose an increment in any interleaving (a retried CAS re-reads).
+    let report = Builder::default()
+        // Counter::add routes through hist.rs's saturating_fetch_add.
+        .allow_race("crates/obs/src/hist.rs")
+        .check(|| {
+            let reg = Registry::new();
+            let counter = reg.counter("qtag_model_events_total", "model events");
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = counter.clone();
+                    thread::spawn(move || counter.add(2))
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+            assert_eq!(counter.get(), 4, "no increment lost to the CAS races");
+            assert_eq!(reg.get("qtag_model_events_total"), Some(4));
+        });
+    assert!(report.complete, "schedules: {}", report.schedules);
+    assert!(
+        report.races > 0,
+        "the hist.rs allowlist should be load-bearing"
+    );
+}
+
+#[test]
+fn gauge_inc_dec_pairs_balance_under_contention() {
+    // Two workers each inc-then-dec the same gauge: `dec`'s saturating
+    // CAS loop in registry.rs must pair every decrement with exactly
+    // one increment, landing back at zero in every schedule.
+    let report = Builder::default()
+        .allow_race("crates/obs/src/hist.rs")
+        .allow_race("crates/obs/src/registry.rs")
+        .check(|| {
+            let reg = Registry::new();
+            let gauge = reg.gauge("qtag_model_inflight", "in flight");
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let gauge = gauge.clone();
+                    thread::spawn(move || {
+                        gauge.inc();
+                        gauge.dec();
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+            assert_eq!(gauge.get(), 0, "every inc matched by its dec");
+        });
+    assert!(report.complete, "schedules: {}", report.schedules);
+    assert!(
+        report.races > 0,
+        "the registry.rs allowlist should be load-bearing"
+    );
+}
+
+#[test]
+fn mid_flight_snapshot_is_bounded_and_final_snapshot_exact() {
+    // A scrape racing a recorder: the in-flight snapshot may see 0 or 1
+    // observations (each individual cell is monotone) but never tears
+    // past the true totals, and the post-join snapshot is exact.
+    let report = Builder::default()
+        .allow_race("crates/obs/src/hist.rs")
+        .check(|| {
+            let hist = Arc::new(Histogram::new());
+            let recorder = {
+                let hist = Arc::clone(&hist);
+                thread::spawn(move || hist.record(7))
+            };
+            let glimpse = hist.snapshot();
+            assert!(glimpse.count <= 1);
+            assert!(glimpse.sum <= 7);
+            recorder.join().unwrap();
+            let fin = hist.snapshot();
+            assert_eq!((fin.count, fin.sum), (1, 7));
+        });
+    assert!(report.complete, "schedules: {}", report.schedules);
+    assert!(report.races > 0, "scrape-vs-record is the tolerated race");
+}
