@@ -26,10 +26,14 @@
 //! [--min-speedup X] [--seed N] [--json]`.
 
 use qtag_bench::{format_pct, run_production, ExperimentOutput, ProductionConfig};
-use qtag_dom::{Origin, Page, Screen, Tab, TabId, WindowId, WindowKind};
+use qtag_dom::{
+    Element, ElementKind, ElementRef, Origin, Page, Screen, Tab, TabId, WindowId, WindowKind,
+};
 use qtag_geometry::{Point, Rect, Size, Vector};
 use qtag_render::{
-    CpuLoadModel, DeviceProfile, Engine, EngineConfig, ProbeId, RenderMode, ScriptCtx, TagScript,
+    CpuLoadModel, DeviceProfile, Engine, EngineConfig, PlaybackAction, PlaybackCommand,
+    PlaybackState, ProbeId, RenderMode, ScriptCtx, SimDuration, SimTime, TagScript, VideoPlayer,
+    VideoPlayerConfig,
 };
 use qtag_wire::{AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
 use serde::Serialize;
@@ -75,20 +79,31 @@ const HEARTBEAT_HZ: f64 = 10.0;
 const SCROLL_EVERY_NTH: u64 = 10;
 /// Scrolling sessions jump every this many frames.
 const SCROLL_PERIOD_FRAMES: u64 = 30;
+/// One session in `VIDEO_EVERY_NTH` is a 640×360 video page with a
+/// scripted player and a z-ordered overlay that hops around on a
+/// schedule — the in-page occlusion math the indexed engine must keep
+/// bit-identical with the naive walk.
+const VIDEO_EVERY_NTH: u64 = 4;
+/// Video sessions move their overlay every this many frames.
+const OVERLAY_PERIOD_FRAMES: u64 = 45;
 
 /// The resident Q-Tag stand-in: 25 pixels over the creative, 10 Hz
-/// heartbeats smuggling the paint sum out via `impression_id`.
+/// heartbeats smuggling the paint sum out via `impression_id`. Video
+/// sessions also carry a scripted player whose position and state ride
+/// in the beacon, making playback part of the cross-mode checksum.
 struct ResidentTag {
     probes: Vec<ProbeId>,
     beats: u32,
+    creative: Size,
+    player: Option<VideoPlayer>,
 }
 
 impl TagScript for ResidentTag {
     fn on_attach(&mut self, ctx: &mut ScriptCtx<'_>) {
         for gy in 0..PROBE_GRID {
             for gx in 0..PROBE_GRID {
-                let x = (f64::from(gx) + 0.5) * 300.0 / f64::from(PROBE_GRID);
-                let y = (f64::from(gy) + 0.5) * 250.0 / f64::from(PROBE_GRID);
+                let x = (f64::from(gx) + 0.5) * self.creative.width / f64::from(PROBE_GRID);
+                let y = (f64::from(gy) + 0.5) * self.creative.height / f64::from(PROBE_GRID);
                 self.probes.push(ctx.create_probe(Point::new(x, y)));
             }
         }
@@ -97,20 +112,72 @@ impl TagScript for ResidentTag {
     fn on_timer(&mut self, ctx: &mut ScriptCtx<'_>) {
         self.beats += 1;
         let paints: u64 = self.probes.iter().map(|p| ctx.probe_paints(*p)).sum();
+        let (pos_ms, state_code) = match self.player.as_mut() {
+            Some(p) => {
+                p.advance_to(ctx.now());
+                let code = match p.state() {
+                    PlaybackState::Idle => 1,
+                    PlaybackState::Playing => 2,
+                    PlaybackState::Paused => 3,
+                    PlaybackState::Rebuffering => 4,
+                    PlaybackState::Ended => 5,
+                };
+                (p.position().as_millis() as u32, code)
+            }
+            None => (0, 0),
+        };
         ctx.send_beacon(Beacon {
-            impression_id: paints,
+            impression_id: paints.wrapping_add(u64::from(pos_ms)),
             campaign_id: self.beats,
             event: EventKind::Heartbeat,
             timestamp_us: ctx.now().as_micros(),
-            ad_format: AdFormat::Display,
-            visible_fraction_milli: 0,
-            exposure_ms: 0,
+            ad_format: if self.player.is_some() {
+                AdFormat::Video
+            } else {
+                AdFormat::Display
+            },
+            visible_fraction_milli: state_code,
+            exposure_ms: pos_ms,
             os: OsKind::Windows10,
             browser: BrowserKind::Chrome,
             site_type: SiteType::Browser,
             seq: (self.beats % u32::from(u16::MAX)) as u16,
         });
     }
+}
+
+/// `true` when session `i` hosts the video-page variant.
+fn is_video_session(session: u64) -> bool {
+    session.is_multiple_of(VIDEO_EVERY_NTH)
+}
+
+/// The scripted playback schedule every video session runs: play, a
+/// mid-roll pause, resume. Under-real-time fill adds a natural rebuffer
+/// on longer runs.
+fn fleet_player() -> VideoPlayer {
+    let at = |ms: u64| SimTime::from_micros(ms * 1_000);
+    VideoPlayer::new(
+        VideoPlayerConfig {
+            duration: SimDuration::from_secs(30),
+            initial_buffer: SimDuration::from_millis(900),
+            fill_permille: 900,
+            resume_watermark: SimDuration::from_millis(400),
+        },
+        vec![
+            PlaybackCommand {
+                at: at(0),
+                action: PlaybackAction::Play,
+            },
+            PlaybackCommand {
+                at: at(2_000),
+                action: PlaybackAction::Pause,
+            },
+            PlaybackCommand {
+                at: at(3_000),
+                action: PlaybackAction::Play,
+            },
+        ],
+    )
 }
 
 /// Builds one resident session shaped like a real ad-bearing page: a
@@ -120,14 +187,45 @@ impl TagScript for ResidentTag {
 /// (notification toast, picture-in-picture player) partially overlapping
 /// the browser — the scene work a per-frame full walk has to redo and
 /// the epoch fast path provably skips.
-fn build_session(mode: RenderMode, seed: u64) -> (Engine, WindowId) {
+fn build_session(
+    mode: RenderMode,
+    seed: u64,
+    session: u64,
+) -> (Engine, WindowId, Option<ElementRef>) {
+    let video = is_video_session(session);
+    let creative = if video {
+        Size::VIDEO_PLAYER
+    } else {
+        Size::MEDIUM_RECTANGLE
+    };
     let mut page = Page::new(Origin::https("pub.example"), Size::new(1280.0, 3000.0));
     let ssp = page.create_frame(Origin::https("ssp.example"), Size::new(400.0, 700.0));
     page.embed_iframe(page.root(), ssp, Rect::new(150.0, 60.0, 400.0, 700.0))
         .unwrap();
-    let ad = page.create_frame(Origin::https("dsp.example"), Size::MEDIUM_RECTANGLE);
-    page.embed_iframe(ssp, ad, Rect::new(50.0, 40.0, 300.0, 250.0))
-        .unwrap();
+    let ad = page.create_frame(Origin::https("dsp.example"), creative);
+    let mut overlay = None;
+    if video {
+        // The 640×360 player sits directly in the root document, with a
+        // z-ordered overlay hopping over it on a schedule (see
+        // `run_session`): per-frame in-page occlusion work.
+        page.embed_iframe(page.root(), ad, Rect::new(600.0, 100.0, 640.0, 360.0))
+            .unwrap();
+        overlay = Some(
+            page.add_element(
+                page.root(),
+                Element::new(
+                    "pip-overlay",
+                    ElementKind::Overlay,
+                    Rect::new(620.0, 120.0, 200.0, 120.0),
+                )
+                .with_z(5),
+            )
+            .unwrap(),
+        );
+    } else {
+        page.embed_iframe(ssp, ad, Rect::new(50.0, 40.0, 300.0, 250.0))
+            .unwrap();
+    }
     let mut screen = Screen::desktop();
     let w = screen.add_window(
         WindowKind::Browser {
@@ -168,10 +266,30 @@ fn build_session(mode: RenderMode, seed: u64) -> (Engine, WindowId) {
             Box::new(ResidentTag {
                 probes: Vec::new(),
                 beats: 0,
+                creative,
+                player: video.then(fleet_player),
             }),
         )
         .unwrap();
-    (engine, w)
+    (engine, w, overlay)
+}
+
+/// Deterministic overlay position for a video session at a frame: hops
+/// between three spots over the player, mutating root-frame layout.
+fn overlay_target(frame: u64) -> Point {
+    let step = (frame / OVERLAY_PERIOD_FRAMES) % 3;
+    Point::new(620.0 + step as f64 * 150.0, 120.0 + step as f64 * 60.0)
+}
+
+/// Applies the video session's overlay schedule at frame `f`.
+fn move_overlay(engine: &mut Engine, w: WindowId, overlay: ElementRef, f: u64) {
+    if let Ok(win) = engine.screen_mut().window_mut(w) {
+        if let Some(page) = win.active_page_mut() {
+            if let Ok(el) = page.element_mut(overlay) {
+                el.rect.origin = overlay_target(f);
+            }
+        }
+    }
 }
 
 /// Deterministic scroll target for a scrolling session at a frame.
@@ -184,11 +302,22 @@ fn scroll_target(frame: u64) -> Vector {
 /// drains its outbox. Returns `(paint_sum, beacon_count)` — the paint
 /// sum is a cross-mode checksum that must be bit-identical between the
 /// naive and indexed engines.
-fn run_session(engine: &mut Engine, w: WindowId, session: u64, frames: u64) -> (u64, u64) {
+fn run_session(
+    engine: &mut Engine,
+    w: WindowId,
+    overlay: Option<ElementRef>,
+    session: u64,
+    frames: u64,
+) -> (u64, u64) {
     let scrolls = session.is_multiple_of(SCROLL_EVERY_NTH);
     for f in 0..frames {
         if scrolls && f.is_multiple_of(SCROLL_PERIOD_FRAMES) {
             let _ = engine.scroll_page_to(w, Some(TabId(0)), scroll_target(f));
+        }
+        if let Some(ovl) = overlay {
+            if f.is_multiple_of(OVERLAY_PERIOD_FRAMES) {
+                move_overlay(engine, w, ovl, f);
+            }
         }
         engine.tick();
     }
@@ -237,10 +366,10 @@ fn run_cell(mode: RenderMode, fleet: u64, frames: u64, workers: u64, seed: u64) 
                     let lo = t * per_worker;
                     let hi = (lo + per_worker).min(fleet);
                     let build_start = Instant::now();
-                    let mut chunk: Vec<(Engine, WindowId, u64)> = (lo..hi)
+                    let mut chunk: Vec<(Engine, WindowId, Option<ElementRef>, u64)> = (lo..hi)
                         .map(|i| {
-                            let (e, w) = build_session(mode, seed ^ i);
-                            (e, w, i)
+                            let (e, w, ovl) = build_session(mode, seed ^ i, i);
+                            (e, w, ovl, i)
                         })
                         .collect();
                     let build_secs = build_start.elapsed().as_secs_f64();
@@ -248,8 +377,8 @@ fn run_cell(mode: RenderMode, fleet: u64, frames: u64, workers: u64, seed: u64) 
                     let tick_start = Instant::now();
                     let mut paints = 0u64;
                     let mut beacons = 0u64;
-                    for (engine, w, i) in chunk.iter_mut() {
-                        let (p, b) = run_session(engine, *w, *i, frames);
+                    for (engine, w, ovl, i) in chunk.iter_mut() {
+                        let (p, b) = run_session(engine, *w, *ovl, *i, frames);
                         paints = paints.wrapping_add(p);
                         beacons += b;
                     }
@@ -298,8 +427,8 @@ fn run_cell(mode: RenderMode, fleet: u64, frames: u64, workers: u64, seed: u64) 
 /// beacon streams, byte for byte.
 fn run_equivalence(sessions: u64, frames: u64, seed: u64) -> bool {
     for i in 0..sessions {
-        let (mut naive, wn) = build_session(RenderMode::Naive, seed ^ i);
-        let (mut indexed, wi) = build_session(RenderMode::Indexed, seed ^ i);
+        let (mut naive, wn, on) = build_session(RenderMode::Naive, seed ^ i, i);
+        let (mut indexed, wi, oi) = build_session(RenderMode::Indexed, seed ^ i, i);
         let scrolls = i % SCROLL_EVERY_NTH == 0;
         for f in 0..frames {
             if scrolls && f % SCROLL_PERIOD_FRAMES == 0 {
@@ -309,6 +438,14 @@ fn run_equivalence(sessions: u64, frames: u64, seed: u64) -> bool {
                 indexed
                     .scroll_page_to(wi, Some(TabId(0)), scroll_target(f))
                     .unwrap();
+            }
+            if f % OVERLAY_PERIOD_FRAMES == 0 {
+                if let Some(ovl) = on {
+                    move_overlay(&mut naive, wn, ovl, f);
+                }
+                if let Some(ovl) = oi {
+                    move_overlay(&mut indexed, wi, ovl, f);
+                }
             }
             naive.tick();
             indexed.tick();
@@ -332,6 +469,7 @@ struct FleetPayload {
     probes_per_session: u32,
     heartbeat_hz: f64,
     scroll_fraction: f64,
+    video_fraction: f64,
     equivalence_sessions: u64,
     equivalence_ok: bool,
     cells: Vec<FleetCell>,
@@ -354,7 +492,8 @@ fn fleet_main(fleet: u64) {
     out.section("§5 resident fleet — spatially-indexed render path");
     println!(
         "  fleet: {fleet} sessions x {frames} frames, {workers} worker(s), \
-         {} probes @ {HEARTBEAT_HZ} Hz, 1/{SCROLL_EVERY_NTH} sessions scrolling",
+         {} probes @ {HEARTBEAT_HZ} Hz, 1/{SCROLL_EVERY_NTH} sessions scrolling, \
+         1/{VIDEO_EVERY_NTH} video pages with scripted overlays",
         PROBE_GRID * PROBE_GRID
     );
 
@@ -445,6 +584,7 @@ fn fleet_main(fleet: u64) {
         probes_per_session: PROBE_GRID * PROBE_GRID,
         heartbeat_hz: HEARTBEAT_HZ,
         scroll_fraction: 1.0 / SCROLL_EVERY_NTH as f64,
+        video_fraction: 1.0 / VIDEO_EVERY_NTH as f64,
         equivalence_sessions: equivalence,
         equivalence_ok,
         cells: cells.clone(),

@@ -20,12 +20,17 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod adversarial;
 mod extras;
 mod faults;
 mod harness;
 mod mobile;
 mod scenario;
 
+pub use adversarial::{
+    run_adversarial, run_adversarial_matrix, AdversarialOutcome, AdversarialScenario,
+    ScenarioReport,
+};
 pub use mobile::{run_mobile_scenario, MobileScenario};
 
 pub use extras::{

@@ -13,6 +13,15 @@
 //! tests 4–7) additionally require registering an *out-of-view* event
 //! when the ad later leaves view; the machine models that with the
 //! `Viewed → ViewedHidden` transition.
+//!
+//! **Video (continuous-timer variant).** The standard requires ≥ 50 %
+//! of the player visible for **2 seconds of continuous playback** — a
+//! pause or rebuffer breaks the qualifying run even while the player
+//! stays fully visible. [`ViewabilityMachine::update_with_playback`]
+//! threads the playback state in: *qualifying* means `visible ∧
+//! playing`, and any non-qualifying sample resets the timer exactly
+//! like a visibility drop does. Only a *visibility* drop emits the
+//! out-of-view event (a paused but visible player has not left view).
 
 use qtag_render::SimTime;
 use qtag_wire::AdFormat;
@@ -36,8 +45,9 @@ enum State {
     Counting { since: SimTime },
     /// Criteria met; ad still at/above the threshold. `run_started`
     /// anchors the current continuous qualifying run so exposure keeps
-    /// accruing.
-    Viewed { run_started: SimTime },
+    /// accruing; `None` while the run is suspended (video paused or
+    /// rebuffering with the player still visible).
+    Viewed { run_started: Option<SimTime> },
     /// Criteria met earlier; ad currently below the threshold.
     ViewedHidden,
 }
@@ -92,28 +102,65 @@ impl ViewabilityMachine {
     /// Feeds one sample: the estimated visible fraction at time `now`.
     /// Returns the event this sample triggers, if any.
     ///
-    /// Samples must be fed in non-decreasing time order.
+    /// Samples must be fed in non-decreasing time order. Display path:
+    /// equivalent to [`ViewabilityMachine::update_with_playback`] with
+    /// `playing = true` on every sample.
     pub fn update(&mut self, now: SimTime, visible_fraction: f64) -> Option<ViewEvent> {
+        self.update_with_playback(now, visible_fraction, true)
+    }
+
+    /// The continuous-timer variant for video: feeds one sample of the
+    /// estimated visible fraction *and* the player state at `now`.
+    ///
+    /// A sample *qualifies* when the fraction is at/above the area
+    /// threshold **and** the player is playing. Any non-qualifying
+    /// sample breaks the continuous run:
+    ///
+    /// * before the in-view — the timer stops and the process restarts
+    ///   (silently, exactly like a visibility drop);
+    /// * after the in-view — a *visibility* drop emits out-of-view,
+    ///   while a pause/rebuffer with the player still visible merely
+    ///   suspends exposure accrual (the ad has not left view).
+    ///
+    /// Boundary rule (audited): a sample landing exactly at the
+    /// required exposure *while the player is rebuffering or paused*
+    /// does **not** fire in-view and does **not** credit the final
+    /// span. The sample observes a broken run at that instant, and the
+    /// machine cannot know when inside the sampling interval the stall
+    /// started — crediting it would let a stall straddling the 2 s mark
+    /// certify a view that never completed. This mirrors how a
+    /// below-threshold sample at the exact deadline is handled, and it
+    /// keeps the outcome invariant under tick-rate subdivision.
+    pub fn update_with_playback(
+        &mut self,
+        now: SimTime,
+        visible_fraction: f64,
+        playing: bool,
+    ) -> Option<ViewEvent> {
         let above = visible_fraction >= self.required_fraction;
+        let qualifying = above && playing;
         match self.state {
             State::Below => {
-                if above {
+                if qualifying {
                     self.state = State::Counting { since: now };
                     // A zero-length exposure qualifies only for a zero
                     // requirement (not a real configuration).
                     if self.required_exposure_us == 0 {
-                        self.state = State::Viewed { run_started: now };
+                        self.state = State::Viewed {
+                            run_started: Some(now),
+                        };
                         return Some(ViewEvent::InView);
                     }
                 }
                 None
             }
             State::Counting { since } => {
-                if !above {
+                if !qualifying {
                     // Timer stops and the process restarts (no event:
                     // the paper's out-of-view *event* is only observable
                     // after an in-view, which is also all the ABC tests
-                    // require).
+                    // require). The break is checked BEFORE any exposure
+                    // is credited — see the boundary rule above.
                     self.state = State::Below;
                     return None;
                 }
@@ -122,7 +169,9 @@ impl ViewabilityMachine {
                 if exposure >= self.required_exposure_us {
                     // Keep the run's start so exposure keeps accruing
                     // while the ad stays qualifying.
-                    self.state = State::Viewed { run_started: since };
+                    self.state = State::Viewed {
+                        run_started: Some(since),
+                    };
                     return Some(ViewEvent::InView);
                 }
                 None
@@ -132,17 +181,35 @@ impl ViewabilityMachine {
                     self.state = State::ViewedHidden;
                     return Some(ViewEvent::OutOfView);
                 }
-                self.best_exposure_us = self
-                    .best_exposure_us
-                    .max(now.since(run_started).as_micros());
+                if !playing {
+                    // Visible but stalled: suspend the run, no event.
+                    self.state = State::Viewed { run_started: None };
+                    return None;
+                }
+                match run_started {
+                    Some(started) => {
+                        self.best_exposure_us =
+                            self.best_exposure_us.max(now.since(started).as_micros());
+                    }
+                    None => {
+                        // Playback resumed: a fresh continuous run
+                        // starts at this sample.
+                        self.state = State::Viewed {
+                            run_started: Some(now),
+                        };
+                    }
+                }
                 None
             }
             State::ViewedHidden => {
                 if above {
                     // Back in view after having been viewed: no second
                     // in-view (the impression counts once), just resume —
-                    // a fresh continuous run starts now.
-                    self.state = State::Viewed { run_started: now };
+                    // a fresh continuous run starts now, or stays
+                    // suspended while the player is stalled.
+                    self.state = State::Viewed {
+                        run_started: playing.then_some(now),
+                    };
                 }
                 None
             }
@@ -245,5 +312,141 @@ mod tests {
         let mut m = ViewabilityMachine::with_thresholds(0.9, 500);
         m.update(t(0), 0.95);
         assert_eq!(m.update(t(500), 0.95), Some(ViewEvent::InView));
+    }
+
+    fn video() -> ViewabilityMachine {
+        ViewabilityMachine::for_format(AdFormat::Video)
+    }
+
+    #[test]
+    fn pause_before_deadline_resets_the_run() {
+        let mut m = video();
+        m.update_with_playback(t(0), 1.0, true);
+        m.update_with_playback(t(1500), 1.0, true);
+        // Fully visible but paused: the continuous run breaks silently.
+        assert_eq!(m.update_with_playback(t(1600), 1.0, false), None);
+        assert!(!m.viewed());
+        // Resuming needs a fresh full 2 s.
+        m.update_with_playback(t(2000), 1.0, true);
+        assert_eq!(m.update_with_playback(t(3900), 1.0, true), None);
+        assert_eq!(
+            m.update_with_playback(t(4000), 1.0, true),
+            Some(ViewEvent::InView)
+        );
+    }
+
+    #[test]
+    fn rebuffer_exactly_at_threshold_does_not_fire() {
+        // The audited boundary: the sample lands exactly at the 2 s mark
+        // AND carries the rebuffer transition. The run is broken at that
+        // instant, so no in-view — and the final span is not credited.
+        let mut m = video();
+        m.update_with_playback(t(0), 1.0, true);
+        m.update_with_playback(t(1900), 1.0, true);
+        assert_eq!(m.update_with_playback(t(2000), 1.0, false), None);
+        assert!(!m.viewed());
+        assert_eq!(
+            m.best_exposure_ms(),
+            1900,
+            "the breaking sample must not credit the span up to it"
+        );
+    }
+
+    #[test]
+    fn playing_sample_exactly_at_threshold_fires() {
+        // Control for the boundary test: same timing, player healthy.
+        let mut m = video();
+        m.update_with_playback(t(0), 1.0, true);
+        m.update_with_playback(t(1900), 1.0, true);
+        assert_eq!(
+            m.update_with_playback(t(2000), 1.0, true),
+            Some(ViewEvent::InView)
+        );
+    }
+
+    #[test]
+    fn pause_after_view_is_not_out_of_view() {
+        let mut m = video();
+        m.update_with_playback(t(0), 1.0, true);
+        assert_eq!(
+            m.update_with_playback(t(2000), 1.0, true),
+            Some(ViewEvent::InView)
+        );
+        // Paused but fully visible: the ad has not left view.
+        assert_eq!(m.update_with_playback(t(3000), 1.0, false), None);
+        assert!(m.viewed());
+        // A visibility drop still registers.
+        assert_eq!(
+            m.update_with_playback(t(4000), 0.1, false),
+            Some(ViewEvent::OutOfView)
+        );
+    }
+
+    #[test]
+    fn stall_suspends_exposure_accrual() {
+        let mut m = video();
+        m.update_with_playback(t(0), 1.0, true);
+        m.update_with_playback(t(2000), 1.0, true); // in-view, run anchored at 0
+        m.update_with_playback(t(2500), 1.0, true);
+        assert_eq!(m.best_exposure_ms(), 2500);
+        // 10 s stall: best exposure must not grow.
+        m.update_with_playback(t(3000), 1.0, false);
+        m.update_with_playback(t(12_000), 1.0, false);
+        assert_eq!(m.best_exposure_ms(), 2500);
+        // Resume: a fresh run anchors at the resume sample.
+        m.update_with_playback(t(12_500), 1.0, true);
+        m.update_with_playback(t(13_500), 1.0, true);
+        assert_eq!(m.best_exposure_ms(), 2500, "1 s of fresh run < old best");
+        m.update_with_playback(t(16_000), 1.0, true);
+        assert_eq!(m.best_exposure_ms(), 3500);
+    }
+
+    #[test]
+    fn hidden_then_visible_while_paused_stays_suspended() {
+        let mut m = video();
+        m.update_with_playback(t(0), 1.0, true);
+        m.update_with_playback(t(2000), 1.0, true);
+        assert_eq!(
+            m.update_with_playback(t(2500), 0.0, true),
+            Some(ViewEvent::OutOfView)
+        );
+        // Scrolled back while paused: visible again, run suspended.
+        assert_eq!(m.update_with_playback(t(3000), 1.0, false), None);
+        m.update_with_playback(t(5000), 1.0, false);
+        assert_eq!(m.best_exposure_ms(), 2000);
+        // Leaving view again still re-emits out-of-view.
+        assert_eq!(
+            m.update_with_playback(t(5500), 0.2, false),
+            Some(ViewEvent::OutOfView)
+        );
+    }
+
+    #[test]
+    fn paused_never_starts_the_timer() {
+        let mut m = video();
+        for ms in (0..10_000).step_by(100) {
+            assert_eq!(m.update_with_playback(t(ms), 1.0, false), None);
+        }
+        assert!(!m.viewed());
+        assert_eq!(m.best_exposure_ms(), 0);
+    }
+
+    #[test]
+    fn display_update_is_playback_true() {
+        // The display path must be bit-equivalent to playing=true.
+        let mut a = display();
+        let mut b = display();
+        let samples = [
+            (0u64, 0.9),
+            (400, 0.2),
+            (500, 0.8),
+            (1500, 0.8),
+            (1600, 0.1),
+        ];
+        for (ms, f) in samples {
+            assert_eq!(a.update(t(ms), f), b.update_with_playback(t(ms), f, true));
+            assert_eq!(a.viewed(), b.viewed());
+            assert_eq!(a.best_exposure_ms(), b.best_exposure_ms());
+        }
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::{AreaEstimator, QTagConfig, RateSampler, ViewEvent, ViewabilityMachine};
 use qtag_geometry::Point;
-use qtag_render::{ProbeId, ScriptCtx, TagScript};
+use qtag_render::{ProbeId, ScriptCtx, TagScript, VideoPlayer};
 use qtag_wire::{AdFormat, Beacon, EventKind};
 
 /// The Q-Tag, ready to be attached to a creative iframe with
@@ -29,6 +29,7 @@ pub struct QTag {
     samples_taken: u64,
     sent_measurable: bool,
     last_fraction: f64,
+    player: Option<VideoPlayer>,
 }
 
 impl QTag {
@@ -49,7 +50,22 @@ impl QTag {
             samples_taken: 0,
             sent_measurable: false,
             last_fraction: 0.0,
+            player: None,
         }
+    }
+
+    /// Attaches a scripted [`VideoPlayer`]: the tag advances it on every
+    /// bookkeeping tick and gates the continuous viewability timer on
+    /// its playback state, so pauses and rebuffers reset the 2 s run.
+    /// Only meaningful for [`AdFormat::Video`] deployments.
+    pub fn with_player(mut self, player: VideoPlayer) -> Self {
+        self.player = Some(player);
+        self
+    }
+
+    /// The embedded video player, if this is a video deployment.
+    pub fn player(&self) -> Option<&VideoPlayer> {
+        self.player.as_ref()
     }
 
     /// The format the tag measures against.
@@ -156,8 +172,20 @@ impl TagScript for QTag {
             ctx.send_beacon(b);
         }
 
-        // 4. Advance the viewability timer and report transitions.
-        match self.machine.update(now, self.last_fraction) {
+        // 4. Advance the viewability timer and report transitions. A
+        // video deployment first syncs its player: only samples taken
+        // while media is actually advancing qualify for the 2 s run.
+        let playing = match self.player.as_mut() {
+            Some(p) => {
+                p.advance_to(now);
+                p.playing()
+            }
+            None => true,
+        };
+        match self
+            .machine
+            .update_with_playback(now, self.last_fraction, playing)
+        {
             Some(ViewEvent::InView) => {
                 let b = self.beacon(ctx, EventKind::InView);
                 ctx.send_beacon(b);
@@ -375,6 +403,60 @@ mod tests {
             .count();
         // 10 Hz sampling, every 5th sample → ~4 heartbeats in 2 s.
         assert!((3..=5).contains(&heartbeats), "got {heartbeats} heartbeats");
+    }
+
+    fn attach_video_qtag(
+        engine: &mut Engine,
+        w: qtag_dom::WindowId,
+        f: qtag_dom::FrameId,
+        player_cfg: qtag_render::VideoPlayerConfig,
+    ) {
+        let cfg = QTagConfig::new(1, 1, Rect::new(0.0, 0.0, 300.0, 250.0)).video();
+        let player = VideoPlayer::new(
+            player_cfg,
+            vec![qtag_render::PlaybackCommand {
+                at: qtag_render::SimTime::ZERO,
+                action: qtag_render::PlaybackAction::Play,
+            }],
+        );
+        engine
+            .attach_script(
+                w,
+                Some(TabId(0)),
+                f,
+                Origin::https("dsp.example"),
+                Box::new(QTag::new(cfg).with_player(player)),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn healthy_video_playback_fires_in_view_after_two_seconds() {
+        let (mut engine, w, f) = scene(100.0);
+        attach_video_qtag(&mut engine, w, f, qtag_render::VideoPlayerConfig::default());
+        engine.run_for(SimDuration::from_millis(2_600));
+        let evs = events(&mut engine);
+        assert!(evs.contains(&EventKind::InView), "events: {evs:?}");
+    }
+
+    #[test]
+    fn starved_video_playback_never_fires_in_view() {
+        // Fully visible the whole time, but the player stalls after
+        // 800 ms and never recovers: the 2 s continuous run never forms.
+        let (mut engine, w, f) = scene(100.0);
+        let player_cfg = qtag_render::VideoPlayerConfig {
+            initial_buffer: SimDuration::from_millis(800),
+            fill_permille: 0,
+            ..qtag_render::VideoPlayerConfig::default()
+        };
+        attach_video_qtag(&mut engine, w, f, player_cfg);
+        engine.run_for(SimDuration::from_secs(6));
+        let evs = events(&mut engine);
+        assert!(evs.contains(&EventKind::Measurable));
+        assert!(
+            !evs.contains(&EventKind::InView),
+            "a stalled player must not accrue continuous playback: {evs:?}"
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod env;
 mod script;
 mod spatial;
 mod throttle;
+mod video;
 mod visibility;
 
 pub use clock::{FrameClock, SimDuration, SimTime};
@@ -55,6 +56,7 @@ pub use throttle::{
     composite_state, composite_state_with, paint_rate, timer_hz_when_hidden, timer_rate,
     CompositeState,
 };
+pub use video::{PlaybackAction, PlaybackCommand, PlaybackState, VideoPlayer, VideoPlayerConfig};
 pub use visibility::{
     cull_projected_points, element_true_visibility, page_visibility_context, point_in_viewport,
     point_in_viewport_projected, rect_in_viewport, scroll_page_to, viewport_fraction,

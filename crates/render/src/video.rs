@@ -1,0 +1,452 @@
+//! Deterministic video player state machine.
+//!
+//! The paper's video standard demands ≥ 50 % of the player visible for
+//! **2 seconds of continuous playback** — so the simulation needs a
+//! player whose play / pause / rebuffer / seek transitions are exact and
+//! reproducible. [`VideoPlayer`] is that machine: a scripted command
+//! timeline plus an integer-microsecond buffer model, advanced against
+//! the same [`SimTime`](crate::SimTime) axis as the engine's
+//! [`FrameClock`](crate::FrameClock).
+//!
+//! Two properties make it safe to use in property tests and in the
+//! certification oracles:
+//!
+//! * **Query-cadence invariance.** [`VideoPlayer::advance_to`] computes
+//!   every internal crossing (buffer underrun, rebuffer watermark
+//!   refill, media end) in closed form, so the state at time *t* is the
+//!   same whether you advance in one jump or in a thousand frame-sized
+//!   steps. Tag and oracle can therefore drive *independent* copies of
+//!   the same scripted player and observe identical playback.
+//! * **Integer arithmetic.** The buffer is tracked in milli-media-µs and
+//!   the network fill rate in permille (media-µs gained per 1000 wall-µs),
+//!   so there is no floating-point drift between drivers.
+
+use crate::clock::{FrameClock, SimDuration, SimTime};
+
+/// What the player is doing right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaybackState {
+    /// Loaded but never started.
+    Idle,
+    /// Media advancing: the only state that accrues continuous playback.
+    Playing,
+    /// Stopped by an explicit user `Pause`; resumes only on `Play`.
+    Paused,
+    /// Stalled on an empty buffer; auto-resumes at the resume watermark.
+    Rebuffering,
+    /// Media position reached the end of the asset.
+    Ended,
+}
+
+/// A scripted user/network action applied at a fixed simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaybackAction {
+    /// Start (or resume) playback. Stalls into
+    /// [`PlaybackState::Rebuffering`] if the buffer is below the resume
+    /// watermark.
+    Play,
+    /// Pause playback. The buffer keeps filling while paused.
+    Pause,
+    /// Jump to a media position. Flushes the buffer: a playing or
+    /// stalled player drops into [`PlaybackState::Rebuffering`].
+    Seek(SimDuration),
+}
+
+/// A timestamped [`PlaybackAction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaybackCommand {
+    /// When the action fires.
+    pub at: SimTime,
+    /// The action itself.
+    pub action: PlaybackAction,
+}
+
+/// Static description of the asset and its delivery path.
+#[derive(Debug, Clone, Copy)]
+pub struct VideoPlayerConfig {
+    /// Length of the media asset.
+    pub duration: SimDuration,
+    /// Media already buffered when the player is constructed.
+    pub initial_buffer: SimDuration,
+    /// Network fill rate in permille: media-µs gained per 1000 wall-µs.
+    /// `1000` is exactly real-time; below that, playback eventually
+    /// starves; `0` models a dead CDN connection.
+    pub fill_permille: u64,
+    /// Buffer level at which a rebuffering player auto-resumes (clamped
+    /// to the media remaining past the current position).
+    pub resume_watermark: SimDuration,
+}
+
+impl Default for VideoPlayerConfig {
+    fn default() -> Self {
+        VideoPlayerConfig {
+            duration: SimDuration::from_secs(30),
+            initial_buffer: SimDuration::from_millis(2_000),
+            fill_permille: 1_500,
+            resume_watermark: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// Deterministic play / pause / rebuffer / seek state machine.
+///
+/// Construct with a config and a command script, then call
+/// [`advance_to`](VideoPlayer::advance_to) (or
+/// [`sync_to_clock`](VideoPlayer::sync_to_clock)) with a non-decreasing
+/// sequence of times. Query [`playing`](VideoPlayer::playing) to feed
+/// `qtag-core`'s continuous-timer variant.
+#[derive(Debug, Clone)]
+pub struct VideoPlayer {
+    cfg: VideoPlayerConfig,
+    script: Vec<PlaybackCommand>,
+    next_cmd: usize,
+    now: SimTime,
+    state: PlaybackState,
+    /// Media position in media-µs.
+    position_us: u64,
+    /// Buffered media in milli-media-µs (media-µs × 1000) so permille
+    /// fill rates stay integral.
+    buffer_milli: u64,
+}
+
+impl VideoPlayer {
+    /// A player at the simulation epoch with a scripted command list.
+    /// Commands are sorted by time (stable, so equal-time commands keep
+    /// their script order).
+    pub fn new(cfg: VideoPlayerConfig, mut script: Vec<PlaybackCommand>) -> Self {
+        script.sort_by_key(|c| c.at);
+        let buffer = cfg.initial_buffer.as_micros().min(cfg.duration.as_micros());
+        VideoPlayer {
+            cfg,
+            script,
+            next_cmd: 0,
+            now: SimTime::ZERO,
+            state: PlaybackState::Idle,
+            position_us: 0,
+            buffer_milli: buffer * 1_000,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PlaybackState {
+        self.state
+    }
+
+    /// `true` exactly while media is advancing — the predicate the
+    /// continuous viewability timer gates on.
+    pub fn playing(&self) -> bool {
+        self.state == PlaybackState::Playing
+    }
+
+    /// Current media position.
+    pub fn position(&self) -> SimDuration {
+        SimDuration::from_micros(self.position_us)
+    }
+
+    /// Media currently buffered ahead of the position.
+    pub fn buffered(&self) -> SimDuration {
+        SimDuration::from_micros(self.buffer_milli / 1_000)
+    }
+
+    /// Advances to the engine clock's current time.
+    pub fn sync_to_clock(&mut self, clock: &FrameClock) {
+        self.advance_to(clock.now());
+    }
+
+    /// Advances the machine to `now`, processing every scripted command
+    /// and internal crossing in exact order. Times earlier than the
+    /// current position are ignored (the machine never rewinds).
+    pub fn advance_to(&mut self, now: SimTime) {
+        while self.now < now {
+            // Next externally scheduled event.
+            let cmd_at = self
+                .script
+                .get(self.next_cmd)
+                .map(|c| c.at.as_micros().max(self.now.as_micros()));
+            // Next internal crossing, as a delta from self.now.
+            let crossing = self.next_crossing_us();
+            let mut step_to = now.as_micros();
+            if let Some(at) = cmd_at {
+                step_to = step_to.min(at);
+            }
+            if let Some(dt) = crossing {
+                step_to = step_to.min(self.now.as_micros() + dt);
+            }
+            let dt = step_to - self.now.as_micros();
+            self.integrate(dt);
+            self.now = SimTime::from_micros(step_to);
+            // Internal crossings settle before a command at the same
+            // instant: a `Play` landing exactly at media end is a no-op.
+            self.apply_crossing();
+            while self
+                .script
+                .get(self.next_cmd)
+                .is_some_and(|c| c.at <= self.now)
+            {
+                let cmd = self.script[self.next_cmd];
+                self.next_cmd += 1;
+                self.apply_command(cmd.action);
+            }
+        }
+    }
+
+    /// Wall-µs until the next internal state change, if any.
+    fn next_crossing_us(&self) -> Option<u64> {
+        match self.state {
+            PlaybackState::Playing => {
+                let to_end = self.cfg.duration.as_micros() - self.position_us;
+                let drain = 1_000u64.saturating_sub(self.cfg.fill_permille);
+                if drain > 0 {
+                    // Buffer empties before (or exactly when) media ends.
+                    let to_empty = self.buffer_milli.div_ceil(drain);
+                    Some(to_end.min(to_empty))
+                } else {
+                    Some(to_end)
+                }
+            }
+            PlaybackState::Rebuffering => {
+                if self.cfg.fill_permille == 0 {
+                    return None; // starved forever
+                }
+                let target = self.resume_target_milli();
+                let deficit = target.saturating_sub(self.buffer_milli);
+                Some(deficit.div_ceil(self.cfg.fill_permille))
+            }
+            PlaybackState::Idle | PlaybackState::Paused | PlaybackState::Ended => None,
+        }
+    }
+
+    /// The buffer level (milli) at which rebuffering resumes: the
+    /// watermark, clamped to the media remaining.
+    fn resume_target_milli(&self) -> u64 {
+        let remaining = (self.cfg.duration.as_micros() - self.position_us) * 1_000;
+        (self.cfg.resume_watermark.as_micros() * 1_000).min(remaining)
+    }
+
+    /// Advances the continuous dynamics by `dt` wall-µs with no state
+    /// change inside the interval (the caller guarantees that by
+    /// stepping only to the next crossing).
+    fn integrate(&mut self, dt: u64) {
+        if dt == 0 {
+            return;
+        }
+        match self.state {
+            PlaybackState::Playing => {
+                self.position_us += dt; // 1 media-µs per wall-µs
+                let gained = dt * self.cfg.fill_permille;
+                let consumed = dt * 1_000;
+                let cap = (self.cfg.duration.as_micros() - self.position_us) * 1_000;
+                self.buffer_milli = (self.buffer_milli + gained)
+                    .saturating_sub(consumed)
+                    .min(cap);
+            }
+            PlaybackState::Idle | PlaybackState::Paused | PlaybackState::Rebuffering => {
+                let cap = (self.cfg.duration.as_micros() - self.position_us) * 1_000;
+                self.buffer_milli = (self.buffer_milli + dt * self.cfg.fill_permille).min(cap);
+            }
+            PlaybackState::Ended => {}
+        }
+    }
+
+    /// Applies any internal transition that is due at the current state.
+    fn apply_crossing(&mut self) {
+        match self.state {
+            PlaybackState::Playing => {
+                if self.position_us >= self.cfg.duration.as_micros() {
+                    self.state = PlaybackState::Ended;
+                } else if self.buffer_milli == 0 && self.cfg.fill_permille < 1_000 {
+                    self.state = PlaybackState::Rebuffering;
+                }
+            }
+            PlaybackState::Rebuffering
+                if self.cfg.fill_permille > 0
+                    && self.buffer_milli >= self.resume_target_milli() =>
+            {
+                self.state = PlaybackState::Playing;
+            }
+            _ => {}
+        }
+    }
+
+    fn apply_command(&mut self, action: PlaybackAction) {
+        match action {
+            PlaybackAction::Play => match self.state {
+                PlaybackState::Idle | PlaybackState::Paused => {
+                    self.state = if self.buffer_milli >= self.resume_target_milli() {
+                        PlaybackState::Playing
+                    } else {
+                        PlaybackState::Rebuffering
+                    };
+                    // An already-satisfied watermark (e.g. tail of the
+                    // asset fully buffered) starts playback immediately.
+                    self.apply_crossing();
+                }
+                PlaybackState::Playing | PlaybackState::Rebuffering | PlaybackState::Ended => {}
+            },
+            PlaybackAction::Pause => match self.state {
+                PlaybackState::Playing | PlaybackState::Rebuffering => {
+                    self.state = PlaybackState::Paused;
+                }
+                _ => {}
+            },
+            PlaybackAction::Seek(to) => {
+                if self.state == PlaybackState::Ended {
+                    self.state = PlaybackState::Paused;
+                }
+                self.position_us = to.as_micros().min(self.cfg.duration.as_micros());
+                self.buffer_milli = 0; // seek flushes the buffer
+                if self.state == PlaybackState::Playing {
+                    self.state = PlaybackState::Rebuffering;
+                }
+                self.apply_crossing();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn play_at(ms: u64) -> PlaybackCommand {
+        PlaybackCommand {
+            at: SimTime::from_micros(ms * 1_000),
+            action: PlaybackAction::Play,
+        }
+    }
+
+    fn pause_at(ms: u64) -> PlaybackCommand {
+        PlaybackCommand {
+            at: SimTime::from_micros(ms * 1_000),
+            action: PlaybackAction::Pause,
+        }
+    }
+
+    #[test]
+    fn plays_through_and_ends() {
+        let cfg = VideoPlayerConfig {
+            duration: SimDuration::from_secs(5),
+            ..VideoPlayerConfig::default()
+        };
+        let mut p = VideoPlayer::new(cfg, vec![play_at(0)]);
+        p.advance_to(SimTime::from_micros(4_999_999));
+        assert_eq!(p.state(), PlaybackState::Playing);
+        p.advance_to(SimTime::from_micros(5_000_000));
+        assert_eq!(p.state(), PlaybackState::Ended);
+        assert_eq!(p.position(), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn pause_holds_and_fills_buffer() {
+        let cfg = VideoPlayerConfig {
+            fill_permille: 800,
+            ..VideoPlayerConfig::default()
+        };
+        let mut p = VideoPlayer::new(cfg, vec![play_at(0), pause_at(1_000), play_at(3_000)]);
+        p.advance_to(SimTime::from_micros(1_500_000));
+        assert_eq!(p.state(), PlaybackState::Paused);
+        let buffered_mid_pause = p.buffered();
+        p.advance_to(SimTime::from_micros(2_900_000));
+        assert!(
+            p.buffered() > buffered_mid_pause,
+            "buffer fills while paused"
+        );
+        assert_eq!(p.position(), SimDuration::from_secs(1));
+        p.advance_to(SimTime::from_micros(3_100_000));
+        assert_eq!(p.state(), PlaybackState::Playing);
+    }
+
+    #[test]
+    fn slow_fill_rebuffers_and_auto_resumes() {
+        let cfg = VideoPlayerConfig {
+            duration: SimDuration::from_secs(30),
+            initial_buffer: SimDuration::from_millis(1_000),
+            fill_permille: 500, // half real-time: drains 500 milli/µs
+            resume_watermark: SimDuration::from_millis(500),
+        };
+        let mut p = VideoPlayer::new(cfg, vec![play_at(0)]);
+        // 1 s of buffer drains at half rate → empty at t = 2 s.
+        p.advance_to(SimTime::from_micros(1_999_999));
+        assert_eq!(p.state(), PlaybackState::Playing);
+        p.advance_to(SimTime::from_micros(2_000_000));
+        assert_eq!(p.state(), PlaybackState::Rebuffering);
+        // Refill to 500 ms at 500 permille takes 1 s.
+        p.advance_to(SimTime::from_micros(2_999_999));
+        assert_eq!(p.state(), PlaybackState::Rebuffering);
+        p.advance_to(SimTime::from_micros(3_000_000));
+        assert_eq!(p.state(), PlaybackState::Playing);
+    }
+
+    #[test]
+    fn dead_connection_starves_forever() {
+        let cfg = VideoPlayerConfig {
+            initial_buffer: SimDuration::from_millis(800),
+            fill_permille: 0,
+            ..VideoPlayerConfig::default()
+        };
+        let mut p = VideoPlayer::new(cfg, vec![play_at(0)]);
+        p.advance_to(SimTime::from_micros(60_000_000));
+        assert_eq!(p.state(), PlaybackState::Rebuffering);
+        assert_eq!(p.position(), SimDuration::from_millis(800));
+    }
+
+    #[test]
+    fn seek_flushes_buffer_and_rebuffers() {
+        let cfg = VideoPlayerConfig::default();
+        let mut p = VideoPlayer::new(
+            cfg,
+            vec![
+                play_at(0),
+                PlaybackCommand {
+                    at: SimTime::from_micros(1_000_000),
+                    action: PlaybackAction::Seek(SimDuration::from_secs(10)),
+                },
+            ],
+        );
+        p.advance_to(SimTime::from_micros(1_000_000));
+        assert_eq!(p.state(), PlaybackState::Rebuffering);
+        assert_eq!(p.position(), SimDuration::from_secs(10));
+        // 1.5× fill refills the 500 ms watermark in ⌈500/1.5⌉ ms.
+        p.advance_to(SimTime::from_micros(1_400_000));
+        assert_eq!(p.state(), PlaybackState::Playing);
+    }
+
+    #[test]
+    fn advance_is_query_cadence_invariant() {
+        let cfg = VideoPlayerConfig {
+            duration: SimDuration::from_secs(20),
+            initial_buffer: SimDuration::from_millis(700),
+            fill_permille: 650,
+            resume_watermark: SimDuration::from_millis(400),
+        };
+        let script = vec![
+            play_at(0),
+            pause_at(2_500),
+            play_at(4_000),
+            PlaybackCommand {
+                at: SimTime::from_micros(9_000_000),
+                action: PlaybackAction::Seek(SimDuration::from_secs(15)),
+            },
+        ];
+        let mut coarse = VideoPlayer::new(cfg, script.clone());
+        let mut fine = VideoPlayer::new(cfg, script);
+        for step in 1..=1_200u64 {
+            fine.advance_to(SimTime::from_micros(step * 10_007));
+        }
+        coarse.advance_to(SimTime::from_micros(1_200 * 10_007));
+        assert_eq!(coarse.state(), fine.state());
+        assert_eq!(coarse.position(), fine.position());
+        assert_eq!(coarse.buffered(), fine.buffered());
+    }
+
+    #[test]
+    fn sync_to_clock_tracks_engine_time() {
+        let mut clock = FrameClock::new(SimDuration::from_micros(16_667));
+        let mut p = VideoPlayer::new(VideoPlayerConfig::default(), vec![play_at(0)]);
+        for _ in 0..60 {
+            clock.advance();
+            p.sync_to_clock(&clock);
+        }
+        assert_eq!(p.position().as_micros(), 60 * 16_667);
+    }
+}

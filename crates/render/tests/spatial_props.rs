@@ -20,8 +20,9 @@ use proptest::prelude::*;
 use qtag_dom::{Element, ElementKind, FrameId, Origin, Page, Screen, Tab, TabId, WindowKind};
 use qtag_geometry::{Point, Rect, Size, Vector};
 use qtag_render::{
-    composite_state, CpuLoadModel, Engine, EngineConfig, ProbeId, RenderMode, ScriptCtx, ScriptId,
-    SpatialIndex, TagScript,
+    composite_state, CpuLoadModel, Engine, EngineConfig, PlaybackAction, PlaybackCommand,
+    PlaybackState, ProbeId, RenderMode, ScriptCtx, ScriptId, SimDuration, SimTime, SpatialIndex,
+    TagScript, VideoPlayer, VideoPlayerConfig,
 };
 use qtag_wire::{AdFormat, Beacon, BrowserKind, EventKind, OsKind, SiteType};
 
@@ -37,6 +38,10 @@ struct FleetScript {
     late_point: Option<Point>,
     probes: Vec<ProbeId>,
     timer_fires: u32,
+    /// Video pages run a scripted player and smuggle its position and
+    /// state into the beacon, so playback is part of the bit-identical
+    /// equivalence contract.
+    player: Option<VideoPlayer>,
 }
 
 impl TagScript for FleetScript {
@@ -56,14 +61,32 @@ impl TagScript for FleetScript {
             }
         }
         let paints: u64 = self.probes.iter().map(|p| ctx.probe_paints(*p)).sum();
+        let (pos_ms, state_code) = match self.player.as_mut() {
+            Some(p) => {
+                p.advance_to(ctx.now());
+                let code = match p.state() {
+                    PlaybackState::Idle => 1,
+                    PlaybackState::Playing => 2,
+                    PlaybackState::Paused => 3,
+                    PlaybackState::Rebuffering => 4,
+                    PlaybackState::Ended => 5,
+                };
+                (p.position().as_millis() as u32, code)
+            }
+            None => (0, 0),
+        };
         ctx.send_beacon(Beacon {
             impression_id: paints,
             campaign_id: self.timer_fires,
             event: EventKind::Heartbeat,
             timestamp_us: ctx.now().as_micros(),
-            ad_format: AdFormat::Display,
-            visible_fraction_milli: 0,
-            exposure_ms: 0,
+            ad_format: if self.player.is_some() {
+                AdFormat::Video
+            } else {
+                AdFormat::Display
+            },
+            visible_fraction_milli: state_code,
+            exposure_ms: pos_ms,
             os: OsKind::Windows10,
             browser: BrowserKind::Chrome,
             site_type: SiteType::Browser,
@@ -83,6 +106,39 @@ struct SceneSpec {
     probe_points: Vec<(f64, f64)>,
     late_probe: bool,
     root_script: bool,
+    /// Video-format page: the ad frame is a 640×360 player running a
+    /// scripted playback schedule.
+    video_page: bool,
+    /// `(time_ms, action_code)` playback schedule for video pages.
+    playback: Vec<(u64, u8)>,
+}
+
+/// Builds the scripted player for a video page. Both engines call this
+/// with the same spec, so the two players are bit-equivalent.
+fn player_from(spec: &SceneSpec) -> Option<VideoPlayer> {
+    if !spec.video_page {
+        return None;
+    }
+    let cfg = VideoPlayerConfig {
+        duration: SimDuration::from_secs(30),
+        initial_buffer: SimDuration::from_millis(900),
+        // Slightly under real-time, so long schedules rebuffer naturally.
+        fill_permille: 900,
+        resume_watermark: SimDuration::from_millis(400),
+    };
+    let script = spec
+        .playback
+        .iter()
+        .map(|&(ms, code)| PlaybackCommand {
+            at: SimTime::from_micros(ms * 1_000),
+            action: match code % 3 {
+                0 => PlaybackAction::Play,
+                1 => PlaybackAction::Pause,
+                _ => PlaybackAction::Seek(SimDuration::from_millis(ms * 3)),
+            },
+        })
+        .collect();
+    Some(VideoPlayer::new(cfg, script))
 }
 
 #[derive(Debug, Clone)]
@@ -97,6 +153,11 @@ enum Op {
     BlurThenFocus,
     AddOccluder(f64, f64, f64, f64),
     MoveOverlay(f64, f64),
+    /// Flip the in-page overlay's display flag: the scripted occluder
+    /// schedule (consent dialogs appearing/dismissing) as a single op.
+    ToggleOverlay,
+    /// Drop a fresh z-ordered overlay onto the root frame mid-run.
+    AddPageOverlay(f64, f64, f64, f64, i32),
     DetachLastScript,
     Click(f64, f64),
 }
@@ -123,8 +184,18 @@ fn build(spec: &SceneSpec, mode: RenderMode) -> (Engine, Handles) {
         .unwrap();
     let ssp = page.create_frame(Origin::https("ssp.example"), Size::new(400.0, 700.0));
     page.embed_iframe(page.root(), ssp, spec.ssp_rect).unwrap();
-    let dsp = page.create_frame(Origin::https("dsp.example"), Size::new(300.0, 250.0));
-    page.embed_iframe(ssp, dsp, spec.dsp_rect).unwrap();
+    let dsp_box = if spec.video_page {
+        Size::VIDEO_PLAYER
+    } else {
+        Size::new(300.0, 250.0)
+    };
+    let dsp = page.create_frame(Origin::https("dsp.example"), dsp_box);
+    page.embed_iframe(
+        ssp,
+        dsp,
+        Rect::from_origin_size(spec.dsp_rect.origin, dsp_box),
+    )
+    .unwrap();
 
     let other = Page::new(Origin::https("other.example"), Size::new(1280.0, 900.0));
     let mut screen = Screen::desktop();
@@ -175,6 +246,7 @@ fn build(spec: &SceneSpec, mode: RenderMode) -> (Engine, Handles) {
                         .then_some(Point::new(10.0, 10.0)),
                     probes: Vec::new(),
                     timer_fires: 0,
+                    player: player_from(spec),
                 }),
             )
             .unwrap(),
@@ -192,6 +264,7 @@ fn build(spec: &SceneSpec, mode: RenderMode) -> (Engine, Handles) {
                         late_point: None,
                         probes: Vec::new(),
                         timer_fires: 0,
+                        player: None,
                     }),
                 )
                 .unwrap(),
@@ -263,6 +336,28 @@ fn apply(engine: &mut Engine, h: &Handles, op: &Op) -> u64 {
                 }
             }
         }
+        Op::ToggleOverlay => {
+            if let Ok(win) = engine.screen_mut().window_mut(h.w) {
+                if let WindowKind::Browser { tabs, .. } = &mut win.kind {
+                    if let Ok(el) = tabs[0].page.element_mut(h.overlay) {
+                        el.display = !el.display;
+                    }
+                }
+            }
+        }
+        Op::AddPageOverlay(x, y, wd, ht, z) => {
+            if let Ok(win) = engine.screen_mut().window_mut(h.w) {
+                if let WindowKind::Browser { tabs, .. } = &mut win.kind {
+                    let page = &mut tabs[0].page;
+                    let root = page.root();
+                    let _ = page.add_element(
+                        root,
+                        Element::new("popover", ElementKind::Overlay, Rect::new(*x, *y, *wd, *ht))
+                            .with_z(*z),
+                    );
+                }
+            }
+        }
         Op::DetachLastScript => {
             // Only the last-attached script's probes sit at the tail of
             // the probe table, so detaching it leaves every surviving
@@ -301,6 +396,15 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         )
             .prop_map(|(x, y, w, h)| Op::AddOccluder(x, y, w, h)),
         (0.0f64..1280.0, 0.0f64..2500.0).prop_map(|(x, y)| Op::MoveOverlay(x, y)),
+        Just(Op::ToggleOverlay),
+        (
+            0.0f64..1280.0,
+            0.0f64..2500.0,
+            100.0f64..900.0,
+            50.0f64..500.0,
+            1i32..20,
+        )
+            .prop_map(|(x, y, w, h, z)| Op::AddPageOverlay(x, y, w, h, z)),
         Just(Op::DetachLastScript),
         (0.0f64..1300.0, 0.0f64..900.0).prop_map(|(x, y)| Op::Click(x, y)),
     ]
@@ -320,9 +424,21 @@ fn scene_strategy() -> impl Strategy<Value = SceneSpec> {
         prop::collection::vec((-20.0f64..320.0, -20.0f64..270.0), 1..12),
         any::<bool>(),
         any::<bool>(),
+        any::<bool>(),
+        prop::collection::vec((0u64..4_000, 0u8..3), 0..6),
     )
         .prop_map(
-            |(doc_height, (sx, sy), (dx, dy), (ox, oy, ow, oh), probe_points, late, root)| {
+            |(
+                doc_height,
+                (sx, sy),
+                (dx, dy),
+                (ox, oy, ow, oh),
+                probe_points,
+                late,
+                root,
+                video,
+                playback,
+            )| {
                 SceneSpec {
                     doc_height,
                     ssp_rect: Rect::new(sx, sy, 400.0, 700.0),
@@ -331,6 +447,8 @@ fn scene_strategy() -> impl Strategy<Value = SceneSpec> {
                     probe_points,
                     late_probe: late,
                     root_script: root,
+                    video_page: video,
+                    playback,
                 }
             },
         )
@@ -371,11 +489,16 @@ proptest! {
         prop_assert_eq!(naive.frames_ticked(), indexed.frames_ticked());
         // Ground truth (fractions are pure functions of the scene, so
         // this certifies the two scenes never drifted apart).
+        let ad_box = if spec.video_page {
+            Rect::new(0.0, 0.0, 640.0, 360.0)
+        } else {
+            Rect::new(0.0, 0.0, 300.0, 250.0)
+        };
         let vn = naive
-            .true_visibility(hn.w, Some(TabId(0)), hn.dsp, Rect::new(0.0, 0.0, 300.0, 250.0))
+            .true_visibility(hn.w, Some(TabId(0)), hn.dsp, ad_box)
             .unwrap();
         let vi = indexed
-            .true_visibility(hi.w, Some(TabId(0)), hi.dsp, Rect::new(0.0, 0.0, 300.0, 250.0))
+            .true_visibility(hi.w, Some(TabId(0)), hi.dsp, ad_box)
             .unwrap();
         prop_assert_eq!(vn.fraction.to_bits(), vi.fraction.to_bits());
         prop_assert_eq!(vn.viewport_fraction.to_bits(), vi.viewport_fraction.to_bits());

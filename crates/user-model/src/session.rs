@@ -7,7 +7,10 @@ use qtag_adtech::{embed_served_ad, ServedAd, ServingOrigins};
 use qtag_core::{QTag, QTagConfig};
 use qtag_dom::{Origin, Page, Screen, Tab, TabId, WindowId, WindowKind};
 use qtag_geometry::{Rect, Size, Vector};
-use qtag_render::{Engine, ScriptId, SimDuration};
+use qtag_render::{
+    Engine, PlaybackAction, PlaybackCommand, ScriptId, SimDuration, SimTime, VideoPlayer,
+    VideoPlayerConfig,
+};
 use qtag_verifier::{VerifierConfig, VerifierTag};
 use qtag_wire::{AdFormat, Beacon, SiteType};
 use rand::SeedableRng;
@@ -112,6 +115,10 @@ impl SessionSim {
             if ad.format == AdFormat::Video {
                 cfg = cfg.video();
             }
+            let mut tag = QTag::new(cfg);
+            if ad.format == AdFormat::Video {
+                tag = tag.with_player(Self::video_player(seed));
+            }
             qtag_id = Some(
                 engine
                     .attach_script(
@@ -119,7 +126,7 @@ impl SessionSim {
                         tab,
                         placement.dsp_frame,
                         tag_origin.clone(),
-                        Box::new(QTag::new(cfg)),
+                        Box::new(tag),
                     )
                     .expect("attach qtag"),
             );
@@ -226,6 +233,40 @@ impl SessionSim {
             duration_ms: behavior.duration_ms(),
             clicks,
         }
+    }
+
+    /// Deterministic playback schedule for a video impression. The
+    /// player autoplays with a healthy connection (fill faster than
+    /// real time, so it never rebuffers); roughly a third of sessions,
+    /// by seed, take a short mid-roll pause — which resets the
+    /// 2-second continuous-playback timer in the tag.
+    fn video_player(seed: u64) -> VideoPlayer {
+        let at = |ms: u64| SimTime::from_micros(ms * 1_000);
+        let h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut script = vec![PlaybackCommand {
+            at: at(0),
+            action: PlaybackAction::Play,
+        }];
+        if h.is_multiple_of(3) {
+            let pause_ms = 2_500 + (h >> 8) % 2_000;
+            script.push(PlaybackCommand {
+                at: at(pause_ms),
+                action: PlaybackAction::Pause,
+            });
+            script.push(PlaybackCommand {
+                at: at(pause_ms + 800),
+                action: PlaybackAction::Play,
+            });
+        }
+        VideoPlayer::new(
+            VideoPlayerConfig {
+                duration: SimDuration::from_secs(30),
+                initial_buffer: SimDuration::from_millis(1_500 + (h >> 16) % 1_500),
+                fill_permille: 1_200,
+                resume_watermark: SimDuration::from_millis(500),
+            },
+            script,
+        )
     }
 
     /// The creative's centre in viewport coordinates, when ≥ 50 % of it
@@ -346,6 +387,46 @@ mod tests {
         let b = SessionSim::default().run(&ad(), &env, 11);
         assert_eq!(a.qtag_beacons, b.qtag_beacons);
         assert_eq!(a.verifier_beacons, b.verifier_beacons);
+    }
+
+    fn video_ad() -> ServedAd {
+        ServedAd {
+            impression_id: 2,
+            campaign_id: CampaignId(2),
+            creative_size: Size::MEDIUM_RECTANGLE,
+            format: AdFormat::Video,
+            paid_cpm_milli: 2000,
+        }
+    }
+
+    #[test]
+    fn video_session_views_under_continuous_playback() {
+        let sim = SessionSim {
+            above_fold_share: 1.0,
+            ..SessionSim::default()
+        };
+        // Several seeds so both player schedules (straight-through and
+        // mid-roll pause) occur; a long-enough dwell must still view.
+        let mut viewed = 0;
+        for seed in 0..12 {
+            let out = sim.run(&video_ad(), &healthy_env(SiteType::Browser), seed);
+            if has(&out.qtag_beacons, EventKind::InView) {
+                viewed += 1;
+                assert!(has(&out.qtag_beacons, EventKind::Measurable));
+            }
+        }
+        assert!(
+            viewed > 0,
+            "no video session ever met the 2 s continuous bar"
+        );
+    }
+
+    #[test]
+    fn video_sessions_are_deterministic_per_seed() {
+        let env = healthy_env(SiteType::Browser);
+        let a = SessionSim::default().run(&video_ad(), &env, 21);
+        let b = SessionSim::default().run(&video_ad(), &env, 21);
+        assert_eq!(a.qtag_beacons, b.qtag_beacons);
     }
 
     #[test]
